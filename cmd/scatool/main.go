@@ -1,0 +1,79 @@
+// Command scatool runs the §5 side-channel experiments: the timing-
+// invariance measurement (Montgomery circuit vs conditional-subtraction
+// baseline) and the fixed-vs-random TVLA t-test on the systolic array's
+// register-toggle traces.
+//
+// Usage:
+//
+//	scatool [-l 16] [-trials 200] [-traces 300] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"os"
+
+	"repro/internal/sca"
+)
+
+func main() {
+	l := flag.Int("l", 16, "modulus bit length")
+	trials := flag.Int("trials", 200, "multiplications per timing measurement")
+	traces := flag.Int("traces", 300, "toggle traces per TVLA group")
+	seed := flag.Int64("seed", 1, "rng seed")
+	flag.Parse()
+
+	if err := run(*l, *trials, *traces, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "scatool:", err)
+		os.Exit(1)
+	}
+}
+
+func run(l, trials, traces int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	n := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), uint(l-1)))
+	n.SetBit(n, l-1, 1)
+	n.SetBit(n, 0, 1)
+	fmt.Printf("modulus N = %s (l = %d)\n\n", n.Text(16), l)
+
+	fmt.Println("== timing (the paper's §5 claim) ==")
+	mont, err := sca.MeasureMMMTiming(n, trials, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Montgomery MMM circuit:  %s", mont)
+	if mont.Constant() {
+		fmt.Printf("  → CONSTANT (always 3l+4 = %d)\n", 3*l+4)
+	} else {
+		fmt.Printf("  → VARIABLE (unexpected!)\n")
+	}
+	naive, err := sca.MeasureInterleavedTiming(n, trials, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("interleaved baseline:    %s", naive)
+	if naive.Constant() {
+		fmt.Printf("  → constant (unexpected)\n")
+	} else {
+		fmt.Printf("  → DATA-DEPENDENT\n")
+	}
+
+	fmt.Println("\n== power proxy (TVLA on register-toggle traces) ==")
+	fixedY := big.NewInt(1)
+	tstat, err := sca.FixedVsRandom(n, fixedY, traces, rng)
+	if err != nil {
+		return err
+	}
+	maxT := sca.MaxAbs(tstat)
+	fmt.Printf("fixed-vs-random Welch t over %d cycles: max |t| = %.2f (threshold %.1f)\n",
+		len(tstat), maxT, sca.TVLAThreshold)
+	if maxT > sca.TVLAThreshold {
+		fmt.Println("→ toggle activity LEAKS the operand: constant time ≠ flat power.")
+		fmt.Println("  (The paper's claim concerns timing only; this quantifies the boundary.)")
+	} else {
+		fmt.Println("→ no first-order toggle leak detected at this trace count.")
+	}
+	return nil
+}

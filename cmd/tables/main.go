@@ -1,0 +1,125 @@
+// Command tables regenerates the paper's evaluation tables from the
+// reproduced system and prints them next to the published values.
+//
+// Usage:
+//
+//	tables [-table 1|2|compare|radix|all] [-lengths 32,64,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/tables"
+)
+
+func main() {
+	which := flag.String("table", "all", "which table: 1, 2, compare, radix, hazard, ecc, or all")
+	lengthsFlag := flag.String("lengths", "", "comma-separated bit lengths (default: the paper's)")
+	radixL := flag.Int("radixl", 1024, "bit length for the radix sweep")
+	latex := flag.Bool("latex", false, "emit Tables 1/2 as LaTeX tabulars instead of text")
+	flag.Parse()
+
+	var lengths []int
+	if *lengthsFlag != "" {
+		for _, part := range strings.Split(*lengthsFlag, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tables: invalid length %q\n", part)
+				os.Exit(1)
+			}
+			lengths = append(lengths, v)
+		}
+	}
+
+	if err := run(*which, lengths, *radixL, *latex); err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(which string, lengths []int, radixL int, latex bool) error {
+	doTable1 := func() error {
+		rows, err := tables.Table1(lengths)
+		if err != nil {
+			return err
+		}
+		if latex {
+			fmt.Println(tables.LaTeXTable1(rows))
+		} else {
+			fmt.Println(tables.FormatTable1(rows))
+		}
+		return nil
+	}
+	doTable2 := func() error {
+		rows, err := tables.Table2(lengths)
+		if err != nil {
+			return err
+		}
+		if latex {
+			fmt.Println(tables.LaTeXTable2(rows))
+		} else {
+			fmt.Println(tables.FormatTable2(rows))
+		}
+		return nil
+	}
+	doCompare := func() error {
+		rows, err := tables.CompareBlumPaar(lengths)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tables.FormatCompare(rows))
+		return nil
+	}
+	doHazard := func() error {
+		rows, err := tables.HazardSurvey(16, 2000, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tables.FormatHazard(rows))
+		return nil
+	}
+	doECC := func() error {
+		rows, err := tables.ECCTable(1)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tables.FormatECC(rows))
+		return nil
+	}
+	doRadix := func() error {
+		rows, err := tables.RadixSweep(radixL, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tables.FormatRadix(radixL, rows))
+		return nil
+	}
+
+	switch which {
+	case "1":
+		return doTable1()
+	case "2":
+		return doTable2()
+	case "compare":
+		return doCompare()
+	case "radix":
+		return doRadix()
+	case "hazard":
+		return doHazard()
+	case "ecc":
+		return doECC()
+	case "all":
+		for _, f := range []func() error{doTable2, doTable1, doCompare, doRadix, doHazard, doECC} {
+			if err := f(); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown table %q", which)
+	}
+}

@@ -1,0 +1,59 @@
+package montsys_test
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+
+	montsys "repro"
+)
+
+// The basic flow: one Montgomery product at reference speed and one
+// through the cycle-accurate circuit, agreeing bit for bit.
+func ExampleNewMultiplier() {
+	n := big.NewInt(0xF1F1)
+	ref, err := montsys.NewMultiplier(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := montsys.NewMultiplier(n, montsys.WithSimulation())
+	if err != nil {
+		log.Fatal(err)
+	}
+	x, y := big.NewInt(0x1234), big.NewInt(0xBEEF)
+	a, _ := ref.Mont(x, y)
+	b, _ := sim.Mont(x, y)
+	fmt.Printf("Mont(x,y) = %x (reference) = %x (simulated, %d cycles)\n",
+		a, b, sim.Cycles)
+	// Output:
+	// Mont(x,y) = bbda (reference) = bbda (simulated, 52 cycles)
+}
+
+// Modular exponentiation with the paper's cycle accounting.
+func ExampleNewExponentiator() {
+	n := big.NewInt(3233) // 61·53
+	ex, err := montsys.NewExponentiator(n, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, rep, err := ex.ModExp(big.NewInt(65), big.NewInt(17))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("65^17 mod 3233 = %d (%d squares, %d multiplies, %d cycles)\n",
+		c, rep.Squares, rep.Multiplies, rep.TotalCycles)
+	// Output:
+	// 65^17 mod 3233 = 2790 (4 squares, 1 multiplies, 284 cycles)
+}
+
+// Hardware costs for a given operand width under the Virtex-E model.
+func ExampleHardware() {
+	hw, err := montsys.Hardware(32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("l=32: %d cycles per multiplication, %d slices\n",
+		hw.CyclesPerMul, hw.Mapping.Slices)
+	// Output:
+	// l=32: 100 cycles per multiplication, 205 slices
+}

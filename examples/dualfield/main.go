@@ -1,0 +1,65 @@
+// Dual-field demonstration: the same Montgomery loop serving GF(p) and
+// GF(2^m) — the extension the paper's §2 points to (Savaş, Tenca, Koç).
+// Runs one multiplication in each field through the respective
+// bit-serial cores and shows the cell-level contrast: the GF(2^m) side
+// is the GF(p) regular cell with its carry chain gated off, and it needs
+// only m iterations where the integer side needs l+2.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+
+	"repro/internal/gf2"
+	"repro/internal/mont"
+)
+
+func main() {
+	// ---- GF(p): the paper's core ----
+	p, _ := new(big.Int).SetString("f1fd", 16)
+	ctx, err := mont.NewCtx(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	x, _ := new(big.Int).SetString("1234", 16)
+	y, _ := new(big.Int).SetString("abcd", 16)
+	fmt.Printf("GF(p), p = %s (l = %d): %d loop iterations (l+2), R = 2^%d\n",
+		p.Text(16), ctx.L, ctx.Iterations(), ctx.L+2)
+	fmt.Printf("  Mont(%s, %s) = %s\n\n", x.Text(16), y.Text(16), ctx.Mul(x, y).Text(16))
+
+	// ---- GF(2^m): the dual field ----
+	f := gf2.FromCoeffs(16, 5, 3, 1, 0) // x^16+x^5+x^3+x+1, irreducible
+	fd, err := gf2.NewField(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := gf2.FromUint64(0x1234)
+	b := gf2.FromUint64(0xABCD)
+	fmt.Printf("GF(2^%d), f = %s: %d loop iterations (exactly m — no Walter slack)\n",
+		fd.M, f, fd.Iterations())
+	prod := fd.Mont(a, b)
+	fmt.Printf("  Mont(%s, %s) = %s\n\n", a, b, prod)
+
+	// The dual-field cell: identical hardware, gated carries.
+	fmt.Println("dual-field regular cell (tIn=1, x=1, y=1, m=1, n=1, c1=1, c0=1):")
+	gfp := gf2.DualRegularCell(1, 1, 1, 1, 1, 1, 1, 1)
+	gfb := gf2.DualRegularCell(0, 1, 1, 1, 1, 1, 1, 1)
+	fmt.Printf("  fsel=1 (GF(p)):  t=%d c0=%d c1=%d   — full Eq. (4) arithmetic\n", gfp.T, gfp.C0, gfp.C1)
+	fmt.Printf("  fsel=0 (GF(2)):  t=%d c0=%d c1=%d   — carries gated, pure XOR\n", gfb.T, gfb.C0, gfb.C1)
+
+	// Cross-check the GF(2^m) result through the dual-cell iteration
+	// model (the array datapath) — must agree bit for bit.
+	im, err := gf2.NewIterModel(fd, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	viaCells, err := im.RunMul(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !viaCells.Equal(prod) {
+		log.Fatal("dual-cell datapath diverged!")
+	}
+	fmt.Println("\ndual-cell array datapath reproduces the field result: OK")
+}

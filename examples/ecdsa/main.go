@@ -1,0 +1,59 @@
+// ECDSA over the reproduced Montgomery stack: sign and verify a message
+// on P-256 where every field and scalar operation runs through the
+// paper's Algorithm 2, then cross-verify the signature with the Go
+// standard library — the "cryptographic device dealing with both types
+// of PKC" the paper's conclusion envisions, speaking the same wire
+// format as everyone else.
+package main
+
+import (
+	stdecdsa "crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/sha256"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/ecc"
+	"repro/internal/ecdsa"
+)
+
+func main() {
+	curve, err := ecc.P256()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(0x5EC))
+
+	key, err := ecdsa.GenerateKey(curve, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P-256 key: Q = (%s…, %s…)\n", key.Qx.Text(16)[:16], key.Qy.Text(16)[:16])
+
+	msg := []byte("Montgomery multiplication without final subtraction")
+	r, s, err := ecdsa.Sign(key, msg, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("signature:\n  r = %s\n  s = %s\n", r.Text(16), s.Text(16))
+
+	if !ecdsa.Verify(&key.PublicKey, msg, r, s) {
+		log.Fatal("our own verifier rejected the signature")
+	}
+	fmt.Println("verified with this repository's stack: OK")
+
+	stdPub := &stdecdsa.PublicKey{Curve: elliptic.P256(), X: key.Qx, Y: key.Qy}
+	digest := sha256.Sum256(msg)
+	if !stdecdsa.Verify(stdPub, digest[:], r, s) {
+		log.Fatal("crypto/ecdsa rejected the signature")
+	}
+	fmt.Println("verified with crypto/ecdsa (stdlib):     OK")
+
+	if ecdsa.Verify(&key.PublicKey, []byte("tampered"), r, s) {
+		log.Fatal("tampered message accepted!")
+	}
+	fmt.Println("tampered message rejected:                OK")
+	fmt.Printf("\nfield multiplications consumed: %d (each one Algorithm-2 pass of 3l+4 cycles)\n",
+		curve.FieldMuls)
+}

@@ -1,0 +1,61 @@
+// Quickstart: one Montgomery modular multiplication through the public
+// API, at both fidelity levels, plus the hardware numbers the paper
+// reports for this bit length.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+
+	montsys "repro"
+)
+
+func main() {
+	// A 32-bit odd modulus (any odd N ≥ 3 works, up to thousands of bits).
+	n, _ := new(big.Int).SetString("c90fdaa3", 16)
+	x, _ := new(big.Int).SetString("12345678", 16)
+	y, _ := new(big.Int).SetString("9abcdef1", 16)
+
+	// Reference-speed multiplier (Algorithm 2 on math/big).
+	fast, err := montsys.NewMultiplier(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p1, err := fast.Mont(x, y)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Mont(x, y) = x·y·R⁻¹ mod 2N = %s   (R = 2^%d)\n", p1.Text(16), fast.L()+2)
+
+	// Cycle-accurate multiplier: the same product through the simulated
+	// systolic-array MMM circuit of the paper's Fig. 2/3.
+	sim, err := montsys.NewMultiplier(n, montsys.WithSimulation())
+	if err != nil {
+		log.Fatal(err)
+	}
+	p2, err := sim.Mont(x, y)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated  = %s   in %d clock cycles (3l+4)\n", p2.Text(16), sim.Cycles)
+	if p1.Cmp(p2) != 0 {
+		log.Fatal("fidelity levels disagree!") // never happens
+	}
+
+	// Plain modular multiplication with the domain conversions handled
+	// for you.
+	prod, err := fast.MulMod(new(big.Int).Mod(x, n), new(big.Int).Mod(y, n))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("x·y mod N  = %s\n", prod.Text(16))
+
+	// What would this cost on the paper's FPGA?
+	hw, err := montsys.Hardware(fast.L())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hardware   = %d slices, Tp %.3f ns, one MMM in %.3f µs (Virtex-E model)\n",
+		hw.Mapping.Slices, hw.Mapping.ClockPeriodNs, hw.TMMMUs)
+}

@@ -1,0 +1,90 @@
+package baseline
+
+import (
+	"errors"
+	"math/big"
+)
+
+// Barrett reduction: the other classic division-free modular reduction,
+// included because the paper's §1 motivates Montgomery precisely against
+// "the time consuming trial division" of straightforward methods.
+// Barrett trades the division for two multiplications by a precomputed
+// reciprocal μ = ⌊4^l / N⌋; unlike Montgomery it needs no domain
+// conversion, but its multiplications are full double-width products,
+// which is why bit-serial hardware prefers Montgomery's interleaved
+// form. The cycle model reflects that: a Barrett modular multiplication
+// costs three full multiplications' worth of add-shift cycles.
+type Barrett struct {
+	N  *big.Int
+	L  int      // bit length of N
+	Mu *big.Int // ⌊2^(2l) / N⌋
+}
+
+// NewBarrett precomputes the reciprocal for modulus n ≥ 3.
+func NewBarrett(n *big.Int) (*Barrett, error) {
+	if n.Cmp(big.NewInt(3)) < 0 {
+		return nil, errors.New("baseline: modulus must be at least 3")
+	}
+	l := n.BitLen()
+	mu := new(big.Int).Lsh(big.NewInt(1), uint(2*l))
+	mu.Div(mu, n)
+	return &Barrett{N: new(big.Int).Set(n), L: l, Mu: mu}, nil
+}
+
+// Reduce computes x mod N for 0 ≤ x < N² with at most two correcting
+// subtractions (the classic Barrett bound).
+func (b *Barrett) Reduce(x *big.Int) *big.Int {
+	if x.Sign() < 0 {
+		panic("baseline: negative input to Barrett reduction")
+	}
+	l := uint(b.L)
+	// q = ⌊⌊x / 2^(l-1)⌋ · μ / 2^(l+1)⌋
+	q := new(big.Int).Rsh(x, l-1)
+	q.Mul(q, b.Mu)
+	q.Rsh(q, l+1)
+	r := new(big.Int).Mul(q, b.N)
+	r.Sub(x, r)
+	subs := 0
+	for r.Cmp(b.N) >= 0 {
+		r.Sub(r, b.N)
+		subs++
+		if subs > 2 {
+			panic("baseline: Barrett bound violated")
+		}
+	}
+	return r
+}
+
+// Mul computes x·y mod N (operands in [0, N-1]) and a bit-serial cycle
+// estimate: one l-cycle shift-add multiplication for the product plus
+// two for the reduction's reciprocal and back multiplications.
+func (b *Barrett) Mul(x, y *big.Int) (*big.Int, int) {
+	if x.Sign() < 0 || x.Cmp(b.N) >= 0 || y.Sign() < 0 || y.Cmp(b.N) >= 0 {
+		panic("baseline: Barrett operand outside [0, N-1]")
+	}
+	prod := new(big.Int).Mul(x, y)
+	return b.Reduce(prod), 3 * b.L
+}
+
+// ModExp computes m^e mod N by square-and-multiply over Barrett
+// multiplication, returning the result and the modelled cycle count.
+func (b *Barrett) ModExp(m, e *big.Int) (*big.Int, int, error) {
+	if e.Sign() <= 0 {
+		return nil, 0, errors.New("baseline: exponent must be positive")
+	}
+	if m.Sign() < 0 || m.Cmp(b.N) >= 0 {
+		return nil, 0, errors.New("baseline: base must be in [0, N-1]")
+	}
+	a := new(big.Int).Set(m)
+	cycles := 0
+	for i := e.BitLen() - 2; i >= 0; i-- {
+		var c int
+		a, c = b.Mul(a, a)
+		cycles += c
+		if e.Bit(i) == 1 {
+			a, c = b.Mul(a, m)
+			cycles += c
+		}
+	}
+	return a, cycles, nil
+}

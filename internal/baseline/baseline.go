@@ -1,0 +1,171 @@
+// Package baseline implements the comparison points of the paper's §2:
+//
+//   - Blum–Paar's radix-2 Montgomery multiplier [3], which uses the
+//     sub-optimal bound R = 2^(l+3) and therefore runs one extra loop
+//     iteration per multiplication ("the extra step in the main
+//     algorithm"), the inefficiency the paper's R = 2^(l+2) removes;
+//   - a textbook interleaved modular multiplier with conditional
+//     subtractions, whose data-dependent cycle count is the contrast for
+//     the paper's side-channel argument (§5, exercised by internal/sca).
+//
+// Functional correctness of each baseline is property-tested against
+// math/big; the cycle models feed the comparison benchmarks.
+package baseline
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/mont"
+)
+
+// BlumPaar is the radix-2 Montgomery multiplier of Blum and Paar [3]
+// modelled at the algorithm level: R = 2^(l+3), l+3 loop iterations, no
+// final subtraction (their bound also guarantees outputs < 2N for inputs
+// < 2N, it simply pays one more iteration for it).
+type BlumPaar struct {
+	N  *big.Int
+	L  int      // bit length of N
+	R  *big.Int // 2^(L+3)
+	N2 *big.Int // 2N
+	RR *big.Int // R² mod N
+}
+
+// NewBlumPaar builds the baseline context for an odd modulus.
+func NewBlumPaar(n *big.Int) (*BlumPaar, error) {
+	if n.Sign() <= 0 || n.Cmp(big.NewInt(3)) < 0 {
+		return nil, mont.ErrSmallModulus
+	}
+	if n.Bit(0) == 0 {
+		return nil, mont.ErrEvenModulus
+	}
+	l := n.BitLen()
+	r := new(big.Int).Lsh(big.NewInt(1), uint(l+3))
+	rr := new(big.Int).Mul(r, r)
+	rr.Mod(rr, n)
+	return &BlumPaar{
+		N:  new(big.Int).Set(n),
+		L:  l,
+		R:  r,
+		N2: new(big.Int).Lsh(n, 1),
+		RR: rr,
+	}, nil
+}
+
+// Iterations returns l+3 — one more than the paper's multiplier.
+func (b *BlumPaar) Iterations() int { return b.L + 3 }
+
+// CyclesPerMul models the clock cycles of one multiplication on the
+// Blum–Paar systolic datapath: the same 2-cycles-per-iteration plus
+// l-cycle drain schedule as the paper's circuit, with the extra
+// iteration — 2(l+3) + l = 3l + 6.
+func (b *BlumPaar) CyclesPerMul() int { return 3*b.L + 6 }
+
+// ClockPeriodFactor is the relative clock-period penalty of the
+// Blum–Paar processing element. Their cells carry 3-bit control
+// registers steering four multiplexers on the critical path (§4.4 of the
+// paper); the paper credits its own cells' simpler combinational logic
+// for the higher clock frequency. The factor models two extra LUT
+// levels on the register-to-register path (≈ 2·2.56 ns over ≈ 10 ns).
+const ClockPeriodFactor = 1.5
+
+// Mul computes x·y·R⁻¹ mod 2N (R = 2^(l+3)) with the l+3-iteration
+// radix-2 loop. Inputs must be in [0, 2N-1]; so is the output.
+func (b *BlumPaar) Mul(x, y *big.Int) *big.Int {
+	if x.Sign() < 0 || x.Cmp(b.N2) >= 0 || y.Sign() < 0 || y.Cmp(b.N2) >= 0 {
+		panic(fmt.Sprintf("baseline: operand outside [0, 2N-1]"))
+	}
+	t := new(big.Int)
+	for i := 0; i <= b.L+2; i++ {
+		mi := (t.Bit(0) + x.Bit(i)*y.Bit(0)) & 1
+		if x.Bit(i) == 1 {
+			t.Add(t, y)
+		}
+		if mi == 1 {
+			t.Add(t, b.N)
+		}
+		t.Rsh(t, 1)
+	}
+	return t
+}
+
+// ModExp computes m^e mod N by square-and-multiply over the baseline
+// multiplier, returning the result and the modelled cycle count
+// (pre-processing, (squares+multiplies)·(3l+6), post-processing — the
+// same structure as the paper's Eq. 10 with the slower multiplier).
+func (b *BlumPaar) ModExp(m, e *big.Int) (*big.Int, int, error) {
+	if e.Sign() <= 0 {
+		return nil, 0, fmt.Errorf("baseline: exponent must be positive")
+	}
+	if m.Sign() < 0 || m.Cmp(b.N) >= 0 {
+		return nil, 0, fmt.Errorf("baseline: base must be in [0, N-1]")
+	}
+	a := b.Mul(m, b.RR)
+	mr := new(big.Int).Set(a)
+	muls := 1
+	for i := e.BitLen() - 2; i >= 0; i-- {
+		a = b.Mul(a, a)
+		muls++
+		if e.Bit(i) == 1 {
+			a = b.Mul(a, mr)
+			muls++
+		}
+	}
+	a = b.Mul(a, big.NewInt(1))
+	muls++
+	if a.Cmp(b.N) >= 0 {
+		a.Sub(a, b.N)
+	}
+	// Pre/post modelled like the paper's §4.5 with the longer per-mul
+	// cost folded in uniformly.
+	cycles := muls * b.CyclesPerMul()
+	return a, cycles, nil
+}
+
+// Interleaved is the textbook left-to-right interleaved modular
+// multiplier: T = 2T + x_i·y, then up to two conditional subtractions of
+// N per step. Its cycle count depends on the operand data — the property
+// Montgomery designs remove and internal/sca measures.
+type Interleaved struct {
+	N *big.Int
+	L int
+}
+
+// NewInterleaved builds the naive baseline (any modulus ≥ 2 works; no
+// odd restriction, division is never used).
+func NewInterleaved(n *big.Int) (*Interleaved, error) {
+	if n.Cmp(big.NewInt(2)) < 0 {
+		return nil, mont.ErrSmallModulus
+	}
+	return &Interleaved{N: new(big.Int).Set(n), L: n.BitLen()}, nil
+}
+
+// Mul computes x·y mod N and the number of datapath cycles consumed,
+// counting one cycle per shift-add and one per performed subtraction.
+// Inputs must be in [0, N-1].
+func (in *Interleaved) Mul(x, y *big.Int) (*big.Int, int) {
+	if x.Sign() < 0 || x.Cmp(in.N) >= 0 || y.Sign() < 0 || y.Cmp(in.N) >= 0 {
+		panic("baseline: interleaved operand outside [0, N-1]")
+	}
+	t := new(big.Int)
+	cycles := 0
+	for i := in.L - 1; i >= 0; i-- {
+		t.Lsh(t, 1)
+		if x.Bit(i) == 1 {
+			t.Add(t, y)
+		}
+		cycles++ // shift-add
+		for t.Cmp(in.N) >= 0 {
+			t.Sub(t, in.N)
+			cycles++ // data-dependent subtraction
+		}
+	}
+	return t, cycles
+}
+
+// MinCycles and MaxCycles bound Interleaved.Mul's cycle count: l
+// shift-adds plus zero to 2l subtractions.
+func (in *Interleaved) MinCycles() int { return in.L }
+
+// MaxCycles returns the worst-case cycle count.
+func (in *Interleaved) MaxCycles() int { return 3 * in.L }

@@ -1,0 +1,326 @@
+// Package bits provides the little-endian bit-vector arithmetic that the
+// rest of the repository is built on.
+//
+// The systolic array, the MMM circuit and the gate-level netlists all
+// operate on individual bits; this package gives them a common value type,
+// Vec, which stores one bit per byte in LSB-first order (Vec[0] is the 2^0
+// digit). The representation trades memory for directness: every index in
+// the paper's recurrences (t_{i,j}, y_j, n_j, ...) maps to a plain slice
+// index, which keeps the hardware models easy to audit against the paper.
+//
+// Conversions to and from math/big.Int bridge the hardware world to the
+// reference arithmetic used in tests and host-side pre-computations.
+package bits
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+)
+
+// Bit is a single binary digit. Valid values are 0 and 1; the arithmetic
+// helpers in this package panic on anything else so that corrupted signal
+// values are caught at the point of injection rather than as silent
+// mis-computation many cycles later.
+type Bit = uint8
+
+// Vec is a little-endian vector of bits: v[0] is the least significant
+// digit. A nil Vec is a valid representation of zero.
+type Vec []Bit
+
+// New returns an all-zero vector of n bits.
+func New(n int) Vec {
+	if n < 0 {
+		panic(fmt.Sprintf("bits: negative length %d", n))
+	}
+	return make(Vec, n)
+}
+
+// FromBig converts the absolute value of x into an n-bit vector.
+// It panics if x is negative or does not fit in n bits: both indicate a
+// bound violation in the caller (e.g. an operand ≥ R fed to the array).
+func FromBig(x *big.Int, n int) Vec {
+	if x.Sign() < 0 {
+		panic("bits: FromBig of negative value")
+	}
+	if x.BitLen() > n {
+		panic(fmt.Sprintf("bits: value of %d bits does not fit in %d", x.BitLen(), n))
+	}
+	v := New(n)
+	for i := 0; i < x.BitLen(); i++ {
+		v[i] = Bit(x.Bit(i))
+	}
+	return v
+}
+
+// Big converts v back to a big.Int.
+func (v Vec) Big() *big.Int {
+	x := new(big.Int)
+	for i := len(v) - 1; i >= 0; i-- {
+		x.Lsh(x, 1)
+		switch v[i] {
+		case 0:
+		case 1:
+			x.Or(x, oneBig)
+		default:
+			panic(fmt.Sprintf("bits: invalid bit value %d at index %d", v[i], i))
+		}
+	}
+	return x
+}
+
+var oneBig = big.NewInt(1)
+
+// FromUint64 converts x into an n-bit vector. It panics if x does not fit.
+func FromUint64(x uint64, n int) Vec {
+	return FromBig(new(big.Int).SetUint64(x), n)
+}
+
+// Uint64 converts v to a uint64. It panics if v does not fit in 64 bits.
+func (v Vec) Uint64() uint64 {
+	var x uint64
+	for i := len(v) - 1; i >= 0; i-- {
+		if i >= 64 && v[i] != 0 {
+			panic("bits: Uint64 overflow")
+		}
+		x = x<<1 | uint64(v[i]&1)
+	}
+	return x
+}
+
+// FromHex parses a hexadecimal string (optionally 0x-prefixed) into an
+// n-bit vector. If n < 0, the vector is sized to the value's bit length
+// (minimum 1).
+func FromHex(s string, n int) (Vec, error) {
+	s = strings.TrimPrefix(strings.TrimSpace(s), "0x")
+	x, ok := new(big.Int).SetString(s, 16)
+	if !ok {
+		return nil, fmt.Errorf("bits: invalid hex string %q", s)
+	}
+	if x.Sign() < 0 {
+		return nil, fmt.Errorf("bits: negative hex value %q", s)
+	}
+	if n < 0 {
+		n = x.BitLen()
+		if n == 0 {
+			n = 1
+		}
+	}
+	if x.BitLen() > n {
+		return nil, fmt.Errorf("bits: hex value needs %d bits, limit %d", x.BitLen(), n)
+	}
+	return FromBig(x, n), nil
+}
+
+// Hex renders v as a lowercase hexadecimal string without a 0x prefix.
+func (v Vec) Hex() string {
+	return v.Big().Text(16)
+}
+
+// String renders v MSB-first as a binary string, for debugging and
+// waveform annotations.
+func (v Vec) String() string {
+	var b strings.Builder
+	b.Grow(len(v))
+	for i := len(v) - 1; i >= 0; i-- {
+		b.WriteByte('0' + byte(v[i]&1))
+	}
+	if b.Len() == 0 {
+		return "0"
+	}
+	return b.String()
+}
+
+// Clone returns an independent copy of v.
+func (v Vec) Clone() Vec {
+	w := make(Vec, len(v))
+	copy(w, v)
+	return w
+}
+
+// Resize returns a copy of v with exactly n bits, zero-extending or
+// truncating at the most-significant end. Truncating a set bit panics,
+// because it means the caller is silently discarding value.
+func (v Vec) Resize(n int) Vec {
+	w := New(n)
+	for i, b := range v {
+		if i >= n {
+			if b != 0 {
+				panic(fmt.Sprintf("bits: Resize(%d) drops set bit at index %d", n, i))
+			}
+			continue
+		}
+		w[i] = b
+	}
+	return w
+}
+
+// Bit returns the i-th bit, treating indices beyond the vector as zero.
+// Negative indices panic.
+func (v Vec) Bit(i int) Bit {
+	if i < 0 {
+		panic(fmt.Sprintf("bits: negative index %d", i))
+	}
+	if i >= len(v) {
+		return 0
+	}
+	return v[i] & 1
+}
+
+// SetBit sets the i-th bit to b (0 or 1). The index must be in range.
+func (v Vec) SetBit(i int, b Bit) {
+	if b > 1 {
+		panic(fmt.Sprintf("bits: invalid bit value %d", b))
+	}
+	v[i] = b
+}
+
+// IsZero reports whether every bit of v is zero.
+func (v Vec) IsZero() bool {
+	for _, b := range v {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// OnesCount returns the Hamming weight of v.
+func (v Vec) OnesCount() int {
+	n := 0
+	for _, b := range v {
+		if b&1 == 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// BitLen returns the index of the highest set bit plus one (0 for zero).
+func (v Vec) BitLen() int {
+	for i := len(v) - 1; i >= 0; i-- {
+		if v[i]&1 == 1 {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// ShrInPlace shifts v right by one bit (dividing by two) and fills the
+// most-significant position with fill. This mirrors the MMMC's X register,
+// which shifts right each MUL2 state with a zero fill.
+func (v Vec) ShrInPlace(fill Bit) {
+	if fill > 1 {
+		panic(fmt.Sprintf("bits: invalid fill bit %d", fill))
+	}
+	if len(v) == 0 {
+		return
+	}
+	copy(v, v[1:])
+	v[len(v)-1] = fill
+}
+
+// Shl returns v shifted left by k bits in a vector widened by k.
+func (v Vec) Shl(k int) Vec {
+	if k < 0 {
+		panic(fmt.Sprintf("bits: negative shift %d", k))
+	}
+	w := New(len(v) + k)
+	copy(w[k:], v)
+	return w
+}
+
+// Equal reports whether a and b denote the same value (ignoring length:
+// missing high bits are zero).
+func Equal(a, b Vec) bool {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a.Bit(i) != b.Bit(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Cmp compares the values of a and b, returning -1, 0 or +1.
+func Cmp(a, b Vec) int {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	for i := n - 1; i >= 0; i-- {
+		ab, bb := a.Bit(i), b.Bit(i)
+		switch {
+		case ab < bb:
+			return -1
+		case ab > bb:
+			return +1
+		}
+	}
+	return 0
+}
+
+// Add returns a + b as a vector one bit wider than the wider input,
+// computed with a ripple-carry chain of full adders. The hardware models
+// use this for reference checks; it deliberately follows the same
+// FA recurrence as the netlists.
+func Add(a, b Vec) Vec {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := New(n + 1)
+	var carry Bit
+	for i := 0; i < n; i++ {
+		s, c := FullAdd(a.Bit(i), b.Bit(i), carry)
+		out[i] = s
+		carry = c
+	}
+	out[n] = carry
+	return out
+}
+
+// Sub returns a - b and whether the subtraction borrowed (i.e. a < b).
+// The result has the same width as a.
+func Sub(a, b Vec) (diff Vec, borrow Bit) {
+	diff = New(len(a))
+	for i := range diff {
+		d := int(a.Bit(i)) - int(b.Bit(i)) - int(borrow)
+		if d < 0 {
+			d += 2
+			borrow = 1
+		} else {
+			borrow = 0
+		}
+		diff[i] = Bit(d)
+	}
+	return diff, borrow
+}
+
+// FullAdd is a behavioural full adder: sum and carry of a + b + cin.
+// It is the single source of truth for FA semantics; the gate-level FA in
+// internal/logic is tested against it exhaustively.
+func FullAdd(a, b, cin Bit) (sum, cout Bit) {
+	checkBit(a)
+	checkBit(b)
+	checkBit(cin)
+	t := a + b + cin
+	return t & 1, t >> 1
+}
+
+// HalfAdd is a behavioural half adder: sum and carry of a + b.
+func HalfAdd(a, b Bit) (sum, cout Bit) {
+	checkBit(a)
+	checkBit(b)
+	t := a + b
+	return t & 1, t >> 1
+}
+
+func checkBit(b Bit) {
+	if b > 1 {
+		panic(fmt.Sprintf("bits: invalid bit value %d", b))
+	}
+}

@@ -1,0 +1,306 @@
+package bits
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNew(t *testing.T) {
+	v := New(17)
+	if len(v) != 17 {
+		t.Fatalf("New(17) has length %d", len(v))
+	}
+	if !v.IsZero() {
+		t.Fatalf("New(17) is not zero: %v", v)
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer expectPanic(t, "New(-1)")
+	New(-1)
+}
+
+func TestFromBigRoundTrip(t *testing.T) {
+	cases := []string{"0", "1", "2", "ff", "100", "deadbeef", "ffffffffffffffff",
+		"123456789abcdef0123456789abcdef"}
+	for _, c := range cases {
+		x, _ := new(big.Int).SetString(c, 16)
+		v := FromBig(x, x.BitLen()+3)
+		if got := v.Big(); got.Cmp(x) != 0 {
+			t.Errorf("round trip %s: got %s", c, got.Text(16))
+		}
+	}
+}
+
+func TestFromBigNegativePanics(t *testing.T) {
+	defer expectPanic(t, "FromBig(-1)")
+	FromBig(big.NewInt(-1), 8)
+}
+
+func TestFromBigOverflowPanics(t *testing.T) {
+	defer expectPanic(t, "FromBig(256, 8)")
+	FromBig(big.NewInt(256), 8)
+}
+
+func TestUint64RoundTrip(t *testing.T) {
+	for _, x := range []uint64{0, 1, 2, 3, 0xff, 0xdeadbeef, 1 << 63, ^uint64(0)} {
+		v := FromUint64(x, 64)
+		if got := v.Uint64(); got != x {
+			t.Errorf("Uint64 round trip %#x: got %#x", x, got)
+		}
+	}
+}
+
+func TestUint64OverflowPanics(t *testing.T) {
+	v := New(70)
+	v[69] = 1
+	defer expectPanic(t, "Uint64 of 70-bit value")
+	v.Uint64()
+}
+
+func TestFromHex(t *testing.T) {
+	v, err := FromHex("0xAB", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Uint64() != 0xab {
+		t.Fatalf("FromHex(0xAB) = %#x", v.Uint64())
+	}
+	if _, err := FromHex("xyz", 8); err == nil {
+		t.Error("FromHex(xyz) did not fail")
+	}
+	if _, err := FromHex("1ff", 8); err == nil {
+		t.Error("FromHex overflow did not fail")
+	}
+	v, err = FromHex("ff", -1)
+	if err != nil || len(v) != 8 {
+		t.Errorf("FromHex auto-size: len=%d err=%v", len(v), err)
+	}
+	v, err = FromHex("0", -1)
+	if err != nil || len(v) != 1 {
+		t.Errorf("FromHex auto-size zero: len=%d err=%v", len(v), err)
+	}
+}
+
+func TestHexAndString(t *testing.T) {
+	v := FromUint64(0b1011, 6)
+	if v.Hex() != "b" {
+		t.Errorf("Hex = %q", v.Hex())
+	}
+	if v.String() != "001011" {
+		t.Errorf("String = %q", v.String())
+	}
+	if (Vec{}).String() != "0" {
+		t.Errorf("empty String = %q", (Vec{}).String())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := FromUint64(5, 4)
+	w := v.Clone()
+	w[0] = 0
+	if v[0] != 1 {
+		t.Fatal("Clone is not independent")
+	}
+}
+
+func TestResize(t *testing.T) {
+	v := FromUint64(5, 4)
+	w := v.Resize(8)
+	if w.Uint64() != 5 || len(w) != 8 {
+		t.Fatalf("Resize widen: %v", w)
+	}
+	w = v.Resize(3)
+	if w.Uint64() != 5 || len(w) != 3 {
+		t.Fatalf("Resize narrow: %v", w)
+	}
+}
+
+func TestResizeDropPanics(t *testing.T) {
+	v := FromUint64(8, 4)
+	defer expectPanic(t, "Resize dropping set bit")
+	v.Resize(3)
+}
+
+func TestBitOutOfRange(t *testing.T) {
+	v := FromUint64(1, 2)
+	if v.Bit(100) != 0 {
+		t.Error("Bit beyond length should be 0")
+	}
+	defer expectPanic(t, "Bit(-1)")
+	v.Bit(-1)
+}
+
+func TestSetBit(t *testing.T) {
+	v := New(4)
+	v.SetBit(2, 1)
+	if v.Uint64() != 4 {
+		t.Fatalf("SetBit: %v", v)
+	}
+	defer expectPanic(t, "SetBit(…, 2)")
+	v.SetBit(0, 2)
+}
+
+func TestOnesCountAndBitLen(t *testing.T) {
+	v := FromUint64(0b101100, 10)
+	if v.OnesCount() != 3 {
+		t.Errorf("OnesCount = %d", v.OnesCount())
+	}
+	if v.BitLen() != 6 {
+		t.Errorf("BitLen = %d", v.BitLen())
+	}
+	if New(5).BitLen() != 0 {
+		t.Error("BitLen of zero != 0")
+	}
+}
+
+func TestShrInPlace(t *testing.T) {
+	v := FromUint64(0b1101, 4)
+	v.ShrInPlace(0)
+	if v.Uint64() != 0b0110 {
+		t.Fatalf("ShrInPlace: %v", v)
+	}
+	v.ShrInPlace(1)
+	if v.Uint64() != 0b1011 {
+		t.Fatalf("ShrInPlace fill=1: %v", v)
+	}
+	empty := Vec{}
+	empty.ShrInPlace(0) // must not panic
+}
+
+func TestShl(t *testing.T) {
+	v := FromUint64(0b101, 3)
+	w := v.Shl(2)
+	if w.Uint64() != 0b10100 || len(w) != 5 {
+		t.Fatalf("Shl: %v", w)
+	}
+}
+
+func TestEqualAndCmp(t *testing.T) {
+	a := FromUint64(5, 8)
+	b := FromUint64(5, 3)
+	if !Equal(a, b) {
+		t.Error("Equal ignores width")
+	}
+	if Cmp(a, b) != 0 {
+		t.Error("Cmp equal values != 0")
+	}
+	c := FromUint64(6, 3)
+	if Cmp(a, c) != -1 || Cmp(c, a) != 1 {
+		t.Error("Cmp ordering wrong")
+	}
+}
+
+func TestAddMatchesBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		x := new(big.Int).Rand(rng, new(big.Int).Lsh(oneBig, 96))
+		y := new(big.Int).Rand(rng, new(big.Int).Lsh(oneBig, 64))
+		got := Add(FromBig(x, 96), FromBig(y, 64)).Big()
+		want := new(big.Int).Add(x, y)
+		if got.Cmp(want) != 0 {
+			t.Fatalf("Add(%s,%s) = %s, want %s", x, y, got, want)
+		}
+	}
+}
+
+func TestSubMatchesBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		x := new(big.Int).Rand(rng, new(big.Int).Lsh(oneBig, 80))
+		y := new(big.Int).Rand(rng, new(big.Int).Lsh(oneBig, 80))
+		diff, borrow := Sub(FromBig(x, 80), FromBig(y, 80))
+		if x.Cmp(y) >= 0 {
+			if borrow != 0 {
+				t.Fatalf("Sub(%s,%s) borrowed unexpectedly", x, y)
+			}
+			want := new(big.Int).Sub(x, y)
+			if diff.Big().Cmp(want) != 0 {
+				t.Fatalf("Sub mismatch: got %s want %s", diff.Big(), want)
+			}
+		} else if borrow != 1 {
+			t.Fatalf("Sub(%s,%s) should borrow", x, y)
+		}
+	}
+}
+
+func TestFullAddExhaustive(t *testing.T) {
+	for a := Bit(0); a <= 1; a++ {
+		for b := Bit(0); b <= 1; b++ {
+			for c := Bit(0); c <= 1; c++ {
+				sum, cout := FullAdd(a, b, c)
+				if total := a + b + c; sum != total&1 || cout != total>>1 {
+					t.Errorf("FullAdd(%d,%d,%d) = %d,%d", a, b, c, sum, cout)
+				}
+			}
+		}
+	}
+}
+
+func TestHalfAddExhaustive(t *testing.T) {
+	for a := Bit(0); a <= 1; a++ {
+		for b := Bit(0); b <= 1; b++ {
+			sum, cout := HalfAdd(a, b)
+			if total := a + b; sum != total&1 || cout != total>>1 {
+				t.Errorf("HalfAdd(%d,%d) = %d,%d", a, b, sum, cout)
+			}
+		}
+	}
+}
+
+func TestFullAddInvalidPanics(t *testing.T) {
+	defer expectPanic(t, "FullAdd(2,0,0)")
+	FullAdd(2, 0, 0)
+}
+
+// Property: round-tripping any uint64 through Vec preserves the value,
+// along with BitLen and OnesCount agreeing with math/bits semantics.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(x uint64) bool {
+		v := FromUint64(x, 64)
+		return v.Uint64() == x && v.Big().Uint64() == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Add is commutative and agrees with native addition on values
+// that cannot overflow.
+func TestQuickAddCommutes(t *testing.T) {
+	f := func(x, y uint32) bool {
+		a, b := FromUint64(uint64(x), 32), FromUint64(uint64(y), 32)
+		ab, ba := Add(a, b), Add(b, a)
+		return Equal(ab, ba) && ab.Uint64() == uint64(x)+uint64(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Sub then Add restores the minuend when no borrow occurred.
+func TestQuickSubAddInverse(t *testing.T) {
+	f := func(x, y uint32) bool {
+		if x < y {
+			x, y = y, x
+		}
+		a, b := FromUint64(uint64(x), 32), FromUint64(uint64(y), 32)
+		diff, borrow := Sub(a, b)
+		if borrow != 0 {
+			return false
+		}
+		return Add(diff, b).Uint64() == uint64(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func expectPanic(t *testing.T, what string) {
+	t.Helper()
+	if recover() == nil {
+		t.Errorf("%s did not panic", what)
+	}
+}

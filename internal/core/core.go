@@ -1,0 +1,190 @@
+// Package core is the single import point for the paper's primary
+// contribution: a systolic-array Montgomery modular multiplier without
+// final subtraction, with its modular exponentiator, at every fidelity
+// level the repository provides —
+//
+//	mathematical   Algorithm 2 over math/big          (internal/mont)
+//	cycle-accurate the MMMC of Fig. 3/4               (internal/mmmc)
+//	gate-accurate  the netlist of Figs. 1/2           (internal/systolic)
+//	technology     Virtex-E slices and clock period   (internal/fpga)
+//
+// The root package of the module re-exports these types; applications
+// (internal/rsa, internal/ecc) and the benchmark harness build on them.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"repro/internal/bits"
+	"repro/internal/expo"
+	"repro/internal/fpga"
+	"repro/internal/logic"
+	"repro/internal/mmmc"
+	"repro/internal/mont"
+	"repro/internal/systolic"
+)
+
+// Option configures a Multiplier.
+type Option func(*config)
+
+type config struct {
+	simulate bool
+	variant  systolic.Variant
+}
+
+// WithSimulation routes every Montgomery product through the
+// cycle-accurate MMM circuit instead of the reference arithmetic.
+// Results are identical; cycle counts become measured quantities.
+func WithSimulation() Option { return func(c *config) { c.simulate = true } }
+
+// WithVariant selects the array variant for simulation: Guarded (the
+// default, correct for all operands < 2N) or Faithful (the paper's exact
+// Fig. 1d cell, subject to the documented y + N ≤ 2^(l+1) condition).
+func WithVariant(v systolic.Variant) Option { return func(c *config) { c.variant = v } }
+
+// Multiplier is a Montgomery modular multiplier for one odd modulus.
+type Multiplier struct {
+	ctx     *mont.Ctx
+	circuit *mmmc.Circuit
+	nVec    bits.Vec
+
+	// Muls counts Montgomery products; Cycles accumulates simulated
+	// clock cycles (simulation mode only).
+	Muls   int
+	Cycles int
+}
+
+// NewMultiplier prepares a multiplier for the odd modulus n ≥ 3.
+func NewMultiplier(n *big.Int, opts ...Option) (*Multiplier, error) {
+	cfg := config{variant: systolic.Guarded}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ctx, err := mont.NewCtx(n)
+	if err != nil {
+		return nil, err
+	}
+	m := &Multiplier{ctx: ctx}
+	if cfg.simulate {
+		c, err := mmmc.New(ctx.L, cfg.variant)
+		if err != nil {
+			return nil, err
+		}
+		m.circuit = c
+		m.nVec = bits.FromBig(ctx.N, ctx.L)
+	}
+	return m, nil
+}
+
+// L returns the modulus bit length.
+func (m *Multiplier) L() int { return m.ctx.L }
+
+// N returns (a copy of) the modulus.
+func (m *Multiplier) N() *big.Int { return new(big.Int).Set(m.ctx.N) }
+
+// R returns the Montgomery parameter 2^(l+2).
+func (m *Multiplier) R() *big.Int { return new(big.Int).Set(m.ctx.R) }
+
+// Ctx exposes the underlying Montgomery context.
+func (m *Multiplier) Ctx() *mont.Ctx { return m.ctx }
+
+// Simulated reports whether products run through the MMM circuit.
+func (m *Multiplier) Simulated() bool { return m.circuit != nil }
+
+// CyclesPerMont returns the clock cycles one Montgomery product takes on
+// the circuit: 3l + 4.
+func (m *Multiplier) CyclesPerMont() int { return 3*m.ctx.L + 4 }
+
+// Mont computes the Montgomery product x·y·R⁻¹ mod 2N for operands in
+// [0, 2N-1]. The result is again in [0, 2N-1] and may be fed straight
+// back — no reduction ever happens, the paper's central property.
+func (m *Multiplier) Mont(x, y *big.Int) (*big.Int, error) {
+	if x.Sign() < 0 || x.Cmp(m.ctx.N2) >= 0 || y.Sign() < 0 || y.Cmp(m.ctx.N2) >= 0 {
+		return nil, fmt.Errorf("core: operands must be in [0, 2N-1]")
+	}
+	m.Muls++
+	if m.circuit == nil {
+		return m.ctx.Mul(x, y), nil
+	}
+	l := m.ctx.L
+	res, cycles, err := m.circuit.Run(bits.FromBig(x, l+1), bits.FromBig(y, l+1), m.nVec)
+	if err != nil {
+		return nil, err
+	}
+	m.Cycles += cycles
+	return res.Big(), nil
+}
+
+// MulMod computes the plain modular product x·y mod N for x, y in
+// [0, N-1], performing the domain conversions internally (two Montgomery
+// products: one by R² mod N, one by y... precisely Mont(Mont(x, R²), y)
+// followed by canonicalization).
+func (m *Multiplier) MulMod(x, y *big.Int) (*big.Int, error) {
+	if x.Sign() < 0 || x.Cmp(m.ctx.N) >= 0 || y.Sign() < 0 || y.Cmp(m.ctx.N) >= 0 {
+		return nil, errors.New("core: MulMod operands must be in [0, N-1]")
+	}
+	xr, err := m.Mont(x, m.ctx.RR)
+	if err != nil {
+		return nil, err
+	}
+	p, err := m.Mont(xr, y)
+	if err != nil {
+		return nil, err
+	}
+	return m.ctx.Reduce(p), nil
+}
+
+// ToMont and FromMont expose the domain conversions.
+func (m *Multiplier) ToMont(x *big.Int) (*big.Int, error) { return m.Mont(x, m.ctx.RR) }
+
+// FromMont strips the R factor: Mont(t, 1), canonicalized to [0, N).
+func (m *Multiplier) FromMont(t *big.Int) (*big.Int, error) {
+	v, err := m.Mont(t, big.NewInt(1))
+	if err != nil {
+		return nil, err
+	}
+	return m.ctx.Reduce(v), nil
+}
+
+// NewExponentiator returns the paper's modular exponentiator over the
+// same modulus; simulate selects the cycle-accurate path.
+func NewExponentiator(n *big.Int, simulate bool) (*expo.Exponentiator, error) {
+	mode := expo.Model
+	if simulate {
+		mode = expo.Simulate
+	}
+	return expo.New(n, mode)
+}
+
+// HardwareReport summarizes the synthesized circuit for a bit length:
+// the data behind one row of the paper's Table 2.
+type HardwareReport struct {
+	L            int
+	Gates        logic.Census
+	Mapping      fpga.MapResult
+	CyclesPerMul int
+	TMMMUs       float64
+}
+
+// Hardware builds the full gate-level MMMC for bit length l (the
+// paper's Faithful cells), maps it onto the Virtex-E model and reports
+// area and timing.
+func Hardware(l int) (HardwareReport, error) {
+	nl := logic.New()
+	if _, err := mmmc.BuildNetlist(nl, l, systolic.Faithful); err != nil {
+		return HardwareReport{}, err
+	}
+	mr, err := fpga.VirtexE.Map(nl)
+	if err != nil {
+		return HardwareReport{}, err
+	}
+	return HardwareReport{
+		L:            l,
+		Gates:        nl.Census(),
+		Mapping:      mr,
+		CyclesPerMul: 3*l + 4,
+		TMMMUs:       float64(3*l+4) * mr.ClockPeriodNs / 1000,
+	}, nil
+}

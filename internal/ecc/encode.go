@@ -1,0 +1,162 @@
+package ecc
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// SEC1 point encoding: the wire format every ECC deployment speaks.
+// Uncompressed (0x04 ‖ X ‖ Y) and compressed (0x02/0x03 ‖ X) forms, with
+// decompression via the Tonelli–Shanks square root computed — like every
+// other modular operation here — through the Montgomery exponentiator.
+
+// byteLen returns the field element encoding length.
+func (c *Curve) byteLen() int { return (c.P.BitLen() + 7) / 8 }
+
+// Marshal encodes an affine point uncompressed (0x04 form). The point at
+// infinity encodes as the single byte 0x00, as in SEC1 §2.3.3.
+func (c *Curve) Marshal(pt *Point) []byte {
+	x, y, ok := c.Affine(pt)
+	if !ok {
+		return []byte{0}
+	}
+	bl := c.byteLen()
+	out := make([]byte, 1+2*bl)
+	out[0] = 4
+	x.FillBytes(out[1 : 1+bl])
+	y.FillBytes(out[1+bl:])
+	return out
+}
+
+// MarshalCompressed encodes an affine point compressed (0x02/0x03 form).
+func (c *Curve) MarshalCompressed(pt *Point) []byte {
+	x, y, ok := c.Affine(pt)
+	if !ok {
+		return []byte{0}
+	}
+	bl := c.byteLen()
+	out := make([]byte, 1+bl)
+	out[0] = byte(2 + y.Bit(0))
+	x.FillBytes(out[1:])
+	return out
+}
+
+// Unmarshal decodes either SEC1 form back to a validated curve point.
+func (c *Curve) Unmarshal(data []byte) (*Point, error) {
+	if len(data) == 0 {
+		return nil, errors.New("ecc: empty encoding")
+	}
+	bl := c.byteLen()
+	switch data[0] {
+	case 0:
+		if len(data) != 1 {
+			return nil, errors.New("ecc: malformed infinity encoding")
+		}
+		return c.Infinity(), nil
+	case 4:
+		if len(data) != 1+2*bl {
+			return nil, fmt.Errorf("ecc: uncompressed encoding needs %d bytes, got %d", 1+2*bl, len(data))
+		}
+		x := new(big.Int).SetBytes(data[1 : 1+bl])
+		y := new(big.Int).SetBytes(data[1+bl:])
+		return c.NewPoint(x, y)
+	case 2, 3:
+		if len(data) != 1+bl {
+			return nil, fmt.Errorf("ecc: compressed encoding needs %d bytes, got %d", 1+bl, len(data))
+		}
+		x := new(big.Int).SetBytes(data[1:])
+		if x.Cmp(c.P) >= 0 {
+			return nil, errors.New("ecc: x out of range")
+		}
+		// y² = x³ + ax + b
+		rhs := new(big.Int).Exp(x, big.NewInt(3), c.P)
+		ax := new(big.Int).Mul(c.A, x)
+		rhs.Add(rhs, ax)
+		rhs.Add(rhs, c.B)
+		rhs.Mod(rhs, c.P)
+		y, err := c.SqrtMod(rhs)
+		if err != nil {
+			return nil, err
+		}
+		if y.Bit(0) != uint(data[0]&1) {
+			y.Sub(c.P, y)
+		}
+		return c.NewPoint(x, y)
+	default:
+		return nil, fmt.Errorf("ecc: unknown encoding tag %#x", data[0])
+	}
+}
+
+// SqrtMod computes a square root of a mod P (P odd prime), or errors if
+// a is a non-residue. The p ≡ 3 (mod 4) fast path and the general
+// Tonelli–Shanks both run their exponentiations through the Montgomery
+// core.
+func (c *Curve) SqrtMod(a *big.Int) (*big.Int, error) {
+	a = new(big.Int).Mod(a, c.P)
+	if a.Sign() == 0 {
+		return big.NewInt(0), nil
+	}
+	exp := func(base, e *big.Int) *big.Int {
+		r, _, err := c.ctx.Exp(new(big.Int).Mod(base, c.P), e)
+		if err != nil {
+			panic(fmt.Sprintf("ecc: exponentiation failed: %v", err))
+		}
+		return r
+	}
+	// Euler criterion.
+	pm1 := new(big.Int).Sub(c.P, big.NewInt(1))
+	half := new(big.Int).Rsh(pm1, 1)
+	if exp(a, half).Cmp(big.NewInt(1)) != 0 {
+		return nil, errors.New("ecc: not a quadratic residue")
+	}
+	if c.P.Bit(0) == 1 && c.P.Bit(1) == 1 { // p ≡ 3 (mod 4)
+		e := new(big.Int).Add(c.P, big.NewInt(1))
+		e.Rsh(e, 2)
+		return exp(a, e), nil
+	}
+	// Tonelli–Shanks: p-1 = q·2^s with q odd.
+	q := new(big.Int).Set(pm1)
+	s := 0
+	for q.Bit(0) == 0 {
+		q.Rsh(q, 1)
+		s++
+	}
+	// Find a non-residue z.
+	z := big.NewInt(2)
+	for exp(z, half).Cmp(pm1) != 0 {
+		z.Add(z, big.NewInt(1))
+	}
+	m := s
+	cc := exp(z, q)
+	t := exp(a, q)
+	qp1 := new(big.Int).Add(q, big.NewInt(1))
+	qp1.Rsh(qp1, 1)
+	r := exp(a, qp1)
+	for t.Cmp(big.NewInt(1)) != 0 {
+		// Find least i with t^(2^i) = 1.
+		i := 0
+		tt := new(big.Int).Set(t)
+		for tt.Cmp(big.NewInt(1)) != 0 {
+			tt.Mul(tt, tt)
+			tt.Mod(tt, c.P)
+			i++
+			if i == m {
+				return nil, errors.New("ecc: Tonelli–Shanks failed")
+			}
+		}
+		b := new(big.Int).Set(cc)
+		for j := 0; j < m-i-1; j++ {
+			b.Mul(b, b)
+			b.Mod(b, c.P)
+		}
+		m = i
+		cc.Mul(b, b)
+		cc.Mod(cc, c.P)
+		t.Mul(t, cc)
+		t.Mod(t, c.P)
+		r.Mul(r, b)
+		r.Mod(r, c.P)
+	}
+	return r, nil
+}

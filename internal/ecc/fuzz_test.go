@@ -1,0 +1,36 @@
+package ecc
+
+import (
+	"testing"
+)
+
+// FuzzUnmarshal feeds arbitrary bytes to the SEC1 decoder: it must never
+// panic, and anything it accepts must re-encode to a point on the curve.
+func FuzzUnmarshal(f *testing.F) {
+	c, err := P256()
+	if err != nil {
+		f.Fatal(err)
+	}
+	g, _ := c.Base()
+	f.Add(c.Marshal(g))
+	f.Add(c.MarshalCompressed(g))
+	f.Add([]byte{0})
+	f.Add([]byte{4, 1, 2, 3})
+	f.Add([]byte{2, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pt, err := c.Unmarshal(data)
+		if err != nil {
+			return
+		}
+		if c.IsInfinity(pt) {
+			return
+		}
+		x, y, ok := c.Affine(pt)
+		if !ok {
+			t.Fatal("accepted point has no affine form")
+		}
+		if !c.IsOnCurve(x, y) {
+			t.Fatalf("accepted point off curve: (%s, %s)", x, y)
+		}
+	})
+}

@@ -1,0 +1,108 @@
+package ecc
+
+import (
+	"errors"
+	"math/big"
+)
+
+// Width-w NAF scalar multiplication: the standard high-speed exponent
+// recoding for curve arithmetic, mirroring what internal/expo's window
+// method does for RSA. A wNAF recoding has at most one nonzero digit in
+// any w consecutive positions, so k·P costs ~bits/(w+1) additions plus
+// the doublings, against ~bits/2 additions for double-and-add.
+
+// wnaf returns the width-w NAF digits of k, least significant first.
+// Digits are odd integers in (-2^(w-1) ... 2^(w-1)) or zero.
+func wnaf(k *big.Int, w int) []int {
+	if k.Sign() < 0 {
+		panic("ecc: negative scalar in wnaf")
+	}
+	var digits []int
+	d := new(big.Int).Set(k)
+	mod := int64(1) << w
+	half := mod >> 1
+	for d.Sign() > 0 {
+		if d.Bit(0) == 1 {
+			// r = d mods 2^w (signed residue in (-2^(w-1), 2^(w-1)])
+			r := int64(0)
+			for i := 0; i < w; i++ {
+				r |= int64(d.Bit(i)) << i
+			}
+			if r >= half {
+				r -= mod
+			}
+			digits = append(digits, int(r))
+			if r >= 0 {
+				d.Sub(d, big.NewInt(r))
+			} else {
+				d.Add(d, big.NewInt(-r))
+			}
+		} else {
+			digits = append(digits, 0)
+		}
+		d.Rsh(d, 1)
+	}
+	return digits
+}
+
+// Neg returns -pt (negating the Jacobian Y coordinate).
+func (c *Curve) Neg(pt *Point) *Point {
+	if c.IsInfinity(pt) {
+		return c.Infinity()
+	}
+	return &Point{
+		X: new(big.Int).Set(pt.X),
+		Y: c.sub(big.NewInt(0), pt.Y),
+		Z: new(big.Int).Set(pt.Z),
+	}
+}
+
+// ScalarMultWNAF returns k·pt using width-w NAF recoding with a
+// precomputed odd-multiples table {P, 3P, 5P, …, (2^(w-1)-1)P}.
+func (c *Curve) ScalarMultWNAF(pt *Point, k *big.Int, w int) (*Point, error) {
+	if k.Sign() < 0 {
+		return nil, errors.New("ecc: negative scalar")
+	}
+	if w < 2 || w > 8 {
+		return nil, errors.New("ecc: wNAF width must be in [2, 8]")
+	}
+	if k.Sign() == 0 {
+		return c.Infinity(), nil
+	}
+	// Precompute odd multiples.
+	tableSize := 1 << (w - 2) // entries for 1, 3, 5, …
+	table := make([]*Point, tableSize)
+	table[0] = &Point{X: new(big.Int).Set(pt.X), Y: new(big.Int).Set(pt.Y), Z: new(big.Int).Set(pt.Z)}
+	if tableSize > 1 {
+		twoP := c.Double(pt)
+		for i := 1; i < tableSize; i++ {
+			table[i] = c.Add(table[i-1], twoP)
+		}
+	}
+	digits := wnaf(k, w)
+	acc := c.Infinity()
+	for i := len(digits) - 1; i >= 0; i-- {
+		acc = c.Double(acc)
+		d := digits[i]
+		if d == 0 {
+			continue
+		}
+		if d > 0 {
+			acc = c.Add(acc, table[(d-1)/2])
+		} else {
+			acc = c.Add(acc, c.Neg(table[(-d-1)/2]))
+		}
+	}
+	return acc, nil
+}
+
+// P384 returns the NIST P-384 curve (FIPS 186-4 parameters).
+func P384() (*Curve, error) {
+	p, _ := new(big.Int).SetString("fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffeffffffff0000000000000000ffffffff", 16)
+	b, _ := new(big.Int).SetString("b3312fa7e23ee7e4988e056be3f82d19181d9c6efe8141120314088f5013875ac656398d8a2ed19d2a85c8edd3ec2aef", 16)
+	gx, _ := new(big.Int).SetString("aa87ca22be8b05378eb1c71ef320ad746e1d3b628ba79b9859f741e082542a385502f25dbf55296c3a545e3872760ab7", 16)
+	gy, _ := new(big.Int).SetString("3617de4a96262c6f5d9e98bf9292dc29f8f41dbd289a147ce9da3113b5f0b8c00a60b1ce1d7e819d7a431d7c90ea0e5f", 16)
+	n, _ := new(big.Int).SetString("ffffffffffffffffffffffffffffffffffffffffffffffffc7634d81f4372ddf581a0db248b0a77aecec196accc52973", 16)
+	a := new(big.Int).Sub(p, big.NewInt(3))
+	return NewCurve(p, a, b, gx, gy, n)
+}

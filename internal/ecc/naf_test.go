@@ -1,0 +1,262 @@
+package ecc
+
+import (
+	"crypto/elliptic"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// wNAF recoding invariants: digits reconstruct k, all nonzero digits are
+// odd and within (-2^(w-1), 2^(w-1)), and no w consecutive digits hold
+// two nonzeros.
+func TestWNAFRecoding(t *testing.T) {
+	rng := rand.New(rand.NewSource(241))
+	for _, w := range []int{2, 3, 4, 5} {
+		for trial := 0; trial < 100; trial++ {
+			k := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), 64))
+			digits := wnaf(k, w)
+			acc := new(big.Int)
+			for i := len(digits) - 1; i >= 0; i-- {
+				acc.Lsh(acc, 1)
+				acc.Add(acc, big.NewInt(int64(digits[i])))
+			}
+			if acc.Cmp(k) != 0 {
+				t.Fatalf("w=%d: recoding does not reconstruct k", w)
+			}
+			half := 1 << (w - 1)
+			lastNZ := -w
+			for i, d := range digits {
+				if d == 0 {
+					continue
+				}
+				if d%2 == 0 || d >= half || d <= -half {
+					t.Fatalf("w=%d: invalid digit %d", w, d)
+				}
+				if i-lastNZ < w {
+					t.Fatalf("w=%d: nonzeros too close (%d, %d)", w, lastNZ, i)
+				}
+				lastNZ = i
+			}
+		}
+	}
+}
+
+func TestNeg(t *testing.T) {
+	c := tinyCurve(t)
+	g, _ := c.Base()
+	if !c.IsInfinity(c.Add(g, c.Neg(g))) {
+		t.Error("P + Neg(P) != O")
+	}
+	if !c.IsInfinity(c.Neg(c.Infinity())) {
+		t.Error("Neg(O) != O")
+	}
+}
+
+// wNAF scalar multiplication must agree with double-and-add across
+// widths and scalars, including edge scalars.
+func TestScalarMultWNAFMatches(t *testing.T) {
+	c := tinyCurve(t)
+	g, _ := c.Base()
+	rng := rand.New(rand.NewSource(242))
+	for _, w := range []int{2, 3, 4, 6} {
+		for trial := 0; trial < 40; trial++ {
+			var k *big.Int
+			switch trial {
+			case 0:
+				k = big.NewInt(0)
+			case 1:
+				k = big.NewInt(1)
+			case 2:
+				k = big.NewInt(2)
+			default:
+				k = new(big.Int).Rand(rng, big.NewInt(1<<40))
+			}
+			want, err := c.ScalarMult(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.ScalarMultWNAF(g, k, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !c.Equal(got, want) {
+				t.Fatalf("w=%d k=%s: wNAF disagrees", w, k)
+			}
+		}
+	}
+	if _, err := c.ScalarMultWNAF(g, big.NewInt(-1), 4); err == nil {
+		t.Error("negative scalar accepted")
+	}
+	if _, err := c.ScalarMultWNAF(g, big.NewInt(5), 1); err == nil {
+		t.Error("width 1 accepted")
+	}
+	if _, err := c.ScalarMultWNAF(g, big.NewInt(5), 9); err == nil {
+		t.Error("width 9 accepted")
+	}
+}
+
+// P-384 cross-check against crypto/elliptic, via wNAF.
+func TestP384AgainstStdlib(t *testing.T) {
+	c, err := P384()
+	if err != nil {
+		t.Fatal(err)
+	}
+	std := elliptic.P384()
+	rng := rand.New(rand.NewSource(243))
+	g, err := c.Base()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 2; trial++ {
+		k := new(big.Int).Rand(rng, c.Order)
+		if k.Sign() == 0 {
+			k.SetInt64(1)
+		}
+		pt, err := c.ScalarMultWNAF(g, k, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gx, gy, ok := c.Affine(pt)
+		if !ok {
+			t.Fatal("unexpected infinity")
+		}
+		wx, wy := std.ScalarBaseMult(k.Bytes())
+		if gx.Cmp(wx) != 0 || gy.Cmp(wy) != 0 {
+			t.Fatalf("P-384 wNAF mismatch")
+		}
+	}
+}
+
+// SEC1 round trips, compressed and uncompressed, plus stdlib interop.
+func TestMarshalRoundTrip(t *testing.T) {
+	for _, mk := range []func() (*Curve, error){P256, P384} {
+		c, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(244))
+		k := new(big.Int).Rand(rng, c.Order)
+		pt, err := c.ScalarBaseMult(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unc := c.Marshal(pt)
+		back, err := c.Unmarshal(unc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.Equal(back, pt) {
+			t.Fatal("uncompressed round trip failed")
+		}
+		comp := c.MarshalCompressed(pt)
+		back2, err := c.Unmarshal(comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.Equal(back2, pt) {
+			t.Fatal("compressed round trip failed")
+		}
+		if len(comp) >= len(unc) {
+			t.Error("compression did not compress")
+		}
+	}
+}
+
+func TestMarshalInteropWithStdlib(t *testing.T) {
+	c, _ := P256()
+	rng := rand.New(rand.NewSource(245))
+	k := new(big.Int).Rand(rng, c.Order)
+	pt, _ := c.ScalarBaseMult(k)
+	ours := c.Marshal(pt)
+	x, y := elliptic.P256().ScalarBaseMult(k.Bytes())
+	std := elliptic.Marshal(elliptic.P256(), x, y)
+	if string(ours) != string(std) {
+		t.Fatal("SEC1 encoding differs from crypto/elliptic")
+	}
+	stdComp := elliptic.MarshalCompressed(elliptic.P256(), x, y)
+	oursComp := c.MarshalCompressed(pt)
+	if string(oursComp) != string(stdComp) {
+		t.Fatal("compressed encoding differs from crypto/elliptic")
+	}
+}
+
+func TestUnmarshalValidation(t *testing.T) {
+	c := tinyCurve(t)
+	if _, err := c.Unmarshal(nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := c.Unmarshal([]byte{9, 1, 2}); err == nil {
+		t.Error("unknown tag accepted")
+	}
+	if _, err := c.Unmarshal([]byte{4, 1}); err == nil {
+		t.Error("short uncompressed accepted")
+	}
+	if _, err := c.Unmarshal([]byte{2}); err == nil {
+		t.Error("short compressed accepted")
+	}
+	if _, err := c.Unmarshal([]byte{0, 0}); err == nil {
+		t.Error("long infinity accepted")
+	}
+	inf, err := c.Unmarshal([]byte{0})
+	if err != nil || !c.IsInfinity(inf) {
+		t.Error("infinity decoding broken")
+	}
+	if string(c.Marshal(c.Infinity())) != "\x00" {
+		t.Error("infinity encoding broken")
+	}
+	// x with no square root on the curve: find one.
+	found := false
+	for x := int64(0); x < 97 && !found; x++ {
+		rhs := new(big.Int).Exp(big.NewInt(x), big.NewInt(3), c.P)
+		rhs.Add(rhs, new(big.Int).Mul(c.A, big.NewInt(x)))
+		rhs.Add(rhs, c.B)
+		rhs.Mod(rhs, c.P)
+		if _, err := c.SqrtMod(rhs); err != nil {
+			buf := append([]byte{2}, make([]byte, c.byteLen())...)
+			buf[len(buf)-1] = byte(x)
+			if _, err := c.Unmarshal(buf); err == nil {
+				t.Error("non-residue x accepted")
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Skip("every x on this tiny curve had a residue")
+	}
+}
+
+// SqrtMod over both prime classes: 97 ≡ 1 (mod 4) exercises full
+// Tonelli–Shanks; P-256's prime ≡ 3 (mod 4) exercises the fast path.
+func TestSqrtMod(t *testing.T) {
+	c := tinyCurve(t) // p = 97 ≡ 1 (mod 4)
+	for v := int64(0); v < 97; v++ {
+		sq := new(big.Int).Mul(big.NewInt(v), big.NewInt(v))
+		sq.Mod(sq, c.P)
+		r, err := c.SqrtMod(sq)
+		if err != nil {
+			t.Fatalf("sqrt(%d²) failed: %v", v, err)
+		}
+		rr := new(big.Int).Mul(r, r)
+		rr.Mod(rr, c.P)
+		if rr.Cmp(sq) != 0 {
+			t.Fatalf("sqrt wrong for %d²", v)
+		}
+	}
+	p256, _ := P256()
+	rng := rand.New(rand.NewSource(246))
+	for trial := 0; trial < 5; trial++ {
+		v := new(big.Int).Rand(rng, p256.P)
+		sq := new(big.Int).Mul(v, v)
+		sq.Mod(sq, p256.P)
+		r, err := p256.SqrtMod(sq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr := new(big.Int).Mul(r, r)
+		rr.Mod(rr, p256.P)
+		if rr.Cmp(sq) != 0 {
+			t.Fatal("P-256 sqrt wrong")
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package ecdsa
+
+import (
+	stdecdsa "crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/sha256"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ecc"
+)
+
+func p256(t *testing.T) *ecc.Curve {
+	t.Helper()
+	c, err := ecc.P256()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	curve := p256(t)
+	rng := rand.New(rand.NewSource(191))
+	key, err := GenerateKey(curve, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("systolic arrays compute Montgomery products")
+	r, s, err := Sign(key, msg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(&key.PublicKey, msg, r, s) {
+		t.Fatal("valid signature rejected")
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	curve := p256(t)
+	rng := rand.New(rand.NewSource(192))
+	key, err := GenerateKey(curve, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("original message")
+	r, s, err := Sign(key, msg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Verify(&key.PublicKey, []byte("tampered message"), r, s) {
+		t.Error("tampered message accepted")
+	}
+	rBad := new(big.Int).Add(r, big.NewInt(1))
+	if Verify(&key.PublicKey, msg, rBad, s) {
+		t.Error("tampered r accepted")
+	}
+	sBad := new(big.Int).Add(s, big.NewInt(1))
+	if Verify(&key.PublicKey, msg, r, sBad) {
+		t.Error("tampered s accepted")
+	}
+	// Out-of-range components.
+	if Verify(&key.PublicKey, msg, big.NewInt(0), s) {
+		t.Error("r = 0 accepted")
+	}
+	if Verify(&key.PublicKey, msg, curve.Order, s) {
+		t.Error("r = n accepted")
+	}
+	// Wrong key.
+	other, _ := GenerateKey(curve, rng)
+	if Verify(&other.PublicKey, msg, r, s) {
+		t.Error("signature accepted under the wrong key")
+	}
+}
+
+// Signatures produced by this package must verify under the standard
+// library's ECDSA (same curve, same hash) — full wire compatibility.
+func TestInteropWithStdlib(t *testing.T) {
+	curve := p256(t)
+	rng := rand.New(rand.NewSource(193))
+	key, err := GenerateKey(curve, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("interoperability check")
+	r, s, err := Sign(key, msg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdPub := &stdecdsa.PublicKey{Curve: elliptic.P256(), X: key.Qx, Y: key.Qy}
+	digest := sha256.Sum256(msg)
+	if !stdecdsa.Verify(stdPub, digest[:], r, s) {
+		t.Fatal("crypto/ecdsa rejected our signature")
+	}
+}
+
+// And the converse: stdlib-generated signatures must verify here.
+func TestVerifyStdlibSignature(t *testing.T) {
+	curve := p256(t)
+	stdKey, err := stdecdsa.GenerateKey(elliptic.P256(), deterministicReader{rand.New(rand.NewSource(194))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("from the standard library")
+	digest := sha256.Sum256(msg)
+	r, s, err := stdecdsa.Sign(deterministicReader{rand.New(rand.NewSource(195))}, stdKey, digest[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := &PublicKey{Curve: curve, Qx: stdKey.X, Qy: stdKey.Y}
+	if !Verify(pub, msg, r, s) {
+		t.Fatal("stdlib signature rejected")
+	}
+}
+
+type deterministicReader struct{ r *rand.Rand }
+
+func (d deterministicReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(d.r.Intn(256))
+	}
+	return len(p), nil
+}
+
+func TestGenerateKeyRequiresOrder(t *testing.T) {
+	c, err := ecc.NewCurve(big.NewInt(97), big.NewInt(2), big.NewInt(3),
+		big.NewInt(3), big.NewInt(6), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GenerateKey(c, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("curve without order accepted")
+	}
+}
+
+func TestHashToInt(t *testing.T) {
+	order := new(big.Int).Lsh(big.NewInt(1), 80) // 81-bit order
+	h := make([]byte, 32)
+	for i := range h {
+		h[i] = 0xFF
+	}
+	e := hashToInt(h, order)
+	if e.BitLen() > 81 {
+		t.Errorf("hashToInt produced %d bits for an 81-bit order", e.BitLen())
+	}
+	// Short hash passes through.
+	small := hashToInt([]byte{0x01, 0x02}, order)
+	if small.Int64() != 0x0102 {
+		t.Errorf("short hash: %v", small)
+	}
+}

@@ -1,0 +1,190 @@
+// Package expo implements the paper's modular exponentiator (§4.5):
+// left-to-right square-and-multiply (Algorithm 3) where every
+// multiplication is a Montgomery multiplication through the MMM circuit,
+// with the paper's exact cycle accounting —
+//
+//	pre-processing  (M·R² and the R² constant)   5l + 10 cycles
+//	each square or multiply                       3l + 4  cycles
+//	post-processing (Mont(A, 1))                  l + 2   cycles
+//
+// giving Eq. (10):  3l² + 10l + 12 ≤ T_modexp ≤ 6l² + 14l + 12.
+//
+// Two execution modes are provided. Simulate pushes every multiplication
+// through the cycle-accurate MMMC (internal/mmmc) — the ground truth, at
+// simulation cost O(l²) per multiplication. Model computes the same
+// values with the reference arithmetic (internal/mont) while accounting
+// cycles with the paper's formulas; conformance tests pin the two modes
+// to identical results and identical square/multiply counts, so Model is
+// safe for the large bit lengths of Tables 1 and 2.
+package expo
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"repro/internal/bits"
+	"repro/internal/mmmc"
+	"repro/internal/mont"
+	"repro/internal/systolic"
+)
+
+// Mode selects how multiplications are executed.
+type Mode int
+
+const (
+	// Model computes with reference arithmetic and accounts cycles by
+	// the paper's formulas.
+	Model Mode = iota
+	// Simulate pushes every multiplication through the cycle-accurate
+	// MMM circuit.
+	Simulate
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Model:
+		return "model"
+	case Simulate:
+		return "simulate"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Report describes one modular exponentiation's decomposition and cycle
+// cost.
+type Report struct {
+	L          int
+	Squares    int // squarings (one per exponent bit below the MSB)
+	Multiplies int // conditional multiplies (one per set bit below the MSB)
+
+	// Paper-model cycle accounting (§4.5).
+	PreCycles   int // 5l + 10
+	MulCycles   int // (Squares + Multiplies) · (3l + 4)
+	PostCycles  int // l + 2
+	TotalCycles int // sum of the above
+
+	// SimulatedMulCycles counts the MUL1/MUL2 clock cycles actually
+	// spent inside the simulated MMMC (Simulate mode only; 0 for Model).
+	// Each multiplication measures exactly 3l+4, so this equals
+	// (Squares+Multiplies+2)·(3l+4) — the +2 being the explicit pre- and
+	// post-multiplications.
+	SimulatedMulCycles int
+}
+
+// PaperLowerBound returns 3l²+10l+12, Eq. (10)'s minimum (single-bit
+// exponent of length l under the paper's l-square convention).
+func PaperLowerBound(l int) int { return 3*l*l + 10*l + 12 }
+
+// PaperUpperBound returns 6l²+14l+12, Eq. (10)'s maximum (all-ones
+// exponent).
+func PaperUpperBound(l int) int { return 6*l*l + 14*l + 12 }
+
+// PaperAverageCycles returns the midpoint of Eq. (10), 4.5l²+12l+12 —
+// the balanced-Hamming-weight average behind Table 1.
+func PaperAverageCycles(l int) float64 {
+	return 4.5*float64(l)*float64(l) + 12*float64(l) + 12
+}
+
+// Exponentiator computes modular exponentiations over one modulus.
+type Exponentiator struct {
+	L    int
+	Mode Mode
+
+	ctx     *mont.Ctx
+	circuit *mmmc.Circuit
+	nVec    bits.Vec
+}
+
+// New builds an exponentiator for the odd modulus n. The Simulate mode
+// uses the Guarded array variant, whose correctness holds for every
+// chained operand (see internal/systolic); the paper's cycle counts are
+// unaffected by the guard.
+func New(n *big.Int, mode Mode) (*Exponentiator, error) {
+	ctx, err := mont.NewCtx(n)
+	if err != nil {
+		return nil, err
+	}
+	e := &Exponentiator{L: ctx.L, Mode: mode, ctx: ctx}
+	if mode == Simulate {
+		c, err := mmmc.New(ctx.L, systolic.Guarded)
+		if err != nil {
+			return nil, err
+		}
+		e.circuit = c
+		e.nVec = bits.FromBig(ctx.N, ctx.L)
+	}
+	return e, nil
+}
+
+// Ctx exposes the Montgomery context (for benchmarks and applications).
+func (e *Exponentiator) Ctx() *mont.Ctx { return e.ctx }
+
+// mulSim runs Mont(x, y) through the simulated circuit, accumulating the
+// measured cycle count into the report.
+func (e *Exponentiator) mulSim(x, y *big.Int, rep *Report) (*big.Int, error) {
+	xv := bits.FromBig(x, e.L+1)
+	yv := bits.FromBig(y, e.L+1)
+	res, cycles, err := e.circuit.Run(xv, yv, e.nVec)
+	if err != nil {
+		return nil, err
+	}
+	rep.SimulatedMulCycles += cycles
+	return res.Big(), nil
+}
+
+// ModExp computes m^exp mod N via Algorithm 3 over the MMMC. m must lie
+// in [0, N-1]; exp must be positive.
+func (e *Exponentiator) ModExp(m, exp *big.Int) (*big.Int, Report, error) {
+	rep := Report{L: e.L}
+	if exp.Sign() <= 0 {
+		return nil, rep, errors.New("expo: exponent must be positive")
+	}
+	if m.Sign() < 0 || m.Cmp(e.ctx.N) >= 0 {
+		return nil, rep, errors.New("expo: base must be in [0, N-1]")
+	}
+
+	mul := func(x, y *big.Int) (*big.Int, error) {
+		if e.Mode == Simulate {
+			return e.mulSim(x, y, &rep)
+		}
+		return e.ctx.Mul(x, y), nil
+	}
+
+	// Pre-processing: A = Mont(M, R² mod N) = M·R mod 2N.
+	a, err := mul(m, e.ctx.RR)
+	if err != nil {
+		return nil, rep, err
+	}
+	mr := new(big.Int).Set(a)
+
+	for i := exp.BitLen() - 2; i >= 0; i-- {
+		if a, err = mul(a, a); err != nil {
+			return nil, rep, err
+		}
+		rep.Squares++
+		if exp.Bit(i) == 1 {
+			if a, err = mul(a, mr); err != nil {
+				return nil, rep, err
+			}
+			rep.Multiplies++
+		}
+	}
+
+	// Post-processing: Mont(A, 1) strips the R factor.
+	if a, err = mul(a, big.NewInt(1)); err != nil {
+		return nil, rep, err
+	}
+	if a.Cmp(e.ctx.N) >= 0 {
+		a.Sub(a, e.ctx.N)
+	}
+
+	l := e.L
+	rep.PreCycles = 5*l + 10
+	rep.MulCycles = (rep.Squares + rep.Multiplies) * (3*l + 4)
+	rep.PostCycles = l + 2
+	rep.TotalCycles = rep.PreCycles + rep.MulCycles + rep.PostCycles
+	return a, rep, nil
+}

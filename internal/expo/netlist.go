@@ -1,0 +1,209 @@
+package expo
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/mmmc"
+	"repro/internal/systolic"
+)
+
+// Gate-level modular exponentiator — the paper's §4.5 deliverable as
+// hardware: an embedded MMM circuit, operand registers, an exponent
+// shift register, and a one-hot controller that sequences the
+// pre-multiplication by R² mod N, the MSB-first square-and-multiply
+// loop of Algorithm 3, and the final Mont(A, 1) post-multiplication.
+//
+// Interface: the caller supplies M (the base, < N), E (the exponent,
+// up to l bits), N (the odd modulus) and the host-precomputed constant
+// R² mod N, pulses START, clocks until DONE, and reads M^E mod N from
+// RESULT. The sequencing overhead beyond the paper's idealized
+// accounting is a handful of decision cycles per multiplication
+// (measured by the conformance tests).
+
+// ExpoPorts exposes the primary nets of a gate-level exponentiator.
+type ExpoPorts struct {
+	L int
+
+	// Inputs.
+	Start logic.Signal
+	MBus  []logic.Signal // base, l+1 nets (value < N)
+	EBus  []logic.Signal // exponent, l nets
+	NBus  []logic.Signal // modulus, l nets
+	RRBus []logic.Signal // R² mod N, l+1 nets (host-precomputed)
+
+	// Outputs.
+	Done   logic.Signal
+	Result []logic.Signal // l+1 nets, M^E mod N (may equal N when ≡ 0)
+
+	// Debug visibility.
+	MMMC   *mmmc.NetPorts
+	States map[string]logic.Signal
+}
+
+// BuildExpoNetlist constructs the complete gate-level exponentiator for
+// l-bit moduli around one embedded MMM circuit.
+func BuildExpoNetlist(nl *logic.Netlist, l int, variant systolic.Variant) (*ExpoPorts, error) {
+	if l < 2 {
+		return nil, fmt.Errorf("expo: modulus width must be at least 2, got %d", l)
+	}
+	p := &ExpoPorts{
+		L:     l,
+		Start: nl.Input("ESTART"),
+		MBus:  nl.InputVec("MBUS", l+1),
+		EBus:  nl.InputVec("EBUS", l),
+		NBus:  nl.InputVec("ENBUS", l),
+		RRBus: nl.InputVec("RRBUS", l+1),
+	}
+
+	// ---- One-hot controller ----
+	stateNames := []string{
+		"IDLE", "PRES", "PREW", "SKIP", "CHK",
+		"SQS", "SQW", "MDEC", "MULS", "MULW",
+		"SHIFT", "POSTS", "POSTW", "EOUT",
+	}
+	q := map[string]logic.Signal{}
+	set := map[string]func(logic.Signal){}
+	for i, name := range stateNames {
+		init := uint8(0)
+		if i == 0 {
+			init = 1 // reset into IDLE
+		}
+		q[name], set[name] = nl.FeedbackFF(logic.Const0, init, "st."+name)
+	}
+	p.States = q
+
+	load := nl.AndGate(p.Start, nl.OrGate(q["IDLE"], q["EOUT"]))
+	nl.Name(load, "eload")
+
+	// ---- Operand registers ----
+	mReg := make([]logic.Signal, l+1)
+	rrReg := make([]logic.Signal, l+1)
+	for i := 0; i <= l; i++ {
+		mReg[i] = nl.AddDFFCE(p.MBus[i], load, 0, fmt.Sprintf("Mreg(%d)", i))
+		rrReg[i] = nl.AddDFFCE(p.RRBus[i], load, 0, fmt.Sprintf("RRreg(%d)", i))
+	}
+	nReg := make([]logic.Signal, l)
+	for i := 0; i < l; i++ {
+		nReg[i] = nl.AddDFFCE(p.NBus[i], load, 0, fmt.Sprintf("ENreg(%d)", i))
+	}
+
+	// Bit counter: loads l, decrements on every exponent shift.
+	w := 0
+	for v := l; v > 0; v >>= 1 {
+		w++
+	}
+	cnt := make([]logic.Signal, w)
+	setCnt := make([]func(logic.Signal), w)
+	for i := 0; i < w; i++ {
+		cnt[i], setCnt[i] = nl.FeedbackFF(logic.Const0, 0, fmt.Sprintf("bitcnt(%d)", i))
+	}
+	cntZero := nl.IsZero(cnt)
+	nl.Name(cntZero, "bitcnt-zero")
+	dec := nl.DecrementLogic(cnt)
+
+	// Exponent shift register (MSB-first scan: shift left, zero fill).
+	eQ := make([]logic.Signal, l)
+	setE := make([]func(logic.Signal), l)
+	for i := 0; i < l; i++ {
+		eQ[i], setE[i] = nl.FeedbackFF(logic.Const0, 0, fmt.Sprintf("Ereg(%d)", i))
+	}
+	eTop := eQ[l-1]
+
+	// shifting: SKIP consumes one bit per cycle (including the leading
+	// 1 on its way out); SHIFT consumes the bit just processed.
+	shifting := nl.OrGate(nl.AndGate(q["SKIP"], nl.NotGate(cntZero)), q["SHIFT"])
+	for i := 0; i < l; i++ {
+		low := logic.Const0
+		if i > 0 {
+			low = eQ[i-1]
+		}
+		shifted := nl.Mux2(shifting, low, eQ[i])
+		setE[i](nl.Mux2(load, p.EBus[i], shifted))
+	}
+	for i := 0; i < w; i++ {
+		lBit := logic.Const0
+		if (l>>i)&1 == 1 {
+			lBit = logic.Const1
+		}
+		held := nl.Mux2(shifting, dec[i], cnt[i])
+		setCnt[i](nl.Mux2(load, lBit, held))
+	}
+
+	// ---- Embedded MMM circuit with operand muxes ----
+	// x operand: M during PRE, A otherwise. y operand: RR during PRE,
+	// A during SQ, MR during MUL, the constant 1 during POST.
+	// A and MR are feedback registers latched from the MMMC's RESULT.
+	aReg := make([]logic.Signal, l+1)
+	setA := make([]func(logic.Signal), l+1)
+	mrReg := make([]logic.Signal, l+1)
+	setMR := make([]func(logic.Signal), l+1)
+	for i := 0; i <= l; i++ {
+		aReg[i], setA[i] = nl.FeedbackFF(logic.Const0, 0, fmt.Sprintf("A(%d)", i))
+		mrReg[i], setMR[i] = nl.FeedbackFF(logic.Const0, 0, fmt.Sprintf("MR(%d)", i))
+	}
+
+	mmmcStart := nl.OrTree([]logic.Signal{q["PRES"], q["SQS"], q["MULS"], q["POSTS"]})
+	nl.Name(mmmcStart, "mmmc-start")
+	xbus := make([]logic.Signal, l+1)
+	ybus := make([]logic.Signal, l+1)
+	for i := 0; i <= l; i++ {
+		xbus[i] = nl.Mux2(q["PRES"], mReg[i], aReg[i])
+		yb := nl.OrTree([]logic.Signal{
+			nl.AndGate(q["PRES"], rrReg[i]),
+			nl.AndGate(q["SQS"], aReg[i]),
+			nl.AndGate(q["MULS"], mrReg[i]),
+		})
+		if i == 0 {
+			yb = nl.OrGate(yb, q["POSTS"]) // the constant 1
+		}
+		ybus[i] = yb
+	}
+	mc, err := mmmc.BuildCore(nl, l, variant, mmmcStart, xbus, ybus, nReg)
+	if err != nil {
+		return nil, err
+	}
+	p.MMMC = mc
+	done := mc.Done
+
+	// Register latching from the multiplier.
+	aCE := nl.AndGate(nl.OrTree([]logic.Signal{q["PREW"], q["SQW"], q["MULW"]}), done)
+	mrCE := nl.AndGate(q["PREW"], done)
+	resCE := nl.AndGate(q["POSTW"], done)
+	res := make([]logic.Signal, l+1)
+	for i := 0; i <= l; i++ {
+		setA[i](nl.Mux2(aCE, mc.Result[i], aReg[i]))
+		setMR[i](nl.Mux2(mrCE, mc.Result[i], mrReg[i]))
+		res[i] = nl.AddDFFCE(mc.Result[i], resCE, 0, fmt.Sprintf("ERESULT(%d)", i))
+	}
+	p.Result = res
+
+	// ---- Next-state logic ----
+	nDone := nl.NotGate(done)
+	nStart := nl.NotGate(p.Start)
+	skipStay := nl.AndTree([]logic.Signal{q["SKIP"], nl.NotGate(cntZero), nl.NotGate(eTop)})
+	skipExit := nl.AndTree([]logic.Signal{q["SKIP"], nl.NotGate(cntZero), eTop})
+	skipEmpty := nl.AndGate(q["SKIP"], cntZero)
+
+	set["IDLE"](nl.AndGate(q["IDLE"], nStart))
+	set["PRES"](load)
+	set["PREW"](nl.OrGate(q["PRES"], nl.AndGate(q["PREW"], nDone)))
+	set["SKIP"](nl.OrGate(nl.AndGate(q["PREW"], done), skipStay))
+	set["CHK"](nl.OrGate(skipExit, q["SHIFT"]))
+	set["SQS"](nl.AndGate(q["CHK"], nl.NotGate(cntZero)))
+	set["SQW"](nl.OrGate(q["SQS"], nl.AndGate(q["SQW"], nDone)))
+	set["MDEC"](nl.AndGate(q["SQW"], done))
+	set["MULS"](nl.AndGate(q["MDEC"], eTop))
+	set["MULW"](nl.OrGate(q["MULS"], nl.AndGate(q["MULW"], nDone)))
+	set["SHIFT"](nl.OrGate(nl.AndGate(q["MULW"], done), nl.AndGate(q["MDEC"], nl.NotGate(eTop))))
+	set["POSTS"](nl.OrGate(nl.AndGate(q["CHK"], cntZero), skipEmpty))
+	set["POSTW"](nl.OrGate(q["POSTS"], nl.AndGate(q["POSTW"], nDone)))
+	set["EOUT"](nl.OrGate(nl.AndGate(q["POSTW"], done), nl.AndGate(q["EOUT"], nStart)))
+
+	p.Done = q["EOUT"]
+	nl.MarkOutput(p.Done, "EDONE")
+	for i, r := range res {
+		nl.MarkOutput(r, fmt.Sprintf("EOUT(%d)", i))
+	}
+	return p, nil
+}

@@ -1,0 +1,252 @@
+// Package fpga is the technology model that stands in for the Xilinx
+// synthesis and place-and-route flow the paper used: it maps a gate-level
+// netlist (internal/logic) onto 4-input LUTs, packs LUTs and flip-flops
+// into Virtex-E slices, and estimates the achievable clock period from
+// LUT levels on the critical path.
+//
+// The model is calibrated once against the paper's own Table 2 row for
+// l = 32 on the Xilinx V812E-BG-560-8 (Virtex-E, speed grade -8), then
+// applied uniformly to every width — so the scaling behaviour (linear
+// slices, constant clock period) is a model output, not a per-row fit.
+// EXPERIMENTS.md records model-vs-paper for every row.
+package fpga
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/logic"
+)
+
+// Tech holds the calibrated device timing/packing constants.
+type Tech struct {
+	Name string
+
+	// Timing, in nanoseconds.
+	TClkQ   float64 // flip-flop clock-to-out
+	TSetup  float64 // flip-flop setup
+	TLUT    float64 // one LUT4 logic delay
+	TNet    float64 // average routing delay per LUT level
+	TNetFix float64 // fixed clock-tree / final-net margin
+
+	// Packing: effective (LUTs + FFs) absorbed per slice. An ideal
+	// Virtex-E slice holds 2 LUTs + 2 FFs = 4 cells; real P&R on this
+	// design family achieves less because LUT/FF pairing is constrained
+	// by the carry-chain layout.
+	CellsPerSlice float64
+}
+
+// VirtexE is the calibrated Xilinx V812E-BG-560-8 model.
+//
+// Calibration: the paper's l = 32 row (225 slices, 9.256 ns). The MMMC
+// netlist at l = 32 maps to ≈ cells(32) LUT+FF cells; CellsPerSlice is
+// chosen so that cells(32)/CellsPerSlice ≈ 225, and the timing constants
+// are chosen so a 3-LUT-level register-to-register path lands near
+// 10 ns. Both constants are then FROZEN for all other widths.
+var VirtexE = Tech{
+	Name:          "Xilinx V812E-BG-560-8 (Virtex-E -8)",
+	TClkQ:         1.37,
+	TSetup:        0.96,
+	TLUT:          1.00,
+	TNet:          1.56,
+	TNetFix:       0.00,
+	CellsPerSlice: 3.55,
+}
+
+// MapResult is the outcome of technology mapping one netlist.
+type MapResult struct {
+	LUTs      int // 4-input LUTs after greedy cone covering
+	FFs       int // flip-flops
+	Slices    int // estimated Virtex-E slices
+	LUTLevels int // LUT levels on the worst register-to-register path
+
+	ClockPeriodNs float64 // estimated minimum clock period
+	ClockMHz      float64
+}
+
+// String renders the mapping summary.
+func (r MapResult) String() string {
+	return fmt.Sprintf("%d LUTs, %d FFs, %d slices, %d LUT levels, Tp=%.3f ns (%.1f MHz)",
+		r.LUTs, r.FFs, r.Slices, r.LUTLevels, r.ClockPeriodNs, r.ClockMHz)
+}
+
+// Map performs technology mapping and timing/area estimation.
+func (t Tech) Map(nl *logic.Netlist) (MapResult, error) {
+	order, err := logic.TopoGates(nl)
+	if err != nil {
+		return MapResult{}, err
+	}
+	gates := nl.Gates()
+	dffs := nl.DFFs()
+	numSignals := nl.NumSignals()
+
+	// Driver gate per net (-1 = PI, FF Q, or constant).
+	driver := make([]int, numSignals)
+	for i := range driver {
+		driver[i] = -1
+	}
+	for gi, g := range gates {
+		driver[g.Out] = gi
+	}
+
+	// Fanout per net: gate input pins plus FF D/CE/CLR pins.
+	fanout := make([]int, numSignals)
+	for _, g := range gates {
+		for _, in := range logic.GateInputs(g) {
+			fanout[in]++
+		}
+	}
+	for _, ff := range dffs {
+		fanout[ff.D]++
+		if ff.CE != logic.Const1 {
+			fanout[ff.CE]++
+		}
+		if ff.CLR != logic.Const0 {
+			fanout[ff.CLR]++
+		}
+	}
+
+	// Greedy cone covering: walk gates in topo order; each gate merges a
+	// fanin gate's cone when the fanin has fanout 1 and the merged leaf
+	// set still fits a LUT4. Absorbed gates disappear into their
+	// consumer's LUT.
+	// Phase 1 — cone construction. Walk gates in topo order; each gate's
+	// cone starts at its direct inputs, then (a) in-lines any leaf that
+	// is the sole consumer of a gate output (absorption), and (b)
+	// in-lines multi-fanout leaves by duplicating their logic into this
+	// LUT (replication — free when the merged cone still fits four
+	// inputs, and what lets a 5-gate full adder map to two 3-input
+	// LUTs). Replication leaves the source gate in place for its other
+	// consumers; liveness analysis below trims sources that end up with
+	// no remaining readers.
+	leaves := make([][]logic.Signal, len(gates))
+	for _, gi := range order {
+		g := gates[gi]
+		merged := unionSize(nil, logic.GateInputs(g))
+		expand := func(requireSoleReader bool) {
+			for changed := true; changed; {
+				changed = false
+				for i, s := range merged {
+					d := driver[s]
+					if d < 0 {
+						continue
+					}
+					if requireSoleReader && fanout[s] != 1 {
+						continue
+					}
+					candidate := make([]logic.Signal, 0, len(merged)+3)
+					candidate = append(candidate, merged[:i]...)
+					candidate = append(candidate, merged[i+1:]...)
+					candidate = unionSize(candidate, leaves[d])
+					if len(candidate) <= 4 {
+						merged = candidate
+						changed = true
+						break
+					}
+				}
+			}
+		}
+		expand(true)  // absorption
+		expand(false) // replication
+		leaves[gi] = merged
+	}
+
+	// Phase 2 — liveness: a gate is a live LUT root iff its output is
+	// read by a flip-flop pin, a declared primary output, or appears as
+	// a leaf of another live root. Trace back from the sinks.
+	liveRoot := make([]bool, len(gates))
+	var visit func(s logic.Signal)
+	visit = func(s logic.Signal) {
+		d := driver[s]
+		if d < 0 || liveRoot[d] {
+			return
+		}
+		liveRoot[d] = true
+		for _, leaf := range leaves[d] {
+			visit(leaf)
+		}
+	}
+	for _, ff := range dffs {
+		visit(ff.D)
+		visit(ff.CE)
+		visit(ff.CLR)
+	}
+	for _, out := range nl.Outputs() {
+		visit(out)
+	}
+
+	// Phase 3 — count live LUTs and compute LUT levels over live roots.
+	level := make([]int, numSignals) // LUT depth at each net
+	luts := 0
+	for _, gi := range order {
+		if !liveRoot[gi] {
+			continue
+		}
+		g := gates[gi]
+		// Route-through: a Buf whose cone is a bare wire costs nothing.
+		isWire := g.Kind == logic.Buf && len(leaves[gi]) == 1 && driver[leaves[gi][0]] == -1
+		maxIn := 0
+		for _, leaf := range leaves[gi] {
+			if level[leaf] > maxIn {
+				maxIn = level[leaf]
+			}
+		}
+		if isWire {
+			level[g.Out] = maxIn
+			continue
+		}
+		luts++
+		level[g.Out] = maxIn + 1
+	}
+	critical := 0
+	sinkLevel := func(s logic.Signal) {
+		if level[s] > critical {
+			critical = level[s]
+		}
+	}
+	for _, ff := range dffs {
+		sinkLevel(ff.D)
+		sinkLevel(ff.CE)
+		sinkLevel(ff.CLR)
+	}
+	for _, out := range nl.Outputs() {
+		sinkLevel(out)
+	}
+
+	ffs := len(dffs)
+	slices := int(math.Ceil(float64(luts+ffs) / t.CellsPerSlice))
+	minSlices := int(math.Ceil(math.Max(float64(luts), float64(ffs)) / 2))
+	if slices < minSlices {
+		slices = minSlices
+	}
+
+	tp := t.TClkQ + t.TSetup + t.TNetFix + float64(critical)*(t.TLUT+t.TNet)
+	return MapResult{
+		LUTs:          luts,
+		FFs:           ffs,
+		Slices:        slices,
+		LUTLevels:     critical,
+		ClockPeriodNs: tp,
+		ClockMHz:      1000 / tp,
+	}, nil
+}
+
+// unionSize returns the union of two small signal sets (order preserved,
+// no duplicates). Sets here have at most 4+4 elements, so linear scans
+// beat maps.
+func unionSize(a, b []logic.Signal) []logic.Signal {
+	out := append([]logic.Signal(nil), a...)
+	for _, s := range b {
+		found := false
+		for _, t := range out {
+			if t == s {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, s)
+		}
+	}
+	return out
+}

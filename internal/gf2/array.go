@@ -1,0 +1,125 @@
+package gf2
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+)
+
+// Array is the GF(2^m) twin of the paper's linear systolic array
+// (systolic.Array): the same one-row pipelined structure and the same
+// cell schedule t_{i,j} at clock 2i+j, with the carry chain gated off —
+// so there are no C0/C1 registers at all, each cell is the XOR/AND
+// skeleton of the dual-field PE, and a multiplication needs m iterations
+// (3m-1 clocks total) instead of l+2 (3l+4 clocks). Comparing this
+// structure with systolic.Array is the array-level justification for the
+// dual-field design: the integer array is this plus carries.
+type Array struct {
+	M int // extension degree
+
+	f Poly // modulus polynomial, degree M
+	b Poly // multiplicand, degree < M
+
+	regT   bits.Vec // regT[j] = T(j) register, j = 1..M (index 0 unused)
+	stageX []bits.Bit
+	stageM []bits.Bit
+
+	cycle int
+	wT    bits.Vec
+}
+
+// NewArray builds the GF(2^m) array for field polynomial f (degree ≥ 2,
+// constant term 1) and multiplicand b (degree < m).
+func NewArray(f, b Poly) (*Array, error) {
+	m := f.Degree()
+	if m < 2 {
+		return nil, fmt.Errorf("gf2: modulus degree must be at least 2, got %d", m)
+	}
+	if f.Coeff(0) != 1 {
+		return nil, fmt.Errorf("gf2: modulus must have a nonzero constant term")
+	}
+	if b.Degree() >= m {
+		return nil, fmt.Errorf("gf2: operand degree %d out of range", b.Degree())
+	}
+	nStages := (m + 1) / 2
+	return &Array{
+		M:      m,
+		f:      f.Clone(),
+		b:      b.Clone(),
+		regT:   bits.New(m + 1),
+		stageX: make([]bits.Bit, nStages+1),
+		stageM: make([]bits.Bit, nStages+1),
+		wT:     bits.New(m + 1),
+	}, nil
+}
+
+// Reset clears the pipeline.
+func (a *Array) Reset() {
+	for i := range a.regT {
+		a.regT[i] = 0
+	}
+	for k := range a.stageX {
+		a.stageX[k] = 0
+		a.stageM[k] = 0
+	}
+	a.cycle = 0
+}
+
+// Step advances one clock with multiplier coefficient ain presented to
+// the rightmost cell (held for two clocks per coefficient, exactly like
+// the integer array's X register bit).
+func (a *Array) Step(ain bits.Bit) {
+	m := a.M
+
+	// Rightmost cell: quotient digit m_i = t_{i-1,1} ⊕ a_i·b_0
+	// (f_0 = 1, the GF(2) analogue of N' = 1).
+	mi := a.regT[1] ^ (ain & bits.Bit(a.b.Coeff(0)))
+
+	xFor := func(j int) bits.Bit { return a.stageX[(j+1)/2] }
+	mFor := func(j int) bits.Bit { return a.stageM[(j+1)/2] }
+
+	// Cells j = 1..m: w_j = t_{i-1,j+1} ⊕ x·b_j ⊕ m·f_j. Cell m sees
+	// b_m = 0 and f_m = 1, mirroring the integer leftmost cell's n_l = 0
+	// simplification — but with no carry to drop: the dual-field array
+	// has no overflow hazard by construction.
+	for j := 1; j <= m; j++ {
+		tIn := bits.Bit(0)
+		if j+1 <= m {
+			tIn = a.regT[j+1]
+		}
+		a.wT[j] = tIn ^ (xFor(j) & bits.Bit(a.b.Coeff(j))) ^ (mFor(j) & bits.Bit(a.f.Coeff(j)))
+	}
+
+	copy(a.regT, a.wT)
+	if a.cycle%2 == 0 {
+		for k := len(a.stageX) - 1; k >= 2; k-- {
+			a.stageX[k] = a.stageX[k-1]
+			a.stageM[k] = a.stageM[k-1]
+		}
+		a.stageX[1] = ain
+		a.stageM[1] = mi
+	}
+	a.cycle++
+}
+
+// Run performs one multiplication a·b·x^(-m) mod f through the pipeline:
+// coefficient a_i is presented during clocks 2i and 2i+1; result
+// coefficient c is captured from T(c+1) at the end of clock 2(m-1)+c+1.
+// Total: 3m-1 clocks — shorter than the integer array's 3l+4 because
+// there are neither extra iterations (no Walter bound) nor carries.
+func (a *Array) Run(x Poly) (Poly, int, error) {
+	m := a.M
+	if x.Degree() >= m {
+		return Poly{}, 0, fmt.Errorf("gf2: operand degree %d out of range", x.Degree())
+	}
+	a.Reset()
+	result := NewPoly(m - 1)
+	total := 3*m - 1
+	for c := 0; c < total; c++ {
+		a.Step(bits.Bit(x.Coeff(c / 2)))
+		if b := c - (2*m - 1); b >= 0 && b <= m-1 {
+			result.SetCoeff(b, uint64(a.regT[b+1]))
+		}
+	}
+	return result, total, nil
+}

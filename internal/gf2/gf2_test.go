@@ -1,0 +1,406 @@
+package gf2
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bits"
+	"repro/internal/logic"
+)
+
+// nistB163 is the NIST B-163 field polynomial x^163+x^7+x^6+x^3+1.
+func nistB163() Poly { return FromCoeffs(163, 7, 6, 3, 0) }
+
+func randPoly(rng *rand.Rand, maxDeg int) Poly {
+	p := NewPoly(maxDeg)
+	for i := 0; i <= maxDeg; i++ {
+		if rng.Intn(2) == 1 {
+			p.SetCoeff(i, 1)
+		}
+	}
+	return p
+}
+
+func TestPolyBasics(t *testing.T) {
+	p := FromCoeffs(5, 2, 0) // x^5 + x^2 + 1
+	if p.Degree() != 5 || p.Coeff(2) != 1 || p.Coeff(3) != 0 {
+		t.Fatalf("FromCoeffs wrong: %s", p)
+	}
+	if p.String() != "x^5 + x^2 + 1" {
+		t.Errorf("String = %q", p.String())
+	}
+	if (Poly{}).String() != "0" || !(Poly{}).IsZero() {
+		t.Error("zero polynomial misbehaves")
+	}
+	if FromCoeffs(1).String() != "x" {
+		t.Errorf("x renders as %q", FromCoeffs(1).String())
+	}
+	q := p.Clone()
+	q.SetCoeff(0, 0)
+	if p.Coeff(0) != 1 {
+		t.Error("Clone not independent")
+	}
+	if !p.Equal(p.Clone()) || p.Equal(q) {
+		t.Error("Equal wrong")
+	}
+}
+
+func TestPolyAddIsXor(t *testing.T) {
+	a := FromUint64(0b1011)
+	b := FromUint64(0b1101)
+	if got := a.Add(b); !got.Equal(FromUint64(0b0110)) {
+		t.Errorf("Add = %s", got)
+	}
+	// Characteristic 2: p + p = 0.
+	if !a.Add(a).IsZero() {
+		t.Error("p + p != 0")
+	}
+}
+
+func TestPolyShifts(t *testing.T) {
+	p := FromUint64(0b101)
+	if got := p.Shl(3); !got.Equal(FromUint64(0b101000)) {
+		t.Errorf("Shl = %s", got)
+	}
+	if got := p.Shr(); !got.Equal(FromUint64(0b10)) {
+		t.Errorf("Shr = %s", got)
+	}
+	if !(Poly{}).Shl(5).IsZero() {
+		t.Error("0 << 5 != 0")
+	}
+	// Shr across word boundaries.
+	q := NewPoly(64)
+	q.SetCoeff(64, 1)
+	if q.Shr().Degree() != 63 {
+		t.Error("Shr across word boundary wrong")
+	}
+}
+
+// Mul against a naive coefficient-by-coefficient reference.
+func TestPolyMulAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(161))
+	for trial := 0; trial < 100; trial++ {
+		a := randPoly(rng, 90)
+		b := randPoly(rng, 70)
+		got := a.Mul(b)
+		want := Poly{}
+		for i := 0; i <= a.Degree(); i++ {
+			if a.Coeff(i) == 1 {
+				want = want.Add(b.Shl(i))
+			}
+		}
+		if !got.Equal(want) {
+			t.Fatalf("Mul mismatch:\n a=%s\n b=%s", a, b)
+		}
+	}
+}
+
+func TestPolyMod(t *testing.T) {
+	f := FromCoeffs(3, 1, 0) // x^3 + x + 1, irreducible
+	// x^3 mod f = x + 1.
+	if got := FromCoeffs(3).Mod(f); !got.Equal(FromCoeffs(1, 0)) {
+		t.Errorf("x^3 mod f = %s", got)
+	}
+	if got := FromUint64(0b101).Mod(f); !got.Equal(FromUint64(0b101)) {
+		t.Error("Mod of smaller degree changed the value")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	f := FromCoeffs(8, 4, 3, 1, 0) // AES polynomial, irreducible
+	rng := rand.New(rand.NewSource(162))
+	for trial := 0; trial < 50; trial++ {
+		a := randPoly(rng, 7)
+		if a.IsZero() {
+			continue
+		}
+		inv, err := Inverse(a, f)
+		if err != nil {
+			t.Fatalf("Inverse(%s) failed: %v", a, err)
+		}
+		if got := a.MulMod(inv, f); !got.Equal(FromUint64(1)) {
+			t.Fatalf("a·a⁻¹ = %s", got)
+		}
+	}
+	if _, err := Inverse(Poly{}, f); err == nil {
+		t.Error("inverse of zero accepted")
+	}
+	// Non-invertible: gcd(x, x^3+x) = x.
+	if _, err := Inverse(FromCoeffs(1), FromCoeffs(3, 1)); err == nil {
+		t.Error("non-coprime inverse accepted")
+	}
+}
+
+func TestNewFieldValidation(t *testing.T) {
+	if _, err := NewField(FromCoeffs(1, 0)); err == nil {
+		t.Error("degree-1 modulus accepted")
+	}
+	if _, err := NewField(FromCoeffs(3, 1)); err == nil {
+		t.Error("modulus with zero constant term accepted")
+	}
+	fd, err := NewField(FromCoeffs(8, 4, 3, 1, 0))
+	if err != nil || fd.M != 8 || fd.Iterations() != 8 {
+		t.Fatalf("field setup: %v %+v", err, fd)
+	}
+}
+
+// The GF(2^m) Montgomery loop against the closed form, across fields.
+func TestMontMatchesClosedForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(163))
+	for _, f := range []Poly{
+		FromCoeffs(3, 1, 0),
+		FromCoeffs(8, 4, 3, 1, 0),
+		FromCoeffs(17, 3, 0),
+		nistB163(),
+	} {
+		fd, err := NewField(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 30; trial++ {
+			a := randPoly(rng, fd.M-1)
+			b := randPoly(rng, fd.M-1)
+			got := fd.Mont(a, b)
+			if got.Degree() >= fd.M {
+				t.Fatalf("m=%d: output degree %d out of range", fd.M, got.Degree())
+			}
+			if want := fd.MontClosedForm(a, b); !got.Equal(want) {
+				t.Fatalf("m=%d: Mont wrong", fd.M)
+			}
+		}
+	}
+}
+
+func TestMontOperandBoundPanics(t *testing.T) {
+	fd, _ := NewField(FromCoeffs(3, 1, 0))
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized operand accepted")
+		}
+	}()
+	fd.Mont(FromCoeffs(3), FromUint64(1))
+}
+
+func TestDomainRoundTrip(t *testing.T) {
+	fd, _ := NewField(nistB163())
+	rng := rand.New(rand.NewSource(164))
+	for trial := 0; trial < 20; trial++ {
+		a := randPoly(rng, fd.M-1)
+		am := fd.ToMont(a)
+		if !fd.FromMont(am).Equal(a) {
+			t.Fatal("domain round trip failed")
+		}
+	}
+}
+
+func TestMulModAndExp(t *testing.T) {
+	fd, _ := NewField(FromCoeffs(8, 4, 3, 1, 0))
+	rng := rand.New(rand.NewSource(165))
+	for trial := 0; trial < 30; trial++ {
+		a := randPoly(rng, 7)
+		b := randPoly(rng, 7)
+		if got, want := fd.MulMod(a, b), a.MulMod(b, fd.F); !got.Equal(want) {
+			t.Fatal("MulMod wrong")
+		}
+	}
+	// Fermat in GF(2^8): a^(2^8-1) = 1 for a ≠ 0.
+	for trial := 0; trial < 20; trial++ {
+		a := randPoly(rng, 7)
+		if a.IsZero() {
+			continue
+		}
+		if got := fd.Exp(a, 255); !got.Equal(FromUint64(1)) {
+			t.Fatalf("a^255 = %s for a = %s", got, a)
+		}
+	}
+	if got := fd.Exp(randPoly(rng, 7), 0); !got.Equal(FromUint64(1)) {
+		t.Error("a^0 != 1")
+	}
+}
+
+// The dual-field cell with fsel=1 must be EXACTLY the paper's regular
+// cell; with fsel=0 it must never emit a carry and must compute the
+// XOR recurrence.
+func TestDualCellBothModes(t *testing.T) {
+	for v := 0; v < 1<<7; v++ {
+		tIn, xi, yj := uint8(v&1), uint8(v>>1&1), uint8(v>>2&1)
+		mi, nj := uint8(v>>3&1), uint8(v>>4&1)
+		c1In, c0In := uint8(v>>5&1), uint8(v>>6&1)
+
+		gfp := DualRegularCell(1, tIn, xi, yj, mi, nj, c1In, c0In)
+		lhs := 4*int(gfp.C1) + 2*int(gfp.C0) + int(gfp.T)
+		rhs := int(tIn) + int(xi&yj) + int(mi&nj) + 2*int(c1In) + int(c0In)
+		if lhs != rhs {
+			t.Fatalf("fsel=1 diverges from Eq. (4) at %07b", v)
+		}
+
+		gf2 := DualRegularCell(0, tIn, xi, yj, mi, nj, c1In, c0In)
+		if gf2.C0 != 0 || gf2.C1 != 0 {
+			t.Fatalf("fsel=0 leaked a carry at %07b", v)
+		}
+		if gf2.T != tIn^(xi&yj)^(mi&nj) {
+			t.Fatalf("fsel=0 digit wrong at %07b", v)
+		}
+	}
+}
+
+// The dual-cell iteration model must equal the field's Montgomery
+// multiplication — the array really is reusable across fields.
+func TestDualIterModelMatchesMont(t *testing.T) {
+	rng := rand.New(rand.NewSource(166))
+	for _, f := range []Poly{FromCoeffs(3, 1, 0), FromCoeffs(8, 4, 3, 1, 0), FromCoeffs(17, 3, 0)} {
+		fd, _ := NewField(f)
+		for trial := 0; trial < 30; trial++ {
+			a := randPoly(rng, fd.M-1)
+			b := randPoly(rng, fd.M-1)
+			im, err := NewIterModel(fd, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := im.RunMul(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := fd.Mont(a, b); !got.Equal(want) {
+				t.Fatalf("m=%d: dual-cell model diverges", fd.M)
+			}
+		}
+	}
+	fd, _ := NewField(FromCoeffs(3, 1, 0))
+	if _, err := NewIterModel(fd, FromCoeffs(5)); err == nil {
+		t.Error("oversized b accepted")
+	}
+	im, _ := NewIterModel(fd, FromUint64(1))
+	if _, err := im.RunMul(FromCoeffs(5)); err == nil {
+		t.Error("oversized a accepted")
+	}
+}
+
+// Property: Mont is commutative and linear in each argument (over the
+// packed-uint64 subset).
+func TestQuickMontProperties(t *testing.T) {
+	fd, _ := NewField(FromCoeffs(17, 3, 0))
+	mask := uint64(1)<<17 - 1
+	f := func(a, b, c uint64) bool {
+		pa, pb, pc := FromUint64(a&mask), FromUint64(b&mask), FromUint64(c&mask)
+		// commutativity
+		if !fd.Mont(pa, pb).Equal(fd.Mont(pb, pa)) {
+			return false
+		}
+		// left linearity: Mont(a+c, b) = Mont(a,b) + Mont(c,b)
+		lhs := fd.Mont(pa.Add(pc), pb)
+		rhs := fd.Mont(pa, pb).Add(fd.Mont(pc, pb))
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The GF(2^m) pipelined array must reproduce Field.Mont exactly, in
+// 3m-1 clocks, across fields and operands, with instance reuse.
+func TestGF2ArrayMatchesMont(t *testing.T) {
+	rng := rand.New(rand.NewSource(167))
+	for _, f := range []Poly{
+		FromCoeffs(3, 1, 0),
+		FromCoeffs(8, 4, 3, 1, 0),
+		FromCoeffs(17, 3, 0),
+		FromCoeffs(31, 3, 0),
+	} {
+		fd, err := NewField(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			a := randPoly(rng, fd.M-1)
+			b := randPoly(rng, fd.M-1)
+			arr, err := NewArray(f, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, cycles, err := arr.Run(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cycles != 3*fd.M-1 {
+				t.Fatalf("m=%d: %d cycles, want %d", fd.M, cycles, 3*fd.M-1)
+			}
+			if want := fd.Mont(a, b); !got.Equal(want) {
+				t.Fatalf("m=%d: array wrong:\n a=%s\n b=%s\n got=%s\n want=%s",
+					fd.M, a, b, got, want)
+			}
+			// Reuse the same instance.
+			a2 := randPoly(rng, fd.M-1)
+			got2, _, err := arr.Run(a2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := fd.Mont(a2, b); !got2.Equal(want) {
+				t.Fatalf("m=%d: array reuse wrong", fd.M)
+			}
+		}
+	}
+}
+
+func TestGF2ArrayValidation(t *testing.T) {
+	if _, err := NewArray(FromCoeffs(1, 0), FromUint64(1)); err == nil {
+		t.Error("degree-1 modulus accepted")
+	}
+	if _, err := NewArray(FromCoeffs(3, 1), FromUint64(1)); err == nil {
+		t.Error("zero constant term accepted")
+	}
+	if _, err := NewArray(FromCoeffs(3, 1, 0), FromCoeffs(3)); err == nil {
+		t.Error("oversized b accepted")
+	}
+	arr, _ := NewArray(FromCoeffs(3, 1, 0), FromUint64(1))
+	if _, _, err := arr.Run(FromCoeffs(3)); err == nil {
+		t.Error("oversized a accepted")
+	}
+}
+
+// The iteration-count contrast the dual-field design exposes: m loops
+// and 3m-1 clocks over GF(2^m) versus l+2 loops and 3l+4 clocks over
+// GF(p) at the same width — the carry-free field needs no Walter slack.
+func TestGF2FewerIterationsThanGFp(t *testing.T) {
+	const width = 16
+	fd, _ := NewField(FromCoeffs(width, 5, 3, 1, 0))
+	if fd.Iterations() != width {
+		t.Errorf("GF(2^m) iterations = %d, want m", fd.Iterations())
+	}
+	gfpIterations := width + 2 // l+2 per the paper
+	if fd.Iterations() >= gfpIterations {
+		t.Error("dual-field advantage missing")
+	}
+	arr, _ := NewArray(FromCoeffs(width, 5, 3, 1, 0), FromUint64(0x1234))
+	_, cycles, err := arr.Run(FromUint64(0x2b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles != 3*width-1 || cycles >= 3*width+4 {
+		t.Errorf("cycle contrast wrong: %d", cycles)
+	}
+}
+
+// The gate-level dual cell must match the behavioural dual cell in both
+// field modes, over all 2^8 input combinations.
+func TestBuildDualRegularCell(t *testing.T) {
+	nl := logic.New()
+	in := nl.InputVec("in", 8) // fsel, tIn, xi, yj, mi, nj, c1In, c0In
+	tOut, c0, c1 := BuildDualRegularCell(nl, in[0], in[1], in[2], in[3], in[4], in[5], in[6], in[7])
+	sim, err := logic.Compile(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 1<<8; v++ {
+		vals := make(bits.Vec, 8)
+		for i := range vals {
+			vals[i] = bits.Bit(v >> i & 1)
+		}
+		sim.SetMany(in, vals)
+		want := DualRegularCell(vals[0], vals[1], vals[2], vals[3], vals[4], vals[5], vals[6], vals[7])
+		if sim.Get(tOut) != want.T || sim.Get(c0) != want.C0 || sim.Get(c1) != want.C1 {
+			t.Fatalf("gate dual cell mismatch at %08b", v)
+		}
+	}
+}

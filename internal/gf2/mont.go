@@ -1,0 +1,224 @@
+package gf2
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/logic"
+	"repro/internal/systolic"
+)
+
+// Field is a binary extension field GF(2^m) = GF(2)[x]/(f) with the
+// Montgomery constants for R = x^m.
+type Field struct {
+	F Poly // irreducible modulus polynomial, degree m
+	M int  // extension degree
+
+	rr Poly // R² mod f = x^(2m) mod f
+}
+
+// NewField builds the field for an irreducible f of degree ≥ 2 with a
+// nonzero constant term (gcd(f, x) = 1, the GF(2^m) analogue of the odd-
+// modulus requirement). Irreducibility itself is the caller's contract —
+// the arithmetic is well-defined mod any such f, and the tests use known
+// irreducible trinomials/pentanomials.
+func NewField(f Poly) (*Field, error) {
+	m := f.Degree()
+	if m < 2 {
+		return nil, errors.New("gf2: modulus degree must be at least 2")
+	}
+	if f.Coeff(0) != 1 {
+		return nil, errors.New("gf2: modulus must have a nonzero constant term")
+	}
+	r2 := NewPoly(2 * m)
+	r2.SetCoeff(2*m, 1)
+	return &Field{F: f, M: m, rr: r2.Mod(f)}, nil
+}
+
+// Iterations returns the loop count of the Montgomery multiplication —
+// exactly m, with no +2 slack: the carry-free field needs no Walter
+// bound because "T < 2N" has no meaning and degrees cannot creep.
+func (fd *Field) Iterations() int { return fd.M }
+
+// Mont computes a·b·x^(-m) mod f with the bit-serial Montgomery loop —
+// the GF(2^m) twin of the paper's Algorithm 2. Inputs must have degree
+// < m; so does the output (exactly, not just within a bound).
+func (fd *Field) Mont(a, b Poly) Poly {
+	if a.Degree() >= fd.M || b.Degree() >= fd.M {
+		panic(fmt.Sprintf("gf2: operand degree out of range (max %d)", fd.M-1))
+	}
+	t := Poly{}
+	for i := 0; i < fd.M; i++ {
+		if a.Coeff(i) == 1 {
+			t = t.Add(b)
+		}
+		// m_i = t_0 (+ a_i·b_0 already folded in above); over GF(2) the
+		// quotient digit is simply the constant coefficient after the
+		// a_i·B addition, because f_0 = 1.
+		if t.Coeff(0) == 1 {
+			t = t.Add(fd.F)
+		}
+		t = t.Shr()
+	}
+	return t
+}
+
+// MontClosedForm is the oracle: a·b·(x^m)⁻¹ mod f via plain polynomial
+// arithmetic and an extended-Euclid inverse of x^m.
+func (fd *Field) MontClosedForm(a, b Poly) Poly {
+	xm := NewPoly(fd.M)
+	xm.SetCoeff(fd.M, 1)
+	inv, err := Inverse(xm.Mod(fd.F), fd.F)
+	if err != nil {
+		panic("gf2: x^m not invertible — modulus has x as a factor")
+	}
+	return a.Mul(b).Mod(fd.F).Mul(inv).Mod(fd.F)
+}
+
+// ToMont maps a (deg < m) into the Montgomery domain a·x^m mod f.
+func (fd *Field) ToMont(a Poly) Poly { return fd.Mont(a, fd.rr) }
+
+// FromMont strips the x^m factor.
+func (fd *Field) FromMont(t Poly) Poly { return fd.Mont(t, FromUint64(1)) }
+
+// MulMod is the full field multiplication a·b mod f through the
+// Montgomery core (two passes).
+func (fd *Field) MulMod(a, b Poly) Poly {
+	return fd.Mont(fd.ToMont(a), b)
+}
+
+// Exp computes a^e mod f (e as a big-endian bit slice is overkill; a
+// uint64 exponent covers the tests and inversion uses Inverse instead).
+func (fd *Field) Exp(a Poly, e uint64) Poly {
+	result := FromUint64(1)
+	acc := a.Clone()
+	for ; e > 0; e >>= 1 {
+		if e&1 == 1 {
+			result = result.MulMod(acc, fd.F)
+		}
+		acc = acc.MulMod(acc, fd.F)
+	}
+	return result
+}
+
+// Inverse computes a⁻¹ mod f by the extended Euclidean algorithm over
+// GF(2)[x]. It errors when gcd(a, f) ≠ 1.
+func Inverse(a, f Poly) (Poly, error) {
+	if a.IsZero() {
+		return Poly{}, errors.New("gf2: zero has no inverse")
+	}
+	// Extended Euclid: maintain r0 = u0·a (mod f-multiples), r1 = u1·a.
+	r0, r1 := f.Clone(), a.Mod(f)
+	u0, u1 := Poly{}, FromUint64(1)
+	for !r1.IsZero() {
+		dr0, dr1 := r0.Degree(), r1.Degree()
+		if dr0 < dr1 {
+			r0, r1 = r1, r0
+			u0, u1 = u1, u0
+			continue
+		}
+		shift := dr0 - dr1
+		r0 = r0.Add(r1.Shl(shift))
+		u0 = u0.Add(u1.Shl(shift))
+	}
+	if r0.Degree() != 0 {
+		return Poly{}, errors.New("gf2: not invertible (gcd ≠ 1)")
+	}
+	return u0.Mod(f), nil
+}
+
+// ---- dual-field cell model ----
+
+// DualCellOut mirrors systolic.RegularOut for the dual-field cell.
+type DualCellOut struct {
+	T  bits.Bit
+	C0 bits.Bit
+	C1 bits.Bit
+}
+
+// DualRegularCell is the Savaş-style dual-field processing element: the
+// paper's regular cell (Fig. 1a) with a field-select input. fsel = 1
+// behaves exactly as the GF(p) cell; fsel = 0 gates the carry chain, so
+// the two full adders and the half adder degenerate to XOR trees and the
+// cell computes the GF(2^m) recurrence t = tIn ⊕ a·y ⊕ m·f.
+func DualRegularCell(fsel, tIn, xi, yj, mi, nj, c1In, c0In bits.Bit) DualCellOut {
+	// Gate the incoming carries: in GF(2) mode they are forced low.
+	c1In &= fsel
+	c0In &= fsel
+	out := systolic.RegularCell(tIn, xi, yj, mi, nj, c1In, c0In)
+	return DualCellOut{
+		T:  out.T,
+		C0: out.C0 & fsel,
+		C1: out.C1 & fsel,
+	}
+}
+
+// IterModel is the GF(2^m) twin of systolic.IterModel: one loop
+// iteration per call over the dual-field cells, verifying that the gated
+// datapath really computes the field multiplication.
+type IterModel struct {
+	fd *Field
+	b  Poly
+	t  Poly
+}
+
+// NewIterModel prepares a dual-field iteration model for B = b.
+func NewIterModel(fd *Field, b Poly) (*IterModel, error) {
+	if b.Degree() >= fd.M {
+		return nil, fmt.Errorf("gf2: operand degree %d out of range", b.Degree())
+	}
+	return &IterModel{fd: fd, b: b.Clone(), t: Poly{}}, nil
+}
+
+// Reset clears the accumulator.
+func (im *IterModel) Reset() { im.t = Poly{} }
+
+// StepIteration performs one loop iteration with multiplier coefficient
+// ai, using DualRegularCell for every digit (fsel = 0).
+func (im *IterModel) StepIteration(ai uint64) {
+	m := im.fd.M
+	w := NewPoly(m + 1)
+	// Rightmost: quotient digit mi = t_0 ⊕ ai·b_0 (since f_0 = 1).
+	mi := bits.Bit(im.t.Coeff(0)) ^ (bits.Bit(ai) & bits.Bit(im.b.Coeff(0)))
+	for j := 1; j <= m; j++ {
+		out := DualRegularCell(0,
+			bits.Bit(im.t.Coeff(j)),
+			bits.Bit(ai), bits.Bit(im.b.Coeff(j)),
+			mi, bits.Bit(im.fd.F.Coeff(j)),
+			0, 0)
+		if out.C0 != 0 || out.C1 != 0 {
+			panic("gf2: dual cell leaked a carry in GF(2) mode")
+		}
+		w.SetCoeff(j, uint64(out.T))
+	}
+	// T ← W / x (the shifted read; w_0 is zero by construction of mi).
+	im.t = w.Shr()
+}
+
+// RunMul multiplies a·b·x^(-m) mod f through the cell model.
+func (im *IterModel) RunMul(a Poly) (Poly, error) {
+	if a.Degree() >= im.fd.M {
+		return Poly{}, fmt.Errorf("gf2: operand degree %d out of range", a.Degree())
+	}
+	im.Reset()
+	for i := 0; i < im.fd.M; i++ {
+		im.StepIteration(a.Coeff(i))
+	}
+	return im.t.Clone(), nil
+}
+
+// BuildDualRegularCell instantiates the dual-field processing element in
+// gates: the paper's Fig. 1(a) regular cell with its three carry signals
+// gated by the field-select net. fsel = 1 gives bit-exact GF(p)
+// behaviour; fsel = 0 turns the FA/HA adders into XOR trees computing
+// the GF(2^m) recurrence. Gate cost over the plain cell: 4 AND gates
+// (two gating the carry inputs, two gating the carry outputs).
+func BuildDualRegularCell(nl *logic.Netlist, fsel, tIn, xi, yj, mi, nj, c1In, c0In logic.Signal) (t, c0, c1 logic.Signal) {
+	gc1In := nl.AndGate(c1In, fsel)
+	gc0In := nl.AndGate(c0In, fsel)
+	t, c0raw, c1raw := systolic.BuildRegularCell(nl, tIn, xi, yj, mi, nj, gc1In, gc0In)
+	c0 = nl.AndGate(c0raw, fsel)
+	c1 = nl.AndGate(c1raw, fsel)
+	return t, c0, c1
+}

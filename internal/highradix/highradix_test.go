@@ -1,0 +1,166 @@
+package highradix
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mont"
+)
+
+func randOdd(rng *rand.Rand, l int) *big.Int {
+	n := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), uint(l-1)))
+	n.SetBit(n, l-1, 1)
+	n.SetBit(n, 0, 1)
+	return n
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(big.NewInt(101), 0); err == nil {
+		t.Error("alpha 0 accepted")
+	}
+	if _, err := New(big.NewInt(101), 65); err == nil {
+		t.Error("alpha 65 accepted")
+	}
+	if _, err := New(big.NewInt(4), 4); err != mont.ErrEvenModulus {
+		t.Error("even modulus accepted")
+	}
+	if _, err := New(big.NewInt(1), 4); err != mont.ErrSmallModulus {
+		t.Error("tiny modulus accepted")
+	}
+	c, err := New(big.NewInt(101), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// l=7, ⌈9/4⌉ = 3 iterations, R = 2^12.
+	if c.Iterations() != 3 || c.R.Cmp(new(big.Int).Lsh(big.NewInt(1), 12)) != 0 {
+		t.Errorf("k=%d R=%s", c.K, c.R)
+	}
+}
+
+// Iteration count must reduce to the paper's l+2 at radix 2 and to
+// ⌈(l+2)/α⌉ generally.
+func TestIterationCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	n := randOdd(rng, 64)
+	for _, alpha := range []uint{1, 2, 4, 8, 16} {
+		c, err := New(n, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := (64 + 2 + int(alpha) - 1) / int(alpha)
+		if c.Iterations() != want {
+			t.Errorf("alpha=%d: k=%d want %d", alpha, c.K, want)
+		}
+	}
+}
+
+// Functional core vs math/big, all radices, with the no-subtraction
+// output bound.
+func TestMulMatchesClosedForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	for _, alpha := range []uint{1, 2, 3, 4, 8, 13, 16, 32, 64} {
+		for _, l := range []int{8, 61, 128} {
+			n := randOdd(rng, l)
+			c, err := New(n, alpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rinv := new(big.Int).ModInverse(c.R, n)
+			for trial := 0; trial < 15; trial++ {
+				x := new(big.Int).Rand(rng, c.N2)
+				y := new(big.Int).Rand(rng, c.N2)
+				got := c.Mul(x, y)
+				if got.Cmp(c.N2) >= 0 {
+					t.Fatalf("alpha=%d l=%d: output ≥ 2N", alpha, l)
+				}
+				want := new(big.Int).Mul(x, y)
+				want.Mul(want, rinv).Mod(want, n)
+				if new(big.Int).Mod(got, n).Cmp(want) != 0 {
+					t.Fatalf("alpha=%d l=%d: Mul wrong", alpha, l)
+				}
+			}
+		}
+	}
+}
+
+// Radix 1 must agree exactly with the paper's Algorithm 2 (same R, same
+// intermediate sequence ⇒ same representative, not just same residue).
+func TestRadix2MatchesAlgorithm2(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	n := randOdd(rng, 48)
+	ctx, _ := mont.NewCtx(n)
+	c, _ := New(n, 1)
+	for trial := 0; trial < 50; trial++ {
+		x := new(big.Int).Rand(rng, ctx.N2)
+		y := new(big.Int).Rand(rng, ctx.N2)
+		if c.Mul(x, y).Cmp(ctx.Mul(x, y)) != 0 {
+			t.Fatal("radix-2 core diverges from Algorithm 2")
+		}
+	}
+}
+
+func TestMulBoundsPanic(t *testing.T) {
+	c, _ := New(big.NewInt(13), 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized operand accepted")
+		}
+	}()
+	c.Mul(big.NewInt(26), big.NewInt(1))
+}
+
+func TestModExp(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	for _, alpha := range []uint{1, 4, 16} {
+		n := randOdd(rng, 96)
+		c, _ := New(n, alpha)
+		m := new(big.Int).Rand(rng, n)
+		e := new(big.Int).Rand(rng, n)
+		if e.Sign() == 0 {
+			e.SetInt64(3)
+		}
+		got, err := c.ModExp(m, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := new(big.Int).Exp(m, e, n); got.Cmp(want) != 0 {
+			t.Fatalf("alpha=%d: ModExp wrong", alpha)
+		}
+	}
+	c, _ := New(big.NewInt(101), 4)
+	if _, err := c.ModExp(big.NewInt(5), big.NewInt(0)); err == nil {
+		t.Error("zero exponent accepted")
+	}
+	if _, err := c.ModExp(big.NewInt(101), big.NewInt(3)); err == nil {
+		t.Error("base = N accepted")
+	}
+}
+
+// The cost model must reproduce the paper's radix-2 anchor exactly and
+// show the expected trade: cycles fall with α, clock period rises.
+func TestCostModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	n := randOdd(rng, 1024)
+	c2, _ := New(n, 1)
+	cost2 := c2.Cost(10.0)
+	if cost2.CyclesPerMul != 3*1024+4 {
+		t.Errorf("radix-2 anchor: %d cycles, want %d", cost2.CyclesPerMul, 3*1024+4)
+	}
+	if cost2.ClockPeriodNs != 10.0 {
+		t.Errorf("radix-2 anchor period %v", cost2.ClockPeriodNs)
+	}
+	prevCycles := cost2.CyclesPerMul
+	prevPeriod := cost2.ClockPeriodNs
+	for _, alpha := range []uint{2, 4, 8, 16} {
+		c, _ := New(n, alpha)
+		cost := c.Cost(10.0)
+		if cost.CyclesPerMul >= prevCycles {
+			t.Errorf("alpha=%d: cycles did not fall (%d)", alpha, cost.CyclesPerMul)
+		}
+		if cost.ClockPeriodNs <= prevPeriod {
+			t.Errorf("alpha=%d: period did not rise", alpha)
+		}
+		prevCycles, prevPeriod = cost.CyclesPerMul, cost.ClockPeriodNs
+	}
+}

@@ -1,0 +1,52 @@
+package logic
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the netlist as a Graphviz digraph — the quick way to
+// eyeball a generated cell or controller (dot -Tsvg). Inputs are boxes,
+// gates are ellipses labelled with their kind, flip-flops are double
+// circles; edges follow signal flow. Intended for small netlists (single
+// cells, tiny controllers); it refuses anything above maxGates to keep
+// the output viewable.
+func WriteDOT(w io.Writer, n *Netlist, name string, maxGates int) error {
+	if maxGates > 0 && len(n.gates) > maxGates {
+		return fmt.Errorf("logic: netlist has %d gates, DOT cap is %d", len(n.gates), maxGates)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n  rankdir=LR;\n", name)
+
+	node := func(s Signal) string { return fmt.Sprintf("n%d", s) }
+
+	for _, in := range n.inputs {
+		fmt.Fprintf(bw, "  %s [shape=box,label=%q];\n", node(in), n.NameOf(in))
+	}
+	fmt.Fprintf(bw, "  %s [shape=box,label=\"0\"];\n", node(Const0))
+	fmt.Fprintf(bw, "  %s [shape=box,label=\"1\"];\n", node(Const1))
+
+	for _, g := range n.gates {
+		fmt.Fprintf(bw, "  %s [shape=ellipse,label=%q];\n", node(g.Out), g.Kind.String())
+		for _, in := range gateInputs(g) {
+			fmt.Fprintf(bw, "  %s -> %s;\n", node(in), node(g.Out))
+		}
+	}
+	for _, ff := range n.dffs {
+		fmt.Fprintf(bw, "  %s [shape=doublecircle,label=%q];\n", node(ff.Q), n.NameOf(ff.Q))
+		fmt.Fprintf(bw, "  %s -> %s;\n", node(ff.D), node(ff.Q))
+		if ff.CE != Const1 {
+			fmt.Fprintf(bw, "  %s -> %s [style=dashed,label=\"ce\"];\n", node(ff.CE), node(ff.Q))
+		}
+		if ff.CLR != Const0 {
+			fmt.Fprintf(bw, "  %s -> %s [style=dotted,label=\"clr\"];\n", node(ff.CLR), node(ff.Q))
+		}
+	}
+	for _, out := range n.outputs {
+		fmt.Fprintf(bw, "  out_%d [shape=box,label=%q,style=bold];\n", out, n.NameOf(out))
+		fmt.Fprintf(bw, "  %s -> out_%d;\n", node(out), out)
+	}
+	fmt.Fprintf(bw, "}\n")
+	return bw.Flush()
+}

@@ -1,0 +1,160 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bits"
+)
+
+func TestForceBasics(t *testing.T) {
+	n := New()
+	a, b := n.Input("a"), n.Input("b")
+	x := n.AndGate(a, b)
+	s, err := Compile(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetMany([]Signal{a, b}, bits.Vec{1, 1})
+	if s.Get(x) != 1 {
+		t.Fatal("sanity")
+	}
+	s.Force(x, 0)
+	if s.Get(x) != 0 {
+		t.Fatal("force ineffective")
+	}
+	s.Unforce(x)
+	if s.Get(x) != 1 {
+		t.Fatal("unforce ineffective")
+	}
+	s.Force(x, 0)
+	s.ClearForces()
+	if s.Get(x) != 1 {
+		t.Fatal("ClearForces ineffective")
+	}
+}
+
+func TestForcePropagatesDownstream(t *testing.T) {
+	n := New()
+	a := n.Input("a")
+	x := n.NotGate(a) // x = !a
+	y := n.NotGate(x) // y = a
+	q := n.AddDFF(y, 0, "q")
+	s, _ := Compile(n)
+	s.Set(a, 1)
+	s.Force(x, 1) // stuck-at-1 although !a = 0
+	if s.Get(y) != 0 {
+		t.Fatal("downstream gate did not see forced value")
+	}
+	s.Step()
+	if s.Get(q) != 0 {
+		t.Fatal("flip-flop did not capture faulty value")
+	}
+}
+
+func TestForceOnFFOutput(t *testing.T) {
+	n := New()
+	a := n.Input("a")
+	q := n.AddDFF(a, 0, "q")
+	s, _ := Compile(n)
+	s.Set(a, 1)
+	s.Force(q, 0)
+	s.Step() // would capture 1, but stuck at 0
+	if s.Get(q) != 0 {
+		t.Fatal("FF output force ineffective across edges")
+	}
+}
+
+func TestForceValidation(t *testing.T) {
+	n := New()
+	a := n.Input("a")
+	s, _ := Compile(n)
+	for name, f := range map[string]func(){
+		"invalid value": func() { s.Force(a, 2) },
+		"const net":     func() { s.Force(Const1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAllStuckAtFaults(t *testing.T) {
+	n := New()
+	a, b := n.Input("a"), n.Input("b")
+	x := n.AndGate(a, b)
+	n.AddDFF(x, 0, "q")
+	faults := AllStuckAtFaults(n)
+	// 1 gate + 1 FF, two polarities each.
+	if len(faults) != 4 {
+		t.Fatalf("%d faults, want 4", len(faults))
+	}
+	if !strings.Contains(faults[0].String(), "stuck-at-0") {
+		t.Errorf("fault String: %s", faults[0])
+	}
+}
+
+// Exhaustive vectors on a full adder must detect every stuck-at fault —
+// the adder is fully testable.
+func TestFaultCampaignFullAdderComplete(t *testing.T) {
+	n := New()
+	in := n.InputVec("in", 3)
+	sum, cout := n.FullAdder(in[0], in[1], in[2])
+	n.MarkOutput(sum, "sum")
+	n.MarkOutput(cout, "cout")
+
+	driver := func(s *Sim) []bits.Vec {
+		var obs []bits.Vec
+		for v := 0; v < 8; v++ {
+			s.SetMany(in, bits.Vec{bits.Bit(v & 1), bits.Bit(v >> 1 & 1), bits.Bit(v >> 2 & 1)})
+			obs = append(obs, bits.Vec{s.Get(sum), s.Get(cout)})
+		}
+		return obs
+	}
+	rep, err := RunFaultCampaign(n, AllStuckAtFaults(n), driver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Coverage() != 1.0 {
+		t.Fatalf("full adder not fully covered: %s (undetected: %v)", rep, rep.Undetected)
+	}
+	if !strings.Contains(rep.String(), "100.0%") {
+		t.Errorf("report string: %s", rep)
+	}
+}
+
+// A fault on a net that never influences the outputs must go undetected
+// (negative control for the campaign machinery).
+func TestFaultCampaignUndetectable(t *testing.T) {
+	n := New()
+	a, b := n.Input("a"), n.Input("b")
+	x := n.AndGate(a, b)
+	n.XorGate(a, b) // dangling gate, unobserved
+	n.MarkOutput(x, "x")
+	driver := func(s *Sim) []bits.Vec {
+		s.SetMany([]Signal{a, b}, bits.Vec{1, 1})
+		return []bits.Vec{{s.Get(x)}}
+	}
+	rep, err := RunFaultCampaign(n, AllStuckAtFaults(n), driver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Undetected) < 2 {
+		t.Fatalf("dangling-gate faults should be undetectable: %s", rep)
+	}
+	if rep.Coverage() >= 1.0 {
+		t.Fatal("coverage should be below 100%")
+	}
+}
+
+func TestFaultReportEmpty(t *testing.T) {
+	r := FaultReport{}
+	if r.Coverage() != 1 {
+		t.Error("empty campaign coverage != 1")
+	}
+}

@@ -1,0 +1,133 @@
+package logic
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+)
+
+// Structural building blocks shared by the MMM circuit and the
+// exponentiator: multiplexers, balanced reduction trees, comparators,
+// prefix networks and deferred-binding flip-flops.
+
+// Mux2 builds sel ? a : b (2 AND + 1 OR + 1 NOT).
+func (n *Netlist) Mux2(sel, a, b Signal) Signal {
+	return n.OrGate(n.AndGate(sel, a), n.AndGate(n.NotGate(sel), b))
+}
+
+// AndTree reduces terms with a balanced tree of AND gates (Const1 for an
+// empty list).
+func (n *Netlist) AndTree(terms []Signal) Signal {
+	return n.reduceTree(terms, Const1, n.AndGate)
+}
+
+// OrTree reduces terms with a balanced tree of OR gates (Const0 for an
+// empty list).
+func (n *Netlist) OrTree(terms []Signal) Signal {
+	return n.reduceTree(terms, Const0, n.OrGate)
+}
+
+func (n *Netlist) reduceTree(terms []Signal, empty Signal, op func(a, b Signal) Signal) Signal {
+	if len(terms) == 0 {
+		return empty
+	}
+	work := append([]Signal(nil), terms...)
+	for len(work) > 1 {
+		next := make([]Signal, 0, (len(work)+1)/2)
+		for i := 0; i+1 < len(work); i += 2 {
+			next = append(next, op(work[i], work[i+1]))
+		}
+		if len(work)%2 == 1 {
+			next = append(next, work[len(work)-1])
+		}
+		work = next
+	}
+	return work[0]
+}
+
+// EqualsConst builds a comparator asserting when the bus equals k
+// (balanced AND tree, logarithmic depth).
+func (n *Netlist) EqualsConst(bus []Signal, k int) Signal {
+	if k >= 1<<len(bus) {
+		panic(fmt.Sprintf("logic: comparator constant %d exceeds %d-bit bus", k, len(bus)))
+	}
+	terms := make([]Signal, len(bus))
+	for i, s := range bus {
+		if (k>>i)&1 == 1 {
+			terms[i] = s
+		} else {
+			terms[i] = n.NotGate(s)
+		}
+	}
+	return n.AndTree(terms)
+}
+
+// IsZero asserts when every bus bit is low.
+func (n *Netlist) IsZero(bus []Signal) Signal {
+	return n.NotGate(n.OrTree(bus))
+}
+
+// PrefixAnds returns p[i] = bus[0] & … & bus[i] via a Kogge–Stone
+// parallel-prefix network (logarithmic depth).
+func (n *Netlist) PrefixAnds(bus []Signal) []Signal {
+	p := append([]Signal(nil), bus...)
+	for stride := 1; stride < len(p); stride *= 2 {
+		next := append([]Signal(nil), p...)
+		for i := stride; i < len(p); i++ {
+			next[i] = n.AndGate(p[i], p[i-stride])
+		}
+		p = next
+	}
+	return p
+}
+
+// IncrementLogic returns the combinational successor of the bus value
+// (carry-lookahead via PrefixAnds; the final carry out is dropped).
+func (n *Netlist) IncrementLogic(bus []Signal) []Signal {
+	prefix := n.PrefixAnds(bus)
+	out := make([]Signal, len(bus))
+	for i := range bus {
+		carry := Const1
+		if i > 0 {
+			carry = prefix[i-1]
+		}
+		out[i] = n.XorGate(bus[i], carry)
+	}
+	return out
+}
+
+// DecrementLogic returns the combinational predecessor of the bus value:
+// bit i flips when all lower bits are zero.
+func (n *Netlist) DecrementLogic(bus []Signal) []Signal {
+	inv := make([]Signal, len(bus))
+	for i, s := range bus {
+		inv[i] = n.NotGate(s)
+	}
+	prefix := n.PrefixAnds(inv)
+	out := make([]Signal, len(bus))
+	for i := range bus {
+		borrow := Const1
+		if i > 0 {
+			borrow = prefix[i-1]
+		}
+		out[i] = n.XorGate(bus[i], borrow)
+	}
+	return out
+}
+
+// FeedbackFF allocates a flip-flop whose D net is bound after downstream
+// logic exists (for nets that depend on this flip-flop's own Q). The
+// returned setter must be called exactly once.
+func (n *Netlist) FeedbackFF(clr Signal, init bits.Bit, name string) (Signal, func(Signal)) {
+	buf := n.BufGate(Const0)
+	gi := n.NumGates() - 1
+	q := n.AddDFFFull(buf, Const1, clr, init, name)
+	bound := false
+	return q, func(d Signal) {
+		if bound {
+			panic(fmt.Sprintf("logic: D of %s bound twice", name))
+		}
+		bound = true
+		n.PatchGateInput(gi, d)
+	}
+}

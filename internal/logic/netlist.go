@@ -1,0 +1,344 @@
+// Package logic is a structural gate-level hardware substrate: netlists of
+// two-input gates and D flip-flops, a levelized cycle-accurate simulator,
+// and static timing analysis.
+//
+// It stands in for the FPGA fabric the paper targets. The systolic array
+// of Fig. 1/2 is constructed as a netlist in this package (see
+// internal/systolic), simulated clock edge by clock edge, measured for
+// area (gate census) and speed (critical path), and emitted as Verilog or
+// VCD waveforms. The simulator is strictly synchronous: all combinational
+// gates settle between edges (levelized evaluation), then every flip-flop
+// loads its D input at once — the same abstraction as the paper's
+// single-clock design.
+package logic
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+)
+
+// Signal identifies a net in a netlist. Signals 0 and 1 are the constant
+// nets low and high.
+type Signal int32
+
+// Const0 and Const1 are the constant-low and constant-high nets, valid in
+// every netlist.
+const (
+	Const0 Signal = 0
+	Const1 Signal = 1
+)
+
+// GateKind enumerates the primitive gate types. They match the gate
+// vocabulary the paper uses for its area figures (AND, OR, XOR, plus NOT
+// and BUF for glue logic).
+type GateKind uint8
+
+// Primitive gate kinds.
+const (
+	And GateKind = iota
+	Or
+	Xor
+	Not
+	Buf
+	numGateKinds
+)
+
+// String returns the conventional name of the gate kind.
+func (k GateKind) String() string {
+	switch k {
+	case And:
+		return "AND"
+	case Or:
+		return "OR"
+	case Xor:
+		return "XOR"
+	case Not:
+		return "NOT"
+	case Buf:
+		return "BUF"
+	default:
+		return fmt.Sprintf("GateKind(%d)", uint8(k))
+	}
+}
+
+// Gate is one primitive gate instance. For Not and Buf only input A is
+// used.
+type Gate struct {
+	Kind GateKind
+	A, B Signal
+	Out  Signal
+}
+
+// DFF is a positive-edge D flip-flop with a synchronous reset value, a
+// clock-enable net CE, and a synchronous clear net CLR. On a clock edge:
+// if CLR is high the flip-flop returns to Init; otherwise if CE is high
+// it captures D; otherwise it holds. Virtex-E slice flip-flops provide
+// both CE and synchronous set/reset natively, so neither costs fabric
+// gates — the paper's shared x/m pipeline registers and the MMMC's
+// IDLE-state reset rely on them.
+type DFF struct {
+	D    Signal
+	Q    Signal
+	CE   Signal
+	CLR  Signal
+	Init bits.Bit
+}
+
+// Netlist is a mutable structural circuit description. Build it with the
+// constructor methods, then Compile it into a Sim for execution.
+type Netlist struct {
+	numSignals int32
+	gates      []Gate
+	dffs       []DFF
+	inputs     []Signal
+	outputs    []Signal
+	names      map[Signal]string
+	byName     map[string]Signal
+
+	// macro census, for matching the paper's FA/HA cell inventories
+	fullAdders int
+	halfAdders int
+}
+
+// New returns an empty netlist containing only the constant nets.
+func New() *Netlist {
+	return &Netlist{
+		numSignals: 2, // Const0, Const1
+		names:      map[Signal]string{Const0: "const0", Const1: "const1"},
+		byName:     map[string]Signal{"const0": Const0, "const1": Const1},
+	}
+}
+
+func (n *Netlist) newSignal() Signal {
+	s := Signal(n.numSignals)
+	n.numSignals++
+	return s
+}
+
+func (n *Netlist) checkSignal(s Signal) {
+	if s < 0 || int32(s) >= n.numSignals {
+		panic(fmt.Sprintf("logic: signal %d out of range (have %d)", s, n.numSignals))
+	}
+}
+
+// Input declares a new primary input net with the given name.
+func (n *Netlist) Input(name string) Signal {
+	s := n.newSignal()
+	n.inputs = append(n.inputs, s)
+	n.setName(s, name)
+	return s
+}
+
+// InputVec declares width primary inputs named name(0)..name(width-1),
+// LSB first.
+func (n *Netlist) InputVec(name string, width int) []Signal {
+	v := make([]Signal, width)
+	for i := range v {
+		v[i] = n.Input(fmt.Sprintf("%s(%d)", name, i))
+	}
+	return v
+}
+
+// Name attaches a diagnostic name to an existing signal (used by the VCD
+// and Verilog emitters). Later names override earlier ones.
+func (n *Netlist) Name(s Signal, name string) {
+	n.checkSignal(s)
+	n.setName(s, name)
+}
+
+func (n *Netlist) setName(s Signal, name string) {
+	if prev, ok := n.byName[name]; ok && prev != s {
+		panic(fmt.Sprintf("logic: duplicate signal name %q", name))
+	}
+	n.names[s] = name
+	n.byName[name] = s
+}
+
+// SignalByName looks a signal up by its diagnostic name.
+func (n *Netlist) SignalByName(name string) (Signal, bool) {
+	s, ok := n.byName[name]
+	return s, ok
+}
+
+// NameOf returns the diagnostic name of s, or a generated placeholder.
+func (n *Netlist) NameOf(s Signal) string {
+	if name, ok := n.names[s]; ok {
+		return name
+	}
+	return fmt.Sprintf("n%d", s)
+}
+
+func (n *Netlist) gate2(kind GateKind, a, b Signal) Signal {
+	n.checkSignal(a)
+	n.checkSignal(b)
+	out := n.newSignal()
+	n.gates = append(n.gates, Gate{Kind: kind, A: a, B: b, Out: out})
+	return out
+}
+
+// AndGate adds a 2-input AND gate and returns its output net.
+func (n *Netlist) AndGate(a, b Signal) Signal { return n.gate2(And, a, b) }
+
+// OrGate adds a 2-input OR gate and returns its output net.
+func (n *Netlist) OrGate(a, b Signal) Signal { return n.gate2(Or, a, b) }
+
+// XorGate adds a 2-input XOR gate and returns its output net.
+func (n *Netlist) XorGate(a, b Signal) Signal { return n.gate2(Xor, a, b) }
+
+// NotGate adds an inverter and returns its output net.
+func (n *Netlist) NotGate(a Signal) Signal {
+	n.checkSignal(a)
+	out := n.newSignal()
+	n.gates = append(n.gates, Gate{Kind: Not, A: a, B: Const0, Out: out})
+	return out
+}
+
+// BufGate adds a buffer and returns its output net.
+func (n *Netlist) BufGate(a Signal) Signal {
+	n.checkSignal(a)
+	out := n.newSignal()
+	n.gates = append(n.gates, Gate{Kind: Buf, A: a, B: Const0, Out: out})
+	return out
+}
+
+// PatchGateInput rewires the A input of an existing gate. It exists to
+// close feedback loops through flip-flops: allocate a buffer whose output
+// feeds a DFF, build the downstream logic reading the DFF's Q, then patch
+// the buffer's input to the real D net. Must be called before Compile or
+// AnalyzeTiming.
+func (n *Netlist) PatchGateInput(gateIndex int, a Signal) {
+	if gateIndex < 0 || gateIndex >= len(n.gates) {
+		panic(fmt.Sprintf("logic: gate index %d out of range", gateIndex))
+	}
+	n.checkSignal(a)
+	n.gates[gateIndex].A = a
+}
+
+// FullAdder instantiates the canonical 5-gate full adder
+// (2 XOR + 2 AND + 1 OR) and returns (sum, carry). This is the FA of
+// Fig. 1; the census counts it both as a macro and as primitive gates.
+func (n *Netlist) FullAdder(a, b, cin Signal) (sum, cout Signal) {
+	axb := n.XorGate(a, b)
+	sum = n.XorGate(axb, cin)
+	and1 := n.AndGate(a, b)
+	and2 := n.AndGate(axb, cin)
+	cout = n.OrGate(and1, and2)
+	n.fullAdders++
+	return sum, cout
+}
+
+// HalfAdder instantiates the canonical 2-gate half adder (XOR + AND) and
+// returns (sum, carry).
+func (n *Netlist) HalfAdder(a, b Signal) (sum, cout Signal) {
+	sum = n.XorGate(a, b)
+	cout = n.AndGate(a, b)
+	n.halfAdders++
+	return sum, cout
+}
+
+// AddDFF adds an always-enabled D flip-flop with reset value init and
+// returns its Q net.
+func (n *Netlist) AddDFF(d Signal, init bits.Bit, name string) Signal {
+	return n.AddDFFCE(d, Const1, init, name)
+}
+
+// AddDFFCE adds a D flip-flop gated by the clock-enable net ce.
+func (n *Netlist) AddDFFCE(d, ce Signal, init bits.Bit, name string) Signal {
+	return n.AddDFFFull(d, ce, Const0, init, name)
+}
+
+// AddDFFFull adds a D flip-flop with both a clock enable and a
+// synchronous clear.
+func (n *Netlist) AddDFFFull(d, ce, clr Signal, init bits.Bit, name string) Signal {
+	n.checkSignal(d)
+	n.checkSignal(ce)
+	n.checkSignal(clr)
+	if init > 1 {
+		panic(fmt.Sprintf("logic: invalid DFF init %d", init))
+	}
+	q := n.newSignal()
+	n.dffs = append(n.dffs, DFF{D: d, Q: q, CE: ce, CLR: clr, Init: init})
+	if name != "" {
+		n.setName(q, name)
+	}
+	return q
+}
+
+// Counts of netlist elements.
+
+// NumSignals returns the number of nets, including the two constants.
+func (n *Netlist) NumSignals() int { return int(n.numSignals) }
+
+// NumGates returns the number of primitive gates.
+func (n *Netlist) NumGates() int { return len(n.gates) }
+
+// NumDFFs returns the number of flip-flops.
+func (n *Netlist) NumDFFs() int { return len(n.dffs) }
+
+// Inputs returns the primary input nets in declaration order.
+func (n *Netlist) Inputs() []Signal { return append([]Signal(nil), n.inputs...) }
+
+// MarkOutput declares s a primary output: analysis passes (technology
+// mapping, timing) treat it as a live sink even if no flip-flop reads it.
+func (n *Netlist) MarkOutput(s Signal, name string) {
+	n.checkSignal(s)
+	n.outputs = append(n.outputs, s)
+	if name != "" {
+		if prev, ok := n.byName[name]; !ok || prev != s {
+			n.setName(s, name)
+		}
+	}
+}
+
+// Outputs returns the declared primary output nets.
+func (n *Netlist) Outputs() []Signal { return append([]Signal(nil), n.outputs...) }
+
+// Gates returns a copy of the gate list (for emitters and analyzers).
+func (n *Netlist) Gates() []Gate { return append([]Gate(nil), n.gates...) }
+
+// DFFs returns a copy of the flip-flop list.
+func (n *Netlist) DFFs() []DFF { return append([]DFF(nil), n.dffs...) }
+
+// Census tallies a netlist's primitive gates and macro cells — the
+// quantities the paper reports for Fig. 2 ("(5l−3) XOR + (7l−7) AND +
+// (4l−5) OR gates and 4l flip-flops").
+type Census struct {
+	And, Or, Xor, Not, Buf int
+	DFF                    int
+	FullAdders             int
+	HalfAdders             int
+}
+
+// Census computes the gate census of the netlist.
+func (n *Netlist) Census() Census {
+	c := Census{
+		DFF:        len(n.dffs),
+		FullAdders: n.fullAdders,
+		HalfAdders: n.halfAdders,
+	}
+	for _, g := range n.gates {
+		switch g.Kind {
+		case And:
+			c.And++
+		case Or:
+			c.Or++
+		case Xor:
+			c.Xor++
+		case Not:
+			c.Not++
+		case Buf:
+			c.Buf++
+		}
+	}
+	return c
+}
+
+// TotalGates returns the total primitive gate count.
+func (c Census) TotalGates() int { return c.And + c.Or + c.Xor + c.Not + c.Buf }
+
+// String renders the census in the paper's style.
+func (c Census) String() string {
+	return fmt.Sprintf("%d XOR + %d AND + %d OR + %d NOT + %d BUF gates, %d flip-flops (%d FA, %d HA macros)",
+		c.Xor, c.And, c.Or, c.Not, c.Buf, c.DFF, c.FullAdders, c.HalfAdders)
+}

@@ -1,0 +1,412 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bits"
+)
+
+func TestGateKindString(t *testing.T) {
+	cases := map[GateKind]string{And: "AND", Or: "OR", Xor: "XOR", Not: "NOT", Buf: "BUF"}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+	if !strings.Contains(GateKind(99).String(), "99") {
+		t.Error("unknown kind String")
+	}
+}
+
+func TestConstants(t *testing.T) {
+	n := New()
+	s, err := Compile(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Get(Const0) != 0 || s.Get(Const1) != 1 {
+		t.Fatal("constants wrong")
+	}
+	s.Step()
+	if s.Get(Const1) != 1 {
+		t.Fatal("Const1 lost after Step")
+	}
+}
+
+func TestPrimitiveGateTruthTables(t *testing.T) {
+	n := New()
+	a, b := n.Input("a"), n.Input("b")
+	and := n.AndGate(a, b)
+	or := n.OrGate(a, b)
+	xor := n.XorGate(a, b)
+	not := n.NotGate(a)
+	buf := n.BufGate(a)
+	s, err := Compile(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for av := bits.Bit(0); av <= 1; av++ {
+		for bv := bits.Bit(0); bv <= 1; bv++ {
+			s.SetMany([]Signal{a, b}, []bits.Bit{av, bv})
+			if s.Get(and) != av&bv {
+				t.Errorf("AND(%d,%d) = %d", av, bv, s.Get(and))
+			}
+			if s.Get(or) != av|bv {
+				t.Errorf("OR(%d,%d) = %d", av, bv, s.Get(or))
+			}
+			if s.Get(xor) != av^bv {
+				t.Errorf("XOR(%d,%d) = %d", av, bv, s.Get(xor))
+			}
+			if s.Get(not) != av^1 {
+				t.Errorf("NOT(%d) = %d", av, s.Get(not))
+			}
+			if s.Get(buf) != av {
+				t.Errorf("BUF(%d) = %d", av, s.Get(buf))
+			}
+		}
+	}
+}
+
+// The gate-level full adder must agree with the behavioural one on all
+// eight input combinations, and the half adder on all four.
+func TestAdderMacrosExhaustive(t *testing.T) {
+	n := New()
+	a, b, cin := n.Input("a"), n.Input("b"), n.Input("cin")
+	fs, fc := n.FullAdder(a, b, cin)
+	hs, hc := n.HalfAdder(a, b)
+	s, err := Compile(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for av := bits.Bit(0); av <= 1; av++ {
+		for bv := bits.Bit(0); bv <= 1; bv++ {
+			for cv := bits.Bit(0); cv <= 1; cv++ {
+				s.SetMany([]Signal{a, b, cin}, []bits.Bit{av, bv, cv})
+				wantS, wantC := bits.FullAdd(av, bv, cv)
+				if s.Get(fs) != wantS || s.Get(fc) != wantC {
+					t.Errorf("FA(%d,%d,%d) = %d,%d want %d,%d",
+						av, bv, cv, s.Get(fs), s.Get(fc), wantS, wantC)
+				}
+				hwS, hwC := bits.HalfAdd(av, bv)
+				if s.Get(hs) != hwS || s.Get(hc) != hwC {
+					t.Errorf("HA(%d,%d) = %d,%d", av, bv, s.Get(hs), s.Get(hc))
+				}
+			}
+		}
+	}
+}
+
+func TestCensus(t *testing.T) {
+	n := New()
+	a, b, c := n.Input("a"), n.Input("b"), n.Input("c")
+	n.FullAdder(a, b, c) // 2 XOR + 2 AND + 1 OR
+	n.HalfAdder(a, b)    // 1 XOR + 1 AND
+	n.NotGate(a)
+	n.BufGate(b)
+	n.AddDFF(c, 0, "q")
+	got := n.Census()
+	want := Census{And: 3, Or: 1, Xor: 3, Not: 1, Buf: 1, DFF: 1, FullAdders: 1, HalfAdders: 1}
+	if got != want {
+		t.Fatalf("Census = %+v, want %+v", got, want)
+	}
+	if got.TotalGates() != 9 {
+		t.Errorf("TotalGates = %d", got.TotalGates())
+	}
+	if !strings.Contains(got.String(), "3 XOR + 3 AND + 1 OR") {
+		t.Errorf("Census.String = %q", got.String())
+	}
+}
+
+// A DFF chain must shift one position per Step and honour init values.
+func TestDFFShiftRegister(t *testing.T) {
+	n := New()
+	in := n.Input("in")
+	q1 := n.AddDFF(in, 0, "q1")
+	q2 := n.AddDFF(q1, 1, "q2")
+	q3 := n.AddDFF(q2, 0, "q3")
+	s, err := Compile(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// init: q1=0 q2=1 q3=0
+	if s.Get(q1) != 0 || s.Get(q2) != 1 || s.Get(q3) != 0 {
+		t.Fatal("init values wrong")
+	}
+	s.Set(in, 1)
+	s.Step() // q1=1 q2=0 q3=1
+	if s.Get(q1) != 1 || s.Get(q2) != 0 || s.Get(q3) != 1 {
+		t.Fatalf("after step 1: %d %d %d", s.Get(q1), s.Get(q2), s.Get(q3))
+	}
+	s.Set(in, 0)
+	s.Step() // q1=0 q2=1 q3=0
+	if s.Get(q1) != 0 || s.Get(q2) != 1 || s.Get(q3) != 0 {
+		t.Fatal("after step 2 wrong")
+	}
+	if s.Cycle() != 2 {
+		t.Errorf("Cycle = %d", s.Cycle())
+	}
+	s.Reset()
+	if s.Get(q2) != 1 || s.Cycle() != 0 {
+		t.Error("Reset did not restore init state")
+	}
+}
+
+// Two cross-coupled DFFs (a toggling pair) exercise the simultaneous
+// commit: values must swap, not smear.
+func TestDFFSimultaneousCommit(t *testing.T) {
+	n := New()
+	// q1 <- q2, q2 <- q1, initialized to different values.
+	// Build with a placeholder input then rewire via gates: feed q2 into
+	// d1 using a Buf so declaration order doesn't matter.
+	q2Probe := n.Input("placeholder") // will be ignored
+	_ = q2Probe
+	// Declare DFFs with temporary D, then we cannot rewire; instead use
+	// the idiom of creating DFFs whose D nets are created after: not
+	// supported. Swap via XOR trick instead:
+	// q1' = q2 requires q2 to exist first:
+	d1 := n.Input("d1seed")
+	q1 := n.AddDFF(d1, 0, "q1")
+	q2 := n.AddDFF(q1, 1, "q2")
+	// Close the loop approximately: drive d1 from q2 via a Buf is not
+	// possible post-hoc, so emulate one exchange step manually.
+	s, err := Compile(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Set(d1, s.Get(q2)) // d1 = q2 = 1
+	s.Step()
+	if s.Get(q1) != 1 || s.Get(q2) != 0 {
+		t.Fatalf("swap failed: q1=%d q2=%d", s.Get(q1), s.Get(q2))
+	}
+}
+
+func TestCombinationalLoopDetected(t *testing.T) {
+	n := New()
+	a := n.Input("a")
+	// Create a loop through two gates by abusing signal numbering:
+	// gate1 reads gate2's output before it exists — construct manually.
+	g1out := n.newSignal()
+	g2out := n.newSignal()
+	n.gates = append(n.gates,
+		Gate{Kind: And, A: a, B: g2out, Out: g1out},
+		Gate{Kind: Or, A: g1out, B: a, Out: g2out},
+	)
+	if _, err := Compile(n); err != ErrCombinationalLoop {
+		t.Fatalf("Compile err = %v, want loop", err)
+	}
+	if _, err := AnalyzeTiming(n, UnitDelays); err != ErrCombinationalLoop {
+		t.Fatalf("AnalyzeTiming err = %v, want loop", err)
+	}
+}
+
+func TestMultipleDriversDetected(t *testing.T) {
+	n := New()
+	a, b := n.Input("a"), n.Input("b")
+	out := n.AndGate(a, b)
+	n.gates = append(n.gates, Gate{Kind: Or, A: a, B: b, Out: out})
+	if _, err := Compile(n); err == nil {
+		t.Fatal("multiple drivers not detected")
+	}
+}
+
+func TestNames(t *testing.T) {
+	n := New()
+	a := n.Input("a")
+	x := n.AndGate(a, a)
+	n.Name(x, "result")
+	if got, ok := n.SignalByName("result"); !ok || got != x {
+		t.Error("SignalByName failed")
+	}
+	if n.NameOf(x) != "result" {
+		t.Errorf("NameOf = %q", n.NameOf(x))
+	}
+	y := n.OrGate(a, a)
+	if !strings.HasPrefix(n.NameOf(y), "n") {
+		t.Errorf("placeholder name = %q", n.NameOf(y))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate name did not panic")
+		}
+	}()
+	n.Name(y, "result")
+}
+
+func TestInputVecAndGetVec(t *testing.T) {
+	n := New()
+	v := n.InputVec("x", 4)
+	s, err := Compile(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetMany(v, bits.FromUint64(0b1010, 4))
+	if got := s.GetVec(v).Uint64(); got != 0b1010 {
+		t.Errorf("GetVec = %#b", got)
+	}
+}
+
+func TestSimPanics(t *testing.T) {
+	n := New()
+	a := n.Input("a")
+	s, _ := Compile(n)
+	for name, f := range map[string]func(){
+		"Set invalid value":     func() { s.Set(a, 2) },
+		"Set invalid signal":    func() { s.Set(Signal(999), 0) },
+		"SetMany length":        func() { s.SetMany([]Signal{a}, nil) },
+		"SetMany invalid value": func() { s.SetMany([]Signal{a}, []bits.Bit{3}) },
+		"Get invalid signal":    func() { s.Get(Signal(-1)) },
+		"DFF invalid init":      func() { n.AddDFF(a, 2, "bad") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// A ripple-carry adder built from FullAdder macros must add correctly for
+// all 8-bit operand pairs (exhaustive over a sample) — an integration test
+// of builder + simulator.
+func TestRippleCarryAdder(t *testing.T) {
+	const w = 8
+	n := New()
+	av := n.InputVec("a", w)
+	bv := n.InputVec("b", w)
+	sum := make([]Signal, w+1)
+	carry := Signal(Const0)
+	for i := 0; i < w; i++ {
+		sum[i], carry = n.FullAdder(av[i], bv[i], carry)
+	}
+	sum[w] = carry
+	s, err := Compile(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 256; a += 7 {
+		for b := 0; b < 256; b += 13 {
+			s.SetMany(av, bits.FromUint64(uint64(a), w))
+			s.SetMany(bv, bits.FromUint64(uint64(b), w))
+			if got := s.GetVec(sum).Uint64(); got != uint64(a+b) {
+				t.Fatalf("%d + %d = %d", a, b, got)
+			}
+		}
+	}
+}
+
+func TestAnalyzeTimingRippleCarry(t *testing.T) {
+	const w = 4
+	n := New()
+	av := n.InputVec("a", w)
+	bv := n.InputVec("b", w)
+	var couts []Signal
+	carry := Signal(Const0)
+	var sumLast Signal
+	for i := 0; i < w; i++ {
+		sumLast, carry = n.FullAdder(av[i], bv[i], carry)
+		couts = append(couts, carry)
+	}
+	rep, err := AnalyzeTiming(n, UnitDelays, sumLast, carry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Longest path runs through the carry chain: the first FA reaches its
+	// cout in 3 levels (XOR → AND → OR via the a⊕b term) and every later
+	// FA adds AND + OR = 2 levels, so the final carry arrives at
+	// 3 + 2(w-1) = 2w+1 levels — one more than the final sum bit.
+	if rep.CriticalLevels != 2*w+1 {
+		t.Errorf("CriticalLevels = %d, want %d", rep.CriticalLevels, 2*w+1)
+	}
+	if rep.CriticalDelay != float64(2*w+1) {
+		t.Errorf("CriticalDelay = %v", rep.CriticalDelay)
+	}
+	if len(rep.Path) == 0 {
+		t.Error("empty critical path")
+	}
+	_ = couts
+}
+
+// Timing must treat DFF boundaries as cuts: a pipelined circuit's
+// critical path is per-stage, not end-to-end.
+func TestAnalyzeTimingPipelineCut(t *testing.T) {
+	n := New()
+	a, b := n.Input("a"), n.Input("b")
+	// Stage 1: 3 XORs in a row.
+	x := n.XorGate(n.XorGate(n.XorGate(a, b), b), a)
+	q := n.AddDFF(x, 0, "q")
+	// Stage 2: 2 XORs.
+	y := n.XorGate(n.XorGate(q, b), a)
+	rep, err := AnalyzeTiming(n, UnitDelays, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CriticalLevels != 3 {
+		t.Errorf("CriticalLevels = %d, want 3 (stage 1)", rep.CriticalLevels)
+	}
+}
+
+func TestDelayModelHelpers(t *testing.T) {
+	d := DelayModel{And: 2, Or: 3, Xor: 5, Not: 1, Buf: 0}
+	if d.FACarryDelay() != 5 {
+		t.Errorf("FACarryDelay = %v", d.FACarryDelay())
+	}
+	if d.HACarryDelay() != 2 {
+		t.Errorf("HACarryDelay = %v", d.HACarryDelay())
+	}
+	for _, k := range []GateKind{And, Or, Xor, Not, Buf} {
+		if d.Delay(k) < 0 {
+			t.Errorf("Delay(%v) negative", k)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Delay(unknown) did not panic")
+		}
+	}()
+	d.Delay(GateKind(42))
+}
+
+func TestAnalyzeTimingEmptyNetlist(t *testing.T) {
+	n := New()
+	rep, err := AnalyzeTiming(n, UnitDelays)
+	if err != nil || rep.CriticalDelay != 0 || len(rep.Path) != 0 {
+		t.Errorf("empty netlist: %+v err=%v", rep, err)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	n := New()
+	a, b := n.Input("a"), n.Input("b")
+	x := n.XorGate(a, b)
+	clr := n.Input("clr")
+	q := n.AddDFFFull(x, a, clr, 0, "q")
+	n.MarkOutput(q, "qout")
+	var sb strings.Builder
+	if err := WriteDOT(&sb, n, "cell", 100); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`digraph "cell"`, "shape=box", "XOR", "doublecircle",
+		`label="ce"`, `label="clr"`, `label="qout"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in DOT output", want)
+		}
+	}
+	if err := WriteDOT(&sb, n, "cell", 0); err != nil {
+		t.Fatal("maxGates 0 should mean unlimited")
+	}
+	big := New()
+	in := big.InputVec("i", 2)
+	for i := 0; i < 20; i++ {
+		big.AndGate(in[0], in[1])
+	}
+	if err := WriteDOT(&sb, big, "big", 5); err == nil {
+		t.Error("gate cap not enforced")
+	}
+}

@@ -1,0 +1,245 @@
+package logic
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bits"
+)
+
+// Sim executes a compiled netlist cycle by cycle. Between clock edges all
+// combinational gates are evaluated once in topological (levelized)
+// order; Step then commits every flip-flop simultaneously, modelling a
+// single global clock edge.
+type Sim struct {
+	n      *Netlist
+	order  []int // gate indices in topological order
+	vals   []bits.Bit
+	ffNext []bits.Bit // scratch for the two-phase DFF commit
+	cycle  int
+
+	// force holds stuck-at overrides (see Force in faults.go); applied
+	// after every settle pass and every clock edge.
+	force map[Signal]bits.Bit
+}
+
+// ErrCombinationalLoop is returned by Compile when the gate graph is
+// cyclic without an intervening flip-flop.
+var ErrCombinationalLoop = errors.New("logic: combinational loop")
+
+// Compile levelizes the netlist and returns a simulator with all
+// flip-flops in their reset state and all inputs low.
+func Compile(n *Netlist) (*Sim, error) {
+	order, err := levelize(n)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sim{
+		n:      n,
+		order:  order,
+		vals:   make([]bits.Bit, n.numSignals),
+		ffNext: make([]bits.Bit, len(n.dffs)),
+	}
+	s.Reset()
+	return s, nil
+}
+
+// TopoGates returns gate indices in dependency order — the same
+// levelization Compile uses. Exported for analysis passes (technology
+// mapping, timing) that walk the combinational graph.
+func TopoGates(n *Netlist) ([]int, error) { return levelize(n) }
+
+// GateInputs returns the input nets a gate actually reads (one for
+// Not/Buf, two otherwise).
+func GateInputs(g Gate) []Signal { return gateInputs(g) }
+
+// levelize returns gate indices in dependency order. DFF Q outputs and
+// primary inputs are sources; an edge runs from each gate input net to
+// the gate. Kahn's algorithm; leftover gates indicate a loop.
+func levelize(n *Netlist) ([]int, error) {
+	// driverGate[s] = index of the gate driving net s, or -1.
+	driverGate := make([]int, n.numSignals)
+	for i := range driverGate {
+		driverGate[i] = -1
+	}
+	for gi, g := range n.gates {
+		if driverGate[g.Out] != -1 {
+			return nil, fmt.Errorf("logic: net %s has multiple drivers", n.NameOf(g.Out))
+		}
+		driverGate[g.Out] = gi
+	}
+	for _, ff := range n.dffs {
+		if driverGate[ff.Q] != -1 {
+			return nil, fmt.Errorf("logic: net %s driven by both gate and DFF", n.NameOf(ff.Q))
+		}
+	}
+
+	indeg := make([]int, len(n.gates))
+	dependents := make([][]int32, len(n.gates)) // gate -> gates reading its output
+	for gi, g := range n.gates {
+		for _, in := range gateInputs(g) {
+			if d := driverGate[in]; d != -1 {
+				indeg[gi]++
+				dependents[d] = append(dependents[d], int32(gi))
+			}
+		}
+	}
+	queue := make([]int, 0, len(n.gates))
+	for gi, d := range indeg {
+		if d == 0 {
+			queue = append(queue, gi)
+		}
+	}
+	order := make([]int, 0, len(n.gates))
+	for len(queue) > 0 {
+		gi := queue[0]
+		queue = queue[1:]
+		order = append(order, gi)
+		for _, dep := range dependents[gi] {
+			indeg[dep]--
+			if indeg[dep] == 0 {
+				queue = append(queue, int(dep))
+			}
+		}
+	}
+	if len(order) != len(n.gates) {
+		return nil, ErrCombinationalLoop
+	}
+	return order, nil
+}
+
+func gateInputs(g Gate) []Signal {
+	if g.Kind == Not || g.Kind == Buf {
+		return []Signal{g.A}
+	}
+	return []Signal{g.A, g.B}
+}
+
+// Reset returns every flip-flop to its init value, zeroes the inputs and
+// re-settles the combinational logic. The cycle counter restarts at 0.
+func (s *Sim) Reset() {
+	for i := range s.vals {
+		s.vals[i] = 0
+	}
+	s.vals[Const1] = 1
+	for _, ff := range s.n.dffs {
+		s.vals[ff.Q] = ff.Init
+	}
+	s.cycle = 0
+	s.settle()
+}
+
+// Cycle returns the number of clock edges since Reset.
+func (s *Sim) Cycle() int { return s.cycle }
+
+// Set drives a primary input net and re-settles the combinational logic.
+func (s *Sim) Set(in Signal, v bits.Bit) {
+	if v > 1 {
+		panic(fmt.Sprintf("logic: invalid input value %d", v))
+	}
+	s.n.checkSignal(in)
+	s.vals[in] = v
+	s.settle()
+}
+
+// SetMany drives several inputs at once with a single settle pass.
+func (s *Sim) SetMany(ins []Signal, vs []bits.Bit) {
+	if len(ins) != len(vs) {
+		panic("logic: SetMany length mismatch")
+	}
+	for i, in := range ins {
+		if vs[i] > 1 {
+			panic(fmt.Sprintf("logic: invalid input value %d", vs[i]))
+		}
+		s.n.checkSignal(in)
+		s.vals[in] = vs[i]
+	}
+	s.settle()
+}
+
+// Get reads the settled value of any net.
+func (s *Sim) Get(sig Signal) bits.Bit {
+	s.n.checkSignal(sig)
+	return s.vals[sig]
+}
+
+// GetVec reads a vector of nets LSB-first.
+func (s *Sim) GetVec(sigs []Signal) bits.Vec {
+	v := make(bits.Vec, len(sigs))
+	for i, sig := range sigs {
+		v[i] = s.Get(sig)
+	}
+	return v
+}
+
+// Step advances one clock edge: flip-flops capture their (already
+// settled) D inputs simultaneously, then combinational logic re-settles.
+func (s *Sim) Step() {
+	// Capture first, commit second: D, CE and CLR values must be pre-edge.
+	for i, ff := range s.n.dffs {
+		switch {
+		case s.vals[ff.CLR] == 1:
+			s.ffNext[i] = ff.Init
+		case s.vals[ff.CE] == 1:
+			s.ffNext[i] = s.vals[ff.D]
+		default:
+			s.ffNext[i] = s.vals[ff.Q]
+		}
+	}
+	for i, ff := range s.n.dffs {
+		s.vals[ff.Q] = s.ffNext[i]
+	}
+	s.cycle++
+	s.settle()
+}
+
+// settle evaluates every gate once in topological order, honouring any
+// stuck-at overrides.
+func (s *Sim) settle() {
+	if len(s.force) == 0 {
+		s.settleFast()
+		return
+	}
+	for sig, v := range s.force {
+		s.vals[sig] = v
+	}
+	for _, gi := range s.order {
+		g := &s.n.gates[gi]
+		if _, forced := s.force[g.Out]; forced {
+			continue
+		}
+		a := s.vals[g.A]
+		switch g.Kind {
+		case And:
+			s.vals[g.Out] = a & s.vals[g.B]
+		case Or:
+			s.vals[g.Out] = a | s.vals[g.B]
+		case Xor:
+			s.vals[g.Out] = a ^ s.vals[g.B]
+		case Not:
+			s.vals[g.Out] = a ^ 1
+		case Buf:
+			s.vals[g.Out] = a
+		}
+	}
+}
+
+// settleFast is the force-free hot path.
+func (s *Sim) settleFast() {
+	for _, gi := range s.order {
+		g := &s.n.gates[gi]
+		a := s.vals[g.A]
+		switch g.Kind {
+		case And:
+			s.vals[g.Out] = a & s.vals[g.B]
+		case Or:
+			s.vals[g.Out] = a | s.vals[g.B]
+		case Xor:
+			s.vals[g.Out] = a ^ s.vals[g.B]
+		case Not:
+			s.vals[g.Out] = a ^ 1
+		case Buf:
+			s.vals[g.Out] = a
+		}
+	}
+}

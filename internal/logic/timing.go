@@ -1,0 +1,118 @@
+package logic
+
+import "fmt"
+
+// DelayModel assigns a propagation delay to each gate kind, in
+// nanoseconds. The paper expresses its critical path in units of
+// T_FA(cin→cout) and T_HA(cin→cout); with the canonical 5-gate FA those
+// correspond to one AND+OR level and one AND level respectively, so a
+// DelayModel fixes the conversion to absolute time.
+type DelayModel struct {
+	And, Or, Xor, Not, Buf float64
+}
+
+// UnitDelays counts every gate as one delay unit — useful for expressing
+// paths in "gate levels", independent of technology.
+var UnitDelays = DelayModel{And: 1, Or: 1, Xor: 1, Not: 1, Buf: 0}
+
+// Delay returns the model's delay for one gate kind.
+func (d DelayModel) Delay(k GateKind) float64 {
+	switch k {
+	case And:
+		return d.And
+	case Or:
+		return d.Or
+	case Xor:
+		return d.Xor
+	case Not:
+		return d.Not
+	case Buf:
+		return d.Buf
+	default:
+		panic(fmt.Sprintf("logic: unknown gate kind %d", k))
+	}
+}
+
+// FACarryDelay returns T_FA(cin→cout) under the model: in the canonical
+// full adder the carry-in passes one AND and one OR.
+func (d DelayModel) FACarryDelay() float64 { return d.And + d.Or }
+
+// HACarryDelay returns T_HA(in→cout): a single AND.
+func (d DelayModel) HACarryDelay() float64 { return d.And }
+
+// TimingReport is the result of static timing analysis over one netlist.
+type TimingReport struct {
+	// CriticalDelay is the longest register-to-register (or input-to-
+	// register, or register-to-output) combinational delay.
+	CriticalDelay float64
+	// CriticalLevels is the gate count along that path.
+	CriticalLevels int
+	// Path lists the nets along the critical path, source to sink.
+	Path []Signal
+}
+
+// AnalyzeTiming performs longest-path static timing analysis. Sources are
+// primary inputs, constants and DFF Q pins (all at arrival time 0); sinks
+// are DFF D pins and the extra sink nets supplied by the caller (e.g.
+// primary outputs). The netlist must be acyclic (Compile validates this;
+// AnalyzeTiming performs its own levelization and returns the same error
+// for loops).
+func AnalyzeTiming(n *Netlist, d DelayModel, sinks ...Signal) (TimingReport, error) {
+	order, err := levelize(n)
+	if err != nil {
+		return TimingReport{}, err
+	}
+
+	arrival := make([]float64, n.numSignals)
+	levels := make([]int, n.numSignals)
+	from := make([]Signal, n.numSignals) // predecessor net on the longest path
+	for i := range from {
+		from[i] = -1
+	}
+
+	for _, gi := range order {
+		g := &n.gates[gi]
+		bestT, bestL, bestFrom := arrival[g.A], levels[g.A], g.A
+		if g.Kind != Not && g.Kind != Buf {
+			if arrival[g.B] > bestT || (arrival[g.B] == bestT && levels[g.B] > bestL) {
+				bestT, bestL, bestFrom = arrival[g.B], levels[g.B], g.B
+			}
+		}
+		arrival[g.Out] = bestT + d.Delay(g.Kind)
+		levels[g.Out] = bestL + 1
+		from[g.Out] = bestFrom
+	}
+
+	var rep TimingReport
+	worst := Signal(-1)
+	consider := func(s Signal) {
+		if arrival[s] > rep.CriticalDelay ||
+			(arrival[s] == rep.CriticalDelay && levels[s] > rep.CriticalLevels) {
+			rep.CriticalDelay = arrival[s]
+			rep.CriticalLevels = levels[s]
+			worst = s
+		}
+	}
+	for _, ff := range n.dffs {
+		consider(ff.D)
+		consider(ff.CE)
+		consider(ff.CLR)
+	}
+	for _, s := range n.outputs {
+		consider(s)
+	}
+	for _, s := range sinks {
+		n.checkSignal(s)
+		consider(s)
+	}
+	if worst >= 0 {
+		for s := worst; s >= 0; s = from[s] {
+			rep.Path = append(rep.Path, s)
+		}
+		// reverse to source→sink order
+		for i, j := 0, len(rep.Path)-1; i < j; i, j = i+1, j-1 {
+			rep.Path[i], rep.Path[j] = rep.Path[j], rep.Path[i]
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,211 @@
+// Package mmmc implements the Montgomery Modular Multiplication Circuit
+// of the paper's Fig. 3/4: the systolic array wrapped in a datapath
+// (X/Y/N/T registers, counter, comparator) and an algorithmic-state-
+// machine controller with states IDLE → MUL1 ⇄ MUL2 → OUT.
+//
+// The circuit follows the paper's interface: three l-bit-class data
+// inputs X, Y, N, a START input, a DONE output and a RESULT output. One
+// multiplication takes exactly 3l+4 clock cycles of computation (the
+// paper's T_MMM), after which the controller enters OUT with DONE high.
+//
+// One reconstruction detail: the paper stores cell outputs in a single
+// (l+1)-bit T register, but because the array is skewed (cell j finishes
+// row i at clock 2i+j) no single-instant snapshot of T contains the final
+// row. The RESULT register here therefore captures bit b at clock
+// 2l+3+b — a one-hot token that walks up the register, costing l+1
+// enable flip-flops and no extra compute cycles. The paper's stated
+// counter comparison ("counter reaches 2(l+1)") does not by itself
+// resolve the skew; the token capture preserves both the interface and
+// the 3l+4-cycle figure. See EXPERIMENTS.md.
+package mmmc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/systolic"
+)
+
+// State is the controller state of the ASM chart (Fig. 4).
+type State uint8
+
+// Controller states.
+const (
+	Idle State = iota
+	Mul1
+	Mul2
+	Out
+)
+
+// String names the state as in Fig. 4.
+func (s State) String() string {
+	switch s {
+	case Idle:
+		return "IDLE"
+	case Mul1:
+		return "MUL1"
+	case Mul2:
+		return "MUL2"
+	case Out:
+		return "OUT"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Circuit is the cycle-accurate behavioural MMMC.
+type Circuit struct {
+	L       int
+	Variant systolic.Variant
+
+	state   State
+	counter int // clock counter within MUL1/MUL2, 0-based
+
+	xReg bits.Vec // l+1 bits, shifts right one bit per MUL2 (zero fill)
+	yReg bits.Vec // l+1 bits
+	nReg bits.Vec // l bits
+
+	array  *systolic.Array
+	result bits.Vec // RESULT register with walking-token capture
+	done   bool
+
+	totalCycles int // cycles spent in MUL1/MUL2 for the last operation
+}
+
+// New creates an MMMC for l-bit moduli (l ≥ 2).
+func New(l int, variant systolic.Variant) (*Circuit, error) {
+	if l < 2 {
+		return nil, fmt.Errorf("mmmc: modulus width must be at least 2, got %d", l)
+	}
+	return &Circuit{
+		L:       l,
+		Variant: variant,
+		state:   Idle,
+		result:  bits.New(l + 1),
+	}, nil
+}
+
+// State returns the controller's current state.
+func (c *Circuit) State() State { return c.state }
+
+// Done returns the DONE output (high only in the OUT state).
+func (c *Circuit) Done() bool { return c.done }
+
+// Result returns the RESULT output; valid once Done reports true.
+func (c *Circuit) Result() bits.Vec { return c.result.Clone() }
+
+// CyclesPerMul returns the paper's T_MMM cycle count for this width,
+// 3l + 4. Start-to-DONE measured on the simulator matches it exactly
+// (conformance-tested).
+func (c *Circuit) CyclesPerMul() int { return 3*c.L + 4 }
+
+// Start performs the IDLE-state load: X, Y and N registers take the
+// input values, the array state and counter clear, and the controller
+// proceeds to MUL1. The modulus must be odd with exactly l significant
+// bits; x and y must fit in l+1 bits. For the chaining guarantee
+// (result < 2N usable directly as a next operand) callers should keep
+// x, y < 2N; the Guarded variant is correct for all such operands, the
+// Faithful variant additionally requires y + N ≤ 2^(l+1) (the paper's
+// implicit condition).
+func (c *Circuit) Start(x, y, n bits.Vec) error {
+	if n.BitLen() != c.L {
+		return fmt.Errorf("mmmc: modulus has %d significant bits, want exactly %d", n.BitLen(), c.L)
+	}
+	if n.Bit(0) != 1 {
+		return errors.New("mmmc: modulus must be odd")
+	}
+	if x.BitLen() > c.L+1 {
+		return fmt.Errorf("mmmc: x has %d bits, limit %d", x.BitLen(), c.L+1)
+	}
+	if y.BitLen() > c.L+1 {
+		return fmt.Errorf("mmmc: y has %d bits, limit %d", y.BitLen(), c.L+1)
+	}
+	c.xReg = x.Resize(c.L + 1)
+	c.yReg = y.Resize(c.L + 1)
+	c.nReg = n.Resize(c.L)
+	arr, err := systolic.NewArray(c.Variant, c.nReg, c.yReg)
+	if err != nil {
+		return err
+	}
+	c.array = arr
+	c.array.Reset()
+	c.result = bits.New(c.L + 1)
+	c.counter = 0
+	c.totalCycles = 0
+	c.done = false
+	c.state = Mul1
+	return nil
+}
+
+// Step advances the circuit one clock cycle.
+func (c *Circuit) Step() {
+	switch c.state {
+	case Idle, Out:
+		// Waiting for START (Idle) or for the result to be read (Out):
+		// no datapath activity.
+		return
+	case Mul1, Mul2:
+		l := c.L
+		c.array.Step(c.xReg.Bit(0))
+		// RESULT register: the walking token enables bit b's capture at
+		// the end of clock 2l+3+b.
+		if b := c.counter - (2*l + 3); b >= 0 && b <= l {
+			c.result[b] = c.array.TBit(b + 1)
+		}
+		if c.state == Mul2 {
+			// Right-shift X with zero fill (guarantees X(0)=0 in the
+			// last iteration, per §4.4).
+			c.xReg.ShrInPlace(0)
+		}
+		c.totalCycles++
+		// Comparator: count-end after the last capture clock 3l+3.
+		if c.counter == 3*l+3 {
+			if c.Variant == systolic.Faithful {
+				// The faithful top bit lives in the T(l+1) delay
+				// register (see systolic.Array).
+				c.result[l] = c.faithfulTopBit()
+			}
+			c.state = Out
+			c.done = true
+			return
+		}
+		c.counter++
+		if c.state == Mul1 {
+			c.state = Mul2
+		} else {
+			c.state = Mul1
+		}
+	}
+}
+
+// faithfulTopBit reads the delayed T(l+1) register of the faithful array.
+func (c *Circuit) faithfulTopBit() bits.Bit {
+	return c.array.TL1Delayed()
+}
+
+// DroppedCarries reports faithful-variant carry drops during the last
+// multiplication (always 0 for Guarded).
+func (c *Circuit) DroppedCarries() int {
+	if c.array == nil {
+		return 0
+	}
+	return c.array.DroppedCarries()
+}
+
+// Run performs one complete multiplication: Start, then Step until DONE.
+// It returns the result and the number of MUL1/MUL2 clock cycles, which
+// conformance tests pin to exactly 3l+4.
+func (c *Circuit) Run(x, y, n bits.Vec) (bits.Vec, int, error) {
+	if err := c.Start(x, y, n); err != nil {
+		return nil, 0, err
+	}
+	guard := 4*c.L + 16 // defensive bound; Done must arrive at 3l+4
+	for i := 0; !c.done; i++ {
+		if i > guard {
+			return nil, 0, errors.New("mmmc: DONE never asserted")
+		}
+		c.Step()
+	}
+	return c.Result(), c.totalCycles, nil
+}

@@ -1,0 +1,221 @@
+package mmmc
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/mont"
+	"repro/internal/systolic"
+)
+
+func randOdd(rng *rand.Rand, l int) *big.Int {
+	n := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), uint(l-1)))
+	n.SetBit(n, l-1, 1)
+	n.SetBit(n, 0, 1)
+	return n
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, systolic.Guarded); err == nil {
+		t.Error("l=1 accepted")
+	}
+	c, err := New(8, systolic.Guarded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.State() != Idle || c.Done() {
+		t.Error("fresh circuit not idle")
+	}
+	if c.CyclesPerMul() != 28 {
+		t.Errorf("CyclesPerMul = %d", c.CyclesPerMul())
+	}
+}
+
+func TestStartValidation(t *testing.T) {
+	c, _ := New(8, systolic.Guarded)
+	n := bits.FromUint64(251, 8)
+	if err := c.Start(bits.FromUint64(1, 9), bits.FromUint64(1, 9), bits.FromUint64(5, 3).Resize(8)); err == nil {
+		t.Error("modulus with wrong significant width accepted")
+	}
+	if err := c.Start(bits.FromUint64(1, 9), bits.FromUint64(1, 9), bits.FromUint64(250, 8)); err == nil {
+		t.Error("even modulus accepted")
+	}
+	if err := c.Start(bits.FromUint64(1023, 10), bits.FromUint64(1, 9), n); err == nil {
+		t.Error("oversized x accepted")
+	}
+	if err := c.Start(bits.FromUint64(1, 9), bits.FromUint64(1023, 10), n); err == nil {
+		t.Error("oversized y accepted")
+	}
+	if err := c.Start(bits.FromUint64(3, 9), bits.FromUint64(7, 9), n); err != nil {
+		t.Errorf("valid start rejected: %v", err)
+	}
+}
+
+// The circuit must compute Mont(x,y) in exactly 3l+4 cycles — the
+// paper's T_MMM count (Table 2's cycle basis) — for every width tested.
+func TestRunMatchesMontAndCycleCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for _, l := range []int{2, 4, 8, 16, 32, 64} {
+		nBig := randOdd(rng, l)
+		ctx, err := mont.NewCtx(nBig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, _ := New(l, systolic.Guarded)
+		for trial := 0; trial < 10; trial++ {
+			x := new(big.Int).Rand(rng, ctx.N2)
+			y := new(big.Int).Rand(rng, ctx.N2)
+			got, cycles, err := c.Run(bits.FromBig(x, l+1), bits.FromBig(y, l+1), bits.FromBig(nBig, l))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cycles != 3*l+4 {
+				t.Fatalf("l=%d: %d cycles, want %d", l, cycles, 3*l+4)
+			}
+			if got.Big().Cmp(ctx.Mul(x, y)) != 0 {
+				t.Fatalf("l=%d: result wrong", l)
+			}
+			if !c.Done() || c.State() != Out {
+				t.Fatal("DONE/OUT not asserted after Run")
+			}
+		}
+	}
+}
+
+// The faithful circuit matches under the safe operand bound.
+func TestFaithfulRunUnderSafeBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	l := 16
+	nBig := randOdd(rng, l)
+	ctx, _ := mont.NewCtx(nBig)
+	yBound := new(big.Int).Lsh(big.NewInt(1), uint(l+1))
+	yBound.Sub(yBound, nBig)
+	if yBound.Cmp(ctx.N2) > 0 {
+		yBound.Set(ctx.N2)
+	}
+	c, _ := New(l, systolic.Faithful)
+	for trial := 0; trial < 20; trial++ {
+		x := new(big.Int).Rand(rng, ctx.N2)
+		y := new(big.Int).Rand(rng, yBound)
+		got, cycles, err := c.Run(bits.FromBig(x, l+1), bits.FromBig(y, l+1), bits.FromBig(nBig, l))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cycles != 3*l+4 {
+			t.Fatalf("faithful cycles = %d", cycles)
+		}
+		if got.Big().Cmp(ctx.Mul(x, y)) != 0 {
+			t.Fatalf("faithful result wrong under safe bound")
+		}
+		if c.DroppedCarries() != 0 {
+			t.Fatal("dropped carries under safe bound")
+		}
+	}
+}
+
+// ASM conformance: the state trace must be IDLE, then MUL1/MUL2
+// alternating for 3l+4 cycles, then OUT; DONE exactly in OUT; X register
+// shifts right once per MUL2.
+func TestASMStateTrace(t *testing.T) {
+	l := 8
+	rng := rand.New(rand.NewSource(53))
+	nBig := randOdd(rng, l)
+	c, _ := New(l, systolic.Guarded)
+
+	if c.State() != Idle {
+		t.Fatal("must start in IDLE")
+	}
+	c.Step() // stepping in IDLE is a no-op
+	if c.State() != Idle || c.Done() {
+		t.Fatal("IDLE must hold without START")
+	}
+
+	x := new(big.Int).Rand(rng, new(big.Int).Lsh(nBig, 1))
+	if err := c.Start(bits.FromBig(x, l+1), bits.FromUint64(3, l+1), bits.FromBig(nBig, l)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3*l+4; i++ {
+		wantState := Mul1
+		if i%2 == 1 {
+			wantState = Mul2
+		}
+		if c.State() != wantState {
+			t.Fatalf("cycle %d: state %v, want %v", i, c.State(), wantState)
+		}
+		if c.Done() {
+			t.Fatalf("cycle %d: DONE asserted early", i)
+		}
+		c.Step()
+	}
+	if c.State() != Out || !c.Done() {
+		t.Fatalf("after 3l+4 cycles: state %v done %v", c.State(), c.Done())
+	}
+	// OUT holds and the result is stable.
+	r1 := c.Result()
+	c.Step()
+	if c.State() != Out || !bits.Equal(c.Result(), r1) {
+		t.Fatal("OUT must hold the result")
+	}
+}
+
+// The circuit must be restartable: a second Start reuses all state.
+func TestRestart(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	l := 12
+	nBig := randOdd(rng, l)
+	ctx, _ := mont.NewCtx(nBig)
+	c, _ := New(l, systolic.Guarded)
+	for trial := 0; trial < 4; trial++ {
+		x := new(big.Int).Rand(rng, ctx.N2)
+		y := new(big.Int).Rand(rng, ctx.N2)
+		got, _, err := c.Run(bits.FromBig(x, l+1), bits.FromBig(y, l+1), bits.FromBig(nBig, l))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Big().Cmp(ctx.Mul(x, y)) != 0 {
+			t.Fatalf("restart trial %d wrong", trial)
+		}
+	}
+}
+
+// Chaining: feeding results straight back as operands (the whole point
+// of the no-subtraction design) must stay correct across a long chain.
+func TestChainedMultiplications(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	l := 16
+	// Use a modulus in the hazard zone (top of the range) to confirm the
+	// guarded variant chains safely where the faithful one would not.
+	nBig := new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), uint(l)), big.NewInt(1))
+	ctx, _ := mont.NewCtx(nBig)
+	c, _ := New(l, systolic.Guarded)
+	nv := bits.FromBig(nBig, l)
+
+	a := new(big.Int).Rand(rng, ctx.N2)
+	b := new(big.Int).Rand(rng, ctx.N2)
+	av, bv := bits.FromBig(a, l+1), bits.FromBig(b, l+1)
+	for i := 0; i < 20; i++ {
+		got, _, err := c.Run(av, bv, nv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ctx.Mul(av.Big(), bv.Big())
+		if got.Big().Cmp(want) != 0 {
+			t.Fatalf("chain step %d wrong", i)
+		}
+		av, bv = bv, got // feed back with no reduction
+	}
+}
+
+func TestStateString(t *testing.T) {
+	names := map[State]string{Idle: "IDLE", Mul1: "MUL1", Mul2: "MUL2", Out: "OUT"}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+	if State(7).String() == "" {
+		t.Error("unknown state empty")
+	}
+}

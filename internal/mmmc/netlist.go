@@ -1,0 +1,196 @@
+package mmmc
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/systolic"
+)
+
+// NetPorts exposes the primary inputs and outputs of a gate-level MMMC
+// built by BuildNetlist — the external interface of Fig. 3.
+type NetPorts struct {
+	L       int
+	Variant systolic.Variant
+
+	// Inputs.
+	Start logic.Signal
+	XBus  []logic.Signal // l+1 nets
+	YBus  []logic.Signal // l+1 nets
+	NBus  []logic.Signal // l nets
+
+	// Outputs.
+	Done   logic.Signal
+	Result []logic.Signal // l+1 nets
+
+	// Debug visibility (not part of the paper's interface).
+	StateS1, StateS0 logic.Signal // state encoding: 00 IDLE, 01 MUL1, 10 MUL2, 11 OUT
+	Counter          []logic.Signal
+	Array            *systolic.Ports
+}
+
+// CounterWidth returns the number of counter bits needed to count to
+// 3l+3 — the paper states log2(l+2)+2 control bits overall; a counter
+// addressing the full 3l+4 schedule needs ⌈log2(3l+4)⌉.
+func CounterWidth(l int) int {
+	w := 0
+	for v := 3*l + 3; v > 0; v >>= 1 {
+		w++
+	}
+	return w
+}
+
+// BuildNetlist constructs a complete gate-level MMMC: ASM controller
+// (2-bit state register, cycle counter, two comparators), the X shift
+// register, Y and N holding registers, the systolic array, and the
+// RESULT register with its walking-token capture chain. The netlist is
+// cycle-equivalent to the behavioural Circuit (conformance-tested).
+func BuildNetlist(nl *logic.Netlist, l int, variant systolic.Variant) (*NetPorts, error) {
+	if l < 2 {
+		return nil, fmt.Errorf("mmmc: modulus width must be at least 2, got %d", l)
+	}
+	p, err := BuildCore(nl, l, variant,
+		nl.Input("START"), nl.InputVec("XBUS", l+1), nl.InputVec("YBUS", l+1), nl.InputVec("NBUS", l))
+	if err != nil {
+		return nil, err
+	}
+	nl.MarkOutput(p.Done, "DONE")
+	return p, nil
+}
+
+// BuildCore constructs the gate-level MMMC with caller-supplied nets for
+// its interface, so it can be embedded in a larger design (the gate-level
+// exponentiator drives these from its own registers and muxes).
+func BuildCore(nl *logic.Netlist, l int, variant systolic.Variant, start logic.Signal, xbus, ybus, nbus []logic.Signal) (*NetPorts, error) {
+	if l < 2 {
+		return nil, fmt.Errorf("mmmc: modulus width must be at least 2, got %d", l)
+	}
+	if len(xbus) != l+1 || len(ybus) != l+1 || len(nbus) != l {
+		return nil, fmt.Errorf("mmmc: bus widths %d/%d/%d, want %d/%d/%d",
+			len(xbus), len(ybus), len(nbus), l+1, l+1, l)
+	}
+	p := &NetPorts{
+		L:       l,
+		Variant: variant,
+		Start:   start,
+		XBus:    xbus,
+		YBus:    ybus,
+		NBus:    nbus,
+	}
+
+	// ---- Controller ----
+	// State register with deferred next-state logic.
+	s1, setS1 := nl.FeedbackFF(logic.Const0, 0, "state.s1")
+	s0, setS0 := nl.FeedbackFF(logic.Const0, 0, "state.s0")
+	p.StateS1, p.StateS0 = s1, s0
+
+	ns1 := nl.NotGate(s1)
+	ns0 := nl.NotGate(s0)
+	isIdle := nl.AndGate(ns1, ns0)
+	isMul1 := nl.AndGate(ns1, s0)
+	isMul2 := nl.AndGate(s1, ns0)
+	isOut := nl.AndGate(s1, s0)
+	inMul := nl.OrGate(isMul1, isMul2)
+
+	// load: START accepted in IDLE or OUT.
+	load := nl.AndGate(p.Start, nl.OrGate(isIdle, isOut))
+	nl.Name(load, "load")
+
+	// Cycle counter: increments during MUL1/MUL2, clears on load.
+	w := CounterWidth(l)
+	cnt := make([]logic.Signal, w)
+	setCnt := make([]func(logic.Signal), w)
+	for i := 0; i < w; i++ {
+		cnt[i], setCnt[i] = nl.FeedbackFF(load, 0, fmt.Sprintf("counter(%d)", i))
+	}
+	// Carry-lookahead increment: logarithmic-depth prefix network (the
+	// FPGA's dedicated carry chain would make it effectively constant;
+	// the tree keeps the model conservative).
+	inc := nl.IncrementLogic(cnt)
+	for i := 0; i < w; i++ {
+		// Hold unless counting: D = inMul ? successor : Q.
+		setCnt[i](nl.Mux2(inMul, inc[i], cnt[i]))
+	}
+	p.Counter = cnt
+
+	// Comparators. count-end fires at counter == 3l+3 (the clock of the
+	// last result capture); the token comparator fires at 2l+2, one
+	// clock before the first capture.
+	countEnd := nl.EqualsConst(cnt, 3*l+3)
+	nl.Name(countEnd, "count-end")
+	tokenStart := nl.EqualsConst(cnt, 2*l+2)
+	nl.Name(tokenStart, "token-start")
+
+	// Next-state logic (count-end is honoured in both MUL states; see
+	// the package comment on the ASM reconstruction).
+	mulEnd := nl.AndGate(inMul, countEnd)
+	stayOut := nl.AndGate(isOut, nl.NotGate(p.Start))
+	nLoad := nl.NotGate(load)
+	// nextS1: MUL1→MUL2/OUT, MUL2 end→OUT, OUT stays (unless load).
+	nextS1 := nl.AndGate(nLoad, nl.OrGate(nl.OrGate(isMul1, mulEnd), stayOut))
+	// nextS0: load→MUL1; MUL1 end→OUT; MUL2→MUL1 or OUT (s0=1 either
+	// way); OUT stays.
+	mul1End := nl.AndGate(isMul1, countEnd)
+	nextS0 := nl.OrGate(load, nl.OrGate(nl.OrGate(mul1End, isMul2), stayOut))
+	setS1(nextS1)
+	setS0(nextS0)
+
+	p.Done = isOut
+
+	// ---- Datapath ----
+	// X shift register: load from XBUS, shift right (zero fill) each
+	// MUL2, hold otherwise.
+	shiftX := isMul2
+	xCE := nl.OrGate(load, shiftX)
+	xQ := make([]logic.Signal, l+2)
+	setX := make([]func(logic.Signal), l+1)
+	for i := 0; i <= l; i++ {
+		xQ[i], setX[i] = nl.FeedbackFF(logic.Const0, 0, fmt.Sprintf("X(%d)", i))
+	}
+	xQ[l+1] = logic.Const0 // zero fill at the MSB
+	for i := 0; i <= l; i++ {
+		d := nl.Mux2(load, p.XBus[i], xQ[i+1])
+		setX[i](nl.Mux2(xCE, d, xQ[i]))
+	}
+
+	// Y and N holding registers: capture on load only.
+	yQ := make([]logic.Signal, l+1)
+	for i := 0; i <= l; i++ {
+		yQ[i] = nl.AddDFFCE(p.YBus[i], load, 0, fmt.Sprintf("Yreg(%d)", i))
+	}
+	nQ := make([]logic.Signal, l)
+	for i := 0; i < l; i++ {
+		nQ[i] = nl.AddDFFCE(p.NBus[i], load, 0, fmt.Sprintf("Nreg(%d)", i))
+	}
+
+	// Systolic array, cleared on load.
+	arr, err := systolic.BuildArrayCore(nl, l, variant, xQ[0], yQ, nQ, load)
+	if err != nil {
+		return nil, err
+	}
+	p.Array = arr
+
+	// ---- RESULT register with walking-token capture ----
+	token := make([]logic.Signal, l+1)
+	prev := tokenStart
+	for b := 0; b <= l; b++ {
+		token[b] = nl.AddDFFFull(prev, logic.Const1, load, 0, fmt.Sprintf("token(%d)", b))
+		prev = token[b]
+	}
+	res := make([]logic.Signal, l+1)
+	for b := 0; b <= l; b++ {
+		// Result bit b latches the combinational digit t_{l+1,b+1} on
+		// the same edge T(b+1) does (clock 2l+3+b).
+		d := arr.TD[b]
+		ce := token[b]
+		if b == l && variant == systolic.Faithful {
+			// The faithful leftmost cell produces the top digit one
+			// clock early, together with digit l.
+			d = arr.TD[l]
+			ce = token[l-1]
+		}
+		res[b] = nl.AddDFFFull(d, ce, load, 0, fmt.Sprintf("RESULT(%d)", b))
+	}
+	p.Result = res
+	return p, nil
+}

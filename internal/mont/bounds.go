@@ -1,0 +1,64 @@
+package mont
+
+import "math/big"
+
+// Bound analysis for the Montgomery parameter R, following §2–3 of the
+// paper and Walter (CT-RSA 2002). The paper's central algorithmic claim
+// is that R = 2^(l+2) (i.e. R > 4N) admits inputs up to 2N with outputs
+// below 2N, so the l+2-iteration loop needs no final subtraction, whereas
+// Blum–Paar's R = 2^(l+3) costs one extra iteration per multiplication.
+
+// WalterBoundOK reports whether R satisfies Walter's no-final-subtraction
+// condition R > 4N (equivalently R ≥ 4N + 1; the paper writes 4N < R).
+func WalterBoundOK(r, n *big.Int) bool {
+	four := new(big.Int).Lsh(n, 2)
+	return r.Cmp(four) > 0
+}
+
+// IwamuraBoundOK reports whether R satisfies the earlier, weaker
+// Iwamura–Matsumoto–Imai condition R ≥ 2^(n+2) with N < 2^n, i.e.
+// R ≥ 4·2^(bitlen(N)) — sufficient but not tight.
+func IwamuraBoundOK(r, n *big.Int) bool {
+	lim := new(big.Int).Lsh(big.NewInt(1), uint(n.BitLen()+2))
+	return r.Cmp(lim) >= 0
+}
+
+// MinExponentR returns the minimal exponent r such that R = 2^r satisfies
+// Walter's bound 4N < R for the given modulus. For an l-bit N this is
+// l + 2 unless 4N is itself a power of two boundary case (N of the form
+// 2^l - fits exactly), which cannot occur for odd N > 1; hence the paper's
+// fixed choice r = l + 2.
+func MinExponentR(n *big.Int) int {
+	four := new(big.Int).Lsh(n, 2)
+	// smallest r with 2^r > 4N
+	r := four.BitLen()
+	probe := new(big.Int).Lsh(big.NewInt(1), uint(r))
+	if probe.Cmp(four) <= 0 {
+		r++
+	}
+	return r
+}
+
+// OutputBound returns the paper's Eq. (2) worst-case bound on the output
+// of one Montgomery multiplication with inputs < 2N and R ≥ kN:
+// T < (4/k)·N + N, expressed as a rational (num, den) multiple of N.
+// For k ≥ 4 the bound is ≤ 2N, which is the chaining invariant.
+func OutputBound(k int64) (num, den int64) {
+	// T < (4/k + 1)·N = ((4 + k)/k)·N
+	return 4 + k, k
+}
+
+// ChainClosed reports whether, for the given R and N, the interval
+// [0, 2N) is closed under Mont multiplication — the exact property a
+// hardware exponentiator needs to feed outputs straight back as inputs.
+// It evaluates the worst case of Eq. (2): T_max = ((2N-1)² + R·N)/R,
+// requiring T_max < 2N.
+func ChainClosed(r, n *big.Int) bool {
+	x := new(big.Int).Lsh(n, 1)
+	x.Sub(x, big.NewInt(1)) // 2N - 1
+	t := new(big.Int).Mul(x, x)
+	rn := new(big.Int).Mul(r, n)
+	t.Add(t, rn)
+	t.Div(t, r) // floor((XY + RN)/R) ≥ any reachable T
+	return t.Cmp(new(big.Int).Lsh(n, 1)) < 0
+}

@@ -1,0 +1,165 @@
+package mont
+
+import (
+	"errors"
+	"math/big"
+	mathbits "math/bits"
+)
+
+// CIOS is a word-level (radix 2^64) Montgomery multiplier using the
+// Coarsely Integrated Operand Scanning method. It is the software
+// high-radix counterpart of the paper's bit-serial array: where the
+// systolic hardware processes one bit of x per two clock cycles, CIOS
+// processes one 64-bit word of x per pass. The benchmark harness uses it
+// to ground the paper's §2 discussion of radix trade-offs (⌈(n+2)/α⌉
+// iterations for radix 2^α).
+//
+// Like the paper's Algorithm 2, the multiplication core contains no
+// data-dependent branches; the final subtraction is performed as a
+// constant-time conditional move.
+type CIOS struct {
+	n      *Nat     // modulus
+	nWords int      // limb count
+	n0inv  uint64   // -N⁻¹ mod 2^64
+	rr     *Nat     // R² mod N with R = 2^(64·nWords)
+	nBig   *big.Int // for conversions only
+}
+
+// NewCIOS builds a word-level Montgomery context for the odd modulus n.
+func NewCIOS(n *big.Int) (*CIOS, error) {
+	if n.Sign() <= 0 || n.Cmp(big.NewInt(3)) < 0 {
+		return nil, ErrSmallModulus
+	}
+	if n.Bit(0) == 0 {
+		return nil, ErrEvenModulus
+	}
+	nWords := (n.BitLen() + 63) / 64
+	c := &CIOS{
+		n:      natFromBig(n, nWords),
+		nWords: nWords,
+		nBig:   new(big.Int).Set(n),
+	}
+	c.n0inv = negInvMod64(c.n.limbs[0])
+
+	r := new(big.Int).Lsh(big.NewInt(1), uint(64*nWords))
+	rr := new(big.Int).Mul(r, r)
+	rr.Mod(rr, n)
+	c.rr = natFromBig(rr, nWords)
+	return c, nil
+}
+
+// negInvMod64 returns -n⁻¹ mod 2^64 for odd n, by Hensel lifting.
+// Five Newton steps double the precision 2 → 4 → 8 → 16 → 32 → 64.
+func negInvMod64(n uint64) uint64 {
+	inv := n // correct mod 2^2 for odd n? inv·n ≡ 1 mod 4 holds: n·n = 1 mod 8 for odd n, so start even stronger.
+	// Newton: inv <- inv·(2 - n·inv), doubling correct bits each round.
+	for i := 0; i < 5; i++ {
+		inv *= 2 - n*inv
+	}
+	return -inv
+}
+
+// Words returns the limb count of the context.
+func (c *CIOS) Words() int { return c.nWords }
+
+// NewOperand converts x ∈ [0, N-1] into a context-sized Nat.
+func (c *CIOS) NewOperand(x *big.Int) (*Nat, error) {
+	if x.Sign() < 0 || x.Cmp(c.nBig) >= 0 {
+		return nil, errors.New("mont: CIOS operand outside [0, N-1]")
+	}
+	return natFromBig(x, c.nWords), nil
+}
+
+// Big converts an operand back to big.Int form.
+func (c *CIOS) Big(v *Nat) *big.Int {
+	return new(big.Int).SetBytes(v.Bytes())
+}
+
+// Mul sets out = a·b·R⁻¹ mod N with the CIOS method. out must not alias
+// a or b. Inputs and output are in [0, N-1].
+func (c *CIOS) Mul(out, a, b *Nat) {
+	checkSameLen(a, b)
+	checkSameLen(out, a)
+	s := len(a.limbs)
+	// t has s+2 limbs: the running accumulator of Algorithm 1 with α=64.
+	t := make([]uint64, s+2)
+	for i := 0; i < s; i++ {
+		// t += a_i · b
+		var carry uint64
+		for j := 0; j < s; j++ {
+			hi, lo := mathbits.Mul64(a.limbs[i], b.limbs[j])
+			sum, c1 := mathbits.Add64(t[j], lo, 0)
+			sum, c2 := mathbits.Add64(sum, carry, 0)
+			t[j] = sum
+			carry = hi + c1 + c2 // cannot overflow: hi ≤ 2^64-2
+		}
+		sum, c1 := mathbits.Add64(t[s], carry, 0)
+		t[s] = sum
+		t[s+1] += c1
+
+		// m = t_0 · n0inv mod 2^64; t += m·N; t >>= 64
+		m := t[0] * c.n0inv
+		hi, lo := mathbits.Mul64(m, c.n.limbs[0])
+		_, c1 = mathbits.Add64(t[0], lo, 0)
+		carry = hi + c1
+		for j := 1; j < s; j++ {
+			hi, lo := mathbits.Mul64(m, c.n.limbs[j])
+			sum, c2 := mathbits.Add64(t[j], lo, 0)
+			sum, c3 := mathbits.Add64(sum, carry, 0)
+			t[j-1] = sum
+			carry = hi + c2 + c3
+		}
+		sum, c1 = mathbits.Add64(t[s], carry, 0)
+		t[s-1] = sum
+		t[s] = t[s+1] + c1
+		t[s+1] = 0
+	}
+	// Final conditional subtraction, branch-free: the accumulator value is
+	// top·2^(64s) + res and lies in [0, 2N). Subtract N and keep the
+	// difference unless the accumulator was below N (top == 0 and the
+	// subtraction borrowed), in which case restore res.
+	res := &Nat{limbs: t[:s]}
+	top := t[s]
+	borrow := out.SubInto(res, c.n)
+	restore := (1 - top) & borrow // 1 when accumulator < N
+	mask := -restore              // all-ones to restore, zero to keep t-N
+	for i := range out.limbs {
+		out.limbs[i] = (res.limbs[i] & mask) | (out.limbs[i] &^ mask)
+	}
+}
+
+// ToMont maps x ∈ [0, N-1] into the Montgomery domain xR mod N.
+func (c *CIOS) ToMont(out, x *Nat) { c.Mul(out, x, c.rr) }
+
+// FromMont maps a Montgomery-domain value back: Mont(x, 1).
+func (c *CIOS) FromMont(out, x *Nat) {
+	one := NatFromUint64(1, c.nWords)
+	c.Mul(out, x, one)
+}
+
+// Exp computes m^e mod N by left-to-right square-and-multiply over CIOS
+// multiplications, mirroring Algorithm 3.
+func (c *CIOS) Exp(m *Nat, e *big.Int) (*Nat, error) {
+	if e.Sign() <= 0 {
+		return nil, errors.New("mont: exponent must be positive")
+	}
+	am := NewNat(c.nWords)
+	c.ToMont(am, m)
+	acc := am.Clone()
+	tmp := NewNat(c.nWords)
+	for i := e.BitLen() - 2; i >= 0; i-- {
+		c.Mul(tmp, acc, acc)
+		acc, tmp = tmp, acc
+		if e.Bit(i) == 1 {
+			c.Mul(tmp, acc, am)
+			acc, tmp = tmp, acc
+		}
+	}
+	out := NewNat(c.nWords)
+	c.FromMont(out, acc)
+	return out, nil
+}
+
+func natFromBig(x *big.Int, nWords int) *Nat {
+	return NatFromBytes(x.Bytes(), nWords)
+}

@@ -1,0 +1,266 @@
+package mont
+
+import (
+	"bytes"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNatBytesRoundTrip(t *testing.T) {
+	cases := []string{"0", "1", "ff", "100", "deadbeefcafebabe", "10000000000000000"}
+	for _, cs := range cases {
+		x, _ := new(big.Int).SetString(cs, 16)
+		n := NatFromBytes(x.Bytes(), 3)
+		if got := new(big.Int).SetBytes(n.Bytes()); got.Cmp(x) != 0 {
+			t.Errorf("%s: round trip got %s", cs, got.Text(16))
+		}
+	}
+}
+
+func TestNatFromBytesOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized NatFromBytes did not panic")
+		}
+	}()
+	b := bytes.Repeat([]byte{0xff}, 9)
+	NatFromBytes(b, 1)
+}
+
+func TestNatCmpEqualBit(t *testing.T) {
+	a := NatFromUint64(5, 2)
+	b := NatFromUint64(9, 2)
+	if a.Cmp(b) != -1 || b.Cmp(a) != 1 || a.Cmp(a.Clone()) != 0 {
+		t.Error("Cmp ordering wrong")
+	}
+	if a.Equal(b) || !a.Equal(a.Clone()) {
+		t.Error("Equal wrong")
+	}
+	if a.Bit(0) != 1 || a.Bit(1) != 0 || a.Bit(2) != 1 || a.Bit(200) != 0 {
+		t.Error("Bit wrong")
+	}
+	if a.BitLen() != 3 || NewNat(2).BitLen() != 0 {
+		t.Error("BitLen wrong")
+	}
+	if !NewNat(4).IsZero() || a.IsZero() {
+		t.Error("IsZero wrong")
+	}
+}
+
+func TestNatAddSub(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 200; trial++ {
+		xa := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), 192))
+		xb := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), 192))
+		a := NatFromBytes(xa.Bytes(), 3)
+		b := NatFromBytes(xb.Bytes(), 3)
+		sum := NewNat(3)
+		carry := sum.AddInto(a, b)
+		want := new(big.Int).Add(xa, xb)
+		mod := new(big.Int).Lsh(big.NewInt(1), 192)
+		wantCarry := uint64(0)
+		if want.Cmp(mod) >= 0 {
+			wantCarry = 1
+			want.Sub(want, mod)
+		}
+		if carry != wantCarry || new(big.Int).SetBytes(sum.Bytes()).Cmp(want) != 0 {
+			t.Fatalf("AddInto mismatch")
+		}
+
+		diff := NewNat(3)
+		borrow := diff.SubInto(a, b)
+		if xa.Cmp(xb) >= 0 {
+			if borrow != 0 {
+				t.Fatal("unexpected borrow")
+			}
+			want := new(big.Int).Sub(xa, xb)
+			if new(big.Int).SetBytes(diff.Bytes()).Cmp(want) != 0 {
+				t.Fatal("SubInto mismatch")
+			}
+		} else if borrow != 1 {
+			t.Fatal("missing borrow")
+		}
+	}
+}
+
+func TestNatCondSub(t *testing.T) {
+	a := NatFromUint64(10, 2)
+	b := NatFromUint64(3, 2)
+	out := NewNat(2)
+	out.CondSubInto(a, b, 0)
+	if !out.Equal(a) {
+		t.Error("choice=0 should keep a")
+	}
+	out.CondSubInto(a, b, 1)
+	if !out.Equal(NatFromUint64(7, 2)) {
+		t.Error("choice=1 should subtract")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("choice=2 did not panic")
+		}
+	}()
+	out.CondSubInto(a, b, 2)
+}
+
+func TestNatMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("limb mismatch did not panic")
+		}
+	}()
+	NewNat(2).AddInto(NewNat(2), NewNat(3))
+}
+
+func TestNegInvMod64(t *testing.T) {
+	for _, n := range []uint64{1, 3, 5, 0xffffffffffffffff, 0x123456789abcdef1} {
+		inv := negInvMod64(n)
+		if n*inv+1 != 0 {
+			t.Errorf("negInvMod64(%#x): n·inv+1 = %#x, want 0", n, n*inv+1)
+		}
+	}
+}
+
+func TestCIOSValidation(t *testing.T) {
+	if _, err := NewCIOS(big.NewInt(4)); err != ErrEvenModulus {
+		t.Errorf("even: %v", err)
+	}
+	if _, err := NewCIOS(big.NewInt(1)); err != ErrSmallModulus {
+		t.Errorf("small: %v", err)
+	}
+	c, err := NewCIOS(big.NewInt(101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Words() != 1 {
+		t.Errorf("Words = %d", c.Words())
+	}
+	if _, err := c.NewOperand(big.NewInt(101)); err == nil {
+		t.Error("operand = N accepted")
+	}
+	if _, err := c.NewOperand(big.NewInt(-1)); err == nil {
+		t.Error("negative operand accepted")
+	}
+}
+
+func TestCIOSMulMatchesBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, l := range []int{16, 63, 64, 65, 128, 512, 1024} {
+		n := randOdd(rng, l)
+		c, err := NewCIOS(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := new(big.Int).Lsh(big.NewInt(1), uint(64*c.Words()))
+		rinv := new(big.Int).ModInverse(r, n)
+		for trial := 0; trial < 20; trial++ {
+			xa := randBelow(rng, n)
+			xb := randBelow(rng, n)
+			a, _ := c.NewOperand(xa)
+			b, _ := c.NewOperand(xb)
+			out := NewNat(c.Words())
+			c.Mul(out, a, b)
+			want := new(big.Int).Mul(xa, xb)
+			want.Mul(want, rinv).Mod(want, n)
+			if c.Big(out).Cmp(want) != 0 {
+				t.Fatalf("l=%d CIOS Mul mismatch: got %s want %s", l, c.Big(out), want)
+			}
+		}
+	}
+}
+
+func TestCIOSToFromMont(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	n := randOdd(rng, 256)
+	c, _ := NewCIOS(n)
+	for trial := 0; trial < 50; trial++ {
+		x := randBelow(rng, n)
+		op, _ := c.NewOperand(x)
+		xm, back := NewNat(c.Words()), NewNat(c.Words())
+		c.ToMont(xm, op)
+		c.FromMont(back, xm)
+		if c.Big(back).Cmp(x) != 0 {
+			t.Fatalf("CIOS domain round trip failed")
+		}
+	}
+}
+
+func TestCIOSExpMatchesBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, l := range []int{32, 128, 512, 1024} {
+		n := randOdd(rng, l)
+		c, _ := NewCIOS(n)
+		m := randBelow(rng, n)
+		e := randBelow(rng, n)
+		if e.Sign() == 0 {
+			e.SetInt64(3)
+		}
+		op, _ := c.NewOperand(m)
+		got, err := c.Exp(op, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := new(big.Int).Exp(m, e, n)
+		if c.Big(got).Cmp(want) != 0 {
+			t.Fatalf("l=%d CIOS Exp mismatch", l)
+		}
+	}
+	c, _ := NewCIOS(big.NewInt(13))
+	if _, err := c.Exp(NatFromUint64(2, 1), big.NewInt(0)); err == nil {
+		t.Error("zero exponent accepted")
+	}
+}
+
+// Cross-check the two independent Montgomery implementations (bit-serial
+// Algorithm 2 and word-level CIOS) against each other through full
+// exponentiations.
+func TestCrossImplementationExp(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 10; trial++ {
+		n := randOdd(rng, 160)
+		ctx, _ := NewCtx(n)
+		cios, _ := NewCIOS(n)
+		m := randBelow(rng, n)
+		e := randBelow(rng, n)
+		if e.Sign() == 0 {
+			e.SetInt64(5)
+		}
+		a, _, err := ctx.Exp(m, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		op, _ := cios.NewOperand(m)
+		b, err := cios.Exp(op, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Cmp(cios.Big(b)) != 0 {
+			t.Fatalf("implementations disagree: %s vs %s", a, cios.Big(b))
+		}
+	}
+}
+
+// Property: CIOS multiplication result is always canonical (< N).
+func TestQuickCIOSCanonical(t *testing.T) {
+	n, _ := new(big.Int).SetString("f000000000000000000000000000000d", 16)
+	c, err := NewCIOS(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a0, a1, b0, b1 uint64) bool {
+		xa := new(big.Int).SetUint64(a1)
+		xa.Lsh(xa, 64).Or(xa, new(big.Int).SetUint64(a0)).Mod(xa, n)
+		xb := new(big.Int).SetUint64(b1)
+		xb.Lsh(xb, 64).Or(xb, new(big.Int).SetUint64(b0)).Mod(xb, n)
+		a, _ := c.NewOperand(xa)
+		b, _ := c.NewOperand(xb)
+		out := NewNat(c.Words())
+		c.Mul(out, a, b)
+		return c.Big(out).Cmp(n) < 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

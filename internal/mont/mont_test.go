@@ -1,0 +1,331 @@
+package mont
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randOdd returns a random odd modulus of exactly bits bits.
+func randOdd(rng *rand.Rand, bitLen int) *big.Int {
+	n := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), uint(bitLen-1)))
+	n.SetBit(n, bitLen-1, 1) // force exact length
+	n.SetBit(n, 0, 1)        // force odd
+	return n
+}
+
+func randBelow(rng *rand.Rand, bound *big.Int) *big.Int {
+	return new(big.Int).Rand(rng, bound)
+}
+
+func TestNewCtxValidation(t *testing.T) {
+	if _, err := NewCtx(big.NewInt(4)); err != ErrEvenModulus {
+		t.Errorf("even modulus: err = %v", err)
+	}
+	if _, err := NewCtx(big.NewInt(1)); err != ErrSmallModulus {
+		t.Errorf("modulus 1: err = %v", err)
+	}
+	if _, err := NewCtx(big.NewInt(0)); err != ErrSmallModulus {
+		t.Errorf("modulus 0: err = %v", err)
+	}
+	if _, err := NewCtx(big.NewInt(-7)); err != ErrSmallModulus {
+		t.Errorf("negative modulus: err = %v", err)
+	}
+	c, err := NewCtx(big.NewInt(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.L != 3 || c.R.Int64() != 32 {
+		t.Errorf("ctx for 7: L=%d R=%s", c.L, c.R)
+	}
+	if c.Iterations() != 5 {
+		t.Errorf("Iterations = %d, want l+2 = 5", c.Iterations())
+	}
+}
+
+// Algorithm 2's output must equal xyR⁻¹ mod N (up to a multiple of N
+// below 2N) and must stay below 2N for inputs below 2N.
+func TestMulMatchesClosedForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, l := range []int{4, 8, 16, 32, 64, 128, 256} {
+		n := randOdd(rng, l)
+		c, err := NewCtx(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 50; trial++ {
+			x := randBelow(rng, c.N2)
+			y := randBelow(rng, c.N2)
+			got := c.Mul(x, y)
+			if got.Cmp(c.N2) >= 0 {
+				t.Fatalf("l=%d: Mul out of bound: %s >= 2N", l, got)
+			}
+			want := c.MulClosedForm(x, y)
+			if new(big.Int).Mod(got, n).Cmp(want) != 0 {
+				t.Fatalf("l=%d: Mul(%s,%s) ≡ %s, want %s", l, x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestMulOperandBoundPanics(t *testing.T) {
+	c, _ := NewCtx(big.NewInt(13))
+	defer func() {
+		if recover() == nil {
+			t.Error("operand 2N did not panic")
+		}
+	}()
+	c.Mul(big.NewInt(26), big.NewInt(1))
+}
+
+func TestToFromMontRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, l := range []int{8, 31, 64, 160, 512} {
+		n := randOdd(rng, l)
+		c, _ := NewCtx(n)
+		for trial := 0; trial < 20; trial++ {
+			x := randBelow(rng, n)
+			xm := c.ToMont(x)
+			if xm.Cmp(c.N2) >= 0 {
+				t.Fatalf("ToMont out of bound")
+			}
+			// xm ≡ xR (mod N)
+			want := new(big.Int).Mul(x, c.R)
+			want.Mod(want, n)
+			if new(big.Int).Mod(xm, n).Cmp(want) != 0 {
+				t.Fatalf("ToMont wrong residue")
+			}
+			back := c.Reduce(c.FromMont(xm))
+			if back.Cmp(x) != 0 {
+				t.Fatalf("round trip: got %s want %s", back, x)
+			}
+		}
+	}
+}
+
+// The chaining invariant of §3: FromMont output is ≤ N.
+func TestFromMontAtMostN(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := randOdd(rng, 96)
+	c, _ := NewCtx(n)
+	for trial := 0; trial < 200; trial++ {
+		x := randBelow(rng, c.N2)
+		out := c.FromMont(x)
+		if out.Cmp(c.N) > 0 {
+			t.Fatalf("Mont(x,1) = %s > N", out)
+		}
+	}
+}
+
+func TestExpMatchesBig(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, l := range []int{8, 16, 64, 128, 256} {
+		n := randOdd(rng, l)
+		c, _ := NewCtx(n)
+		for trial := 0; trial < 10; trial++ {
+			m := randBelow(rng, n)
+			e := randBelow(rng, n)
+			if e.Sign() == 0 {
+				e.SetInt64(1)
+			}
+			got, stats, err := c.Exp(m, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := new(big.Int).Exp(m, e, n)
+			if got.Cmp(want) != 0 {
+				t.Fatalf("l=%d: Exp mismatch", l)
+			}
+			if stats.Squares != e.BitLen()-1 {
+				t.Errorf("squares = %d, want %d", stats.Squares, e.BitLen()-1)
+			}
+			wantMul := 0
+			for i := e.BitLen() - 2; i >= 0; i-- {
+				if e.Bit(i) == 1 {
+					wantMul++
+				}
+			}
+			if stats.Multiplies != wantMul {
+				t.Errorf("multiplies = %d, want %d", stats.Multiplies, wantMul)
+			}
+			if stats.PreMuls != 1 || stats.PostMuls != 1 {
+				t.Errorf("pre/post = %d/%d", stats.PreMuls, stats.PostMuls)
+			}
+			if stats.Total() != stats.Squares+stats.Multiplies+2 {
+				t.Errorf("Total inconsistent")
+			}
+		}
+	}
+}
+
+func TestExpEdgeCases(t *testing.T) {
+	c, _ := NewCtx(big.NewInt(101))
+	if _, _, err := c.Exp(big.NewInt(5), big.NewInt(0)); err == nil {
+		t.Error("zero exponent accepted")
+	}
+	if _, _, err := c.Exp(big.NewInt(101), big.NewInt(3)); err == nil {
+		t.Error("base = N accepted")
+	}
+	got, _, err := c.Exp(big.NewInt(0), big.NewInt(5))
+	if err != nil || got.Sign() != 0 {
+		t.Errorf("0^5 mod 101 = %v, err %v", got, err)
+	}
+	got, _, _ = c.Exp(big.NewInt(7), big.NewInt(1))
+	if got.Int64() != 7 {
+		t.Errorf("7^1 = %v", got)
+	}
+}
+
+func TestAlgorithm1MatchesClosedForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, alpha := range []uint{1, 2, 4, 8, 16, 32} {
+		for _, l := range []int{8, 16, 64, 160} {
+			n := randOdd(rng, l)
+			digits := (n.BitLen() + int(alpha) - 1) / int(alpha)
+			r := new(big.Int).Lsh(big.NewInt(1), uint(digits)*alpha)
+			rinv := new(big.Int).ModInverse(r, n)
+			for trial := 0; trial < 10; trial++ {
+				x := randBelow(rng, n)
+				y := randBelow(rng, n)
+				got, err := Algorithm1(x, y, n, alpha)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := new(big.Int).Mul(x, y)
+				want.Mul(want, rinv).Mod(want, n)
+				if got.Cmp(want) != 0 {
+					t.Fatalf("alpha=%d l=%d: Algorithm1 mismatch", alpha, l)
+				}
+			}
+		}
+	}
+}
+
+func TestAlgorithm1Validation(t *testing.T) {
+	n := big.NewInt(13)
+	if _, err := Algorithm1(big.NewInt(1), big.NewInt(1), n, 0); err == nil {
+		t.Error("alpha=0 accepted")
+	}
+	if _, err := Algorithm1(big.NewInt(1), big.NewInt(1), big.NewInt(4), 1); err == nil {
+		t.Error("even modulus accepted")
+	}
+	if _, err := Algorithm1(big.NewInt(13), big.NewInt(1), n, 1); err == nil {
+		t.Error("x = N accepted")
+	}
+}
+
+// For alpha = 1 and odd N, N' must be 1 — the simplification the paper
+// uses to erase the N' multiplication from the hardware.
+func TestNPrimeRadix2IsOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := randOdd(rng, 64)
+		np, err := NPrime(n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if np.Int64() != 1 {
+			t.Fatalf("N' mod 2 = %s for N = %s", np, n)
+		}
+	}
+}
+
+func TestNPrimeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, alpha := range []uint{1, 2, 3, 8, 13, 32, 64} {
+		mod := new(big.Int).Lsh(big.NewInt(1), alpha)
+		for trial := 0; trial < 20; trial++ {
+			n := randOdd(rng, 80)
+			np, err := NPrime(n, alpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// N·N' ≡ -1 mod 2^alpha
+			prod := new(big.Int).Mul(n, np)
+			prod.Add(prod, big.NewInt(1)).Mod(prod, mod)
+			if prod.Sign() != 0 {
+				t.Fatalf("alpha=%d: N·N'+1 ≢ 0 (N=%s N'=%s)", alpha, n, np)
+			}
+		}
+	}
+	if _, err := NPrime(big.NewInt(4), 8); err == nil {
+		t.Error("NPrime of even N accepted")
+	}
+}
+
+func TestWalterBound(t *testing.T) {
+	n := big.NewInt(1000001) // odd, 20 bits
+	r22 := new(big.Int).Lsh(big.NewInt(1), 22)
+	r21 := new(big.Int).Lsh(big.NewInt(1), 21)
+	if !WalterBoundOK(r22, n) {
+		t.Error("2^22 > 4N should satisfy Walter bound")
+	}
+	if WalterBoundOK(r21, n) {
+		t.Error("2^21 < 4N should fail Walter bound")
+	}
+	if MinExponentR(n) != 22 {
+		t.Errorf("MinExponentR = %d", MinExponentR(n))
+	}
+	if !IwamuraBoundOK(r22, n) {
+		t.Error("Iwamura bound should hold for 2^(l+2)")
+	}
+	num, den := OutputBound(4)
+	if num != 8 || den != 4 {
+		t.Errorf("OutputBound(4) = %d/%d", num, den)
+	}
+}
+
+// MinExponentR must always be bitlen(N)+2 for odd N — the paper's fixed
+// parameter choice.
+func TestQuickMinExponentR(t *testing.T) {
+	f := func(raw uint64) bool {
+		n := new(big.Int).SetUint64(raw | 1)
+		if n.Cmp(big.NewInt(3)) < 0 {
+			return true
+		}
+		return MinExponentR(n) == n.BitLen()+2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// ChainClosed must hold exactly when Walter's bound holds, for power-of-
+// two R near the boundary.
+func TestChainClosedBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		n := randOdd(rng, 48)
+		rGood := new(big.Int).Lsh(big.NewInt(1), uint(n.BitLen()+2))
+		rBad := new(big.Int).Lsh(big.NewInt(1), uint(n.BitLen()+1))
+		if !ChainClosed(rGood, n) {
+			t.Fatalf("R=2^(l+2) should close the chain for N=%s", n)
+		}
+		if ChainClosed(rBad, n) {
+			t.Fatalf("R=2^(l+1) should not close the chain for N=%s", n)
+		}
+	}
+}
+
+// Property test: for arbitrary operands below 2N the Algorithm-2 output
+// bound and residue both hold.
+func TestQuickMulInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	n := randOdd(rng, 61)
+	c, _ := NewCtx(n)
+	f := func(a, b uint64) bool {
+		x := new(big.Int).SetUint64(a)
+		x.Mod(x, c.N2)
+		y := new(big.Int).SetUint64(b)
+		y.Mod(y, c.N2)
+		got := c.Mul(x, y)
+		if got.Cmp(c.N2) >= 0 {
+			return false
+		}
+		return new(big.Int).Mod(got, n).Cmp(c.MulClosedForm(x, y)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,185 @@
+package mont
+
+import (
+	"fmt"
+	mathbits "math/bits"
+)
+
+// Nat is an unsigned multiprecision integer stored as 64-bit limbs,
+// least-significant first. It is the repository's own arithmetic core,
+// independent of math/big, used by the word-level (CIOS) Montgomery
+// multiplier — the software analogue of the paper's high-radix variants.
+// All values of a given modulus context carry the same limb count, which
+// keeps the CIOS loops branch-free in the data (the same property the
+// paper's hardware gets from dropping the final subtraction).
+type Nat struct {
+	limbs []uint64
+}
+
+// NewNat returns a zero Nat with n limbs.
+func NewNat(n int) *Nat {
+	return &Nat{limbs: make([]uint64, n)}
+}
+
+// NatFromUint64 returns a Nat with n limbs holding x.
+func NatFromUint64(x uint64, n int) *Nat {
+	v := NewNat(n)
+	if n > 0 {
+		v.limbs[0] = x
+	} else if x != 0 {
+		panic("mont: NatFromUint64 with zero limbs")
+	}
+	return v
+}
+
+// NatFromBytes parses big-endian bytes into a Nat with n limbs.
+// It panics if the value does not fit — a bound violation by the caller.
+func NatFromBytes(b []byte, n int) *Nat {
+	v := NewNat(n)
+	for i, by := range b {
+		shift := uint(8 * (len(b) - 1 - i))
+		limb := int(shift / 64)
+		if by != 0 && limb >= n {
+			panic(fmt.Sprintf("mont: NatFromBytes value does not fit in %d limbs", n))
+		}
+		if limb < n {
+			v.limbs[limb] |= uint64(by) << (shift % 64)
+		}
+	}
+	return v
+}
+
+// Bytes renders v as minimal big-endian bytes (empty for zero).
+func (v *Nat) Bytes() []byte {
+	out := make([]byte, 8*len(v.limbs))
+	for i, l := range v.limbs {
+		for b := 0; b < 8; b++ {
+			out[len(out)-1-(8*i+b)] = byte(l >> (8 * b))
+		}
+	}
+	for len(out) > 0 && out[0] == 0 {
+		out = out[1:]
+	}
+	return out
+}
+
+// Limbs returns the number of limbs.
+func (v *Nat) Limbs() int { return len(v.limbs) }
+
+// Clone returns an independent copy.
+func (v *Nat) Clone() *Nat {
+	w := NewNat(len(v.limbs))
+	copy(w.limbs, v.limbs)
+	return w
+}
+
+// IsZero reports whether v is zero. Constant-time in the limb count.
+func (v *Nat) IsZero() bool {
+	var acc uint64
+	for _, l := range v.limbs {
+		acc |= l
+	}
+	return acc == 0
+}
+
+// Cmp compares v and w (which must have equal limb counts),
+// returning -1, 0 or +1.
+func (v *Nat) Cmp(w *Nat) int {
+	checkSameLen(v, w)
+	for i := len(v.limbs) - 1; i >= 0; i-- {
+		switch {
+		case v.limbs[i] < w.limbs[i]:
+			return -1
+		case v.limbs[i] > w.limbs[i]:
+			return +1
+		}
+	}
+	return 0
+}
+
+// Equal reports whether v == w, in time independent of the values.
+func (v *Nat) Equal(w *Nat) bool {
+	checkSameLen(v, w)
+	var acc uint64
+	for i := range v.limbs {
+		acc |= v.limbs[i] ^ w.limbs[i]
+	}
+	return acc == 0
+}
+
+// Bit returns bit i of v (0 beyond the top limb).
+func (v *Nat) Bit(i int) uint {
+	if i < 0 {
+		panic("mont: negative bit index")
+	}
+	limb := i / 64
+	if limb >= len(v.limbs) {
+		return 0
+	}
+	return uint(v.limbs[limb]>>(i%64)) & 1
+}
+
+// BitLen returns the position of the highest set bit plus one.
+func (v *Nat) BitLen() int {
+	for i := len(v.limbs) - 1; i >= 0; i-- {
+		if v.limbs[i] != 0 {
+			return 64*i + mathbits.Len64(v.limbs[i])
+		}
+	}
+	return 0
+}
+
+// AddInto sets v = a + b and returns the outgoing carry.
+// All three must have the same limb count; v may alias a or b.
+func (v *Nat) AddInto(a, b *Nat) uint64 {
+	checkSameLen(a, b)
+	checkSameLen(v, a)
+	var carry uint64
+	for i := range v.limbs {
+		s, c := mathbits.Add64(a.limbs[i], b.limbs[i], carry)
+		v.limbs[i] = s
+		carry = c
+	}
+	return carry
+}
+
+// SubInto sets v = a - b and returns the outgoing borrow (1 if a < b).
+// v may alias a or b.
+func (v *Nat) SubInto(a, b *Nat) uint64 {
+	checkSameLen(a, b)
+	checkSameLen(v, a)
+	var borrow uint64
+	for i := range v.limbs {
+		d, br := mathbits.Sub64(a.limbs[i], b.limbs[i], borrow)
+		v.limbs[i] = d
+		borrow = br
+	}
+	return borrow
+}
+
+// CondSubInto sets v = a - b if choice is 1, v = a if choice is 0,
+// without branching on choice. It returns the borrow of the real
+// subtraction regardless of choice. This is the software counterpart of a
+// hardware conditional-subtract stage; the paper's Algorithm 2 never needs
+// it, and internal/sca uses that contrast in its timing experiments.
+func (v *Nat) CondSubInto(a, b *Nat, choice uint64) uint64 {
+	checkSameLen(a, b)
+	checkSameLen(v, a)
+	if choice > 1 {
+		panic("mont: CondSubInto choice must be 0 or 1")
+	}
+	mask := -choice // all-ones when choice == 1
+	var borrow uint64
+	for i := range v.limbs {
+		d, br := mathbits.Sub64(a.limbs[i], b.limbs[i], borrow)
+		borrow = br
+		v.limbs[i] = (d & mask) | (a.limbs[i] &^ mask)
+	}
+	return borrow
+}
+
+func checkSameLen(a, b *Nat) {
+	if len(a.limbs) != len(b.limbs) {
+		panic(fmt.Sprintf("mont: limb count mismatch %d vs %d", len(a.limbs), len(b.limbs)))
+	}
+}

@@ -1,0 +1,113 @@
+package mont
+
+import (
+	mathbits "math/bits"
+)
+
+// Word-level Montgomery multiplication variants from the Koç–Acar–
+// Kaliski taxonomy, alongside CIOS (cios.go): SOS (Separated Operand
+// Scanning — multiply fully, then reduce fully) and FIOS (Finely
+// Integrated Operand Scanning — one fused inner loop). All three compute
+// the same a·b·R⁻¹ mod N with R = 2^(64s) and are cross-tested against
+// each other; the benchmark harness uses them to ground the paper's
+// radix discussion in measurable software trade-offs.
+
+// MulSOS sets out = a·b·R⁻¹ mod N with the SOS method: a full s×s
+// schoolbook product into a double-width buffer, then s Montgomery
+// reduction passes, then the conditional subtraction.
+func (c *CIOS) MulSOS(out, a, b *Nat) {
+	checkSameLen(a, b)
+	checkSameLen(out, a)
+	s := len(a.limbs)
+	t := make([]uint64, 2*s+1)
+
+	// Multiplication phase.
+	for i := 0; i < s; i++ {
+		var carry uint64
+		for j := 0; j < s; j++ {
+			hi, lo := mathbits.Mul64(a.limbs[i], b.limbs[j])
+			sum, c1 := mathbits.Add64(t[i+j], lo, 0)
+			sum, c2 := mathbits.Add64(sum, carry, 0)
+			t[i+j] = sum
+			carry = hi + c1 + c2
+		}
+		t[i+s] += carry
+	}
+
+	// Reduction phase: clear the low s limbs one at a time.
+	for i := 0; i < s; i++ {
+		m := t[i] * c.n0inv
+		var carry uint64
+		for j := 0; j < s; j++ {
+			hi, lo := mathbits.Mul64(m, c.n.limbs[j])
+			sum, c1 := mathbits.Add64(t[i+j], lo, 0)
+			sum, c2 := mathbits.Add64(sum, carry, 0)
+			t[i+j] = sum
+			carry = hi + c1 + c2
+		}
+		// Propagate the reduction carry up the remaining limbs.
+		for k := i + s; carry != 0; k++ {
+			sum, c1 := mathbits.Add64(t[k], carry, 0)
+			t[k] = sum
+			carry = c1
+		}
+	}
+
+	c.finalSub(out, t[s:2*s], t[2*s])
+}
+
+// MulFIOS sets out = a·b·R⁻¹ mod N with the FIOS method: the partial
+// product and the reduction are interleaved inside a single inner loop
+// per word of a (one pass over b and N together).
+func (c *CIOS) MulFIOS(out, a, b *Nat) {
+	checkSameLen(a, b)
+	checkSameLen(out, a)
+	s := len(a.limbs)
+	t := make([]uint64, s+2)
+
+	for i := 0; i < s; i++ {
+		ai := a.limbs[i]
+		// t[0] + a_i·b_0 determines this pass's quotient digit.
+		hi0, lo0 := mathbits.Mul64(ai, b.limbs[0])
+		sum0, cc := mathbits.Add64(t[0], lo0, 0)
+		m := sum0 * c.n0inv
+		mhi, mlo := mathbits.Mul64(m, c.n.limbs[0])
+		_, c2 := mathbits.Add64(sum0, mlo, 0)
+
+		carryMul := hi0 + cc // carry chain of the a_i·b products
+		carryRed := mhi + c2 // carry chain of the m·N products
+		for j := 1; j < s; j++ {
+			hi, lo := mathbits.Mul64(ai, b.limbs[j])
+			sum, c1 := mathbits.Add64(t[j], lo, 0)
+			sum, c3 := mathbits.Add64(sum, carryMul, 0)
+			carryMul = hi + c1 + c3
+
+			rhi, rlo := mathbits.Mul64(m, c.n.limbs[j])
+			sum, c4 := mathbits.Add64(sum, rlo, 0)
+			sum, c5 := mathbits.Add64(sum, carryRed, 0)
+			carryRed = rhi + c4 + c5
+
+			t[j-1] = sum
+		}
+		sum, c1 := mathbits.Add64(t[s], carryMul, 0)
+		sum, c3 := mathbits.Add64(sum, carryRed, 0)
+		t[s-1] = sum
+		t[s] = t[s+1] + c1 + c3
+		t[s+1] = 0
+	}
+
+	c.finalSub(out, t[:s], t[s])
+}
+
+// finalSub performs the shared branch-free conditional subtraction: the
+// accumulator value is top·2^(64s) + limbs, in [0, 2N); keep limbs − N
+// unless the accumulator was below N.
+func (c *CIOS) finalSub(out *Nat, limbs []uint64, top uint64) {
+	res := &Nat{limbs: limbs}
+	borrow := out.SubInto(res, c.n)
+	restore := (1 - top) & borrow
+	mask := -restore
+	for i := range out.limbs {
+		out.limbs[i] = (res.limbs[i] & mask) | (out.limbs[i] &^ mask)
+	}
+}

@@ -1,0 +1,89 @@
+package mont
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// SOS and FIOS must agree with CIOS (and hence with math/big) on random
+// operands across widths, including single-limb and boundary widths.
+func TestWordMethodsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	for _, l := range []int{16, 63, 64, 65, 128, 511, 512, 1024} {
+		n := randOdd(rng, l)
+		c, err := NewCIOS(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 15; trial++ {
+			xa := randBelow(rng, n)
+			xb := randBelow(rng, n)
+			a, _ := c.NewOperand(xa)
+			b, _ := c.NewOperand(xb)
+			ref := NewNat(c.Words())
+			sos := NewNat(c.Words())
+			fios := NewNat(c.Words())
+			c.Mul(ref, a, b)
+			c.MulSOS(sos, a, b)
+			c.MulFIOS(fios, a, b)
+			if !sos.Equal(ref) {
+				t.Fatalf("l=%d: SOS diverges from CIOS:\n x=%s\n y=%s", l, xa, xb)
+			}
+			if !fios.Equal(ref) {
+				t.Fatalf("l=%d: FIOS diverges from CIOS:\n x=%s\n y=%s", l, xa, xb)
+			}
+		}
+	}
+}
+
+// Edge operands: zero, one, N-1, values with all-ones limbs.
+func TestWordMethodsEdgeOperands(t *testing.T) {
+	n, _ := new(big.Int).SetString("ffffffffffffffffffffffffffffff61", 16)
+	c, err := NewCIOS(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm1 := new(big.Int).Sub(n, big.NewInt(1))
+	edges := []*big.Int{big.NewInt(0), big.NewInt(1), big.NewInt(2), nm1,
+		new(big.Int).Rsh(nm1, 1)}
+	for _, xa := range edges {
+		for _, xb := range edges {
+			a, _ := c.NewOperand(xa)
+			b, _ := c.NewOperand(xb)
+			ref, sos, fios := NewNat(c.Words()), NewNat(c.Words()), NewNat(c.Words())
+			c.Mul(ref, a, b)
+			c.MulSOS(sos, a, b)
+			c.MulFIOS(fios, a, b)
+			if !sos.Equal(ref) || !fios.Equal(ref) {
+				t.Fatalf("edge (%s, %s): methods disagree", xa, xb)
+			}
+		}
+	}
+}
+
+// A full exponentiation chain over each method must land on the same
+// result (stress for accumulated carry-handling differences).
+func TestWordMethodsChained(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	n := randOdd(rng, 256)
+	c, _ := NewCIOS(n)
+	x := randBelow(rng, n)
+	a, _ := c.NewOperand(x)
+
+	run := func(mul func(out, p, q *Nat)) *Nat {
+		acc := a.Clone()
+		out := NewNat(c.Words())
+		for i := 0; i < 50; i++ {
+			mul(out, acc, a)
+			acc, out = out, acc
+		}
+		return acc
+	}
+	ref := run(c.Mul)
+	sos := run(c.MulSOS)
+	fios := run(c.MulFIOS)
+	if !sos.Equal(ref) || !fios.Equal(ref) {
+		t.Fatal("chained word methods disagree")
+	}
+}

@@ -1,0 +1,194 @@
+package rsa
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/expo"
+)
+
+func TestIsProbablePrimeKnownValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	primes := []int64{2, 3, 5, 7, 13, 101, 257, 7919, 104729}
+	for _, p := range primes {
+		ok, err := IsProbablePrime(big.NewInt(p), 20, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("%d flagged composite", p)
+		}
+	}
+	composites := []int64{0, 1, 4, 9, 15, 91, 561, 41041, 104730}
+	for _, c := range composites {
+		ok, err := IsProbablePrime(big.NewInt(c), 20, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Errorf("%d flagged prime", c)
+		}
+	}
+}
+
+// Carmichael numbers defeat Fermat tests; Miller–Rabin must reject them.
+func TestIsProbablePrimeCarmichael(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	for _, c := range []int64{561, 1105, 1729, 2465, 2821, 6601, 8911, 62745, 162401} {
+		ok, err := IsProbablePrime(big.NewInt(c), 20, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Errorf("Carmichael %d flagged prime", c)
+		}
+	}
+}
+
+// Cross-check against math/big's ProbablyPrime over a range.
+func TestIsProbablePrimeAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for v := int64(5); v < 2000; v += 2 {
+		n := big.NewInt(v)
+		got, err := IsProbablePrime(n, 20, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := n.ProbablyPrime(20); got != want {
+			t.Errorf("%d: got %v want %v", v, got, want)
+		}
+	}
+}
+
+func TestGeneratePrime(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	for _, bits := range []int{8, 16, 32, 64} {
+		p, err := GeneratePrime(bits, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.BitLen() != bits {
+			t.Errorf("prime has %d bits, want %d", p.BitLen(), bits)
+		}
+		if !p.ProbablyPrime(30) {
+			t.Errorf("generated %s is not prime", p)
+		}
+	}
+	if _, err := GeneratePrime(2, rng); err == nil {
+		t.Error("tiny prime length accepted")
+	}
+}
+
+func TestGenerateKeyAndRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	key, err := GenerateKey(64, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := key.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if key.N.BitLen() != 64 {
+		t.Errorf("modulus has %d bits", key.N.BitLen())
+	}
+	for trial := 0; trial < 5; trial++ {
+		m := new(big.Int).Rand(rng, key.N)
+		c, _, err := key.Encrypt(m, expo.Model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, _, err := key.Decrypt(c, expo.Model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Cmp(m) != 0 {
+			t.Fatalf("round trip failed")
+		}
+		backCRT, rep, err := key.DecryptCRT(c, expo.Model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if backCRT.Cmp(m) != 0 {
+			t.Fatalf("CRT round trip failed")
+		}
+		if rep.TotalCycles <= 0 {
+			t.Error("CRT report empty")
+		}
+	}
+}
+
+// CRT must cost roughly half the straight decryption in modelled cycles
+// (two exponentiations at half the width: 2·(4.5(l/2)²) vs 4.5l² → ~2×).
+func TestCRTCycleAdvantage(t *testing.T) {
+	rng := rand.New(rand.NewSource(106))
+	key, err := GenerateKey(128, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := new(big.Int).Rand(rng, key.N)
+	_, repFull, err := key.Decrypt(c, expo.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, repCRT, err := key.DecryptCRT(c, expo.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(repFull.TotalCycles) / float64(repCRT.TotalCycles)
+	if ratio < 1.5 || ratio > 3.0 {
+		t.Errorf("CRT speedup ratio %.2f outside [1.5, 3.0]", ratio)
+	}
+}
+
+// End-to-end through the cycle-accurate simulated circuit at small size.
+func TestRoundTripSimulated(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	key, err := GenerateKey(32, big.NewInt(17), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := big.NewInt(0xBEEF)
+	c, repEnc, err := key.Encrypt(m, expo.Simulate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repEnc.SimulatedMulCycles == 0 {
+		t.Error("simulated encryption reported no circuit cycles")
+	}
+	back, _, err := key.DecryptCRT(c, expo.Simulate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Cmp(m) != 0 {
+		t.Fatal("simulated round trip failed")
+	}
+}
+
+func TestGenerateKeyValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(108))
+	if _, err := GenerateKey(15, nil, rng); err == nil {
+		t.Error("odd bit count accepted")
+	}
+	if _, err := GenerateKey(8, nil, rng); err == nil {
+		t.Error("tiny modulus accepted")
+	}
+	if _, err := GenerateKey(32, big.NewInt(4), rng); err == nil {
+		t.Error("even exponent accepted")
+	}
+}
+
+// Determinism: the same seed must generate the same key.
+func TestGenerateKeyDeterministic(t *testing.T) {
+	k1, err := GenerateKey(48, nil, rand.New(rand.NewSource(109)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := GenerateKey(48, nil, rand.New(rand.NewSource(109)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1.N.Cmp(k2.N) != 0 || k1.D.Cmp(k2.D) != 0 {
+		t.Error("key generation not deterministic under fixed seed")
+	}
+}

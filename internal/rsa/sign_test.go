@@ -1,0 +1,114 @@
+package rsa
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/expo"
+)
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(221))
+	key, err := GenerateKey(96, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("bind this message to its sender")
+	sig, rep, err := key.SignSHA256(msg, expo.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalCycles <= 0 {
+		t.Error("empty signing report")
+	}
+	ok, err := key.PublicKey.VerifySHA256(msg, sig, expo.Model)
+	if err != nil || !ok {
+		t.Fatalf("valid signature rejected (%v)", err)
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	rng := rand.New(rand.NewSource(222))
+	key, err := GenerateKey(64, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("original")
+	sig, _, err := key.SignSHA256(msg, expo.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := key.PublicKey.VerifySHA256([]byte("tampered"), sig, expo.Model); ok {
+		t.Error("tampered message accepted")
+	}
+	bad := new(big.Int).Add(sig, big.NewInt(1))
+	bad.Mod(bad, key.N)
+	if bad.Sign() == 0 {
+		bad.SetInt64(2)
+	}
+	if ok, _ := key.PublicKey.VerifySHA256(msg, bad, expo.Model); ok {
+		t.Error("tampered signature accepted")
+	}
+	if ok, _ := key.PublicKey.VerifySHA256(msg, big.NewInt(0), expo.Model); ok {
+		t.Error("zero signature accepted")
+	}
+	if ok, _ := key.PublicKey.VerifySHA256(msg, key.N, expo.Model); ok {
+		t.Error("out-of-range signature accepted")
+	}
+	other, _ := GenerateKey(64, nil, rng)
+	if ok, _ := other.PublicKey.VerifySHA256(msg, sig, expo.Model); ok {
+		t.Error("signature accepted under the wrong key")
+	}
+}
+
+// Signature through the cycle-accurate circuit.
+func TestSignSimulated(t *testing.T) {
+	rng := rand.New(rand.NewSource(223))
+	key, err := GenerateKey(32, big.NewInt(17), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("gates")
+	sig, rep, err := key.SignSHA256(msg, expo.Simulate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SimulatedMulCycles == 0 {
+		t.Error("no simulated cycles recorded")
+	}
+	ok, err := key.PublicKey.VerifySHA256(msg, sig, expo.Simulate)
+	if err != nil || !ok {
+		t.Fatalf("simulated signature rejected (%v)", err)
+	}
+}
+
+// Blinded decryption must recover plaintexts exactly like the plain
+// path, and different blinds must not change the result.
+func TestDecryptBlinded(t *testing.T) {
+	rng := rand.New(rand.NewSource(224))
+	key, err := GenerateKey(96, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		m := new(big.Int).Rand(rng, key.N)
+		c, _, err := key.Encrypt(m, expo.Model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, rep, err := key.DecryptBlinded(c, expo.Model, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(m) != 0 {
+			t.Fatalf("blinded decrypt wrong")
+		}
+		if rep.TotalCycles <= 0 {
+			t.Error("empty blinded report")
+		}
+	}
+	if _, _, err := key.DecryptBlinded(key.N, expo.Model, rng); err == nil {
+		t.Error("out-of-range ciphertext accepted")
+	}
+}

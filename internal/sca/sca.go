@@ -1,0 +1,238 @@
+// Package sca provides the side-channel instrumentation behind the
+// paper's §5 claim: dropping every conditional reduction step makes the
+// multiplier's control flow — and therefore its timing — independent of
+// the operand data ("reduction steps … are presumed to be vulnerable to
+// side-channel attacks").
+//
+// Two kinds of evidence are produced:
+//
+//   - Timing: cycle counts of the MMM circuit over arbitrary operand
+//     sets (provably the constant 3l+4), contrasted with the
+//     data-dependent cycle counts of the conditional-subtraction
+//     baseline (internal/baseline.Interleaved).
+//
+//   - Power proxy: per-cycle register-toggle (Hamming-distance) traces
+//     of the systolic array, plus Welch's t-test in the standard
+//     fixed-vs-random (TVLA) configuration. Constant timing does NOT
+//     imply flat power — the traces remain data-dependent — and the
+//     t-test makes that distinction measurable.
+package sca
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+	"math/rand"
+
+	"repro/internal/baseline"
+	"repro/internal/bits"
+	"repro/internal/mmmc"
+	"repro/internal/systolic"
+)
+
+// TimingResult summarizes cycle counts over an operand set.
+type TimingResult struct {
+	Samples  int
+	Min, Max int
+	Mean     float64
+	Variance float64
+}
+
+// Constant reports whether every sample took the same number of cycles.
+func (r TimingResult) Constant() bool { return r.Min == r.Max }
+
+// String renders the summary.
+func (r TimingResult) String() string {
+	return fmt.Sprintf("%d samples: min=%d max=%d mean=%.2f var=%.4f",
+		r.Samples, r.Min, r.Max, r.Mean, r.Variance)
+}
+
+func summarize(cycles []int) TimingResult {
+	r := TimingResult{Samples: len(cycles), Min: math.MaxInt, Max: 0}
+	var sum float64
+	for _, c := range cycles {
+		if c < r.Min {
+			r.Min = c
+		}
+		if c > r.Max {
+			r.Max = c
+		}
+		sum += float64(c)
+	}
+	r.Mean = sum / float64(len(cycles))
+	for _, c := range cycles {
+		d := float64(c) - r.Mean
+		r.Variance += d * d
+	}
+	r.Variance /= float64(len(cycles))
+	return r
+}
+
+// MeasureMMMTiming runs trials random multiplications (operands < 2N)
+// through the cycle-accurate MMM circuit and summarizes the cycle
+// counts. The paper's design guarantees Constant() == true.
+func MeasureMMMTiming(n *big.Int, trials int, rng *rand.Rand) (TimingResult, error) {
+	if trials < 1 {
+		return TimingResult{}, errors.New("sca: need at least one trial")
+	}
+	l := n.BitLen()
+	c, err := mmmc.New(l, systolic.Guarded)
+	if err != nil {
+		return TimingResult{}, err
+	}
+	n2 := new(big.Int).Lsh(n, 1)
+	nv := bits.FromBig(n, l)
+	cycles := make([]int, trials)
+	for i := range cycles {
+		x := new(big.Int).Rand(rng, n2)
+		y := new(big.Int).Rand(rng, n2)
+		_, cyc, err := c.Run(bits.FromBig(x, l+1), bits.FromBig(y, l+1), nv)
+		if err != nil {
+			return TimingResult{}, err
+		}
+		cycles[i] = cyc
+	}
+	return summarize(cycles), nil
+}
+
+// MeasureInterleavedTiming is the contrast experiment: the conditional-
+// subtraction baseline over the same operand distribution. Its cycle
+// count varies with the data.
+func MeasureInterleavedTiming(n *big.Int, trials int, rng *rand.Rand) (TimingResult, error) {
+	if trials < 1 {
+		return TimingResult{}, errors.New("sca: need at least one trial")
+	}
+	in, err := baseline.NewInterleaved(n)
+	if err != nil {
+		return TimingResult{}, err
+	}
+	cycles := make([]int, trials)
+	for i := range cycles {
+		x := new(big.Int).Rand(rng, n)
+		y := new(big.Int).Rand(rng, n)
+		_, cyc := in.Mul(x, y)
+		cycles[i] = cyc
+	}
+	return summarize(cycles), nil
+}
+
+// ToggleTrace records the systolic array's register Hamming-distance per
+// clock cycle during one multiplication — the standard switching-
+// activity proxy for dynamic power.
+func ToggleTrace(n, x, y *big.Int) ([]int, error) {
+	l := n.BitLen()
+	arr, err := systolic.NewArray(systolic.Guarded, bits.FromBig(n, l), bits.FromBig(y, l+1))
+	if err != nil {
+		return nil, err
+	}
+	xv := bits.FromBig(x, l+1)
+	arr.Reset()
+	prev := arr.TRegister()
+	trace := make([]int, 3*l+4)
+	for c := 0; c < 3*l+4; c++ {
+		arr.Step(xv.Bit(c / 2))
+		cur := arr.TRegister()
+		trace[c] = hamming(prev, cur)
+		prev = cur
+	}
+	return trace, nil
+}
+
+func hamming(a, b bits.Vec) int {
+	d := 0
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a.Bit(i) != b.Bit(i) {
+			d++
+		}
+	}
+	return d
+}
+
+// Welch computes Welch's t-statistic per trace point between two groups
+// of equal-length traces. |t| > 4.5 at any point is the conventional
+// TVLA threshold for a detectable first-order leak.
+func Welch(groupA, groupB [][]int) ([]float64, error) {
+	if len(groupA) < 2 || len(groupB) < 2 {
+		return nil, errors.New("sca: need at least two traces per group")
+	}
+	points := len(groupA[0])
+	for _, tr := range append(append([][]int{}, groupA...), groupB...) {
+		if len(tr) != points {
+			return nil, errors.New("sca: trace lengths differ")
+		}
+	}
+	t := make([]float64, points)
+	for p := 0; p < points; p++ {
+		ma, va := meanVar(groupA, p)
+		mb, vb := meanVar(groupB, p)
+		denom := math.Sqrt(va/float64(len(groupA)) + vb/float64(len(groupB)))
+		if denom == 0 {
+			t[p] = 0
+			continue
+		}
+		t[p] = (ma - mb) / denom
+	}
+	return t, nil
+}
+
+func meanVar(group [][]int, p int) (mean, variance float64) {
+	for _, tr := range group {
+		mean += float64(tr[p])
+	}
+	mean /= float64(len(group))
+	for _, tr := range group {
+		d := float64(tr[p]) - mean
+		variance += d * d
+	}
+	variance /= float64(len(group) - 1) // sample variance
+	return mean, variance
+}
+
+// MaxAbs returns the largest |t| in a t-statistic trace.
+func MaxAbs(t []float64) float64 {
+	m := 0.0
+	for _, v := range t {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// TVLAThreshold is the conventional pass/fail bound for Welch's t.
+const TVLAThreshold = 4.5
+
+// FixedVsRandom runs the standard TVLA experiment on the array's toggle
+// traces: tracesPerGroup multiplications with a fixed y operand versus
+// tracesPerGroup with random y (x random in both groups), returning the
+// per-cycle t-statistic.
+func FixedVsRandom(n, fixedY *big.Int, tracesPerGroup int, rng *rand.Rand) ([]float64, error) {
+	if tracesPerGroup < 2 {
+		return nil, errors.New("sca: need at least two traces per group")
+	}
+	n2 := new(big.Int).Lsh(n, 1)
+	fixed := make([][]int, tracesPerGroup)
+	random := make([][]int, tracesPerGroup)
+	for i := 0; i < tracesPerGroup; i++ {
+		x := new(big.Int).Rand(rng, n2)
+		tr, err := ToggleTrace(n, x, fixedY)
+		if err != nil {
+			return nil, err
+		}
+		fixed[i] = tr
+
+		x2 := new(big.Int).Rand(rng, n2)
+		y2 := new(big.Int).Rand(rng, n2)
+		tr2, err := ToggleTrace(n, x2, y2)
+		if err != nil {
+			return nil, err
+		}
+		random[i] = tr2
+	}
+	return Welch(fixed, random)
+}

@@ -1,0 +1,252 @@
+package systolic
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+)
+
+// Array is the cycle-accurate behavioural model of the complete linear
+// systolic array of Fig. 2. One Step is one clock cycle; cell j computes
+// the digit t_{i,j} at clock 2i+j exactly as the paper schedules it.
+//
+// Register inventory (matching the paper's 4l flip-flop count):
+//
+//	T(1..l+1)      — row digits, the MMMC's T register (+T(l+2) guarded)
+//	C0(0..l-1)     — weight-2 carries between neighbouring cells
+//	C1(1..l-1)     — weight-4 carries between neighbouring cells
+//	x/m stages     — ⌈l/2⌉ two-cycle pipeline stages each, clock-enabled
+//	                 on even cycles, sharing one register per two cells
+//	                 (the x_{(l-2)/2}, m_{(l-2)/2} registers of Fig. 2)
+//
+// The x operand enters bit-serially: bit i must be presented during
+// clocks 2i and 2i+1, which is what the MMMC's right-shifting X register
+// does (one shift per MUL2 state).
+type Array struct {
+	L       int
+	Variant Variant
+
+	n bits.Vec // modulus, l bits, static during a multiplication
+	y bits.Vec // multiplicand, l+1 bits, static during a multiplication
+
+	regT  bits.Vec // regT[j] = T(j), j = 1..l+1 (index 0 unused); +T(l+2) guarded
+	regC0 bits.Vec // regC0[j] = carry c0 out of cell j, j = 0..l-1 (+l guarded)
+	regC1 bits.Vec // regC1[j] = carry c1 out of cell j, j = 1..l-1 (+l guarded)
+
+	stageX []Bit // stageX[k], k = 1..⌈l/2⌉: x bit for cells 2k-1, 2k
+	stageM []Bit // stageM[k]: m bit for cells 2k-1, 2k
+
+	// Self-loop delay registers. The leftmost cell (Faithful) and the cap
+	// cell (Guarded) consume their own previous-row output; because a
+	// cell is active only every other clock, that feedback value must
+	// survive two edges, so it passes through a second flip-flop — the
+	// duplicated T(l+1) register visible in Fig. 2.
+	tl1Shadow Bit // Faithful: delayed T(l+1), the leftmost cell's tIn
+	tl2Shadow Bit // Guarded: delayed T(l+2), the cap cell's tIn
+
+	// pre-edge scratch buffers for the two-phase latch in Step
+	wT, wC0, wC1 bits.Vec
+
+	cycle   int
+	dropped int
+}
+
+// NewArray builds an array for modulus n (odd, exactly l ≥ 2 significant
+// bits) and multiplicand y < 2^(l+1).
+func NewArray(variant Variant, n, y bits.Vec) (*Array, error) {
+	l := n.BitLen()
+	if l < 2 {
+		return nil, fmt.Errorf("systolic: modulus must have at least 2 bits, got %d", l)
+	}
+	if n.Bit(0) != 1 {
+		return nil, fmt.Errorf("systolic: modulus must be odd")
+	}
+	if y.BitLen() > l+1 {
+		return nil, fmt.Errorf("systolic: y has %d bits, limit %d", y.BitLen(), l+1)
+	}
+	tTop := l + 1
+	cTop := l - 1
+	if variant == Guarded {
+		tTop = l + 2
+		cTop = l
+	}
+	nStages := (l + 1) / 2
+	if nStages < 1 {
+		nStages = 1
+	}
+	return &Array{
+		L:       l,
+		Variant: variant,
+		n:       n.Resize(l),
+		y:       y.Resize(l + 1),
+		regT:    bits.New(tTop + 1),
+		regC0:   bits.New(cTop + 1),
+		regC1:   bits.New(cTop + 1),
+		stageX:  make([]Bit, nStages+1), // index 0 unused
+		stageM:  make([]Bit, nStages+1),
+		wT:      bits.New(tTop + 1),
+		wC0:     bits.New(cTop + 1),
+		wC1:     bits.New(cTop + 1),
+	}, nil
+}
+
+// Reset clears every register for a new multiplication (the MMMC does
+// this in its IDLE state).
+func (a *Array) Reset() {
+	clearVec(a.regT)
+	clearVec(a.regC0)
+	clearVec(a.regC1)
+	for k := range a.stageX {
+		a.stageX[k] = 0
+		a.stageM[k] = 0
+	}
+	a.tl1Shadow = 0
+	a.tl2Shadow = 0
+	a.cycle = 0
+	a.dropped = 0
+}
+
+func clearVec(v bits.Vec) {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Cycle returns the number of clock edges since Reset.
+func (a *Array) Cycle() int { return a.cycle }
+
+// DroppedCarries reports leftmost-cell carry drops (Faithful hazard).
+func (a *Array) DroppedCarries() int { return a.dropped }
+
+// TRegister returns the current contents of T(1..top) as a value
+// (T(1) is bit 0). Note that between result captures this is a skewed
+// mix of rows, not a single T_i — see Run for the capture schedule.
+func (a *Array) TRegister() bits.Vec {
+	return bits.Vec(a.regT[1:]).Clone()
+}
+
+// TBit returns the current value of the T(j) register, 1 ≤ j ≤ l+1
+// (l+2 for Guarded).
+func (a *Array) TBit(j int) Bit {
+	if j < 1 || j >= len(a.regT) {
+		panic(fmt.Sprintf("systolic: T(%d) out of range", j))
+	}
+	return a.regT[j]
+}
+
+// TL1Delayed returns the delayed T(l+1) register (Faithful self-loop
+// chain); the final result's top bit is read from here.
+func (a *Array) TL1Delayed() Bit { return a.tl1Shadow }
+
+// xFor returns the x bit visible to cell j this cycle; mFor the m bit.
+// Cell 0 receives x directly from the external input.
+func (a *Array) xFor(j int) Bit { return a.stageX[(j+1)/2] }
+func (a *Array) mFor(j int) Bit { return a.stageM[(j+1)/2] }
+
+// Step advances the array by one clock cycle with external x input xin
+// (the X register's bit 0). All cell outputs are computed from the
+// current register values, then every register latches simultaneously;
+// the x/m pipeline stages latch only on even→odd edges (their shared
+// clock-enable), giving each stage the two-cycle hold of Fig. 2.
+func (a *Array) Step(xin Bit) {
+	l := a.L
+
+	// Combinational phase: every cell computes from current registers.
+	r := RightmostCell(a.regT[1], xin, a.y[0])
+
+	fb := FirstBitCell(a.regT[2], a.xFor(1), a.y[1], a.mFor(1), a.n.Bit(1), a.regC0[0])
+
+	wT, wC0, wC1 := a.wT, a.wC0, a.wC1 // next register values, index j
+	wT[1], wC0[1], wC1[1] = fb.T, fb.C0, fb.C1
+	wC0[0] = r.C0
+
+	for j := 2; j <= l-1; j++ {
+		reg := RegularCell(a.regT[j+1], a.xFor(j), a.y[j], a.mFor(j), a.n.Bit(j), a.regC1[j-1], a.regC0[j-1])
+		wT[j], wC0[j], wC1[j] = reg.T, reg.C0, reg.C1
+	}
+
+	switch a.Variant {
+	case Faithful:
+		lm := LeftmostCell(a.tl1Shadow, a.xFor(l), a.y[l], a.regC1[l-1], a.regC0[l-1])
+		wT[l], wT[l+1] = lm.TL, lm.TL1
+		// Count drops only on the cell's valid phase (clock 2i+l with
+		// 0 ≤ i ≤ l+1); on the off phase it chews pipeline bubbles whose
+		// carries are never consumed.
+		if i := a.cycle - l; i >= 0 && i%2 == 0 && i/2 <= l+1 {
+			a.dropped += int(lm.Dropped)
+		}
+	case Guarded:
+		xl := a.xFor(l)
+		s1, gc0, gc1 := guardedLeftmost(a.regT[l+1], xl, a.y[l], a.regC1[l-1], a.regC0[l-1])
+		wT[l], wC0[l], wC1[l] = s1, gc0, gc1
+		cap := CapCell(a.tl2Shadow, a.regC0[l], a.regC1[l])
+		wT[l+1], wT[l+2] = cap.TL1, cap.TL2
+	default:
+		panic(fmt.Sprintf("systolic: unknown variant %v", a.Variant))
+	}
+
+	// Sequential phase: latch everything at the clock edge. The shadow
+	// registers capture the pre-edge primary values (two-FF chain).
+	if a.Variant == Faithful {
+		a.tl1Shadow = a.regT[l+1]
+	} else {
+		a.tl2Shadow = a.regT[l+2]
+	}
+	copy(a.regT, wT)
+	copy(a.regC0, wC0)
+	copy(a.regC1, wC1)
+	if a.cycle%2 == 0 {
+		// Shared x/m stages advance on even→odd edges only.
+		for k := len(a.stageX) - 1; k >= 2; k-- {
+			a.stageX[k] = a.stageX[k-1]
+			a.stageM[k] = a.stageM[k-1]
+		}
+		if len(a.stageX) > 1 {
+			a.stageX[1] = xin
+			a.stageM[1] = r.M
+		}
+	}
+	a.cycle++
+}
+
+// guardedLeftmost is the behavioural guarded leftmost cell: the paper's
+// FA plus one AND keeping the would-be-dropped carry.
+func guardedLeftmost(tIn, xi, yl, c1In, c0In Bit) (tl, c0, c1 Bit) {
+	aBit := xi & yl
+	s1, ca := bits.FullAdd(tIn, aBit, c0In)
+	return s1, ca ^ c1In, ca & c1In
+}
+
+// Run performs one complete Montgomery multiplication through the
+// pipelined array: x bit i is presented during clocks 2i and 2i+1, and
+// result bit b is captured from T(b+1) at the end of clock 2l+3+b — the
+// unique cycle at which t_{l+1,b+1} sits in that register (this is the
+// per-bit capture the MMMC's result register performs). The total is
+// exactly 3l+4 clock cycles, the paper's T_MMM figure.
+func (a *Array) Run(x bits.Vec) (bits.Vec, int, error) {
+	l := a.L
+	if x.BitLen() > l+1 {
+		return nil, 0, fmt.Errorf("systolic: x has %d bits, limit %d", x.BitLen(), l+1)
+	}
+	a.Reset()
+	result := bits.New(l + 1)
+	total := 3*l + 4
+	for c := 0; c < total; c++ {
+		a.Step(x.Bit(c / 2))
+		// After the edge ending clock c, T(j) holds t_{i,j} with
+		// 2i+j = c; captures fall at c = 2l+3+b ⇒ read T(b+1).
+		if b := c - (2*l + 3); b >= 0 && b <= l {
+			result[b] = a.regT[b+1]
+		}
+	}
+	if a.Variant == Faithful {
+		// The faithful T(l+1) is written by the leftmost cell one clock
+		// earlier than the uniform schedule (at 2i+l); the final top bit
+		// therefore sits in the delay register after the last edge.
+		result[l] = a.tl1Shadow
+	}
+	if a.Variant == Guarded && a.regT[l+2] != 0 {
+		panic("systolic: guarded array final guard bit set; bound violated")
+	}
+	return result, total, nil
+}

@@ -1,0 +1,268 @@
+package systolic
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+)
+
+// Array2D is the full two-dimensional systolic array of §4.2, before the
+// paper folds it: one row of cells per loop iteration ("the i-th row
+// computes T_i from T_{i-1}"), l+2 rows of l+1 cells, cell (i,j) active
+// at clock 2i+j. Each row owns the multiplier bit x_i of the wavefront
+// currently passing through it (delivered just in time at clock 2i+2k
+// for the k-th queued multiplication) and generates its own quotient
+// digit m_i in its rightmost cell, exactly as the folded array does.
+//
+// The linear Array of Fig. 2 is this structure projected onto a single
+// row. The 2D form costs l+2 times the cell area but accepts a NEW
+// multiplication every 2 clock cycles: latency stays 3l+4, throughput
+// becomes one product per 2 clocks — the trade systolic architectures
+// exist to navigate, and the reason the paper can say its folded design
+// "can be used for arbitrary precisions" at 1/(l+2) of this area.
+//
+// The rows use the Guarded cell set (the unfolded array has no reason to
+// reproduce the folded leftmost cell's dropped carry), so results are
+// correct for all operands below 2N.
+type Array2D struct {
+	L int
+
+	n bits.Vec // modulus, l bits
+	y bits.Vec // multiplicand, l+1 bits (broadcast per column)
+
+	// Inter/intra-row registers, indexed [row][position].
+	rowT  []bits.Vec // rowT[i][j] = t_{i,j}, j = 1..l+2
+	rowC0 []bits.Vec // carries out of row i's cells 0..l
+	rowC1 []bits.Vec
+
+	// Intra-row x/m pipelines (one shared stage per two cells, as in
+	// Fig. 2), indexed [row][stage]; stage 0 is the head (the row's
+	// externally delivered x bit / generated m digit).
+	xStage [][]Bit
+	mStage [][]Bit
+
+	// tl2Shadow[i] is the two-cycle delay register on the cap-digit path
+	// from row i-1's cap cell to row i's: the producer runs at clock
+	// 2(i-1)+l+1 and the consumer at 2i+l+1, two cycles apart, exactly
+	// like the folded array's T(l+1)/T(l+2) self-loop.
+	tl2Shadow []Bit
+
+	cycle int
+
+	// queue of multiplier operands; queue[k] is the k-th multiplication,
+	// whose wavefront enters row 0 at clock 2k.
+	queue []bits.Vec
+
+	// scratch for the two-phase latch
+	wT, wC0, wC1 []bits.Vec
+}
+
+// NewArray2D builds the unfolded array for modulus n and multiplicand y.
+func NewArray2D(n, y bits.Vec) (*Array2D, error) {
+	l := n.BitLen()
+	if l < 2 {
+		return nil, fmt.Errorf("systolic: modulus must have at least 2 bits, got %d", l)
+	}
+	if n.Bit(0) != 1 {
+		return nil, fmt.Errorf("systolic: modulus must be odd")
+	}
+	if y.BitLen() > l+1 {
+		return nil, fmt.Errorf("systolic: y has %d bits, limit %d", y.BitLen(), l+1)
+	}
+	rows := l + 2
+	a := &Array2D{
+		L:         l,
+		n:         n.Resize(l),
+		y:         y.Resize(l + 1),
+		rowT:      make([]bits.Vec, rows),
+		rowC0:     make([]bits.Vec, rows),
+		rowC1:     make([]bits.Vec, rows),
+		xStage:    make([][]Bit, rows),
+		mStage:    make([][]Bit, rows),
+		tl2Shadow: make([]Bit, rows),
+		wT:        make([]bits.Vec, rows),
+		wC0:       make([]bits.Vec, rows),
+		wC1:       make([]bits.Vec, rows),
+	}
+	nStages := (l + 1) / 2
+	for i := 0; i < rows; i++ {
+		a.rowT[i] = bits.New(l + 3)
+		a.rowC0[i] = bits.New(l + 1)
+		a.rowC1[i] = bits.New(l + 1)
+		a.xStage[i] = make([]Bit, nStages+1)
+		a.mStage[i] = make([]Bit, nStages+1)
+		a.wT[i] = bits.New(l + 3)
+		a.wC0[i] = bits.New(l + 1)
+		a.wC1[i] = bits.New(l + 1)
+	}
+	return a, nil
+}
+
+// Reset clears all state and the operand queue.
+func (a *Array2D) Reset() {
+	for i := range a.rowT {
+		clearVec(a.rowT[i])
+		clearVec(a.rowC0[i])
+		clearVec(a.rowC1[i])
+		for k := range a.xStage[i] {
+			a.xStage[i][k] = 0
+			a.mStage[i][k] = 0
+		}
+		a.tl2Shadow[i] = 0
+	}
+	a.cycle = 0
+	a.queue = nil
+}
+
+// Enqueue schedules a multiplier operand. The k-th enqueued operand's
+// wavefront enters row 0 at clock 2k; its result row emerges l+2 rows
+// later. Operands may be enqueued at any time before their start clock.
+func (a *Array2D) Enqueue(x bits.Vec) error {
+	if x.BitLen() > a.L+1 {
+		return fmt.Errorf("systolic: x has %d bits, limit %d", x.BitLen(), a.L+1)
+	}
+	a.queue = append(a.queue, x.Resize(a.L+1))
+	return nil
+}
+
+// headX returns the x bit delivered to row i at clock c: bit i of the
+// multiplication whose wavefront occupies the row, i.e. operand
+// k = ⌊(c-2i)/2⌋ (zero outside the schedule).
+func (a *Array2D) headX(i, c int) Bit {
+	rel := c - 2*i
+	if rel < 0 {
+		return 0
+	}
+	k := rel / 2
+	if k >= len(a.queue) {
+		return 0
+	}
+	return a.queue[k].Bit(i)
+}
+
+// Step advances the whole 2D array by one clock.
+func (a *Array2D) Step() {
+	l := a.L
+	rows := l + 2
+	c := a.cycle
+
+	for i := 0; i < rows; i++ {
+		// tIn for row i's cell j: row i-1's t register, shifted read
+		// (row 0 reads T_{-1} = 0).
+		tIn := func(j int) Bit {
+			if i == 0 {
+				return 0
+			}
+			return a.rowT[i-1].Bit(j + 1)
+		}
+		xHead := a.headX(i, c)
+
+		r := RightmostCell(tIn(0), xHead, a.y[0])
+		xFor := func(j int) Bit { return a.xStage[i][(j+1)/2] }
+		mFor := func(j int) Bit { return a.mStage[i][(j+1)/2] }
+
+		fb := FirstBitCell(tIn(1), xFor(1), a.y[1], mFor(1), a.n.Bit(1), a.rowC0[i][0])
+		a.wT[i][1], a.wC0[i][1], a.wC1[i][1] = fb.T, fb.C0, fb.C1
+		a.wC0[i][0] = r.C0
+
+		for j := 2; j <= l-1; j++ {
+			reg := RegularCell(tIn(j), xFor(j), a.y[j], mFor(j), a.n.Bit(j),
+				a.rowC1[i][j-1], a.rowC0[i][j-1])
+			a.wT[i][j], a.wC0[i][j], a.wC1[i][j] = reg.T, reg.C0, reg.C1
+		}
+
+		s1, gc0, gc1 := guardedLeftmost(tIn(l), xFor(l), a.y[l],
+			a.rowC1[i][l-1], a.rowC0[i][l-1])
+		a.wT[i][l], a.wC0[i][l], a.wC1[i][l] = s1, gc0, gc1
+		capOut := CapCell(a.tl2Shadow[i], a.rowC0[i][l], a.rowC1[i][l])
+		a.wT[i][l+1], a.wT[i][l+2] = capOut.TL1, capOut.TL2
+
+		// Stage heads for the intra-row pipelines.
+		a.xStage[i][0] = xHead
+		a.mStage[i][0] = r.M
+	}
+
+	// Latch phase. Row i's cells run at clocks ≡ i·2+j; its x/m stages
+	// advance at the end of clocks where its rightmost cell was active —
+	// clock parity (c - 2i) even ⇔ c even. All rows share the phase.
+	even := c%2 == 0
+	for i := rows - 1; i >= 0; i-- {
+		// Shadow first: it captures the pre-edge value of the upstream
+		// row's cap digit (row 0's upstream is T_{-1} = 0).
+		if i == 0 {
+			a.tl2Shadow[i] = 0
+		} else {
+			a.tl2Shadow[i] = a.rowT[i-1].Bit(l + 2)
+		}
+		copy(a.rowT[i], a.wT[i])
+		copy(a.rowC0[i], a.wC0[i])
+		copy(a.rowC1[i], a.wC1[i])
+		if even {
+			st, mt := a.xStage[i], a.mStage[i]
+			for k := len(st) - 1; k >= 1; k-- {
+				st[k] = st[k-1]
+				mt[k] = mt[k-1]
+			}
+		}
+	}
+	a.cycle++
+}
+
+// resultBit reads result bit b of the k-th enqueued multiplication; call
+// it right after the Step for clock 2k+2l+3+b.
+func (a *Array2D) resultBit(b int) Bit {
+	return a.rowT[a.L+1].Bit(b + 1)
+}
+
+// Run performs one multiplication and returns the result and latency —
+// the same 3l+4 as the linear array (the 2D form wins on throughput,
+// not latency).
+func (a *Array2D) Run(x bits.Vec) (bits.Vec, int, error) {
+	a.Reset()
+	if err := a.Enqueue(x); err != nil {
+		return nil, 0, err
+	}
+	l := a.L
+	result := bits.New(l + 1)
+	total := 3*l + 4
+	for c := 0; c < total; c++ {
+		a.Step()
+		if b := c - (2*l + 3); b >= 0 && b <= l {
+			result[b] = a.resultBit(b)
+		}
+	}
+	return result, total, nil
+}
+
+// RunBatch pushes a sequence of multiplications through the pipeline,
+// starting one every 2 clocks, and returns all results plus the total
+// cycle count — 3l+4 + 2(K−1) for K operands, i.e. an amortized
+// throughput of one Montgomery product per 2 clock cycles.
+func (a *Array2D) RunBatch(xs []bits.Vec) ([]bits.Vec, int, error) {
+	a.Reset()
+	for _, x := range xs {
+		if err := a.Enqueue(x); err != nil {
+			return nil, 0, err
+		}
+	}
+	l := a.L
+	k := len(xs)
+	results := make([]bits.Vec, k)
+	for i := range results {
+		results[i] = bits.New(l + 1)
+	}
+	total := 3*l + 4 + 2*(k-1)
+	if k == 0 {
+		total = 0
+	}
+	for c := 0; c < total; c++ {
+		a.Step()
+		// Result bit b of multiplication m lands at clock 2m+2l+3+b.
+		for m := 0; m < k; m++ {
+			if b := c - 2*m - (2*l + 3); b >= 0 && b <= l {
+				results[m][b] = a.resultBit(b)
+			}
+		}
+	}
+	return results, total, nil
+}

@@ -1,0 +1,131 @@
+package systolic
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/mont"
+)
+
+func TestNewArray2DValidation(t *testing.T) {
+	if _, err := NewArray2D(bits.FromUint64(1, 1), bits.New(2)); err == nil {
+		t.Error("1-bit modulus accepted")
+	}
+	if _, err := NewArray2D(bits.FromUint64(6, 3), bits.New(3)); err == nil {
+		t.Error("even modulus accepted")
+	}
+	if _, err := NewArray2D(bits.FromUint64(5, 3), bits.FromUint64(255, 8)); err == nil {
+		t.Error("oversized y accepted")
+	}
+	a, err := NewArray2D(bits.FromUint64(13, 4), bits.FromUint64(9, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Enqueue(bits.FromUint64(63, 6)); err == nil {
+		t.Error("oversized x accepted")
+	}
+}
+
+// The 2D array must compute the same products as the linear array and
+// Algorithm 2, in the same 3l+4 latency, including hazard-zone moduli.
+func TestArray2DMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	for _, l := range []int{2, 3, 4, 8, 16, 32} {
+		for _, nBig := range []*big.Int{
+			randOdd(rng, l),
+			new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), uint(l)), big.NewInt(1)),
+		} {
+			ctx, err := mont.NewCtx(nBig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 10; trial++ {
+				x := new(big.Int).Rand(rng, ctx.N2)
+				y := new(big.Int).Rand(rng, ctx.N2)
+				nv := bits.FromBig(nBig, l)
+				yv := bits.FromBig(y, l+1)
+				a2d, err := NewArray2D(nv, yv)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, cycles, err := a2d.Run(bits.FromBig(x, l+1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cycles != 3*l+4 {
+					t.Fatalf("l=%d: latency %d, want %d", l, cycles, 3*l+4)
+				}
+				if got.Big().Cmp(ctx.Mul(x, y)) != 0 {
+					t.Fatalf("l=%d N=%s x=%s y=%s: 2D array wrong: got %s want %s",
+						l, nBig, x, y, got.Big(), ctx.Mul(x, y))
+				}
+			}
+		}
+	}
+}
+
+// Pipelining: K multiplications sharing one y must all be correct and
+// finish in 3l+4 + 2(K-1) cycles — amortized one product per 2 clocks.
+func TestArray2DBatchThroughput(t *testing.T) {
+	rng := rand.New(rand.NewSource(152))
+	for _, l := range []int{4, 8, 16} {
+		nBig := randOdd(rng, l)
+		ctx, _ := mont.NewCtx(nBig)
+		y := new(big.Int).Rand(rng, ctx.N2)
+		a2d, err := NewArray2D(bits.FromBig(nBig, l), bits.FromBig(y, l+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		const k = 17
+		xs := make([]bits.Vec, k)
+		want := make([]*big.Int, k)
+		for i := range xs {
+			x := new(big.Int).Rand(rng, ctx.N2)
+			xs[i] = bits.FromBig(x, l+1)
+			want[i] = ctx.Mul(x, y)
+		}
+		results, total, err := a2d.RunBatch(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantTotal := 3*l + 4 + 2*(k-1); total != wantTotal {
+			t.Fatalf("l=%d: batch took %d cycles, want %d", l, total, wantTotal)
+		}
+		for i, r := range results {
+			if r.Big().Cmp(want[i]) != 0 {
+				t.Fatalf("l=%d: batch result %d wrong: got %s want %s",
+					l, i, r.Big(), want[i])
+			}
+		}
+	}
+}
+
+func TestArray2DBatchEmpty(t *testing.T) {
+	a2d, _ := NewArray2D(bits.FromUint64(13, 4), bits.FromUint64(9, 5))
+	results, total, err := a2d.RunBatch(nil)
+	if err != nil || len(results) != 0 || total != 0 {
+		t.Errorf("empty batch: %v %d %v", results, total, err)
+	}
+}
+
+// Reuse after Reset.
+func TestArray2DReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(153))
+	l := 8
+	nBig := randOdd(rng, l)
+	ctx, _ := mont.NewCtx(nBig)
+	y := new(big.Int).Rand(rng, ctx.N2)
+	a2d, _ := NewArray2D(bits.FromBig(nBig, l), bits.FromBig(y, l+1))
+	for trial := 0; trial < 4; trial++ {
+		x := new(big.Int).Rand(rng, ctx.N2)
+		got, _, err := a2d.Run(bits.FromBig(x, l+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Big().Cmp(ctx.Mul(x, y)) != 0 {
+			t.Fatalf("reuse trial %d wrong", trial)
+		}
+	}
+}

@@ -1,0 +1,490 @@
+package systolic
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bits"
+	"repro/internal/logic"
+	"repro/internal/mont"
+)
+
+func TestNewArrayValidation(t *testing.T) {
+	if _, err := NewArray(Guarded, bits.FromUint64(1, 1), bits.New(2)); err == nil {
+		t.Error("1-bit modulus accepted")
+	}
+	if _, err := NewArray(Guarded, bits.FromUint64(6, 3), bits.New(3)); err == nil {
+		t.Error("even modulus accepted")
+	}
+	if _, err := NewArray(Guarded, bits.FromUint64(5, 3), bits.FromUint64(255, 8)); err == nil {
+		t.Error("oversized y accepted")
+	}
+	a, err := NewArray(Guarded, bits.FromUint64(13, 4), bits.FromUint64(9, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Run(bits.FromUint64(63, 6)); err == nil {
+		t.Error("oversized x accepted")
+	}
+}
+
+// The pipelined array must produce exactly the iteration model's result
+// in exactly 3l+4 clock cycles, for both variants, across sizes and
+// operand patterns.
+func TestArrayMatchesIterModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, variant := range []Variant{Faithful, Guarded} {
+		for _, l := range []int{2, 3, 4, 5, 8, 16, 33, 64} {
+			nBig := randOdd(rng, l)
+			n2 := new(big.Int).Lsh(nBig, 1)
+			for trial := 0; trial < 20; trial++ {
+				x := new(big.Int).Rand(rng, n2)
+				y := new(big.Int).Rand(rng, n2)
+				nv := bits.FromBig(nBig, l)
+				yv := bits.FromBig(y, l+1)
+				xv := bits.FromBig(x, l+1)
+
+				im, err := NewIterModel(variant, nv, yv)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var want bits.Vec
+				if variant == Guarded {
+					want, err = im.RunMul(xv)
+					if err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					// Faithful RunMul may legitimately produce the
+					// dropped-carry value; compute it without the
+					// guard-bit panic path.
+					im.Reset()
+					for i := 0; i <= l+1; i++ {
+						im.StepIteration(xv.Bit(i))
+					}
+					want = im.T()
+				}
+
+				arr, err := NewArray(variant, nv, yv)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var got bits.Vec
+				var cycles int
+				if variant == Guarded {
+					got, cycles, err = arr.Run(xv)
+					if err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					got, cycles = runFaithful(arr, xv)
+				}
+				if cycles != 3*l+4 {
+					t.Fatalf("variant=%v l=%d: cycles = %d, want %d", variant, l, cycles, 3*l+4)
+				}
+				if !bits.Equal(got, want) {
+					t.Fatalf("variant=%v l=%d x=%s y=%s N=%s: array %s != iter %s",
+						variant, l, x, y, nBig, got.Big(), want.Big())
+				}
+				if arr.DroppedCarries() != im.DroppedCarries() {
+					t.Fatalf("dropped carry counts diverge: array %d iter %d",
+						arr.DroppedCarries(), im.DroppedCarries())
+				}
+			}
+		}
+	}
+}
+
+// runFaithful mirrors Array.Run without the guarded-only assertions.
+func runFaithful(a *Array, x bits.Vec) (bits.Vec, int) {
+	l := a.L
+	a.Reset()
+	result := bits.New(l + 1)
+	total := 3*l + 4
+	for c := 0; c < total; c++ {
+		a.Step(x.Bit(c / 2))
+		if b := c - (2*l + 3); b >= 0 && b <= l {
+			result[b] = a.regT[b+1]
+		}
+	}
+	result[l] = a.tl1Shadow
+	return result, total
+}
+
+// Schedule conformance: during the run, T(j) must hold t_{i,j} exactly at
+// the clocks 2i+j the paper states, for every i and j. The reference
+// digits come from replaying the iteration model row by row.
+func TestArraySchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	l := 12
+	nBig := randOdd(rng, l)
+	n2 := new(big.Int).Lsh(nBig, 1)
+	for trial := 0; trial < 10; trial++ {
+		x := new(big.Int).Rand(rng, n2)
+		y := new(big.Int).Rand(rng, n2)
+		nv := bits.FromBig(nBig, l)
+		yv := bits.FromBig(y, l+1)
+		xv := bits.FromBig(x, l+1)
+
+		// Reference rows: w[i][j] = t_{i,j} from the iteration model
+		// (W_i = 2·T_i, so t_{i,j} = bit j of 2·T_i).
+		im, _ := NewIterModel(Guarded, nv, yv)
+		rows := make([]bits.Vec, l+2)
+		for i := 0; i <= l+1; i++ {
+			im.StepIteration(xv.Bit(i))
+			rows[i] = im.T().Shl(1) // W_i
+		}
+
+		arr, _ := NewArray(Guarded, nv, yv)
+		arr.Reset()
+		for c := 0; c < 3*l+4; c++ {
+			arr.Step(xv.Bit(c / 2))
+			// After the edge ending clock c, T(j) holds t_{i,j} with
+			// 2i+j = c, for 1 ≤ j ≤ l+1 and 0 ≤ i ≤ l+1. The guard digit
+			// t_{i,l+2} is produced by the cap cell one clock early,
+			// alongside t_{i,l+1}.
+			for j := 1; j <= l+1; j++ {
+				i := (c - j) / 2
+				if (c-j)%2 != 0 || i < 0 || i > l+1 {
+					continue
+				}
+				if got, want := arr.regT[j], rows[i].Bit(j); got != want {
+					t.Fatalf("clock %d: T(%d) = %d, want t_{%d,%d} = %d",
+						c, j, got, i, j, want)
+				}
+			}
+			if i := (c - l - 1) / 2; (c-l-1)%2 == 0 && i >= 0 && i <= l+1 {
+				if got, want := arr.regT[l+2], rows[i].Bit(l+2); got != want {
+					t.Fatalf("clock %d: T(%d) = %d, want t_{%d,%d} = %d",
+						c, l+2, got, i, l+2, want)
+				}
+			}
+		}
+	}
+}
+
+// End-to-end: guarded array against the mont reference for many random
+// multiplications, including the hazard-prone all-ones modulus.
+func TestGuardedArrayMatchesMont(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, l := range []int{8, 16, 32} {
+		for _, nBig := range []*big.Int{
+			randOdd(rng, l),
+			new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), uint(l)), big.NewInt(1)),
+		} {
+			ctx, err := mont.NewCtx(nBig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 15; trial++ {
+				x := new(big.Int).Rand(rng, ctx.N2)
+				y := new(big.Int).Rand(rng, ctx.N2)
+				arr, _ := NewArray(Guarded, bits.FromBig(nBig, l), bits.FromBig(y, l+1))
+				got, _, err := arr.Run(bits.FromBig(x, l+1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Big().Cmp(ctx.Mul(x, y)) != 0 {
+					t.Fatalf("l=%d: array != Algorithm 2", l)
+				}
+			}
+		}
+	}
+}
+
+// The array must be reusable: two Runs with different x on the same
+// instance must both be correct (Reset clears all state).
+func TestArrayReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	l := 16
+	nBig := randOdd(rng, l)
+	ctx, _ := mont.NewCtx(nBig)
+	y := new(big.Int).Rand(rng, ctx.N2)
+	arr, _ := NewArray(Guarded, bits.FromBig(nBig, l), bits.FromBig(y, l+1))
+	for trial := 0; trial < 5; trial++ {
+		x := new(big.Int).Rand(rng, ctx.N2)
+		got, _, err := arr.Run(bits.FromBig(x, l+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Big().Cmp(ctx.Mul(x, y)) != 0 {
+			t.Fatalf("reuse trial %d wrong", trial)
+		}
+	}
+}
+
+func TestArrayAccessors(t *testing.T) {
+	arr, _ := NewArray(Guarded, bits.FromUint64(13, 4), bits.FromUint64(9, 5))
+	if arr.Cycle() != 0 {
+		t.Error("fresh array cycle != 0")
+	}
+	arr.Step(1)
+	if arr.Cycle() != 1 {
+		t.Error("cycle not advancing")
+	}
+	if len(arr.TRegister()) != arr.L+2 {
+		t.Errorf("TRegister width = %d", len(arr.TRegister()))
+	}
+	arr.Reset()
+	if arr.Cycle() != 0 || !arr.TRegister().IsZero() {
+		t.Error("Reset incomplete")
+	}
+}
+
+// ---- Gate-level netlist ----
+
+// simArrayNetlist runs one multiplication through the gate-level array,
+// capturing result bits on the same schedule as Array.Run.
+func simArrayNetlist(t *testing.T, sim *logic.Sim, p *Ports, x bits.Vec) bits.Vec {
+	t.Helper()
+	l := p.L
+	// Pulse clear for one cycle.
+	sim.Set(p.Clear, 1)
+	sim.Step()
+	sim.Set(p.Clear, 0)
+	result := bits.New(l + 1)
+	for c := 0; c < 3*l+4; c++ {
+		sim.Set(p.Xin, x.Bit(c/2))
+		sim.Step()
+		if b := c - (2*l + 3); b >= 0 && b <= l {
+			result[b] = sim.Get(p.T[b])
+		}
+	}
+	if p.Variant == Faithful {
+		result[l] = sim.Get(p.TDelayed)
+	}
+	return result
+}
+
+// The gate-level array must agree with the behavioural array signal for
+// signal: identical T register contents at every clock and identical
+// final results, for both variants.
+func TestNetlistMatchesBehaviouralArray(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for _, variant := range []Variant{Faithful, Guarded} {
+		for _, l := range []int{2, 3, 5, 8, 16} {
+			nBig := randOdd(rng, l)
+			n2 := new(big.Int).Lsh(nBig, 1)
+
+			nl := logic.New()
+			p, err := BuildArrayNetlist(nl, l, variant)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim, err := logic.Compile(nl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nv := bits.FromBig(nBig, l)
+			sim.SetMany(p.N, nv)
+
+			for trial := 0; trial < 8; trial++ {
+				x := new(big.Int).Rand(rng, n2)
+				y := new(big.Int).Rand(rng, n2)
+				yv := bits.FromBig(y, l+1)
+				xv := bits.FromBig(x, l+1)
+				sim.SetMany(p.Y, yv)
+
+				arr, _ := NewArray(variant, nv, yv)
+				arr.Reset()
+
+				// Clear the netlist registers.
+				sim.Set(p.Clear, 1)
+				sim.Step()
+				sim.Set(p.Clear, 0)
+
+				for c := 0; c < 3*l+4; c++ {
+					xbit := xv.Bit(c / 2)
+					sim.Set(p.Xin, xbit)
+					// Compare the combinational m before the edge.
+					// (Valid on even cycles, when cell 0 computes.)
+					arr.Step(xbit)
+					sim.Step()
+					tTop := l + 1
+					if variant == Guarded {
+						tTop = l + 2
+					}
+					for j := 1; j <= tTop; j++ {
+						if sim.Get(p.T[j-1]) != arr.regT[j] {
+							t.Fatalf("variant=%v l=%d clock %d: netlist T(%d)=%d behavioural=%d",
+								variant, l, c, j, sim.Get(p.T[j-1]), arr.regT[j])
+						}
+					}
+					shadow := arr.tl1Shadow
+					if variant == Guarded {
+						shadow = arr.tl2Shadow
+					}
+					if sim.Get(p.TDelayed) != shadow {
+						t.Fatalf("variant=%v l=%d clock %d: delayed T mismatch", variant, l, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// End-to-end gate-level check against the mont reference.
+func TestNetlistEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	for _, l := range []int{8, 16, 32} {
+		nBig := randOdd(rng, l)
+		ctx, _ := mont.NewCtx(nBig)
+		nl := logic.New()
+		p, err := BuildArrayNetlist(nl, l, Guarded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := logic.Compile(nl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.SetMany(p.N, bits.FromBig(nBig, l))
+		for trial := 0; trial < 5; trial++ {
+			x := new(big.Int).Rand(rng, ctx.N2)
+			y := new(big.Int).Rand(rng, ctx.N2)
+			sim.SetMany(p.Y, bits.FromBig(y, l+1))
+			got := simArrayNetlist(t, sim, p, bits.FromBig(x, l+1))
+			if got.Big().Cmp(ctx.Mul(x, y)) != 0 {
+				t.Fatalf("l=%d: gate-level result wrong", l)
+			}
+		}
+	}
+}
+
+// Fig. 2 area claim: the faithful array's primitive-gate census must
+// follow the closed-form counts of our cell decomposition —
+// (5l−2) XOR, (7l−4) AND, (2l−1) OR — linear in l exactly as the paper's
+// formula (5l−3, 7l−7, 4l−5), and the flip-flop count must be 4l+2
+// (the paper counts 4l; ours adds the phase toggle and one extra shared
+// stage for odd l). See EXPERIMENTS.md for the reconciliation.
+func TestArrayAreaFormula(t *testing.T) {
+	for _, l := range []int{4, 8, 16, 32, 64, 128} {
+		nl := logic.New()
+		_, err := BuildArrayNetlist(nl, l, Faithful)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cen := nl.Census()
+		if cen.Xor != 5*l-2 {
+			t.Errorf("l=%d: XOR = %d, want %d", l, cen.Xor, 5*l-2)
+		}
+		if cen.And != 7*l-4 {
+			t.Errorf("l=%d: AND = %d, want %d", l, cen.And, 7*l-4)
+		}
+		if cen.Or != 2*l-1 {
+			t.Errorf("l=%d: OR = %d, want %d", l, cen.Or, 2*l-1)
+		}
+		// FF inventory: T(l+1) + C0(l) + C1(l-1) + 2·⌊(l+1)/2⌋ stages +
+		// phase toggle + the T(l+1) self-loop delay register.
+		wantFF := (l + 1) + l + (l - 1) + 2*((l+1)/2) + 1 + 1
+		if cen.DFF != wantFF {
+			t.Errorf("l=%d: DFF = %d, want %d", l, cen.DFF, wantFF)
+		}
+		// Macro inventory: (l-2) regular cells × (2 FA + 1 HA) +
+		// first-bit (1 FA + 2 HA) + leftmost (1 FA).
+		if cen.FullAdders != 2*(l-2)+2 {
+			t.Errorf("l=%d: FA macros = %d", l, cen.FullAdders)
+		}
+		if cen.HalfAdders != (l-2)+2 {
+			t.Errorf("l=%d: HA macros = %d", l, cen.HalfAdders)
+		}
+	}
+}
+
+// Fig. 2 timing claim: the critical path is constant — independent of the
+// operand length l — and spans the 2·T_FA + T_HA carry chain of one
+// regular cell.
+func TestArrayCriticalPathConstant(t *testing.T) {
+	var baseline float64
+	for _, l := range []int{4, 8, 16, 64, 256, 1024} {
+		nl := logic.New()
+		_, err := BuildArrayNetlist(nl, l, Faithful)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := logic.AnalyzeTiming(nl, logic.UnitDelays)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if baseline == 0 {
+			baseline = rep.CriticalDelay
+			t.Logf("critical path: %.0f gate levels (%d nets)", rep.CriticalDelay, len(rep.Path))
+		} else if rep.CriticalDelay != baseline {
+			t.Errorf("l=%d: critical path %v != baseline %v — not constant in l",
+				l, rep.CriticalDelay, baseline)
+		}
+	}
+	// The guard must not lengthen the critical path.
+	nl := logic.New()
+	if _, err := BuildArrayNetlist(nl, 64, Guarded); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := logic.AnalyzeTiming(nl, logic.UnitDelays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CriticalDelay > baseline {
+		t.Errorf("guarded critical path %v exceeds faithful %v", rep.CriticalDelay, baseline)
+	}
+}
+
+func TestBuildArrayNetlistValidation(t *testing.T) {
+	nl := logic.New()
+	if _, err := BuildArrayNetlist(nl, 1, Faithful); err == nil {
+		t.Error("l=1 accepted")
+	}
+	if _, err := BuildArrayNetlist(nl, 4, Variant(9)); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}
+
+// Property test: for random small widths, operands and variants, the
+// pipelined array and the iteration model agree (quick-checked on top of
+// the structured tests above).
+func TestQuickArrayEquivalence(t *testing.T) {
+	f := func(seed int64, pickL uint8, guarded bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := 2 + int(pickL%14)
+		variant := Faithful
+		if guarded {
+			variant = Guarded
+		}
+		nBig := randOdd(rng, l)
+		n2 := new(big.Int).Lsh(nBig, 1)
+		x := new(big.Int).Rand(rng, n2)
+		y := new(big.Int).Rand(rng, n2)
+		nv := bits.FromBig(nBig, l)
+		yv := bits.FromBig(y, l+1)
+		xv := bits.FromBig(x, l+1)
+
+		im, err := NewIterModel(variant, nv, yv)
+		if err != nil {
+			return false
+		}
+		im.Reset()
+		for i := 0; i <= l+1; i++ {
+			im.StepIteration(xv.Bit(i))
+		}
+		want := im.T()
+
+		arr, err := NewArray(variant, nv, yv)
+		if err != nil {
+			return false
+		}
+		var got bits.Vec
+		if variant == Guarded {
+			got, _, err = arr.Run(xv)
+			if err != nil {
+				return false
+			}
+		} else {
+			got, _ = runFaithful(arr, xv)
+		}
+		return bits.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

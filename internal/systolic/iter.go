@@ -1,0 +1,149 @@
+package systolic
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+)
+
+// IterModel is the digit-parallel (one row per call) view of the array:
+// each StepIteration consumes one x bit and advances T_{i-1} → T_i using
+// exactly the cell equations of Fig. 1. It is the bridge between
+// Algorithm 2 (internal/mont) and the cycle-accurate pipelined array:
+// tests verify IterModel against the algorithm and the pipelined array
+// against IterModel.
+type IterModel struct {
+	L       int
+	Variant Variant
+
+	n bits.Vec // modulus, l bits
+	y bits.Vec // multiplicand, l+1 bits
+
+	t bits.Vec // T_{i-1}; l+1 bits (Faithful) or l+2 (Guarded)
+
+	iter    int // iterations performed
+	dropped int // leftmost-cell carry drops observed (Faithful hazard)
+}
+
+// NewIterModel prepares a model for modulus n (exactly l significant
+// bits, odd, l ≥ 2) and multiplicand y < 2^(l+1). The multiplier x is
+// supplied bit by bit through StepIteration.
+func NewIterModel(variant Variant, n, y bits.Vec) (*IterModel, error) {
+	l := n.BitLen()
+	if l < 2 {
+		return nil, fmt.Errorf("systolic: modulus must have at least 2 bits, got %d", l)
+	}
+	if n.Bit(0) != 1 {
+		return nil, fmt.Errorf("systolic: modulus must be odd")
+	}
+	if y.BitLen() > l+1 {
+		return nil, fmt.Errorf("systolic: y has %d bits, limit %d", y.BitLen(), l+1)
+	}
+	tWidth := l + 1
+	if variant == Guarded {
+		tWidth = l + 2
+	}
+	return &IterModel{
+		L:       l,
+		Variant: variant,
+		n:       n.Resize(l),
+		y:       y.Resize(l + 1),
+		t:       bits.New(tWidth),
+	}, nil
+}
+
+// Reset clears T and the iteration counter for a new multiplication with
+// the same n and y.
+func (m *IterModel) Reset() {
+	for i := range m.t {
+		m.t[i] = 0
+	}
+	m.iter = 0
+	m.dropped = 0
+}
+
+// StepIteration performs one loop iteration of Algorithm 2 with
+// multiplier bit xi, updating T in place, and returns the quotient digit
+// m_i the rightmost cell generated.
+func (m *IterModel) StepIteration(xi Bit) Bit {
+	l := m.L
+	t := m.t
+
+	// Rightmost cell, j = 0: generates m_i, emits c0.
+	r := RightmostCell(t.Bit(0), xi, m.y[0])
+	mi := r.M
+	c0, c1 := r.C0, Bit(0) // no c1 out of cell 0
+
+	w := bits.New(len(t) + 1) // w[j] = t_{i,j}; w[0] = 0 by construction
+
+	// First-bit cell, j = 1.
+	fb := FirstBitCell(t.Bit(1), xi, m.y[1], mi, m.n.Bit(1), c0)
+	w[1], c0, c1 = fb.T, fb.C0, fb.C1
+
+	// Regular cells, j = 2 .. l-1.
+	for j := 2; j <= l-1; j++ {
+		reg := RegularCell(t.Bit(j), xi, m.y[j], mi, m.n.Bit(j), c1, c0)
+		w[j], c0, c1 = reg.T, reg.C0, reg.C1
+	}
+
+	// Leftmost handling, j = l (n_l = 0).
+	switch m.Variant {
+	case Faithful:
+		lm := LeftmostCell(t.Bit(l), xi, m.y[l], c1, c0)
+		w[l], w[l+1] = lm.TL, lm.TL1
+		m.dropped += int(lm.Dropped)
+	case Guarded:
+		// Guarded leftmost keeps both weight-2 outputs…
+		a := xi & m.y[l]
+		s1, ca := bits.FullAdd(t.Bit(l), a, c0)
+		gc0 := ca ^ c1
+		gc1 := ca & c1
+		w[l] = s1
+		// …and the cap cell folds them with the guard bit t_{i-1,l+2}.
+		cap := CapCell(t.Bit(l+1), gc0, gc1)
+		w[l+1], w[l+2] = cap.TL1, cap.TL2
+	default:
+		panic(fmt.Sprintf("systolic: unknown variant %v", m.Variant))
+	}
+
+	// T_i = W_i / 2: bit b of the new T is w[b+1].
+	for b := 0; b < len(t); b++ {
+		t[b] = w[b+1]
+	}
+	m.iter++
+	return mi
+}
+
+// Iterations returns the number of iterations performed since Reset.
+func (m *IterModel) Iterations() int { return m.iter }
+
+// DroppedCarries returns how many times the Faithful leftmost cell
+// discarded a carry — each such event means the hardware diverged from
+// Algorithm 2. Always zero for the Guarded variant.
+func (m *IterModel) DroppedCarries() int { return m.dropped }
+
+// T returns a copy of the current T value.
+func (m *IterModel) T() bits.Vec { return m.t.Clone() }
+
+// RunMul performs a complete multiplication: l+2 iterations over the
+// bits of x (x < 2^(l+1), so iteration l+1 always sees x bit 0, as the
+// MMMC's zero-filled shift register guarantees). It returns the result
+// T = x·y·2^{-(l+2)} mod 2N as an (l+1)-bit vector.
+func (m *IterModel) RunMul(x bits.Vec) (bits.Vec, error) {
+	if x.BitLen() > m.L+1 {
+		return nil, fmt.Errorf("systolic: x has %d bits, limit %d", x.BitLen(), m.L+1)
+	}
+	m.Reset()
+	for i := 0; i <= m.L+1; i++ {
+		m.StepIteration(x.Bit(i))
+	}
+	res := m.t.Clone()
+	if m.Variant == Guarded {
+		// The guard bit of the final row is provably zero (T < 2N).
+		if res[m.L+1] != 0 {
+			panic("systolic: guarded array final guard bit set; bound violated")
+		}
+		res = res[:m.L+1]
+	}
+	return res, nil
+}

@@ -1,0 +1,127 @@
+package tables
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"strings"
+
+	"repro/internal/ecc"
+	"repro/internal/fpga"
+	"repro/internal/logic"
+	"repro/internal/mmmc"
+	"repro/internal/systolic"
+)
+
+// ECC point-multiplication projection — the experiment the paper defers
+// to its companion work [20] ("implementation results for ECC using MMM
+// can be found in [20]"; §5: "all required components are available").
+// For each standard curve size the row counts the field multiplications
+// of one scalar multiplication (measured from an actual k·G on the
+// reproduced curve arithmetic) and prices them on the reproduced
+// multiplier at the Virtex-E clock.
+type ECCRow struct {
+	Curve       string
+	FieldBits   int
+	FieldMuls   int     // measured Montgomery multiplications for one k·G
+	CyclesPerFM int     // 3l+4
+	TotalCycles int     // FieldMuls × CyclesPerFM
+	TpNs        float64 // Virtex-E clock for this field width
+	TimeMs      float64
+	Slices      int
+}
+
+// ECCTable measures one double-and-add scalar multiplication per curve
+// and projects its hardware cost. Curves: a small toy curve plus
+// P-256 and P-384 (P-521-class sizes are omitted to keep the run quick).
+func ECCTable(seed int64) ([]ECCRow, error) {
+	rng := rand.New(rand.NewSource(seed))
+	type entry struct {
+		name string
+		mk   func() (*ecc.Curve, error)
+	}
+	entries := []entry{
+		{"P-256", ecc.P256},
+		{"P-384", ecc.P384},
+	}
+	var rows []ECCRow
+	for _, e := range entries {
+		c, err := e.mk()
+		if err != nil {
+			return nil, err
+		}
+		l := c.P.BitLen()
+		k := new(big.Int).Rand(rng, c.Order)
+		if k.Sign() == 0 {
+			k.SetInt64(3)
+		}
+		c.FieldMuls = 0
+		if _, err := c.ScalarBaseMult(k); err != nil {
+			return nil, err
+		}
+		fm := c.FieldMuls
+
+		nl := logic.New()
+		if _, err := mmmc.BuildNetlist(nl, l, systolic.Faithful); err != nil {
+			return nil, err
+		}
+		mr, err := fpga.VirtexE.Map(nl)
+		if err != nil {
+			return nil, err
+		}
+		cpf := 3*l + 4
+		rows = append(rows, ECCRow{
+			Curve:       e.name,
+			FieldBits:   l,
+			FieldMuls:   fm,
+			CyclesPerFM: cpf,
+			TotalCycles: fm * cpf,
+			TpNs:        mr.ClockPeriodNs,
+			TimeMs:      float64(fm*cpf) * mr.ClockPeriodNs / 1e6,
+			Slices:      mr.Slices,
+		})
+	}
+	return rows, nil
+}
+
+// FormatECC renders the projection.
+func FormatECC(rows []ECCRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ECC point multiplication on the reproduced multiplier (the paper's [20] direction)\n")
+	fmt.Fprintf(&b, "%8s %6s %11s %9s %13s %9s %9s %9s\n",
+		"curve", "bits", "field muls", "cyc/mul", "total cyc", "Tp[ns]", "time[ms]", "slices")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8s %6d %11d %9d %13d %9.3f %9.2f %9d\n",
+			r.Curve, r.FieldBits, r.FieldMuls, r.CyclesPerFM, r.TotalCycles,
+			r.TpNs, r.TimeMs, r.Slices)
+	}
+	return b.String()
+}
+
+// LaTeXTable2 renders Table 2 rows as a LaTeX tabular, for dropping the
+// reproduction straight into a writeup.
+func LaTeXTable2(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("\\begin{tabular}{rrrrr|rrr}\n")
+	b.WriteString("$\\ell$ & $S$ & $T_p$ [ns] & TA & $T_{MMM}$ [$\\mu$s] & $S^{pap}$ & $T_p^{pap}$ & $T_{MMM}^{pap}$\\\\\\hline\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%d & %d & %.3f & %.1f & %.3f & %d & %.3f & %.3f\\\\\n",
+			r.L, r.Slices, r.TpNs, r.TAns, r.TMMMUs,
+			r.PaperSlices, r.PaperTpNs, r.PaperTMMMUs)
+	}
+	b.WriteString("\\end{tabular}\n")
+	return b.String()
+}
+
+// LaTeXTable1 renders Table 1 rows as a LaTeX tabular.
+func LaTeXTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("\\begin{tabular}{rrr|rr}\n")
+	b.WriteString("$\\ell$ & $T_p$ [ns] & $T_{exp}$ [ms] & $T_p^{pap}$ & $T_{exp}^{pap}$\\\\\\hline\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%d & %.3f & %.3f & %.3f & %.3f\\\\\n",
+			r.L, r.TpNs, r.TModExpMs, r.PaperTpNs, r.PaperModExpMs)
+	}
+	b.WriteString("\\end{tabular}\n")
+	return b.String()
+}

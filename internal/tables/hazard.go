@@ -1,0 +1,125 @@
+package tables
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"strings"
+
+	"repro/internal/bits"
+	"repro/internal/mont"
+	"repro/internal/systolic"
+)
+
+// Hazard survey: quantifies the Faithful leftmost-cell overflow
+// (EXPERIMENTS.md deviation #2) across modulus classes. For moduli below
+// ⅔·2^l the implicit condition y + N ≤ 2^(l+1) holds for every y < 2N
+// and the paper's array is flawless; above it, a measurable fraction of
+// random operand pairs drop a carry and compute a wrong product. The
+// survey measures both rates empirically with the iteration model.
+
+// HazardRow is one modulus class of the survey.
+type HazardRow struct {
+	L      int
+	Class  string   // "low", "twothirds", "top"
+	N      *big.Int // the surveyed modulus
+	Trials int
+	// Drops counts multiplications in which the faithful leftmost cell
+	// discarded at least one carry; Wrong counts those whose final
+	// result was not ≡ x·y·R⁻¹ (mod N). Guarded wrongs are asserted to
+	// be zero on the same operands.
+	Drops int
+	Wrong int
+}
+
+// DropRate returns the fraction of multiplications with a dropped carry.
+func (r HazardRow) DropRate() float64 { return float64(r.Drops) / float64(r.Trials) }
+
+// WrongRate returns the fraction with an incorrect product.
+func (r HazardRow) WrongRate() float64 { return float64(r.Wrong) / float64(r.Trials) }
+
+// HazardSurvey measures the faithful-variant failure rates at bit length
+// l over trials random operand pairs per modulus class.
+func HazardSurvey(l, trials int, seed int64) ([]HazardRow, error) {
+	if l < 4 {
+		return nil, fmt.Errorf("tables: hazard survey needs l ≥ 4, got %d", l)
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	classes := []struct {
+		name string
+		n    *big.Int
+	}{
+		// Just above 2^(l-1): y+N ≤ 2^(l+1) always holds ⇒ provably safe.
+		{"low", oddAt(new(big.Int).Add(
+			new(big.Int).Lsh(big.NewInt(1), uint(l-1)), big.NewInt(5)))},
+		// Around (3/4)·2^l: inside the hazard zone (N > ⅔·2^l).
+		{"threequarter", oddAt(new(big.Int).Rsh(
+			new(big.Int).Mul(big.NewInt(3), new(big.Int).Lsh(big.NewInt(1), uint(l))), 2))},
+		// 2^l − 1: the top of the range, worst case.
+		{"top", new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), uint(l)), big.NewInt(1))},
+	}
+
+	var rows []HazardRow
+	for _, cl := range classes {
+		ctx, err := mont.NewCtx(cl.n)
+		if err != nil {
+			return nil, err
+		}
+		row := HazardRow{L: l, Class: cl.name, N: cl.n, Trials: trials}
+		nv := bits.FromBig(cl.n, l)
+		for trial := 0; trial < trials; trial++ {
+			x := new(big.Int).Rand(rng, ctx.N2)
+			y := new(big.Int).Rand(rng, ctx.N2)
+			im, err := systolic.NewIterModel(systolic.Faithful, nv, bits.FromBig(y, l+1))
+			if err != nil {
+				return nil, err
+			}
+			xv := bits.FromBig(x, l+1)
+			im.Reset()
+			for i := 0; i <= l+1; i++ {
+				im.StepIteration(xv.Bit(i))
+			}
+			got := im.T().Big()
+			want := ctx.Mul(x, y)
+			if im.DroppedCarries() > 0 {
+				row.Drops++
+			}
+			if got.Cmp(want) != 0 {
+				row.Wrong++
+				// The guarded variant must be right on the exact same
+				// operands — the survey doubles as a regression check.
+				gm, _ := systolic.NewIterModel(systolic.Guarded, nv, bits.FromBig(y, l+1))
+				gv, err := gm.RunMul(xv)
+				if err != nil {
+					return nil, err
+				}
+				if gv.Big().Cmp(want) != 0 {
+					return nil, fmt.Errorf("tables: guarded variant wrong at l=%d", l)
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func oddAt(n *big.Int) *big.Int {
+	if n.Bit(0) == 0 {
+		n.Add(n, big.NewInt(1))
+	}
+	return n
+}
+
+// FormatHazard renders the survey.
+func FormatHazard(rows []HazardRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Faithful leftmost-cell hazard survey (operands x, y < 2N; see EXPERIMENTS.md)\n")
+	fmt.Fprintf(&b, "%6s %14s %22s %9s %11s %11s\n",
+		"l", "class", "N", "trials", "drop rate", "wrong rate")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6d %14s %22s %9d %10.2f%% %10.2f%%\n",
+			r.L, r.Class, r.N.Text(16), r.Trials, 100*r.DropRate(), 100*r.WrongRate())
+	}
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+)
+
+// The hazard survey must show: zero failures for the provably safe low
+// class, and nonzero drop/wrong rates at the top of the modulus range —
+// the quantified deviation of EXPERIMENTS.md.
+func TestHazardSurvey(t *testing.T) {
+	rows, err := HazardSurvey(16, 400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byClass := map[string]HazardRow{}
+	for _, r := range rows {
+		byClass[r.Class] = r
+	}
+	if low := byClass["low"]; low.Drops != 0 || low.Wrong != 0 {
+		t.Errorf("low class should be hazard-free: %+v", low)
+	}
+	if top := byClass["top"]; top.Drops == 0 || top.Wrong == 0 {
+		t.Errorf("top class should exhibit the hazard: %+v", top)
+	}
+	// Wrong results require a dropped carry (never the other way).
+	for _, r := range rows {
+		if r.Wrong > r.Drops {
+			t.Errorf("%s: wrong (%d) exceeds drops (%d)", r.Class, r.Wrong, r.Drops)
+		}
+	}
+	out := FormatHazard(rows)
+	if !strings.Contains(out, "hazard survey") || !strings.Contains(out, "top") {
+		t.Errorf("FormatHazard:\n%s", out)
+	}
+}
+
+func TestHazardSurveyValidation(t *testing.T) {
+	if _, err := HazardSurvey(2, 10, 1); err == nil {
+		t.Error("tiny l accepted")
+	}
+}
+
+func TestECCTable(t *testing.T) {
+	rows, err := ECCTable(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Curve != "P-256" || rows[1].Curve != "P-384" {
+		t.Fatalf("rows: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.FieldMuls < 1000 {
+			t.Errorf("%s: implausibly few field muls (%d)", r.Curve, r.FieldMuls)
+		}
+		if r.CyclesPerFM != 3*r.FieldBits+4 {
+			t.Errorf("%s: cycles/mul = %d", r.Curve, r.CyclesPerFM)
+		}
+		if r.TotalCycles != r.FieldMuls*r.CyclesPerFM {
+			t.Errorf("%s: total cycles inconsistent", r.Curve)
+		}
+		if r.TimeMs <= 0 || r.Slices <= 0 {
+			t.Errorf("%s: empty hardware projection", r.Curve)
+		}
+	}
+	// Bigger field ⇒ more time.
+	if rows[1].TimeMs <= rows[0].TimeMs {
+		t.Error("P-384 not slower than P-256")
+	}
+	out := FormatECC(rows)
+	if !strings.Contains(out, "P-256") || !strings.Contains(out, "P-384") {
+		t.Errorf("FormatECC:\n%s", out)
+	}
+}
+
+func TestLaTeXFormats(t *testing.T) {
+	t2, err := Table2([]int{32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2 := LaTeXTable2(t2)
+	if !strings.Contains(l2, "\\begin{tabular}") || !strings.Contains(l2, "9.256") {
+		t.Errorf("LaTeXTable2:\n%s", l2)
+	}
+	t1, err := Table1([]int{32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1 := LaTeXTable1(t1)
+	if !strings.Contains(l1, "\\end{tabular}") {
+		t.Errorf("LaTeXTable1:\n%s", l1)
+	}
+}

@@ -1,0 +1,162 @@
+package tables
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Table 2 reproduction criteria: measured cycles = 3l+4 exactly; Tp
+// constant across l and within 1.5 ns of every paper row; slices within
+// 20% of the paper; TMMM within 25% of the paper; TA consistent.
+func TestTable2Reproduction(t *testing.T) {
+	rows, err := Table2(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(StandardLengths) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	tp0 := rows[0].TpNs
+	for _, r := range rows {
+		if r.CyclesPerMul != 3*r.L+4 {
+			t.Errorf("l=%d: measured %d cycles, want %d", r.L, r.CyclesPerMul, 3*r.L+4)
+		}
+		if r.TpNs != tp0 {
+			t.Errorf("l=%d: Tp not constant (%.3f vs %.3f)", r.L, r.TpNs, tp0)
+		}
+		if math.Abs(r.TpNs-r.PaperTpNs) > 1.5 {
+			t.Errorf("l=%d: Tp %.3f vs paper %.3f", r.L, r.TpNs, r.PaperTpNs)
+		}
+		if ratio := float64(r.Slices) / float64(r.PaperSlices); ratio < 0.8 || ratio > 1.2 {
+			t.Errorf("l=%d: slices ratio %.2f", r.L, ratio)
+		}
+		if ratio := r.TMMMUs / r.PaperTMMMUs; ratio < 0.75 || ratio > 1.25 {
+			t.Errorf("l=%d: TMMM ratio %.2f", r.L, ratio)
+		}
+		if math.Abs(r.TAns-float64(r.Slices)*r.TpNs) > 1e-6 {
+			t.Errorf("l=%d: TA inconsistent", r.L)
+		}
+	}
+}
+
+// Table 1 reproduction criteria: the modelled average cycle count is the
+// paper's 4.5l²+12l+12; the measured exponentiation lands within 10% of
+// that average (balanced exponent); TModExp within 25% of the paper.
+func TestTable1Reproduction(t *testing.T) {
+	rows, err := Table1(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		l := float64(r.L)
+		if want := 4.5*l*l + 12*l + 12; r.AvgCycles != want {
+			t.Errorf("l=%d: avg cycles %v, want %v", r.L, r.AvgCycles, want)
+		}
+		if ratio := float64(r.MeasuredCycles) / r.AvgCycles; ratio < 0.9 || ratio > 1.1 {
+			t.Errorf("l=%d: measured/avg = %.3f", r.L, ratio)
+		}
+		if ratio := r.TModExpMs / r.PaperModExpMs; ratio < 0.75 || ratio > 1.25 {
+			t.Errorf("l=%d: TModExp ratio %.2f (got %.3f ms, paper %.3f ms)",
+				r.L, ratio, r.TModExpMs, r.PaperModExpMs)
+		}
+	}
+}
+
+// The comparison table must show this work strictly ahead of Blum–Paar
+// at every length (the paper's §2 claim), with the speedup coming from
+// both fewer cycles and the faster clock.
+func TestCompareBlumPaar(t *testing.T) {
+	rows, err := CompareBlumPaar([]int{32, 256, 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.BPCycles <= r.OurCycles {
+			t.Errorf("l=%d: Blum–Paar not slower in cycles", r.L)
+		}
+		if r.Speedup <= 1 {
+			t.Errorf("l=%d: no speedup (%.2f)", r.L, r.Speedup)
+		}
+		if r.BPTpNs <= r.OurTpNs {
+			t.Errorf("l=%d: Blum–Paar clock not slower", r.L)
+		}
+	}
+}
+
+// The radix sweep must show monotonically decreasing iteration counts
+// and the cycle/clock trade-off.
+func TestRadixSweep(t *testing.T) {
+	rows, err := RadixSweep(1024, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Alpha != 1 || rows[0].CyclesPerMul != 3*1024+4 {
+		t.Errorf("radix-2 anchor row wrong: %+v", rows[0])
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Iterations >= rows[i-1].Iterations {
+			t.Errorf("iterations not decreasing at row %d", i)
+		}
+		if rows[i].TpNs <= rows[i-1].TpNs {
+			t.Errorf("clock period not increasing at row %d", i)
+		}
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	t2, err := Table2([]int{32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := FormatTable2(t2); !strings.Contains(s, "Table 2") || !strings.Contains(s, "9.256") {
+		t.Errorf("FormatTable2 output:\n%s", s)
+	}
+	t1, err := Table1([]int{32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := FormatTable1(t1); !strings.Contains(s, "Table 1") {
+		t.Errorf("FormatTable1 output:\n%s", s)
+	}
+	cmp, err := CompareBlumPaar([]int{32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := FormatCompare(cmp); !strings.Contains(s, "Blum–Paar") {
+		t.Errorf("FormatCompare output:\n%s", s)
+	}
+	rx, err := RadixSweep(64, []uint{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := FormatRadix(64, rx); !strings.Contains(s, "Radix sweep") {
+		t.Errorf("FormatRadix output:\n%s", s)
+	}
+}
+
+// The balanced exponent helper must produce exactly ⌈l/2⌉ ones with the
+// MSB set.
+func TestBalancedExponent(t *testing.T) {
+	rows, err := Table1([]int{32}) // exercises it; direct check below
+	if err != nil || len(rows) != 1 {
+		t.Fatal(err)
+	}
+	// direct
+	for _, l := range []int{8, 33, 1024} {
+		e := balancedExponent(randSource(), l)
+		if e.BitLen() != l {
+			t.Errorf("l=%d: exponent has %d bits", l, e.BitLen())
+		}
+		ones := 0
+		for i := 0; i < l; i++ {
+			ones += int(e.Bit(i))
+		}
+		if ones != (l+1)/2 {
+			t.Errorf("l=%d: weight %d, want %d", l, ones, (l+1)/2)
+		}
+	}
+}
+
+func randSource() *rand.Rand { return rand.New(rand.NewSource(42)) }

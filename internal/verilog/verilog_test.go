@@ -1,0 +1,307 @@
+package verilog
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/logic"
+	"repro/internal/mmmc"
+	"repro/internal/systolic"
+)
+
+func TestMangle(t *testing.T) {
+	cases := map[string]string{
+		"T(12)":     "T_12",
+		"clk en":    "clk_en",
+		"a":         "a",
+		"":          "net",
+		"42x":       "n42x",
+		"count-end": "count_end",
+	}
+	for in, want := range cases {
+		if got := mangle(in); got != want {
+			t.Errorf("mangle(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEmitStructure(t *testing.T) {
+	nl := logic.New()
+	a, b := nl.Input("a"), nl.Input("b")
+	x := nl.XorGate(a, b)
+	q := nl.AddDFFFull(x, a, b, 1, "q")
+	nl.MarkOutput(q, "q_out")
+	var sb strings.Builder
+	if err := Emit(&sb, "tiny mod", nl); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"module tiny_mod (",
+		"input  wire clk",
+		"input  wire rst",
+		"input  wire a",
+		"output reg  q_out",
+		"assign", "^",
+		"always @(posedge clk)",
+		"if (rst) q_out <= 1'b1;",
+		"else if (b) q_out <= 1'b1;",
+		"else if (a) q_out <= ",
+		"endmodule",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmitDeterministic(t *testing.T) {
+	build := func() string {
+		nl := logic.New()
+		p, err := mmmc.BuildNetlist(nl, 4, systolic.Guarded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range p.Result {
+			nl.MarkOutput(r, fmt.Sprintf("RES%d", i))
+		}
+		var sb strings.Builder
+		if err := Emit(&sb, "mmmc4", nl); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if build() != build() {
+		t.Error("emission not deterministic")
+	}
+}
+
+// ---- Round-trip: re-parse the emitted Verilog subset and check the
+// rebuilt netlist is cycle-equivalent to the original. ----
+
+var (
+	reAssign2 = regexp.MustCompile(`^assign (\w+) = (\S+) ([&|^]) (\S+);$`)
+	reAssign1 = regexp.MustCompile(`^assign (\w+) = (~?)(\S+);$`)
+	reRst     = regexp.MustCompile(`^if \(rst\) (\w+) <= 1'b([01]);$`)
+	reClr     = regexp.MustCompile(`^else if \((\S+)\) (\w+) <= 1'b([01]);$`)
+	reCE      = regexp.MustCompile(`^else if \((\S+)\) (\w+) <= (\S+);$`)
+	reAlways  = regexp.MustCompile(`^else (\w+) <= (\S+);$`)
+	reInput   = regexp.MustCompile(`^input  wire (\w+)[,)]?$`)
+)
+
+// reparse rebuilds a logic.Netlist from Emit's output. It understands
+// exactly the subset Emit produces.
+func reparse(t *testing.T, src string) (*logic.Netlist, map[string]logic.Signal) {
+	t.Helper()
+	nl := logic.New()
+	sigs := map[string]logic.Signal{"1'b0": logic.Const0, "1'b1": logic.Const1}
+	get := func(name string) logic.Signal {
+		s, ok := sigs[name]
+		if !ok {
+			t.Fatalf("reparse: unknown signal %q", name)
+		}
+		return s
+	}
+	type ffDecl struct {
+		q          string
+		init       bits.Bit
+		clr, ce, d string
+	}
+	var ffs []*ffDecl
+	var cur *ffDecl
+
+	// Pass 1: declare inputs and flip-flop placeholders; collect gates.
+	type gateLine struct {
+		out, a, op, b string
+		neg           bool
+	}
+	var gates []gateLine
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case reInput.MatchString(line):
+			name := reInput.FindStringSubmatch(line)[1]
+			if name != "clk" && name != "rst" {
+				sigs[name] = nl.Input(name)
+			}
+		case reAssign2.MatchString(line):
+			m := reAssign2.FindStringSubmatch(line)
+			gates = append(gates, gateLine{out: m[1], a: m[2], op: m[3], b: m[4]})
+		case reAssign1.MatchString(line) && !reAssign2.MatchString(line):
+			m := reAssign1.FindStringSubmatch(line)
+			gates = append(gates, gateLine{out: m[1], a: m[3], neg: m[2] == "~", op: "buf"})
+		case reRst.MatchString(line):
+			m := reRst.FindStringSubmatch(line)
+			cur = &ffDecl{q: m[1], init: bits.Bit(m[2][0] - '0')}
+			ffs = append(ffs, cur)
+		case reClr.MatchString(line):
+			m := reClr.FindStringSubmatch(line)
+			if cur == nil || cur.q != m[2] {
+				t.Fatalf("reparse: clr line out of order: %s", line)
+			}
+			cur.clr = m[1]
+		case reCE.MatchString(line):
+			m := reCE.FindStringSubmatch(line)
+			if cur == nil || cur.q != m[2] {
+				t.Fatalf("reparse: ce line out of order: %s", line)
+			}
+			cur.ce, cur.d = m[1], m[3]
+		case reAlways.MatchString(line):
+			m := reAlways.FindStringSubmatch(line)
+			if cur == nil || cur.q != m[1] {
+				t.Fatalf("reparse: else line out of order: %s", line)
+			}
+			cur.ce, cur.d = "1'b1", m[2]
+		}
+	}
+	// Flip-flop Q nets exist before gate wiring (feedback).
+	ffSet := make([]func(d, ce, clr logic.Signal), len(ffs))
+	for i, ff := range ffs {
+		buf := nl.BufGate(logic.Const0)
+		gi := nl.NumGates() - 1
+		ceBuf := nl.BufGate(logic.Const1)
+		ceGi := nl.NumGates() - 1
+		clrBuf := nl.BufGate(logic.Const0)
+		clrGi := nl.NumGates() - 1
+		q := nl.AddDFFFull(buf, ceBuf, clrBuf, ff.init, ff.q)
+		sigs[ff.q] = q
+		ffSet[i] = func(d, ce, clr logic.Signal) {
+			nl.PatchGateInput(gi, d)
+			nl.PatchGateInput(ceGi, ce)
+			nl.PatchGateInput(clrGi, clr)
+		}
+	}
+	// Continuous assignments are order-independent in Verilog, and the
+	// emitted list is not topologically sorted (feedback buffers precede
+	// their drivers), so resolve gates to a fixed point: build each one
+	// once all of its inputs exist.
+	pending := append([]gateLine(nil), gates...)
+	for len(pending) > 0 {
+		progress := false
+		var next []gateLine
+		for _, g := range pending {
+			_, aOK := sigs[g.a]
+			_, bOK := sigs[g.b]
+			if g.op == "buf" {
+				bOK = true
+			}
+			if !aOK || !bOK {
+				next = append(next, g)
+				continue
+			}
+			var out logic.Signal
+			switch g.op {
+			case "&":
+				out = nl.AndGate(get(g.a), get(g.b))
+			case "|":
+				out = nl.OrGate(get(g.a), get(g.b))
+			case "^":
+				out = nl.XorGate(get(g.a), get(g.b))
+			case "buf":
+				if g.neg {
+					out = nl.NotGate(get(g.a))
+				} else {
+					out = nl.BufGate(get(g.a))
+				}
+			}
+			sigs[g.out] = out
+			progress = true
+		}
+		if !progress {
+			t.Fatalf("reparse: %d gates unresolvable (combinational loop or missing signal)", len(next))
+		}
+		pending = next
+	}
+	for i, ff := range ffs {
+		d := logic.Const0
+		ce := logic.Signal(logic.Const0)
+		if ff.d != "" {
+			d = get(ff.d)
+			ce = get(ff.ce)
+		}
+		clr := logic.Const0
+		if ff.clr != "" {
+			clr = get(ff.clr)
+		}
+		ffSet[i](d, ce, clr)
+	}
+	return nl, sigs
+}
+
+// Emit the 4-bit guarded MMMC, re-parse it, and run the same
+// multiplication on both netlists: results and DONE timing must match.
+func TestEmitRoundTripEquivalence(t *testing.T) {
+	l := 4
+	nl := logic.New()
+	p, err := mmmc.BuildNetlist(nl, l, systolic.Guarded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Emit(&sb, "mmmc", nl); err != nil {
+		t.Fatal(err)
+	}
+	nl2, sigs := reparse(t, sb.String())
+	sim1, err := logic.Compile(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim2, err := logic.Compile(nl2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(131))
+	nBig := big.NewInt(13)
+	for trial := 0; trial < 3; trial++ {
+		x := new(big.Int).Rand(rng, big.NewInt(26))
+		y := new(big.Int).Rand(rng, big.NewInt(26))
+		xv, yv, nv := bits.FromBig(x, l+1), bits.FromBig(y, l+1), bits.FromBig(nBig, l)
+
+		// Drive sim1 via ports, sim2 via looked-up names.
+		set2 := func(name string, v bits.Bit) {
+			s, ok := sigs[mangle(name)]
+			if !ok {
+				t.Fatalf("signal %q missing in reparse", name)
+			}
+			sim2.Set(s, v)
+		}
+		sim1.SetMany(p.XBus, xv)
+		sim1.SetMany(p.YBus, yv)
+		sim1.SetMany(p.NBus, nv)
+		sim1.Set(p.Start, 1)
+		for i := 0; i <= l; i++ {
+			set2(fmt.Sprintf("XBUS(%d)", i), xv.Bit(i))
+			set2(fmt.Sprintf("YBUS(%d)", i), yv.Bit(i))
+		}
+		for i := 0; i < l; i++ {
+			set2(fmt.Sprintf("NBUS(%d)", i), nv.Bit(i))
+		}
+		set2("START", 1)
+		sim1.Step()
+		sim2.Step()
+		sim1.Set(p.Start, 0)
+		set2("START", 0)
+
+		for c := 0; c < 3*l+4; c++ {
+			sim1.Step()
+			sim2.Step()
+		}
+		done2 := sim2.Get(sigs[mangle("DONE")])
+		if sim1.Get(p.Done) != 1 || done2 != 1 {
+			t.Fatalf("DONE mismatch: orig=%d reparsed=%d", sim1.Get(p.Done), done2)
+		}
+		for b := 0; b <= l; b++ {
+			r1 := sim1.Get(p.Result[b])
+			r2 := sim2.Get(sigs[mangle(fmt.Sprintf("RESULT(%d)", b))])
+			if r1 != r2 {
+				t.Fatalf("trial %d: RESULT(%d) differs: %d vs %d", trial, b, r1, r2)
+			}
+		}
+	}
+}

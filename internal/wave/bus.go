@@ -1,0 +1,162 @@
+package wave
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/logic"
+)
+
+// Multi-bit VCD variables: buses render in viewers as single waveform
+// rows with numeric values (e.g. the whole T register as one trace),
+// which is how one actually reads a 1024-bit datapath.
+
+// VarSpec declares one VCD variable; Width 1 is a scalar.
+type VarSpec struct {
+	Name  string
+	Width int
+}
+
+// BusWriter emits a VCD document whose variables may be vectors.
+type BusWriter struct {
+	w      io.Writer
+	vars   []VarSpec
+	ids    []string
+	last   []uint64
+	inited bool
+	time   int
+	closed bool
+}
+
+// NewBusWriter prepares a writer for the given variables.
+func NewBusWriter(w io.Writer, module string, vars []VarSpec) (*BusWriter, error) {
+	if len(vars) == 0 {
+		return nil, errors.New("wave: no variables to trace")
+	}
+	if module == "" {
+		module = "top"
+	}
+	bw := &BusWriter{w: w, vars: append([]VarSpec(nil), vars...)}
+	bw.ids = make([]string, len(vars))
+	bw.last = make([]uint64, len(vars))
+	fmt.Fprintf(w, "$date\n    (generated)\n$end\n")
+	fmt.Fprintf(w, "$version\n    repro montgomery systolic simulator\n$end\n")
+	fmt.Fprintf(w, "$timescale 1ns $end\n")
+	fmt.Fprintf(w, "$scope module %s $end\n", sanitize(module))
+	for i, v := range vars {
+		if v.Width < 1 || v.Width > 64 {
+			return nil, fmt.Errorf("wave: variable %q has width %d (1..64 supported)", v.Name, v.Width)
+		}
+		bw.ids[i] = vcdID(i)
+		if v.Width == 1 {
+			fmt.Fprintf(w, "$var wire 1 %s %s $end\n", bw.ids[i], sanitize(v.Name))
+		} else {
+			fmt.Fprintf(w, "$var wire %d %s %s [%d:0] $end\n",
+				v.Width, bw.ids[i], sanitize(v.Name), v.Width-1)
+		}
+	}
+	fmt.Fprintf(w, "$upscope $end\n$enddefinitions $end\n")
+	return bw, nil
+}
+
+// Sample records the variable values at the given time.
+func (bw *BusWriter) Sample(time int, values []uint64) error {
+	if bw.closed {
+		return errors.New("wave: writer closed")
+	}
+	if len(values) != len(bw.vars) {
+		return fmt.Errorf("wave: %d values for %d variables", len(values), len(bw.vars))
+	}
+	if bw.inited && time < bw.time {
+		return fmt.Errorf("wave: time going backwards (%d < %d)", time, bw.time)
+	}
+	var changed []int
+	for i, v := range values {
+		if v >= 1<<uint(bw.vars[i].Width) {
+			return fmt.Errorf("wave: value %d exceeds %d-bit variable %q",
+				v, bw.vars[i].Width, bw.vars[i].Name)
+		}
+		if !bw.inited || v != bw.last[i] {
+			changed = append(changed, i)
+		}
+	}
+	if len(changed) == 0 {
+		return nil
+	}
+	if !bw.inited {
+		fmt.Fprintf(bw.w, "#%d\n$dumpvars\n", time)
+	} else {
+		fmt.Fprintf(bw.w, "#%d\n", time)
+	}
+	for _, i := range changed {
+		if bw.vars[i].Width == 1 {
+			fmt.Fprintf(bw.w, "%d%s\n", values[i]&1, bw.ids[i])
+		} else {
+			fmt.Fprintf(bw.w, "b%s %s\n",
+				strconv.FormatUint(values[i], 2), bw.ids[i])
+		}
+		bw.last[i] = values[i]
+	}
+	if !bw.inited {
+		fmt.Fprintf(bw.w, "$end\n")
+		bw.inited = true
+	}
+	bw.time = time
+	return nil
+}
+
+// Close finalizes the document (the writer buffers nothing itself).
+func (bw *BusWriter) Close() error {
+	bw.closed = true
+	return nil
+}
+
+// BusGroup names a set of netlist signals traced as one vector
+// (Signals[0] is bit 0).
+type BusGroup struct {
+	Name    string
+	Signals []logic.Signal
+}
+
+// BusRecorder couples a simulator to a BusWriter.
+type BusRecorder struct {
+	sim    *logic.Sim
+	groups []BusGroup
+	bw     *BusWriter
+	vals   []uint64
+}
+
+// NewBusRecorder traces the given signal groups of sim into w.
+func NewBusRecorder(w io.Writer, module string, sim *logic.Sim, groups []BusGroup) (*BusRecorder, error) {
+	vars := make([]VarSpec, len(groups))
+	for i, g := range groups {
+		vars[i] = VarSpec{Name: g.Name, Width: len(g.Signals)}
+	}
+	bw, err := NewBusWriter(w, module, vars)
+	if err != nil {
+		return nil, err
+	}
+	return &BusRecorder{
+		sim:    sim,
+		groups: append([]BusGroup(nil), groups...),
+		bw:     bw,
+		vals:   make([]uint64, len(groups)),
+	}, nil
+}
+
+// Snapshot samples all groups at the simulator's current cycle.
+func (r *BusRecorder) Snapshot() error {
+	for i, g := range r.groups {
+		var v uint64
+		for b := len(g.Signals) - 1; b >= 0; b-- {
+			v = v<<1 | uint64(r.sim.Get(g.Signals[b]))
+		}
+		r.vals[i] = v
+	}
+	return r.bw.Sample(r.sim.Cycle(), r.vals)
+}
+
+// Close finalizes the VCD document.
+func (r *BusRecorder) Close() error { return r.bw.Close() }

@@ -1,0 +1,175 @@
+// Package wave writes Value Change Dump (VCD, IEEE 1364) files from
+// gate-level simulations — the reproduction's stand-in for the logic
+// analyzer / HDL-simulator waveform view the paper's authors had. Any
+// signal of a compiled internal/logic netlist can be traced; the output
+// opens in GTKWave or any other VCD viewer.
+package wave
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/bits"
+	"repro/internal/logic"
+)
+
+// Writer emits a VCD document incrementally.
+type Writer struct {
+	w      *bufio.Writer
+	ids    []string // VCD identifier per signal index
+	names  []string
+	last   []bits.Bit
+	inited bool
+	closed bool
+	time   int
+}
+
+// NewWriter prepares a VCD writer for the named signals. The timescale
+// is one nanosecond per simulation step by convention; module is the
+// scope name in the VCD hierarchy.
+func NewWriter(w io.Writer, module string, names []string) (*Writer, error) {
+	if len(names) == 0 {
+		return nil, errors.New("wave: no signals to trace")
+	}
+	if module == "" {
+		module = "top"
+	}
+	vw := &Writer{
+		w:     bufio.NewWriter(w),
+		ids:   make([]string, len(names)),
+		names: append([]string(nil), names...),
+		last:  make([]bits.Bit, len(names)),
+	}
+	for i := range names {
+		vw.ids[i] = vcdID(i)
+	}
+	fmt.Fprintf(vw.w, "$date\n    (generated)\n$end\n")
+	fmt.Fprintf(vw.w, "$version\n    repro montgomery systolic simulator\n$end\n")
+	fmt.Fprintf(vw.w, "$timescale 1ns $end\n")
+	fmt.Fprintf(vw.w, "$scope module %s $end\n", sanitize(module))
+	for i, n := range names {
+		fmt.Fprintf(vw.w, "$var wire 1 %s %s $end\n", vw.ids[i], sanitize(n))
+	}
+	fmt.Fprintf(vw.w, "$upscope $end\n$enddefinitions $end\n")
+	return vw, nil
+}
+
+// vcdID generates compact printable identifiers (base-94 over '!'..'~').
+func vcdID(i int) string {
+	const lo, hi = 33, 126
+	n := hi - lo + 1
+	var b []byte
+	for {
+		b = append(b, byte(lo+i%n))
+		i /= n
+		if i == 0 {
+			break
+		}
+		i--
+	}
+	return string(b)
+}
+
+func sanitize(s string) string {
+	r := strings.NewReplacer(" ", "_", "(", "", ")", "", "\t", "_")
+	return r.Replace(s)
+}
+
+// Sample records the signal values at the given time (monotonically
+// non-decreasing). Only changed values are emitted, per the format.
+func (vw *Writer) Sample(time int, values bits.Vec) error {
+	if vw.closed {
+		return errors.New("wave: writer closed")
+	}
+	if len(values) != len(vw.ids) {
+		return fmt.Errorf("wave: %d values for %d signals", len(values), len(vw.ids))
+	}
+	if vw.inited && time < vw.time {
+		return fmt.Errorf("wave: time going backwards (%d < %d)", time, vw.time)
+	}
+	var changes []int
+	for i, v := range values {
+		if !vw.inited || v != vw.last[i] {
+			changes = append(changes, i)
+		}
+	}
+	if len(changes) == 0 {
+		return nil
+	}
+	if !vw.inited {
+		fmt.Fprintf(vw.w, "#%d\n$dumpvars\n", time)
+	} else {
+		fmt.Fprintf(vw.w, "#%d\n", time)
+	}
+	for _, i := range changes {
+		fmt.Fprintf(vw.w, "%d%s\n", values[i]&1, vw.ids[i])
+		vw.last[i] = values[i]
+	}
+	if !vw.inited {
+		fmt.Fprintf(vw.w, "$end\n")
+		vw.inited = true
+	}
+	vw.time = time
+	return nil
+}
+
+// Close flushes the document.
+func (vw *Writer) Close() error {
+	if vw.closed {
+		return nil
+	}
+	vw.closed = true
+	return vw.w.Flush()
+}
+
+// Recorder couples a compiled simulator to a VCD writer: call Snapshot
+// after every Sim.Step (and once before the first) to trace the chosen
+// nets.
+type Recorder struct {
+	sim  *logic.Sim
+	sigs []logic.Signal
+	vw   *Writer
+}
+
+// NewRecorder traces the given nets of sim into w. If sigs is nil, every
+// named net of the netlist is traced (sorted by name for determinism).
+func NewRecorder(w io.Writer, module string, nl *logic.Netlist, sim *logic.Sim, sigs []logic.Signal) (*Recorder, error) {
+	if sigs == nil {
+		type ns struct {
+			name string
+			sig  logic.Signal
+		}
+		var all []ns
+		for _, in := range nl.Inputs() {
+			all = append(all, ns{nl.NameOf(in), in})
+		}
+		for _, ff := range nl.DFFs() {
+			all = append(all, ns{nl.NameOf(ff.Q), ff.Q})
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].name < all[j].name })
+		for _, e := range all {
+			sigs = append(sigs, e.sig)
+		}
+	}
+	names := make([]string, len(sigs))
+	for i, s := range sigs {
+		names[i] = nl.NameOf(s)
+	}
+	vw, err := NewWriter(w, module, names)
+	if err != nil {
+		return nil, err
+	}
+	return &Recorder{sim: sim, sigs: sigs, vw: vw}, nil
+}
+
+// Snapshot samples the traced nets at the simulator's current cycle.
+func (r *Recorder) Snapshot() error {
+	return r.vw.Sample(r.sim.Cycle(), r.sim.GetVec(r.sigs))
+}
+
+// Close finalizes the VCD document.
+func (r *Recorder) Close() error { return r.vw.Close() }

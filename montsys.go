@@ -1,0 +1,87 @@
+// Package montsys is the public API of this repository: a complete,
+// simulation-level reproduction of "Hardware Implementation of a
+// Montgomery Modular Multiplier in a Systolic Array" (Örs, Batina,
+// Preneel, Vandewalle — IPDPS/IPPS 2003).
+//
+// The heart of the system is a radix-2 systolic array computing
+// Montgomery products x·y·R⁻¹ mod 2N with R = 2^(l+2) and no final
+// subtraction (Walter's bound), wrapped in the paper's MMM circuit
+// (IDLE/MUL1/MUL2/OUT controller) and modular exponentiator. It exists
+// at four fidelity levels — reference arithmetic, cycle-accurate
+// behavioural simulation, gate-level netlist simulation, and a
+// calibrated Virtex-E technology model — all equivalence-tested against
+// one another.
+//
+// Quick start:
+//
+//	m, err := montsys.NewMultiplier(n)                    // reference speed
+//	m, err := montsys.NewMultiplier(n, montsys.WithSimulation()) // cycle-accurate
+//	p, err := m.Mont(x, y)                                // x·y·R⁻¹ mod 2N
+//
+//	ex, err := montsys.NewExponentiator(n, false)
+//	c, report, err := ex.ModExp(msg, e)                   // RSA-style exponentiation
+//
+//	hw, err := montsys.Hardware(1024)                     // slices, clock, T_MMM
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every table and figure.
+package montsys
+
+import (
+	"math/big"
+
+	"repro/internal/core"
+	"repro/internal/expo"
+	"repro/internal/systolic"
+)
+
+// Multiplier is a Montgomery modular multiplier for one odd modulus,
+// optionally backed by the cycle-accurate simulated circuit.
+type Multiplier = core.Multiplier
+
+// Option configures NewMultiplier.
+type Option = core.Option
+
+// HardwareReport summarizes the synthesized circuit for one bit length
+// (gate census, LUT/slice mapping, clock period, T_MMM).
+type HardwareReport = core.HardwareReport
+
+// Exponentiator performs modular exponentiation over the multiplier.
+type Exponentiator = expo.Exponentiator
+
+// Report describes an exponentiation's square/multiply decomposition and
+// cycle cost under the paper's accounting.
+type Report = expo.Report
+
+// Variant selects the systolic array flavour.
+type Variant = systolic.Variant
+
+// Array variants: Faithful is exactly the paper's Fig. 1/2 (subject to
+// the documented operand condition y + N ≤ 2^(l+1)); Guarded adds one
+// cap cell and one flip-flop and is correct for all operands below 2N.
+const (
+	Faithful = systolic.Faithful
+	Guarded  = systolic.Guarded
+)
+
+// NewMultiplier prepares a multiplier for the odd modulus n ≥ 3.
+func NewMultiplier(n *big.Int, opts ...Option) (*Multiplier, error) {
+	return core.NewMultiplier(n, opts...)
+}
+
+// WithSimulation routes every product through the cycle-accurate MMMC.
+func WithSimulation() Option { return core.WithSimulation() }
+
+// WithVariant selects the array variant used by WithSimulation.
+func WithVariant(v Variant) Option { return core.WithVariant(v) }
+
+// NewExponentiator returns the paper's modular exponentiator; simulate
+// selects the cycle-accurate path.
+func NewExponentiator(n *big.Int, simulate bool) (*Exponentiator, error) {
+	return core.NewExponentiator(n, simulate)
+}
+
+// Hardware builds and maps the full gate-level MMM circuit for an l-bit
+// modulus, reporting area and timing under the Virtex-E model — the
+// data behind the paper's Table 2.
+func Hardware(l int) (HardwareReport, error) { return core.Hardware(l) }

@@ -1,0 +1,71 @@
+package montsys
+
+import (
+	"math/big"
+	"testing"
+)
+
+// The public façade end to end: reference and simulated multipliers
+// agree, exponentiation matches math/big, hardware reports are sane.
+func TestPublicAPI(t *testing.T) {
+	n := big.NewInt(0xF1F1) // odd 16-bit modulus
+	ref, err := NewMultiplier(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewMultiplier(n, WithSimulation(), WithVariant(Guarded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := big.NewInt(0x1234), big.NewInt(0xBEEF)
+	a, err := ref.Mont(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.Mont(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cmp(b) != 0 {
+		t.Fatalf("façade modes disagree")
+	}
+
+	p, err := ref.MulMod(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := new(big.Int).Mul(x, y)
+	want.Mod(want, n)
+	if p.Cmp(want) != 0 {
+		t.Fatal("MulMod wrong through façade")
+	}
+
+	ex, err := NewExponentiator(n, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := ex.ModExp(big.NewInt(3), big.NewInt(1001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := new(big.Int).Exp(big.NewInt(3), big.NewInt(1001), n); got.Cmp(want) != 0 {
+		t.Fatal("ModExp wrong through façade")
+	}
+	if rep.TotalCycles <= 0 {
+		t.Error("empty report")
+	}
+
+	hw, err := Hardware(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw.Mapping.Slices == 0 || hw.CyclesPerMul != 3*64+4 {
+		t.Errorf("hardware report: %+v", hw)
+	}
+}
+
+func TestVariantConstants(t *testing.T) {
+	if Faithful.String() != "faithful" || Guarded.String() != "guarded" {
+		t.Error("variant constants not wired through")
+	}
+}
