@@ -1,0 +1,24 @@
+# Tier-1 verification plus the race-detector gate on the concurrent
+# packages — the same sequence .github/workflows/ci.yml runs.
+
+GO ?= go
+
+.PHONY: ci build vet test race bench-engine
+
+ci: vet build test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/engine/... ./internal/core/...
+
+# Regenerate BENCH_engine.json's raw numbers (paste + annotate by hand).
+bench-engine:
+	$(GO) test -run xxx -bench 'EngineModExp|SequentialModExp' -benchtime 20x ./internal/engine/

@@ -1,0 +1,240 @@
+// Command loadgen hammers the multi-core engine with a mixed RSA-style
+// modexp workload and prints a throughput/latency table per worker
+// count, plus the engine's own stats line. It is the quickest way to
+// see the replicated-core scaling story (and, on one core, the
+// scheduling overhead floor) on real hardware.
+//
+// Usage:
+//
+//	loadgen [-workers 1,2,4,8] [-jobs 200] [-bits 512,1024] [-keys 4]
+//	        [-mode model|simulate] [-variant guarded|faithful]
+//	        [-exp full|f4] [-queue 0] [-timeout 0]
+//
+// Each sweep point drives the engine closed-loop from 2×workers
+// submitter goroutines, measuring every job's submit→finish latency.
+// Every result is self-checked against math/big; the run aborts on any
+// mismatch.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	montsys "repro"
+)
+
+func main() {
+	workersList := flag.String("workers", "1,2,4,8", "comma-separated worker counts to sweep")
+	jobs := flag.Int("jobs", 200, "jobs per sweep point")
+	bitsList := flag.String("bits", "512,1024", "comma-separated modulus bit lengths, mixed round-robin")
+	keys := flag.Int("keys", 4, "distinct moduli per bit length (exercises the context LRU)")
+	modeName := flag.String("mode", "model", "execution mode: model | simulate")
+	variantName := flag.String("variant", "guarded", "array variant for simulate mode: guarded | faithful")
+	expKind := flag.String("exp", "full", "exponent shape: full (private-key-size) | f4 (65537)")
+	queue := flag.Int("queue", 0, "submission queue depth (0 = engine default)")
+	timeout := flag.Duration("timeout", 0, "overall deadline per sweep point (0 = none)")
+	seed := flag.Int64("seed", 1, "PRNG seed")
+	flag.Parse()
+
+	cfg := sweepConfig{
+		jobs: *jobs, keys: *keys, expKind: *expKind,
+		queue: *queue, timeout: *timeout, seed: *seed,
+	}
+	if err := run(*workersList, *bitsList, *modeName, *variantName, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+type sweepConfig struct {
+	jobs, keys int
+	expKind    string
+	queue      int
+	timeout    time.Duration
+	seed       int64
+}
+
+func run(workersList, bitsList, modeName, variantName string, cfg sweepConfig) error {
+	var mode montsys.Mode
+	switch modeName {
+	case "model":
+		mode = montsys.Model
+	case "simulate":
+		mode = montsys.Simulate
+	default:
+		return fmt.Errorf("unknown mode %q", modeName)
+	}
+	var variant montsys.Variant
+	switch variantName {
+	case "guarded":
+		variant = montsys.Guarded
+	case "faithful":
+		variant = montsys.Faithful
+	default:
+		return fmt.Errorf("unknown variant %q", variantName)
+	}
+	workers, err := splitInts(workersList)
+	if err != nil {
+		return err
+	}
+	bits, err := splitInts(bitsList)
+	if err != nil {
+		return err
+	}
+
+	// One fixed workload, reused across every sweep point so the rows
+	// are comparable.
+	rng := rand.New(rand.NewSource(cfg.seed))
+	moduli := make([]*big.Int, 0, len(bits)*cfg.keys)
+	for _, l := range bits {
+		for k := 0; k < cfg.keys; k++ {
+			n := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), uint(l-1)))
+			n.SetBit(n, l-1, 1)
+			n.SetBit(n, 0, 1)
+			moduli = append(moduli, n)
+		}
+	}
+	batch := make([]montsys.ModExpJob, cfg.jobs)
+	for i := range batch {
+		n := moduli[i%len(moduli)]
+		base := new(big.Int).Rand(rng, n)
+		var exp *big.Int
+		switch cfg.expKind {
+		case "full":
+			exp = new(big.Int).Rand(rng, n)
+			exp.SetBit(exp, 0, 1)
+		case "f4":
+			exp = big.NewInt(65537)
+		default:
+			return fmt.Errorf("unknown exponent shape %q", cfg.expKind)
+		}
+		batch[i] = montsys.ModExpJob{N: n, Base: base, Exp: exp}
+	}
+
+	fmt.Printf("loadgen: %d jobs, bits=%v, %d moduli, mode=%s, exp=%s\n\n",
+		cfg.jobs, bits, len(moduli), mode, cfg.expKind)
+	fmt.Printf("%-8s %12s %12s %10s %10s %10s %10s\n",
+		"workers", "wall", "jobs/s", "p50", "p95", "p99", "speedup")
+
+	var base float64
+	for _, w := range workers {
+		wall, lats, st, err := sweep(w, mode, variant, cfg, batch)
+		if err != nil {
+			return fmt.Errorf("w=%d: %w", w, err)
+		}
+		tput := float64(len(batch)) / wall.Seconds()
+		if base == 0 {
+			base = tput
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		fmt.Printf("%-8d %12s %12.1f %10s %10s %10s %9.2fx\n",
+			w, wall.Round(time.Millisecond), tput,
+			pct(lats, 50), pct(lats, 95), pct(lats, 99), tput/base)
+		fmt.Printf("         stats: %s\n", st)
+	}
+	return nil
+}
+
+// sweep drives one worker count: 2×workers closed-loop submitters, each
+// job's latency measured around the engine call and its result
+// self-checked against math/big.
+func sweep(w int, mode montsys.Mode, variant montsys.Variant, cfg sweepConfig, batch []montsys.ModExpJob) (time.Duration, []time.Duration, montsys.EngineStats, error) {
+	opts := []montsys.EngineOption{
+		montsys.WithEngineWorkers(w),
+		montsys.WithEngineMode(mode),
+		montsys.WithEngineVariant(variant),
+	}
+	if cfg.queue > 0 {
+		opts = append(opts, montsys.WithEngineQueueDepth(cfg.queue))
+	}
+	eng, err := montsys.NewEngine(opts...)
+	if err != nil {
+		return 0, nil, montsys.EngineStats{}, err
+	}
+	defer eng.Close()
+
+	ctx := context.Background()
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+
+	submitters := 2 * w
+	if submitters > len(batch) {
+		submitters = len(batch)
+	}
+	lats := make([]time.Duration, len(batch))
+	idx := make(chan int, len(batch))
+	for i := range batch {
+		idx <- i
+	}
+	close(idx)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, submitters)
+	start := time.Now()
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				j := batch[i]
+				t0 := time.Now()
+				v, _, err := eng.ModExp(ctx, j.N, j.Base, j.Exp)
+				lats[i] = time.Since(t0)
+				if err != nil {
+					errCh <- fmt.Errorf("job %d: %w", i, err)
+					return
+				}
+				if want := new(big.Int).Exp(j.Base, j.Exp, j.N); v.Cmp(want) != 0 {
+					errCh <- fmt.Errorf("job %d: self-check failed", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	st := eng.Stats()
+	select {
+	case err := <-errCh:
+		return 0, nil, st, err
+	default:
+	}
+	return wall, lats, st, nil
+}
+
+// pct returns the p-th percentile of sorted latencies.
+func pct(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (len(sorted)-1)*p/100 + 1
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i].Round(100 * time.Microsecond)
+}
+
+func splitInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer list %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -32,7 +32,7 @@ func ExampleNewMultiplier() {
 // Modular exponentiation with the paper's cycle accounting.
 func ExampleNewExponentiator() {
 	n := big.NewInt(3233) // 61·53
-	ex, err := montsys.NewExponentiator(n, false)
+	ex, err := montsys.NewExponentiator(n)
 	if err != nil {
 		log.Fatal(err)
 	}

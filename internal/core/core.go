@@ -13,11 +13,11 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"math/big"
 
 	"repro/internal/bits"
+	"repro/internal/errs"
 	"repro/internal/expo"
 	"repro/internal/fpga"
 	"repro/internal/logic"
@@ -26,25 +26,52 @@ import (
 	"repro/internal/systolic"
 )
 
-// Option configures a Multiplier.
+// Option configures a Multiplier or an Exponentiator.
 type Option func(*config)
 
 type config struct {
 	simulate bool
 	variant  systolic.Variant
+	mode     expo.Mode
 }
 
 // WithSimulation routes every Montgomery product through the
 // cycle-accurate MMM circuit instead of the reference arithmetic.
 // Results are identical; cycle counts become measured quantities.
-func WithSimulation() Option { return func(c *config) { c.simulate = true } }
+// For an Exponentiator it is equivalent to WithMode(expo.Simulate).
+func WithSimulation() Option {
+	return func(c *config) {
+		c.simulate = true
+		c.mode = expo.Simulate
+	}
+}
 
 // WithVariant selects the array variant for simulation: Guarded (the
 // default, correct for all operands < 2N) or Faithful (the paper's exact
 // Fig. 1d cell, subject to the documented y + N ≤ 2^(l+1) condition).
 func WithVariant(v systolic.Variant) Option { return func(c *config) { c.variant = v } }
 
+// WithMode selects the exponentiator's execution mode: expo.Model
+// (reference arithmetic, paper-formula cycle accounting — the default)
+// or expo.Simulate (every multiplication through the cycle-accurate
+// MMMC). It subsumes WithSimulation for exponentiators.
+func WithMode(m expo.Mode) Option {
+	return func(c *config) {
+		c.mode = m
+		c.simulate = m == expo.Simulate
+	}
+}
+
 // Multiplier is a Montgomery modular multiplier for one odd modulus.
+//
+// Concurrency: a reference-mode Multiplier (no WithSimulation) only
+// reads its immutable mont.Ctx during Mont, but the Muls/Cycles
+// counters are plain ints, and a simulated Multiplier additionally owns
+// a single mutable MMM circuit whose registers are rewritten on every
+// product — so a Multiplier is NOT safe for concurrent use. Give each
+// goroutine its own Multiplier; they may share one *mont.Ctx via
+// NewMultiplierFromCtx (a Ctx is immutable and safe to share). This is
+// exactly how internal/engine arranges its worker cores.
 type Multiplier struct {
 	ctx     *mont.Ctx
 	circuit *mmmc.Circuit
@@ -58,13 +85,23 @@ type Multiplier struct {
 
 // NewMultiplier prepares a multiplier for the odd modulus n ≥ 3.
 func NewMultiplier(n *big.Int, opts ...Option) (*Multiplier, error) {
-	cfg := config{variant: systolic.Guarded}
-	for _, o := range opts {
-		o(&cfg)
-	}
 	ctx, err := mont.NewCtx(n)
 	if err != nil {
 		return nil, err
+	}
+	return NewMultiplierFromCtx(ctx, opts...)
+}
+
+// NewMultiplierFromCtx builds a multiplier over an existing Montgomery
+// context, skipping the per-modulus precomputation (the R⁻¹ inversion
+// and R² reduction). The Ctx may be shared between multipliers — it is
+// immutable — but the returned Multiplier itself must stay confined to
+// one goroutine; see the type's concurrency note. internal/engine uses
+// this to fan one LRU-cached Ctx out across its worker cores.
+func NewMultiplierFromCtx(ctx *mont.Ctx, opts ...Option) (*Multiplier, error) {
+	cfg := config{variant: systolic.Guarded}
+	for _, o := range opts {
+		o(&cfg)
 	}
 	m := &Multiplier{ctx: ctx}
 	if cfg.simulate {
@@ -102,7 +139,7 @@ func (m *Multiplier) CyclesPerMont() int { return 3*m.ctx.L + 4 }
 // back — no reduction ever happens, the paper's central property.
 func (m *Multiplier) Mont(x, y *big.Int) (*big.Int, error) {
 	if x.Sign() < 0 || x.Cmp(m.ctx.N2) >= 0 || y.Sign() < 0 || y.Cmp(m.ctx.N2) >= 0 {
-		return nil, fmt.Errorf("core: operands must be in [0, 2N-1]")
+		return nil, fmt.Errorf("core: Mont operands must be in [0, 2N-1]: %w", errs.ErrOperandRange)
 	}
 	m.Muls++
 	if m.circuit == nil {
@@ -123,7 +160,7 @@ func (m *Multiplier) Mont(x, y *big.Int) (*big.Int, error) {
 // followed by canonicalization).
 func (m *Multiplier) MulMod(x, y *big.Int) (*big.Int, error) {
 	if x.Sign() < 0 || x.Cmp(m.ctx.N) >= 0 || y.Sign() < 0 || y.Cmp(m.ctx.N) >= 0 {
-		return nil, errors.New("core: MulMod operands must be in [0, N-1]")
+		return nil, fmt.Errorf("core: MulMod operands must be in [0, N-1]: %w", errs.ErrOperandRange)
 	}
 	xr, err := m.Mont(x, m.ctx.RR)
 	if err != nil {
@@ -149,13 +186,15 @@ func (m *Multiplier) FromMont(t *big.Int) (*big.Int, error) {
 }
 
 // NewExponentiator returns the paper's modular exponentiator over the
-// same modulus; simulate selects the cycle-accurate path.
-func NewExponentiator(n *big.Int, simulate bool) (*expo.Exponentiator, error) {
-	mode := expo.Model
-	if simulate {
-		mode = expo.Simulate
+// odd modulus n, configured with the same functional options as
+// NewMultiplier: WithMode / WithSimulation select the execution path,
+// WithVariant the simulated array flavour.
+func NewExponentiator(n *big.Int, opts ...Option) (*expo.Exponentiator, error) {
+	cfg := config{variant: systolic.Guarded, mode: expo.Model}
+	for _, o := range opts {
+		o(&cfg)
 	}
-	return expo.New(n, mode)
+	return expo.New(n, cfg.mode, expo.WithVariant(cfg.variant))
 }
 
 // HardwareReport summarizes the synthesized circuit for a bit length:

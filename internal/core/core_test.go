@@ -1,10 +1,15 @@
 package core
 
 import (
+	"errors"
 	"math/big"
 	"math/rand"
+	"sync"
 	"testing"
 
+	"repro/internal/errs"
+	"repro/internal/expo"
+	"repro/internal/mont"
 	"repro/internal/systolic"
 )
 
@@ -115,8 +120,15 @@ func TestDomainConversions(t *testing.T) {
 
 func TestNewExponentiator(t *testing.T) {
 	n := big.NewInt(101)
-	for _, sim := range []bool{false, true} {
-		ex, err := NewExponentiator(n, sim)
+	for _, tc := range []struct {
+		name string
+		opts []Option
+	}{
+		{"model", nil},
+		{"simulate", []Option{WithSimulation()}},
+		{"mode-simulate-faithful", []Option{WithMode(expo.Simulate), WithVariant(systolic.Faithful)}},
+	} {
+		ex, err := NewExponentiator(n, tc.opts...)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -126,8 +138,97 @@ func TestNewExponentiator(t *testing.T) {
 		}
 		want := new(big.Int).Exp(big.NewInt(5), big.NewInt(13), n)
 		if got.Cmp(want) != 0 {
-			t.Fatalf("sim=%v: exponentiation wrong", sim)
+			t.Fatalf("%s: exponentiation wrong", tc.name)
 		}
+	}
+	if ex, _ := NewExponentiator(n, WithSimulation()); ex.Mode != expo.Simulate {
+		t.Error("WithSimulation did not select Simulate mode")
+	}
+}
+
+func TestSentinelErrors(t *testing.T) {
+	if _, err := NewMultiplier(big.NewInt(4)); !errors.Is(err, errs.ErrEvenModulus) {
+		t.Errorf("even modulus: got %v", err)
+	}
+	if _, err := NewMultiplier(big.NewInt(1)); !errors.Is(err, errs.ErrModulusTooSmall) {
+		t.Errorf("small modulus: got %v", err)
+	}
+	m, err := NewMultiplier(big.NewInt(101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Mont(big.NewInt(-1), big.NewInt(1)); !errors.Is(err, errs.ErrOperandRange) {
+		t.Errorf("Mont range: got %v", err)
+	}
+	if _, err := m.MulMod(big.NewInt(101), big.NewInt(1)); !errors.Is(err, errs.ErrOperandRange) {
+		t.Errorf("MulMod range: got %v", err)
+	}
+	ex, err := NewExponentiator(big.NewInt(101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ex.ModExp(big.NewInt(5), big.NewInt(0)); !errors.Is(err, errs.ErrOperandRange) {
+		t.Errorf("zero exponent: got %v", err)
+	}
+}
+
+// TestMultiplierExclusivePerGoroutine enforces the documented usage
+// rule for concurrent code: a Multiplier (whose Muls/Cycles counters
+// and simulated circuit are mutable) must be confined to one goroutine,
+// while the mont.Ctx beneath it is immutable and may be shared. Run
+// under -race, this test proves the per-goroutine-multiplier /
+// shared-ctx arrangement — the one internal/engine uses for its worker
+// cores — is race-free; sharing one simulated Multiplier instead would
+// trip the detector (and corrupt circuit registers).
+func TestMultiplierExclusivePerGoroutine(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	n := randOdd(rng, 24)
+	shared, err := mont.NewCtx(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2 := new(big.Int).Lsh(n, 1)
+
+	const goroutines = 4
+	const products = 8
+	type opnd struct{ x, y *big.Int }
+	inputs := make([][]opnd, goroutines)
+	for g := range inputs {
+		inputs[g] = make([]opnd, products)
+		for i := range inputs[g] {
+			inputs[g][i] = opnd{new(big.Int).Rand(rng, n2), new(big.Int).Rand(rng, n2)}
+		}
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Exclusive simulated multiplier over the shared context.
+			m, err := NewMultiplierFromCtx(shared, WithSimulation())
+			if err != nil {
+				errCh <- err
+				return
+			}
+			for _, in := range inputs[g] {
+				got, err := m.Mont(in.x, in.y)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if want := shared.Mul(in.x, in.y); got.Cmp(want) != 0 {
+					errCh <- errors.New("concurrent product corrupted")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
 	}
 }
 

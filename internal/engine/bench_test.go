@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"context"
+	"math/big"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/expo"
+)
+
+// benchJobs builds count modexp jobs over one l-bit modulus with
+// full-length random exponents — the shape of an RSA private-key
+// workload.
+func benchJobs(l, count int) (*big.Int, []ModExpJob) {
+	rng := rand.New(rand.NewSource(int64(l)))
+	n := randOdd(rng, l)
+	jobs := make([]ModExpJob, count)
+	for i := range jobs {
+		exp := new(big.Int).Rand(rng, n)
+		exp.SetBit(exp, 0, 1)
+		jobs[i] = ModExpJob{N: n, Base: new(big.Int).Rand(rng, n), Exp: exp}
+	}
+	return n, jobs
+}
+
+// BenchmarkEngineModExp measures batch throughput of reference-mode
+// 512-bit exponentiations across worker counts. On multi-core hardware
+// throughput scales near-linearly up to GOMAXPROCS because jobs share
+// nothing but the immutable modulus context; compare w=1 against
+// BenchmarkSequentialModExp for the pool's scheduling overhead.
+func BenchmarkEngineModExp(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run("l=512/w="+strconv.Itoa(workers), func(b *testing.B) {
+			eng, err := New(WithWorkers(workers), WithMode(expo.Model))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			_, jobs := benchJobs(512, b.N)
+			b.ResetTimer()
+			results, err := eng.ModExpBatch(context.Background(), jobs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			for i := range results {
+				if results[i].Err != nil {
+					b.Fatal(results[i].Err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}
+
+// BenchmarkSequentialModExp is the single-threaded baseline the
+// engine's scaling is judged against.
+func BenchmarkSequentialModExp(b *testing.B) {
+	n, jobs := benchJobs(512, b.N)
+	ex, err := expo.New(n, expo.Model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ex.ModExp(jobs[i].Base, jobs[i].Exp); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// BenchmarkEngineMontBatch measures raw Montgomery-product throughput
+// through the pool (reference cores, 512-bit operands).
+func BenchmarkEngineMontBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(512))
+	n := randOdd(rng, 512)
+	n2 := new(big.Int).Lsh(n, 1)
+	eng, err := New(WithWorkers(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	jobs := make([]MontJob, b.N)
+	for i := range jobs {
+		jobs[i] = MontJob{N: n, X: new(big.Int).Rand(rng, n2), Y: new(big.Int).Rand(rng, n2)}
+	}
+	b.ResetTimer()
+	if _, err := eng.MontBatch(context.Background(), jobs); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,319 @@
+// Package engine is the concurrent multi-core face of the system: a
+// pool of K worker "cores", each owning an exclusive Montgomery
+// multiplier/exponentiator (reference arithmetic or the cycle-accurate
+// MMMC), fed from one bounded submission queue. It is the software
+// analogue of the replicated-core scaling move in the quad-core RSA
+// processor literature: the paper's systolic array pipelines bit
+// operations *inside* one multiplication; the engine replicates whole
+// MMM cores and schedules independent exponentiations across them.
+//
+// Design rules:
+//
+//   - a mont.Ctx is immutable → shared freely via an LRU cache, so
+//     repeated moduli skip the R⁻¹/R² precomputation;
+//   - a Multiplier/Exponentiator owns mutable circuit state → strictly
+//     one per worker, never shared (see core.Multiplier's concurrency
+//     note);
+//   - batches preserve input order: results[i] always answers jobs[i];
+//   - cancellation is prompt: a cancelled context stops submission,
+//     and queued-but-unexecuted jobs come back marked with ctx.Err().
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/errs"
+	"repro/internal/expo"
+	"repro/internal/systolic"
+)
+
+// Option configures an Engine.
+type Option func(*config)
+
+type config struct {
+	workers   int
+	queue     int
+	cacheSize int
+	mode      expo.Mode
+	variant   systolic.Variant
+}
+
+// WithWorkers sets the number of worker cores (default GOMAXPROCS).
+func WithWorkers(k int) Option { return func(c *config) { c.workers = k } }
+
+// WithQueueDepth bounds the submission queue (default 4× workers).
+// Submission blocks — respecting the caller's context — once the queue
+// is full, providing backpressure instead of unbounded memory growth.
+func WithQueueDepth(d int) Option { return func(c *config) { c.queue = d } }
+
+// WithMode selects how cores execute multiplications: expo.Model
+// (reference arithmetic, the default) or expo.Simulate (every product
+// through the cycle-accurate MMMC, each core simulating its own
+// circuit).
+func WithMode(m expo.Mode) Option { return func(c *config) { c.mode = m } }
+
+// WithVariant selects the array variant simulated cores use.
+func WithVariant(v systolic.Variant) Option { return func(c *config) { c.variant = v } }
+
+// WithCtxCacheSize bounds the per-modulus context LRU (default 128).
+func WithCtxCacheSize(n int) Option { return func(c *config) { c.cacheSize = n } }
+
+// Engine schedules Montgomery work across a pool of worker cores. It is
+// safe for concurrent use by multiple goroutines. Close drains in-flight
+// work; submissions after Close fail with ErrEngineClosed.
+type Engine struct {
+	cfg   config
+	jobs  chan *job
+	cache *ctxCache
+
+	mu     sync.RWMutex // guards closed vs. submissions
+	closed bool
+	wg     sync.WaitGroup
+
+	ctr counters
+}
+
+// New builds and starts an engine.
+func New(opts ...Option) (*Engine, error) {
+	cfg := config{
+		workers:   runtime.GOMAXPROCS(0),
+		mode:      expo.Model,
+		variant:   systolic.Guarded,
+		cacheSize: 128,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.workers < 1 {
+		return nil, fmt.Errorf("engine: need at least one worker, got %d", cfg.workers)
+	}
+	if cfg.queue <= 0 {
+		cfg.queue = 4 * cfg.workers
+	}
+	if cfg.cacheSize < 1 {
+		return nil, fmt.Errorf("engine: context cache size must be positive, got %d", cfg.cacheSize)
+	}
+	e := &Engine{
+		cfg:   cfg,
+		jobs:  make(chan *job, cfg.queue),
+		cache: newCtxCache(cfg.cacheSize),
+	}
+	e.wg.Add(cfg.workers)
+	for i := 0; i < cfg.workers; i++ {
+		w := newWorker(e, i)
+		go w.loop()
+	}
+	return e, nil
+}
+
+// Workers returns the number of worker cores.
+func (e *Engine) Workers() int { return e.cfg.workers }
+
+// Mode returns the execution mode the cores run in.
+func (e *Engine) Mode() expo.Mode { return e.cfg.mode }
+
+// Close stops accepting work, waits for queued and in-flight jobs to
+// finish, and shuts the workers down. Closing twice returns
+// ErrEngineClosed.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return fmt.Errorf("engine: Close: %w", errs.ErrEngineClosed)
+	}
+	e.closed = true
+	close(e.jobs)
+	e.mu.Unlock()
+	e.wg.Wait()
+	return nil
+}
+
+// ModExpJob is one modular exponentiation: Base^Exp mod N.
+type ModExpJob struct {
+	N    *big.Int // odd modulus ≥ 3
+	Base *big.Int // in [0, N-1]
+	Exp  *big.Int // > 0
+
+	// Deadline, if nonzero, fails the job with context.DeadlineExceeded
+	// when a core picks it up after the instant has passed — a per-job
+	// tightening of the batch context's deadline.
+	Deadline time.Time
+}
+
+// ModExpResult answers one ModExpJob. Err is nil on success;
+// context.Canceled / context.DeadlineExceeded mark jobs the batch gave
+// up on, and sentinel-wrapped errors (ErrEvenModulus, ErrOperandRange,
+// ...) mark invalid jobs. Value and Report are only meaningful when
+// Err is nil.
+type ModExpResult struct {
+	Value  *big.Int
+	Report expo.Report
+	Err    error
+}
+
+// MontJob is one raw Montgomery product X·Y·R⁻¹ mod 2N, operands in
+// [0, 2N-1].
+type MontJob struct {
+	N *big.Int
+	X *big.Int
+	Y *big.Int
+
+	Deadline time.Time
+}
+
+// MontResult answers one MontJob.
+type MontResult struct {
+	Value *big.Int
+	Err   error
+}
+
+// jobKind discriminates the payload of a queued job.
+type jobKind uint8
+
+const (
+	kindModExp jobKind = iota
+	kindMont
+)
+
+type job struct {
+	kind     jobKind
+	ctx      context.Context
+	deadline time.Time
+	enqueued time.Time
+
+	n, a, b *big.Int // modexp: base/exp; mont: x/y
+
+	expOut  *ModExpResult
+	montOut *MontResult
+	wg      *sync.WaitGroup
+}
+
+// expired returns the reason a job must not run: batch cancellation or
+// a passed per-job deadline.
+func (j *job) expired(now time.Time) error {
+	if err := j.ctx.Err(); err != nil {
+		return err
+	}
+	if !j.deadline.IsZero() && now.After(j.deadline) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+// submit enqueues a job, blocking under backpressure until queue space
+// frees up, the context is cancelled, or the engine closes.
+func (e *Engine) submit(ctx context.Context, j *job) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return fmt.Errorf("engine: submit: %w", errs.ErrEngineClosed)
+	}
+	select {
+	case e.jobs <- j:
+		e.ctr.submitted.Add(1)
+		e.ctr.queueDepth.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ModExp runs one exponentiation through the pool and waits for it.
+func (e *Engine) ModExp(ctx context.Context, n, base, exp *big.Int) (*big.Int, expo.Report, error) {
+	res, err := e.ModExpBatch(ctx, []ModExpJob{{N: n, Base: base, Exp: exp}})
+	if err != nil {
+		return nil, expo.Report{}, err
+	}
+	r := res[0]
+	return r.Value, r.Report, r.Err
+}
+
+// ModExpBatch fans the jobs across the worker cores and waits for all
+// of them. results[i] answers jobs[i] regardless of completion order.
+//
+// On cancellation the call returns promptly with ctx.Err(): jobs that
+// never reached a core come back with Err = ctx.Err() (never-submitted
+// ones immediately, queued ones as workers drain them), and jobs that
+// already finished keep their results — partial progress is preserved
+// and clearly marked, never silently dropped.
+func (e *Engine) ModExpBatch(ctx context.Context, jobs []ModExpJob) ([]ModExpResult, error) {
+	results := make([]ModExpResult, len(jobs))
+	var wg sync.WaitGroup
+	var submitErr error
+	for i := range jobs {
+		j := &job{
+			kind:     kindModExp,
+			ctx:      ctx,
+			deadline: jobs[i].Deadline,
+			enqueued: time.Now(),
+			n:        jobs[i].N,
+			a:        jobs[i].Base,
+			b:        jobs[i].Exp,
+			expOut:   &results[i],
+			wg:       &wg,
+		}
+		wg.Add(1)
+		if err := e.submit(ctx, j); err != nil {
+			wg.Done()
+			for k := i; k < len(jobs); k++ {
+				results[k].Err = err
+			}
+			submitErr = err
+			break
+		}
+	}
+	wg.Wait() // in-flight jobs only; cancelled queued jobs drain fast
+	if submitErr != nil {
+		return results, submitErr
+	}
+	return results, ctx.Err()
+}
+
+// Mont runs one Montgomery product through the pool and waits for it.
+func (e *Engine) Mont(ctx context.Context, n, x, y *big.Int) (*big.Int, error) {
+	res, err := e.MontBatch(ctx, []MontJob{{N: n, X: x, Y: y}})
+	if err != nil {
+		return nil, err
+	}
+	return res[0].Value, res[0].Err
+}
+
+// MontBatch is ModExpBatch for raw Montgomery products: order
+// preserving, cancellation-prompt, per-job deadlines honoured.
+func (e *Engine) MontBatch(ctx context.Context, jobs []MontJob) ([]MontResult, error) {
+	results := make([]MontResult, len(jobs))
+	var wg sync.WaitGroup
+	var submitErr error
+	for i := range jobs {
+		j := &job{
+			kind:     kindMont,
+			ctx:      ctx,
+			deadline: jobs[i].Deadline,
+			enqueued: time.Now(),
+			n:        jobs[i].N,
+			a:        jobs[i].X,
+			b:        jobs[i].Y,
+			montOut:  &results[i],
+			wg:       &wg,
+		}
+		wg.Add(1)
+		if err := e.submit(ctx, j); err != nil {
+			wg.Done()
+			for k := i; k < len(jobs); k++ {
+				results[k].Err = err
+			}
+			submitErr = err
+			break
+		}
+	}
+	wg.Wait()
+	if submitErr != nil {
+		return results, submitErr
+	}
+	return results, ctx.Err()
+}

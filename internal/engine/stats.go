@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// counters is the engine's atomic stats block, updated lock-free from
+// every worker and the submission path.
+type counters struct {
+	submitted  atomic.Int64
+	completed  atomic.Int64
+	failed     atomic.Int64
+	canceled   atomic.Int64
+	queueDepth atomic.Int64
+
+	muls        atomic.Int64 // Montgomery products executed
+	modelCycles atomic.Int64 // paper-formula cycles (Model-mode reports)
+	simCycles   atomic.Int64 // measured MMMC cycles (Simulate mode)
+	wallNanos   atomic.Int64 // summed submit→finish latency of completed jobs
+}
+
+// Stats is a consistent-enough snapshot of the engine's counters.
+// Completed + Failed + Canceled = jobs finished; Submitted − finished −
+// QueueDepth = jobs currently executing on a core.
+type Stats struct {
+	Workers    int
+	Submitted  int64
+	Completed  int64
+	Failed     int64
+	Canceled   int64
+	QueueDepth int64
+
+	Muls        int64 // Montgomery products across all cores
+	ModelCycles int64 // cycles by the paper's §4.5 accounting
+	SimCycles   int64 // cycles measured on simulated circuits
+	CtxHits     int64 // modulus-context LRU hits
+	CtxMisses   int64 // modulus-context LRU misses (precomputations run)
+
+	TotalWall time.Duration // summed latency of completed jobs
+}
+
+// Stats snapshots the counters.
+func (e *Engine) Stats() Stats {
+	hits, misses := e.cache.counts()
+	return Stats{
+		Workers:     e.cfg.workers,
+		Submitted:   e.ctr.submitted.Load(),
+		Completed:   e.ctr.completed.Load(),
+		Failed:      e.ctr.failed.Load(),
+		Canceled:    e.ctr.canceled.Load(),
+		QueueDepth:  e.ctr.queueDepth.Load(),
+		Muls:        e.ctr.muls.Load(),
+		ModelCycles: e.ctr.modelCycles.Load(),
+		SimCycles:   e.ctr.simCycles.Load(),
+		CtxHits:     int64(hits),
+		CtxMisses:   int64(misses),
+		TotalWall:   time.Duration(e.ctr.wallNanos.Load()),
+	}
+}
+
+// MeanLatency returns the average submit→finish latency of completed
+// jobs, 0 if none completed.
+func (s Stats) MeanLatency() time.Duration {
+	if s.Completed == 0 {
+		return 0
+	}
+	return s.TotalWall / time.Duration(s.Completed)
+}
+
+// String renders the snapshot as one line, loadgen/debug friendly.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"workers=%d submitted=%d completed=%d failed=%d canceled=%d queue=%d muls=%d ctx=%d/%d mean=%s",
+		s.Workers, s.Submitted, s.Completed, s.Failed, s.Canceled, s.QueueDepth,
+		s.Muls, s.CtxHits, s.CtxHits+s.CtxMisses, s.MeanLatency())
+}

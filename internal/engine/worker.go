@@ -1,0 +1,170 @@
+package engine
+
+import (
+	"fmt"
+	"math/big"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/errs"
+	"repro/internal/expo"
+)
+
+// worker is one engine core. It owns its exponentiators and multipliers
+// outright — simulated circuits are mutable and must never be shared
+// (core.Multiplier's concurrency contract) — while the mont.Ctx inside
+// them comes from the engine-wide LRU, shared safely because a Ctx is
+// immutable. Per-worker caches avoid rebuilding circuits for repeated
+// moduli; they are bounded and simply reset when full, which is cheap
+// and keeps the common steady-state (few hot moduli) fully cached.
+type worker struct {
+	eng *Engine
+	id  int
+
+	exps map[string]*expo.Exponentiator
+	muls map[string]*core.Multiplier
+}
+
+// maxLocal bounds each worker's circuit caches.
+const maxLocal = 32
+
+func newWorker(e *Engine, id int) *worker {
+	return &worker{
+		eng:  e,
+		id:   id,
+		exps: make(map[string]*expo.Exponentiator),
+		muls: make(map[string]*core.Multiplier),
+	}
+}
+
+func (w *worker) loop() {
+	defer w.eng.wg.Done()
+	for j := range w.eng.jobs {
+		w.eng.ctr.queueDepth.Add(-1)
+		w.run(j)
+		j.wg.Done()
+	}
+}
+
+func (w *worker) run(j *job) {
+	ctr := &w.eng.ctr
+	if err := j.expired(time.Now()); err != nil {
+		j.fail(err)
+		ctr.canceled.Add(1)
+		return
+	}
+	if j.n == nil || j.a == nil || j.b == nil {
+		j.fail(fmt.Errorf("engine: nil job operand: %w", errs.ErrOperandRange))
+		ctr.failed.Add(1)
+		return
+	}
+
+	var err error
+	switch j.kind {
+	case kindModExp:
+		err = w.runModExp(j)
+	case kindMont:
+		err = w.runMont(j)
+	}
+	if err != nil {
+		j.fail(err)
+		ctr.failed.Add(1)
+		return
+	}
+	ctr.completed.Add(1)
+	ctr.wallNanos.Add(time.Since(j.enqueued).Nanoseconds())
+}
+
+// fail records err on whichever result slot the job carries.
+func (j *job) fail(err error) {
+	switch j.kind {
+	case kindModExp:
+		j.expOut.Err = err
+	case kindMont:
+		j.montOut.Err = err
+	}
+}
+
+func (w *worker) runModExp(j *job) error {
+	ex, err := w.exponentiator(j.n)
+	if err != nil {
+		return err
+	}
+	v, rep, err := ex.ModExp(j.a, j.b)
+	if err != nil {
+		return err
+	}
+	j.expOut.Value = v
+	j.expOut.Report = rep
+	ctr := &w.eng.ctr
+	// Squares + Multiplies plus the explicit pre- and post-products.
+	ctr.muls.Add(int64(rep.Squares + rep.Multiplies + 2))
+	ctr.modelCycles.Add(int64(rep.TotalCycles))
+	ctr.simCycles.Add(int64(rep.SimulatedMulCycles))
+	return nil
+}
+
+func (w *worker) runMont(j *job) error {
+	m, err := w.multiplier(j.n)
+	if err != nil {
+		return err
+	}
+	before := m.Cycles
+	v, err := m.Mont(j.a, j.b)
+	if err != nil {
+		return err
+	}
+	j.montOut.Value = v
+	ctr := &w.eng.ctr
+	ctr.muls.Add(1)
+	ctr.simCycles.Add(int64(m.Cycles - before))
+	return nil
+}
+
+// exponentiator returns this worker's exclusive exponentiator for
+// modulus n, building it over the shared LRU-cached context on first
+// use.
+func (w *worker) exponentiator(n *big.Int) (*expo.Exponentiator, error) {
+	key := string(n.Bytes())
+	if ex, ok := w.exps[key]; ok {
+		return ex, nil
+	}
+	ctx, err := w.eng.cache.get(n)
+	if err != nil {
+		return nil, err
+	}
+	ex, err := expo.NewFromCtx(ctx, w.eng.cfg.mode, expo.WithVariant(w.eng.cfg.variant))
+	if err != nil {
+		return nil, err
+	}
+	if len(w.exps) >= maxLocal {
+		w.exps = make(map[string]*expo.Exponentiator)
+	}
+	w.exps[key] = ex
+	return ex, nil
+}
+
+// multiplier is exponentiator's twin for raw Montgomery products.
+func (w *worker) multiplier(n *big.Int) (*core.Multiplier, error) {
+	key := string(n.Bytes())
+	if m, ok := w.muls[key]; ok {
+		return m, nil
+	}
+	ctx, err := w.eng.cache.get(n)
+	if err != nil {
+		return nil, err
+	}
+	var opts []core.Option
+	if w.eng.cfg.mode == expo.Simulate {
+		opts = append(opts, core.WithSimulation(), core.WithVariant(w.eng.cfg.variant))
+	}
+	m, err := core.NewMultiplierFromCtx(ctx, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if len(w.muls) >= maxLocal {
+		w.muls = make(map[string]*core.Multiplier)
+	}
+	w.muls[key] = m
+	return m, nil
+}

@@ -1,0 +1,29 @@
+// Package errs is the single home of the repository's typed sentinel
+// errors. Every layer — the reference arithmetic (internal/mont), the
+// multiplier/exponentiator façade (internal/core, internal/expo) and
+// the concurrent engine (internal/engine) — either returns these values
+// directly or wraps them with fmt.Errorf("...: %w", ...), so callers
+// can classify failures with errors.Is regardless of which fidelity
+// level produced them. The root montsys package re-exports all four.
+package errs
+
+import "errors"
+
+var (
+	// ErrEvenModulus reports a modulus with gcd(N, 2) ≠ 1, which
+	// Montgomery's method cannot handle in radix 2.
+	ErrEvenModulus = errors.New("modulus must be odd")
+
+	// ErrModulusTooSmall reports a modulus below 3, for which the
+	// paper's R = 2^(l+2) construction is degenerate.
+	ErrModulusTooSmall = errors.New("modulus must be at least 3")
+
+	// ErrOperandRange reports an operand outside the range its
+	// operation admits — [0, 2N-1] for Mont, [0, N-1] for MulMod and
+	// exponentiation bases, > 0 for exponents.
+	ErrOperandRange = errors.New("operand out of range")
+
+	// ErrEngineClosed reports a submission to an engine whose Close has
+	// begun; no further jobs are accepted.
+	ErrEngineClosed = errors.New("engine is closed")
+)

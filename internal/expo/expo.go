@@ -19,11 +19,11 @@
 package expo
 
 import (
-	"errors"
 	"fmt"
 	"math/big"
 
 	"repro/internal/bits"
+	"repro/internal/errs"
 	"repro/internal/mmmc"
 	"repro/internal/mont"
 	"repro/internal/systolic"
@@ -98,18 +98,42 @@ type Exponentiator struct {
 	nVec    bits.Vec
 }
 
-// New builds an exponentiator for the odd modulus n. The Simulate mode
-// uses the Guarded array variant, whose correctness holds for every
-// chained operand (see internal/systolic); the paper's cycle counts are
-// unaffected by the guard.
-func New(n *big.Int, mode Mode) (*Exponentiator, error) {
+// Option configures an Exponentiator beyond its mode.
+type Option func(*config)
+
+type config struct {
+	variant systolic.Variant
+}
+
+// WithVariant selects the array variant used in Simulate mode. The
+// default is Guarded, whose correctness holds for every chained operand
+// (see internal/systolic); the paper's cycle counts are unaffected by
+// the guard.
+func WithVariant(v systolic.Variant) Option { return func(c *config) { c.variant = v } }
+
+// New builds an exponentiator for the odd modulus n.
+func New(n *big.Int, mode Mode, opts ...Option) (*Exponentiator, error) {
 	ctx, err := mont.NewCtx(n)
 	if err != nil {
 		return nil, err
 	}
+	return NewFromCtx(ctx, mode, opts...)
+}
+
+// NewFromCtx builds an exponentiator over an existing Montgomery
+// context, skipping the per-modulus precomputation. The Ctx is
+// immutable and may be shared freely; the Exponentiator itself (whose
+// Simulate-mode circuit is mutable state) must stay confined to one
+// goroutine. internal/engine uses this to share LRU-cached contexts
+// across worker cores while giving each core an exclusive circuit.
+func NewFromCtx(ctx *mont.Ctx, mode Mode, opts ...Option) (*Exponentiator, error) {
+	cfg := config{variant: systolic.Guarded}
+	for _, o := range opts {
+		o(&cfg)
+	}
 	e := &Exponentiator{L: ctx.L, Mode: mode, ctx: ctx}
 	if mode == Simulate {
-		c, err := mmmc.New(ctx.L, systolic.Guarded)
+		c, err := mmmc.New(ctx.L, cfg.variant)
 		if err != nil {
 			return nil, err
 		}
@@ -140,10 +164,10 @@ func (e *Exponentiator) mulSim(x, y *big.Int, rep *Report) (*big.Int, error) {
 func (e *Exponentiator) ModExp(m, exp *big.Int) (*big.Int, Report, error) {
 	rep := Report{L: e.L}
 	if exp.Sign() <= 0 {
-		return nil, rep, errors.New("expo: exponent must be positive")
+		return nil, rep, fmt.Errorf("expo: exponent must be positive: %w", errs.ErrOperandRange)
 	}
 	if m.Sign() < 0 || m.Cmp(e.ctx.N) >= 0 {
-		return nil, rep, errors.New("expo: base must be in [0, N-1]")
+		return nil, rep, fmt.Errorf("expo: base must be in [0, N-1]: %w", errs.ErrOperandRange)
 	}
 
 	mul := func(x, y *big.Int) (*big.Int, error) {

@@ -1,8 +1,10 @@
 package expo
 
 import (
-	"errors"
+	"fmt"
 	"math/big"
+
+	"repro/internal/errs"
 )
 
 // Exponentiation variants beyond the paper's Algorithm 3. The paper's
@@ -22,10 +24,10 @@ import (
 func (e *Exponentiator) ModExpLadder(m, exp *big.Int) (*big.Int, Report, error) {
 	rep := Report{L: e.L}
 	if exp.Sign() <= 0 {
-		return nil, rep, errors.New("expo: exponent must be positive")
+		return nil, rep, fmt.Errorf("expo: exponent must be positive: %w", errs.ErrOperandRange)
 	}
 	if m.Sign() < 0 || m.Cmp(e.ctx.N) >= 0 {
-		return nil, rep, errors.New("expo: base must be in [0, N-1]")
+		return nil, rep, fmt.Errorf("expo: base must be in [0, N-1]: %w", errs.ErrOperandRange)
 	}
 	mul := func(x, y *big.Int) (*big.Int, error) {
 		if e.Mode == Simulate {
@@ -86,13 +88,13 @@ func (e *Exponentiator) ModExpLadder(m, exp *big.Int) (*big.Int, Report, error) 
 func (e *Exponentiator) ModExpWindow(m, exp *big.Int, w int) (*big.Int, Report, error) {
 	rep := Report{L: e.L}
 	if w < 1 || w > 16 {
-		return nil, rep, errors.New("expo: window width must be in [1, 16]")
+		return nil, rep, fmt.Errorf("expo: window width must be in [1, 16]: %w", errs.ErrOperandRange)
 	}
 	if exp.Sign() <= 0 {
-		return nil, rep, errors.New("expo: exponent must be positive")
+		return nil, rep, fmt.Errorf("expo: exponent must be positive: %w", errs.ErrOperandRange)
 	}
 	if m.Sign() < 0 || m.Cmp(e.ctx.N) >= 0 {
-		return nil, rep, errors.New("expo: base must be in [0, N-1]")
+		return nil, rep, fmt.Errorf("expo: base must be in [0, N-1]: %w", errs.ErrOperandRange)
 	}
 	mul := func(x, y *big.Int) (*big.Int, error) {
 		if e.Mode == Simulate {

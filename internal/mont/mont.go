@@ -16,6 +16,7 @@ import (
 	"math/big"
 
 	"repro/internal/bits"
+	"repro/internal/errs"
 )
 
 // Ctx carries the per-modulus constants of the paper's radix-2 scheme.
@@ -36,16 +37,26 @@ type Ctx struct {
 }
 
 // ErrEvenModulus is returned for moduli with gcd(N, 2) ≠ 1, which
-// Montgomery's method cannot handle in radix 2.
-var ErrEvenModulus = errors.New("mont: modulus must be odd")
+// Montgomery's method cannot handle in radix 2. It is the sentinel from
+// internal/errs, so errors.Is works across every layer of the system.
+var ErrEvenModulus = errs.ErrEvenModulus
 
-// ErrSmallModulus is returned for moduli below 3.
-var ErrSmallModulus = errors.New("mont: modulus must be at least 3")
+// ErrModulusTooSmall is returned for moduli below 3.
+var ErrModulusTooSmall = errs.ErrModulusTooSmall
+
+// ErrSmallModulus is the historical name of ErrModulusTooSmall.
+//
+// Deprecated: use ErrModulusTooSmall (the same value).
+var ErrSmallModulus = ErrModulusTooSmall
 
 // NewCtx validates N and precomputes the Montgomery constants.
+//
+// A Ctx is immutable after NewCtx returns and is safe for concurrent
+// use by multiple goroutines; internal/engine relies on this to share
+// one cached Ctx across its worker cores.
 func NewCtx(n *big.Int) (*Ctx, error) {
 	if n.Sign() <= 0 || n.Cmp(big.NewInt(3)) < 0 {
-		return nil, ErrSmallModulus
+		return nil, ErrModulusTooSmall
 	}
 	if n.Bit(0) == 0 {
 		return nil, ErrEvenModulus

@@ -18,8 +18,12 @@
 //	m, err := montsys.NewMultiplier(n, montsys.WithSimulation()) // cycle-accurate
 //	p, err := m.Mont(x, y)                                // x·y·R⁻¹ mod 2N
 //
-//	ex, err := montsys.NewExponentiator(n, false)
+//	ex, err := montsys.NewExponentiator(n)                // reference arithmetic
+//	ex, err := montsys.NewExponentiator(n, montsys.WithSimulation())
 //	c, report, err := ex.ModExp(msg, e)                   // RSA-style exponentiation
+//
+//	eng, err := montsys.NewEngine(montsys.WithEngineWorkers(8))
+//	results, err := eng.ModExpBatch(ctx, jobs)            // fan across 8 cores
 //
 //	hw, err := montsys.Hardware(1024)                     // slices, clock, T_MMM
 //
@@ -31,8 +35,20 @@ import (
 	"math/big"
 
 	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/errs"
 	"repro/internal/expo"
 	"repro/internal/systolic"
+)
+
+// Typed sentinel errors, shared by every layer (reference arithmetic,
+// multiplier, exponentiator, engine). Match with errors.Is — the
+// returned errors wrap these with context.
+var (
+	ErrEvenModulus     = errs.ErrEvenModulus
+	ErrModulusTooSmall = errs.ErrModulusTooSmall
+	ErrOperandRange    = errs.ErrOperandRange
+	ErrEngineClosed    = errs.ErrEngineClosed
 )
 
 // Multiplier is a Montgomery modular multiplier for one odd modulus,
@@ -75,11 +91,86 @@ func WithSimulation() Option { return core.WithSimulation() }
 // WithVariant selects the array variant used by WithSimulation.
 func WithVariant(v Variant) Option { return core.WithVariant(v) }
 
-// NewExponentiator returns the paper's modular exponentiator; simulate
-// selects the cycle-accurate path.
-func NewExponentiator(n *big.Int, simulate bool) (*Exponentiator, error) {
-	return core.NewExponentiator(n, simulate)
+// Mode selects how an Exponentiator (or the engine's cores) executes
+// multiplications: Model (reference arithmetic with the paper's cycle
+// formulas) or Simulate (every product through the cycle-accurate MMMC).
+type Mode = expo.Mode
+
+// Execution modes.
+const (
+	Model    = expo.Model
+	Simulate = expo.Simulate
+)
+
+// WithMode selects the exponentiator's execution mode; it subsumes
+// WithSimulation, which is shorthand for WithMode(Simulate).
+func WithMode(m Mode) Option { return core.WithMode(m) }
+
+// NewExponentiator returns the paper's modular exponentiator for the
+// odd modulus n, configured with the same functional options as
+// NewMultiplier:
+//
+//	montsys.NewExponentiator(n)                                  // reference arithmetic
+//	montsys.NewExponentiator(n, montsys.WithSimulation())        // cycle-accurate
+//	montsys.NewExponentiator(n, montsys.WithMode(montsys.Simulate),
+//	    montsys.WithVariant(montsys.Faithful))                   // explicit mode + variant
+func NewExponentiator(n *big.Int, opts ...Option) (*Exponentiator, error) {
+	return core.NewExponentiator(n, opts...)
 }
+
+// NewExponentiatorSim is the pre-options signature, kept for one
+// release so existing callers migrate at leisure.
+//
+// Deprecated: use NewExponentiator with options — NewExponentiator(n)
+// for simulate=false, NewExponentiator(n, WithSimulation()) for
+// simulate=true.
+func NewExponentiatorSim(n *big.Int, simulate bool) (*Exponentiator, error) {
+	if simulate {
+		return core.NewExponentiator(n, core.WithSimulation())
+	}
+	return core.NewExponentiator(n)
+}
+
+// Engine is the concurrent multi-core modexp/Mont engine: a pool of
+// worker cores (each owning an exclusive multiplier/exponentiator —
+// simulated cycle-accurate cores included), a bounded submission queue
+// with context cancellation and per-job deadlines, an LRU cache of
+// per-modulus Montgomery contexts, order-preserving batch APIs
+// (ModExpBatch, MontBatch) and an atomic Stats block. See
+// internal/engine.
+type Engine = engine.Engine
+
+// EngineOption configures NewEngine.
+type EngineOption = engine.Option
+
+// EngineStats is the engine's counters snapshot.
+type EngineStats = engine.Stats
+
+// Engine job/result types: results[i] always answers jobs[i].
+type (
+	ModExpJob    = engine.ModExpJob
+	ModExpResult = engine.ModExpResult
+	MontJob      = engine.MontJob
+	MontResult   = engine.MontResult
+)
+
+// NewEngine builds and starts a multi-core engine.
+func NewEngine(opts ...EngineOption) (*Engine, error) { return engine.New(opts...) }
+
+// WithEngineWorkers sets the number of worker cores (default GOMAXPROCS).
+func WithEngineWorkers(k int) EngineOption { return engine.WithWorkers(k) }
+
+// WithEngineQueueDepth bounds the submission queue (default 4× workers).
+func WithEngineQueueDepth(d int) EngineOption { return engine.WithQueueDepth(d) }
+
+// WithEngineMode selects the cores' execution mode (default Model).
+func WithEngineMode(m Mode) EngineOption { return engine.WithMode(m) }
+
+// WithEngineVariant selects the array variant simulated cores use.
+func WithEngineVariant(v Variant) EngineOption { return engine.WithVariant(v) }
+
+// WithEngineCtxCacheSize bounds the per-modulus context LRU (default 128).
+func WithEngineCtxCacheSize(n int) EngineOption { return engine.WithCtxCacheSize(n) }
 
 // Hardware builds and maps the full gate-level MMM circuit for an l-bit
 // modulus, reporting area and timing under the Virtex-E model — the

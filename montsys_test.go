@@ -1,6 +1,8 @@
 package montsys
 
 import (
+	"context"
+	"errors"
 	"math/big"
 	"testing"
 )
@@ -40,7 +42,7 @@ func TestPublicAPI(t *testing.T) {
 		t.Fatal("MulMod wrong through façade")
 	}
 
-	ex, err := NewExponentiator(n, false)
+	ex, err := NewExponentiator(n)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,5 +69,106 @@ func TestPublicAPI(t *testing.T) {
 func TestVariantConstants(t *testing.T) {
 	if Faithful.String() != "faithful" || Guarded.String() != "guarded" {
 		t.Error("variant constants not wired through")
+	}
+	if Model.String() != "model" || Simulate.String() != "simulate" {
+		t.Error("mode constants not wired through")
+	}
+}
+
+// The options-based exponentiator API and its deprecated shim must
+// agree with each other and with math/big.
+func TestExponentiatorOptions(t *testing.T) {
+	n := big.NewInt(0xF1F1)
+	base, exp := big.NewInt(0x123), big.NewInt(65537)
+	want := new(big.Int).Exp(base, exp, n)
+
+	for _, tc := range []struct {
+		name string
+		opts []Option
+	}{
+		{"default", nil},
+		{"simulation", []Option{WithSimulation()}},
+		{"mode+variant", []Option{WithMode(Simulate), WithVariant(Faithful)}},
+	} {
+		ex, err := NewExponentiator(n, tc.opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := ex.ModExp(base, exp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(want) != 0 {
+			t.Fatalf("%s: wrong result", tc.name)
+		}
+	}
+	for _, sim := range []bool{false, true} {
+		ex, err := NewExponentiatorSim(n, sim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, _, err := ex.ModExp(base, exp); err != nil || got.Cmp(want) != 0 {
+			t.Fatalf("shim sim=%v: got %v err %v", sim, got, err)
+		}
+	}
+}
+
+// Sentinel errors flow through the public façade and errors.Is.
+func TestPublicSentinels(t *testing.T) {
+	if _, err := NewMultiplier(big.NewInt(10)); !errors.Is(err, ErrEvenModulus) {
+		t.Errorf("even modulus: %v", err)
+	}
+	if _, err := NewExponentiator(big.NewInt(1)); !errors.Is(err, ErrModulusTooSmall) {
+		t.Errorf("small modulus: %v", err)
+	}
+	m, err := NewMultiplier(big.NewInt(101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Mont(big.NewInt(-2), big.NewInt(1)); !errors.Is(err, ErrOperandRange) {
+		t.Errorf("operand range: %v", err)
+	}
+}
+
+// The multi-core engine through the public façade: batch fan-out,
+// order preservation, stats and the closed sentinel.
+func TestPublicEngine(t *testing.T) {
+	eng, err := NewEngine(
+		WithEngineWorkers(3),
+		WithEngineQueueDepth(8),
+		WithEngineMode(Model),
+		WithEngineCtxCacheSize(16),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n := big.NewInt(0xF1F1)
+	const count = 30
+	jobs := make([]ModExpJob, count)
+	for i := range jobs {
+		jobs[i] = ModExpJob{N: n, Base: big.NewInt(int64(i + 2)), Exp: big.NewInt(1001)}
+	}
+	results, err := eng.ModExpBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		want := new(big.Int).Exp(jobs[i].Base, jobs[i].Exp, n)
+		if r.Value.Cmp(want) != 0 {
+			t.Fatalf("job %d out of order or wrong", i)
+		}
+	}
+	if st := eng.Stats(); st.Completed != count || st.Workers != 3 {
+		t.Errorf("stats: %s", st)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Mont(context.Background(), n, big.NewInt(1), big.NewInt(2)); !errors.Is(err, ErrEngineClosed) {
+		t.Errorf("closed engine: %v", err)
 	}
 }
