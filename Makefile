@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race bench-engine
+.PHONY: ci build vet test race cover bench-engine bench-obs
 
 ci: vet build test race
 
@@ -17,8 +17,18 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/engine/... ./internal/core/...
+	$(GO) test -race ./internal/engine/... ./internal/core/... ./internal/obs/...
+
+# Coverage profile for the observability gate (same artifact CI uploads).
+cover:
+	$(GO) test -race -coverprofile=coverage.out -covermode=atomic ./internal/obs/... ./internal/engine/...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 # Regenerate BENCH_engine.json's raw numbers (paste + annotate by hand).
 bench-engine:
 	$(GO) test -run xxx -bench 'EngineModExp|SequentialModExp' -benchtime 20x ./internal/engine/
+
+# Regenerate BENCH_obs.json's raw numbers: observer off vs metrics vs
+# metrics+trace on the model-mode hot path.
+bench-obs:
+	$(GO) test -run xxx -bench EngineModExpObserved -benchtime 60x -count 6 ./internal/engine/

@@ -9,11 +9,20 @@
 //	loadgen [-workers 1,2,4,8] [-jobs 200] [-bits 512,1024] [-keys 4]
 //	        [-mode model|simulate] [-variant guarded|faithful]
 //	        [-exp full|f4] [-queue 0] [-timeout 0]
+//	        [-listen :9090] [-linger 0] [-trace 4096]
 //
 // Each sweep point drives the engine closed-loop from 2×workers
 // submitter goroutines, measuring every job's submit→finish latency.
 // Every result is self-checked against math/big; the run aborts on any
 // mismatch.
+//
+// With -listen the sweep can be watched live: a shared observability
+// collector is attached to every sweep engine and served over HTTP —
+// Prometheus text-format /metrics, expvar, /debug/pprof/* (attach
+// `go tool pprof host:port/debug/pprof/profile` mid-sweep), and a
+// /trace Chrome trace-event export of the last -trace job spans that
+// opens in Perfetto. -linger keeps the process (and the endpoints)
+// alive after the sweep so the final state can still be scraped.
 package main
 
 import (
@@ -22,6 +31,8 @@ import (
 	"fmt"
 	"math/big"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
@@ -43,15 +54,37 @@ func main() {
 	queue := flag.Int("queue", 0, "submission queue depth (0 = engine default)")
 	timeout := flag.Duration("timeout", 0, "overall deadline per sweep point (0 = none)")
 	seed := flag.Int64("seed", 1, "PRNG seed")
+	listen := flag.String("listen", "", "serve /metrics, /debug/pprof and /trace on this address (e.g. :9090)")
+	linger := flag.Duration("linger", 0, "keep serving the observability endpoints this long after the sweep")
+	traceCap := flag.Int("trace", 4096, "span ring-buffer capacity for /trace (with -listen)")
 	flag.Parse()
 
 	cfg := sweepConfig{
 		jobs: *jobs, keys: *keys, expKind: *expKind,
 		queue: *queue, timeout: *timeout, seed: *seed,
 	}
+	if *listen != "" {
+		col := montsys.NewCollector(montsys.WithTracing(*traceCap))
+		cfg.collector = col
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("observability: http://%s/  (/metrics, /debug/pprof/, /trace)\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, montsys.NewObsHandler(col)); err != nil {
+				fmt.Fprintln(os.Stderr, "loadgen: obs server:", err)
+			}
+		}()
+	}
 	if err := run(*workersList, *bitsList, *modeName, *variantName, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
+	}
+	if *listen != "" && *linger > 0 {
+		fmt.Printf("lingering %s for scrapes...\n", *linger)
+		time.Sleep(*linger)
 	}
 }
 
@@ -61,6 +94,7 @@ type sweepConfig struct {
 	queue      int
 	timeout    time.Duration
 	seed       int64
+	collector  *montsys.Collector // nil unless -listen
 }
 
 func run(workersList, bitsList, modeName, variantName string, cfg sweepConfig) error {
@@ -155,6 +189,10 @@ func sweep(w int, mode montsys.Mode, variant montsys.Variant, cfg sweepConfig, b
 	}
 	if cfg.queue > 0 {
 		opts = append(opts, montsys.WithEngineQueueDepth(cfg.queue))
+	}
+	if cfg.collector != nil {
+		opts = append(opts, montsys.WithEngineObserver(cfg.collector))
+		cfg.collector.SetEngineInfo(w, fmt.Sprint(mode), fmt.Sprint(variant))
 	}
 	eng, err := montsys.NewEngine(opts...)
 	if err != nil {

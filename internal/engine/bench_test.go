@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/expo"
+	"repro/internal/obs"
 )
 
 // benchJobs builds count modexp jobs over one l-bit modulus with
@@ -34,6 +35,49 @@ func BenchmarkEngineModExp(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run("l=512/w="+strconv.Itoa(workers), func(b *testing.B) {
 			eng, err := New(WithWorkers(workers), WithMode(expo.Model))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			_, jobs := benchJobs(512, b.N)
+			b.ResetTimer()
+			results, err := eng.ModExpBatch(context.Background(), jobs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			for i := range results {
+				if results[i].Err != nil {
+					b.Fatal(results[i].Err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}
+
+// BenchmarkEngineModExpObserved measures the observability overhead on
+// the model-mode hot path: the same 512-bit workload with no observer,
+// with the full obs.Collector (metrics only), and with metrics +
+// tracing. The instrumentation is a handful of atomic adds per job
+// against a ~ms modular exponentiation, so the on/off delta must stay
+// in the noise (<5%) — BENCH_obs.json records a run.
+func BenchmarkEngineModExpObserved(b *testing.B) {
+	cases := []struct {
+		name string
+		opts func() []Option
+	}{
+		{"observer=off", func() []Option { return nil }},
+		{"observer=metrics", func() []Option {
+			return []Option{WithObserver(obs.NewCollector())}
+		}},
+		{"observer=metrics+trace", func() []Option {
+			return []Option{WithObserver(obs.NewCollector(obs.WithTracing(0)))}
+		}},
+	}
+	for _, c := range cases {
+		b.Run("l=512/w=2/"+c.name, func(b *testing.B) {
+			eng, err := New(append(c.opts(), WithWorkers(2), WithMode(expo.Model))...)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -15,13 +15,20 @@ import (
 // skip it after the first job. A cached *mont.Ctx is immutable and is
 // handed out to every worker core that asks; the cores build their own
 // mutable circuits on top (see worker.go).
+//
+// Hits, misses and evictions are counted, and an optional Observer
+// hears about each — evictions in particular are the signal that the
+// cache is sized below the working set and precomputations are being
+// redone.
 type ctxCache struct {
 	mu  sync.Mutex
 	cap int
 	ll  *list.List // front = most recently used
 	m   map[string]*list.Element
 
-	hits, misses uint64
+	hits, misses, evictions uint64
+
+	obs Observer // optional; may be nil
 }
 
 type ctxEntry struct {
@@ -35,7 +42,9 @@ func newCtxCache(capacity int) *ctxCache {
 
 // get returns the context for modulus n, building and caching it on a
 // miss. Errors from mont.NewCtx (even or too-small moduli) are not
-// cached — the sentinels make them cheap to produce again.
+// cached — the sentinels make them cheap to produce again. Observer
+// callbacks fire outside the cache lock so a slow observer cannot
+// serialize the workers.
 func (c *ctxCache) get(n *big.Int) (*mont.Ctx, error) {
 	key := string(n.Bytes())
 	c.mu.Lock()
@@ -44,10 +53,16 @@ func (c *ctxCache) get(n *big.Int) (*mont.Ctx, error) {
 		c.hits++
 		ctx := el.Value.(*ctxEntry).ctx
 		c.mu.Unlock()
+		if c.obs != nil {
+			c.obs.CacheHit()
+		}
 		return ctx, nil
 	}
 	c.misses++
 	c.mu.Unlock()
+	if c.obs != nil {
+		c.obs.CacheMiss()
+	}
 
 	// Build outside the lock: the inversion is the expensive part, and
 	// two workers racing to build the same context is harmless — both
@@ -57,6 +72,7 @@ func (c *ctxCache) get(n *big.Int) (*mont.Ctx, error) {
 		return nil, err
 	}
 
+	evicted := false
 	c.mu.Lock()
 	if el, ok := c.m[key]; ok { // lost the race; adopt the winner
 		c.ll.MoveToFront(el)
@@ -67,14 +83,19 @@ func (c *ctxCache) get(n *big.Int) (*mont.Ctx, error) {
 			old := c.ll.Back()
 			c.ll.Remove(old)
 			delete(c.m, old.Value.(*ctxEntry).key)
+			c.evictions++
+			evicted = true
 		}
 	}
 	c.mu.Unlock()
+	if evicted && c.obs != nil {
+		c.obs.CacheEviction()
+	}
 	return ctx, nil
 }
 
-func (c *ctxCache) counts() (hits, misses uint64) {
+func (c *ctxCache) counts() (hits, misses, evictions uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits, c.misses, c.evictions
 }

@@ -41,6 +41,7 @@ type config struct {
 	cacheSize int
 	mode      expo.Mode
 	variant   systolic.Variant
+	observer  Observer
 }
 
 // WithWorkers sets the number of worker cores (default GOMAXPROCS).
@@ -62,6 +63,11 @@ func WithVariant(v systolic.Variant) Option { return func(c *config) { c.variant
 
 // WithCtxCacheSize bounds the per-modulus context LRU (default 128).
 func WithCtxCacheSize(n int) Option { return func(c *config) { c.cacheSize = n } }
+
+// WithObserver attaches a lifecycle observer (see Observer). The
+// default is none, in which case every callback site is a single nil
+// check — instrumentation costs nothing unless asked for.
+func WithObserver(o Observer) Option { return func(c *config) { c.observer = o } }
 
 // Engine schedules Montgomery work across a pool of worker cores. It is
 // safe for concurrent use by multiple goroutines. Close drains in-flight
@@ -103,6 +109,7 @@ func New(opts ...Option) (*Engine, error) {
 		jobs:  make(chan *job, cfg.queue),
 		cache: newCtxCache(cfg.cacheSize),
 	}
+	e.cache.obs = cfg.observer
 	e.wg.Add(cfg.workers)
 	for i := 0; i < cfg.workers; i++ {
 		w := newWorker(e, i)
@@ -216,7 +223,11 @@ func (e *Engine) submit(ctx context.Context, j *job) error {
 	select {
 	case e.jobs <- j:
 		e.ctr.submitted.Add(1)
-		e.ctr.queueDepth.Add(1)
+		depth := e.ctr.queueDepth.Add(1)
+		setMax(&e.ctr.queueHighWater, depth)
+		if e.cfg.observer != nil {
+			e.cfg.observer.JobSubmitted(j.kind.kindName())
+		}
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()

@@ -436,15 +436,20 @@ func TestCtxCacheLRU(t *testing.T) {
 		}
 	}
 	// n1 was evicted by n3; n2 and n3 should be resident.
-	hits0, misses0 := c.counts()
+	hits0, misses0, evict0 := c.counts()
 	if _, err := c.get(n1); err != nil {
 		t.Fatal(err)
 	}
-	_, misses1 := c.counts()
+	_, misses1, evict1 := c.counts()
 	if misses1 != misses0+1 {
 		t.Error("expected n1 to have been evicted")
 	}
 	if hits0 != 2 || misses0 != 3 {
 		t.Errorf("hit/miss accounting: %d/%d", hits0, misses0)
+	}
+	// Capacity 2 with 4 distinct moduli inserted: n3 evicted n1, and the
+	// re-fetch of n1 evicted the then-LRU resident.
+	if evict0 != 1 || evict1 != 2 {
+		t.Errorf("eviction accounting: %d then %d, want 1 then 2", evict0, evict1)
 	}
 }

@@ -1,0 +1,64 @@
+package engine
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Observer receives engine lifecycle callbacks: job submission,
+// dequeue, completion, and modulus-context cache traffic. Attach one
+// with WithObserver to feed an external metrics/tracing sink (see
+// internal/obs.Collector, which satisfies this interface); leave it
+// unset and the engine skips every callback with a single nil check —
+// instrumentation is strictly opt-in and near-zero-cost when disabled.
+//
+// Callbacks run inline on the submission path (JobSubmitted) and the
+// worker cores (everything else), possibly concurrently, so
+// implementations must be safe for concurrent use and should return
+// quickly — a slow observer stalls the pool it is watching.
+type Observer interface {
+	// JobSubmitted fires when a job is accepted into the queue.
+	// kind is "modexp" or "mont".
+	JobSubmitted(kind string)
+
+	// JobStarted fires when a worker core dequeues a job, after it
+	// waited queueWait in the queue. It fires for every dequeued job,
+	// including ones that immediately fail expiry checks.
+	JobStarted(kind string, worker int, queueWait time.Duration)
+
+	// JobFinished fires when a job reaches a terminal state. outcome is
+	// "ok", "failed" (invalid operands or arithmetic errors) or
+	// "canceled" (batch context done / per-job deadline passed). start
+	// is the enqueue instant; queueWait and exec partition the job's
+	// total latency. muls, modelCycles and simCycles report the work
+	// the job performed (all zero unless outcome is "ok").
+	JobFinished(kind string, worker int, outcome string, start time.Time,
+		queueWait, exec time.Duration, muls, modelCycles, simCycles int64)
+
+	// CacheHit / CacheMiss / CacheEviction fire on modulus-context LRU
+	// traffic: a context reused, a precomputation run, a context
+	// dropped at capacity.
+	CacheHit()
+	CacheMiss()
+	CacheEviction()
+}
+
+// internal/obs.Collector must keep satisfying Observer without obs
+// importing engine (the interface is matched structurally).
+var _ Observer = (*obs.Collector)(nil)
+
+// kindName reports the observer-facing name of a job kind.
+func (k jobKind) kindName() string {
+	if k == kindMont {
+		return "mont"
+	}
+	return "modexp"
+}
+
+// outcome strings passed to Observer.JobFinished.
+const (
+	outcomeOK       = "ok"
+	outcomeFailed   = "failed"
+	outcomeCanceled = "canceled"
+)

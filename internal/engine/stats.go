@@ -4,59 +4,99 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// counters is the engine's atomic stats block, updated lock-free from
-// every worker and the submission path.
+// counters is the engine's lock-free stats block, updated from every
+// worker and the submission path. Latency is no longer a single summed
+// mean: completed jobs, failed/canceled jobs, queue wait and execute
+// time each get their own log-bucketed histogram, so Stats can report
+// p50/p90/p99/max and split scheduling delay from compute.
 type counters struct {
-	submitted  atomic.Int64
-	completed  atomic.Int64
-	failed     atomic.Int64
-	canceled   atomic.Int64
-	queueDepth atomic.Int64
+	submitted      atomic.Int64
+	completed      atomic.Int64
+	failed         atomic.Int64
+	canceled       atomic.Int64
+	queueDepth     atomic.Int64
+	queueHighWater atomic.Int64 // deepest the queue has been
 
 	muls        atomic.Int64 // Montgomery products executed
 	modelCycles atomic.Int64 // paper-formula cycles (Model-mode reports)
 	simCycles   atomic.Int64 // measured MMMC cycles (Simulate mode)
-	wallNanos   atomic.Int64 // summed submit→finish latency of completed jobs
+
+	latency   obs.Histogram // submit→finish, completed jobs (ns)
+	failedLat obs.Histogram // submit→finish, failed + canceled jobs (ns)
+	queueWait obs.Histogram // submit→dequeue, every dequeued job (ns)
+	execTime  obs.Histogram // dequeue→finish, completed jobs (ns)
+}
+
+// setMax raises g to v if v exceeds the current value — the lock-free
+// high-watermark update behind queueHighWater.
+func setMax(g *atomic.Int64, v int64) {
+	for {
+		old := g.Load()
+		if v <= old || g.CompareAndSwap(old, v) {
+			return
+		}
+	}
 }
 
 // Stats is a consistent-enough snapshot of the engine's counters.
 // Completed + Failed + Canceled = jobs finished; Submitted − finished −
 // QueueDepth = jobs currently executing on a core.
 type Stats struct {
-	Workers    int
-	Submitted  int64
-	Completed  int64
-	Failed     int64
-	Canceled   int64
-	QueueDepth int64
+	Workers        int
+	Submitted      int64
+	Completed      int64
+	Failed         int64
+	Canceled       int64
+	QueueDepth     int64
+	QueueHighWater int64 // deepest the submission queue has been
 
-	Muls        int64 // Montgomery products across all cores
-	ModelCycles int64 // cycles by the paper's §4.5 accounting
-	SimCycles   int64 // cycles measured on simulated circuits
-	CtxHits     int64 // modulus-context LRU hits
-	CtxMisses   int64 // modulus-context LRU misses (precomputations run)
+	Muls         int64 // Montgomery products across all cores
+	ModelCycles  int64 // cycles by the paper's §4.5 accounting
+	SimCycles    int64 // cycles measured on simulated circuits
+	CtxHits      int64 // modulus-context LRU hits
+	CtxMisses    int64 // modulus-context LRU misses (precomputations run)
+	CtxEvictions int64 // modulus contexts dropped at LRU capacity
+
+	// Latency distributions, all in nanoseconds. Latency covers
+	// completed jobs submit→finish; FailedLatency covers failed and
+	// canceled jobs (they used to vanish from latency accounting
+	// entirely); QueueWait and ExecTime split Latency into scheduling
+	// delay vs. compute.
+	Latency       obs.HistogramSnapshot
+	FailedLatency obs.HistogramSnapshot
+	QueueWait     obs.HistogramSnapshot
+	ExecTime      obs.HistogramSnapshot
 
 	TotalWall time.Duration // summed latency of completed jobs
 }
 
 // Stats snapshots the counters.
 func (e *Engine) Stats() Stats {
-	hits, misses := e.cache.counts()
+	hits, misses, evictions := e.cache.counts()
+	lat := e.ctr.latency.Snapshot()
 	return Stats{
-		Workers:     e.cfg.workers,
-		Submitted:   e.ctr.submitted.Load(),
-		Completed:   e.ctr.completed.Load(),
-		Failed:      e.ctr.failed.Load(),
-		Canceled:    e.ctr.canceled.Load(),
-		QueueDepth:  e.ctr.queueDepth.Load(),
-		Muls:        e.ctr.muls.Load(),
-		ModelCycles: e.ctr.modelCycles.Load(),
-		SimCycles:   e.ctr.simCycles.Load(),
-		CtxHits:     int64(hits),
-		CtxMisses:   int64(misses),
-		TotalWall:   time.Duration(e.ctr.wallNanos.Load()),
+		Workers:        e.cfg.workers,
+		Submitted:      e.ctr.submitted.Load(),
+		Completed:      e.ctr.completed.Load(),
+		Failed:         e.ctr.failed.Load(),
+		Canceled:       e.ctr.canceled.Load(),
+		QueueDepth:     e.ctr.queueDepth.Load(),
+		QueueHighWater: e.ctr.queueHighWater.Load(),
+		Muls:           e.ctr.muls.Load(),
+		ModelCycles:    e.ctr.modelCycles.Load(),
+		SimCycles:      e.ctr.simCycles.Load(),
+		CtxHits:        int64(hits),
+		CtxMisses:      int64(misses),
+		CtxEvictions:   int64(evictions),
+		Latency:        lat,
+		FailedLatency:  e.ctr.failedLat.Snapshot(),
+		QueueWait:      e.ctr.queueWait.Snapshot(),
+		ExecTime:       e.ctr.execTime.Snapshot(),
+		TotalWall:      time.Duration(lat.Sum),
 	}
 }
 
@@ -72,7 +112,10 @@ func (s Stats) MeanLatency() time.Duration {
 // String renders the snapshot as one line, loadgen/debug friendly.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"workers=%d submitted=%d completed=%d failed=%d canceled=%d queue=%d muls=%d ctx=%d/%d mean=%s",
+		"workers=%d submitted=%d completed=%d failed=%d canceled=%d queue=%d hw=%d "+
+			"muls=%d ctx=%d/%d evict=%d mean=%s p50=%s p99=%s max=%s qwait_p99=%s",
 		s.Workers, s.Submitted, s.Completed, s.Failed, s.Canceled, s.QueueDepth,
-		s.Muls, s.CtxHits, s.CtxHits+s.CtxMisses, s.MeanLatency())
+		s.QueueHighWater, s.Muls, s.CtxHits, s.CtxHits+s.CtxMisses, s.CtxEvictions,
+		s.MeanLatency(), time.Duration(s.Latency.P50), time.Duration(s.Latency.P99),
+		time.Duration(s.Latency.Max), time.Duration(s.QueueWait.P99))
 }

@@ -46,33 +46,71 @@ func (w *worker) loop() {
 	}
 }
 
+// run executes one dequeued job, splitting its latency into queue wait
+// (enqueue→dequeue) and execute time (dequeue→finish). Completed jobs
+// feed the latency/exec histograms; failed and canceled jobs get their
+// own histogram instead of silently dropping out of the accounting.
 func (w *worker) run(j *job) {
 	ctr := &w.eng.ctr
-	if err := j.expired(time.Now()); err != nil {
+	ob := w.eng.cfg.observer
+	dequeued := time.Now()
+	queueWait := dequeued.Sub(j.enqueued)
+	ctr.queueWait.Observe(queueWait.Nanoseconds())
+	if ob != nil {
+		ob.JobStarted(j.kind.kindName(), w.id, queueWait)
+	}
+
+	finish := func(outcome string, muls, modelCycles, simCycles int64) {
+		exec := time.Since(dequeued)
+		switch outcome {
+		case outcomeOK:
+			ctr.completed.Add(1)
+			ctr.latency.Observe((queueWait + exec).Nanoseconds())
+			ctr.execTime.Observe(exec.Nanoseconds())
+		case outcomeCanceled:
+			ctr.canceled.Add(1)
+			ctr.failedLat.Observe((queueWait + exec).Nanoseconds())
+		default:
+			ctr.failed.Add(1)
+			ctr.failedLat.Observe((queueWait + exec).Nanoseconds())
+		}
+		if ob != nil {
+			ob.JobFinished(j.kind.kindName(), w.id, outcome, j.enqueued,
+				queueWait, exec, muls, modelCycles, simCycles)
+		}
+	}
+
+	if err := j.expired(dequeued); err != nil {
 		j.fail(err)
-		ctr.canceled.Add(1)
+		finish(outcomeCanceled, 0, 0, 0)
 		return
 	}
 	if j.n == nil || j.a == nil || j.b == nil {
 		j.fail(fmt.Errorf("engine: nil job operand: %w", errs.ErrOperandRange))
-		ctr.failed.Add(1)
+		finish(outcomeFailed, 0, 0, 0)
 		return
 	}
 
+	var wk work
 	var err error
 	switch j.kind {
 	case kindModExp:
-		err = w.runModExp(j)
+		wk, err = w.runModExp(j)
 	case kindMont:
-		err = w.runMont(j)
+		wk, err = w.runMont(j)
 	}
 	if err != nil {
 		j.fail(err)
-		ctr.failed.Add(1)
+		finish(outcomeFailed, 0, 0, 0)
 		return
 	}
-	ctr.completed.Add(1)
-	ctr.wallNanos.Add(time.Since(j.enqueued).Nanoseconds())
+	finish(outcomeOK, wk.muls, wk.modelCycles, wk.simCycles)
+}
+
+// work is one job's own accounting, reported to the observer and added
+// to the engine-wide counters.
+type work struct {
+	muls, modelCycles, simCycles int64
 }
 
 // fail records err on whichever result slot the job carries.
@@ -85,40 +123,46 @@ func (j *job) fail(err error) {
 	}
 }
 
-func (w *worker) runModExp(j *job) error {
+func (w *worker) runModExp(j *job) (work, error) {
 	ex, err := w.exponentiator(j.n)
 	if err != nil {
-		return err
+		return work{}, err
 	}
 	v, rep, err := ex.ModExp(j.a, j.b)
 	if err != nil {
-		return err
+		return work{}, err
 	}
 	j.expOut.Value = v
 	j.expOut.Report = rep
+	wk := work{
+		// Squares + Multiplies plus the explicit pre- and post-products.
+		muls:        int64(rep.Squares + rep.Multiplies + 2),
+		modelCycles: int64(rep.TotalCycles),
+		simCycles:   int64(rep.SimulatedMulCycles),
+	}
 	ctr := &w.eng.ctr
-	// Squares + Multiplies plus the explicit pre- and post-products.
-	ctr.muls.Add(int64(rep.Squares + rep.Multiplies + 2))
-	ctr.modelCycles.Add(int64(rep.TotalCycles))
-	ctr.simCycles.Add(int64(rep.SimulatedMulCycles))
-	return nil
+	ctr.muls.Add(wk.muls)
+	ctr.modelCycles.Add(wk.modelCycles)
+	ctr.simCycles.Add(wk.simCycles)
+	return wk, nil
 }
 
-func (w *worker) runMont(j *job) error {
+func (w *worker) runMont(j *job) (work, error) {
 	m, err := w.multiplier(j.n)
 	if err != nil {
-		return err
+		return work{}, err
 	}
 	before := m.Cycles
 	v, err := m.Mont(j.a, j.b)
 	if err != nil {
-		return err
+		return work{}, err
 	}
 	j.montOut.Value = v
+	wk := work{muls: 1, simCycles: int64(m.Cycles - before)}
 	ctr := &w.eng.ctr
-	ctr.muls.Add(1)
-	ctr.simCycles.Add(int64(m.Cycles - before))
-	return nil
+	ctr.muls.Add(wk.muls)
+	ctr.simCycles.Add(wk.simCycles)
+	return wk, nil
 }
 
 // exponentiator returns this worker's exclusive exponentiator for

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"time"
+)
+
+// Collector turns engine observer callbacks into registry metrics and
+// tracer spans. It satisfies internal/engine's Observer interface
+// structurally (the methods use only basic types), so attaching it is
+//
+//	col := obs.NewCollector()
+//	eng, _ := engine.New(engine.WithObserver(col))
+//
+// and the whole layer stays out of the engine's dependency graph.
+// All methods are safe for concurrent use and cheap: a handful of
+// atomic adds per job, plus one short-mutex ring write when tracing is
+// enabled.
+type Collector struct {
+	reg    *Registry
+	tracer *Tracer
+
+	submitted map[string]*Counter // by job kind
+	finished  map[string]*Counter // by kind — labeled also by outcome below
+	outcomes  map[string]map[string]*Counter
+	muls      map[string]*Counter
+
+	queueDepth     *Gauge
+	queueHighWater *Gauge
+	modelCycles    *Counter
+	simCycles      *Counter
+
+	latency   map[string]*Histogram // submit→finish, by kind
+	queueWait *Histogram
+	exec      *Histogram
+	failedLat *Histogram
+
+	cacheHits      *Counter
+	cacheMisses    *Counter
+	cacheEvictions *Counter
+}
+
+// CollectorOption configures NewCollector.
+type CollectorOption func(*collectorConfig)
+
+type collectorConfig struct {
+	registry *Registry
+	traceCap int
+	tracing  bool
+}
+
+// WithRegistry collects into an existing registry (default: a fresh
+// one), letting several engines share one /metrics page.
+func WithRegistry(r *Registry) CollectorOption {
+	return func(c *collectorConfig) { c.registry = r }
+}
+
+// WithTracing enables the span ring buffer, keeping the most recent
+// capacity spans (≤ 0 selects DefaultTraceCapacity).
+func WithTracing(capacity int) CollectorOption {
+	return func(c *collectorConfig) { c.tracing, c.traceCap = true, capacity }
+}
+
+// jobKinds are the engine's job kinds; anything else lands on "other".
+var jobKinds = []string{"modexp", "mont", "other"}
+
+// outcomes are the engine's job terminal states.
+var outcomes = []string{"ok", "failed", "canceled"}
+
+// NewCollector builds a collector with every metric pre-registered, so
+// the hot path never touches the registry lock.
+func NewCollector(opts ...CollectorOption) *Collector {
+	cfg := collectorConfig{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	reg := cfg.registry
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	c := &Collector{
+		reg:       reg,
+		submitted: map[string]*Counter{},
+		finished:  map[string]*Counter{},
+		outcomes:  map[string]map[string]*Counter{},
+		muls:      map[string]*Counter{},
+		latency:   map[string]*Histogram{},
+	}
+	if cfg.tracing {
+		c.tracer = NewTracer(cfg.traceCap)
+	}
+	for _, k := range jobKinds {
+		c.submitted[k] = reg.CounterLabeled("montsys_jobs_submitted_total",
+			"Jobs accepted into the engine queue.", Label("kind", k))
+		c.finished[k] = reg.CounterLabeled("montsys_jobs_finished_total",
+			"Jobs that reached a terminal state.", Label("kind", k))
+		c.muls[k] = reg.CounterLabeled("montsys_mont_muls_total",
+			"Montgomery products executed across all cores.", Label("kind", k))
+		c.latency[k] = reg.HistogramLabeled("montsys_job_latency_seconds",
+			"Submit-to-finish latency of completed jobs.", Label("kind", k))
+		c.outcomes[k] = map[string]*Counter{}
+		for _, o := range outcomes {
+			c.outcomes[k][o] = reg.CounterLabeled("montsys_job_outcomes_total",
+				"Job terminal states by kind and outcome.",
+				Label("kind", k), Label("outcome", o))
+		}
+	}
+	c.queueDepth = reg.Gauge("montsys_queue_depth",
+		"Jobs currently waiting in the submission queue.")
+	c.queueHighWater = reg.Gauge("montsys_queue_high_watermark",
+		"Deepest the submission queue has been.")
+	c.modelCycles = reg.Counter("montsys_model_cycles_total",
+		"Cycles by the paper's Eq.-based accounting (Model mode reports).")
+	c.simCycles = reg.Counter("montsys_simulated_cycles_total",
+		"Clock cycles measured on simulated MMMC circuits (Simulate mode).")
+	c.queueWait = reg.Histogram("montsys_job_queue_wait_seconds",
+		"Enqueue-to-dequeue wait of every job a core picked up.")
+	c.exec = reg.Histogram("montsys_job_exec_seconds",
+		"Dequeue-to-finish execution time of completed jobs.")
+	c.failedLat = reg.Histogram("montsys_job_failed_latency_seconds",
+		"Submit-to-finish latency of failed and canceled jobs.")
+	c.cacheHits = reg.Counter("montsys_ctx_cache_hits_total",
+		"Modulus-context LRU hits.")
+	c.cacheMisses = reg.Counter("montsys_ctx_cache_misses_total",
+		"Modulus-context LRU misses (precomputations run).")
+	c.cacheEvictions = reg.Counter("montsys_ctx_cache_evictions_total",
+		"Modulus contexts evicted from the LRU.")
+	return c
+}
+
+// Registry exposes the collector's metrics registry (for the HTTP
+// handler or custom exporters).
+func (c *Collector) Registry() *Registry { return c.reg }
+
+// Tracer returns the span ring buffer, nil unless WithTracing was
+// given.
+func (c *Collector) Tracer() *Tracer { return c.tracer }
+
+// SetEngineInfo publishes a one-shot info gauge describing an attached
+// engine (workers, execution mode, array variant) the way Prometheus
+// convention spells build_info.
+func (c *Collector) SetEngineInfo(workers int, mode, variant string) {
+	c.reg.GaugeLabeled("montsys_engine_info",
+		"Constant 1, labeled with the attached engine's configuration.",
+		Label("mode", mode), Label("variant", variant)).Set(1)
+	c.reg.Gauge("montsys_engine_workers",
+		"Worker cores of the attached engine.").Set(int64(workers))
+}
+
+func (c *Collector) kind(k string) string {
+	if _, ok := c.submitted[k]; !ok {
+		return "other"
+	}
+	return k
+}
+
+// JobSubmitted implements engine.Observer: a job entered the queue.
+func (c *Collector) JobSubmitted(kind string) {
+	kind = c.kind(kind)
+	c.submitted[kind].Inc()
+	c.queueDepth.Add(1)
+	c.queueHighWater.SetMax(c.queueDepth.Value())
+}
+
+// JobStarted implements engine.Observer: a core dequeued a job after
+// waiting queueWait.
+func (c *Collector) JobStarted(kind string, worker int, queueWait time.Duration) {
+	c.queueDepth.Add(-1)
+	c.queueWait.ObserveDuration(queueWait)
+}
+
+// JobFinished implements engine.Observer: a job reached outcome
+// ("ok" | "failed" | "canceled") on the given worker core. start is the
+// enqueue instant; queueWait and exec split its total latency; muls,
+// modelCycles and simCycles are the job's own work accounting (zero
+// for failures).
+func (c *Collector) JobFinished(kind string, worker int, outcome string,
+	start time.Time, queueWait, exec time.Duration, muls, modelCycles, simCycles int64) {
+	kind = c.kind(kind)
+	c.finished[kind].Inc()
+	if m, ok := c.outcomes[kind][outcome]; ok {
+		m.Inc()
+	}
+	total := queueWait + exec
+	if outcome == "ok" {
+		c.latency[kind].ObserveDuration(total)
+		c.exec.ObserveDuration(exec)
+		c.muls[kind].Add(muls)
+		c.modelCycles.Add(modelCycles)
+		c.simCycles.Add(simCycles)
+	} else {
+		c.failedLat.ObserveDuration(total)
+	}
+	if c.tracer != nil {
+		c.tracer.Record(Span{
+			Name: kind, Worker: worker, Outcome: outcome,
+			Start: start, QueueWait: queueWait, Exec: exec,
+			SimCycles: simCycles,
+		})
+	}
+}
+
+// CacheHit implements engine.Observer.
+func (c *Collector) CacheHit() { c.cacheHits.Inc() }
+
+// CacheMiss implements engine.Observer.
+func (c *Collector) CacheMiss() { c.cacheMisses.Inc() }
+
+// CacheEviction implements engine.Observer.
+func (c *Collector) CacheEviction() { c.cacheEvictions.Inc() }

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries pins the log₂ bucketing: bucket 0 holds v ≤ 0,
+// bucket i holds [2^(i-1), 2^i).
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4}, {15, 4},
+		{1024, 11}, {1025, 11}, {2047, 11}, {2048, 12},
+		{1 << 62, 63},   // clamped into the last bucket
+		{1<<63 - 1, 63}, // MaxInt64 too
+	}
+	for _, c := range cases {
+		if got := BucketIndex(c.v); got != c.want {
+			t.Errorf("BucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Upper bounds are one below the next power of two, and every value
+	// is ≤ the upper bound of its own bucket.
+	if BucketUpper(0) != 0 {
+		t.Errorf("BucketUpper(0) = %d", BucketUpper(0))
+	}
+	if BucketUpper(3) != 7 || BucketUpper(11) != 2047 {
+		t.Errorf("BucketUpper: %d %d", BucketUpper(3), BucketUpper(11))
+	}
+	for _, v := range []int64{1, 2, 3, 100, 1e6, 1e12} {
+		if ub := BucketUpper(BucketIndex(v)); v > ub {
+			t.Errorf("value %d above its bucket bound %d", v, ub)
+		}
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s.Count != 0 || s.Quantile(0.5) != 0 || s.Mean() != 0 {
+		t.Errorf("empty histogram snapshot not zero: %+v", s)
+	}
+	// 100 samples 1..100: p50 falls in the bucket holding 50 ([32,64)),
+	// so the estimate is its upper bound 63; max is exact.
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.Sum != 5050 || s.Max != 100 {
+		t.Fatalf("count/sum/max: %d/%d/%d", s.Count, s.Sum, s.Max)
+	}
+	if s.P50 != 63 {
+		t.Errorf("p50 = %d, want bucket bound 63", s.P50)
+	}
+	if s.P99 != 100 || s.Quantile(1) != 100 {
+		t.Errorf("p99 = %d, q1 = %d, want clamped to max 100", s.P99, s.Quantile(1))
+	}
+	if s.Mean() != 50.5 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	// Quantile estimates never undershoot the true quantile (upper-bound
+	// semantics) and never exceed max.
+	if s.P90 < 90 || s.P90 > 100 {
+		t.Errorf("p90 = %d outside [90, 100]", s.P90)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines —
+// meaningful under -race — and checks totals survive.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(g*per + i + 1))
+				if i%100 == 0 {
+					_ = h.Snapshot() // concurrent reads race-test the loads
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Errorf("count = %d, want %d", s.Count, goroutines*per)
+	}
+	if s.Max != goroutines*per {
+		t.Errorf("max = %d, want %d", s.Max, goroutines*per)
+	}
+	var bucketSum int64
+	for _, b := range s.Buckets {
+		bucketSum += b
+	}
+	if bucketSum != s.Count {
+		t.Errorf("bucket sum %d != count %d", bucketSum, s.Count)
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	var h Histogram
+	h.ObserveDuration(3 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum != 3e6 {
+		t.Errorf("duration sample: %+v", s)
+	}
+}

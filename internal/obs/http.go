@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewHandler builds the observability HTTP mux for a collector:
+//
+//	/metrics          Prometheus text exposition of the registry
+//	/debug/vars       expvar (Go runtime memstats, cmdline)
+//	/debug/pprof/...  net/http/pprof (profile, heap, goroutine, trace)
+//	/trace            Chrome trace-event JSON of the span ring buffer
+//	/                 a plain-text index of the above
+//
+// Serve it wherever convenient, e.g.
+//
+//	go http.ListenAndServe(":9090", obs.NewHandler(col))
+//
+// then scrape /metrics, run `go tool pprof host:9090/debug/pprof/profile`,
+// and open /trace in Perfetto (ui.perfetto.dev).
+func NewHandler(c *Collector) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(c.Registry()))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/trace", TraceHandler(c.Tracer()))
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "montsys observability\n\n"+
+			"/metrics          Prometheus text format\n"+
+			"/debug/vars       expvar JSON\n"+
+			"/debug/pprof/     pprof index (profile, heap, goroutine, ...)\n"+
+			"/trace            Chrome trace-event JSON (open in Perfetto)\n")
+	})
+	return mux
+}
+
+// MetricsHandler serves one registry in Prometheus text format.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			// Headers are gone; all we can do is drop the connection.
+			return
+		}
+	})
+}
+
+// TraceHandler serves a tracer's spans as Chrome trace-event JSON,
+// downloadable and loadable in Perfetto. A nil tracer (collector built
+// without WithTracing) answers 404.
+func TraceHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if t == nil {
+			http.Error(w, "tracing disabled (build the collector with WithTracing)",
+				http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="montsys-trace.json"`)
+		_ = t.WriteChromeTrace(w)
+	})
+}

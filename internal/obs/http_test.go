@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+// TestHandlerEndToEnd drives a Collector like the engine would and
+// checks every endpoint answers with the right shape.
+func TestHandlerEndToEnd(t *testing.T) {
+	col := NewCollector(WithTracing(128))
+	col.SetEngineInfo(4, "model", "guarded")
+	col.JobSubmitted("modexp")
+	col.JobStarted("modexp", 0, 50*time.Microsecond)
+	col.JobFinished("modexp", 0, "ok", time.Now().Add(-time.Millisecond),
+		50*time.Microsecond, 900*time.Microsecond, 7, 1234, 0)
+	col.JobSubmitted("mont")
+	col.JobStarted("mont", 1, time.Microsecond)
+	col.JobFinished("mont", 1, "canceled", time.Now(), time.Microsecond, 0, 0, 0, 0)
+	col.CacheHit()
+	col.CacheMiss()
+	col.CacheEviction()
+
+	srv := httptest.NewServer(NewHandler(col))
+	defer srv.Close()
+
+	code, body, hdr := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	for _, want := range []string{
+		`montsys_jobs_submitted_total{kind="modexp"} 1`,
+		`montsys_jobs_submitted_total{kind="mont"} 1`,
+		`montsys_job_outcomes_total{kind="modexp",outcome="ok"} 1`,
+		`montsys_job_outcomes_total{kind="mont",outcome="canceled"} 1`,
+		`montsys_mont_muls_total{kind="modexp"} 7`,
+		"montsys_model_cycles_total 1234",
+		"montsys_ctx_cache_hits_total 1",
+		"montsys_ctx_cache_evictions_total 1",
+		"montsys_queue_high_watermark 1",
+		"montsys_queue_depth 0",
+		"montsys_engine_workers 4",
+		`montsys_engine_info{mode="model",variant="guarded"} 1`,
+		`montsys_job_latency_seconds_count{kind="modexp"} 1`,
+		"montsys_job_failed_latency_seconds_count 1",
+		"montsys_job_queue_wait_seconds_count 2",
+		"# TYPE montsys_job_latency_seconds histogram",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	code, body, _ = get(t, srv, "/debug/vars")
+	if code != http.StatusOK || !json.Valid([]byte(body)) {
+		t.Errorf("/debug/vars: %d, valid JSON = %v", code, json.Valid([]byte(body)))
+	}
+
+	code, body, _ = get(t, srv, "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: %d", code)
+	}
+
+	code, body, hdr = get(t, srv, "/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/trace: %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/trace content type %q", ct)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/trace not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("/trace exported no events")
+	}
+
+	code, body, _ = get(t, srv, "/")
+	if code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index: %d %q", code, body)
+	}
+	if code, _, _ := get(t, srv, "/nosuch"); code != http.StatusNotFound {
+		t.Errorf("unknown path: %d", code)
+	}
+}
+
+// TestTraceHandlerDisabled: a collector without tracing answers 404 on
+// /trace rather than an empty document.
+func TestTraceHandlerDisabled(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(NewCollector()))
+	defer srv.Close()
+	if code, _, _ := get(t, srv, "/trace"); code != http.StatusNotFound {
+		t.Errorf("/trace without tracing: %d", code)
+	}
+}
+
+// TestCollectorUnknownKind routes unknown job kinds to "other" instead
+// of dropping them.
+func TestCollectorUnknownKind(t *testing.T) {
+	col := NewCollector()
+	col.JobSubmitted("mystery")
+	col.JobFinished("mystery", 0, "ok", time.Now(), 0, time.Microsecond, 1, 0, 0)
+	var sb strings.Builder
+	if err := col.Registry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `montsys_jobs_submitted_total{kind="other"} 1`) {
+		t.Error("unknown kind not routed to other")
+	}
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// sampleLine matches one Prometheus text-format sample.
+var sampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.eE+-]+|\+Inf|NaN)$`)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestRegistryPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterLabeled("jobs_total", "Jobs.", Label("kind", "modexp"))
+	c2 := r.CounterLabeled("jobs_total", "Jobs.", Label("kind", "mont"))
+	g := r.Gauge("queue_depth", "Depth.")
+	h := r.Histogram("latency_seconds", "Latency.")
+	c.Add(3)
+	c2.Inc()
+	g.Set(7)
+	h.Observe(1500) // ns → bucket [1024, 2048)
+	h.Observe(1)
+
+	out := render(t, r)
+	// Every non-comment line must be a well-formed sample.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Errorf("malformed sample line: %q", line)
+		}
+	}
+	for _, want := range []string{
+		"# TYPE jobs_total counter",
+		`jobs_total{kind="modexp"} 3`,
+		`jobs_total{kind="mont"} 1`,
+		"# TYPE queue_depth gauge",
+		"queue_depth 7",
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="+Inf"} 2`,
+		"latency_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// HELP/TYPE emitted once per family even with several label sets.
+	if n := strings.Count(out, "# TYPE jobs_total"); n != 1 {
+		t.Errorf("TYPE jobs_total emitted %d times", n)
+	}
+}
+
+// TestHistogramBucketsCumulative checks the exported buckets are
+// cumulative, non-decreasing, with increasing le bounds and a +Inf
+// bucket equal to the count.
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "L.")
+	for _, v := range []int64{1, 2, 3, 1000, 1000000, 5} {
+		h.Observe(v)
+	}
+	out := render(t, r)
+	var lastCum int64 = -1
+	lastLe := -1.0
+	var infCum, count int64 = -1, -1
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		switch {
+		case strings.HasPrefix(line, "lat_bucket{"):
+			m := sampleLine.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("bad bucket line %q", line)
+			}
+			cum, _ := strconv.ParseInt(m[3], 10, 64)
+			if cum < lastCum {
+				t.Errorf("bucket counts not cumulative at %q", line)
+			}
+			lastCum = cum
+			leStr := strings.TrimSuffix(strings.TrimPrefix(m[2], `{le="`), `"}`)
+			if leStr == "+Inf" {
+				infCum = cum
+				continue
+			}
+			le, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				t.Fatalf("bad le %q: %v", leStr, err)
+			}
+			if le <= lastLe {
+				t.Errorf("le bounds not increasing at %q", line)
+			}
+			lastLe = le
+		case strings.HasPrefix(line, "lat_count"):
+			m := sampleLine.FindStringSubmatch(line)
+			count, _ = strconv.ParseInt(m[3], 10, 64)
+		}
+	}
+	if infCum != 6 || count != 6 {
+		t.Errorf("+Inf bucket %d / count %d, want 6/6", infCum, count)
+	}
+}
+
+// TestRegistryIdempotentRegistration: same (name, labels) returns the
+// same instrument.
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "X.")
+	b := r.Counter("x_total", "X.")
+	if a != b {
+		t.Error("duplicate registration returned a distinct counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Error("instruments not shared")
+	}
+	if l := r.CounterLabeled("x_total", "X.", Label("k", "v")); l == a {
+		t.Error("labeled series must be distinct from unlabeled")
+	}
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	var g Gauge
+	g.SetMax(5)
+	g.SetMax(3)
+	if g.Value() != 5 {
+		t.Errorf("SetMax regressed: %d", g.Value())
+	}
+	g.SetMax(9)
+	if g.Value() != 9 {
+		t.Errorf("SetMax did not raise: %d", g.Value())
+	}
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Span is one recorded job lifecycle: enqueued at Start, waited
+// QueueWait in the submission queue, then executed for Exec on worker
+// core Worker. SimCycles carries the MMMC clock cycles measured inside
+// the job when the engine runs in Simulate mode (0 in Model mode).
+type Span struct {
+	Name      string        // job kind: "modexp" | "mont"
+	Worker    int           // core that executed the job
+	Outcome   string        // "ok" | "failed" | "canceled"
+	Start     time.Time     // enqueue instant
+	QueueWait time.Duration // enqueue → dequeue
+	Exec      time.Duration // dequeue → finish
+	SimCycles int64         // measured MMMC cycles (Simulate mode)
+}
+
+// Tracer is a bounded ring buffer of job spans. When full, the oldest
+// span is overwritten — a crash-cart flight recorder, not an archival
+// log. All methods are safe for concurrent use; recording takes a
+// short mutex (two copies and two index bumps), negligible next to a
+// modular exponentiation.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []Span
+	next  int
+	full  bool
+	total int64
+}
+
+// DefaultTraceCapacity bounds a Tracer built with capacity ≤ 0.
+const DefaultTraceCapacity = 4096
+
+// NewTracer returns a tracer keeping the most recent capacity spans.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{ring: make([]Span, capacity)}
+}
+
+// Record appends one span, overwriting the oldest when full.
+func (t *Tracer) Record(s Span) {
+	t.mu.Lock()
+	t.ring[t.next] = s
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Len returns the number of spans currently held (≤ capacity).
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.full {
+		return len(t.ring)
+	}
+	return t.next
+}
+
+// Total returns the number of spans ever recorded, including ones the
+// ring has since overwritten.
+func (t *Tracer) Total() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Spans returns the held spans oldest-first.
+func (t *Tracer) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return append([]Span(nil), t.ring[:t.next]...)
+	}
+	out := make([]Span, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// traceEvent is one Chrome trace-event ("Trace Event Format", the JSON
+// consumed by Perfetto and chrome://tracing). Only the fields the
+// complete-event ("X") and metadata ("M") phases need.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    float64        `json:"ts"`            // microseconds
+	Dur   float64        `json:"dur,omitempty"` // microseconds
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Cat   string         `json:"cat,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports the held spans as a Chrome trace-event JSON
+// document: one "queued" slice and one execution slice per job, on a
+// per-worker-core track, timestamps relative to the earliest span.
+// Open the output in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	var base time.Time
+	workers := map[int]bool{}
+	for i := range spans {
+		if base.IsZero() || spans[i].Start.Before(base) {
+			base = spans[i].Start
+		}
+		workers[spans[i].Worker] = true
+	}
+	events := make([]traceEvent, 0, 2*len(spans)+len(workers))
+	for id := range workers {
+		events = append(events, traceEvent{
+			Name: "thread_name", Phase: "M", Pid: 1, Tid: id,
+			Args: map[string]any{"name": "core-" + strconv.Itoa(id)},
+		})
+	}
+	for i := range spans {
+		s := &spans[i]
+		ts := float64(s.Start.Sub(base)) / float64(time.Microsecond)
+		wait := float64(s.QueueWait) / float64(time.Microsecond)
+		exec := float64(s.Exec) / float64(time.Microsecond)
+		if s.QueueWait > 0 {
+			events = append(events, traceEvent{
+				Name: s.Name + "/queued", Phase: "X", Cat: "queue",
+				Ts: ts, Dur: wait, Pid: 1, Tid: s.Worker,
+			})
+		}
+		args := map[string]any{"outcome": s.Outcome}
+		if s.SimCycles > 0 {
+			args["simCycles"] = s.SimCycles
+		}
+		events = append(events, traceEvent{
+			Name: s.Name, Phase: "X", Cat: "exec",
+			Ts: ts + wait, Dur: exec, Pid: 1, Tid: s.Worker,
+			Args: args,
+		})
+	}
+	doc := struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{events, "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,142 @@
+package wave
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/logic"
+)
+
+// TestWriterClosedPaths: every write path refuses a closed writer, and
+// closing is idempotent for both writer flavours.
+func TestWriterClosedPaths(t *testing.T) {
+	var sb strings.Builder
+	vw, err := NewWriter(&sb, "m", []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vw.Sample(0, bits.Vec{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := vw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := vw.Sample(1, bits.Vec{0, 0}); err == nil {
+		t.Error("scalar writer: sample after close accepted")
+	}
+	if err := vw.Close(); err != nil {
+		t.Error("scalar writer: double close errored")
+	}
+
+	bw, err := NewBusWriter(&sb, "m", []VarSpec{{Name: "t", Width: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Sample(0, []uint64{0x42}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Sample(1, []uint64{0x43}); err == nil {
+		t.Error("bus writer: sample after close accepted")
+	}
+	if err := bw.Close(); err != nil {
+		t.Error("bus writer: double close errored")
+	}
+}
+
+// TestRecorderUnnamedSignals: tracing nets that never got a name falls
+// back to the netlist's positional n<idx> names instead of failing —
+// the "unknown signal name" path of Recorder/NameOf.
+func TestRecorderUnnamedSignals(t *testing.T) {
+	nl := logic.New()
+	a := nl.Input("a")
+	anon := nl.NotGate(a) // unnamed intermediate net
+	var sb strings.Builder
+	sim, err := logic.Compile(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := NewRecorder(&sb, "m", nl, sim, []logic.Signal{a, anon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "$var wire 1 ! a $end") {
+		t.Errorf("named signal missing from header:\n%s", out)
+	}
+	// The anonymous net shows up under its positional fallback name.
+	if !strings.Contains(out, "n"+itoa(int(anon))) {
+		t.Errorf("unnamed signal %d not traced under fallback name:\n%s", anon, out)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+// TestEmptySnapshotDeltas: samples that change nothing emit nothing —
+// no timestamp line, no value lines — for both writer flavours, and a
+// later real change still renders correctly.
+func TestEmptySnapshotDeltas(t *testing.T) {
+	var sb strings.Builder
+	vw, err := NewWriter(&sb, "m", []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vw.Sample(0, bits.Vec{1}); err != nil {
+		t.Fatal(err)
+	}
+	mark := sb.Len()
+	for ti := 1; ti <= 3; ti++ {
+		if err := vw.Sample(ti, bits.Vec{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sb.Len() != mark {
+		t.Errorf("unchanged samples emitted output: %q", sb.String()[mark:])
+	}
+	if err := vw.Sample(4, bits.Vec{0}); err != nil {
+		t.Fatal(err)
+	}
+	vw.Close()
+	out := sb.String()
+	if strings.Contains(out, "#1") || strings.Contains(out, "#2") || strings.Contains(out, "#3") {
+		t.Errorf("no-change timestamps leaked into the VCD:\n%s", out)
+	}
+	if !strings.Contains(out, "#4\n0!") {
+		t.Errorf("real change at t=4 missing:\n%s", out)
+	}
+
+	sb.Reset()
+	bw, err := NewBusWriter(&sb, "m", []VarSpec{{Name: "t", Width: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Sample(0, []uint64{9}); err != nil {
+		t.Fatal(err)
+	}
+	mark = sb.Len()
+	if err := bw.Sample(1, []uint64{9}); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != mark {
+		t.Errorf("bus writer emitted output for an empty delta: %q", sb.String()[mark:])
+	}
+}

@@ -33,11 +33,13 @@ package montsys
 
 import (
 	"math/big"
+	"net/http"
 
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/errs"
 	"repro/internal/expo"
+	"repro/internal/obs"
 	"repro/internal/systolic"
 )
 
@@ -171,6 +173,60 @@ func WithEngineVariant(v Variant) EngineOption { return engine.WithVariant(v) }
 
 // WithEngineCtxCacheSize bounds the per-modulus context LRU (default 128).
 func WithEngineCtxCacheSize(n int) EngineOption { return engine.WithCtxCacheSize(n) }
+
+// Observability. The engine exposes a pluggable Observer hook
+// (submission, dequeue, completion, context-cache traffic); Collector
+// is the batteries-included implementation feeding a metrics registry
+// (Prometheus-exportable counters, gauges and log-bucketed latency
+// histograms with p50/p90/p99/max) and an optional bounded ring-buffer
+// span tracer exporting Chrome trace-event JSON. NewObsHandler serves
+// the lot over HTTP together with expvar and pprof:
+//
+//	col := montsys.NewCollector(montsys.WithTracing(0))
+//	eng, _ := montsys.NewEngine(montsys.WithEngineObserver(col))
+//	go http.ListenAndServe(":9090", montsys.NewObsHandler(col))
+//	// scrape :9090/metrics, profile :9090/debug/pprof/profile,
+//	// open :9090/trace in Perfetto.
+
+// EngineObserver receives engine lifecycle callbacks; see
+// internal/engine.Observer for the contract.
+type EngineObserver = engine.Observer
+
+// WithEngineObserver attaches an observer to an engine. Observation is
+// opt-in: without one, every hook site is a single nil check.
+func WithEngineObserver(o EngineObserver) EngineOption { return engine.WithObserver(o) }
+
+// Collector adapts observer callbacks into metrics and trace spans.
+type Collector = obs.Collector
+
+// CollectorOption configures NewCollector.
+type CollectorOption = obs.CollectorOption
+
+// MetricsRegistry holds named metrics and renders Prometheus text.
+type MetricsRegistry = obs.Registry
+
+// LatencySnapshot is a point-in-time histogram copy with percentiles.
+type LatencySnapshot = obs.HistogramSnapshot
+
+// TraceSpan is one recorded job lifecycle in the span ring buffer.
+type TraceSpan = obs.Span
+
+// NewCollector builds an engine observer with every metric
+// pre-registered.
+func NewCollector(opts ...CollectorOption) *Collector { return obs.NewCollector(opts...) }
+
+// WithTracing enables the collector's span ring buffer, keeping the
+// most recent capacity spans (≤ 0 selects the default, 4096).
+func WithTracing(capacity int) CollectorOption { return obs.WithTracing(capacity) }
+
+// WithMetricsRegistry collects into an existing registry so several
+// engines share one /metrics page.
+func WithMetricsRegistry(r *MetricsRegistry) CollectorOption { return obs.WithRegistry(r) }
+
+// NewObsHandler serves a collector over HTTP: Prometheus text-format
+// /metrics, /debug/vars (expvar), /debug/pprof/*, and a /trace export
+// that loads in Perfetto or chrome://tracing.
+func NewObsHandler(c *Collector) http.Handler { return obs.NewHandler(c) }
 
 // Hardware builds and maps the full gate-level MMM circuit for an l-bit
 // modulus, reporting area and timing under the Virtex-E model — the
