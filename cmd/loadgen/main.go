@@ -10,11 +10,20 @@
 //	        [-mode model|simulate] [-variant guarded|faithful]
 //	        [-exp full|f4] [-queue 0] [-timeout 0]
 //	        [-listen :9090] [-linger 0] [-trace 4096]
+//	        [-connect host:7077] [-clients 8] [-retries 3]
 //
 // Each sweep point drives the engine closed-loop from 2×workers
 // submitter goroutines, measuring every job's submit→finish latency.
 // Every result is self-checked against math/big; the run aborts on any
-// mismatch.
+// mismatch. Ctrl-C (or SIGTERM) cancels the root context, which
+// interrupts a sweep mid-flight and reports the partial point's error
+// instead of hanging.
+//
+// With -connect the same workload is fired at a remote montsysd over
+// the binary wire protocol instead of an in-process engine: -clients
+// concurrent submitters share a pooled, pipelined montsys.Client, each
+// call retried per the client's backoff policy, and the table reports
+// the round-trip (client→network→engine→core) latency distribution.
 //
 // With -listen the sweep can be watched live: a shared observability
 // collector is attached to every sweep engine and served over HTTP —
@@ -34,10 +43,12 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	montsys "repro"
@@ -57,11 +68,21 @@ func main() {
 	listen := flag.String("listen", "", "serve /metrics, /debug/pprof and /trace on this address (e.g. :9090)")
 	linger := flag.Duration("linger", 0, "keep serving the observability endpoints this long after the sweep")
 	traceCap := flag.Int("trace", 4096, "span ring-buffer capacity for /trace (with -listen)")
+	connect := flag.String("connect", "", "drive a remote montsysd at this address instead of an in-process engine")
+	clients := flag.Int("clients", 8, "concurrent submitters in -connect mode")
+	retries := flag.Int("retries", 3, "client retry budget per call in -connect mode")
 	flag.Parse()
+
+	// The root context: Ctrl-C / SIGTERM cancels it, which aborts an
+	// in-flight sweep (local or remote) cleanly instead of hanging in
+	// eng.ModExp or a network wait.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	cfg := sweepConfig{
 		jobs: *jobs, keys: *keys, expKind: *expKind,
 		queue: *queue, timeout: *timeout, seed: *seed,
+		connect: *connect, clients: *clients, retries: *retries,
 	}
 	if *listen != "" {
 		col := montsys.NewCollector(montsys.WithTracing(*traceCap))
@@ -78,13 +99,16 @@ func main() {
 			}
 		}()
 	}
-	if err := run(*workersList, *bitsList, *modeName, *variantName, cfg); err != nil {
+	if err := run(ctx, *workersList, *bitsList, *modeName, *variantName, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 	if *listen != "" && *linger > 0 {
 		fmt.Printf("lingering %s for scrapes...\n", *linger)
-		time.Sleep(*linger)
+		select {
+		case <-time.After(*linger):
+		case <-ctx.Done():
+		}
 	}
 }
 
@@ -95,9 +119,12 @@ type sweepConfig struct {
 	timeout    time.Duration
 	seed       int64
 	collector  *montsys.Collector // nil unless -listen
+	connect    string             // nonempty = remote mode
+	clients    int
+	retries    int
 }
 
-func run(workersList, bitsList, modeName, variantName string, cfg sweepConfig) error {
+func run(ctx context.Context, workersList, bitsList, modeName, variantName string, cfg sweepConfig) error {
 	var mode montsys.Mode
 	switch modeName {
 	case "model":
@@ -115,10 +142,6 @@ func run(workersList, bitsList, modeName, variantName string, cfg sweepConfig) e
 		variant = montsys.Faithful
 	default:
 		return fmt.Errorf("unknown variant %q", variantName)
-	}
-	workers, err := splitInts(workersList)
-	if err != nil {
-		return err
 	}
 	bits, err := splitInts(bitsList)
 	if err != nil {
@@ -154,6 +177,14 @@ func run(workersList, bitsList, modeName, variantName string, cfg sweepConfig) e
 		batch[i] = montsys.ModExpJob{N: n, Base: base, Exp: exp}
 	}
 
+	if cfg.connect != "" {
+		return runRemote(ctx, cfg, bits, batch)
+	}
+
+	workers, err := splitInts(workersList)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("loadgen: %d jobs, bits=%v, %d moduli, mode=%s, exp=%s\n\n",
 		cfg.jobs, bits, len(moduli), mode, cfg.expKind)
 	fmt.Printf("%-8s %12s %12s %10s %10s %10s %10s\n",
@@ -161,7 +192,7 @@ func run(workersList, bitsList, modeName, variantName string, cfg sweepConfig) e
 
 	var base float64
 	for _, w := range workers {
-		wall, lats, st, err := sweep(w, mode, variant, cfg, batch)
+		wall, lats, st, err := sweep(ctx, w, mode, variant, cfg, batch)
 		if err != nil {
 			return fmt.Errorf("w=%d: %w", w, err)
 		}
@@ -178,10 +209,87 @@ func run(workersList, bitsList, modeName, variantName string, cfg sweepConfig) e
 	return nil
 }
 
+// runRemote drives a montsysd instead of an in-process engine: the same
+// workload, submitted by cfg.clients concurrent goroutines over a
+// pooled pipelined client, each result self-checked against math/big.
+func runRemote(ctx context.Context, cfg sweepConfig, bits []int, batch []montsys.ModExpJob) error {
+	fmt.Printf("loadgen: %d jobs, bits=%v, remote %s, %d clients, %d retries\n\n",
+		cfg.jobs, bits, cfg.connect, cfg.clients, cfg.retries)
+
+	cl := montsys.Dial(cfg.connect,
+		montsys.WithClientPoolSize(cfg.clients),
+		montsys.WithClientMaxRetries(cfg.retries))
+	defer cl.Close()
+
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+
+	submitters := cfg.clients
+	if submitters < 1 {
+		submitters = 1
+	}
+	if submitters > len(batch) {
+		submitters = len(batch)
+	}
+	lats := make([]time.Duration, len(batch))
+	idx := make(chan int, len(batch))
+	for i := range batch {
+		idx <- i
+	}
+	close(idx)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, submitters)
+	start := time.Now()
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					errCh <- ctx.Err()
+					return
+				}
+				j := batch[i]
+				t0 := time.Now()
+				v, err := cl.ModExp(ctx, j.N, j.Base, j.Exp)
+				lats[i] = time.Since(t0)
+				if err != nil {
+					errCh <- fmt.Errorf("job %d: %w", i, err)
+					return
+				}
+				if want := new(big.Int).Exp(j.Base, j.Exp, j.N); v.Cmp(want) != 0 {
+					errCh <- fmt.Errorf("job %d: self-check failed", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	fmt.Printf("%-8s %12s %12s %10s %10s %10s\n",
+		"clients", "wall", "jobs/s", "p50", "p95", "p99")
+	fmt.Printf("%-8d %12s %12.1f %10s %10s %10s\n",
+		cfg.clients, wall.Round(time.Millisecond),
+		float64(len(batch))/wall.Seconds(),
+		pct(lats, 50), pct(lats, 95), pct(lats, 99))
+	return nil
+}
+
 // sweep drives one worker count: 2×workers closed-loop submitters, each
 // job's latency measured around the engine call and its result
-// self-checked against math/big.
-func sweep(w int, mode montsys.Mode, variant montsys.Variant, cfg sweepConfig, batch []montsys.ModExpJob) (time.Duration, []time.Duration, montsys.EngineStats, error) {
+// self-checked against math/big. The caller's context flows into every
+// engine call, so a signal interrupts the sweep promptly.
+func sweep(ctx context.Context, w int, mode montsys.Mode, variant montsys.Variant, cfg sweepConfig, batch []montsys.ModExpJob) (time.Duration, []time.Duration, montsys.EngineStats, error) {
 	opts := []montsys.EngineOption{
 		montsys.WithEngineWorkers(w),
 		montsys.WithEngineMode(mode),
@@ -200,7 +308,6 @@ func sweep(w int, mode montsys.Mode, variant montsys.Variant, cfg sweepConfig, b
 	}
 	defer eng.Close()
 
-	ctx := context.Background()
 	if cfg.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)

@@ -1,0 +1,155 @@
+// Command montsysd is the network daemon: it boots a multi-core engine
+// and serves it over TCP with the montsys binary protocol — the full
+// client→network→engine→systolic-core path in one process.
+//
+// Usage:
+//
+//	montsysd [-listen :7077] [-workers N] [-mode model|simulate]
+//	         [-variant guarded|faithful] [-queue 0] [-cache 128]
+//	         [-inflight 0] [-idle 2m] [-drain 30s]
+//	         [-metrics :9090] [-trace 4096]
+//
+// The daemon drains gracefully on SIGTERM/SIGINT: it stops accepting
+// connections, answers requests that arrive mid-drain with the
+// draining code, finishes everything already admitted (bounded by
+// -drain), flushes, and exits 0. A second signal aborts the drain and
+// tears down immediately.
+//
+// With -metrics the observability endpoints of PR 2 are served too:
+// /metrics carries the engine series and the server series
+// (montsys_server_connections, montsys_server_inflight,
+// montsys_server_requests_total{op,code}, montsys_server_request_seconds)
+// on one page, because the server collects into the engine collector's
+// registry.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	montsys "repro"
+)
+
+func main() {
+	listen := flag.String("listen", ":7077", "serve the binary protocol on this address")
+	workers := flag.Int("workers", 0, "engine worker cores (0 = GOMAXPROCS)")
+	modeName := flag.String("mode", "model", "execution mode: model | simulate")
+	variantName := flag.String("variant", "guarded", "array variant for simulate mode: guarded | faithful")
+	queue := flag.Int("queue", 0, "engine queue depth (0 = engine default)")
+	cache := flag.Int("cache", 128, "per-modulus context LRU size")
+	inflight := flag.Int("inflight", 0, "max in-flight requests before ErrOverloaded (0 = 4× workers)")
+	idle := flag.Duration("idle", 2*time.Minute, "close connections idle this long (0 disables)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful drain budget on SIGTERM")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/pprof and /trace on this address")
+	traceCap := flag.Int("trace", 4096, "span ring-buffer capacity for /trace (with -metrics)")
+	flag.Parse()
+
+	if err := run(*listen, *workers, *modeName, *variantName, *queue, *cache,
+		*inflight, *idle, *drain, *metricsAddr, *traceCap); err != nil {
+		fmt.Fprintln(os.Stderr, "montsysd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen string, workers int, modeName, variantName string, queue, cache,
+	inflight int, idle, drain time.Duration, metricsAddr string, traceCap int) error {
+	var mode montsys.Mode
+	switch modeName {
+	case "model":
+		mode = montsys.Model
+	case "simulate":
+		mode = montsys.Simulate
+	default:
+		return fmt.Errorf("unknown mode %q", modeName)
+	}
+	var variant montsys.Variant
+	switch variantName {
+	case "guarded":
+		variant = montsys.Guarded
+	case "faithful":
+		variant = montsys.Faithful
+	default:
+		return fmt.Errorf("unknown variant %q", variantName)
+	}
+
+	col := montsys.NewCollector(montsys.WithTracing(traceCap))
+	engOpts := []montsys.EngineOption{
+		montsys.WithEngineMode(mode),
+		montsys.WithEngineVariant(variant),
+		montsys.WithEngineCtxCacheSize(cache),
+		montsys.WithEngineObserver(col),
+	}
+	if workers > 0 {
+		engOpts = append(engOpts, montsys.WithEngineWorkers(workers))
+	}
+	if queue > 0 {
+		engOpts = append(engOpts, montsys.WithEngineQueueDepth(queue))
+	}
+	eng, err := montsys.NewEngine(engOpts...)
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	col.SetEngineInfo(eng.Workers(), fmt.Sprint(mode), fmt.Sprint(variant))
+
+	srvOpts := []montsys.ServerOption{
+		montsys.WithServerIdleTimeout(idle),
+		montsys.WithServerRegistry(col.Registry()),
+	}
+	if inflight > 0 {
+		srvOpts = append(srvOpts, montsys.WithServerMaxInflight(inflight))
+	}
+	srv, err := montsys.NewServer(eng, srvOpts...)
+	if err != nil {
+		return err
+	}
+
+	if metricsAddr != "" {
+		mln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		fmt.Printf("montsysd: observability on http://%s/ (/metrics, /debug/pprof/, /trace)\n", mln.Addr())
+		go func() {
+			if err := http.Serve(mln, montsys.NewObsHandler(col)); err != nil {
+				fmt.Fprintln(os.Stderr, "montsysd: metrics server:", err)
+			}
+		}()
+	}
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("montsysd: serving on %s (workers=%d mode=%s)\n", ln.Addr(), eng.Workers(), mode)
+
+	// First SIGTERM/SIGINT starts the graceful drain; a second aborts it.
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-sigCtx.Done():
+	}
+	stop() // restore default handling: a second signal kills the drain
+	fmt.Printf("montsysd: draining (budget %s)...\n", drain)
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "montsysd: drain incomplete:", err)
+	} else {
+		fmt.Println("montsysd: drained cleanly")
+	}
+	return <-serveErr
+}

@@ -34,7 +34,7 @@ type BlumPaar struct {
 // NewBlumPaar builds the baseline context for an odd modulus.
 func NewBlumPaar(n *big.Int) (*BlumPaar, error) {
 	if n.Sign() <= 0 || n.Cmp(big.NewInt(3)) < 0 {
-		return nil, mont.ErrSmallModulus
+		return nil, mont.ErrModulusTooSmall
 	}
 	if n.Bit(0) == 0 {
 		return nil, mont.ErrEvenModulus
@@ -135,7 +135,7 @@ type Interleaved struct {
 // odd restriction, division is never used).
 func NewInterleaved(n *big.Int) (*Interleaved, error) {
 	if n.Cmp(big.NewInt(2)) < 0 {
-		return nil, mont.ErrSmallModulus
+		return nil, mont.ErrModulusTooSmall
 	}
 	return &Interleaved{N: new(big.Int).Set(n), L: n.BitLen()}, nil
 }

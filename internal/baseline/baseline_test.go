@@ -19,7 +19,7 @@ func TestNewBlumPaarValidation(t *testing.T) {
 	if _, err := NewBlumPaar(big.NewInt(4)); err != mont.ErrEvenModulus {
 		t.Errorf("even: %v", err)
 	}
-	if _, err := NewBlumPaar(big.NewInt(1)); err != mont.ErrSmallModulus {
+	if _, err := NewBlumPaar(big.NewInt(1)); err != mont.ErrModulusTooSmall {
 		t.Errorf("small: %v", err)
 	}
 	b, err := NewBlumPaar(big.NewInt(101))

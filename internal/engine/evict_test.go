@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"context"
+	"math/big"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// The per-modulus context LRU under concurrent multi-modulus pressure:
+// with many more moduli than cache slots, hammered from several
+// goroutines at once, contexts must be evicted and rebuilt — and every
+// result must still match math/big. Run with -race (the CI engine gate
+// does): the interesting failure mode is a worker holding a *mont.Ctx
+// that the LRU concurrently drops and rebuilds.
+func TestCtxCacheEvictionUnderConcurrentLoad(t *testing.T) {
+	const (
+		cacheSize = 4
+		moduli    = 24 // 6× the cache — constant eviction churn
+		rounds    = 3  // revisit every modulus after it was evicted
+		clients   = 8
+	)
+	eng, err := New(WithWorkers(4), WithCtxCacheSize(cacheSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	rng := rand.New(rand.NewSource(5))
+	ns := make([]*big.Int, moduli)
+	for i := range ns {
+		n := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), 95))
+		n.SetBit(n, 95, 1)
+		n.SetBit(n, 0, 1)
+		ns[i] = n
+	}
+	type job struct {
+		n, base, exp *big.Int
+	}
+	jobs := make([]job, 0, moduli*rounds)
+	for r := 0; r < rounds; r++ {
+		for _, n := range ns {
+			base := new(big.Int).Rand(rng, n)
+			exp := new(big.Int).Rand(rng, n)
+			exp.SetBit(exp, 0, 1)
+			jobs = append(jobs, job{n, base, exp})
+		}
+	}
+
+	idx := make(chan int, len(jobs))
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				j := jobs[i]
+				v, _, err := eng.ModExp(context.Background(), j.n, j.base, j.exp)
+				if err != nil {
+					t.Errorf("job %d: %v", i, err)
+					return
+				}
+				if want := new(big.Int).Exp(j.base, j.exp, j.n); v.Cmp(want) != 0 {
+					t.Errorf("job %d: wrong result after cache churn", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := eng.Stats()
+	if st.CtxEvictions == 0 {
+		t.Fatalf("no evictions with %d moduli over a %d-entry cache: %s",
+			moduli, cacheSize, st)
+	}
+	if st.CtxMisses < moduli {
+		t.Errorf("misses %d < distinct moduli %d", st.CtxMisses, moduli)
+	}
+	if st.Completed != int64(len(jobs)) {
+		t.Errorf("completed %d of %d", st.Completed, len(jobs))
+	}
+}

@@ -1,10 +1,13 @@
 // Package errs is the single home of the repository's typed sentinel
 // errors. Every layer — the reference arithmetic (internal/mont), the
-// multiplier/exponentiator façade (internal/core, internal/expo) and
-// the concurrent engine (internal/engine) — either returns these values
-// directly or wraps them with fmt.Errorf("...: %w", ...), so callers
-// can classify failures with errors.Is regardless of which fidelity
-// level produced them. The root montsys package re-exports all four.
+// multiplier/exponentiator façade (internal/core, internal/expo), the
+// concurrent engine (internal/engine) and the network serving layer
+// (internal/server) — either returns these values directly or wraps
+// them with fmt.Errorf("...: %w", ...), so callers can classify
+// failures with errors.Is regardless of which fidelity level produced
+// them. The root montsys package re-exports them all, and the wire
+// protocol maps each to a stable response code so the classification
+// survives a network hop.
 package errs
 
 import "errors"
@@ -26,4 +29,21 @@ var (
 	// ErrEngineClosed reports a submission to an engine whose Close has
 	// begun; no further jobs are accepted.
 	ErrEngineClosed = errors.New("engine is closed")
+
+	// ErrOverloaded reports a request rejected by the server's admission
+	// control: the in-flight bound was reached and the server fast-fails
+	// rather than queueing without limit. The condition is transient —
+	// clients should retry with backoff.
+	ErrOverloaded = errors.New("server overloaded")
+
+	// ErrDraining reports a request that arrived while the server was
+	// gracefully shutting down: accepted work is completing but no new
+	// work is admitted. Transient from a fleet's point of view (another
+	// instance may accept the retry).
+	ErrDraining = errors.New("server draining")
+
+	// ErrProtocol reports a malformed or oversized wire frame — a
+	// version mismatch, an unknown opcode, or a truncated payload. Not
+	// retryable: the same bytes will fail the same way.
+	ErrProtocol = errors.New("protocol error")
 )

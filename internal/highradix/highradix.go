@@ -41,7 +41,7 @@ func New(n *big.Int, alpha uint) (*Ctx, error) {
 		return nil, fmt.Errorf("highradix: alpha %d outside [1,64]", alpha)
 	}
 	if n.Sign() <= 0 || n.Cmp(big.NewInt(3)) < 0 {
-		return nil, mont.ErrSmallModulus
+		return nil, mont.ErrModulusTooSmall
 	}
 	if n.Bit(0) == 0 {
 		return nil, mont.ErrEvenModulus

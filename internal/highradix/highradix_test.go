@@ -25,7 +25,7 @@ func TestNewValidation(t *testing.T) {
 	if _, err := New(big.NewInt(4), 4); err != mont.ErrEvenModulus {
 		t.Error("even modulus accepted")
 	}
-	if _, err := New(big.NewInt(1), 4); err != mont.ErrSmallModulus {
+	if _, err := New(big.NewInt(1), 4); err != mont.ErrModulusTooSmall {
 		t.Error("tiny modulus accepted")
 	}
 	c, err := New(big.NewInt(101), 4)

@@ -28,7 +28,7 @@ type CIOS struct {
 // NewCIOS builds a word-level Montgomery context for the odd modulus n.
 func NewCIOS(n *big.Int) (*CIOS, error) {
 	if n.Sign() <= 0 || n.Cmp(big.NewInt(3)) < 0 {
-		return nil, ErrSmallModulus
+		return nil, ErrModulusTooSmall
 	}
 	if n.Bit(0) == 0 {
 		return nil, ErrEvenModulus

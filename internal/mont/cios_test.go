@@ -127,7 +127,7 @@ func TestCIOSValidation(t *testing.T) {
 	if _, err := NewCIOS(big.NewInt(4)); err != ErrEvenModulus {
 		t.Errorf("even: %v", err)
 	}
-	if _, err := NewCIOS(big.NewInt(1)); err != ErrSmallModulus {
+	if _, err := NewCIOS(big.NewInt(1)); err != ErrModulusTooSmall {
 		t.Errorf("small: %v", err)
 	}
 	c, err := NewCIOS(big.NewInt(101))

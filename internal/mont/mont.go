@@ -44,11 +44,6 @@ var ErrEvenModulus = errs.ErrEvenModulus
 // ErrModulusTooSmall is returned for moduli below 3.
 var ErrModulusTooSmall = errs.ErrModulusTooSmall
 
-// ErrSmallModulus is the historical name of ErrModulusTooSmall.
-//
-// Deprecated: use ErrModulusTooSmall (the same value).
-var ErrSmallModulus = ErrModulusTooSmall
-
 // NewCtx validates N and precomputes the Montgomery constants.
 //
 // A Ctx is immutable after NewCtx returns and is safe for concurrent

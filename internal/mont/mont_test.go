@@ -23,13 +23,13 @@ func TestNewCtxValidation(t *testing.T) {
 	if _, err := NewCtx(big.NewInt(4)); err != ErrEvenModulus {
 		t.Errorf("even modulus: err = %v", err)
 	}
-	if _, err := NewCtx(big.NewInt(1)); err != ErrSmallModulus {
+	if _, err := NewCtx(big.NewInt(1)); err != ErrModulusTooSmall {
 		t.Errorf("modulus 1: err = %v", err)
 	}
-	if _, err := NewCtx(big.NewInt(0)); err != ErrSmallModulus {
+	if _, err := NewCtx(big.NewInt(0)); err != ErrModulusTooSmall {
 		t.Errorf("modulus 0: err = %v", err)
 	}
-	if _, err := NewCtx(big.NewInt(-7)); err != ErrSmallModulus {
+	if _, err := NewCtx(big.NewInt(-7)); err != ErrModulusTooSmall {
 		t.Errorf("negative modulus: err = %v", err)
 	}
 	c, err := NewCtx(big.NewInt(7))

@@ -1,0 +1,458 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/errs"
+)
+
+// ClientOption configures a Client.
+type ClientOption func(*clientConfig)
+
+type clientConfig struct {
+	pool        int
+	dialTimeout time.Duration
+	maxRetries  int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	maxFrame    int
+}
+
+// WithPoolSize bounds the client's pooled connections (default 2).
+// Every connection is pipelined — many concurrent calls share one —
+// so the pool is about spreading load across server read loops, not
+// about one-call-per-connection.
+func WithPoolSize(n int) ClientOption { return func(c *clientConfig) { c.pool = n } }
+
+// WithDialTimeout bounds each dial (default 5s); the call context can
+// only tighten it.
+func WithDialTimeout(d time.Duration) ClientOption { return func(c *clientConfig) { c.dialTimeout = d } }
+
+// WithMaxRetries sets how many times a transient failure is retried
+// after the first attempt (default 3; 0 disables retries).
+func WithMaxRetries(n int) ClientOption { return func(c *clientConfig) { c.maxRetries = n } }
+
+// WithBackoff sets the retry backoff: base doubles per attempt up to
+// max, and each sleep is jittered ±50% so a fleet of retrying clients
+// does not stampede in lockstep (defaults 10ms, 1s).
+func WithBackoff(base, max time.Duration) ClientOption {
+	return func(c *clientConfig) { c.backoffBase, c.backoffMax = base, max }
+}
+
+// WithClientMaxFrame bounds response frame payloads (default
+// DefaultMaxFrame).
+func WithClientMaxFrame(n int) ClientOption { return func(c *clientConfig) { c.maxFrame = n } }
+
+// Client talks the montsysd wire protocol. It pools connections, and
+// pipelines on each of them: concurrent calls share a connection, each
+// tagged with a request id and matched to its response whenever the
+// server finishes it. Transient failures — ErrOverloaded, ErrDraining,
+// dials refused, connections dropped — are retried with exponential
+// backoff and jitter, bounded by WithMaxRetries and the call context.
+//
+// Retries after an ambiguous failure (the request was written but the
+// connection died before the response) are only attempted for
+// idempotent operations. Every current op is a pure computation with
+// no server-side effect, so all are idempotent; the gate exists so a
+// future mutating op cannot be silently double-executed.
+//
+// A Client is safe for concurrent use by multiple goroutines.
+type Client struct {
+	addr string
+	cfg  clientConfig
+
+	nextID atomic.Uint64
+
+	mu     sync.Mutex
+	conns  []*cconn
+	rr     int
+	closed bool
+	rng    *rand.Rand
+}
+
+// idempotent marks the ops safe to retry after an ambiguous failure.
+var idempotent = map[Op]bool{
+	OpMont:        true, // pure: X·Y·R⁻¹ mod 2N
+	OpModExp:      true, // pure: Base^Exp mod N
+	OpBatchModExp: true,
+}
+
+// Dial prepares a client for addr. Connections are established lazily
+// on first use (and re-established after failures), so Dial itself
+// performs no I/O.
+func Dial(addr string, opts ...ClientOption) *Client {
+	cfg := clientConfig{
+		pool:        2,
+		dialTimeout: 5 * time.Second,
+		maxRetries:  3,
+		backoffBase: 10 * time.Millisecond,
+		backoffMax:  time.Second,
+		maxFrame:    DefaultMaxFrame,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.pool < 1 {
+		cfg.pool = 1
+	}
+	if cfg.backoffBase <= 0 {
+		cfg.backoffBase = 10 * time.Millisecond
+	}
+	if cfg.backoffMax < cfg.backoffBase {
+		cfg.backoffMax = cfg.backoffBase
+	}
+	return &Client{
+		addr: addr,
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// Close closes every pooled connection; in-flight calls fail. Further
+// calls return ErrEngineClosed-wrapped errors.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	conns := c.conns
+	c.conns = nil
+	c.closed = true
+	c.mu.Unlock()
+	for _, cc := range conns {
+		cc.fail(fmt.Errorf("server: client closed: %w", errs.ErrEngineClosed))
+	}
+	return nil
+}
+
+// ModExp computes Base^Exp mod N on the remote engine.
+func (c *Client) ModExp(ctx context.Context, n, base, exp *big.Int) (*big.Int, error) {
+	resp, err := c.call(ctx, OpModExp, []triple{{n: n, a: base, b: exp}})
+	if err != nil {
+		return nil, err
+	}
+	return resp.values[0], nil
+}
+
+// Mont computes the raw Montgomery product X·Y·R⁻¹ mod 2N remotely.
+func (c *Client) Mont(ctx context.Context, n, x, y *big.Int) (*big.Int, error) {
+	resp, err := c.call(ctx, OpMont, []triple{{n: n, a: x, b: y}})
+	if err != nil {
+		return nil, err
+	}
+	return resp.values[0], nil
+}
+
+// ModExpBatch runs an order-preserving exponentiation batch remotely:
+// results[i] answers jobs[i], with per-item errors mapped back to the
+// same sentinels the in-process engine returns. Per-job Deadline
+// fields are not transmitted — the call context's deadline governs the
+// whole batch on the wire.
+func (c *Client) ModExpBatch(ctx context.Context, jobs []engine.ModExpJob) ([]engine.ModExpResult, error) {
+	trips := make([]triple, len(jobs))
+	for i, j := range jobs {
+		trips[i] = triple{n: j.N, a: j.Base, b: j.Exp}
+	}
+	resp, err := c.call(ctx, OpBatchModExp, trips)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.values) != len(jobs) {
+		return nil, fmt.Errorf("server: batch answered %d of %d items: %w",
+			len(resp.values), len(jobs), errs.ErrProtocol)
+	}
+	results := make([]engine.ModExpResult, len(jobs))
+	for i := range results {
+		if e := errFor(resp.codes[i], resp.msgs[i]); e != nil {
+			results[i].Err = e
+		} else {
+			results[i].Value = resp.values[i]
+		}
+	}
+	return results, nil
+}
+
+// transientCode reports whether a wire code signals a condition worth
+// retrying against the same (or a re-dialed) endpoint.
+func transientCode(code Code) bool {
+	return code == CodeOverloaded || code == CodeDraining
+}
+
+// call runs one request with the retry loop around tryOnce.
+func (c *Client) call(ctx context.Context, op Op, jobs []triple) (*response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, wrote, err := c.tryOnce(ctx, op, jobs)
+		switch {
+		case err == nil && resp.code == CodeOK:
+			return resp, nil
+		case err == nil:
+			lastErr = errFor(resp.code, resp.msg)
+			if !transientCode(resp.code) {
+				return nil, lastErr
+			}
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			return nil, err
+		case errors.Is(err, errs.ErrEngineClosed) || errors.Is(err, errs.ErrProtocol):
+			return nil, err
+		default:
+			// A network-level failure. Before the request was written it
+			// is trivially safe to retry; after, only idempotent ops may.
+			lastErr = err
+			if wrote && !idempotent[op] {
+				return nil, fmt.Errorf("server: ambiguous failure on non-idempotent op: %w", err)
+			}
+		}
+		if attempt >= c.cfg.maxRetries {
+			return nil, fmt.Errorf("server: giving up after %d attempts: %w", attempt+1, lastErr)
+		}
+		if err := c.sleep(ctx, attempt); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// sleep waits out one jittered exponential backoff step, or returns
+// early with the context's error.
+func (c *Client) sleep(ctx context.Context, attempt int) error {
+	d := c.cfg.backoffBase << uint(attempt)
+	if d > c.cfg.backoffMax || d <= 0 {
+		d = c.cfg.backoffMax
+	}
+	// Jitter to 50–150% of the nominal step.
+	c.mu.Lock()
+	j := c.rng.Int63n(int64(d))
+	c.mu.Unlock()
+	d = d/2 + time.Duration(j)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// tryOnce performs a single attempt: pick or dial a connection, write
+// the request, wait for its response. wrote reports whether any bytes
+// may have reached the server (the ambiguity gate for retries).
+func (c *Client) tryOnce(ctx context.Context, op Op, jobs []triple) (resp *response, wrote bool, err error) {
+	cc, err := c.conn(ctx)
+	if err != nil {
+		return nil, false, err
+	}
+	id := c.nextID.Add(1)
+	ca := &call{op: op, done: make(chan struct{})}
+	if err := cc.register(id, ca); err != nil {
+		c.drop(cc)
+		return nil, false, err
+	}
+	req := &request{op: op, id: id, jobs: jobs}
+	if dl, ok := ctx.Deadline(); ok {
+		req.deadline = dl
+	}
+	if err := cc.write(ctx, encodeRequest(req)); err != nil {
+		cc.unregister(id)
+		c.drop(cc)
+		// A failed write may still have delivered the full frame from
+		// the kernel's buffers — treat it as ambiguous.
+		return nil, true, err
+	}
+	select {
+	case <-ca.done:
+		if ca.err != nil {
+			c.drop(cc)
+			return nil, true, ca.err
+		}
+		return ca.resp, true, nil
+	case <-ctx.Done():
+		cc.unregister(id)
+		return nil, true, ctx.Err()
+	}
+}
+
+// conn returns a pooled connection, dialing a new one while the pool
+// is below size. Dead connections are pruned as they are encountered.
+func (c *Client) conn(ctx context.Context) (*cconn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("server: client closed: %w", errs.ErrEngineClosed)
+	}
+	live := c.conns[:0]
+	for _, cc := range c.conns {
+		if !cc.dead() {
+			live = append(live, cc)
+		}
+	}
+	c.conns = live
+	if len(c.conns) >= c.cfg.pool {
+		cc := c.conns[c.rr%len(c.conns)]
+		c.rr++
+		c.mu.Unlock()
+		return cc, nil
+	}
+	c.mu.Unlock()
+
+	dctx := ctx
+	if c.cfg.dialTimeout > 0 {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(ctx, c.cfg.dialTimeout)
+		defer cancel()
+	}
+	var d net.Dialer
+	nc, err := d.DialContext(dctx, "tcp", c.addr)
+	if err != nil {
+		return nil, err
+	}
+	cc := &cconn{cl: c, nc: nc, pending: make(map[uint64]*call)}
+	go cc.readLoop()
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		cc.fail(fmt.Errorf("server: client closed: %w", errs.ErrEngineClosed))
+		return nil, fmt.Errorf("server: client closed: %w", errs.ErrEngineClosed)
+	}
+	c.conns = append(c.conns, cc)
+	c.mu.Unlock()
+	return cc, nil
+}
+
+// drop removes a broken connection from the pool.
+func (c *Client) drop(cc *cconn) {
+	cc.fail(fmt.Errorf("server: connection dropped"))
+	c.mu.Lock()
+	for i, x := range c.conns {
+		if x == cc {
+			c.conns = append(c.conns[:i], c.conns[i+1:]...)
+			break
+		}
+	}
+	c.mu.Unlock()
+}
+
+// call is one in-flight request on a connection.
+type call struct {
+	op   Op
+	resp *response
+	err  error
+	done chan struct{}
+}
+
+// cconn is one pooled client connection: a write mutex serializing
+// frames out, and a read loop matching response ids to pending calls.
+type cconn struct {
+	cl *Client
+	nc net.Conn
+
+	wmu sync.Mutex // serializes writes
+
+	mu      sync.Mutex
+	pending map[uint64]*call
+	broken  error
+}
+
+func (cc *cconn) dead() bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.broken != nil
+}
+
+func (cc *cconn) register(id uint64, ca *call) error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.broken != nil {
+		return cc.broken
+	}
+	cc.pending[id] = ca
+	return nil
+}
+
+func (cc *cconn) unregister(id uint64) {
+	cc.mu.Lock()
+	delete(cc.pending, id)
+	cc.mu.Unlock()
+}
+
+// write sends one frame, honoring the context's deadline.
+func (cc *cconn) write(ctx context.Context, payload []byte) error {
+	cc.wmu.Lock()
+	defer cc.wmu.Unlock()
+	if dl, ok := ctx.Deadline(); ok {
+		cc.nc.SetWriteDeadline(dl)
+	} else {
+		cc.nc.SetWriteDeadline(time.Time{})
+	}
+	return writeFrame(cc.nc, payload)
+}
+
+// fail marks the connection broken, fails every pending call, and
+// closes the socket.
+func (cc *cconn) fail(err error) {
+	cc.mu.Lock()
+	if cc.broken == nil {
+		cc.broken = err
+	}
+	pend := cc.pending
+	cc.pending = make(map[uint64]*call)
+	cc.mu.Unlock()
+	for _, ca := range pend {
+		ca.err = err
+		close(ca.done)
+	}
+	cc.nc.Close()
+}
+
+// readLoop matches response frames to pending calls by request id.
+func (cc *cconn) readLoop() {
+	br := bufio.NewReader(cc.nc)
+	for {
+		payload, err := readFrame(br, cc.cl.cfg.maxFrame)
+		if err != nil {
+			cc.fail(fmt.Errorf("server: connection lost: %w", err))
+			return
+		}
+		id, err := responseID(payload)
+		if err != nil {
+			cc.fail(err)
+			return
+		}
+		cc.mu.Lock()
+		ca, ok := cc.pending[id]
+		if ok {
+			delete(cc.pending, id)
+		}
+		cc.mu.Unlock()
+		if !ok {
+			continue // response to an abandoned (ctx-expired) call
+		}
+		resp, err := decodeResponse(ca.op, payload)
+		if err != nil {
+			ca.err = err
+			close(ca.done)
+			cc.fail(err)
+			return
+		}
+		ca.resp = resp
+		close(ca.done)
+	}
+}
+
+// responseID extracts the request id from a response payload without
+// decoding the body.
+func responseID(payload []byte) (uint64, error) {
+	if len(payload) < 9 || payload[0] != ProtoVersion {
+		return 0, fmt.Errorf("server: malformed response header: %w", errs.ErrProtocol)
+	}
+	return binary.BigEndian.Uint64(payload[1:9]), nil
+}

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// metrics is the server's instrument block, pre-registered on an
+// obs.Registry so the request hot path never touches the registry lock.
+// Sharing the registry with an engine's obs.Collector (see
+// WithServerRegistry) puts the server and engine series on one /metrics
+// page:
+//
+//	montsys_server_connections              open connections (gauge)
+//	montsys_server_inflight                 admitted, unfinished requests (gauge)
+//	montsys_server_requests_total{op,code}  finished requests (counter)
+//	montsys_server_request_seconds{op}      admit-to-respond latency histogram
+//	montsys_server_drains_total             graceful drains begun (counter)
+type metrics struct {
+	connections *obs.Gauge
+	inflight    *obs.Gauge
+	requests    map[Op]map[Code]*obs.Counter
+	latency     map[Op]*obs.Histogram
+	drains      *obs.Counter
+}
+
+// serverOps enumerates the ops metrics are labeled with.
+var serverOps = []Op{OpMont, OpModExp, OpBatchModExp}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	m := &metrics{
+		requests: make(map[Op]map[Code]*obs.Counter, len(serverOps)),
+		latency:  make(map[Op]*obs.Histogram, len(serverOps)),
+	}
+	m.connections = reg.Gauge("montsys_server_connections",
+		"Currently open client connections.")
+	m.inflight = reg.Gauge("montsys_server_inflight",
+		"Requests admitted and not yet responded to.")
+	m.drains = reg.Counter("montsys_server_drains_total",
+		"Graceful drains begun (Shutdown calls).")
+	for _, op := range serverOps {
+		m.latency[op] = reg.HistogramLabeled("montsys_server_request_seconds",
+			"Admission-to-response latency of finished requests.",
+			obs.Label("op", op.String()))
+		m.requests[op] = make(map[Code]*obs.Counter, len(wireCodes))
+		for _, c := range wireCodes {
+			m.requests[op][c] = reg.CounterLabeled("montsys_server_requests_total",
+				"Requests finished, by op and response code.",
+				obs.Label("op", op.String()), obs.Label("code", c.String()))
+		}
+	}
+	return m
+}
+
+// finish records one finished request. Unknown ops (which only a
+// malformed frame can produce) are folded onto OpModExp's protocol
+// counter rather than dropped.
+func (m *metrics) finish(op Op, code Code, elapsed time.Duration) {
+	if _, ok := m.requests[op]; !ok {
+		op = OpModExp
+	}
+	if _, ok := m.requests[op][code]; !ok {
+		code = CodeInternal
+	}
+	m.requests[op][code].Inc()
+	m.latency[op].ObserveDuration(elapsed)
+}

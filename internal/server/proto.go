@@ -1,0 +1,532 @@
+// Package server is the network serving layer: montsysd's TCP front
+// door for the multi-core engine, plus the Go client that talks to it.
+//
+// The wire protocol is a compact length-prefixed binary format — the
+// software analogue of the paper's MMMC handshake. Every frame is
+//
+//	uint32 payload length (big-endian) ‖ payload
+//
+// and a request payload is
+//
+//	byte   version (1)
+//	byte   op            1=Mont  2=ModExp  3=BatchModExp
+//	uint64 request id    client-chosen, echoed in the response
+//	int64  deadline      UnixNano, 0 = none
+//	body                 op-specific, big.Ints as uint32 len ‖ bytes
+//
+// while a response payload is
+//
+//	byte   version (1)
+//	uint64 request id
+//	byte   code          0=OK, else a stable error code (see Code)
+//	body                 result value(s) on OK, uint32 len ‖ message else
+//
+// Responses carry the request id so a connection can be pipelined: the
+// server answers in completion order, not arrival order, and the client
+// matches responses to calls by id. Batch responses carry one code per
+// item, so a single invalid modulus doesn't poison its batch.
+package server
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"time"
+
+	"repro/internal/errs"
+)
+
+// ProtoVersion is the wire protocol version; both sides reject frames
+// that do not lead with it.
+const ProtoVersion = 1
+
+// DefaultMaxFrame bounds a frame payload (requests and responses) to
+// keep a misbehaving peer from ballooning memory. 1 MiB comfortably
+// fits batches of thousands of 4096-bit operand triples.
+const DefaultMaxFrame = 1 << 20
+
+// Op identifies a request operation on the wire.
+type Op uint8
+
+// Wire operations. OpMont is one raw Montgomery product X·Y·R⁻¹ mod 2N;
+// OpModExp one modular exponentiation; OpBatchModExp an order-preserving
+// batch of exponentiations answered with per-item codes.
+const (
+	OpMont        Op = 1
+	OpModExp      Op = 2
+	OpBatchModExp Op = 3
+)
+
+// String names an op the way the server's metrics label it.
+func (o Op) String() string {
+	switch o {
+	case OpMont:
+		return "mont"
+	case OpModExp:
+		return "modexp"
+	case OpBatchModExp:
+		return "batch_modexp"
+	default:
+		return "unknown"
+	}
+}
+
+// Code is a stable wire error code. Codes exist so the typed sentinels
+// of internal/errs survive the network hop: the server maps an error to
+// a code with codeFor, the client maps it back with errFor, and
+// errors.Is keeps working end to end.
+type Code uint8
+
+// Wire codes. Order is frozen — these are a network ABI, append only.
+const (
+	CodeOK             Code = 0
+	CodeEvenModulus    Code = 1
+	CodeModulusTooSmall Code = 2
+	CodeOperandRange   Code = 3
+	CodeEngineClosed   Code = 4
+	CodeOverloaded     Code = 5
+	CodeDraining       Code = 6
+	CodeProtocol       Code = 7
+	CodeDeadline       Code = 8
+	CodeCanceled       Code = 9
+	CodeInternal       Code = 255
+)
+
+// String names a code the way the server's metrics label it.
+func (c Code) String() string {
+	switch c {
+	case CodeOK:
+		return "ok"
+	case CodeEvenModulus:
+		return "even_modulus"
+	case CodeModulusTooSmall:
+		return "modulus_too_small"
+	case CodeOperandRange:
+		return "operand_range"
+	case CodeEngineClosed:
+		return "engine_closed"
+	case CodeOverloaded:
+		return "overloaded"
+	case CodeDraining:
+		return "draining"
+	case CodeProtocol:
+		return "protocol"
+	case CodeDeadline:
+		return "deadline"
+	case CodeCanceled:
+		return "canceled"
+	default:
+		return "internal"
+	}
+}
+
+// wireCodes enumerates every code the server can emit, for metric
+// pre-registration.
+var wireCodes = []Code{
+	CodeOK, CodeEvenModulus, CodeModulusTooSmall, CodeOperandRange,
+	CodeEngineClosed, CodeOverloaded, CodeDraining, CodeProtocol,
+	CodeDeadline, CodeCanceled, CodeInternal,
+}
+
+// codeFor maps an error to its wire code. Unrecognized errors become
+// CodeInternal — the message still crosses the wire for debugging.
+func codeFor(err error) Code {
+	switch {
+	case err == nil:
+		return CodeOK
+	case errors.Is(err, errs.ErrEvenModulus):
+		return CodeEvenModulus
+	case errors.Is(err, errs.ErrModulusTooSmall):
+		return CodeModulusTooSmall
+	case errors.Is(err, errs.ErrOperandRange):
+		return CodeOperandRange
+	case errors.Is(err, errs.ErrEngineClosed):
+		return CodeEngineClosed
+	case errors.Is(err, errs.ErrOverloaded):
+		return CodeOverloaded
+	case errors.Is(err, errs.ErrDraining):
+		return CodeDraining
+	case errors.Is(err, errs.ErrProtocol):
+		return CodeProtocol
+	case errors.Is(err, context.DeadlineExceeded):
+		return CodeDeadline
+	case errors.Is(err, context.Canceled):
+		return CodeCanceled
+	default:
+		return CodeInternal
+	}
+}
+
+// errFor reconstructs a sentinel-wrapped error from a wire code and its
+// message, so client callers classify with errors.Is exactly as they
+// would against the in-process engine.
+func errFor(code Code, msg string) error {
+	if code == CodeOK {
+		return nil
+	}
+	if msg == "" {
+		msg = code.String()
+	}
+	switch code {
+	case CodeEvenModulus:
+		return fmt.Errorf("montsys: remote: %s: %w", msg, errs.ErrEvenModulus)
+	case CodeModulusTooSmall:
+		return fmt.Errorf("montsys: remote: %s: %w", msg, errs.ErrModulusTooSmall)
+	case CodeOperandRange:
+		return fmt.Errorf("montsys: remote: %s: %w", msg, errs.ErrOperandRange)
+	case CodeEngineClosed:
+		return fmt.Errorf("montsys: remote: %s: %w", msg, errs.ErrEngineClosed)
+	case CodeOverloaded:
+		return fmt.Errorf("montsys: remote: %s: %w", msg, errs.ErrOverloaded)
+	case CodeDraining:
+		return fmt.Errorf("montsys: remote: %s: %w", msg, errs.ErrDraining)
+	case CodeProtocol:
+		return fmt.Errorf("montsys: remote: %s: %w", msg, errs.ErrProtocol)
+	case CodeDeadline:
+		return fmt.Errorf("montsys: remote: %s: %w", msg, context.DeadlineExceeded)
+	case CodeCanceled:
+		return fmt.Errorf("montsys: remote: %s: %w", msg, context.Canceled)
+	default:
+		return fmt.Errorf("montsys: remote: internal: %s", msg)
+	}
+}
+
+// triple is one (N, A, B) operand set: modulus plus the two op-specific
+// operands (base/exp for ModExp, x/y for Mont).
+type triple struct {
+	n, a, b *big.Int
+}
+
+// request is one decoded request frame.
+type request struct {
+	op       Op
+	id       uint64
+	deadline time.Time // zero = none
+	jobs     []triple  // len 1 for Mont/ModExp
+}
+
+// response is one decoded response frame. For batch ops, codes/values
+// run parallel to the request's jobs; for single ops they have length 1.
+// msg is only set when code != CodeOK.
+type response struct {
+	id     uint64
+	code   Code
+	msg    string
+	codes  []Code
+	msgs   []string
+	values []*big.Int
+}
+
+// --- primitive encoders -------------------------------------------------
+
+func appendUint32(b []byte, v uint32) []byte {
+	return binary.BigEndian.AppendUint32(b, v)
+}
+
+func appendUint64(b []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(b, v)
+}
+
+// appendBig encodes a big.Int as uint32 length ‖ big-endian magnitude.
+// Only non-negative values cross the wire; negatives are a caller bug
+// and are clamped at decode by construction (magnitude only).
+func appendBig(b []byte, v *big.Int) []byte {
+	if v == nil {
+		return appendUint32(b, 0)
+	}
+	raw := v.Bytes()
+	b = appendUint32(b, uint32(len(raw)))
+	return append(b, raw...)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// decoder consumes a payload slice with bounds checking; all take
+// methods fail with ErrProtocol-wrapped errors on truncation.
+type decoder struct {
+	b []byte
+}
+
+func (d *decoder) take(n int) ([]byte, error) {
+	if n < 0 || len(d.b) < n {
+		return nil, fmt.Errorf("server: truncated frame (want %d bytes, have %d): %w",
+			n, len(d.b), errs.ErrProtocol)
+	}
+	out := d.b[:n]
+	d.b = d.b[n:]
+	return out, nil
+}
+
+func (d *decoder) byte() (byte, error) {
+	b, err := d.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (d *decoder) uint32() (uint32, error) {
+	b, err := d.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+func (d *decoder) uint64() (uint64, error) {
+	b, err := d.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+func (d *decoder) big() (*big.Int, error) {
+	n, err := d.uint32()
+	if err != nil {
+		return nil, err
+	}
+	raw, err := d.take(int(n))
+	if err != nil {
+		return nil, err
+	}
+	return new(big.Int).SetBytes(raw), nil
+}
+
+func (d *decoder) string() (string, error) {
+	n, err := d.uint32()
+	if err != nil {
+		return "", err
+	}
+	raw, err := d.take(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(raw), nil
+}
+
+func (d *decoder) done() error {
+	if len(d.b) != 0 {
+		return fmt.Errorf("server: %d trailing bytes in frame: %w", len(d.b), errs.ErrProtocol)
+	}
+	return nil
+}
+
+// --- frame I/O ----------------------------------------------------------
+
+// writeFrame writes one length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed frame, rejecting payloads above
+// maxFrame before allocating for them.
+func readFrame(r io.Reader, maxFrame int) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if int(n) > maxFrame {
+		return nil, fmt.Errorf("server: frame of %d bytes exceeds limit %d: %w",
+			n, maxFrame, errs.ErrProtocol)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// --- request codec ------------------------------------------------------
+
+// encodeRequest renders a request payload (no frame header).
+func encodeRequest(req *request) []byte {
+	b := make([]byte, 0, 64)
+	b = append(b, ProtoVersion, byte(req.op))
+	b = appendUint64(b, req.id)
+	var dl int64
+	if !req.deadline.IsZero() {
+		dl = req.deadline.UnixNano()
+	}
+	b = appendUint64(b, uint64(dl))
+	if req.op == OpBatchModExp {
+		b = appendUint32(b, uint32(len(req.jobs)))
+	}
+	for _, j := range req.jobs {
+		b = appendBig(b, j.n)
+		b = appendBig(b, j.a)
+		b = appendBig(b, j.b)
+	}
+	return b
+}
+
+// maxBatch bounds a batch request's item count; combined with the frame
+// size limit it keeps decode allocations proportional to bytes received.
+const maxBatch = 1 << 16
+
+// decodeRequest parses a request payload.
+func decodeRequest(payload []byte) (*request, error) {
+	d := decoder{payload}
+	ver, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != ProtoVersion {
+		return nil, fmt.Errorf("server: protocol version %d (want %d): %w",
+			ver, ProtoVersion, errs.ErrProtocol)
+	}
+	opb, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	op := Op(opb)
+	req := &request{op: op}
+	if req.id, err = d.uint64(); err != nil {
+		return nil, err
+	}
+	dl, err := d.uint64()
+	if err != nil {
+		return nil, err
+	}
+	if dl != 0 {
+		req.deadline = time.Unix(0, int64(dl))
+	}
+	count := 1
+	switch op {
+	case OpMont, OpModExp:
+	case OpBatchModExp:
+		c, err := d.uint32()
+		if err != nil {
+			return nil, err
+		}
+		if c > maxBatch {
+			return nil, fmt.Errorf("server: batch of %d items exceeds limit %d: %w",
+				c, maxBatch, errs.ErrProtocol)
+		}
+		count = int(c)
+	default:
+		return nil, fmt.Errorf("server: unknown op %d: %w", opb, errs.ErrProtocol)
+	}
+	req.jobs = make([]triple, count)
+	for i := range req.jobs {
+		if req.jobs[i].n, err = d.big(); err != nil {
+			return nil, err
+		}
+		if req.jobs[i].a, err = d.big(); err != nil {
+			return nil, err
+		}
+		if req.jobs[i].b, err = d.big(); err != nil {
+			return nil, err
+		}
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// --- response codec -----------------------------------------------------
+
+// encodeResponse renders a response payload (no frame header). The op
+// is needed to pick the body shape; it is not itself encoded — the
+// client knows it from the id.
+func encodeResponse(op Op, resp *response) []byte {
+	b := make([]byte, 0, 64)
+	b = append(b, ProtoVersion)
+	b = appendUint64(b, resp.id)
+	b = append(b, byte(resp.code))
+	if resp.code != CodeOK {
+		return appendString(b, resp.msg)
+	}
+	if op == OpBatchModExp {
+		b = appendUint32(b, uint32(len(resp.codes)))
+		for i, c := range resp.codes {
+			b = append(b, byte(c))
+			if c == CodeOK {
+				b = appendBig(b, resp.values[i])
+			} else {
+				b = appendString(b, resp.msgs[i])
+			}
+		}
+		return b
+	}
+	return appendBig(b, resp.values[0])
+}
+
+// decodeResponse parses a response payload; op must be the op of the
+// request the id belongs to.
+func decodeResponse(op Op, payload []byte) (*response, error) {
+	d := decoder{payload}
+	ver, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != ProtoVersion {
+		return nil, fmt.Errorf("server: response version %d (want %d): %w",
+			ver, ProtoVersion, errs.ErrProtocol)
+	}
+	resp := &response{}
+	if resp.id, err = d.uint64(); err != nil {
+		return nil, err
+	}
+	cb, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	resp.code = Code(cb)
+	if resp.code != CodeOK {
+		if resp.msg, err = d.string(); err != nil {
+			return nil, err
+		}
+		return resp, d.done()
+	}
+	if op == OpBatchModExp {
+		c, err := d.uint32()
+		if err != nil {
+			return nil, err
+		}
+		if c > maxBatch {
+			return nil, fmt.Errorf("server: batch response of %d items exceeds limit %d: %w",
+				c, maxBatch, errs.ErrProtocol)
+		}
+		resp.codes = make([]Code, c)
+		resp.msgs = make([]string, c)
+		resp.values = make([]*big.Int, c)
+		for i := 0; i < int(c); i++ {
+			icb, err := d.byte()
+			if err != nil {
+				return nil, err
+			}
+			resp.codes[i] = Code(icb)
+			if resp.codes[i] == CodeOK {
+				if resp.values[i], err = d.big(); err != nil {
+					return nil, err
+				}
+			} else if resp.msgs[i], err = d.string(); err != nil {
+				return nil, err
+			}
+		}
+		return resp, d.done()
+	}
+	v, err := d.big()
+	if err != nil {
+		return nil, err
+	}
+	resp.codes = []Code{CodeOK}
+	resp.msgs = []string{""}
+	resp.values = []*big.Int{v}
+	return resp, d.done()
+}

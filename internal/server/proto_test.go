@@ -1,0 +1,159 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/big"
+	"testing"
+	"time"
+
+	"repro/internal/errs"
+)
+
+// Request frames survive an encode→frame→decode round trip for every
+// op, including deadlines and empty (zero) operands.
+func TestRequestRoundTrip(t *testing.T) {
+	deadline := time.Unix(0, 1234567890123456789)
+	cases := []*request{
+		{op: OpMont, id: 7, jobs: []triple{{n: big.NewInt(101), a: big.NewInt(5), b: big.NewInt(9)}}},
+		{op: OpModExp, id: 1 << 60, deadline: deadline,
+			jobs: []triple{{n: big.NewInt(0xF1F1), a: big.NewInt(3), b: big.NewInt(65537)}}},
+		{op: OpBatchModExp, id: 42, jobs: []triple{
+			{n: big.NewInt(23), a: big.NewInt(0), b: big.NewInt(1)},
+			{n: big.NewInt(101), a: big.NewInt(17), b: big.NewInt(3)},
+		}},
+	}
+	for _, want := range cases {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, encodeRequest(want)); err != nil {
+			t.Fatal(err)
+		}
+		payload, err := readFrame(&buf, DefaultMaxFrame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := decodeRequest(payload)
+		if err != nil {
+			t.Fatalf("op %v: %v", want.op, err)
+		}
+		if got.op != want.op || got.id != want.id || !got.deadline.Equal(want.deadline) {
+			t.Fatalf("op %v: header mismatch: %+v vs %+v", want.op, got, want)
+		}
+		if len(got.jobs) != len(want.jobs) {
+			t.Fatalf("op %v: %d jobs, want %d", want.op, len(got.jobs), len(want.jobs))
+		}
+		for i := range got.jobs {
+			if got.jobs[i].n.Cmp(want.jobs[i].n) != 0 ||
+				got.jobs[i].a.Cmp(want.jobs[i].a) != 0 ||
+				got.jobs[i].b.Cmp(want.jobs[i].b) != 0 {
+				t.Fatalf("op %v job %d: operand mismatch", want.op, i)
+			}
+		}
+	}
+}
+
+// Response frames round trip: OK single values, top-level errors, and
+// batch bodies mixing OK and per-item errors.
+func TestResponseRoundTrip(t *testing.T) {
+	ok := &response{id: 9, code: CodeOK, values: []*big.Int{big.NewInt(0xABCD)}}
+	got, err := decodeResponse(OpModExp, encodeResponse(OpModExp, ok))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.id != 9 || got.code != CodeOK || got.values[0].Cmp(ok.values[0]) != 0 {
+		t.Fatalf("ok response mismatch: %+v", got)
+	}
+
+	fail := &response{id: 10, code: CodeOverloaded, msg: "in-flight limit reached"}
+	got, err = decodeResponse(OpModExp, encodeResponse(OpModExp, fail))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.code != CodeOverloaded || got.msg != fail.msg {
+		t.Fatalf("error response mismatch: %+v", got)
+	}
+
+	batch := &response{
+		id:     11,
+		code:   CodeOK,
+		codes:  []Code{CodeOK, CodeEvenModulus, CodeOK},
+		msgs:   []string{"", "modulus must be odd", ""},
+		values: []*big.Int{big.NewInt(1), nil, big.NewInt(3)},
+	}
+	got, err = decodeResponse(OpBatchModExp, encodeResponse(OpBatchModExp, batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range batch.codes {
+		if got.codes[i] != c {
+			t.Fatalf("batch item %d: code %v, want %v", i, got.codes[i], c)
+		}
+		if c == CodeOK && got.values[i].Cmp(batch.values[i]) != 0 {
+			t.Fatalf("batch item %d: value mismatch", i)
+		}
+		if c != CodeOK && got.msgs[i] != batch.msgs[i] {
+			t.Fatalf("batch item %d: msg mismatch", i)
+		}
+	}
+}
+
+// Malformed frames fail with ErrProtocol: bad version, unknown op,
+// truncation, trailing garbage, oversized frames and batches.
+func TestProtocolErrors(t *testing.T) {
+	good := encodeRequest(&request{op: OpModExp, id: 1,
+		jobs: []triple{{n: big.NewInt(23), a: big.NewInt(2), b: big.NewInt(3)}}})
+
+	bad := append([]byte(nil), good...)
+	bad[0] = 99 // version
+	if _, err := decodeRequest(bad); !errors.Is(err, errs.ErrProtocol) {
+		t.Errorf("bad version: %v", err)
+	}
+
+	bad = append([]byte(nil), good...)
+	bad[1] = 200 // op
+	if _, err := decodeRequest(bad); !errors.Is(err, errs.ErrProtocol) {
+		t.Errorf("bad op: %v", err)
+	}
+
+	if _, err := decodeRequest(good[:len(good)-2]); !errors.Is(err, errs.ErrProtocol) {
+		t.Errorf("truncated: %v", err)
+	}
+
+	if _, err := decodeRequest(append(append([]byte(nil), good...), 0)); !errors.Is(err, errs.ErrProtocol) {
+		t.Errorf("trailing byte: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, make([]byte, 128)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readFrame(&buf, 64); !errors.Is(err, errs.ErrProtocol) {
+		t.Errorf("oversized frame: %v", err)
+	}
+}
+
+// Every sentinel survives the code mapping round trip, and context
+// errors map both ways too.
+func TestCodeErrorMapping(t *testing.T) {
+	for _, sentinel := range []error{
+		errs.ErrEvenModulus, errs.ErrModulusTooSmall, errs.ErrOperandRange,
+		errs.ErrEngineClosed, errs.ErrOverloaded, errs.ErrDraining,
+		errs.ErrProtocol, context.DeadlineExceeded, context.Canceled,
+	} {
+		code := codeFor(sentinel)
+		if code == CodeOK || code == CodeInternal {
+			t.Fatalf("%v mapped to %v", sentinel, code)
+		}
+		back := errFor(code, "boom")
+		if !errors.Is(back, sentinel) {
+			t.Errorf("%v -> %v -> %v loses errors.Is", sentinel, code, back)
+		}
+	}
+	if codeFor(nil) != CodeOK || errFor(CodeOK, "") != nil {
+		t.Error("nil/OK mapping broken")
+	}
+	if codeFor(errors.New("wat")) != CodeInternal {
+		t.Error("unknown error should map to internal")
+	}
+}

@@ -1,0 +1,473 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"math/big"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/errs"
+	"repro/internal/obs"
+)
+
+// Option configures a Server.
+type Option func(*config)
+
+type config struct {
+	maxInflight  int
+	idleTimeout  time.Duration
+	writeTimeout time.Duration
+	maxFrame     int
+	registry     *obs.Registry
+}
+
+// WithMaxInflight bounds the requests admitted and not yet answered,
+// across all connections (default 4× the engine's worker count).
+// Beyond the bound the server fast-fails with ErrOverloaded instead of
+// queueing without limit — shed load early, keep latency flat.
+func WithMaxInflight(n int) Option { return func(c *config) { c.maxInflight = n } }
+
+// WithIdleTimeout closes connections that send no request for d
+// (default 2 minutes; ≤ 0 disables).
+func WithIdleTimeout(d time.Duration) Option { return func(c *config) { c.idleTimeout = d } }
+
+// WithWriteTimeout bounds each response write (default 1 minute), so a
+// stalled client cannot pin a writer goroutine forever.
+func WithWriteTimeout(d time.Duration) Option { return func(c *config) { c.writeTimeout = d } }
+
+// WithMaxFrame bounds request frame payloads (default DefaultMaxFrame).
+func WithMaxFrame(n int) Option { return func(c *config) { c.maxFrame = n } }
+
+// WithRegistry collects the server's metrics into an existing registry
+// — share it with the engine's obs.Collector and one /metrics page
+// carries the whole pipeline.
+func WithRegistry(r *obs.Registry) Option { return func(c *config) { c.registry = r } }
+
+// Server is the TCP front door of an engine: it multiplexes many
+// client connections onto one engine.Engine, speaking the length-
+// prefixed binary protocol of this package. Each connection gets a
+// dedicated read goroutine and a dedicated write goroutine; each
+// admitted request runs on its own goroutine so responses return in
+// completion order (pipelining). Admission control bounds in-flight
+// requests across all connections and fast-fails the excess with
+// ErrOverloaded. Shutdown drains gracefully: stop accepting, answer
+// new requests with ErrDraining, finish everything already admitted,
+// flush, then close.
+type Server struct {
+	eng *engine.Engine
+	cfg config
+	met *metrics
+
+	inflight chan struct{}
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*sconn]struct{}
+	draining bool
+	reqWG    sync.WaitGroup // admitted requests
+	connWG   sync.WaitGroup // connection handlers
+}
+
+// NewServer wraps an engine. The engine stays caller-owned: Shutdown
+// and Close never close it, so one engine can outlive several servers
+// (or serve in-process callers at the same time).
+func NewServer(eng *engine.Engine, opts ...Option) (*Server, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("server: nil engine")
+	}
+	cfg := config{
+		maxInflight:  4 * eng.Workers(),
+		idleTimeout:  2 * time.Minute,
+		writeTimeout: time.Minute,
+		maxFrame:     DefaultMaxFrame,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.maxInflight < 1 {
+		return nil, fmt.Errorf("server: max in-flight must be positive, got %d", cfg.maxInflight)
+	}
+	if cfg.maxFrame < 64 {
+		return nil, fmt.Errorf("server: max frame %d too small", cfg.maxFrame)
+	}
+	if cfg.registry == nil {
+		cfg.registry = obs.NewRegistry()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		eng:        eng,
+		cfg:        cfg,
+		met:        newMetrics(cfg.registry),
+		inflight:   make(chan struct{}, cfg.maxInflight),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		conns:      make(map[*sconn]struct{}),
+	}, nil
+}
+
+// Registry returns the registry the server's metrics live in.
+func (s *Server) Registry() *obs.Registry { return s.cfg.registry }
+
+// Serve accepts connections on ln until Shutdown or Close. It returns
+// nil after a graceful stop, or the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("server: Serve after shutdown: %w", errs.ErrDraining)
+	}
+	if s.ln != nil {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("server: Serve called twice")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if s.isDraining() {
+				return nil
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		c := newSconn(s, nc)
+		s.conns[c] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		s.met.connections.Add(1)
+		go c.run()
+	}
+}
+
+// Addr reports the listener address once Serve has been called, nil
+// before.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown drains the server gracefully: stop accepting connections,
+// answer newly arriving requests with ErrDraining, let every admitted
+// request finish and its response flush, then close all connections.
+// The context bounds the wait; on expiry the remaining connections are
+// torn down hard, in-flight work is cancelled, and ctx.Err() returns.
+// Shutdown does not close the engine.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return fmt.Errorf("server: Shutdown twice: %w", errs.ErrDraining)
+	}
+	s.draining = true
+	ln := s.ln
+	s.mu.Unlock()
+	s.met.drains.Inc()
+	if ln != nil {
+		ln.Close()
+	}
+
+	// Phase 1: wait for every admitted request to finish.
+	drained := make(chan struct{})
+	go func() {
+		s.reqWG.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.baseCancel() // cancel in-flight engine work
+		<-drained      // engine jobs unwind promptly once cancelled
+	}
+
+	// Phase 2: unblock every reader so writers flush what's queued and
+	// handlers exit; then wait for them (bounded by ctx on the slow
+	// path: hard-close if it fires).
+	s.mu.Lock()
+	for c := range s.conns {
+		c.softClose()
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+		s.mu.Lock()
+		for c := range s.conns {
+			c.hardClose()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	s.baseCancel()
+	return err
+}
+
+// Close tears the server down immediately: listener closed, in-flight
+// engine work cancelled, connections reset. Prefer Shutdown.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	alreadyDraining := s.draining
+	s.draining = true
+	ln := s.ln
+	conns := make([]*sconn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.baseCancel()
+	for _, c := range conns {
+		c.hardClose()
+	}
+	s.connWG.Wait()
+	if alreadyDraining {
+		return fmt.Errorf("server: Close after shutdown: %w", errs.ErrDraining)
+	}
+	return nil
+}
+
+// sconn is one server-side connection: a reader (run), a writer
+// (writeLoop), and a bounded handoff channel between request
+// goroutines and the writer.
+type sconn struct {
+	srv *Server
+	nc  net.Conn
+
+	writeCh chan []byte
+	pending sync.WaitGroup // requests admitted on this connection
+
+	closeOnce sync.Once
+}
+
+func newSconn(s *Server, nc net.Conn) *sconn {
+	return &sconn{srv: s, nc: nc, writeCh: make(chan []byte, 16)}
+}
+
+// softClose unblocks the reader without cutting the socket, letting
+// queued responses flush before the writer closes it.
+func (c *sconn) softClose() {
+	c.nc.SetReadDeadline(time.Now())
+}
+
+// hardClose cuts the socket.
+func (c *sconn) hardClose() {
+	c.closeOnce.Do(func() { c.nc.Close() })
+}
+
+// run is the connection's read loop. On exit it waits for the
+// connection's admitted requests, closes the write channel so the
+// writer can flush and close the socket, and deregisters.
+func (c *sconn) run() {
+	s := c.srv
+	writerDone := make(chan struct{})
+	go c.writeLoop(writerDone)
+
+	br := bufio.NewReader(c.nc)
+	for {
+		if s.cfg.idleTimeout > 0 {
+			c.nc.SetReadDeadline(time.Now().Add(s.cfg.idleTimeout))
+		}
+		payload, err := readFrame(br, s.cfg.maxFrame)
+		if err != nil {
+			break // EOF, idle timeout, soft close, or peer reset
+		}
+		req, derr := decodeRequest(payload)
+		if derr != nil {
+			// The stream is unframed from here on; answer id 0 with the
+			// protocol code and hang up.
+			c.send(encodeResponse(OpModExp, &response{
+				id: 0, code: CodeProtocol, msg: derr.Error(),
+			}))
+			s.met.finish(OpModExp, CodeProtocol, 0)
+			break
+		}
+		c.dispatch(req)
+	}
+
+	c.pending.Wait()
+	close(c.writeCh)
+	<-writerDone
+
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	s.met.connections.Add(-1)
+	s.connWG.Done()
+}
+
+// writeLoop serializes response frames onto the socket. After a write
+// error it keeps draining the channel (dropping frames) so request
+// goroutines never block on a dead connection, and closes the socket
+// when the channel closes.
+func (c *sconn) writeLoop(done chan<- struct{}) {
+	defer close(done)
+	bw := bufio.NewWriter(c.nc)
+	var werr error
+	for payload := range c.writeCh {
+		if werr != nil {
+			continue
+		}
+		if c.srv.cfg.writeTimeout > 0 {
+			c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.writeTimeout))
+		}
+		if werr = writeFrame(bw, payload); werr == nil {
+			werr = bw.Flush()
+		}
+	}
+	c.hardClose()
+}
+
+// send hands one encoded response to the writer. It is only called
+// from the read loop or from request goroutines registered in
+// c.pending, both of which happen-before the channel close.
+func (c *sconn) send(payload []byte) {
+	c.writeCh <- payload
+}
+
+// dispatch admits one decoded request: drain and overload rejections
+// answer inline on the read loop (fast fail — no goroutine, no queue);
+// admitted requests get a goroutine and a slot in the in-flight bound.
+func (c *sconn) dispatch(req *request) {
+	s := c.srv
+	start := time.Now()
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		c.send(encodeResponse(req.op, &response{
+			id: req.id, code: CodeDraining, msg: "server draining",
+		}))
+		s.met.finish(req.op, CodeDraining, time.Since(start))
+		return
+	}
+	select {
+	case s.inflight <- struct{}{}:
+	default:
+		s.mu.Unlock()
+		c.send(encodeResponse(req.op, &response{
+			id: req.id, code: CodeOverloaded, msg: "in-flight limit reached",
+		}))
+		s.met.finish(req.op, CodeOverloaded, time.Since(start))
+		return
+	}
+	s.reqWG.Add(1)
+	c.pending.Add(1)
+	s.mu.Unlock()
+	s.met.inflight.Add(1)
+
+	go c.serveReq(req, start)
+}
+
+// serveReq executes one admitted request against the engine and queues
+// its response.
+func (c *sconn) serveReq(req *request, start time.Time) {
+	s := c.srv
+	defer func() {
+		<-s.inflight
+		s.met.inflight.Add(-1)
+		c.pending.Done()
+		s.reqWG.Done()
+	}()
+
+	ctx := s.baseCtx
+	if !req.deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, req.deadline)
+		defer cancel()
+	}
+	resp := s.execute(ctx, req)
+	resp.id = req.id
+	s.met.finish(req.op, resp.code, time.Since(start))
+	c.send(encodeResponse(req.op, resp))
+}
+
+// execute runs the request's engine call, propagating the wire deadline
+// both as the context deadline and as the engine's per-job deadline.
+func (s *Server) execute(ctx context.Context, req *request) *response {
+	switch req.op {
+	case OpMont:
+		j := req.jobs[0]
+		res, err := s.eng.MontBatch(ctx, []engine.MontJob{
+			{N: j.n, X: j.a, Y: j.b, Deadline: req.deadline},
+		})
+		if err == nil {
+			err = res[0].Err
+		}
+		if err != nil {
+			return &response{code: codeFor(err), msg: err.Error()}
+		}
+		return &response{code: CodeOK, values: []*big.Int{res[0].Value}}
+	case OpModExp:
+		j := req.jobs[0]
+		res, err := s.eng.ModExpBatch(ctx, []engine.ModExpJob{
+			{N: j.n, Base: j.a, Exp: j.b, Deadline: req.deadline},
+		})
+		if err == nil {
+			err = res[0].Err
+		}
+		if err != nil {
+			return &response{code: codeFor(err), msg: err.Error()}
+		}
+		return &response{code: CodeOK, values: []*big.Int{res[0].Value}}
+	case OpBatchModExp:
+		jobs := make([]engine.ModExpJob, len(req.jobs))
+		for i, j := range req.jobs {
+			jobs[i] = engine.ModExpJob{N: j.n, Base: j.a, Exp: j.b, Deadline: req.deadline}
+		}
+		res, _ := s.eng.ModExpBatch(ctx, jobs)
+		resp := &response{
+			code:   CodeOK,
+			codes:  make([]Code, len(res)),
+			msgs:   make([]string, len(res)),
+			values: make([]*big.Int, len(res)),
+		}
+		for i := range res {
+			resp.codes[i] = codeFor(res[i].Err)
+			if res[i].Err != nil {
+				resp.msgs[i] = res[i].Err.Error()
+			} else {
+				resp.values[i] = res[i].Value
+			}
+		}
+		return resp
+	default:
+		return &response{code: CodeProtocol, msg: fmt.Sprintf("unknown op %d", req.op)}
+	}
+}

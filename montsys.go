@@ -25,6 +25,10 @@
 //	eng, err := montsys.NewEngine(montsys.WithEngineWorkers(8))
 //	results, err := eng.ModExpBatch(ctx, jobs)            // fan across 8 cores
 //
+//	srv, err := montsys.NewServer(eng)                    // TCP front door (montsysd)
+//	cl := montsys.Dial("host:7077")                       // pooled, pipelined, retrying
+//	v, err := cl.ModExp(ctx, n, base, exp)                // same answers over the wire
+//
 //	hw, err := montsys.Hardware(1024)                     // slices, clock, T_MMM
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
@@ -34,12 +38,14 @@ package montsys
 import (
 	"math/big"
 	"net/http"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/errs"
 	"repro/internal/expo"
 	"repro/internal/obs"
+	"repro/internal/server"
 	"repro/internal/systolic"
 )
 
@@ -51,6 +57,14 @@ var (
 	ErrModulusTooSmall = errs.ErrModulusTooSmall
 	ErrOperandRange    = errs.ErrOperandRange
 	ErrEngineClosed    = errs.ErrEngineClosed
+
+	// Serving-layer sentinels: admission-control fast-fail, graceful
+	// drain in progress, malformed wire frame. The wire protocol maps
+	// each to a stable response code, so errors.Is keeps working across
+	// the network hop.
+	ErrOverloaded = errs.ErrOverloaded
+	ErrDraining   = errs.ErrDraining
+	ErrProtocol   = errs.ErrProtocol
 )
 
 // Multiplier is a Montgomery modular multiplier for one odd modulus,
@@ -118,19 +132,6 @@ func WithMode(m Mode) Option { return core.WithMode(m) }
 //	    montsys.WithVariant(montsys.Faithful))                   // explicit mode + variant
 func NewExponentiator(n *big.Int, opts ...Option) (*Exponentiator, error) {
 	return core.NewExponentiator(n, opts...)
-}
-
-// NewExponentiatorSim is the pre-options signature, kept for one
-// release so existing callers migrate at leisure.
-//
-// Deprecated: use NewExponentiator with options — NewExponentiator(n)
-// for simulate=false, NewExponentiator(n, WithSimulation()) for
-// simulate=true.
-func NewExponentiatorSim(n *big.Int, simulate bool) (*Exponentiator, error) {
-	if simulate {
-		return core.NewExponentiator(n, core.WithSimulation())
-	}
-	return core.NewExponentiator(n)
 }
 
 // Engine is the concurrent multi-core modexp/Mont engine: a pool of
@@ -227,6 +228,79 @@ func WithMetricsRegistry(r *MetricsRegistry) CollectorOption { return obs.WithRe
 // /metrics, /debug/vars (expvar), /debug/pprof/*, and a /trace export
 // that loads in Perfetto or chrome://tracing.
 func NewObsHandler(c *Collector) http.Handler { return obs.NewHandler(c) }
+
+// Serving. The engine's network front door is montsysd (cmd/montsysd):
+// a TCP server speaking a compact length-prefixed binary protocol, with
+// admission control (bounded in-flight, ErrOverloaded fast-fail),
+// per-request deadline propagation, idle timeouts and graceful drain on
+// SIGTERM. Client is the matching dialer: pooled, pipelined
+// connections with exponential-backoff retries on transient failures.
+//
+//	srv, _ := montsys.NewServer(eng, montsys.WithServerRegistry(col.Registry()))
+//	go srv.Serve(ln)
+//	cl := montsys.Dial(ln.Addr().String())
+//	v, err := cl.ModExp(ctx, n, base, exp)       // same answers as eng.ModExp
+//
+// See internal/server for the frame layout and README "Serving".
+
+// Server is the TCP serving layer over an Engine.
+type Server = server.Server
+
+// ServerOption configures NewServer.
+type ServerOption = server.Option
+
+// NewServer wraps an engine in a protocol server. The engine stays
+// caller-owned: draining or closing the server never closes it.
+func NewServer(eng *Engine, opts ...ServerOption) (*Server, error) {
+	return server.NewServer(eng, opts...)
+}
+
+// WithServerMaxInflight bounds admitted-but-unanswered requests across
+// all connections (default 4× engine workers); excess requests
+// fast-fail with ErrOverloaded.
+func WithServerMaxInflight(n int) ServerOption { return server.WithMaxInflight(n) }
+
+// WithServerIdleTimeout closes connections idle for d (default 2m).
+func WithServerIdleTimeout(d time.Duration) ServerOption { return server.WithIdleTimeout(d) }
+
+// WithServerWriteTimeout bounds each response write (default 1m).
+func WithServerWriteTimeout(d time.Duration) ServerOption { return server.WithWriteTimeout(d) }
+
+// WithServerMaxFrame bounds request frames in bytes.
+func WithServerMaxFrame(n int) ServerOption { return server.WithMaxFrame(n) }
+
+// WithServerRegistry puts the server's metrics (server_connections,
+// server_inflight, server_requests_total{op,code}, request-latency
+// histogram) on an existing registry, typically a Collector's, so one
+// /metrics page carries client→server→engine→core end to end.
+func WithServerRegistry(r *MetricsRegistry) ServerOption { return server.WithRegistry(r) }
+
+// Client talks to a montsysd server: pooled pipelined connections,
+// context-aware dials and calls, retries with exponential backoff and
+// jitter on transient failures (ErrOverloaded, ErrDraining, dropped
+// connections — ambiguous drops are retried only for idempotent ops).
+type Client = server.Client
+
+// ClientOption configures Dial.
+type ClientOption = server.ClientOption
+
+// Dial prepares a client for addr; connections are established lazily,
+// so Dial itself performs no I/O.
+func Dial(addr string, opts ...ClientOption) *Client { return server.Dial(addr, opts...) }
+
+// WithClientPoolSize bounds pooled connections (default 2).
+func WithClientPoolSize(n int) ClientOption { return server.WithPoolSize(n) }
+
+// WithClientDialTimeout bounds each dial (default 5s).
+func WithClientDialTimeout(d time.Duration) ClientOption { return server.WithDialTimeout(d) }
+
+// WithClientMaxRetries bounds retries after the first attempt
+// (default 3; 0 disables).
+func WithClientMaxRetries(n int) ClientOption { return server.WithMaxRetries(n) }
+
+// WithClientBackoff sets the retry backoff envelope: base doubles per
+// attempt up to max, jittered ±50% (defaults 10ms, 1s).
+func WithClientBackoff(base, max time.Duration) ClientOption { return server.WithBackoff(base, max) }
 
 // Hardware builds and maps the full gate-level MMM circuit for an l-bit
 // modulus, reporting area and timing under the Virtex-E model — the

@@ -75,8 +75,8 @@ func TestVariantConstants(t *testing.T) {
 	}
 }
 
-// The options-based exponentiator API and its deprecated shim must
-// agree with each other and with math/big.
+// The options-based exponentiator API must agree with math/big across
+// every option combination.
 func TestExponentiatorOptions(t *testing.T) {
 	n := big.NewInt(0xF1F1)
 	base, exp := big.NewInt(0x123), big.NewInt(65537)
@@ -100,15 +100,6 @@ func TestExponentiatorOptions(t *testing.T) {
 		}
 		if got.Cmp(want) != 0 {
 			t.Fatalf("%s: wrong result", tc.name)
-		}
-	}
-	for _, sim := range []bool{false, true} {
-		ex, err := NewExponentiatorSim(n, sim)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if got, _, err := ex.ModExp(base, exp); err != nil || got.Cmp(want) != 0 {
-			t.Fatalf("shim sim=%v: got %v err %v", sim, got, err)
 		}
 	}
 }
