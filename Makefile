@@ -17,7 +17,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/engine/... ./internal/core/... ./internal/obs/... ./internal/server/...
+	$(GO) test -race ./internal/engine/... ./internal/core/... ./internal/obs/... ./internal/server/... ./internal/cluster/...
 
 # CI installs staticcheck; locally the gate is skipped when the binary
 # is absent rather than failing the whole ci target.

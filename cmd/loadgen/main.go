@@ -19,11 +19,15 @@
 // interrupts a sweep mid-flight and reports the partial point's error
 // instead of hanging.
 //
-// With -connect the same workload is fired at a remote montsysd over
-// the binary wire protocol instead of an in-process engine: -clients
-// concurrent submitters share a pooled, pipelined montsys.Client, each
-// call retried per the client's backoff policy, and the table reports
-// the round-trip (client→network→engine→core) latency distribution.
+// With -connect the same workload is fired at remote montsysd (or
+// montsyslb) instances over the binary wire protocol instead of an
+// in-process engine: -clients concurrent submitters share pooled,
+// pipelined montsys.Clients, each call retried per the client's backoff
+// policy, and the table reports the round-trip
+// (client→network→engine→core) latency distribution. -connect takes a
+// comma-separated address list and spreads jobs across the addresses
+// round-robin, so a backend fleet can be driven directly — no proxy
+// needed — as well as through montsyslb.
 //
 // With -listen the sweep can be watched live: a shared observability
 // collector is attached to every sweep engine and served over HTTP —
@@ -68,7 +72,7 @@ func main() {
 	listen := flag.String("listen", "", "serve /metrics, /debug/pprof and /trace on this address (e.g. :9090)")
 	linger := flag.Duration("linger", 0, "keep serving the observability endpoints this long after the sweep")
 	traceCap := flag.Int("trace", 4096, "span ring-buffer capacity for /trace (with -listen)")
-	connect := flag.String("connect", "", "drive a remote montsysd at this address instead of an in-process engine")
+	connect := flag.String("connect", "", "drive remote montsysd/montsyslb instance(s) at this comma-separated address list instead of an in-process engine")
 	clients := flag.Int("clients", 8, "concurrent submitters in -connect mode")
 	retries := flag.Int("retries", 3, "client retry budget per call in -connect mode")
 	flag.Parse()
@@ -209,17 +213,30 @@ func run(ctx context.Context, workersList, bitsList, modeName, variantName strin
 	return nil
 }
 
-// runRemote drives a montsysd instead of an in-process engine: the same
-// workload, submitted by cfg.clients concurrent goroutines over a
-// pooled pipelined client, each result self-checked against math/big.
+// runRemote drives one or more montsysd/montsyslb instances instead of
+// an in-process engine: the same workload, submitted by cfg.clients
+// concurrent goroutines over pooled pipelined clients — one per
+// -connect address, jobs spread round-robin — each result self-checked
+// against math/big.
 func runRemote(ctx context.Context, cfg sweepConfig, bits []int, batch []montsys.ModExpJob) error {
-	fmt.Printf("loadgen: %d jobs, bits=%v, remote %s, %d clients, %d retries\n\n",
-		cfg.jobs, bits, cfg.connect, cfg.clients, cfg.retries)
-
-	cl := montsys.Dial(cfg.connect,
-		montsys.WithClientPoolSize(cfg.clients),
-		montsys.WithClientMaxRetries(cfg.retries))
-	defer cl.Close()
+	addrs := strings.Split(cfg.connect, ",")
+	clients := make([]*montsys.Client, 0, len(addrs))
+	for _, a := range addrs {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		cl := montsys.Dial(a,
+			montsys.WithClientPoolSize(cfg.clients),
+			montsys.WithClientMaxRetries(cfg.retries))
+		defer cl.Close()
+		clients = append(clients, cl)
+	}
+	if len(clients) == 0 {
+		return fmt.Errorf("no address in -connect %q", cfg.connect)
+	}
+	fmt.Printf("loadgen: %d jobs, bits=%v, %d remote(s) %s, %d clients, %d retries\n\n",
+		cfg.jobs, bits, len(clients), cfg.connect, cfg.clients, cfg.retries)
 
 	if cfg.timeout > 0 {
 		var cancel context.CancelFunc
@@ -255,7 +272,7 @@ func runRemote(ctx context.Context, cfg sweepConfig, bits []int, batch []montsys
 				}
 				j := batch[i]
 				t0 := time.Now()
-				v, err := cl.ModExp(ctx, j.N, j.Base, j.Exp)
+				v, err := clients[i%len(clients)].ModExp(ctx, j.N, j.Base, j.Exp)
 				lats[i] = time.Since(t0)
 				if err != nil {
 					errCh <- fmt.Errorf("job %d: %w", i, err)

@@ -1,0 +1,148 @@
+// Command montsyslb is the cluster tier's front door: a load-balancing
+// proxy that speaks the montsysd wire protocol on one side and routes
+// to a fleet of montsysd backends on the other. Clients keep using the
+// ordinary montsys.Client — the proxy is indistinguishable from a very
+// reliable, very large montsysd.
+//
+// Usage:
+//
+//	montsyslb -backends host1:7077,host2:7077[,...]
+//	          [-listen :7070] [-inflight 256] [-idle 2m] [-drain 30s]
+//	          [-probe 1s] [-affinity] [-hedge] [-budget 0.1] [-burst 16]
+//	          [-metrics :9091]
+//
+// Routing (see internal/cluster): requests are routed to the
+// rendezvous-hash home of their modulus so repeat-modulus traffic hits
+// warm per-modulus context caches on the backends (-affinity=false
+// falls back to least-inflight everywhere); backends are health-probed
+// with the wire Ping op, ejected on failure or drain and reinstated
+// with jittered backoff; slow requests are hedged onto a second
+// backend after a p99-derived delay; draining/dead backends fail over,
+// with a global retry budget capping amplification.
+//
+// On SIGTERM/SIGINT the proxy itself drains gracefully, exactly like
+// montsysd: stop accepting, answer new requests with the draining
+// code, finish what's admitted (bounded by -drain), exit 0.
+//
+// With -metrics, /metrics serves the cluster series (backend_up,
+// picks_total{backend,reason}, hedges_total, breaker_state,
+// affinity_hits_total, ...) and the proxy's own server series on one
+// page; scraped next to the backends' pages the whole path client →
+// balancer → backend → engine → systolic core is visible.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	montsys "repro"
+)
+
+func main() {
+	listen := flag.String("listen", ":7070", "serve the binary protocol on this address")
+	backends := flag.String("backends", "", "comma-separated montsysd addresses (required)")
+	inflight := flag.Int("inflight", 256, "max in-flight requests before the overloaded fast-fail")
+	idle := flag.Duration("idle", 2*time.Minute, "close client connections idle this long (0 disables)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful drain budget on SIGTERM")
+	probe := flag.Duration("probe", time.Second, "backend health-probe interval")
+	affinity := flag.Bool("affinity", true, "route by modulus affinity (rendezvous hashing)")
+	hedge := flag.Bool("hedge", true, "hedge slow requests onto a second backend")
+	budget := flag.Float64("budget", 0.1, "retry-budget ratio (tokens minted per request)")
+	burst := flag.Int("burst", 16, "retry-budget burst (token cap)")
+	metricsAddr := flag.String("metrics", "", "serve /metrics on this address")
+	flag.Parse()
+
+	if err := run(*listen, *backends, *inflight, *idle, *drain, *probe,
+		*affinity, *hedge, *budget, *burst, *metricsAddr); err != nil {
+		fmt.Fprintln(os.Stderr, "montsyslb:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, backends string, inflight int, idle, drain, probe time.Duration,
+	affinity, hedge bool, budget float64, burst int, metricsAddr string) error {
+	var addrs []string
+	for _, a := range strings.Split(backends, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return fmt.Errorf("no backends given (-backends host1:7077,host2:7077)")
+	}
+
+	registry := montsys.NewMetricsRegistry()
+	cl, err := montsys.NewCluster(addrs,
+		montsys.WithClusterRegistry(registry),
+		montsys.WithClusterProbeInterval(probe),
+		montsys.WithClusterAffinity(affinity),
+		montsys.WithClusterHedging(hedge),
+		montsys.WithClusterRetryBudget(budget, burst),
+	)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	srv, err := montsys.NewHandlerServer(cl,
+		montsys.WithServerMaxInflight(inflight),
+		montsys.WithServerIdleTimeout(idle),
+		montsys.WithServerRegistry(registry),
+	)
+	if err != nil {
+		return err
+	}
+
+	if metricsAddr != "" {
+		mln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", montsys.NewMetricsHandler(registry))
+		fmt.Printf("montsyslb: metrics on http://%s/metrics\n", mln.Addr())
+		go func() {
+			if err := http.Serve(mln, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "montsyslb: metrics server:", err)
+			}
+		}()
+	}
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("montsyslb: balancing %s on %s (affinity=%v hedge=%v)\n",
+		strings.Join(addrs, ","), ln.Addr(), affinity, hedge)
+
+	// First SIGTERM/SIGINT starts the graceful drain; a second aborts it.
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-sigCtx.Done():
+	}
+	stop()
+	fmt.Printf("montsyslb: draining (budget %s)...\n", drain)
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "montsyslb: drain incomplete:", err)
+	} else {
+		fmt.Println("montsyslb: drained cleanly")
+	}
+	return <-serveErr
+}

@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/errs"
+	"repro/internal/server"
+)
+
+// backend is one montsysd instance as the cluster sees it: the wire
+// client, the cluster-side in-flight count (the load signal for
+// least-inflight and spill decisions), the health flag the probe loop
+// owns, and the request-driven circuit breaker.
+type backend struct {
+	addr string
+	cl   *server.Client
+
+	inflight atomic.Int64
+	upFlag   atomic.Bool
+
+	br  *breaker
+	met *backendMetrics
+}
+
+func (b *backend) up() bool { return b.upFlag.Load() }
+
+func (b *backend) setUp(v bool) {
+	b.upFlag.Store(v)
+	if v {
+		b.met.up.Set(1)
+	} else {
+		b.met.up.Set(0)
+	}
+}
+
+func (b *backend) acquire() {
+	b.inflight.Add(1)
+	b.met.inflight.Add(1)
+}
+
+func (b *backend) release() {
+	b.inflight.Add(-1)
+	b.met.inflight.Add(-1)
+}
+
+// probeLoop health-checks one backend until the cluster closes. While
+// the backend is up, probes run every probeInterval; failThreshold
+// consecutive failures (or a single draining answer — the backend
+// itself said it is going away) eject it. While down, probes back off
+// exponentially up to reinstateMax, and the first success reinstates
+// the backend and resets its breaker. Every wait is jittered to 50–150%
+// so a fleet of balancers neither probes nor reinstates in lockstep.
+func (c *Cluster) probeLoop(b *backend) {
+	defer c.wg.Done()
+	fails := 0
+	backoff := c.cfg.reinstateBase
+	timer := time.NewTimer(jitter(c.cfg.probeInterval))
+	defer timer.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-timer.C:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.probeTimeout)
+		_, err := b.cl.Ping(ctx)
+		cancel()
+
+		next := c.cfg.probeInterval
+		if err == nil {
+			fails = 0
+			backoff = c.cfg.reinstateBase
+			if !b.up() {
+				b.br.Reset()
+				b.setUp(true)
+				b.met.reinstatements.Inc()
+			}
+		} else {
+			fails++
+			b.met.probeFailures.Inc()
+			if b.up() && (fails >= c.cfg.failThreshold || errors.Is(err, errs.ErrDraining)) {
+				b.setUp(false)
+				b.met.ejections.Inc()
+			}
+			if !b.up() {
+				next = backoff
+				backoff *= 2
+				if backoff > c.cfg.reinstateMax {
+					backoff = c.cfg.reinstateMax
+				}
+			}
+		}
+		timer.Reset(jitter(next))
+	}
+}
+
+// jitter spreads d to 50–150% of its nominal value.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}

@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states, exported on the montsys_cluster_breaker_state gauge.
+const (
+	breakerClosed   = 0 // healthy: requests flow
+	breakerHalfOpen = 1 // probing: exactly one trial request allowed
+	breakerOpen     = 2 // tripped: requests rejected until the cooldown
+)
+
+func breakerStateName(s int) string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
+// breaker is a per-backend circuit breaker over transport failures.
+// threshold consecutive failures open it; after cooldown one trial
+// request is let through (half-open) — success closes the breaker,
+// failure reopens it for another cooldown. Application-level errors
+// (even modulus, overload fast-fails) never trip it: those prove the
+// transport works.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // swap in tests
+	onState   func(int)        // gauge hook, called with mu held (atomic set)
+
+	mu       sync.Mutex
+	state    int
+	fails    int
+	openedAt time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration, onState func(int)) *breaker {
+	if onState == nil {
+		onState = func(int) {}
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now, onState: onState}
+}
+
+// Allow reports whether a request may be sent. In the open state it
+// transitions to half-open once the cooldown elapses, admitting exactly
+// one trial; callers that are denied must pick another backend.
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.setState(breakerHalfOpen)
+			return true // the trial request
+		}
+		return false
+	default: // half-open: a trial is already in flight
+		return false
+	}
+}
+
+// Success records a working round trip and closes the breaker.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	if b.state != breakerClosed {
+		b.setState(breakerClosed)
+	}
+}
+
+// Failure records a transport failure: threshold consecutive ones trip
+// the breaker, and a failed half-open trial reopens it immediately.
+func (b *breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.state == breakerHalfOpen || (b.state == breakerClosed && b.fails >= b.threshold) {
+		b.openedAt = b.now()
+		b.setState(breakerOpen)
+	}
+}
+
+// Reset force-closes the breaker (a health probe just succeeded, so the
+// transport demonstrably works again).
+func (b *breaker) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.setState(breakerClosed)
+}
+
+// State returns the current state for status snapshots.
+func (b *breaker) State() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+func (b *breaker) setState(s int) {
+	if b.state != s {
+		b.state = s
+		b.onState(s)
+	}
+}

@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*breaker, *fakeClock, *[]int) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	var states []int
+	b := newBreaker(threshold, cooldown, func(s int) { states = append(states, s) })
+	b.now = clk.now
+	return b, clk, &states
+}
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	b, _, _ := newTestBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		b.Failure()
+		if !b.Allow() {
+			t.Fatalf("breaker open after %d failures (threshold 3)", i+1)
+		}
+	}
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("breaker still closed at threshold")
+	}
+	if b.State() != breakerOpen {
+		t.Fatalf("state = %s, want open", breakerStateName(b.State()))
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b, _, _ := newTestBreaker(3, time.Second)
+	b.Failure()
+	b.Failure()
+	b.Success() // streak broken
+	b.Failure()
+	b.Failure()
+	if !b.Allow() {
+		t.Fatal("non-consecutive failures tripped the breaker")
+	}
+}
+
+func TestBreakerHalfOpenCycle(t *testing.T) {
+	b, clk, _ := newTestBreaker(1, time.Second)
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but no trial admitted")
+	}
+	if b.State() != breakerHalfOpen {
+		t.Fatalf("state = %s, want half-open", breakerStateName(b.State()))
+	}
+	// Exactly one trial: a second Allow while half-open is denied.
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second trial")
+	}
+	// Failed trial reopens immediately for a fresh cooldown.
+	b.Failure()
+	if b.State() != breakerOpen {
+		t.Fatal("failed trial did not reopen the breaker")
+	}
+	if b.Allow() {
+		t.Fatal("reopened breaker admitted a request before the new cooldown")
+	}
+	// A successful trial closes it.
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("no trial after second cooldown")
+	}
+	b.Success()
+	if b.State() != breakerClosed || !b.Allow() {
+		t.Fatal("successful trial did not close the breaker")
+	}
+}
+
+func TestBreakerResetAndGaugeHook(t *testing.T) {
+	b, _, states := newTestBreaker(1, time.Hour)
+	b.Failure()
+	b.Reset()
+	if b.State() != breakerClosed || !b.Allow() {
+		t.Fatal("Reset did not close the breaker")
+	}
+	want := []int{breakerOpen, breakerClosed}
+	if len(*states) != len(want) {
+		t.Fatalf("state transitions = %v, want %v", *states, want)
+	}
+	for i, s := range want {
+		if (*states)[i] != s {
+			t.Fatalf("state transitions = %v, want %v", *states, want)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package cluster
+
+import "sync/atomic"
+
+// retryBudget is the cluster-wide brake on retry amplification: hedges
+// and overload failovers — the retries that add load to an already
+// stressed fleet — each spend one token, and tokens are only minted as
+// a fraction of primary requests (ratio per request, capped at burst).
+// During a partial outage the budget lets a bounded slice of traffic
+// retry; past that the original error surfaces instead of the cluster
+// multiplying its own load until everything falls over. Failovers that
+// merely move a request (backend draining or down — the first backend
+// is doing no work) are deliberately exempt.
+//
+// Tokens are stored in millitokens so fractional ratios accumulate
+// exactly; all operations are lock-free CAS loops.
+type retryBudget struct {
+	tokens atomic.Int64 // millitokens
+	perReq int64        // millitokens credited per primary request
+	max    int64        // cap (burst × 1000)
+}
+
+func newRetryBudget(ratio float64, burst int) *retryBudget {
+	if ratio < 0 {
+		ratio = 0
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	rb := &retryBudget{perReq: int64(ratio * 1000), max: int64(burst) * 1000}
+	rb.tokens.Store(rb.max) // start full: cold-start failovers must work
+	return rb
+}
+
+// credit mints tokens for one primary request.
+func (rb *retryBudget) credit() {
+	for {
+		cur := rb.tokens.Load()
+		next := cur + rb.perReq
+		if next > rb.max {
+			next = rb.max
+		}
+		if next == cur || rb.tokens.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// spend takes one token, reporting false (and taking nothing) when the
+// budget is exhausted.
+func (rb *retryBudget) spend() bool {
+	for {
+		cur := rb.tokens.Load()
+		if cur < 1000 {
+			return false
+		}
+		if rb.tokens.CompareAndSwap(cur, cur-1000) {
+			return true
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+)
+
+// The budget starts full so cold-start failovers are never starved.
+func TestBudgetStartsFull(t *testing.T) {
+	rb := newRetryBudget(0.1, 4)
+	for i := 0; i < 4; i++ {
+		if !rb.spend() {
+			t.Fatalf("spend %d refused on a full budget of 4", i+1)
+		}
+	}
+	if rb.spend() {
+		t.Fatal("spend succeeded past the burst cap")
+	}
+}
+
+// Fractional ratios accumulate exactly: at ratio 0.1 every 10 primary
+// requests mint one retry token.
+func TestBudgetFractionalAccrual(t *testing.T) {
+	rb := newRetryBudget(0.1, 4)
+	for i := 0; i < 4; i++ {
+		rb.spend()
+	}
+	for i := 0; i < 9; i++ {
+		rb.credit()
+	}
+	if rb.spend() {
+		t.Fatal("9 credits at ratio 0.1 minted a full token")
+	}
+	rb.credit() // the 10th
+	if !rb.spend() {
+		t.Fatal("10 credits at ratio 0.1 did not mint a token")
+	}
+}
+
+// Credits cap at the burst; a long quiet period cannot bank an
+// unbounded retry storm.
+func TestBudgetCapped(t *testing.T) {
+	rb := newRetryBudget(1.0, 2)
+	for i := 0; i < 100; i++ {
+		rb.credit()
+	}
+	spent := 0
+	for rb.spend() {
+		spent++
+	}
+	if spent != 2 {
+		t.Fatalf("spent %d tokens, want burst cap 2", spent)
+	}
+}
+
+// Concurrent credit/spend never over-issues: total successful spends
+// cannot exceed initial burst + credits minted.
+func TestBudgetConcurrent(t *testing.T) {
+	rb := newRetryBudget(1.0, 8)
+	const workers, iters = 8, 1000
+	var spent int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := int64(0)
+			for i := 0; i < iters; i++ {
+				rb.credit()
+				if rb.spend() {
+					local++
+				}
+			}
+			mu.Lock()
+			spent += local
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	max := int64(8 + workers*iters) // initial burst + every credit
+	if spent > max {
+		t.Fatalf("spent %d > max possible %d", spent, max)
+	}
+}

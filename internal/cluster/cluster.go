@@ -1,0 +1,544 @@
+// Package cluster is the routing tier over a fleet of montsysd
+// backends: one Cluster fans requests out to N servers speaking the
+// montsys wire protocol and makes them behave like a single, larger,
+// more reliable engine — the same move the paper makes inside one
+// exponentiator when it replicates and pipelines MMM arrays (§5,
+// Fig. 5), lifted one level up.
+//
+// The router is built from four cooperating mechanisms:
+//
+//   - A health-checked backend pool. Every backend is probed with the
+//     wire protocol's Ping op; consecutive failures (or a draining
+//     answer) eject it, and probes with jittered exponential backoff
+//     reinstate it when it recovers. A per-backend circuit breaker
+//     catches what probes miss between rounds: transport failures on
+//     live traffic trip it, a cooldown later one trial request may
+//     close it again.
+//
+//   - Modulus-affinity routing. The engine behind each backend keeps a
+//     per-modulus Montgomery context LRU; a request for modulus N is
+//     an order of magnitude cheaper where N's context is already warm.
+//     Rendezvous (HRW) hashing on the modulus gives every N a stable
+//     "home" backend with no shared state and minimal movement when
+//     the pool changes; repeat-modulus traffic therefore lands on warm
+//     caches. A home that is overloaded (relative to the least-loaded
+//     backend) is spilled away from; requests with no affinity key use
+//     least-inflight selection.
+//
+//   - Tail-latency hedging. After a delay derived from the cluster's
+//     own p99 latency, a slow request is raced against a second
+//     backend and the first answer wins (the loser is cancelled).
+//     Hedges spend from a global retry budget so they can never
+//     amplify an outage.
+//
+//   - Failover. ErrDraining / ErrBackendDown / ErrEngineClosed answers
+//     move the request to the next backend for free (the first backend
+//     is doing no work for us); ErrOverloaded failovers spend from the
+//     retry budget (both backends did admission work, and the fleet is
+//     evidently stressed). Application errors — even modulus, operand
+//     range — fail immediately: they are deterministic.
+//
+// All of it is observable: montsys_cluster_* metrics register into the
+// same obs.Registry as everything else, so one /metrics page spans
+// client → balancer → backend → engine → systolic core.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/errs"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// Option configures New.
+type Option func(*config)
+
+type config struct {
+	registry *obs.Registry
+
+	probeInterval time.Duration
+	probeTimeout  time.Duration
+	failThreshold int
+	reinstateBase time.Duration
+	reinstateMax  time.Duration
+
+	breakerThreshold int
+	breakerCooldown  time.Duration
+
+	affinity   bool
+	spillSlack int64
+
+	hedge    bool
+	hedgeMin time.Duration
+	hedgeMax time.Duration
+
+	budgetRatio float64
+	budgetBurst int
+
+	clientOpts []server.ClientOption
+}
+
+// WithRegistry collects the cluster's metrics into an existing registry
+// (default: a fresh one), so the balancer's /metrics page carries the
+// router and its wire server together.
+func WithRegistry(r *obs.Registry) Option { return func(c *config) { c.registry = r } }
+
+// WithProbeInterval sets the health-probe cadence for in-rotation
+// backends (default 1s).
+func WithProbeInterval(d time.Duration) Option { return func(c *config) { c.probeInterval = d } }
+
+// WithProbeTimeout bounds each Ping probe (default 1s).
+func WithProbeTimeout(d time.Duration) Option { return func(c *config) { c.probeTimeout = d } }
+
+// WithFailThreshold sets how many consecutive probe failures eject a
+// backend (default 3). A draining answer ejects immediately regardless.
+func WithFailThreshold(n int) Option { return func(c *config) { c.failThreshold = n } }
+
+// WithReinstateBackoff sets the probe backoff envelope for ejected
+// backends: base doubles per failed probe up to max, jittered 50–150%
+// (defaults 500ms, 30s).
+func WithReinstateBackoff(base, max time.Duration) Option {
+	return func(c *config) { c.reinstateBase, c.reinstateMax = base, max }
+}
+
+// WithBreaker tunes the per-backend circuit breaker: threshold
+// consecutive transport failures open it, and after cooldown one trial
+// request may close it (defaults 5, 2s).
+func WithBreaker(threshold int, cooldown time.Duration) Option {
+	return func(c *config) { c.breakerThreshold, c.breakerCooldown = threshold, cooldown }
+}
+
+// WithAffinity toggles modulus-affinity (HRW) routing (default on).
+// Off, every request uses least-inflight selection.
+func WithAffinity(on bool) Option { return func(c *config) { c.affinity = on } }
+
+// WithSpillSlack sets the load headroom an affinity home is allowed
+// over the least-loaded backend before requests spill away from it: the
+// home is used while its in-flight count ≤ 2×(least in-flight)+slack
+// (default 8).
+func WithSpillSlack(n int) Option { return func(c *config) { c.spillSlack = int64(n) } }
+
+// WithHedging toggles tail-latency hedging (default on). Hedges spend
+// from the retry budget.
+func WithHedging(on bool) Option { return func(c *config) { c.hedge = on } }
+
+// WithHedgeDelayBounds clamps the p99-derived hedge delay (defaults
+// 1ms, 250ms). Until enough latency samples exist, max is used.
+func WithHedgeDelayBounds(min, max time.Duration) Option {
+	return func(c *config) { c.hedgeMin, c.hedgeMax = min, max }
+}
+
+// WithRetryBudget sets the global retry budget: hedges and overload
+// retries spend one token each, and tokens accrue at ratio per primary
+// request up to burst (defaults 0.1, 16). A zero ratio with a small
+// burst effectively disables load-adding retries after the burst.
+func WithRetryBudget(ratio float64, burst int) Option {
+	return func(c *config) { c.budgetRatio, c.budgetBurst = ratio, burst }
+}
+
+// WithClientOptions passes extra options to every backend's wire
+// client. The cluster defaults each client to zero internal retries —
+// the router owns retry policy, and a client silently retrying against
+// the same backend would blur failover — but an explicit
+// WithMaxRetries here overrides that.
+func WithClientOptions(opts ...server.ClientOption) Option {
+	return func(c *config) { c.clientOpts = append(c.clientOpts, opts...) }
+}
+
+// Cluster routes montsys requests over a pool of montsysd backends.
+// It implements the same call surface as server.Client (ModExp, Mont,
+// ModExpBatch) and satisfies server.Handler, so it can sit behind a
+// wire server of its own — that composition is the montsyslb proxy.
+// A Cluster is safe for concurrent use by multiple goroutines.
+type Cluster struct {
+	cfg      config
+	backends []*backend
+	met      *metrics
+	budget   *retryBudget
+
+	rr     atomic.Uint64 // least-inflight tie-break rotation
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// New builds a cluster over the backend addresses and starts their
+// health probes. Backends begin in rotation (optimistically up);
+// connections are dialed lazily by the underlying clients.
+func New(addrs []string, opts ...Option) (*Cluster, error) {
+	uniq := make([]string, 0, len(addrs))
+	seen := make(map[string]bool, len(addrs))
+	for _, a := range addrs {
+		if a == "" || seen[a] {
+			continue
+		}
+		seen[a] = true
+		uniq = append(uniq, a)
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("cluster: no backend addresses")
+	}
+	cfg := config{
+		probeInterval:    time.Second,
+		probeTimeout:     time.Second,
+		failThreshold:    3,
+		reinstateBase:    500 * time.Millisecond,
+		reinstateMax:     30 * time.Second,
+		breakerThreshold: 5,
+		breakerCooldown:  2 * time.Second,
+		affinity:         true,
+		spillSlack:       8,
+		hedge:            true,
+		hedgeMin:         time.Millisecond,
+		hedgeMax:         250 * time.Millisecond,
+		budgetRatio:      0.1,
+		budgetBurst:      16,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.registry == nil {
+		cfg.registry = obs.NewRegistry()
+	}
+	if cfg.failThreshold < 1 {
+		cfg.failThreshold = 1
+	}
+	if cfg.hedgeMax < cfg.hedgeMin {
+		cfg.hedgeMax = cfg.hedgeMin
+	}
+
+	c := &Cluster{
+		cfg:    cfg,
+		met:    newMetrics(cfg.registry, uniq),
+		budget: newRetryBudget(cfg.budgetRatio, cfg.budgetBurst),
+		stop:   make(chan struct{}),
+	}
+	clOpts := append([]server.ClientOption{server.WithMaxRetries(0)}, cfg.clientOpts...)
+	for _, a := range uniq {
+		bm := c.met.perBackend[a]
+		b := &backend{
+			addr: a,
+			cl:   server.Dial(a, clOpts...),
+			met:  bm,
+		}
+		b.br = newBreaker(cfg.breakerThreshold, cfg.breakerCooldown,
+			func(s int) { bm.breakerState.Set(int64(s)) })
+		b.setUp(true)
+		c.backends = append(c.backends, b)
+	}
+	for _, b := range c.backends {
+		c.wg.Add(1)
+		go c.probeLoop(b)
+	}
+	return c, nil
+}
+
+// Close stops the health probes and closes every backend client.
+// In-flight calls fail; further calls return ErrEngineClosed-wrapped
+// errors.
+func (c *Cluster) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	close(c.stop)
+	c.wg.Wait()
+	for _, b := range c.backends {
+		b.cl.Close()
+	}
+	return nil
+}
+
+// Registry returns the registry the cluster's metrics live in.
+func (c *Cluster) Registry() *obs.Registry { return c.cfg.registry }
+
+// Addrs lists the backend addresses in pool order.
+func (c *Cluster) Addrs() []string {
+	out := make([]string, len(c.backends))
+	for i, b := range c.backends {
+		out[i] = b.addr
+	}
+	return out
+}
+
+// BackendStatus is one backend's routing state at a point in time.
+type BackendStatus struct {
+	Addr     string
+	Up       bool   // in rotation (health probes)
+	Inflight int64  // cluster-side requests currently on it
+	Breaker  string // "closed" | "half-open" | "open"
+}
+
+// Status snapshots every backend, in pool order.
+func (c *Cluster) Status() []BackendStatus {
+	out := make([]BackendStatus, len(c.backends))
+	for i, b := range c.backends {
+		out[i] = BackendStatus{
+			Addr:     b.addr,
+			Up:       b.up(),
+			Inflight: b.inflight.Load(),
+			Breaker:  breakerStateName(b.br.State()),
+		}
+	}
+	return out
+}
+
+// ModExp computes Base^Exp mod N on the cluster, routing by N's
+// affinity home and hedging the tail.
+func (c *Cluster) ModExp(ctx context.Context, n, base, exp *big.Int) (*big.Int, error) {
+	return doCall(c, ctx, affinityKey(n), true,
+		func(ctx context.Context, b *backend) (*big.Int, error) {
+			return b.cl.ModExp(ctx, n, base, exp)
+		})
+}
+
+// Mont computes the raw Montgomery product X·Y·R⁻¹ mod 2N on the
+// cluster.
+func (c *Cluster) Mont(ctx context.Context, n, x, y *big.Int) (*big.Int, error) {
+	return doCall(c, ctx, affinityKey(n), true,
+		func(ctx context.Context, b *backend) (*big.Int, error) {
+			return b.cl.Mont(ctx, n, x, y)
+		})
+}
+
+// ModExpBatch runs an order-preserving batch on one backend, routed by
+// the first job's modulus (batches overwhelmingly share one). Batches
+// fail over as a unit but are not hedged — racing a large batch doubles
+// real work, not just tail risk.
+func (c *Cluster) ModExpBatch(ctx context.Context, jobs []engine.ModExpJob) ([]engine.ModExpResult, error) {
+	var key []byte
+	if len(jobs) > 0 {
+		key = affinityKey(jobs[0].N)
+	}
+	return doCall(c, ctx, key, false,
+		func(ctx context.Context, b *backend) ([]engine.ModExpResult, error) {
+			return b.cl.ModExpBatch(ctx, jobs)
+		})
+}
+
+// affinityKey is the HRW key of a modulus (nil for a nil modulus — the
+// request then routes by least-inflight and the backend rejects it).
+func affinityKey(n *big.Int) []byte {
+	if n == nil {
+		return nil
+	}
+	return n.Bytes()
+}
+
+// failoverable reports whether an error from one backend justifies
+// trying another: instance-local conditions yes, deterministic
+// application errors no.
+func failoverable(err error) bool {
+	return errors.Is(err, errs.ErrOverloaded) ||
+		errors.Is(err, errs.ErrDraining) ||
+		errors.Is(err, errs.ErrBackendDown) ||
+		errors.Is(err, errs.ErrEngineClosed)
+}
+
+// doCall is the routing loop shared by every cluster operation: pick a
+// backend, attempt (with hedging when hedgeable), and on a failoverable
+// error move to the next backend — draining/down moves are free,
+// overload moves spend retry budget. Generic because ModExpBatch
+// returns a slice while the single ops return a value.
+func doCall[T any](c *Cluster, ctx context.Context, key []byte, hedgeable bool,
+	call func(context.Context, *backend) (T, error)) (T, error) {
+	var zero T
+	if c.closed.Load() {
+		return zero, fmt.Errorf("cluster: closed: %w", errs.ErrEngineClosed)
+	}
+	c.budget.credit()
+	tried := make(map[*backend]bool, len(c.backends))
+	var lastErr error
+	for i := 0; i < len(c.backends); i++ {
+		b, reason := c.pick(key, tried)
+		if b == nil {
+			break
+		}
+		if i > 0 {
+			reason = "failover"
+		}
+		tried[b] = true
+		v, err := attempt(c, ctx, b, key, tried, reason, hedgeable, call)
+		if err == nil {
+			return v, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil || !failoverable(err) {
+			return zero, err
+		}
+		if errors.Is(err, errs.ErrOverloaded) && !c.budget.spend() {
+			c.met.budgetDenied.Inc()
+			return zero, err
+		}
+		c.met.failovers.Inc()
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("cluster: no backend in rotation: %w", errs.ErrBackendDown)
+	}
+	return zero, lastErr
+}
+
+// attempt runs one routed request on primary, hedging onto a second
+// backend if the p99-derived delay expires first. The first success
+// wins and cancels the other; hedge launches spend retry budget.
+func attempt[T any](c *Cluster, ctx context.Context, primary *backend, key []byte,
+	tried map[*backend]bool, reason string, hedgeable bool,
+	call func(context.Context, *backend) (T, error)) (T, error) {
+	var zero T
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type result struct {
+		v      T
+		err    error
+		hedged bool
+	}
+	ch := make(chan result, 2) // both goroutines can always deliver and exit
+	launch := func(b *backend, hedged bool) {
+		b.acquire()
+		go func() {
+			t0 := time.Now()
+			v, err := call(cctx, b)
+			b.release()
+			c.observe(b, err, time.Since(t0))
+			ch <- result{v, err, hedged}
+		}()
+	}
+	c.met.pick(primary, reason)
+	launch(primary, false)
+
+	var hedgeC <-chan time.Time
+	if hedgeable && c.cfg.hedge && len(c.backends) > 1 {
+		t := time.NewTimer(c.hedgeDelay())
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	outstanding := 1
+	var lastErr error
+	for outstanding > 0 {
+		select {
+		case r := <-ch:
+			outstanding--
+			if r.err == nil {
+				if r.hedged {
+					c.met.hedgeWins.Inc()
+				}
+				cancel() // the slower copy unwinds into the buffered channel
+				return r.v, nil
+			}
+			lastErr = r.err
+		case <-hedgeC:
+			hedgeC = nil
+			h, _ := c.pick(key, tried)
+			if h == nil {
+				continue
+			}
+			if !c.budget.spend() {
+				c.met.budgetDenied.Inc()
+				continue
+			}
+			tried[h] = true
+			c.met.hedges.Inc()
+			c.met.pick(h, "hedge")
+			launch(h, true)
+			outstanding++
+		}
+	}
+	return zero, lastErr
+}
+
+// observe feeds one finished backend call into the breaker and the
+// latency histogram. Only transport failures trip the breaker: an
+// application error or an explicit overload/drain answer proves the
+// transport works, and a cancellation says nothing either way.
+func (c *Cluster) observe(b *backend, err error, elapsed time.Duration) {
+	switch {
+	case err == nil:
+		b.br.Success()
+		c.met.latency.ObserveDuration(elapsed)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// no signal
+	case errors.Is(err, errs.ErrBackendDown):
+		b.br.Failure()
+	default:
+		b.br.Success()
+	}
+}
+
+// hedgeDelay derives the hedge trigger from the cluster's own latency:
+// p99 clamped to [hedgeMin, hedgeMax], with hedgeMax used until enough
+// samples exist for a meaningful percentile.
+func (c *Cluster) hedgeDelay() time.Duration {
+	s := c.met.latency.Snapshot()
+	if s.Count < 16 {
+		return c.cfg.hedgeMax
+	}
+	d := time.Duration(s.P99)
+	if d < c.cfg.hedgeMin {
+		d = c.cfg.hedgeMin
+	}
+	if d > c.cfg.hedgeMax {
+		d = c.cfg.hedgeMax
+	}
+	return d
+}
+
+// pick chooses the next backend: among in-rotation, not-yet-tried
+// backends whose breaker admits a request, the modulus's HRW home
+// unless it is overloaded (then the least-inflight backend), or plain
+// least-inflight when there is no affinity key. Returns nil when no
+// backend qualifies. Backends whose breaker denies the request are
+// marked tried, so callers naturally move past them.
+func (c *Cluster) pick(key []byte, tried map[*backend]bool) (*backend, string) {
+	for {
+		b, reason := c.choose(key, tried)
+		if b == nil {
+			return nil, ""
+		}
+		if b.br.Allow() {
+			return b, reason
+		}
+		tried[b] = true
+	}
+}
+
+func (c *Cluster) choose(key []byte, excluded map[*backend]bool) (*backend, string) {
+	cands := make([]*backend, 0, len(c.backends))
+	for _, b := range c.backends {
+		if b.up() && !excluded[b] {
+			cands = append(cands, b)
+		}
+	}
+	if len(cands) == 0 {
+		return nil, ""
+	}
+
+	// Least-inflight with a rotating tie-break, so equal backends share
+	// load instead of the first one absorbing it all.
+	start := int(c.rr.Add(1)) % len(cands)
+	least := cands[start]
+	min := least.inflight.Load()
+	for k := 1; k < len(cands); k++ {
+		b := cands[(start+k)%len(cands)]
+		if v := b.inflight.Load(); v < min {
+			least, min = b, v
+		}
+	}
+
+	if c.cfg.affinity && len(key) > 0 {
+		home := hrwBest(key, cands)
+		if home.inflight.Load() <= 2*min+c.cfg.spillSlack {
+			return home, "affinity"
+		}
+		return least, "spill"
+	}
+	return least, "least_inflight"
+}

@@ -1,0 +1,37 @@
+package cluster
+
+import "hash/fnv"
+
+// hrwScore is the rendezvous (highest-random-weight) score of one
+// backend for one affinity key. Every router hashing the same key over
+// the same backend set ranks the backends identically, with no shared
+// state and no ring to rebalance: the affinity home of a modulus is
+// simply the backend maximizing this score. When a backend leaves, only
+// the keys it owned move (to their second-ranked choice); every other
+// key keeps its home — exactly the property the engine's per-modulus
+// context cache wants from a balancer.
+//
+// FNV-1a is not cryptographic, and does not need to be: the key is a
+// public modulus and the score only spreads load. A 0xff separator
+// keeps (key, addr) pairs prefix-unambiguous (addresses are ASCII,
+// moduli are raw bytes).
+func hrwScore(key []byte, addr string) uint64 {
+	h := fnv.New64a()
+	h.Write(key)
+	h.Write([]byte{0xff})
+	h.Write([]byte(addr))
+	return h.Sum64()
+}
+
+// hrwBest returns the backend in cands maximizing hrwScore for key.
+// cands must be non-empty.
+func hrwBest(key []byte, cands []*backend) *backend {
+	best := cands[0]
+	bestScore := hrwScore(key, best.addr)
+	for _, b := range cands[1:] {
+		if s := hrwScore(key, b.addr); s > bestScore {
+			best, bestScore = b, s
+		}
+	}
+	return best
+}

@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"crypto/rand"
+	"fmt"
+	"testing"
+)
+
+func mkBackends(addrs ...string) []*backend {
+	out := make([]*backend, len(addrs))
+	for i, a := range addrs {
+		out[i] = &backend{addr: a}
+	}
+	return out
+}
+
+// The same key always ranks the same home, regardless of candidate
+// order — determinism is the whole point of rendezvous hashing.
+func TestHRWDeterministic(t *testing.T) {
+	a := mkBackends("h1:7077", "h2:7077", "h3:7077")
+	b := mkBackends("h3:7077", "h1:7077", "h2:7077")
+	for i := 0; i < 64; i++ {
+		key := []byte(fmt.Sprintf("modulus-%d", i))
+		if hrwBest(key, a).addr != hrwBest(key, b).addr {
+			t.Fatalf("key %q: home depends on candidate order", key)
+		}
+	}
+}
+
+// Keys spread across the pool instead of piling onto one backend.
+func TestHRWBalance(t *testing.T) {
+	bs := mkBackends("h1:7077", "h2:7077", "h3:7077", "h4:7077")
+	counts := map[string]int{}
+	const keys = 4096
+	for i := 0; i < keys; i++ {
+		key := make([]byte, 64)
+		rand.Read(key)
+		counts[hrwBest(key, bs).addr]++
+	}
+	want := keys / len(bs)
+	for addr, n := range counts {
+		if n < want/2 || n > want*2 {
+			t.Errorf("%s got %d of %d keys (expected near %d)", addr, n, keys, want)
+		}
+	}
+}
+
+// Removing one backend moves only the keys it owned; every other key
+// keeps its home. This is what keeps backend context caches warm
+// across pool changes.
+func TestHRWMinimalDisruption(t *testing.T) {
+	full := mkBackends("h1:7077", "h2:7077", "h3:7077", "h4:7077")
+	smaller := full[:3] // h4 leaves
+	moved, owned := 0, 0
+	for i := 0; i < 2048; i++ {
+		key := []byte(fmt.Sprintf("key-%d", i))
+		before := hrwBest(key, full).addr
+		after := hrwBest(key, smaller).addr
+		if before == "h4:7077" {
+			owned++
+			continue // these must move; anywhere is fine
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys not owned by the departed backend moved homes", moved)
+	}
+	if owned == 0 {
+		t.Error("departed backend owned no keys; balance test should have caught this")
+	}
+}
+
+// Prefix ambiguity between key and address must not collide scores:
+// (key="ab", addr="c") vs (key="a", addr="bc").
+func TestHRWSeparator(t *testing.T) {
+	if hrwScore([]byte("ab"), "c") == hrwScore([]byte("a"), "bc") {
+		t.Error("prefix-ambiguous (key, addr) pairs collide")
+	}
+}

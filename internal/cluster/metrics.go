@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"repro/internal/obs"
+)
+
+// pickReasons label why the router chose a backend:
+//
+//	affinity        HRW home of the request's modulus (warm ctx cache)
+//	spill           affinity home overloaded; least-inflight instead
+//	least_inflight  no affinity key (or affinity disabled)
+//	failover        previous backend failed; next choice
+//	hedge           tail-latency hedge fired on a second backend
+var pickReasons = []string{"affinity", "spill", "least_inflight", "failover", "hedge"}
+
+// metrics is the cluster's instrument block, pre-registered so the
+// request hot path never touches the registry lock. Registered into
+// the same obs.Registry as the proxy's server metrics (and scraped next
+// to the backends' pages) it completes the client → balancer → backend
+// → engine → systolic-core metrics story:
+//
+//	montsys_cluster_backend_up{backend}          1 = in rotation (gauge)
+//	montsys_cluster_backend_inflight{backend}    cluster-side in-flight (gauge)
+//	montsys_cluster_breaker_state{backend}       0 closed, 1 half-open, 2 open
+//	montsys_cluster_picks_total{backend,reason}  routing decisions (counter)
+//	montsys_cluster_affinity_hits_total          requests routed to their HRW home
+//	montsys_cluster_affinity_spills_total        affinity home overloaded, spilled
+//	montsys_cluster_hedges_total                 hedge requests launched
+//	montsys_cluster_hedge_wins_total             hedges that answered first
+//	montsys_cluster_failovers_total              attempts moved to another backend
+//	montsys_cluster_retry_budget_denied_total    hedges/retries the budget refused
+//	montsys_cluster_probe_failures_total{backend}
+//	montsys_cluster_ejections_total{backend}     health ejections
+//	montsys_cluster_reinstatements_total{backend}
+//	montsys_cluster_request_seconds              end-to-end latency histogram
+type metrics struct {
+	latency        *obs.Histogram
+	hedges         *obs.Counter
+	hedgeWins      *obs.Counter
+	affinityHits   *obs.Counter
+	affinitySpills *obs.Counter
+	failovers      *obs.Counter
+	budgetDenied   *obs.Counter
+	perBackend     map[string]*backendMetrics
+}
+
+type backendMetrics struct {
+	up             *obs.Gauge
+	inflight       *obs.Gauge
+	breakerState   *obs.Gauge
+	picks          map[string]*obs.Counter
+	probeFailures  *obs.Counter
+	ejections      *obs.Counter
+	reinstatements *obs.Counter
+}
+
+func newMetrics(reg *obs.Registry, addrs []string) *metrics {
+	m := &metrics{
+		perBackend: make(map[string]*backendMetrics, len(addrs)),
+	}
+	m.latency = reg.Histogram("montsys_cluster_request_seconds",
+		"End-to-end latency of successful cluster requests (feeds the hedge delay).")
+	m.hedges = reg.Counter("montsys_cluster_hedges_total",
+		"Hedge requests launched after the p99-derived delay.")
+	m.hedgeWins = reg.Counter("montsys_cluster_hedge_wins_total",
+		"Hedge requests that answered before the primary.")
+	m.affinityHits = reg.Counter("montsys_cluster_affinity_hits_total",
+		"Requests routed to their modulus's rendezvous-hash home backend.")
+	m.affinitySpills = reg.Counter("montsys_cluster_affinity_spills_total",
+		"Requests whose affinity home was overloaded and spilled to least-inflight.")
+	m.failovers = reg.Counter("montsys_cluster_failovers_total",
+		"Attempts moved to another backend after a failoverable error.")
+	m.budgetDenied = reg.Counter("montsys_cluster_retry_budget_denied_total",
+		"Hedges and overload retries refused by the retry budget.")
+	for _, a := range addrs {
+		bl := obs.Label("backend", a)
+		bm := &backendMetrics{
+			up: reg.GaugeLabeled("montsys_cluster_backend_up",
+				"1 while the backend is in rotation, 0 while ejected.", bl),
+			inflight: reg.GaugeLabeled("montsys_cluster_backend_inflight",
+				"Requests the cluster currently has in flight on the backend.", bl),
+			breakerState: reg.GaugeLabeled("montsys_cluster_breaker_state",
+				"Circuit breaker state: 0 closed, 1 half-open, 2 open.", bl),
+			picks: make(map[string]*obs.Counter, len(pickReasons)),
+			probeFailures: reg.CounterLabeled("montsys_cluster_probe_failures_total",
+				"Health probes that failed or answered draining.", bl),
+			ejections: reg.CounterLabeled("montsys_cluster_ejections_total",
+				"Times the backend was taken out of rotation.", bl),
+			reinstatements: reg.CounterLabeled("montsys_cluster_reinstatements_total",
+				"Times a probe brought the backend back into rotation.", bl),
+		}
+		for _, r := range pickReasons {
+			bm.picks[r] = reg.CounterLabeled("montsys_cluster_picks_total",
+				"Routing decisions by backend and reason.",
+				bl, obs.Label("reason", r))
+		}
+		m.perBackend[a] = bm
+	}
+	return m
+}
+
+// pick records one routing decision.
+func (m *metrics) pick(b *backend, reason string) {
+	if c, ok := b.met.picks[reason]; ok {
+		c.Inc()
+	}
+	switch reason {
+	case "affinity":
+		m.affinityHits.Inc()
+	case "spill":
+		m.affinitySpills.Inc()
+	}
+}

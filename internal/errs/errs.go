@@ -46,4 +46,13 @@ var (
 	// version mismatch, an unknown opcode, or a truncated payload. Not
 	// retryable: the same bytes will fail the same way.
 	ErrProtocol = errors.New("protocol error")
+
+	// ErrBackendDown reports that the transport to a backend failed: a
+	// dial was refused (the wrapped chain carries the dial error) or a
+	// connection died and the retry budget ran out before it could be
+	// re-established. The cluster tier classifies this with errors.Is
+	// to fail over to the next backend; from a single client's point of
+	// view it is transient the way ErrDraining is — another instance
+	// may answer the retry.
+	ErrBackendDown = errors.New("backend down")
 )

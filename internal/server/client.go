@@ -37,7 +37,9 @@ func WithPoolSize(n int) ClientOption { return func(c *clientConfig) { c.pool = 
 
 // WithDialTimeout bounds each dial (default 5s); the call context can
 // only tighten it.
-func WithDialTimeout(d time.Duration) ClientOption { return func(c *clientConfig) { c.dialTimeout = d } }
+func WithDialTimeout(d time.Duration) ClientOption {
+	return func(c *clientConfig) { c.dialTimeout = d }
+}
 
 // WithMaxRetries sets how many times a transient failure is retried
 // after the first attempt (default 3; 0 disables retries).
@@ -86,6 +88,7 @@ var idempotent = map[Op]bool{
 	OpMont:        true, // pure: X·Y·R⁻¹ mod 2N
 	OpModExp:      true, // pure: Base^Exp mod N
 	OpBatchModExp: true,
+	OpPing:        true, // read-only health check
 }
 
 // Dial prepares a client for addr. Connections are established lazily
@@ -151,6 +154,19 @@ func (c *Client) Mont(ctx context.Context, n, x, y *big.Int) (*big.Int, error) {
 	return resp.values[0], nil
 }
 
+// Ping health-checks the server. On success it returns the server's
+// current in-flight request count — a cheap load signal for balancers.
+// A draining server answers ErrDraining; an unreachable one
+// ErrBackendDown (wrapping the dial error). Pings bypass the server's
+// admission control, so they keep answering under overload.
+func (c *Client) Ping(ctx context.Context) (inflight int64, err error) {
+	resp, err := c.call(ctx, OpPing, nil)
+	if err != nil {
+		return 0, err
+	}
+	return resp.values[0].Int64(), nil
+}
+
 // ModExpBatch runs an order-preserving exponentiation batch remotely:
 // results[i] answers jobs[i], with per-item errors mapped back to the
 // same sentinels the in-process engine returns. Per-job Deadline
@@ -181,14 +197,21 @@ func (c *Client) ModExpBatch(ctx context.Context, jobs []engine.ModExpJob) ([]en
 }
 
 // transientCode reports whether a wire code signals a condition worth
-// retrying against the same (or a re-dialed) endpoint.
+// retrying against the same (or a re-dialed) endpoint. CodeBackendDown
+// is transient the same way draining is: a balancer that answered it
+// may have reinstated a backend by the next attempt.
 func transientCode(code Code) bool {
-	return code == CodeOverloaded || code == CodeDraining
+	return code == CodeOverloaded || code == CodeDraining || code == CodeBackendDown
 }
 
-// call runs one request with the retry loop around tryOnce.
+// call runs one request with the retry loop around tryOnce. When the
+// retry budget runs out on a network-level failure (the dial refused,
+// or the connection died and could not be re-established), the returned
+// error wraps errs.ErrBackendDown around the underlying transport error
+// so failover layers can classify it with errors.Is.
 func (c *Client) call(ctx context.Context, op Op, jobs []triple) (*response, error) {
 	var lastErr error
+	var lastNetwork bool
 	for attempt := 0; ; attempt++ {
 		resp, wrote, err := c.tryOnce(ctx, op, jobs)
 		switch {
@@ -196,6 +219,7 @@ func (c *Client) call(ctx context.Context, op Op, jobs []triple) (*response, err
 			return resp, nil
 		case err == nil:
 			lastErr = errFor(resp.code, resp.msg)
+			lastNetwork = false
 			if !transientCode(resp.code) {
 				return nil, lastErr
 			}
@@ -207,11 +231,16 @@ func (c *Client) call(ctx context.Context, op Op, jobs []triple) (*response, err
 			// A network-level failure. Before the request was written it
 			// is trivially safe to retry; after, only idempotent ops may.
 			lastErr = err
+			lastNetwork = true
 			if wrote && !idempotent[op] {
 				return nil, fmt.Errorf("server: ambiguous failure on non-idempotent op: %w", err)
 			}
 		}
 		if attempt >= c.cfg.maxRetries {
+			if lastNetwork && !errors.Is(lastErr, errs.ErrBackendDown) {
+				return nil, fmt.Errorf("server: %s unreachable after %d attempts: %w (%w)",
+					c.addr, attempt+1, errs.ErrBackendDown, lastErr)
+			}
 			return nil, fmt.Errorf("server: giving up after %d attempts: %w", attempt+1, lastErr)
 		}
 		if err := c.sleep(ctx, attempt); err != nil {

@@ -26,7 +26,7 @@ type metrics struct {
 }
 
 // serverOps enumerates the ops metrics are labeled with.
-var serverOps = []Op{OpMont, OpModExp, OpBatchModExp}
+var serverOps = []Op{OpMont, OpModExp, OpBatchModExp, OpPing}
 
 func newMetrics(reg *obs.Registry) *metrics {
 	m := &metrics{

@@ -53,11 +53,17 @@ type Op uint8
 
 // Wire operations. OpMont is one raw Montgomery product X·Y·R⁻¹ mod 2N;
 // OpModExp one modular exponentiation; OpBatchModExp an order-preserving
-// batch of exponentiations answered with per-item codes.
+// batch of exponentiations answered with per-item codes. OpPing is the
+// health-check op: no body, answered inline on the read loop without
+// taking an admission slot, OK while serving (the value is the server's
+// current in-flight count, a cheap load signal for balancers) and
+// CodeDraining once a graceful shutdown has begun. Op values are a
+// network ABI — append only.
 const (
 	OpMont        Op = 1
 	OpModExp      Op = 2
 	OpBatchModExp Op = 3
+	OpPing        Op = 4
 )
 
 // String names an op the way the server's metrics label it.
@@ -69,6 +75,8 @@ func (o Op) String() string {
 		return "modexp"
 	case OpBatchModExp:
 		return "batch_modexp"
+	case OpPing:
+		return "ping"
 	default:
 		return "unknown"
 	}
@@ -82,17 +90,18 @@ type Code uint8
 
 // Wire codes. Order is frozen — these are a network ABI, append only.
 const (
-	CodeOK             Code = 0
-	CodeEvenModulus    Code = 1
+	CodeOK              Code = 0
+	CodeEvenModulus     Code = 1
 	CodeModulusTooSmall Code = 2
-	CodeOperandRange   Code = 3
-	CodeEngineClosed   Code = 4
-	CodeOverloaded     Code = 5
-	CodeDraining       Code = 6
-	CodeProtocol       Code = 7
-	CodeDeadline       Code = 8
-	CodeCanceled       Code = 9
-	CodeInternal       Code = 255
+	CodeOperandRange    Code = 3
+	CodeEngineClosed    Code = 4
+	CodeOverloaded      Code = 5
+	CodeDraining        Code = 6
+	CodeProtocol        Code = 7
+	CodeDeadline        Code = 8
+	CodeCanceled        Code = 9
+	CodeBackendDown     Code = 10
+	CodeInternal        Code = 255
 )
 
 // String names a code the way the server's metrics label it.
@@ -118,6 +127,8 @@ func (c Code) String() string {
 		return "deadline"
 	case CodeCanceled:
 		return "canceled"
+	case CodeBackendDown:
+		return "backend_down"
 	default:
 		return "internal"
 	}
@@ -128,7 +139,7 @@ func (c Code) String() string {
 var wireCodes = []Code{
 	CodeOK, CodeEvenModulus, CodeModulusTooSmall, CodeOperandRange,
 	CodeEngineClosed, CodeOverloaded, CodeDraining, CodeProtocol,
-	CodeDeadline, CodeCanceled, CodeInternal,
+	CodeDeadline, CodeCanceled, CodeBackendDown, CodeInternal,
 }
 
 // codeFor maps an error to its wire code. Unrecognized errors become
@@ -151,6 +162,8 @@ func codeFor(err error) Code {
 		return CodeDraining
 	case errors.Is(err, errs.ErrProtocol):
 		return CodeProtocol
+	case errors.Is(err, errs.ErrBackendDown):
+		return CodeBackendDown
 	case errors.Is(err, context.DeadlineExceeded):
 		return CodeDeadline
 	case errors.Is(err, context.Canceled):
@@ -185,6 +198,8 @@ func errFor(code Code, msg string) error {
 		return fmt.Errorf("montsys: remote: %s: %w", msg, errs.ErrDraining)
 	case CodeProtocol:
 		return fmt.Errorf("montsys: remote: %s: %w", msg, errs.ErrProtocol)
+	case CodeBackendDown:
+		return fmt.Errorf("montsys: remote: %s: %w", msg, errs.ErrBackendDown)
 	case CodeDeadline:
 		return fmt.Errorf("montsys: remote: %s: %w", msg, context.DeadlineExceeded)
 	case CodeCanceled:
@@ -407,6 +422,8 @@ func decodeRequest(payload []byte) (*request, error) {
 	count := 1
 	switch op {
 	case OpMont, OpModExp:
+	case OpPing:
+		count = 0
 	case OpBatchModExp:
 		c, err := d.uint32()
 		if err != nil {

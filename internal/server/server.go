@@ -47,18 +47,39 @@ func WithMaxFrame(n int) Option { return func(c *config) { c.maxFrame = n } }
 // carries the whole pipeline.
 func WithRegistry(r *obs.Registry) Option { return func(c *config) { c.registry = r } }
 
-// Server is the TCP front door of an engine: it multiplexes many
-// client connections onto one engine.Engine, speaking the length-
+// Handler executes decoded requests on behalf of the server. The
+// multi-core engine is the canonical implementation (via NewServer's
+// adapter); the cluster tier's balancer is another — montsyslb serves
+// the same wire protocol with a Handler that routes to remote backends
+// instead of local cores. Implementations must be safe for concurrent
+// use; per-request deadlines arrive on the context.
+type Handler interface {
+	// Mont computes the raw Montgomery product X·Y·R⁻¹ mod 2N.
+	Mont(ctx context.Context, n, x, y *big.Int) (*big.Int, error)
+	// ModExp computes Base^Exp mod N.
+	ModExp(ctx context.Context, n, base, exp *big.Int) (*big.Int, error)
+	// ModExpBatch answers jobs order-preservingly with per-item errors.
+	ModExpBatch(ctx context.Context, jobs []engine.ModExpJob) ([]engine.ModExpResult, error)
+}
+
+// DefaultHandlerInflight is NewHandlerServer's admission bound when the
+// handler has no worker count to derive one from (engines get 4×workers).
+const DefaultHandlerInflight = 256
+
+// Server is the TCP front door of a Handler — usually an engine.Engine,
+// but any Handler (e.g. the cluster balancer) plugs in. It multiplexes
+// many client connections onto the handler, speaking the length-
 // prefixed binary protocol of this package. Each connection gets a
 // dedicated read goroutine and a dedicated write goroutine; each
 // admitted request runs on its own goroutine so responses return in
 // completion order (pipelining). Admission control bounds in-flight
 // requests across all connections and fast-fails the excess with
-// ErrOverloaded. Shutdown drains gracefully: stop accepting, answer
-// new requests with ErrDraining, finish everything already admitted,
-// flush, then close.
+// ErrOverloaded. Ping requests are answered inline on the read loop —
+// no admission slot, so health checks still answer under overload.
+// Shutdown drains gracefully: stop accepting, answer new requests with
+// ErrDraining, finish everything already admitted, flush, then close.
 type Server struct {
-	eng *engine.Engine
+	h   Handler
 	cfg config
 	met *metrics
 
@@ -75,6 +96,55 @@ type Server struct {
 	connWG   sync.WaitGroup // connection handlers
 }
 
+// engineHandler adapts an engine.Engine to the Handler interface,
+// propagating the context's deadline into the engine's per-job deadline
+// fields (the engine enforces it even while a job waits in queue).
+type engineHandler struct{ eng *engine.Engine }
+
+func (h engineHandler) Mont(ctx context.Context, n, x, y *big.Int) (*big.Int, error) {
+	dl, _ := ctx.Deadline()
+	res, err := h.eng.MontBatch(ctx, []engine.MontJob{{N: n, X: x, Y: y, Deadline: dl}})
+	if err == nil {
+		err = res[0].Err
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res[0].Value, nil
+}
+
+func (h engineHandler) ModExp(ctx context.Context, n, base, exp *big.Int) (*big.Int, error) {
+	dl, _ := ctx.Deadline()
+	res, err := h.eng.ModExpBatch(ctx, []engine.ModExpJob{{N: n, Base: base, Exp: exp, Deadline: dl}})
+	if err == nil {
+		err = res[0].Err
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res[0].Value, nil
+}
+
+func (h engineHandler) ModExpBatch(ctx context.Context, jobs []engine.ModExpJob) ([]engine.ModExpResult, error) {
+	if dl, ok := ctx.Deadline(); ok {
+		stamped := make([]engine.ModExpJob, len(jobs))
+		copy(stamped, jobs)
+		for i := range stamped {
+			if stamped[i].Deadline.IsZero() || dl.Before(stamped[i].Deadline) {
+				stamped[i].Deadline = dl
+			}
+		}
+		jobs = stamped
+	}
+	res, err := h.eng.ModExpBatch(ctx, jobs)
+	if len(res) == len(jobs) {
+		// Every item is answered (possibly with its own error); let the
+		// per-item codes carry the story rather than failing the batch.
+		return res, nil
+	}
+	return res, err
+}
+
 // NewServer wraps an engine. The engine stays caller-owned: Shutdown
 // and Close never close it, so one engine can outlive several servers
 // (or serve in-process callers at the same time).
@@ -82,8 +152,22 @@ func NewServer(eng *engine.Engine, opts ...Option) (*Server, error) {
 	if eng == nil {
 		return nil, fmt.Errorf("server: nil engine")
 	}
+	return newServer(engineHandler{eng}, 4*eng.Workers(), opts)
+}
+
+// NewHandlerServer wraps an arbitrary Handler — the balancer's way of
+// speaking the same wire protocol as montsysd. The default admission
+// bound is DefaultHandlerInflight; tune it with WithMaxInflight.
+func NewHandlerServer(h Handler, opts ...Option) (*Server, error) {
+	if h == nil {
+		return nil, fmt.Errorf("server: nil handler")
+	}
+	return newServer(h, DefaultHandlerInflight, opts)
+}
+
+func newServer(h Handler, defaultInflight int, opts []Option) (*Server, error) {
 	cfg := config{
-		maxInflight:  4 * eng.Workers(),
+		maxInflight:  defaultInflight,
 		idleTimeout:  2 * time.Minute,
 		writeTimeout: time.Minute,
 		maxFrame:     DefaultMaxFrame,
@@ -102,7 +186,7 @@ func NewServer(eng *engine.Engine, opts ...Option) (*Server, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
-		eng:        eng,
+		h:          h,
 		cfg:        cfg,
 		met:        newMetrics(cfg.registry),
 		inflight:   make(chan struct{}, cfg.maxInflight),
@@ -301,7 +385,12 @@ func (c *sconn) run() {
 
 	br := bufio.NewReader(c.nc)
 	for {
-		if s.cfg.idleTimeout > 0 {
+		// Once draining, never re-arm the idle deadline: Shutdown's
+		// softClose sets an already-expired one to unblock this loop,
+		// and steady inbound traffic (health probes answer inline even
+		// while draining) must not keep resurrecting the deadline and
+		// pin the connection — that turns a drain into its full budget.
+		if s.cfg.idleTimeout > 0 && !s.isDraining() {
 			c.nc.SetReadDeadline(time.Now().Add(s.cfg.idleTimeout))
 		}
 		payload, err := readFrame(br, s.cfg.maxFrame)
@@ -364,9 +453,24 @@ func (c *sconn) send(payload []byte) {
 // dispatch admits one decoded request: drain and overload rejections
 // answer inline on the read loop (fast fail — no goroutine, no queue);
 // admitted requests get a goroutine and a slot in the in-flight bound.
+// Pings are answered inline too, without an admission slot: a health
+// check must keep answering exactly when the server is saturated.
 func (c *sconn) dispatch(req *request) {
 	s := c.srv
 	start := time.Now()
+
+	if req.op == OpPing {
+		resp := &response{id: req.id}
+		if s.isDraining() {
+			resp.code, resp.msg = CodeDraining, "server draining"
+		} else {
+			resp.code = CodeOK
+			resp.values = []*big.Int{big.NewInt(s.met.inflight.Value())}
+		}
+		c.send(encodeResponse(OpPing, resp))
+		s.met.finish(OpPing, resp.code, time.Since(start))
+		return
+	}
 
 	s.mu.Lock()
 	if s.draining {
@@ -418,40 +522,38 @@ func (c *sconn) serveReq(req *request, start time.Time) {
 	c.send(encodeResponse(req.op, resp))
 }
 
-// execute runs the request's engine call, propagating the wire deadline
-// both as the context deadline and as the engine's per-job deadline.
+// execute runs the request's handler call. The wire deadline is already
+// on ctx (serveReq set it); the engine adapter additionally folds it
+// into per-job deadline fields so queued jobs expire on time.
 func (s *Server) execute(ctx context.Context, req *request) *response {
 	switch req.op {
 	case OpMont:
 		j := req.jobs[0]
-		res, err := s.eng.MontBatch(ctx, []engine.MontJob{
-			{N: j.n, X: j.a, Y: j.b, Deadline: req.deadline},
-		})
-		if err == nil {
-			err = res[0].Err
-		}
+		v, err := s.h.Mont(ctx, j.n, j.a, j.b)
 		if err != nil {
 			return &response{code: codeFor(err), msg: err.Error()}
 		}
-		return &response{code: CodeOK, values: []*big.Int{res[0].Value}}
+		return &response{code: CodeOK, values: []*big.Int{v}}
 	case OpModExp:
 		j := req.jobs[0]
-		res, err := s.eng.ModExpBatch(ctx, []engine.ModExpJob{
-			{N: j.n, Base: j.a, Exp: j.b, Deadline: req.deadline},
-		})
-		if err == nil {
-			err = res[0].Err
-		}
+		v, err := s.h.ModExp(ctx, j.n, j.a, j.b)
 		if err != nil {
 			return &response{code: codeFor(err), msg: err.Error()}
 		}
-		return &response{code: CodeOK, values: []*big.Int{res[0].Value}}
+		return &response{code: CodeOK, values: []*big.Int{v}}
 	case OpBatchModExp:
 		jobs := make([]engine.ModExpJob, len(req.jobs))
 		for i, j := range req.jobs {
-			jobs[i] = engine.ModExpJob{N: j.n, Base: j.a, Exp: j.b, Deadline: req.deadline}
+			jobs[i] = engine.ModExpJob{N: j.n, Base: j.a, Exp: j.b}
 		}
-		res, _ := s.eng.ModExpBatch(ctx, jobs)
+		res, err := s.h.ModExpBatch(ctx, jobs)
+		if err != nil || len(res) != len(jobs) {
+			if err == nil {
+				err = fmt.Errorf("server: handler answered %d of %d items: %w",
+					len(res), len(jobs), errs.ErrProtocol)
+			}
+			return &response{code: codeFor(err), msg: err.Error()}
+		}
 		resp := &response{
 			code:   CodeOK,
 			codes:  make([]Code, len(res)),

@@ -40,6 +40,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/errs"
@@ -59,12 +60,14 @@ var (
 	ErrEngineClosed    = errs.ErrEngineClosed
 
 	// Serving-layer sentinels: admission-control fast-fail, graceful
-	// drain in progress, malformed wire frame. The wire protocol maps
-	// each to a stable response code, so errors.Is keeps working across
-	// the network hop.
-	ErrOverloaded = errs.ErrOverloaded
-	ErrDraining   = errs.ErrDraining
-	ErrProtocol   = errs.ErrProtocol
+	// drain in progress, malformed wire frame, unreachable backend. The
+	// wire protocol maps each to a stable response code, so errors.Is
+	// keeps working across the network hop — and across the cluster
+	// tier's extra hop.
+	ErrOverloaded  = errs.ErrOverloaded
+	ErrDraining    = errs.ErrDraining
+	ErrProtocol    = errs.ErrProtocol
+	ErrBackendDown = errs.ErrBackendDown
 )
 
 // Multiplier is a Montgomery modular multiplier for one odd modulus,
@@ -206,6 +209,10 @@ type CollectorOption = obs.CollectorOption
 // MetricsRegistry holds named metrics and renders Prometheus text.
 type MetricsRegistry = obs.Registry
 
+// NewMetricsRegistry returns an empty metrics registry — the shared
+// page a collector, server and cluster can all register into.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
 // LatencySnapshot is a point-in-time histogram copy with percentiles.
 type LatencySnapshot = obs.HistogramSnapshot
 
@@ -301,6 +308,107 @@ func WithClientMaxRetries(n int) ClientOption { return server.WithMaxRetries(n) 
 // WithClientBackoff sets the retry backoff envelope: base doubles per
 // attempt up to max, jittered ±50% (defaults 10ms, 1s).
 func WithClientBackoff(base, max time.Duration) ClientOption { return server.WithBackoff(base, max) }
+
+// ServerHandler is what a wire server executes requests against. The
+// engine is the canonical implementation (NewServer adapts it); a
+// Cluster is another, which is how montsyslb serves the montsysd
+// protocol in front of a backend fleet.
+type ServerHandler = server.Handler
+
+// NewHandlerServer wraps any ServerHandler in a protocol server — the
+// proxy-side twin of NewServer.
+func NewHandlerServer(h ServerHandler, opts ...ServerOption) (*Server, error) {
+	return server.NewHandlerServer(h, opts...)
+}
+
+// Cluster tier. A Cluster routes requests over N montsysd backends and
+// makes them behave like one larger, more reliable engine — the
+// paper's replicated/pipelined MMM arrays (§5, Fig. 5) lifted to the
+// fleet level. Backends are health-checked (Ping probes, ejection,
+// jittered-backoff reinstatement, per-backend circuit breakers);
+// repeat-modulus traffic is routed by rendezvous hashing to the
+// backend whose per-modulus context cache is already warm; slow
+// requests are hedged onto a second backend after a p99-derived delay;
+// and draining or dead backends fail over with a global retry budget
+// capping amplification.
+//
+//	cl, _ := montsys.NewCluster([]string{"a:7077", "b:7077"})
+//	v, err := cl.ModExp(ctx, n, base, exp)   // routed, hedged, failed over
+//
+// A Cluster satisfies ServerHandler, so montsyslb is simply
+// NewHandlerServer(cluster) — the same wire protocol at every tier.
+type Cluster = cluster.Cluster
+
+// ClusterOption configures NewCluster.
+type ClusterOption = cluster.Option
+
+// ClusterBackendStatus is one backend's routing state snapshot.
+type ClusterBackendStatus = cluster.BackendStatus
+
+// NewCluster builds a routing tier over the backend addresses and
+// starts health-probing them.
+func NewCluster(addrs []string, opts ...ClusterOption) (*Cluster, error) {
+	return cluster.New(addrs, opts...)
+}
+
+// WithClusterRegistry collects cluster metrics (backend_up,
+// picks_total{backend,reason}, hedges_total, breaker_state,
+// affinity_hits_total, ...) into an existing registry.
+func WithClusterRegistry(r *MetricsRegistry) ClusterOption { return cluster.WithRegistry(r) }
+
+// WithClusterProbeInterval sets the health-probe cadence (default 1s).
+func WithClusterProbeInterval(d time.Duration) ClusterOption { return cluster.WithProbeInterval(d) }
+
+// WithClusterProbeTimeout bounds each Ping probe (default 1s).
+func WithClusterProbeTimeout(d time.Duration) ClusterOption { return cluster.WithProbeTimeout(d) }
+
+// WithClusterFailThreshold sets consecutive probe failures before a
+// backend is ejected (default 3); a draining answer ejects immediately.
+func WithClusterFailThreshold(n int) ClusterOption { return cluster.WithFailThreshold(n) }
+
+// WithClusterReinstateBackoff sets the jittered probe backoff for
+// ejected backends (defaults 500ms doubling to 30s).
+func WithClusterReinstateBackoff(base, max time.Duration) ClusterOption {
+	return cluster.WithReinstateBackoff(base, max)
+}
+
+// WithClusterBreaker tunes the per-backend circuit breaker (defaults:
+// 5 consecutive transport failures open it, one trial after 2s).
+func WithClusterBreaker(threshold int, cooldown time.Duration) ClusterOption {
+	return cluster.WithBreaker(threshold, cooldown)
+}
+
+// WithClusterAffinity toggles modulus-affinity (rendezvous-hash)
+// routing (default on). Off, every request is least-inflight routed.
+func WithClusterAffinity(on bool) ClusterOption { return cluster.WithAffinity(on) }
+
+// WithClusterHedging toggles tail-latency hedging (default on).
+func WithClusterHedging(on bool) ClusterOption { return cluster.WithHedging(on) }
+
+// WithClusterHedgeDelayBounds clamps the p99-derived hedge delay
+// (defaults 1ms, 250ms).
+func WithClusterHedgeDelayBounds(min, max time.Duration) ClusterOption {
+	return cluster.WithHedgeDelayBounds(min, max)
+}
+
+// WithClusterRetryBudget sets the global retry budget: hedges and
+// overload retries spend a token; tokens accrue at ratio per request up
+// to burst (defaults 0.1, 16).
+func WithClusterRetryBudget(ratio float64, burst int) ClusterOption {
+	return cluster.WithRetryBudget(ratio, burst)
+}
+
+// WithClusterClientOptions passes options to every backend's wire
+// client (which the cluster otherwise configures with zero internal
+// retries — the router owns retry policy).
+func WithClusterClientOptions(opts ...ClientOption) ClusterOption {
+	return cluster.WithClientOptions(opts...)
+}
+
+// NewMetricsHandler serves a bare metrics registry over HTTP in
+// Prometheus text format — for processes like montsyslb that have a
+// registry but no engine collector.
+func NewMetricsHandler(r *MetricsRegistry) http.Handler { return obs.MetricsHandler(r) }
 
 // Hardware builds and maps the full gate-level MMM circuit for an l-bit
 // modulus, reporting area and timing under the Virtex-E model — the
