@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race staticcheck cover bench-engine bench-obs
+.PHONY: ci build vet test race staticcheck cover bench-engine bench-obs bench-faults
 
 ci: vet staticcheck build test race
 
@@ -17,7 +17,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/engine/... ./internal/core/... ./internal/obs/... ./internal/server/... ./internal/cluster/...
+	$(GO) test -race ./internal/engine/... ./internal/core/... ./internal/obs/... ./internal/server/... ./internal/cluster/... ./internal/faults/... ./internal/integrity/...
 
 # CI installs staticcheck; locally the gate is skipped when the binary
 # is absent rather than failing the whole ci target.
@@ -41,3 +41,8 @@ bench-engine:
 # metrics+trace on the model-mode hot path.
 bench-obs:
 	$(GO) test -run xxx -bench EngineModExpObserved -benchtime 60x -count 6 ./internal/engine/
+
+# Regenerate BENCH_faults.json's raw numbers: the clean-path cost of
+# integrity checking (off vs sampled vs every-job) on the modexp path.
+bench-faults:
+	$(GO) test -run xxx -bench EngineIntegrity -benchtime 60x -count 6 ./internal/engine/

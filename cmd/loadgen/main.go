@@ -11,13 +11,30 @@
 //	        [-exp full|f4] [-queue 0] [-timeout 0]
 //	        [-listen :9090] [-linger 0] [-trace 4096]
 //	        [-connect host:7077] [-clients 8] [-retries 3]
+//	        [-tolerate integrity,overloaded] [-integrity]
+//	        [-fault-rate 0] [-fault-seed 1] [-fault-cores 0]
 //
 // Each sweep point drives the engine closed-loop from 2×workers
 // submitter goroutines, measuring every job's submit→finish latency.
 // Every result is self-checked against math/big; the run aborts on any
-// mismatch. Ctrl-C (or SIGTERM) cancels the root context, which
-// interrupts a sweep mid-flight and reports the partial point's error
-// instead of hanging.
+// mismatch — a wrong answer is always fatal, no flag can tolerate it.
+// Ctrl-C (or SIGTERM) cancels the root context, which interrupts a
+// sweep mid-flight and reports the partial point's error instead of
+// hanging.
+//
+// Server-side errors are classified (integrity, overloaded, draining,
+// backend_down, protocol, ...) and counted per class. By default any
+// error aborts the run; -tolerate takes a comma-separated class list
+// whose members are counted and skipped instead, and the per-class
+// tally is printed at the end — chaos runs drive a faulty fleet with
+// `-tolerate integrity` and then assert the integrity count (and every
+// self-check) says zero wrong answers reached the client.
+//
+// In local (in-process) mode, -fault-rate/-fault-seed/-fault-cores
+// wire the deterministic fault injector into the sweep engines and
+// -integrity/-integrity-sample/-integrity-recompute arm the engine's
+// result verification, so the whole chaos story can be rehearsed
+// without a network.
 //
 // With -connect the same workload is fired at remote montsysd (or
 // montsyslb) instances over the binary wire protocol instead of an
@@ -40,6 +57,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/big"
@@ -75,6 +93,13 @@ func main() {
 	connect := flag.String("connect", "", "drive remote montsysd/montsyslb instance(s) at this comma-separated address list instead of an in-process engine")
 	clients := flag.Int("clients", 8, "concurrent submitters in -connect mode")
 	retries := flag.Int("retries", 3, "client retry budget per call in -connect mode")
+	tolerate := flag.String("tolerate", "", "comma-separated error classes to count instead of abort (e.g. integrity,overloaded)")
+	integrity := flag.Bool("integrity", false, "local mode: verify every result inside the engine")
+	integritySample := flag.Float64("integrity-sample", 1, "local mode: fraction of exponentiations fully re-verified")
+	integrityRecompute := flag.Bool("integrity-recompute", true, "local mode: recompute corrupted jobs instead of failing them")
+	faultRate := flag.Float64("fault-rate", 0, "local mode: inject bit-flip faults into this fraction of core results")
+	faultSeed := flag.Int64("fault-seed", 1, "local mode: deterministic seed for -fault-rate")
+	faultCores := flag.String("fault-cores", "", "local mode: comma-separated worker ids to fault (default all)")
 	flag.Parse()
 
 	// The root context: Ctrl-C / SIGTERM cancels it, which aborts an
@@ -87,6 +112,10 @@ func main() {
 		jobs: *jobs, keys: *keys, expKind: *expKind,
 		queue: *queue, timeout: *timeout, seed: *seed,
 		connect: *connect, clients: *clients, retries: *retries,
+		tolerate:  parseTolerate(*tolerate),
+		integrity: *integrity, integritySample: *integritySample,
+		integrityRecompute: *integrityRecompute,
+		faultRate:          *faultRate, faultSeed: *faultSeed, faultCores: *faultCores,
 	}
 	if *listen != "" {
 		col := montsys.NewCollector(montsys.WithTracing(*traceCap))
@@ -126,6 +155,123 @@ type sweepConfig struct {
 	connect    string             // nonempty = remote mode
 	clients    int
 	retries    int
+
+	// tolerate maps error classes (see classify) to "count and keep
+	// going instead of aborting". Self-check mismatches are never
+	// tolerated.
+	tolerate map[string]bool
+
+	// Local-mode chaos/integrity knobs.
+	integrity          bool
+	integritySample    float64
+	integrityRecompute bool
+	faultRate          float64
+	faultSeed          int64
+	faultCores         string
+}
+
+// parseTolerate turns the -tolerate comma list into a set.
+func parseTolerate(s string) map[string]bool {
+	m := make(map[string]bool)
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			m[p] = true
+		}
+	}
+	return m
+}
+
+// classify buckets a call error into the class names -tolerate uses.
+// The classes mirror the wire protocol's error codes, so a chaos run
+// can speak the same vocabulary as the server's /metrics page.
+func classify(err error) string {
+	switch {
+	case errors.Is(err, montsys.ErrIntegrity):
+		return "integrity"
+	case errors.Is(err, montsys.ErrOverloaded):
+		return "overloaded"
+	case errors.Is(err, montsys.ErrDraining):
+		return "draining"
+	case errors.Is(err, montsys.ErrBackendDown):
+		return "backend_down"
+	case errors.Is(err, montsys.ErrProtocol):
+		return "protocol"
+	case errors.Is(err, montsys.ErrEngineClosed):
+		return "closed"
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return "canceled"
+	default:
+		return "other"
+	}
+}
+
+// errorTally counts tolerated errors per class across submitters.
+type errorTally struct {
+	mu sync.Mutex
+	n  map[string]int
+}
+
+func newErrorTally() *errorTally { return &errorTally{n: make(map[string]int)} }
+
+func (t *errorTally) add(class string) {
+	t.mu.Lock()
+	t.n[class]++
+	t.mu.Unlock()
+}
+
+func (t *errorTally) total() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sum := 0
+	for _, v := range t.n {
+		sum += v
+	}
+	return sum
+}
+
+// String renders "class=N" pairs in stable order, "none" when empty.
+func (t *errorTally) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.n) == 0 {
+		return "none"
+	}
+	classes := make([]string, 0, len(t.n))
+	for c := range t.n {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	parts := make([]string, 0, len(classes))
+	for _, c := range classes {
+		parts = append(parts, fmt.Sprintf("%s=%d", c, t.n[c]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// faultOptions translates the local-mode chaos flags into engine
+// options (mirrors montsysd's flag wiring).
+func (cfg sweepConfig) faultOptions() ([]montsys.EngineOption, error) {
+	var opts []montsys.EngineOption
+	if cfg.faultRate > 0 {
+		fOpts := []montsys.FaultOption{
+			montsys.WithFaultRate(cfg.faultRate),
+			montsys.WithFaultSeed(cfg.faultSeed),
+		}
+		if cfg.faultCores != "" {
+			ids, err := splitInts(cfg.faultCores)
+			if err != nil {
+				return nil, fmt.Errorf("-fault-cores: %w", err)
+			}
+			fOpts = append(fOpts, montsys.WithFaultCores(ids...))
+		}
+		opts = append(opts, montsys.WithEngineFaultInjector(montsys.NewFaultInjector(fOpts...)))
+	}
+	if cfg.integrity {
+		opts = append(opts,
+			montsys.WithEngineIntegrityCheck(cfg.integritySample),
+			montsys.WithEngineIntegrityRecompute(cfg.integrityRecompute))
+	}
+	return opts, nil
 }
 
 func run(ctx context.Context, workersList, bitsList, modeName, variantName string, cfg sweepConfig) error {
@@ -260,6 +406,7 @@ func runRemote(ctx context.Context, cfg sweepConfig, bits []int, batch []montsys
 
 	var wg sync.WaitGroup
 	errCh := make(chan error, submitters)
+	tally := newErrorTally()
 	start := time.Now()
 	for s := 0; s < submitters; s++ {
 		wg.Add(1)
@@ -275,11 +422,18 @@ func runRemote(ctx context.Context, cfg sweepConfig, bits []int, batch []montsys
 				v, err := clients[i%len(clients)].ModExp(ctx, j.N, j.Base, j.Exp)
 				lats[i] = time.Since(t0)
 				if err != nil {
+					if class := classify(err); cfg.tolerate[class] {
+						tally.add(class)
+						lats[i] = -1
+						continue
+					}
 					errCh <- fmt.Errorf("job %d: %w", i, err)
 					return
 				}
+				// A wrong answer is always fatal — no -tolerate class
+				// covers it. Zero of these is the chaos-run contract.
 				if want := new(big.Int).Exp(j.Base, j.Exp, j.N); v.Cmp(want) != 0 {
-					errCh <- fmt.Errorf("job %d: self-check failed", i)
+					errCh <- fmt.Errorf("job %d: self-check failed (WRONG ANSWER)", i)
 					return
 				}
 			}
@@ -292,14 +446,28 @@ func runRemote(ctx context.Context, cfg sweepConfig, bits []int, batch []montsys
 		return err
 	default:
 	}
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	lats = okLats(lats)
 	fmt.Printf("%-8s %12s %12s %10s %10s %10s\n",
 		"clients", "wall", "jobs/s", "p50", "p95", "p99")
 	fmt.Printf("%-8d %12s %12.1f %10s %10s %10s\n",
 		cfg.clients, wall.Round(time.Millisecond),
-		float64(len(batch))/wall.Seconds(),
+		float64(len(lats))/wall.Seconds(),
 		pct(lats, 50), pct(lats, 95), pct(lats, 99))
+	fmt.Printf("ok %d/%d  errors: %s\n", len(lats), len(batch), tally)
 	return nil
+}
+
+// okLats drops the -1 markers of tolerated-error jobs and sorts what
+// remains, so percentiles describe only answered requests.
+func okLats(lats []time.Duration) []time.Duration {
+	out := lats[:0]
+	for _, l := range lats {
+		if l >= 0 {
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // sweep drives one worker count: 2×workers closed-loop submitters, each
@@ -315,6 +483,11 @@ func sweep(ctx context.Context, w int, mode montsys.Mode, variant montsys.Varian
 	if cfg.queue > 0 {
 		opts = append(opts, montsys.WithEngineQueueDepth(cfg.queue))
 	}
+	chaosOpts, err := cfg.faultOptions()
+	if err != nil {
+		return 0, nil, montsys.EngineStats{}, err
+	}
+	opts = append(opts, chaosOpts...)
 	if cfg.collector != nil {
 		opts = append(opts, montsys.WithEngineObserver(cfg.collector))
 		cfg.collector.SetEngineInfo(w, fmt.Sprint(mode), fmt.Sprint(variant))
@@ -344,6 +517,7 @@ func sweep(ctx context.Context, w int, mode montsys.Mode, variant montsys.Varian
 
 	var wg sync.WaitGroup
 	errCh := make(chan error, submitters)
+	tally := newErrorTally()
 	start := time.Now()
 	for s := 0; s < submitters; s++ {
 		wg.Add(1)
@@ -355,11 +529,18 @@ func sweep(ctx context.Context, w int, mode montsys.Mode, variant montsys.Varian
 				v, _, err := eng.ModExp(ctx, j.N, j.Base, j.Exp)
 				lats[i] = time.Since(t0)
 				if err != nil {
+					if class := classify(err); cfg.tolerate[class] {
+						tally.add(class)
+						lats[i] = -1
+						continue
+					}
 					errCh <- fmt.Errorf("job %d: %w", i, err)
 					return
 				}
+				// Always fatal, regardless of -tolerate: a wrong answer
+				// escaped every integrity net.
 				if want := new(big.Int).Exp(j.Base, j.Exp, j.N); v.Cmp(want) != 0 {
-					errCh <- fmt.Errorf("job %d: self-check failed", i)
+					errCh <- fmt.Errorf("job %d: self-check failed (WRONG ANSWER)", i)
 					return
 				}
 			}
@@ -373,7 +554,10 @@ func sweep(ctx context.Context, w int, mode montsys.Mode, variant montsys.Varian
 		return 0, nil, st, err
 	default:
 	}
-	return wall, lats, st, nil
+	if tally.total() > 0 {
+		fmt.Printf("         errors: %s\n", tally)
+	}
+	return wall, okLats(lats), st, nil
 }
 
 // pct returns the p-th percentile of sorted latencies.

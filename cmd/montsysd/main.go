@@ -8,6 +8,17 @@
 //	         [-variant guarded|faithful] [-queue 0] [-cache 128]
 //	         [-inflight 0] [-idle 2m] [-drain 30s]
 //	         [-metrics :9090] [-trace 4096]
+//	         [-integrity] [-integrity-sample 1] [-integrity-recompute]
+//	         [-fault-rate 0] [-fault-seed 1] [-fault-cores 0,2]
+//
+// -integrity arms the engine's per-operation result verification (see
+// montsys.WithEngineIntegrityCheck). -fault-rate > 0 wires in the
+// deterministic fault injector — a chaos backend that corrupts its own
+// results on purpose. With recompute on (the default) the damage is
+// healed internally and only metrics show it; with
+// -integrity-recompute=false corrupted jobs answer with the integrity
+// wire code, which a cluster front end turns into a free failover —
+// the configuration the CI chaos job runs.
 //
 // The daemon drains gracefully on SIGTERM/SIGINT: it stops accepting
 // connections, answers requests that arrive mid-drain with the
@@ -31,6 +42,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -49,17 +62,68 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful drain budget on SIGTERM")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/pprof and /trace on this address")
 	traceCap := flag.Int("trace", 4096, "span ring-buffer capacity for /trace (with -metrics)")
+	integrity := flag.Bool("integrity", false, "verify every result before answering (quarantine + recompute on mismatch)")
+	integritySample := flag.Float64("integrity-sample", 1, "fraction of exponentiations fully re-verified (with -integrity)")
+	integrityRecompute := flag.Bool("integrity-recompute", true, "recompute corrupted jobs instead of answering with the integrity code")
+	faultRate := flag.Float64("fault-rate", 0, "inject bit-flip faults into this fraction of core results (chaos testing)")
+	faultSeed := flag.Int64("fault-seed", 1, "deterministic seed for -fault-rate")
+	faultCores := flag.String("fault-cores", "", "comma-separated worker ids to fault (default all)")
 	flag.Parse()
 
+	fc := faultConfig{rate: *faultRate, seed: *faultSeed, cores: *faultCores,
+		integrity: *integrity, sample: *integritySample, recompute: *integrityRecompute}
 	if err := run(*listen, *workers, *modeName, *variantName, *queue, *cache,
-		*inflight, *idle, *drain, *metricsAddr, *traceCap); err != nil {
+		*inflight, *idle, *drain, *metricsAddr, *traceCap, fc); err != nil {
 		fmt.Fprintln(os.Stderr, "montsysd:", err)
 		os.Exit(1)
 	}
 }
 
+// faultConfig carries the chaos/integrity flags into run.
+type faultConfig struct {
+	rate      float64
+	seed      int64
+	cores     string
+	integrity bool
+	sample    float64
+	recompute bool
+}
+
+// engineOptions translates the fault/integrity flags into engine
+// options: the fault injector simulating a flaky core, and the
+// integrity checks that keep its corruption from reaching clients.
+func (fc faultConfig) engineOptions() ([]montsys.EngineOption, error) {
+	var opts []montsys.EngineOption
+	if fc.rate > 0 {
+		fOpts := []montsys.FaultOption{
+			montsys.WithFaultRate(fc.rate),
+			montsys.WithFaultSeed(fc.seed),
+			montsys.WithFaultBitFlip(-1),
+		}
+		if fc.cores != "" {
+			var ids []int
+			for _, s := range strings.Split(fc.cores, ",") {
+				id, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil {
+					return nil, fmt.Errorf("bad -fault-cores entry %q: %w", s, err)
+				}
+				ids = append(ids, id)
+			}
+			fOpts = append(fOpts, montsys.WithFaultCores(ids...))
+		}
+		opts = append(opts, montsys.WithEngineFaultInjector(montsys.NewFaultInjector(fOpts...)))
+	}
+	if fc.integrity {
+		opts = append(opts,
+			montsys.WithEngineIntegrityCheck(fc.sample),
+			montsys.WithEngineIntegrityRecompute(fc.recompute))
+	}
+	return opts, nil
+}
+
 func run(listen string, workers int, modeName, variantName string, queue, cache,
-	inflight int, idle, drain time.Duration, metricsAddr string, traceCap int) error {
+	inflight int, idle, drain time.Duration, metricsAddr string, traceCap int,
+	fc faultConfig) error {
 	var mode montsys.Mode
 	switch modeName {
 	case "model":
@@ -92,6 +156,11 @@ func run(listen string, workers int, modeName, variantName string, queue, cache,
 	if queue > 0 {
 		engOpts = append(engOpts, montsys.WithEngineQueueDepth(queue))
 	}
+	fcOpts, err := fc.engineOptions()
+	if err != nil {
+		return err
+	}
+	engOpts = append(engOpts, fcOpts...)
 	eng, err := montsys.NewEngine(engOpts...)
 	if err != nil {
 		return err

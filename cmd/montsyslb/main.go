@@ -9,7 +9,7 @@
 //	montsyslb -backends host1:7077,host2:7077[,...]
 //	          [-listen :7070] [-inflight 256] [-idle 2m] [-drain 30s]
 //	          [-probe 1s] [-affinity] [-hedge] [-budget 0.1] [-burst 16]
-//	          [-metrics :9091]
+//	          [-integrity-eject 3] [-metrics :9091]
 //
 // Routing (see internal/cluster): requests are routed to the
 // rendezvous-hash home of their modulus so repeat-modulus traffic hits
@@ -18,7 +18,10 @@
 // with the wire Ping op, ejected on failure or drain and reinstated
 // with jittered backoff; slow requests are hedged onto a second
 // backend after a p99-derived delay; draining/dead backends fail over,
-// with a global retry budget capping amplification.
+// with a global retry budget capping amplification. Integrity answers
+// (a backend admitting its compute was corrupted) fail over for free
+// and, after -integrity-eject consecutive ones from the same backend,
+// take that backend out of rotation until a probe clears it.
 //
 // On SIGTERM/SIGINT the proxy itself drains gracefully, exactly like
 // montsysd: stop accepting, answer new requests with the draining
@@ -57,18 +60,19 @@ func main() {
 	hedge := flag.Bool("hedge", true, "hedge slow requests onto a second backend")
 	budget := flag.Float64("budget", 0.1, "retry-budget ratio (tokens minted per request)")
 	burst := flag.Int("burst", 16, "retry-budget burst (token cap)")
+	integrityEject := flag.Int("integrity-eject", 3, "consecutive integrity failures before ejecting a backend (0 disables)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics on this address")
 	flag.Parse()
 
 	if err := run(*listen, *backends, *inflight, *idle, *drain, *probe,
-		*affinity, *hedge, *budget, *burst, *metricsAddr); err != nil {
+		*affinity, *hedge, *budget, *burst, *integrityEject, *metricsAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "montsyslb:", err)
 		os.Exit(1)
 	}
 }
 
 func run(listen, backends string, inflight int, idle, drain, probe time.Duration,
-	affinity, hedge bool, budget float64, burst int, metricsAddr string) error {
+	affinity, hedge bool, budget float64, burst, integrityEject int, metricsAddr string) error {
 	var addrs []string
 	for _, a := range strings.Split(backends, ",") {
 		if a = strings.TrimSpace(a); a != "" {
@@ -86,6 +90,7 @@ func run(listen, backends string, inflight int, idle, drain, probe time.Duration
 		montsys.WithClusterAffinity(affinity),
 		montsys.WithClusterHedging(hedge),
 		montsys.WithClusterRetryBudget(budget, burst),
+		montsys.WithClusterIntegrityEjectThreshold(integrityEject),
 	)
 	if err != nil {
 		return err

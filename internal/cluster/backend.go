@@ -22,6 +22,11 @@ type backend struct {
 	inflight atomic.Int64
 	upFlag   atomic.Bool
 
+	// integrityStreak counts consecutive ErrIntegrity answers from
+	// live traffic; any success resets it, and reaching the configured
+	// threshold ejects the backend (see Cluster.observe).
+	integrityStreak atomic.Int64
+
 	br  *breaker
 	met *backendMetrics
 }
@@ -76,6 +81,7 @@ func (c *Cluster) probeLoop(b *backend) {
 			backoff = c.cfg.reinstateBase
 			if !b.up() {
 				b.br.Reset()
+				b.integrityStreak.Store(0)
 				b.setUp(true)
 				b.met.reinstatements.Inc()
 			}

@@ -31,12 +31,23 @@
 //     Hedges spend from a global retry budget so they can never
 //     amplify an outage.
 //
-//   - Failover. ErrDraining / ErrBackendDown / ErrEngineClosed answers
-//     move the request to the next backend for free (the first backend
-//     is doing no work for us); ErrOverloaded failovers spend from the
-//     retry budget (both backends did admission work, and the fleet is
-//     evidently stressed). Application errors — even modulus, operand
-//     range — fail immediately: they are deterministic.
+//   - Failover. ErrDraining / ErrBackendDown / ErrEngineClosed /
+//     ErrIntegrity answers move the request to the next backend for
+//     free (the first backend is doing no work for us — and an
+//     integrity answer means its result must never be trusted anyway);
+//     ErrOverloaded failovers spend from the retry budget (both
+//     backends did admission work, and the fleet is evidently
+//     stressed). Application errors — even modulus, operand range —
+//     fail immediately: they are deterministic.
+//
+//   - Integrity ejection. A backend answering ErrIntegrity is
+//     corrupting compute, not failing transport, so the breaker and
+//     the health probe both consider it fine. Consecutive integrity
+//     answers (WithIntegrityEjectThreshold) therefore eject it
+//     directly, the same lever the probe loop uses; the next clean
+//     health probe reinstates it, so a persistently corrupting
+//     backend duty-cycles mostly-out-of-rotation instead of serving
+//     poison at full rate.
 //
 // All of it is observable: montsys_cluster_* metrics register into the
 // same obs.Registry as everything else, so one /metrics page spans
@@ -82,6 +93,8 @@ type config struct {
 
 	budgetRatio float64
 	budgetBurst int
+
+	integrityEject int
 
 	clientOpts []server.ClientOption
 }
@@ -144,6 +157,15 @@ func WithRetryBudget(ratio float64, burst int) Option {
 	return func(c *config) { c.budgetRatio, c.budgetBurst = ratio, burst }
 }
 
+// WithIntegrityEjectThreshold sets how many consecutive ErrIntegrity
+// answers from one backend eject it from rotation (default 3; 0
+// disables integrity ejection). Any successful answer resets the
+// streak. Unlike probe ejection this fires from live traffic — a
+// corrupting backend passes every transport-level health check.
+func WithIntegrityEjectThreshold(n int) Option {
+	return func(c *config) { c.integrityEject = n }
+}
+
 // WithClientOptions passes extra options to every backend's wire
 // client. The cluster defaults each client to zero internal retries —
 // the router owns retry policy, and a client silently retrying against
@@ -201,6 +223,7 @@ func New(addrs []string, opts ...Option) (*Cluster, error) {
 		hedgeMax:         250 * time.Millisecond,
 		budgetRatio:      0.1,
 		budgetBurst:      16,
+		integrityEject:   3,
 	}
 	for _, o := range opts {
 		o(&cfg)
@@ -339,7 +362,8 @@ func failoverable(err error) bool {
 	return errors.Is(err, errs.ErrOverloaded) ||
 		errors.Is(err, errs.ErrDraining) ||
 		errors.Is(err, errs.ErrBackendDown) ||
-		errors.Is(err, errs.ErrEngineClosed)
+		errors.Is(err, errs.ErrEngineClosed) ||
+		errors.Is(err, errs.ErrIntegrity)
 }
 
 // doCall is the routing loop shared by every cluster operation: pick a
@@ -455,19 +479,32 @@ func attempt[T any](c *Cluster, ctx context.Context, primary *backend, key []byt
 	return zero, lastErr
 }
 
-// observe feeds one finished backend call into the breaker and the
-// latency histogram. Only transport failures trip the breaker: an
-// application error or an explicit overload/drain answer proves the
-// transport works, and a cancellation says nothing either way.
+// observe feeds one finished backend call into the breaker, the
+// latency histogram and the integrity streak. Only transport failures
+// trip the breaker: an application error or an explicit
+// overload/drain answer proves the transport works, and a
+// cancellation says nothing either way. Integrity answers prove the
+// transport works too — the backend is corrupting, not unreachable —
+// so they feed their own ejection streak instead of the breaker.
 func (c *Cluster) observe(b *backend, err error, elapsed time.Duration) {
 	switch {
 	case err == nil:
 		b.br.Success()
+		b.integrityStreak.Store(0)
 		c.met.latency.ObserveDuration(elapsed)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		// no signal
 	case errors.Is(err, errs.ErrBackendDown):
 		b.br.Failure()
+	case errors.Is(err, errs.ErrIntegrity):
+		b.br.Success()
+		b.met.integrityFailures.Inc()
+		streak := b.integrityStreak.Add(1)
+		if c.cfg.integrityEject > 0 && streak >= int64(c.cfg.integrityEject) && b.up() {
+			b.setUp(false)
+			b.integrityStreak.Store(0)
+			b.met.ejections.Inc()
+		}
 	default:
 		b.br.Success()
 	}

@@ -30,8 +30,9 @@ var pickReasons = []string{"affinity", "spill", "least_inflight", "failover", "h
 //	montsys_cluster_failovers_total              attempts moved to another backend
 //	montsys_cluster_retry_budget_denied_total    hedges/retries the budget refused
 //	montsys_cluster_probe_failures_total{backend}
-//	montsys_cluster_ejections_total{backend}     health ejections
+//	montsys_cluster_ejections_total{backend}     health + integrity ejections
 //	montsys_cluster_reinstatements_total{backend}
+//	montsys_cluster_integrity_failures_total{backend}  ErrIntegrity answers
 //	montsys_cluster_request_seconds              end-to-end latency histogram
 type metrics struct {
 	latency        *obs.Histogram
@@ -48,10 +49,11 @@ type backendMetrics struct {
 	up             *obs.Gauge
 	inflight       *obs.Gauge
 	breakerState   *obs.Gauge
-	picks          map[string]*obs.Counter
-	probeFailures  *obs.Counter
-	ejections      *obs.Counter
-	reinstatements *obs.Counter
+	picks             map[string]*obs.Counter
+	probeFailures     *obs.Counter
+	ejections         *obs.Counter
+	reinstatements    *obs.Counter
+	integrityFailures *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry, addrs []string) *metrics {
@@ -88,6 +90,8 @@ func newMetrics(reg *obs.Registry, addrs []string) *metrics {
 				"Times the backend was taken out of rotation.", bl),
 			reinstatements: reg.CounterLabeled("montsys_cluster_reinstatements_total",
 				"Times a probe brought the backend back into rotation.", bl),
+			integrityFailures: reg.CounterLabeled("montsys_cluster_integrity_failures_total",
+				"ErrIntegrity answers from the backend (corrupted compute detected).", bl),
 		}
 		for _, r := range pickReasons {
 			bm.picks[r] = reg.CounterLabeled("montsys_cluster_picks_total",

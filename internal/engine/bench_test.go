@@ -99,6 +99,47 @@ func BenchmarkEngineModExpObserved(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineIntegrity measures the clean-path cost of the
+// integrity net on the model-mode modexp hot path: checking off,
+// sampled at 10%, and every job fully re-verified. The re-check is one
+// math/big Exp — word-level Montgomery arithmetic, an order of
+// magnitude faster than the bit-serial Model path it guards — so even
+// check=1 must stay under 10% overhead; BENCH_faults.json records a
+// run. No faults are injected: this is the price paid when nothing is
+// wrong, which is all the time in production.
+func BenchmarkEngineIntegrity(b *testing.B) {
+	cases := []struct {
+		name string
+		opts []Option
+	}{
+		{"integrity=off", nil},
+		{"integrity=sample0.1", []Option{WithIntegrityCheck(0.1)}},
+		{"integrity=all", []Option{WithIntegrityCheck(1)}},
+	}
+	for _, c := range cases {
+		b.Run("l=512/w=2/"+c.name, func(b *testing.B) {
+			eng, err := New(append([]Option{WithWorkers(2), WithMode(expo.Model)}, c.opts...)...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			_, jobs := benchJobs(512, b.N)
+			b.ResetTimer()
+			results, err := eng.ModExpBatch(context.Background(), jobs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			for i := range results {
+				if results[i].Err != nil {
+					b.Fatal(results[i].Err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}
+
 // BenchmarkSequentialModExp is the single-threaded baseline the
 // engine's scaling is judged against.
 func BenchmarkSequentialModExp(b *testing.B) {

@@ -25,10 +25,14 @@ import (
 	"math/big"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/errs"
 	"repro/internal/expo"
+	"repro/internal/faults"
+	"repro/internal/integrity"
+	"repro/internal/mont"
 	"repro/internal/systolic"
 )
 
@@ -42,6 +46,19 @@ type config struct {
 	mode      expo.Mode
 	variant   systolic.Variant
 	observer  Observer
+
+	integrity          bool
+	integritySample    float64 // modexp full-recheck rate in [0, 1]
+	integrityRecompute bool
+	injector           *faults.Injector
+	quarBase, quarMax  time.Duration
+	watchdogK          float64
+	clk                clock
+
+	// Test seams: override how workers build their cores (e.g. a
+	// deliberately panicking fake). nil = the real constructors.
+	mulFactory func(worker int, ctx *mont.Ctx) (multiplier, error)
+	expFactory func(worker int, ctx *mont.Ctx) (exponentiator, error)
 }
 
 // WithWorkers sets the number of worker cores (default GOMAXPROCS).
@@ -69,6 +86,67 @@ func WithCtxCacheSize(n int) Option { return func(c *config) { c.cacheSize = n }
 // check — instrumentation costs nothing unless asked for.
 func WithObserver(o Observer) Option { return func(c *config) { c.observer = o } }
 
+// WithIntegrityCheck turns on per-operation result verification.
+// Every Montgomery product is checked against the residue identity
+// T·R ≡ x·y (mod N) plus the T < 2N range invariant, and sample ∈
+// [0, 1] of exponentiations get a full big.Int re-verification (1
+// checks every job — the setting the end-to-end "zero wrong answers"
+// guarantee assumes; see internal/integrity for the cost model). A
+// result that fails its check never reaches the caller: the offending
+// core is quarantined and, unless WithIntegrityRecompute(false) was
+// given, the job is recomputed — on a different core when one is
+// healthy, otherwise inline on the trusted reference arithmetic.
+func WithIntegrityCheck(sample float64) Option {
+	return func(c *config) { c.integrity = true; c.integritySample = sample }
+}
+
+// WithIntegrityRecompute controls what happens to a job whose result
+// failed an integrity check (default true: recompute it, so callers
+// see a correct answer and only the metrics betray the fault). With
+// recompute off the job fails with a wrapped ErrIntegrity instead —
+// the mode chaos tests use to make corruption visible on the wire,
+// and the mode a cluster front end wants so it can fail the job over
+// to a different backend rather than pay the recompute here.
+func WithIntegrityRecompute(on bool) Option {
+	return func(c *config) { c.integrityRecompute = on }
+}
+
+// WithFaultInjector wires a deterministic fault injector (see
+// internal/faults) between each worker core and its results —
+// simulated hardware corruption for tests, loadgen and chaos runs.
+func WithFaultInjector(in *faults.Injector) Option {
+	return func(c *config) { c.injector = in }
+}
+
+// WithQuarantineBackoff sets the re-probe schedule for quarantined
+// cores: the first known-answer probe runs after base, doubling up to
+// max, with ±50% jitter (default 100ms…10s).
+func WithQuarantineBackoff(base, max time.Duration) Option {
+	return func(c *config) { c.quarBase = base; c.quarMax = max }
+}
+
+// WithWatchdog arms the per-job watchdog: a job still running after
+// k × its hardware cycle bound (3l+4 cycles for a Montgomery product,
+// the Eq. 10 upper bound 6l²+14l+12 for an exponentiation, budgeted
+// at 1µs per cycle — three orders of magnitude above the reference
+// arithmetic's real per-cycle cost) is declared stuck, failed with a
+// wrapped ErrIntegrity, and its core quarantined. k ≤ 0 (the default)
+// disables the watchdog.
+func WithWatchdog(k float64) Option {
+	return func(c *config) { c.watchdogK = k }
+}
+
+// withClock overrides the engine's time source (tests only).
+func withClock(c clock) Option { return func(cfg *config) { cfg.clk = c } }
+
+// withFactories overrides how workers build their cores (tests only).
+func withFactories(
+	mf func(worker int, ctx *mont.Ctx) (multiplier, error),
+	xf func(worker int, ctx *mont.Ctx) (exponentiator, error),
+) Option {
+	return func(c *config) { c.mulFactory = mf; c.expFactory = xf }
+}
+
 // Engine schedules Montgomery work across a pool of worker cores. It is
 // safe for concurrent use by multiple goroutines. Close drains in-flight
 // work; submissions after Close fail with ErrEngineClosed.
@@ -81,16 +159,27 @@ type Engine struct {
 	closed bool
 	wg     sync.WaitGroup
 
+	// closing wakes quarantined workers parked in their probe backoff
+	// so Close never has to wait out a reinstatement timer.
+	closing chan struct{}
+	healthy atomic.Int64 // workers not currently quarantined
+	integ   *integrity.System
+	iobs    IntegrityObserver
+
 	ctr counters
 }
 
 // New builds and starts an engine.
 func New(opts ...Option) (*Engine, error) {
 	cfg := config{
-		workers:   runtime.GOMAXPROCS(0),
-		mode:      expo.Model,
-		variant:   systolic.Guarded,
-		cacheSize: 128,
+		workers:            runtime.GOMAXPROCS(0),
+		mode:               expo.Model,
+		variant:            systolic.Guarded,
+		cacheSize:          128,
+		integrityRecompute: true,
+		quarBase:           100 * time.Millisecond,
+		quarMax:            10 * time.Second,
+		clk:                realClock{},
 	}
 	for _, o := range opts {
 		o(&cfg)
@@ -104,10 +193,30 @@ func New(opts ...Option) (*Engine, error) {
 	if cfg.cacheSize < 1 {
 		return nil, fmt.Errorf("engine: context cache size must be positive, got %d", cfg.cacheSize)
 	}
+	if cfg.integritySample < 0 {
+		cfg.integritySample = 0
+	}
+	if cfg.integritySample > 1 {
+		cfg.integritySample = 1
+	}
+	if cfg.quarBase <= 0 {
+		cfg.quarBase = 100 * time.Millisecond
+	}
+	if cfg.quarMax < cfg.quarBase {
+		cfg.quarMax = cfg.quarBase
+	}
 	e := &Engine{
-		cfg:   cfg,
-		jobs:  make(chan *job, cfg.queue),
-		cache: newCtxCache(cfg.cacheSize),
+		cfg:     cfg,
+		jobs:    make(chan *job, cfg.queue),
+		cache:   newCtxCache(cfg.cacheSize),
+		closing: make(chan struct{}),
+	}
+	e.healthy.Store(int64(cfg.workers))
+	if cfg.integrity {
+		e.integ = integrity.NewSystem(0)
+	}
+	if io, ok := cfg.observer.(IntegrityObserver); ok {
+		e.iobs = io
 	}
 	e.cache.obs = cfg.observer
 	e.wg.Add(cfg.workers)
@@ -135,10 +244,16 @@ func (e *Engine) Close() error {
 	}
 	e.closed = true
 	close(e.jobs)
+	close(e.closing)
 	e.mu.Unlock()
 	e.wg.Wait()
 	return nil
 }
+
+// HealthyWorkers reports how many worker cores are currently serving
+// (not quarantined). It equals Workers() unless integrity failures,
+// panics or watchdog timeouts have benched cores.
+func (e *Engine) HealthyWorkers() int { return int(e.healthy.Load()) }
 
 // ModExpJob is one modular exponentiation: Base^Exp mod N.
 type ModExpJob struct {
@@ -195,6 +310,12 @@ type job struct {
 
 	n, a, b *big.Int // modexp: base/exp; mont: x/y
 
+	// redo counts integrity-driven requeues: a job whose result failed
+	// its check is re-enqueued so a different (healthy) core recomputes
+	// it, at most maxRedo times before falling back to the inline
+	// reference oracle.
+	redo int
+
 	expOut  *ModExpResult
 	montOut *MontResult
 	wg      *sync.WaitGroup
@@ -231,6 +352,27 @@ func (e *Engine) submit(ctx context.Context, j *job) error {
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
+	}
+}
+
+// requeue puts a job whose result failed its integrity check back on
+// the queue so a different core picks it up. It never blocks: a full
+// queue or a closing engine returns false and the caller recomputes
+// inline instead — a corrupted job must not deadlock the worker that
+// detected the corruption.
+func (e *Engine) requeue(j *job) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return false
+	}
+	select {
+	case e.jobs <- j:
+		depth := e.ctr.queueDepth.Add(1)
+		setMax(&e.ctr.queueHighWater, depth)
+		return true
+	default:
+		return false
 	}
 }
 

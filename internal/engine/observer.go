@@ -27,12 +27,15 @@ type Observer interface {
 	// including ones that immediately fail expiry checks.
 	JobStarted(kind string, worker int, queueWait time.Duration)
 
-	// JobFinished fires when a job reaches a terminal state. outcome is
+	// JobFinished fires when a job reaches a terminal state — outcome
 	// "ok", "failed" (invalid operands or arithmetic errors) or
-	// "canceled" (batch context done / per-job deadline passed). start
-	// is the enqueue instant; queueWait and exec partition the job's
-	// total latency. muls, modelCycles and simCycles report the work
-	// the job performed (all zero unless outcome is "ok").
+	// "canceled" (batch context done / per-job deadline passed) — and
+	// once more with outcome "requeued" each time a job whose result
+	// failed an integrity check goes back on the queue for recompute
+	// (not terminal: the same job finishes later on another core).
+	// start is the enqueue instant; queueWait and exec partition the
+	// job's total latency. muls, modelCycles and simCycles report the
+	// work the job performed (all zero unless outcome is "ok").
 	JobFinished(kind string, worker int, outcome string, start time.Time,
 		queueWait, exec time.Duration, muls, modelCycles, simCycles int64)
 
@@ -44,9 +47,29 @@ type Observer interface {
 	CacheEviction()
 }
 
-// internal/obs.Collector must keep satisfying Observer without obs
-// importing engine (the interface is matched structurally).
-var _ Observer = (*obs.Collector)(nil)
+// IntegrityObserver is the optional extension an Observer may also
+// implement to receive integrity lifecycle events; the engine
+// type-asserts for it at construction, so plain Observers keep
+// working unchanged. event is one of "check_failed" (a result failed
+// its residue/re-verification check), "quarantine" / "probe_failed" /
+// "reinstate" (the benched-core lifecycle), "panic" (a core panicked
+// mid-job), "watchdog" (a job blew its cycle budget) or "recompute"
+// (a corrupted job was redone, by requeue or inline oracle).
+//
+// Like Observer, implementations must be safe for concurrent use —
+// watchdog-abandoned goroutines may report "panic" after their worker
+// has moved on.
+type IntegrityObserver interface {
+	IntegrityEvent(event string, worker int)
+}
+
+// internal/obs.Collector must keep satisfying Observer (and the
+// integrity extension) without obs importing engine (the interfaces
+// are matched structurally).
+var (
+	_ Observer          = (*obs.Collector)(nil)
+	_ IntegrityObserver = (*obs.Collector)(nil)
+)
 
 // kindName reports the observer-facing name of a job kind.
 func (k jobKind) kindName() string {
@@ -61,4 +84,5 @@ const (
 	outcomeOK       = "ok"
 	outcomeFailed   = "failed"
 	outcomeCanceled = "canceled"
+	outcomeRequeued = "requeued"
 )

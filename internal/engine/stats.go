@@ -25,6 +25,13 @@ type counters struct {
 	modelCycles atomic.Int64 // paper-formula cycles (Model-mode reports)
 	simCycles   atomic.Int64 // measured MMMC cycles (Simulate mode)
 
+	integrityFailures atomic.Int64 // results refuted by a check
+	panics            atomic.Int64 // core panics recovered
+	watchdogTimeouts  atomic.Int64 // jobs stuck past their cycle budget
+	quarantines       atomic.Int64 // cores benched
+	reinstated        atomic.Int64 // cores un-benched after a clean probe
+	recomputes        atomic.Int64 // corrupted jobs redone (requeue or inline)
+
 	latency   obs.Histogram // submit→finish, completed jobs (ns)
 	failedLat obs.Histogram // submit→finish, failed + canceled jobs (ns)
 	queueWait obs.Histogram // submit→dequeue, every dequeued job (ns)
@@ -61,6 +68,16 @@ type Stats struct {
 	CtxMisses    int64 // modulus-context LRU misses (precomputations run)
 	CtxEvictions int64 // modulus contexts dropped at LRU capacity
 
+	// Integrity subsystem (all zero unless WithIntegrityCheck /
+	// WithWatchdog is in effect or a core panicked).
+	IntegrityFailures int64 // results refuted by a residue/re-verification check
+	Panics            int64 // core panics recovered into job failures
+	WatchdogTimeouts  int64 // jobs declared stuck past their cycle budget
+	Quarantines       int64 // cores benched by the integrity subsystem
+	Reinstatements    int64 // benched cores returned after a clean probe
+	Recomputes        int64 // corrupted jobs redone (requeue or inline oracle)
+	HealthyWorkers    int   // workers currently serving (not quarantined)
+
 	// Latency distributions, all in nanoseconds. Latency covers
 	// completed jobs submit→finish; FailedLatency covers failed and
 	// canceled jobs (they used to vanish from latency accounting
@@ -92,6 +109,14 @@ func (e *Engine) Stats() Stats {
 		CtxHits:        int64(hits),
 		CtxMisses:      int64(misses),
 		CtxEvictions:   int64(evictions),
+
+		IntegrityFailures: e.ctr.integrityFailures.Load(),
+		Panics:            e.ctr.panics.Load(),
+		WatchdogTimeouts:  e.ctr.watchdogTimeouts.Load(),
+		Quarantines:       e.ctr.quarantines.Load(),
+		Reinstatements:    e.ctr.reinstated.Load(),
+		Recomputes:        e.ctr.recomputes.Load(),
+		HealthyWorkers:    int(e.healthy.Load()),
 		Latency:        lat,
 		FailedLatency:  e.ctr.failedLat.Snapshot(),
 		QueueWait:      e.ctr.queueWait.Snapshot(),
@@ -110,12 +135,20 @@ func (s Stats) MeanLatency() time.Duration {
 }
 
 // String renders the snapshot as one line, loadgen/debug friendly.
+// Integrity counters appear only when something happened — the common
+// clean-path line stays as short as before.
 func (s Stats) String() string {
-	return fmt.Sprintf(
+	line := fmt.Sprintf(
 		"workers=%d submitted=%d completed=%d failed=%d canceled=%d queue=%d hw=%d "+
 			"muls=%d ctx=%d/%d evict=%d mean=%s p50=%s p99=%s max=%s qwait_p99=%s",
 		s.Workers, s.Submitted, s.Completed, s.Failed, s.Canceled, s.QueueDepth,
 		s.QueueHighWater, s.Muls, s.CtxHits, s.CtxHits+s.CtxMisses, s.CtxEvictions,
 		s.MeanLatency(), time.Duration(s.Latency.P50), time.Duration(s.Latency.P99),
 		time.Duration(s.Latency.Max), time.Duration(s.QueueWait.P99))
+	if s.IntegrityFailures+s.Panics+s.WatchdogTimeouts+s.Quarantines > 0 {
+		line += fmt.Sprintf(" integ=%d panics=%d watchdog=%d recomputed=%d quar=%d/%d healthy=%d/%d",
+			s.IntegrityFailures, s.Panics, s.WatchdogTimeouts, s.Recomputes,
+			s.Quarantines, s.Reinstatements, s.HealthyWorkers, s.Workers)
+	}
+	return line
 }

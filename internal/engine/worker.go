@@ -3,54 +3,130 @@ package engine
 import (
 	"fmt"
 	"math/big"
+	"math/rand"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/errs"
 	"repro/internal/expo"
+	"repro/internal/faults"
+	"repro/internal/integrity"
 )
 
-// worker is one engine core. It owns its exponentiators and multipliers
-// outright — simulated circuits are mutable and must never be shared
-// (core.Multiplier's concurrency contract) — while the mont.Ctx inside
-// them comes from the engine-wide LRU, shared safely because a Ctx is
-// immutable. Per-worker caches avoid rebuilding circuits for repeated
-// moduli; they are bounded and simply reset when full, which is cheap
-// and keeps the common steady-state (few hot moduli) fully cached.
+// exponentiator and multiplier are the result-bearing surfaces the
+// worker actually calls through. Interfaces rather than the concrete
+// types so a fault injector (internal/faults) or a test fake can sit
+// between the worker and the real core.
+type exponentiator interface {
+	ModExp(base, exp *big.Int) (*big.Int, expo.Report, error)
+}
+
+type multiplier interface {
+	Mont(x, y *big.Int) (*big.Int, error)
+}
+
+// mulEntry pairs the possibly-wrapped multiplier a worker computes
+// through with the raw core underneath; the raw pointer (nil for test
+// fakes) feeds the simulated-cycle accounting via its Cycles counter.
+type mulEntry struct {
+	m   multiplier
+	raw *core.Multiplier
+}
+
+// kit is a worker's disposable compute state: its circuit caches, its
+// fault-injection handle and its integrity sampler. It exists as one
+// swappable unit for two reasons. Quarantine replaces the kit so a
+// core suspected of corruption restarts from fresh circuits — the
+// software analogue of resetting the cell array. And the watchdog
+// replaces it when it abandons a stuck job: the timed-out goroutine
+// keeps exclusive ownership of the old kit (maps, circuits, rand
+// streams are all single-owner), so worker and stray never share
+// mutable state.
+type kit struct {
+	exps    map[string]exponentiator
+	muls    map[string]*mulEntry
+	fcore   *faults.Core
+	sampler *integrity.Sampler
+}
+
+// worker is one engine core. It owns its kit outright — simulated
+// circuits are mutable and must never be shared (core.Multiplier's
+// concurrency contract) — while the mont.Ctx inside comes from the
+// engine-wide LRU, shared safely because a Ctx is immutable.
+// Per-worker caches avoid rebuilding circuits for repeated moduli;
+// they are bounded and simply reset when full, which is cheap and
+// keeps the common steady-state (few hot moduli) fully cached.
 type worker struct {
 	eng *Engine
 	id  int
+	kit *kit
 
-	exps map[string]*expo.Exponentiator
-	muls map[string]*core.Multiplier
+	quar       bool       // benched by an integrity failure
+	probeFails int        // consecutive failed re-probes, drives backoff
+	rng        *rand.Rand // backoff jitter, deterministic per worker
 }
 
 // maxLocal bounds each worker's circuit caches.
 const maxLocal = 32
 
+// maxRedo bounds integrity-driven requeues per job before the worker
+// falls back to the inline reference oracle.
+const maxRedo = 2
+
 func newWorker(e *Engine, id int) *worker {
-	return &worker{
-		eng:  e,
-		id:   id,
-		exps: make(map[string]*expo.Exponentiator),
-		muls: make(map[string]*core.Multiplier),
+	w := &worker{
+		eng: e,
+		id:  id,
+		rng: rand.New(rand.NewSource(int64(id)*7919 + 1)),
 	}
+	w.kit = w.newKit()
+	return w
+}
+
+func (w *worker) newKit() *kit {
+	k := &kit{
+		exps: make(map[string]exponentiator),
+		muls: make(map[string]*mulEntry),
+	}
+	if in := w.eng.cfg.injector; in != nil {
+		k.fcore = in.Core(w.id)
+	}
+	if w.eng.cfg.integrity {
+		k.sampler = integrity.NewSampler(w.eng.cfg.integritySample)
+	}
+	return k
 }
 
 func (w *worker) loop() {
 	defer w.eng.wg.Done()
 	for j := range w.eng.jobs {
 		w.eng.ctr.queueDepth.Add(-1)
-		w.run(j)
-		j.wg.Done()
+		if w.run(j) {
+			j.wg.Done()
+		}
+		w.quarantineWait()
 	}
+}
+
+// jobResult is what one compute attempt produced. corrupt marks
+// results the engine must not trust: a panic, a watchdog timeout, or
+// a failed integrity check — all of which quarantine the core.
+type jobResult struct {
+	v       *big.Int
+	rep     expo.Report
+	wk      work
+	err     error
+	corrupt bool
 }
 
 // run executes one dequeued job, splitting its latency into queue wait
 // (enqueue→dequeue) and execute time (dequeue→finish). Completed jobs
 // feed the latency/exec histograms; failed and canceled jobs get their
 // own histogram instead of silently dropping out of the accounting.
-func (w *worker) run(j *job) {
+// It returns false when the job was requeued for recompute on another
+// core — the job is not finished and its WaitGroup must not be
+// released yet.
+func (w *worker) run(j *job) bool {
 	ctr := &w.eng.ctr
 	ob := w.eng.cfg.observer
 	dequeued := time.Now()
@@ -70,6 +146,9 @@ func (w *worker) run(j *job) {
 		case outcomeCanceled:
 			ctr.canceled.Add(1)
 			ctr.failedLat.Observe((queueWait + exec).Nanoseconds())
+		case outcomeRequeued:
+			// Neither terminal nor failed: the job lives on in the queue
+			// and its next run does the accounting.
 		default:
 			ctr.failed.Add(1)
 			ctr.failedLat.Observe((queueWait + exec).Nanoseconds())
@@ -83,28 +162,52 @@ func (w *worker) run(j *job) {
 	if err := j.expired(dequeued); err != nil {
 		j.fail(err)
 		finish(outcomeCanceled, 0, 0, 0)
-		return
+		return true
 	}
 	if j.n == nil || j.a == nil || j.b == nil {
 		j.fail(fmt.Errorf("engine: nil job operand: %w", errs.ErrOperandRange))
 		finish(outcomeFailed, 0, 0, 0)
-		return
+		return true
 	}
 
-	var wk work
-	var err error
+	res := w.execute(j)
+	if !res.corrupt && res.err == nil && w.eng.cfg.integrity {
+		if ierr := w.verify(j, res.v); ierr != nil {
+			ctr.integrityFailures.Add(1)
+			w.eng.integrityEvent("check_failed", w.id)
+			res = jobResult{err: ierr, corrupt: true}
+		}
+	}
+	if res.corrupt {
+		w.quarantine()
+		if w.eng.cfg.integrity && w.eng.cfg.integrityRecompute {
+			if w.redirect(j) {
+				finish(outcomeRequeued, 0, 0, 0)
+				return false
+			}
+			res = w.recomputeInline(j, res)
+		}
+	}
+	if res.err != nil {
+		j.fail(res.err)
+		finish(outcomeFailed, 0, 0, 0)
+		return true
+	}
+
 	switch j.kind {
 	case kindModExp:
-		wk, err = w.runModExp(j)
+		j.expOut.Value = res.v
+		j.expOut.Report = res.rep
+		j.expOut.Err = nil
 	case kindMont:
-		wk, err = w.runMont(j)
+		j.montOut.Value = res.v
+		j.montOut.Err = nil
 	}
-	if err != nil {
-		j.fail(err)
-		finish(outcomeFailed, 0, 0, 0)
-		return
-	}
-	finish(outcomeOK, wk.muls, wk.modelCycles, wk.simCycles)
+	ctr.muls.Add(res.wk.muls)
+	ctr.modelCycles.Add(res.wk.modelCycles)
+	ctr.simCycles.Add(res.wk.simCycles)
+	finish(outcomeOK, res.wk.muls, res.wk.modelCycles, res.wk.simCycles)
+	return true
 }
 
 // work is one job's own accounting, reported to the observer and added
@@ -123,92 +226,258 @@ func (j *job) fail(err error) {
 	}
 }
 
-func (w *worker) runModExp(j *job) (work, error) {
-	ex, err := w.exponentiator(j.n)
+// execute runs the job's arithmetic, under the watchdog when armed.
+// On a watchdog timeout the worker abandons its kit to the stuck
+// goroutine (see kit) and reports the job corrupt.
+func (w *worker) execute(j *job) jobResult {
+	if w.eng.cfg.watchdogK <= 0 {
+		return w.compute(j, w.kit)
+	}
+	ctx, err := w.eng.cache.get(j.n)
 	if err != nil {
-		return work{}, err
+		return jobResult{err: err}
 	}
-	v, rep, err := ex.ModExp(j.a, j.b)
-	if err != nil {
-		return work{}, err
+	budget := watchdogBudget(w.eng.cfg.watchdogK, j.kind, ctx.L)
+	ch := make(chan jobResult, 1)
+	k := w.kit
+	go func() { ch <- w.compute(j, k) }()
+	select {
+	case res := <-ch:
+		return res
+	case <-w.eng.cfg.clk.After(budget):
+		w.eng.ctr.watchdogTimeouts.Add(1)
+		w.eng.integrityEvent("watchdog", w.id)
+		w.kit = w.newKit()
+		return jobResult{
+			err: fmt.Errorf("engine: worker %d: watchdog: %s stuck past %v (k=%g × %d cycles): %w",
+				w.id, j.kind.kindName(), budget, w.eng.cfg.watchdogK,
+				cycleBound(j.kind, ctx.L), errs.ErrIntegrity),
+			corrupt: true,
+		}
 	}
-	j.expOut.Value = v
-	j.expOut.Report = rep
-	wk := work{
-		// Squares + Multiplies plus the explicit pre- and post-products.
-		muls:        int64(rep.Squares + rep.Multiplies + 2),
-		modelCycles: int64(rep.TotalCycles),
-		simCycles:   int64(rep.SimulatedMulCycles),
-	}
-	ctr := &w.eng.ctr
-	ctr.muls.Add(wk.muls)
-	ctr.modelCycles.Add(wk.modelCycles)
-	ctr.simCycles.Add(wk.simCycles)
-	return wk, nil
 }
 
-func (w *worker) runMont(j *job) (work, error) {
-	m, err := w.multiplier(j.n)
-	if err != nil {
-		return work{}, err
+// cycleBound is the paper's cycle count for one operation at modulus
+// length l: 3l+4 for a Montgomery product, the Eq. 10 upper bound for
+// a full exponentiation.
+func cycleBound(kind jobKind, l int) int64 {
+	if kind == kindMont {
+		return int64(3*l + 4)
 	}
-	before := m.Cycles
-	v, err := m.Mont(j.a, j.b)
-	if err != nil {
-		return work{}, err
-	}
-	j.montOut.Value = v
-	wk := work{muls: 1, simCycles: int64(m.Cycles - before)}
-	ctr := &w.eng.ctr
-	ctr.muls.Add(wk.muls)
-	ctr.simCycles.Add(wk.simCycles)
-	return wk, nil
+	ll := int64(l)
+	return 6*ll*ll + 14*ll + 12
 }
 
-// exponentiator returns this worker's exclusive exponentiator for
+// watchdogCycleTime is the wall-time budget granted per hardware
+// cycle. The reference arithmetic spends nanoseconds per cycle and the
+// gate-level simulation microseconds, so 1µs × k leaves generous
+// headroom for the Model path while still bounding a genuinely hung
+// core; simulation users should scale k accordingly.
+const watchdogCycleTime = time.Microsecond
+
+func watchdogBudget(k float64, kind jobKind, l int) time.Duration {
+	d := time.Duration(k * float64(cycleBound(kind, l)) * float64(watchdogCycleTime))
+	if d <= 0 {
+		d = watchdogCycleTime
+	}
+	return d
+}
+
+// compute runs the job on the given kit and returns its result. A
+// panicking core is recovered here: the panic fails this job with a
+// wrapped ErrIntegrity instead of killing the process, and marks the
+// result corrupt so the core is quarantined.
+func (w *worker) compute(j *job, k *kit) (res jobResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.eng.ctr.panics.Add(1)
+			w.eng.integrityEvent("panic", w.id)
+			res = jobResult{
+				err: fmt.Errorf("engine: worker %d: core panicked: %v: %w",
+					w.id, r, errs.ErrIntegrity),
+				corrupt: true,
+			}
+		}
+	}()
+	switch j.kind {
+	case kindModExp:
+		ex, err := w.exponentiatorIn(k, j.n)
+		if err != nil {
+			return jobResult{err: err}
+		}
+		v, rep, err := ex.ModExp(j.a, j.b)
+		if err != nil {
+			return jobResult{err: err}
+		}
+		return jobResult{v: v, rep: rep, wk: work{
+			// Squares + Multiplies plus the explicit pre- and post-products.
+			muls:        int64(rep.Squares + rep.Multiplies + 2),
+			modelCycles: int64(rep.TotalCycles),
+			simCycles:   int64(rep.SimulatedMulCycles),
+		}}
+	default: // kindMont
+		me, err := w.multiplierIn(k, j.n)
+		if err != nil {
+			return jobResult{err: err}
+		}
+		var before int
+		if me.raw != nil {
+			before = me.raw.Cycles
+		}
+		v, err := me.m.Mont(j.a, j.b)
+		if err != nil {
+			return jobResult{err: err}
+		}
+		wk := work{muls: 1}
+		if me.raw != nil {
+			wk.simCycles = int64(me.raw.Cycles - before)
+		}
+		return jobResult{v: v, wk: wk}
+	}
+}
+
+// verify applies the integrity checks: every Montgomery product gets
+// the full residue-identity check (no witness crosses the multiplier
+// interface, and residues alone cannot verify a mod-N congruence —
+// see internal/integrity), and a sampled fraction of exponentiations
+// get the big.Int re-verification.
+func (w *worker) verify(j *job, v *big.Int) error {
+	switch j.kind {
+	case kindMont:
+		ctx, err := w.eng.cache.get(j.n)
+		if err != nil {
+			return err
+		}
+		return integrity.CheckMont(ctx, j.a, j.b, v)
+	case kindModExp:
+		if w.kit.sampler.Next() {
+			return integrity.CheckModExp(j.n, j.a, j.b, v)
+		}
+	}
+	return nil
+}
+
+// redirect requeues a corrupted job so a different core recomputes it.
+// False means the caller must recompute inline: the job already used
+// its retries, no healthy core exists to pick it up, the queue is
+// full, or the engine is closing.
+func (w *worker) redirect(j *job) bool {
+	if j.redo >= maxRedo || w.eng.healthy.Load() <= 0 {
+		return false
+	}
+	j.redo++
+	j.enqueued = time.Now()
+	if !w.eng.requeue(j) {
+		return false
+	}
+	w.eng.ctr.recomputes.Add(1)
+	w.eng.integrityEvent("recompute", w.id)
+	return true
+}
+
+// recomputeInline is the last-resort recovery path: recompute on the
+// trusted reference arithmetic, verify, and only then hand the value
+// back. It bypasses the worker's (possibly fault-wrapped) cores
+// entirely.
+func (w *worker) recomputeInline(j *job, failed jobResult) jobResult {
+	w.eng.ctr.recomputes.Add(1)
+	w.eng.integrityEvent("recompute", w.id)
+	ctx, err := w.eng.cache.get(j.n)
+	if err != nil {
+		return jobResult{err: err}
+	}
+	switch j.kind {
+	case kindMont:
+		v, err := w.eng.integ.RecomputeMont(ctx, j.a, j.b)
+		if err != nil {
+			return jobResult{err: err}
+		}
+		return jobResult{v: v, wk: work{muls: 1}}
+	case kindModExp:
+		ex, err := expo.NewFromCtx(ctx, expo.Model)
+		if err != nil {
+			return jobResult{err: err}
+		}
+		v, rep, err := ex.ModExp(j.a, j.b)
+		if err != nil {
+			return jobResult{err: err}
+		}
+		if ierr := integrity.CheckModExp(j.n, j.a, j.b, v); ierr != nil {
+			return jobResult{err: ierr}
+		}
+		return jobResult{v: v, rep: rep, wk: work{
+			muls:        int64(rep.Squares + rep.Multiplies + 2),
+			modelCycles: int64(rep.TotalCycles),
+		}}
+	}
+	return failed
+}
+
+// exponentiatorIn returns the kit's exclusive exponentiator for
 // modulus n, building it over the shared LRU-cached context on first
-// use.
-func (w *worker) exponentiator(n *big.Int) (*expo.Exponentiator, error) {
+// use and wrapping it with the fault injector when one is configured.
+func (w *worker) exponentiatorIn(k *kit, n *big.Int) (exponentiator, error) {
 	key := string(n.Bytes())
-	if ex, ok := w.exps[key]; ok {
+	if ex, ok := k.exps[key]; ok {
 		return ex, nil
 	}
 	ctx, err := w.eng.cache.get(n)
 	if err != nil {
 		return nil, err
 	}
-	ex, err := expo.NewFromCtx(ctx, w.eng.cfg.mode, expo.WithVariant(w.eng.cfg.variant))
+	var ex exponentiator
+	if f := w.eng.cfg.expFactory; f != nil {
+		ex, err = f(w.id, ctx)
+	} else {
+		ex, err = expo.NewFromCtx(ctx, w.eng.cfg.mode, expo.WithVariant(w.eng.cfg.variant))
+	}
 	if err != nil {
 		return nil, err
 	}
-	if len(w.exps) >= maxLocal {
-		w.exps = make(map[string]*expo.Exponentiator)
+	if k.fcore != nil {
+		ex = k.fcore.WrapExponentiator(ex, ctx.L)
 	}
-	w.exps[key] = ex
+	if len(k.exps) >= maxLocal {
+		k.exps = make(map[string]exponentiator)
+	}
+	k.exps[key] = ex
 	return ex, nil
 }
 
-// multiplier is exponentiator's twin for raw Montgomery products.
-func (w *worker) multiplier(n *big.Int) (*core.Multiplier, error) {
+// multiplierIn is exponentiatorIn's twin for raw Montgomery products.
+func (w *worker) multiplierIn(k *kit, n *big.Int) (*mulEntry, error) {
 	key := string(n.Bytes())
-	if m, ok := w.muls[key]; ok {
-		return m, nil
+	if me, ok := k.muls[key]; ok {
+		return me, nil
 	}
 	ctx, err := w.eng.cache.get(n)
 	if err != nil {
 		return nil, err
 	}
-	var opts []core.Option
-	if w.eng.cfg.mode == expo.Simulate {
-		opts = append(opts, core.WithSimulation(), core.WithVariant(w.eng.cfg.variant))
+	entry := &mulEntry{}
+	if f := w.eng.cfg.mulFactory; f != nil {
+		entry.m, err = f(w.id, ctx)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var opts []core.Option
+		if w.eng.cfg.mode == expo.Simulate {
+			opts = append(opts, core.WithSimulation(), core.WithVariant(w.eng.cfg.variant))
+		}
+		raw, err := core.NewMultiplierFromCtx(ctx, opts...)
+		if err != nil {
+			return nil, err
+		}
+		entry.raw = raw
+		entry.m = raw
 	}
-	m, err := core.NewMultiplierFromCtx(ctx, opts...)
-	if err != nil {
-		return nil, err
+	if k.fcore != nil {
+		entry.m = k.fcore.WrapMultiplier(entry.m, ctx.L+1)
 	}
-	if len(w.muls) >= maxLocal {
-		w.muls = make(map[string]*core.Multiplier)
+	if len(k.muls) >= maxLocal {
+		k.muls = make(map[string]*mulEntry)
 	}
-	w.muls[key] = m
-	return m, nil
+	k.muls[key] = entry
+	return entry, nil
 }

@@ -55,4 +55,16 @@ var (
 	// view it is transient the way ErrDraining is — another instance
 	// may answer the retry.
 	ErrBackendDown = errors.New("backend down")
+
+	// ErrIntegrity reports a result that failed the engine's end-to-end
+	// integrity checks: a Montgomery product whose residue identity
+	// T·R ≡ x·y (mod N) does not hold, an exponentiation whose big.Int
+	// re-verification mismatched, a core that panicked mid-job, or a job
+	// the per-core watchdog declared stuck past its hardware-derived
+	// cycle budget. It marks corrupted compute, not bad input: the
+	// offending core is quarantined and (policy permitting) the job is
+	// recomputed on a different core before this error ever surfaces.
+	// The cluster tier treats it like ErrDraining — a free failover to
+	// another backend, since the answer must never be trusted.
+	ErrIntegrity = errors.New("result failed integrity check")
 )

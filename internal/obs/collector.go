@@ -37,6 +37,9 @@ type Collector struct {
 	cacheHits      *Counter
 	cacheMisses    *Counter
 	cacheEvictions *Counter
+
+	integrityEvents    map[string]*Counter
+	quarantinedWorkers *Gauge
 }
 
 // CollectorOption configures NewCollector.
@@ -63,8 +66,18 @@ func WithTracing(capacity int) CollectorOption {
 // jobKinds are the engine's job kinds; anything else lands on "other".
 var jobKinds = []string{"modexp", "mont", "other"}
 
-// outcomes are the engine's job terminal states.
-var outcomes = []string{"ok", "failed", "canceled"}
+// outcomes are the engine's job terminal states, plus "requeued" —
+// the non-terminal state of a job sent back to the queue so a healthy
+// core can recompute a result that failed its integrity check.
+var outcomes = []string{"ok", "failed", "canceled", "requeued"}
+
+// integrityEvents are the engine's integrity lifecycle events (see
+// engine.IntegrityObserver); anything new lands on "other" so an
+// engine upgrade can't panic an old collector.
+var integrityEvents = []string{
+	"check_failed", "quarantine", "probe_failed", "reinstate",
+	"panic", "watchdog", "recompute", "other",
+}
 
 // NewCollector builds a collector with every metric pre-registered, so
 // the hot path never touches the registry lock.
@@ -124,6 +137,14 @@ func NewCollector(opts ...CollectorOption) *Collector {
 		"Modulus-context LRU misses (precomputations run).")
 	c.cacheEvictions = reg.Counter("montsys_ctx_cache_evictions_total",
 		"Modulus contexts evicted from the LRU.")
+	c.integrityEvents = map[string]*Counter{}
+	for _, ev := range integrityEvents {
+		c.integrityEvents[ev] = reg.CounterLabeled("montsys_integrity_events_total",
+			"Engine integrity lifecycle events (failed checks, quarantines, probes, recomputes).",
+			Label("event", ev))
+	}
+	c.quarantinedWorkers = reg.Gauge("montsys_quarantined_workers",
+		"Worker cores currently benched by the integrity subsystem.")
 	return c
 }
 
@@ -181,13 +202,16 @@ func (c *Collector) JobFinished(kind string, worker int, outcome string,
 		m.Inc()
 	}
 	total := queueWait + exec
-	if outcome == "ok" {
+	switch outcome {
+	case "ok":
 		c.latency[kind].ObserveDuration(total)
 		c.exec.ObserveDuration(exec)
 		c.muls[kind].Add(muls)
 		c.modelCycles.Add(modelCycles)
 		c.simCycles.Add(simCycles)
-	} else {
+	case "requeued":
+		// Not terminal: the job's next run does the latency accounting.
+	default:
 		c.failedLat.ObserveDuration(total)
 	}
 	if c.tracer != nil {
@@ -207,3 +231,21 @@ func (c *Collector) CacheMiss() { c.cacheMisses.Inc() }
 
 // CacheEviction implements engine.Observer.
 func (c *Collector) CacheEviction() { c.cacheEvictions.Inc() }
+
+// IntegrityEvent implements engine.IntegrityObserver: one integrity
+// lifecycle event on the given worker core. Quarantine and
+// reinstatement additionally move the quarantined-workers gauge so a
+// dashboard shows benched cores directly.
+func (c *Collector) IntegrityEvent(event string, worker int) {
+	m, ok := c.integrityEvents[event]
+	if !ok {
+		m = c.integrityEvents["other"]
+	}
+	m.Inc()
+	switch event {
+	case "quarantine":
+		c.quarantinedWorkers.Add(1)
+	case "reinstate":
+		c.quarantinedWorkers.Add(-1)
+	}
+}

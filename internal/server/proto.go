@@ -101,6 +101,7 @@ const (
 	CodeDeadline        Code = 8
 	CodeCanceled        Code = 9
 	CodeBackendDown     Code = 10
+	CodeIntegrity       Code = 11
 	CodeInternal        Code = 255
 )
 
@@ -129,6 +130,8 @@ func (c Code) String() string {
 		return "canceled"
 	case CodeBackendDown:
 		return "backend_down"
+	case CodeIntegrity:
+		return "integrity"
 	default:
 		return "internal"
 	}
@@ -139,7 +142,8 @@ func (c Code) String() string {
 var wireCodes = []Code{
 	CodeOK, CodeEvenModulus, CodeModulusTooSmall, CodeOperandRange,
 	CodeEngineClosed, CodeOverloaded, CodeDraining, CodeProtocol,
-	CodeDeadline, CodeCanceled, CodeBackendDown, CodeInternal,
+	CodeDeadline, CodeCanceled, CodeBackendDown, CodeIntegrity,
+	CodeInternal,
 }
 
 // codeFor maps an error to its wire code. Unrecognized errors become
@@ -164,6 +168,8 @@ func codeFor(err error) Code {
 		return CodeProtocol
 	case errors.Is(err, errs.ErrBackendDown):
 		return CodeBackendDown
+	case errors.Is(err, errs.ErrIntegrity):
+		return CodeIntegrity
 	case errors.Is(err, context.DeadlineExceeded):
 		return CodeDeadline
 	case errors.Is(err, context.Canceled):
@@ -200,6 +206,8 @@ func errFor(code Code, msg string) error {
 		return fmt.Errorf("montsys: remote: %s: %w", msg, errs.ErrProtocol)
 	case CodeBackendDown:
 		return fmt.Errorf("montsys: remote: %s: %w", msg, errs.ErrBackendDown)
+	case CodeIntegrity:
+		return fmt.Errorf("montsys: remote: %s: %w", msg, errs.ErrIntegrity)
 	case CodeDeadline:
 		return fmt.Errorf("montsys: remote: %s: %w", msg, context.DeadlineExceeded)
 	case CodeCanceled:

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"math/big"
 	"testing"
 	"time"
@@ -139,7 +140,8 @@ func TestCodeErrorMapping(t *testing.T) {
 	for _, sentinel := range []error{
 		errs.ErrEvenModulus, errs.ErrModulusTooSmall, errs.ErrOperandRange,
 		errs.ErrEngineClosed, errs.ErrOverloaded, errs.ErrDraining,
-		errs.ErrProtocol, context.DeadlineExceeded, context.Canceled,
+		errs.ErrProtocol, errs.ErrBackendDown, errs.ErrIntegrity,
+		context.DeadlineExceeded, context.Canceled,
 	} {
 		code := codeFor(sentinel)
 		if code == CodeOK || code == CodeInternal {
@@ -149,6 +151,11 @@ func TestCodeErrorMapping(t *testing.T) {
 		if !errors.Is(back, sentinel) {
 			t.Errorf("%v -> %v -> %v loses errors.Is", sentinel, code, back)
 		}
+	}
+	// Wrapped sentinels classify identically — the shape the engine
+	// actually emits (fmt.Errorf("...: %w", errs.ErrIntegrity)).
+	if codeFor(fmt.Errorf("worker 2: residue check: %w", errs.ErrIntegrity)) != CodeIntegrity {
+		t.Error("wrapped ErrIntegrity should map to CodeIntegrity")
 	}
 	if codeFor(nil) != CodeOK || errFor(CodeOK, "") != nil {
 		t.Error("nil/OK mapping broken")

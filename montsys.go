@@ -45,6 +45,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/errs"
 	"repro/internal/expo"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/systolic"
@@ -68,6 +69,15 @@ var (
 	ErrDraining    = errs.ErrDraining
 	ErrProtocol    = errs.ErrProtocol
 	ErrBackendDown = errs.ErrBackendDown
+
+	// ErrIntegrity marks a result that failed the engine's end-to-end
+	// integrity checks (residue identity, big.Int re-verification, core
+	// panic, watchdog timeout). When recompute is enabled callers never
+	// see it — corrupted jobs are silently redone on a healthy core —
+	// and when it does surface (recompute disabled, or recompute itself
+	// failed) the value must not be trusted; the cluster tier fails such
+	// answers over to another backend for free.
+	ErrIntegrity = errs.ErrIntegrity
 )
 
 // Multiplier is a Montgomery modular multiplier for one odd modulus,
@@ -199,6 +209,96 @@ type EngineObserver = engine.Observer
 // WithEngineObserver attaches an observer to an engine. Observation is
 // opt-in: without one, every hook site is a single nil check.
 func WithEngineObserver(o EngineObserver) EngineOption { return engine.WithObserver(o) }
+
+// Fault tolerance & integrity. The engine can verify its own results
+// (every Montgomery product against the residue identity
+// T·R ≡ x·y (mod N), a sampled fraction of exponentiations against a
+// full big.Int re-computation), quarantine a core whose results fail —
+// with background known-answer re-probes and jittered reinstatement,
+// mirroring the cluster tier's backend lifecycle — and transparently
+// recompute corrupted jobs on a healthy core. A deterministic fault
+// injector simulates the hardware failure modes (bit-flip and
+// stuck-at upsets in the paper's cell array) for tests and chaos runs:
+//
+//	inj := montsys.NewFaultInjector(montsys.WithFaultRate(0.01),
+//	    montsys.WithFaultSeed(42), montsys.WithFaultCores(0))
+//	eng, _ := montsys.NewEngine(
+//	    montsys.WithEngineWorkers(4),
+//	    montsys.WithEngineFaultInjector(inj),
+//	    montsys.WithEngineIntegrityCheck(1)) // zero wrong answers leave eng
+//
+// See README "Fault tolerance & integrity" and DESIGN §2e.
+
+// FaultInjector deterministically corrupts core results (bit-flip or
+// stuck-at; per-core, rate-limited, one-shot or persistent) so the
+// integrity subsystem can be exercised end to end.
+type FaultInjector = faults.Injector
+
+// FaultOption configures NewFaultInjector.
+type FaultOption = faults.Option
+
+// NewFaultInjector builds a fault injector; with no options it flips a
+// random bit of every result on every core.
+func NewFaultInjector(opts ...FaultOption) *FaultInjector { return faults.New(opts...) }
+
+// WithFaultSeed fixes the injector's deterministic seed (default 1).
+func WithFaultSeed(s int64) FaultOption { return faults.WithSeed(s) }
+
+// WithFaultRate sets the per-operation fault probability (default 1).
+func WithFaultRate(r float64) FaultOption { return faults.WithRate(r) }
+
+// WithFaultBitFlip makes the injector flip the given bit (< 0 =
+// random per operation).
+func WithFaultBitFlip(bit int) FaultOption { return faults.WithBitFlip(bit) }
+
+// WithFaultStuckAt forces the given result bit to val&1 (< 0 = random
+// position), modelling a permanent cell defect.
+func WithFaultStuckAt(bit int, val uint) FaultOption { return faults.WithStuckAt(bit, val) }
+
+// WithFaultCores restricts faults to the listed worker ids.
+func WithFaultCores(ids ...int) FaultOption { return faults.WithCores(ids...) }
+
+// WithFaultAfter arms faults only after n clean operations per core.
+func WithFaultAfter(n int64) FaultOption { return faults.WithAfter(n) }
+
+// WithFaultOneShot limits each core to a single manifested fault.
+func WithFaultOneShot() FaultOption { return faults.WithOneShot() }
+
+// WithEngineIntegrityCheck verifies every result before it leaves the
+// engine: each Montgomery product against the residue identity, and
+// sample ∈ [0, 1] of exponentiations against a full big.Int
+// re-computation (1 re-checks every job). Failing results are
+// recomputed (see WithEngineIntegrityRecompute) and the offending
+// core is quarantined.
+func WithEngineIntegrityCheck(sample float64) EngineOption {
+	return engine.WithIntegrityCheck(sample)
+}
+
+// WithEngineIntegrityRecompute controls recovery for results that fail
+// their check (default true: recompute on a healthy core, callers see
+// only correct answers). Off, such jobs fail with ErrIntegrity —
+// what a cluster front end wants, so corruption becomes a failover.
+func WithEngineIntegrityRecompute(on bool) EngineOption {
+	return engine.WithIntegrityRecompute(on)
+}
+
+// WithEngineFaultInjector wires a fault injector between worker cores
+// and their results (tests, loadgen, chaos runs).
+func WithEngineFaultInjector(in *FaultInjector) EngineOption {
+	return engine.WithFaultInjector(in)
+}
+
+// WithEngineQuarantineBackoff sets the quarantined-core re-probe
+// schedule: first known-answer probe after base, doubling to max,
+// ±50% jitter (defaults 100ms, 10s).
+func WithEngineQuarantineBackoff(base, max time.Duration) EngineOption {
+	return engine.WithQuarantineBackoff(base, max)
+}
+
+// WithEngineWatchdog fails jobs stuck past k × their hardware cycle
+// bound (3l+4 per Montgomery product, 6l²+14l+12 per exponentiation,
+// at 1µs per cycle) and quarantines the core (k ≤ 0 disables).
+func WithEngineWatchdog(k float64) EngineOption { return engine.WithWatchdog(k) }
 
 // Collector adapts observer callbacks into metrics and trace spans.
 type Collector = obs.Collector
@@ -403,6 +503,14 @@ func WithClusterRetryBudget(ratio float64, burst int) ClusterOption {
 // retries — the router owns retry policy).
 func WithClusterClientOptions(opts ...ClientOption) ClusterOption {
 	return cluster.WithClientOptions(opts...)
+}
+
+// WithClusterIntegrityEjectThreshold ejects a backend after n
+// consecutive ErrIntegrity answers from live traffic (default 3; 0
+// disables). A corrupting backend passes transport health checks, so
+// this is the lever that takes it out of rotation.
+func WithClusterIntegrityEjectThreshold(n int) ClusterOption {
+	return cluster.WithIntegrityEjectThreshold(n)
 }
 
 // NewMetricsHandler serves a bare metrics registry over HTTP in
