@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race staticcheck cover bench-engine bench-obs bench-faults
+.PHONY: ci build vet test race staticcheck cover bench-engine bench-obs bench-faults bench-kits
 
 ci: vet staticcheck build test race
 
@@ -17,7 +17,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/engine/... ./internal/core/... ./internal/obs/... ./internal/server/... ./internal/cluster/... ./internal/faults/... ./internal/integrity/...
+	$(GO) test -race ./internal/engine/... ./internal/core/... ./internal/obs/... ./internal/server/... ./internal/cluster/... ./internal/faults/... ./internal/integrity/... ./internal/highradix/... ./internal/kits/...
 
 # CI installs staticcheck; locally the gate is skipped when the binary
 # is absent rather than failing the whole ci target.
@@ -46,3 +46,10 @@ bench-obs:
 # integrity checking (off vs sampled vs every-job) on the modexp path.
 bench-faults:
 	$(GO) test -run xxx -bench EngineIntegrity -benchtime 60x -count 6 ./internal/engine/
+
+# Regenerate BENCH_kits.json's raw numbers: per-kit modexp throughput at
+# 1024/2048 bits (the sim kit takes seconds per op — keep -benchtime
+# small) plus the CIOS word-loop microbenchmarks.
+bench-kits:
+	$(GO) test -run xxx -bench KitModExp -benchtime 3x ./internal/engine/
+	$(GO) test -run xxx -bench 'WordMul|WordModExp' -benchtime 100x ./internal/highradix/

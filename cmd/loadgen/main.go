@@ -7,12 +7,21 @@
 // Usage:
 //
 //	loadgen [-workers 1,2,4,8] [-jobs 200] [-bits 512,1024] [-keys 4]
-//	        [-mode model|simulate] [-variant guarded|faithful]
+//	        [-kit model,cios,big,auto] [-variant guarded|faithful]
 //	        [-exp full|f4] [-queue 0] [-timeout 0]
 //	        [-listen :9090] [-linger 0] [-trace 4096]
 //	        [-connect host:7077] [-clients 8] [-retries 3]
 //	        [-tolerate integrity,overloaded] [-integrity]
 //	        [-fault-rate 0] [-fault-seed 1] [-fault-cores 0]
+//
+// -kit takes a comma-separated compute-kit list (model | sim | cios |
+// big | auto) and sweeps every (kit, workers) combination, so one run
+// compares the paper-faithful radix-2 path against the radix-2^64 CIOS
+// fast path, the math/big oracle and the auto-selector side by side —
+// the source of BENCH_kits.json. Rows are labelled per kit; under
+// `auto` the stats line's kit_* counters show the selector's per-job
+// choices. The older -mode flag remains as a shim: -mode simulate is
+// -kit sim.
 //
 // Each sweep point drives the engine closed-loop from 2×workers
 // submitter goroutines, measuring every job's submit→finish latency.
@@ -81,8 +90,9 @@ func main() {
 	jobs := flag.Int("jobs", 200, "jobs per sweep point")
 	bitsList := flag.String("bits", "512,1024", "comma-separated modulus bit lengths, mixed round-robin")
 	keys := flag.Int("keys", 4, "distinct moduli per bit length (exercises the context LRU)")
-	modeName := flag.String("mode", "model", "execution mode: model | simulate")
-	variantName := flag.String("variant", "guarded", "array variant for simulate mode: guarded | faithful")
+	kitList := flag.String("kit", "", "comma-separated compute kits to sweep: model | sim | cios | big | auto (default model, or sim under -mode simulate)")
+	modeName := flag.String("mode", "model", "deprecated: execution mode model | simulate (use -kit)")
+	variantName := flag.String("variant", "guarded", "array variant for the sim kit: guarded | faithful")
 	expKind := flag.String("exp", "full", "exponent shape: full (private-key-size) | f4 (65537)")
 	queue := flag.Int("queue", 0, "submission queue depth (0 = engine default)")
 	timeout := flag.Duration("timeout", 0, "overall deadline per sweep point (0 = none)")
@@ -132,7 +142,7 @@ func main() {
 			}
 		}()
 	}
-	if err := run(ctx, *workersList, *bitsList, *modeName, *variantName, cfg); err != nil {
+	if err := run(ctx, *workersList, *bitsList, *kitList, *modeName, *variantName, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
@@ -274,15 +284,26 @@ func (cfg sweepConfig) faultOptions() ([]montsys.EngineOption, error) {
 	return opts, nil
 }
 
-func run(ctx context.Context, workersList, bitsList, modeName, variantName string, cfg sweepConfig) error {
-	var mode montsys.Mode
-	switch modeName {
-	case "model":
-		mode = montsys.Model
-	case "simulate":
-		mode = montsys.Simulate
-	default:
-		return fmt.Errorf("unknown mode %q", modeName)
+func run(ctx context.Context, workersList, bitsList, kitList, modeName, variantName string, cfg sweepConfig) error {
+	// -kit wins when given; otherwise the deprecated -mode flag picks
+	// the matching kit so old invocations behave identically.
+	if kitList == "" {
+		switch modeName {
+		case "model":
+			kitList = "model"
+		case "simulate":
+			kitList = "sim"
+		default:
+			return fmt.Errorf("unknown mode %q", modeName)
+		}
+	}
+	var sweepKits []montsys.Kit
+	for _, p := range strings.Split(kitList, ",") {
+		k, err := montsys.ParseKit(p)
+		if err != nil {
+			return err
+		}
+		sweepKits = append(sweepKits, k)
 	}
 	var variant montsys.Variant
 	switch variantName {
@@ -335,26 +356,34 @@ func run(ctx context.Context, workersList, bitsList, modeName, variantName strin
 	if err != nil {
 		return err
 	}
-	fmt.Printf("loadgen: %d jobs, bits=%v, %d moduli, mode=%s, exp=%s\n\n",
-		cfg.jobs, bits, len(moduli), mode, cfg.expKind)
-	fmt.Printf("%-8s %12s %12s %10s %10s %10s %10s\n",
-		"workers", "wall", "jobs/s", "p50", "p95", "p99", "speedup")
+	kitNames := make([]string, len(sweepKits))
+	for i, k := range sweepKits {
+		kitNames[i] = k.String()
+	}
+	fmt.Printf("loadgen: %d jobs, bits=%v, %d moduli, kits=%s, exp=%s\n\n",
+		cfg.jobs, bits, len(moduli), strings.Join(kitNames, ","), cfg.expKind)
+	fmt.Printf("%-6s %-8s %12s %12s %10s %10s %10s %10s\n",
+		"kit", "workers", "wall", "jobs/s", "p50", "p95", "p99", "speedup")
 
-	var base float64
-	for _, w := range workers {
-		wall, lats, st, err := sweep(ctx, w, mode, variant, cfg, batch)
-		if err != nil {
-			return fmt.Errorf("w=%d: %w", w, err)
+	for _, kit := range sweepKits {
+		// The speedup column resets per kit: it shows worker scaling
+		// within a kit, not cross-kit ratios (read jobs/s for those).
+		var base float64
+		for _, w := range workers {
+			wall, lats, st, err := sweep(ctx, w, kit, variant, cfg, batch)
+			if err != nil {
+				return fmt.Errorf("kit=%s w=%d: %w", kit, w, err)
+			}
+			tput := float64(len(batch)) / wall.Seconds()
+			if base == 0 {
+				base = tput
+			}
+			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+			fmt.Printf("%-6s %-8d %12s %12.1f %10s %10s %10s %9.2fx\n",
+				kit, w, wall.Round(time.Millisecond), tput,
+				pct(lats, 50), pct(lats, 95), pct(lats, 99), tput/base)
+			fmt.Printf("                stats: %s\n", st)
 		}
-		tput := float64(len(batch)) / wall.Seconds()
-		if base == 0 {
-			base = tput
-		}
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		fmt.Printf("%-8d %12s %12.1f %10s %10s %10s %9.2fx\n",
-			w, wall.Round(time.Millisecond), tput,
-			pct(lats, 50), pct(lats, 95), pct(lats, 99), tput/base)
-		fmt.Printf("         stats: %s\n", st)
 	}
 	return nil
 }
@@ -474,11 +503,11 @@ func okLats(lats []time.Duration) []time.Duration {
 // job's latency measured around the engine call and its result
 // self-checked against math/big. The caller's context flows into every
 // engine call, so a signal interrupts the sweep promptly.
-func sweep(ctx context.Context, w int, mode montsys.Mode, variant montsys.Variant, cfg sweepConfig, batch []montsys.ModExpJob) (time.Duration, []time.Duration, montsys.EngineStats, error) {
+func sweep(ctx context.Context, w int, kit montsys.Kit, variant montsys.Variant, cfg sweepConfig, batch []montsys.ModExpJob) (time.Duration, []time.Duration, montsys.EngineStats, error) {
 	opts := []montsys.EngineOption{
 		montsys.WithEngineWorkers(w),
-		montsys.WithEngineMode(mode),
-		montsys.WithEngineVariant(variant),
+		montsys.WithEngineKit(kit),
+		montsys.WithEngineArrayVariant(variant),
 	}
 	if cfg.queue > 0 {
 		opts = append(opts, montsys.WithEngineQueueDepth(cfg.queue))
@@ -490,7 +519,7 @@ func sweep(ctx context.Context, w int, mode montsys.Mode, variant montsys.Varian
 	opts = append(opts, chaosOpts...)
 	if cfg.collector != nil {
 		opts = append(opts, montsys.WithEngineObserver(cfg.collector))
-		cfg.collector.SetEngineInfo(w, fmt.Sprint(mode), fmt.Sprint(variant))
+		cfg.collector.SetEngineInfo(w, kit.String(), fmt.Sprint(variant))
 	}
 	eng, err := montsys.NewEngine(opts...)
 	if err != nil {

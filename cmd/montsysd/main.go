@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	montsysd [-listen :7077] [-workers N] [-mode model|simulate]
+//	montsysd [-listen :7077] [-workers N] [-kit model|sim|cios|big|auto]
 //	         [-variant guarded|faithful] [-queue 0] [-cache 128]
 //	         [-inflight 0] [-idle 2m] [-drain 30s]
 //	         [-metrics :9090] [-trace 4096]
@@ -25,6 +25,12 @@
 // draining code, finishes everything already admitted (bounded by
 // -drain), flushes, and exits 0. A second signal aborts the drain and
 // tears down immediately.
+//
+// -kit picks the compute kit every core runs (model — the paper's
+// closed-form cycle accounting; sim — the gate-level radix-2 systolic
+// array; cios — the radix-2^64 CIOS fast path; big — the math/big
+// oracle; auto — per-job microbenchmark-driven selection). The older
+// -mode flag remains as a shim: -mode simulate is -kit sim.
 //
 // With -metrics the observability endpoints of PR 2 are served too:
 // /metrics carries the engine series and the server series
@@ -53,8 +59,9 @@ import (
 func main() {
 	listen := flag.String("listen", ":7077", "serve the binary protocol on this address")
 	workers := flag.Int("workers", 0, "engine worker cores (0 = GOMAXPROCS)")
-	modeName := flag.String("mode", "model", "execution mode: model | simulate")
-	variantName := flag.String("variant", "guarded", "array variant for simulate mode: guarded | faithful")
+	kitName := flag.String("kit", "", "compute kit: model | sim | cios | big | auto (default model, or sim under -mode simulate)")
+	modeName := flag.String("mode", "model", "deprecated: execution mode model | simulate (use -kit)")
+	variantName := flag.String("variant", "guarded", "array variant for the sim kit: guarded | faithful")
 	queue := flag.Int("queue", 0, "engine queue depth (0 = engine default)")
 	cache := flag.Int("cache", 128, "per-modulus context LRU size")
 	inflight := flag.Int("inflight", 0, "max in-flight requests before ErrOverloaded (0 = 4× workers)")
@@ -72,7 +79,7 @@ func main() {
 
 	fc := faultConfig{rate: *faultRate, seed: *faultSeed, cores: *faultCores,
 		integrity: *integrity, sample: *integritySample, recompute: *integrityRecompute}
-	if err := run(*listen, *workers, *modeName, *variantName, *queue, *cache,
+	if err := run(*listen, *workers, *kitName, *modeName, *variantName, *queue, *cache,
 		*inflight, *idle, *drain, *metricsAddr, *traceCap, fc); err != nil {
 		fmt.Fprintln(os.Stderr, "montsysd:", err)
 		os.Exit(1)
@@ -121,17 +128,24 @@ func (fc faultConfig) engineOptions() ([]montsys.EngineOption, error) {
 	return opts, nil
 }
 
-func run(listen string, workers int, modeName, variantName string, queue, cache,
+func run(listen string, workers int, kitName, modeName, variantName string, queue, cache,
 	inflight int, idle, drain time.Duration, metricsAddr string, traceCap int,
 	fc faultConfig) error {
-	var mode montsys.Mode
-	switch modeName {
-	case "model":
-		mode = montsys.Model
-	case "simulate":
-		mode = montsys.Simulate
-	default:
-		return fmt.Errorf("unknown mode %q", modeName)
+	// -kit wins when given; otherwise the deprecated -mode flag picks
+	// the matching kit so old invocations behave identically.
+	if kitName == "" {
+		switch modeName {
+		case "model":
+			kitName = "model"
+		case "simulate":
+			kitName = "sim"
+		default:
+			return fmt.Errorf("unknown mode %q", modeName)
+		}
+	}
+	kit, err := montsys.ParseKit(kitName)
+	if err != nil {
+		return err
 	}
 	var variant montsys.Variant
 	switch variantName {
@@ -145,8 +159,8 @@ func run(listen string, workers int, modeName, variantName string, queue, cache,
 
 	col := montsys.NewCollector(montsys.WithTracing(traceCap))
 	engOpts := []montsys.EngineOption{
-		montsys.WithEngineMode(mode),
-		montsys.WithEngineVariant(variant),
+		montsys.WithEngineKit(kit),
+		montsys.WithEngineArrayVariant(variant),
 		montsys.WithEngineCtxCacheSize(cache),
 		montsys.WithEngineObserver(col),
 	}
@@ -166,7 +180,7 @@ func run(listen string, workers int, modeName, variantName string, queue, cache,
 		return err
 	}
 	defer eng.Close()
-	col.SetEngineInfo(eng.Workers(), fmt.Sprint(mode), fmt.Sprint(variant))
+	col.SetEngineInfo(eng.Workers(), kit.String(), fmt.Sprint(variant))
 
 	srvOpts := []montsys.ServerOption{
 		montsys.WithServerIdleTimeout(idle),
@@ -197,7 +211,7 @@ func run(listen string, workers int, modeName, variantName string, queue, cache,
 	if err != nil {
 		return err
 	}
-	fmt.Printf("montsysd: serving on %s (workers=%d mode=%s)\n", ln.Addr(), eng.Workers(), mode)
+	fmt.Printf("montsysd: serving on %s (workers=%d kit=%s)\n", ln.Addr(), eng.Workers(), kit)
 
 	// First SIGTERM/SIGINT starts the graceful drain; a second aborts it.
 	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)

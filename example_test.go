@@ -16,7 +16,7 @@ func ExampleNewMultiplier() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sim, err := montsys.NewMultiplier(n, montsys.WithSimulation())
+	sim, err := montsys.NewMultiplier(n, montsys.WithKit(montsys.KitSim))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -30,7 +30,7 @@ func main() {
 
 	// Cycle-accurate multiplier: the same product through the simulated
 	// systolic-array MMM circuit of the paper's Fig. 2/3.
-	sim, err := montsys.NewMultiplier(n, montsys.WithSimulation())
+	sim, err := montsys.NewMultiplier(n, montsys.WithKit(montsys.KitSim))
 	if err != nil {
 		log.Fatal(err)
 	}

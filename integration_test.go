@@ -67,7 +67,7 @@ func TestHybridProtocolScenario(t *testing.T) {
 func TestFacadeManualExponentiation(t *testing.T) {
 	rng := rand.New(rand.NewSource(252))
 	n := big.NewInt(0xD0C5) // odd
-	m, err := NewMultiplier(n, WithSimulation())
+	m, err := NewMultiplier(n, WithKit(KitSim))
 	if err != nil {
 		t.Fatal(err)
 	}

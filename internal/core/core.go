@@ -20,6 +20,8 @@ import (
 	"repro/internal/errs"
 	"repro/internal/expo"
 	"repro/internal/fpga"
+	"repro/internal/highradix"
+	"repro/internal/kits"
 	"repro/internal/logic"
 	"repro/internal/mmmc"
 	"repro/internal/mont"
@@ -30,55 +32,95 @@ import (
 type Option func(*config)
 
 type config struct {
-	simulate bool
-	variant  systolic.Variant
-	mode     expo.Mode
+	kit     kits.Kit
+	variant systolic.Variant
+	table   *kits.Table
 }
+
+// WithKit selects the compute kit executing Montgomery operations:
+// kits.Model (radix-2 reference arithmetic with the paper's cycle
+// formulas — the default), kits.Sim (the cycle-accurate MMM circuit),
+// kits.CIOS (the production radix-2^64 word-serial fast path), kits.Big
+// (math/big oracle), or kits.Auto (pick the fastest measured kit for
+// this modulus size; resolved once at construction).
+func WithKit(k kits.Kit) Option { return func(c *config) { c.kit = k } }
+
+// WithKitAuto is WithKit(kits.Auto): resolve the kit from the
+// process-cached benchmark table at construction.
+func WithKitAuto() Option { return WithKit(kits.Auto) }
+
+// WithArrayVariant selects the simulated array variant for the Sim kit:
+// Guarded (the default, correct for all operands < 2N) or Faithful (the
+// paper's exact Fig. 1d cell, subject to the documented
+// y + N ≤ 2^(l+1) condition). It has no effect on other kits.
+func WithArrayVariant(v systolic.Variant) Option { return func(c *config) { c.variant = v } }
+
+// WithKitTable pins the benchmark table used to resolve kits.Auto,
+// instead of the process-cached microbenchmark. Tests use this to make
+// auto-selection deterministic.
+func WithKitTable(t *kits.Table) Option { return func(c *config) { c.table = t } }
 
 // WithSimulation routes every Montgomery product through the
 // cycle-accurate MMM circuit instead of the reference arithmetic.
-// Results are identical; cycle counts become measured quantities.
-// For an Exponentiator it is equivalent to WithMode(expo.Simulate).
-func WithSimulation() Option {
-	return func(c *config) {
-		c.simulate = true
-		c.mode = expo.Simulate
+//
+// Deprecated: use WithKit(kits.Sim) (montsys.KitSim). Behaviour is
+// identical; this shim remains for existing callers.
+func WithSimulation() Option { return WithKit(kits.Sim) }
+
+// WithVariant selects the array variant for simulation.
+//
+// Deprecated: use WithArrayVariant; same semantics, renamed so that
+// "variant" no longer competes with the kit concept for the question
+// "which execution path am I on?".
+func WithVariant(v systolic.Variant) Option { return WithArrayVariant(v) }
+
+// WithMode selects the exponentiator's execution mode, expo.Model or
+// expo.Simulate.
+//
+// Deprecated: use WithKit — WithKit(kits.Model) for expo.Model,
+// WithKit(kits.Sim) for expo.Simulate. The Mode enum survives on
+// expo.Exponentiator for compatibility but is subsumed by the kit.
+func WithMode(m expo.Mode) Option {
+	if m == expo.Simulate {
+		return WithKit(kits.Sim)
 	}
+	return WithKit(kits.Model)
 }
 
-// WithVariant selects the array variant for simulation: Guarded (the
-// default, correct for all operands < 2N) or Faithful (the paper's exact
-// Fig. 1d cell, subject to the documented y + N ≤ 2^(l+1) condition).
-func WithVariant(v systolic.Variant) Option { return func(c *config) { c.variant = v } }
-
-// WithMode selects the exponentiator's execution mode: expo.Model
-// (reference arithmetic, paper-formula cycle accounting — the default)
-// or expo.Simulate (every multiplication through the cycle-accurate
-// MMMC). It subsumes WithSimulation for exponentiators.
-func WithMode(m expo.Mode) Option {
-	return func(c *config) {
-		c.mode = m
-		c.simulate = m == expo.Simulate
+// resolve maps Auto to a concrete kit for the given op and modulus
+// size, using the pinned table when one was supplied and the
+// process-cached microbenchmark otherwise.
+func (c *config) resolve(op kits.Op, bits int) kits.Kit {
+	if c.kit != kits.Auto {
+		return c.kit
 	}
+	t := c.table
+	if t == nil {
+		t = kits.ProcessTable()
+	}
+	return kits.NewSelector(t).Pick(op, bits)
 }
 
 // Multiplier is a Montgomery modular multiplier for one odd modulus.
 //
-// Concurrency: a reference-mode Multiplier (no WithSimulation) only
-// reads its immutable mont.Ctx during Mont, but the Muls/Cycles
-// counters are plain ints, and a simulated Multiplier additionally owns
-// a single mutable MMM circuit whose registers are rewritten on every
-// product — so a Multiplier is NOT safe for concurrent use. Give each
-// goroutine its own Multiplier; they may share one *mont.Ctx via
-// NewMultiplierFromCtx (a Ctx is immutable and safe to share). This is
-// exactly how internal/engine arranges its worker cores.
+// Concurrency: a Model-kit Multiplier only reads its immutable
+// mont.Ctx during Mont, but the Muls/Cycles counters are plain ints, a
+// Sim-kit Multiplier owns a single mutable MMM circuit whose registers
+// are rewritten on every product, and a CIOS-kit Multiplier owns
+// mutable word-slice scratch — so a Multiplier is NOT safe for
+// concurrent use. Give each goroutine its own Multiplier; they may
+// share one *mont.Ctx via NewMultiplierFromCtx (a Ctx is immutable and
+// safe to share). This is exactly how internal/engine arranges its
+// worker cores.
 type Multiplier struct {
+	kit     kits.Kit
 	ctx     *mont.Ctx
 	circuit *mmmc.Circuit
 	nVec    bits.Vec
+	word    *highradix.Word // CIOS kit only
 
 	// Muls counts Montgomery products; Cycles accumulates simulated
-	// clock cycles (simulation mode only).
+	// clock cycles (Sim kit only).
 	Muls   int
 	Cycles int
 }
@@ -103,14 +145,20 @@ func NewMultiplierFromCtx(ctx *mont.Ctx, opts ...Option) (*Multiplier, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	m := &Multiplier{ctx: ctx}
-	if cfg.simulate {
+	if !cfg.kit.Valid() {
+		return nil, fmt.Errorf("core: unknown kit %v: %w", cfg.kit, errs.ErrOperandRange)
+	}
+	m := &Multiplier{kit: cfg.resolve(kits.OpMont, ctx.L), ctx: ctx}
+	switch m.kit {
+	case kits.Sim:
 		c, err := mmmc.New(ctx.L, cfg.variant)
 		if err != nil {
 			return nil, err
 		}
 		m.circuit = c
 		m.nVec = bits.FromBig(ctx.N, ctx.L)
+	case kits.CIOS:
+		m.word = highradix.NewWord(ctx)
 	}
 	return m, nil
 }
@@ -127,6 +175,10 @@ func (m *Multiplier) R() *big.Int { return new(big.Int).Set(m.ctx.R) }
 // Ctx exposes the underlying Montgomery context.
 func (m *Multiplier) Ctx() *mont.Ctx { return m.ctx }
 
+// Kit reports the concrete compute kit this multiplier runs on (never
+// kits.Auto — auto-selection resolves at construction).
+func (m *Multiplier) Kit() kits.Kit { return m.kit }
+
 // Simulated reports whether products run through the MMM circuit.
 func (m *Multiplier) Simulated() bool { return m.circuit != nil }
 
@@ -137,21 +189,31 @@ func (m *Multiplier) CyclesPerMont() int { return 3*m.ctx.L + 4 }
 // Mont computes the Montgomery product x·y·R⁻¹ mod 2N for operands in
 // [0, 2N-1]. The result is again in [0, 2N-1] and may be fed straight
 // back — no reduction ever happens, the paper's central property.
+//
+// Every kit computes the same residue mod N; the in-[0, 2N)
+// representative may differ across kits (the CIOS kit's word-aligned R
+// and the Big kit's canonical reduction both legitimately land on the
+// other representative of the same class).
 func (m *Multiplier) Mont(x, y *big.Int) (*big.Int, error) {
 	if x.Sign() < 0 || x.Cmp(m.ctx.N2) >= 0 || y.Sign() < 0 || y.Cmp(m.ctx.N2) >= 0 {
 		return nil, fmt.Errorf("core: Mont operands must be in [0, 2N-1]: %w", errs.ErrOperandRange)
 	}
 	m.Muls++
-	if m.circuit == nil {
-		return m.ctx.Mul(x, y), nil
+	switch m.kit {
+	case kits.Sim:
+		l := m.ctx.L
+		res, cycles, err := m.circuit.Run(bits.FromBig(x, l+1), bits.FromBig(y, l+1), m.nVec)
+		if err != nil {
+			return nil, err
+		}
+		m.Cycles += cycles
+		return res.Big(), nil
+	case kits.CIOS:
+		return m.word.Mont(x, y)
+	case kits.Big:
+		return m.ctx.MulClosedForm(x, y), nil
 	}
-	l := m.ctx.L
-	res, cycles, err := m.circuit.Run(bits.FromBig(x, l+1), bits.FromBig(y, l+1), m.nVec)
-	if err != nil {
-		return nil, err
-	}
-	m.Cycles += cycles
-	return res.Big(), nil
+	return m.ctx.Mul(x, y), nil
 }
 
 // MulMod computes the plain modular product x·y mod N for x, y in
@@ -187,14 +249,17 @@ func (m *Multiplier) FromMont(t *big.Int) (*big.Int, error) {
 
 // NewExponentiator returns the paper's modular exponentiator over the
 // odd modulus n, configured with the same functional options as
-// NewMultiplier: WithMode / WithSimulation select the execution path,
-// WithVariant the simulated array flavour.
+// NewMultiplier: WithKit selects the execution path, WithArrayVariant
+// the simulated array flavour for the Sim kit.
 func NewExponentiator(n *big.Int, opts ...Option) (*expo.Exponentiator, error) {
-	cfg := config{variant: systolic.Guarded, mode: expo.Model}
+	cfg := config{variant: systolic.Guarded}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return expo.New(n, cfg.mode, expo.WithVariant(cfg.variant))
+	if !cfg.kit.Valid() {
+		return nil, fmt.Errorf("core: unknown kit %v: %w", cfg.kit, errs.ErrOperandRange)
+	}
+	return expo.NewKit(n, cfg.resolve(kits.OpModExp, n.BitLen()), expo.WithVariant(cfg.variant))
 }
 
 // HardwareReport summarizes the synthesized circuit for a bit length:

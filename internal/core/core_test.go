@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/errs"
 	"repro/internal/expo"
+	"repro/internal/kits"
 	"repro/internal/mont"
 	"repro/internal/systolic"
 )
@@ -48,7 +49,7 @@ func TestMontModesAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim, err := NewMultiplier(n, WithSimulation())
+	sim, err := NewMultiplier(n, WithKit(kits.Sim))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestMulModMatchesBig(t *testing.T) {
 func TestDomainConversions(t *testing.T) {
 	rng := rand.New(rand.NewSource(143))
 	n := randOdd(rng, 20)
-	m, _ := NewMultiplier(n, WithSimulation(), WithVariant(systolic.Guarded))
+	m, _ := NewMultiplier(n, WithKit(kits.Sim), WithArrayVariant(systolic.Guarded))
 	for trial := 0; trial < 5; trial++ {
 		x := new(big.Int).Rand(rng, n)
 		xm, err := m.ToMont(x)
@@ -125,8 +126,11 @@ func TestNewExponentiator(t *testing.T) {
 		opts []Option
 	}{
 		{"model", nil},
-		{"simulate", []Option{WithSimulation()}},
-		{"mode-simulate-faithful", []Option{WithMode(expo.Simulate), WithVariant(systolic.Faithful)}},
+		{"simulate", []Option{WithKit(kits.Sim)}},
+		{"simulate-faithful", []Option{WithKit(kits.Sim), WithArrayVariant(systolic.Faithful)}},
+		{"cios", []Option{WithKit(kits.CIOS)}},
+		{"big", []Option{WithKit(kits.Big)}},
+		{"auto", []Option{WithKitAuto()}},
 	} {
 		ex, err := NewExponentiator(n, tc.opts...)
 		if err != nil {
@@ -141,8 +145,11 @@ func TestNewExponentiator(t *testing.T) {
 			t.Fatalf("%s: exponentiation wrong", tc.name)
 		}
 	}
-	if ex, _ := NewExponentiator(n, WithSimulation()); ex.Mode != expo.Simulate {
-		t.Error("WithSimulation did not select Simulate mode")
+	if ex, _ := NewExponentiator(n, WithKit(kits.Sim)); ex.Mode != expo.Simulate {
+		t.Error("WithKit(kits.Sim) did not select Simulate mode")
+	}
+	if ex, _ := NewExponentiator(n, WithKit(kits.CIOS)); ex.Kit != kits.CIOS {
+		t.Error("WithKit(kits.CIOS) not threaded through")
 	}
 }
 
@@ -207,7 +214,7 @@ func TestMultiplierExclusivePerGoroutine(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			// Exclusive simulated multiplier over the shared context.
-			m, err := NewMultiplierFromCtx(shared, WithSimulation())
+			m, err := NewMultiplierFromCtx(shared, WithKit(kits.Sim))
 			if err != nil {
 				errCh <- err
 				return

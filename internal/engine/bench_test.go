@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/expo"
+	"repro/internal/kits"
 	"repro/internal/obs"
 )
 
@@ -34,7 +35,7 @@ func benchJobs(l, count int) (*big.Int, []ModExpJob) {
 func BenchmarkEngineModExp(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run("l=512/w="+strconv.Itoa(workers), func(b *testing.B) {
-			eng, err := New(WithWorkers(workers), WithMode(expo.Model))
+			eng, err := New(WithWorkers(workers), WithKit(kits.Model))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -77,7 +78,7 @@ func BenchmarkEngineModExpObserved(b *testing.B) {
 	}
 	for _, c := range cases {
 		b.Run("l=512/w=2/"+c.name, func(b *testing.B) {
-			eng, err := New(append(c.opts(), WithWorkers(2), WithMode(expo.Model))...)
+			eng, err := New(append(c.opts(), WithWorkers(2), WithKit(kits.Model))...)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -118,7 +119,7 @@ func BenchmarkEngineIntegrity(b *testing.B) {
 	}
 	for _, c := range cases {
 		b.Run("l=512/w=2/"+c.name, func(b *testing.B) {
-			eng, err := New(append([]Option{WithWorkers(2), WithMode(expo.Model)}, c.opts...)...)
+			eng, err := New(append([]Option{WithWorkers(2), WithKit(kits.Model)}, c.opts...)...)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -137,6 +138,42 @@ func BenchmarkEngineIntegrity(b *testing.B) {
 			}
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
 		})
+	}
+}
+
+// BenchmarkKitModExp compares single-threaded modexp throughput across
+// the concrete compute kits at the paper's RSA bit lengths with the F4
+// public exponent (65537) — the workload where even the gate-level sim
+// kit finishes in benchmarkable time. This is the source of
+// BENCH_kits.json; the ≥10× CIOS-vs-sim criterion falls out of the
+// ops/s column. Run with -benchtime 1x or a small fixed count: the sim
+// kit takes seconds per op at these lengths.
+func BenchmarkKitModExp(b *testing.B) {
+	for _, l := range []int{1024, 2048} {
+		rng := rand.New(rand.NewSource(int64(l)))
+		n := randOdd(rng, l)
+		base := new(big.Int).Rand(rng, n)
+		exp := big.NewInt(65537)
+		for _, k := range []kits.Kit{kits.Model, kits.Sim, kits.CIOS, kits.Big} {
+			b.Run("l="+strconv.Itoa(l)+"/kit="+k.String(), func(b *testing.B) {
+				ex, err := expo.NewKit(n, k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				want := new(big.Int).Exp(base, exp, n)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					got, _, err := ex.ModExp(base, exp)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if got.Cmp(want) != 0 {
+						b.Fatal("wrong answer")
+					}
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+			})
+		}
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 	"repro/internal/expo"
 	"repro/internal/faults"
 	"repro/internal/integrity"
+	"repro/internal/kits"
 	"repro/internal/mont"
 	"repro/internal/systolic"
 )
@@ -43,7 +44,8 @@ type config struct {
 	workers   int
 	queue     int
 	cacheSize int
-	mode      expo.Mode
+	kit       kits.Kit
+	table     *kits.Table // pinned auto-selection table (tests); nil = process table
 	variant   systolic.Variant
 	observer  Observer
 
@@ -69,14 +71,42 @@ func WithWorkers(k int) Option { return func(c *config) { c.workers = k } }
 // is full, providing backpressure instead of unbounded memory growth.
 func WithQueueDepth(d int) Option { return func(c *config) { c.queue = d } }
 
-// WithMode selects how cores execute multiplications: expo.Model
-// (reference arithmetic, the default) or expo.Simulate (every product
+// WithKit selects the compute kit worker cores run on: kits.Model
+// (radix-2 reference arithmetic, the default), kits.Sim (every product
 // through the cycle-accurate MMMC, each core simulating its own
-// circuit).
-func WithMode(m expo.Mode) Option { return func(c *config) { c.mode = m } }
+// circuit), kits.CIOS (the radix-2^64 word-serial fast path), kits.Big
+// (math/big oracle), or kits.Auto (pick the fastest measured kit per
+// job from the benchmark table, by modulus size and op shape).
+func WithKit(k kits.Kit) Option { return func(c *config) { c.kit = k } }
+
+// WithKitAuto is WithKit(kits.Auto).
+func WithKitAuto() Option { return WithKit(kits.Auto) }
+
+// WithArrayVariant selects the simulated array variant Sim-kit cores
+// use. It has no effect on other kits.
+func WithArrayVariant(v systolic.Variant) Option { return func(c *config) { c.variant = v } }
+
+// WithKitTable pins the benchmark table used to resolve kits.Auto,
+// instead of the process-cached startup microbenchmark. Tests use this
+// to make per-job selection deterministic.
+func WithKitTable(t *kits.Table) Option { return func(c *config) { c.table = t } }
+
+// WithMode selects how cores execute multiplications.
+//
+// Deprecated: use WithKit — WithKit(kits.Model) for expo.Model,
+// WithKit(kits.Sim) for expo.Simulate. Behaviour is identical.
+func WithMode(m expo.Mode) Option {
+	if m == expo.Simulate {
+		return WithKit(kits.Sim)
+	}
+	return WithKit(kits.Model)
+}
 
 // WithVariant selects the array variant simulated cores use.
-func WithVariant(v systolic.Variant) Option { return func(c *config) { c.variant = v } }
+//
+// Deprecated: use WithArrayVariant (same semantics, renamed alongside
+// the kit API).
+func WithVariant(v systolic.Variant) Option { return WithArrayVariant(v) }
 
 // WithCtxCacheSize bounds the per-modulus context LRU (default 128).
 func WithCtxCacheSize(n int) Option { return func(c *config) { c.cacheSize = n } }
@@ -166,6 +196,10 @@ type Engine struct {
 	integ   *integrity.System
 	iobs    IntegrityObserver
 
+	// sel resolves kits.Auto to a concrete kit per job; nil unless the
+	// engine was built with WithKitAuto.
+	sel *kits.Selector
+
 	ctr counters
 }
 
@@ -173,7 +207,7 @@ type Engine struct {
 func New(opts ...Option) (*Engine, error) {
 	cfg := config{
 		workers:            runtime.GOMAXPROCS(0),
-		mode:               expo.Model,
+		kit:                kits.Model,
 		variant:            systolic.Guarded,
 		cacheSize:          128,
 		integrityRecompute: true,
@@ -186,6 +220,9 @@ func New(opts ...Option) (*Engine, error) {
 	}
 	if cfg.workers < 1 {
 		return nil, fmt.Errorf("engine: need at least one worker, got %d", cfg.workers)
+	}
+	if !cfg.kit.Valid() {
+		return nil, fmt.Errorf("engine: unknown kit %v: %w", cfg.kit, errs.ErrOperandRange)
 	}
 	if cfg.queue <= 0 {
 		cfg.queue = 4 * cfg.workers
@@ -212,6 +249,13 @@ func New(opts ...Option) (*Engine, error) {
 		closing: make(chan struct{}),
 	}
 	e.healthy.Store(int64(cfg.workers))
+	if cfg.kit == kits.Auto {
+		t := cfg.table
+		if t == nil {
+			t = kits.ProcessTable() // bounded microbenchmark, once per process
+		}
+		e.sel = kits.NewSelector(t)
+	}
 	if cfg.integrity {
 		e.integ = integrity.NewSystem(0)
 	}
@@ -230,8 +274,18 @@ func New(opts ...Option) (*Engine, error) {
 // Workers returns the number of worker cores.
 func (e *Engine) Workers() int { return e.cfg.workers }
 
-// Mode returns the execution mode the cores run in.
-func (e *Engine) Mode() expo.Mode { return e.cfg.mode }
+// Kit returns the configured compute kit (possibly kits.Auto, in which
+// case the concrete kit varies per job).
+func (e *Engine) Kit() kits.Kit { return e.cfg.kit }
+
+// Mode returns the execution mode the cores run in, for callers of the
+// pre-kit API: expo.Simulate iff the engine runs the Sim kit.
+func (e *Engine) Mode() expo.Mode {
+	if e.cfg.kit == kits.Sim {
+		return expo.Simulate
+	}
+	return expo.Model
+}
 
 // Close stops accepting work, waits for queued and in-flight jobs to
 // finish, and shuts the workers down. Closing twice returns

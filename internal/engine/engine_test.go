@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/errs"
 	"repro/internal/expo"
+	"repro/internal/kits"
 	"repro/internal/systolic"
 )
 
@@ -41,27 +42,31 @@ func TestEngineMatchesSequential(t *testing.T) {
 	cases := []struct {
 		name    string
 		l       int
-		mode    expo.Mode
+		kit     kits.Kit
 		variant systolic.Variant
 		moduli  int // distinct moduli
 		jobs    int // jobs per modulus
 		expBits int
 	}{
-		{"model/l=32", 32, expo.Model, systolic.Guarded, 4, 300, 32},
-		{"model/l=64", 64, expo.Model, systolic.Guarded, 4, 300, 64},
-		{"model/l=512", 512, expo.Model, systolic.Guarded, 2, 60, 96},
-		{"model/l=1024", 1024, expo.Model, systolic.Guarded, 2, 30, 96},
-		{"simulate-guarded/l=32", 32, expo.Simulate, systolic.Guarded, 2, 30, 16},
-		{"simulate-guarded/l=64", 64, expo.Simulate, systolic.Guarded, 2, 15, 16},
-		{"simulate-faithful/l=32", 32, expo.Simulate, systolic.Faithful, 2, 30, 16},
-		{"simulate-faithful/l=64", 64, expo.Simulate, systolic.Faithful, 2, 15, 16},
+		{"model/l=32", 32, kits.Model, systolic.Guarded, 4, 300, 32},
+		{"model/l=64", 64, kits.Model, systolic.Guarded, 4, 300, 64},
+		{"model/l=512", 512, kits.Model, systolic.Guarded, 2, 60, 96},
+		{"model/l=1024", 1024, kits.Model, systolic.Guarded, 2, 30, 96},
+		{"simulate-guarded/l=32", 32, kits.Sim, systolic.Guarded, 2, 30, 16},
+		{"simulate-guarded/l=64", 64, kits.Sim, systolic.Guarded, 2, 15, 16},
+		{"simulate-faithful/l=32", 32, kits.Sim, systolic.Faithful, 2, 30, 16},
+		{"simulate-faithful/l=64", 64, kits.Sim, systolic.Faithful, 2, 15, 16},
+		{"cios/l=64", 64, kits.CIOS, systolic.Guarded, 4, 300, 64},
+		{"cios/l=512", 512, kits.CIOS, systolic.Guarded, 2, 60, 96},
+		{"cios/l=1024", 1024, kits.CIOS, systolic.Guarded, 2, 30, 96},
+		{"big/l=512", 512, kits.Big, systolic.Guarded, 2, 60, 96},
 	}
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
 			t.Parallel()
-			rng := rand.New(rand.NewSource(int64(7000 + tc.l + int(tc.mode)<<4 + int(tc.variant))))
-			eng, err := New(WithWorkers(4), WithMode(tc.mode), WithVariant(tc.variant))
+			rng := rand.New(rand.NewSource(int64(7000 + tc.l + int(tc.kit)<<4 + int(tc.variant))))
+			eng, err := New(WithWorkers(4), WithKit(tc.kit), WithArrayVariant(tc.variant))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -89,10 +94,10 @@ func TestEngineMatchesSequential(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			// One sequential exponentiator per modulus, same mode/variant.
+			// One sequential exponentiator per modulus, same kit/variant.
 			seq := make(map[string]*expo.Exponentiator, tc.moduli)
 			for _, n := range moduli {
-				ex, err := expo.New(n, tc.mode, expo.WithVariant(tc.variant))
+				ex, err := expo.NewKit(n, tc.kit, expo.WithVariant(tc.variant))
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -130,8 +135,11 @@ func TestEngineMatchesSequential(t *testing.T) {
 				t.Errorf("ctx cache misses out of range: %d for %d moduli on %d workers",
 					st.CtxMisses, tc.moduli, eng.Workers())
 			}
-			if tc.mode == expo.Simulate && st.SimCycles == 0 {
-				t.Error("simulate mode accumulated no measured cycles")
+			if tc.kit == kits.Sim && st.SimCycles == 0 {
+				t.Error("sim kit accumulated no measured cycles")
+			}
+			if v := st.KitJobs[tc.kit]; v != int64(total) {
+				t.Errorf("per-kit stats: kit_%s=%d, want %d", tc.kit, v, total)
 			}
 		})
 	}
@@ -341,7 +349,7 @@ func TestSharedCircuitRace(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	n := randOdd(rng, 32)
 
-	eng, err := New(WithWorkers(4), WithMode(expo.Simulate))
+	eng, err := New(WithWorkers(4), WithKit(kits.Sim))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -121,7 +121,7 @@ func (w *worker) probe() (ok bool) {
 	if err != nil {
 		return false
 	}
-	me, err := w.multiplierIn(w.kit, katModulus)
+	me, err := w.multiplierIn(w.kit, katModulus, w.kitFor(kindMont, katModulus))
 	if err != nil {
 		return false
 	}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/kits"
 	"repro/internal/obs"
 )
 
@@ -24,6 +25,10 @@ type counters struct {
 	muls        atomic.Int64 // Montgomery products executed
 	modelCycles atomic.Int64 // paper-formula cycles (Model-mode reports)
 	simCycles   atomic.Int64 // measured MMMC cycles (Simulate mode)
+
+	// kitJobs counts completed jobs per concrete compute kit — under
+	// kits.Auto this is where the selector's choices become visible.
+	kitJobs [kits.NumKits]atomic.Int64
 
 	integrityFailures atomic.Int64 // results refuted by a check
 	panics            atomic.Int64 // core panics recovered
@@ -68,6 +73,11 @@ type Stats struct {
 	CtxMisses    int64 // modulus-context LRU misses (precomputations run)
 	CtxEvictions int64 // modulus contexts dropped at LRU capacity
 
+	// KitJobs counts completed jobs by the concrete kit that computed
+	// them (kits.Model, .Sim, .CIOS, .Big). Under kits.Auto the spread
+	// across entries shows the selector's per-job choices.
+	KitJobs map[kits.Kit]int64
+
 	// Integrity subsystem (all zero unless WithIntegrityCheck /
 	// WithWatchdog is in effect or a core panicked).
 	IntegrityFailures int64 // results refuted by a residue/re-verification check
@@ -95,6 +105,12 @@ type Stats struct {
 func (e *Engine) Stats() Stats {
 	hits, misses, evictions := e.cache.counts()
 	lat := e.ctr.latency.Snapshot()
+	kitJobs := make(map[kits.Kit]int64, kits.NumKits)
+	for i := 0; i < kits.NumKits; i++ {
+		if v := e.ctr.kitJobs[i].Load(); v > 0 {
+			kitJobs[kits.Kit(i)] = v
+		}
+	}
 	return Stats{
 		Workers:        e.cfg.workers,
 		Submitted:      e.ctr.submitted.Load(),
@@ -109,6 +125,7 @@ func (e *Engine) Stats() Stats {
 		CtxHits:        int64(hits),
 		CtxMisses:      int64(misses),
 		CtxEvictions:   int64(evictions),
+		KitJobs:        kitJobs,
 
 		IntegrityFailures: e.ctr.integrityFailures.Load(),
 		Panics:            e.ctr.panics.Load(),
@@ -149,6 +166,22 @@ func (s Stats) String() string {
 		line += fmt.Sprintf(" integ=%d panics=%d watchdog=%d recomputed=%d quar=%d/%d healthy=%d/%d",
 			s.IntegrityFailures, s.Panics, s.WatchdogTimeouts, s.Recomputes,
 			s.Quarantines, s.Reinstatements, s.HealthyWorkers, s.Workers)
+	}
+	// Per-kit spread, only when some kit other than the default ran
+	// jobs — the all-Model common case stays as short as before.
+	nonModel := false
+	for k, v := range s.KitJobs {
+		if k != kits.Model && v > 0 {
+			nonModel = true
+			break
+		}
+	}
+	if nonModel {
+		for i := 0; i < kits.NumKits; i++ {
+			if v := s.KitJobs[kits.Kit(i)]; v > 0 {
+				line += fmt.Sprintf(" kit_%s=%d", kits.Kit(i), v)
+			}
+		}
 	}
 	return line
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/expo"
 	"repro/internal/faults"
 	"repro/internal/integrity"
+	"repro/internal/kits"
 )
 
 // exponentiator and multiplier are the result-bearing surfaces the
@@ -115,8 +116,23 @@ type jobResult struct {
 	v       *big.Int
 	rep     expo.Report
 	wk      work
+	kt      kits.Kit // concrete kit that produced the value
 	err     error
 	corrupt bool
+}
+
+// kitFor resolves the concrete kit for one job: the engine's fixed kit,
+// or — under kits.Auto — the benchmark table's pick for this operation
+// shape and modulus size.
+func (w *worker) kitFor(kind jobKind, n *big.Int) kits.Kit {
+	if w.eng.sel == nil {
+		return w.eng.cfg.kit
+	}
+	op := kits.OpModExp
+	if kind == kindMont {
+		op = kits.OpMont
+	}
+	return w.eng.sel.Pick(op, n.BitLen())
 }
 
 // run executes one dequeued job, splitting its latency into queue wait
@@ -206,6 +222,9 @@ func (w *worker) run(j *job) bool {
 	ctr.muls.Add(res.wk.muls)
 	ctr.modelCycles.Add(res.wk.modelCycles)
 	ctr.simCycles.Add(res.wk.simCycles)
+	if res.kt >= 0 && int(res.kt) < kits.NumKits {
+		ctr.kitJobs[res.kt].Add(1)
+	}
 	finish(outcomeOK, res.wk.muls, res.wk.modelCycles, res.wk.simCycles)
 	return true
 }
@@ -299,9 +318,10 @@ func (w *worker) compute(j *job, k *kit) (res jobResult) {
 			}
 		}
 	}()
+	kt := w.kitFor(j.kind, j.n)
 	switch j.kind {
 	case kindModExp:
-		ex, err := w.exponentiatorIn(k, j.n)
+		ex, err := w.exponentiatorIn(k, j.n, kt)
 		if err != nil {
 			return jobResult{err: err}
 		}
@@ -309,14 +329,14 @@ func (w *worker) compute(j *job, k *kit) (res jobResult) {
 		if err != nil {
 			return jobResult{err: err}
 		}
-		return jobResult{v: v, rep: rep, wk: work{
+		return jobResult{v: v, rep: rep, kt: kt, wk: work{
 			// Squares + Multiplies plus the explicit pre- and post-products.
 			muls:        int64(rep.Squares + rep.Multiplies + 2),
 			modelCycles: int64(rep.TotalCycles),
 			simCycles:   int64(rep.SimulatedMulCycles),
 		}}
 	default: // kindMont
-		me, err := w.multiplierIn(k, j.n)
+		me, err := w.multiplierIn(k, j.n, kt)
 		if err != nil {
 			return jobResult{err: err}
 		}
@@ -332,7 +352,7 @@ func (w *worker) compute(j *job, k *kit) (res jobResult) {
 		if me.raw != nil {
 			wk.simCycles = int64(me.raw.Cycles - before)
 		}
-		return jobResult{v: v, wk: wk}
+		return jobResult{v: v, kt: kt, wk: wk}
 	}
 }
 
@@ -392,7 +412,7 @@ func (w *worker) recomputeInline(j *job, failed jobResult) jobResult {
 		if err != nil {
 			return jobResult{err: err}
 		}
-		return jobResult{v: v, wk: work{muls: 1}}
+		return jobResult{v: v, kt: kits.Model, wk: work{muls: 1}}
 	case kindModExp:
 		ex, err := expo.NewFromCtx(ctx, expo.Model)
 		if err != nil {
@@ -405,7 +425,7 @@ func (w *worker) recomputeInline(j *job, failed jobResult) jobResult {
 		if ierr := integrity.CheckModExp(j.n, j.a, j.b, v); ierr != nil {
 			return jobResult{err: ierr}
 		}
-		return jobResult{v: v, rep: rep, wk: work{
+		return jobResult{v: v, rep: rep, kt: kits.Model, wk: work{
 			muls:        int64(rep.Squares + rep.Multiplies + 2),
 			modelCycles: int64(rep.TotalCycles),
 		}}
@@ -413,11 +433,19 @@ func (w *worker) recomputeInline(j *job, failed jobResult) jobResult {
 	return failed
 }
 
+// cacheKey keys the worker-local core caches by (kit, modulus): under
+// kits.Auto the same modulus can legitimately need cores on different
+// kits for different op shapes.
+func cacheKey(kt kits.Kit, n *big.Int) string {
+	return string(byte(kt)) + string(n.Bytes())
+}
+
 // exponentiatorIn returns the kit's exclusive exponentiator for
-// modulus n, building it over the shared LRU-cached context on first
-// use and wrapping it with the fault injector when one is configured.
-func (w *worker) exponentiatorIn(k *kit, n *big.Int) (exponentiator, error) {
-	key := string(n.Bytes())
+// modulus n on compute kit kt, building it over the shared LRU-cached
+// context on first use and wrapping it with the fault injector when
+// one is configured.
+func (w *worker) exponentiatorIn(k *kit, n *big.Int, kt kits.Kit) (exponentiator, error) {
+	key := cacheKey(kt, n)
 	if ex, ok := k.exps[key]; ok {
 		return ex, nil
 	}
@@ -429,7 +457,7 @@ func (w *worker) exponentiatorIn(k *kit, n *big.Int) (exponentiator, error) {
 	if f := w.eng.cfg.expFactory; f != nil {
 		ex, err = f(w.id, ctx)
 	} else {
-		ex, err = expo.NewFromCtx(ctx, w.eng.cfg.mode, expo.WithVariant(w.eng.cfg.variant))
+		ex, err = expo.NewKitFromCtx(ctx, kt, expo.WithVariant(w.eng.cfg.variant))
 	}
 	if err != nil {
 		return nil, err
@@ -445,8 +473,8 @@ func (w *worker) exponentiatorIn(k *kit, n *big.Int) (exponentiator, error) {
 }
 
 // multiplierIn is exponentiatorIn's twin for raw Montgomery products.
-func (w *worker) multiplierIn(k *kit, n *big.Int) (*mulEntry, error) {
-	key := string(n.Bytes())
+func (w *worker) multiplierIn(k *kit, n *big.Int, kt kits.Kit) (*mulEntry, error) {
+	key := cacheKey(kt, n)
 	if me, ok := k.muls[key]; ok {
 		return me, nil
 	}
@@ -461,11 +489,8 @@ func (w *worker) multiplierIn(k *kit, n *big.Int) (*mulEntry, error) {
 			return nil, err
 		}
 	} else {
-		var opts []core.Option
-		if w.eng.cfg.mode == expo.Simulate {
-			opts = append(opts, core.WithSimulation(), core.WithVariant(w.eng.cfg.variant))
-		}
-		raw, err := core.NewMultiplierFromCtx(ctx, opts...)
+		raw, err := core.NewMultiplierFromCtx(ctx,
+			core.WithKit(kt), core.WithArrayVariant(w.eng.cfg.variant))
 		if err != nil {
 			return nil, err
 		}

@@ -21,9 +21,12 @@ package expo
 import (
 	"fmt"
 	"math/big"
+	mathbits "math/bits"
 
 	"repro/internal/bits"
 	"repro/internal/errs"
+	"repro/internal/highradix"
+	"repro/internal/kits"
 	"repro/internal/mmmc"
 	"repro/internal/mont"
 	"repro/internal/systolic"
@@ -91,11 +94,13 @@ func PaperAverageCycles(l int) float64 {
 // Exponentiator computes modular exponentiations over one modulus.
 type Exponentiator struct {
 	L    int
-	Mode Mode
+	Mode Mode     // retained for compatibility: Simulate iff Kit == kits.Sim
+	Kit  kits.Kit // the concrete compute kit executing multiplications
 
 	ctx     *mont.Ctx
 	circuit *mmmc.Circuit
 	nVec    bits.Vec
+	word    *highradix.Word // CIOS kit only
 }
 
 // Option configures an Exponentiator beyond its mode.
@@ -123,22 +128,55 @@ func New(n *big.Int, mode Mode, opts ...Option) (*Exponentiator, error) {
 // NewFromCtx builds an exponentiator over an existing Montgomery
 // context, skipping the per-modulus precomputation. The Ctx is
 // immutable and may be shared freely; the Exponentiator itself (whose
-// Simulate-mode circuit is mutable state) must stay confined to one
-// goroutine. internal/engine uses this to share LRU-cached contexts
-// across worker cores while giving each core an exclusive circuit.
+// Simulate-mode circuit and CIOS-kit scratch are mutable state) must
+// stay confined to one goroutine. internal/engine uses this to share
+// LRU-cached contexts across worker cores while giving each core an
+// exclusive circuit.
 func NewFromCtx(ctx *mont.Ctx, mode Mode, opts ...Option) (*Exponentiator, error) {
+	k := kits.Model
+	if mode == Simulate {
+		k = kits.Sim
+	}
+	return NewKitFromCtx(ctx, k, opts...)
+}
+
+// NewKit builds an exponentiator on the given compute kit for the odd
+// modulus n.
+func NewKit(n *big.Int, k kits.Kit, opts ...Option) (*Exponentiator, error) {
+	ctx, err := mont.NewCtx(n)
+	if err != nil {
+		return nil, err
+	}
+	return NewKitFromCtx(ctx, k, opts...)
+}
+
+// NewKitFromCtx builds an exponentiator on the given compute kit over an
+// existing context. The kit must be concrete: callers wanting Auto
+// resolve it first (internal/core and internal/engine do this through
+// kits.ProcessTable / their pinned table).
+func NewKitFromCtx(ctx *mont.Ctx, k kits.Kit, opts ...Option) (*Exponentiator, error) {
+	if k == kits.Auto || !k.Valid() {
+		return nil, fmt.Errorf("expo: kit %v is not a concrete compute kit: %w", k, errs.ErrOperandRange)
+	}
 	cfg := config{variant: systolic.Guarded}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	e := &Exponentiator{L: ctx.L, Mode: mode, ctx: ctx}
-	if mode == Simulate {
+	mode := Model
+	if k == kits.Sim {
+		mode = Simulate
+	}
+	e := &Exponentiator{L: ctx.L, Mode: mode, Kit: k, ctx: ctx}
+	switch k {
+	case kits.Sim:
 		c, err := mmmc.New(ctx.L, cfg.variant)
 		if err != nil {
 			return nil, err
 		}
 		e.circuit = c
 		e.nVec = bits.FromBig(ctx.N, ctx.L)
+	case kits.CIOS:
+		e.word = highradix.NewWord(ctx)
 	}
 	return e, nil
 }
@@ -168,6 +206,25 @@ func (e *Exponentiator) ModExp(m, exp *big.Int) (*big.Int, Report, error) {
 	}
 	if m.Sign() < 0 || m.Cmp(e.ctx.N) >= 0 {
 		return nil, rep, fmt.Errorf("expo: base must be in [0, N-1]: %w", errs.ErrOperandRange)
+	}
+
+	// The fast kits run Algorithm 3 internally (CIOS: word-domain
+	// ladder; Big: math/big's own windowed exponentiation). The Report
+	// keeps the paper's accounting — squares and multiplies are a
+	// function of the exponent alone for the binary ladder, so the
+	// decomposition and cycle model stay identical across kits.
+	switch e.Kit {
+	case kits.CIOS:
+		a, err := e.word.ModExp(m, exp)
+		if err != nil {
+			return nil, rep, err
+		}
+		e.fillLadderReport(&rep, exp)
+		return a, rep, nil
+	case kits.Big:
+		a := new(big.Int).Exp(m, exp, e.ctx.N)
+		e.fillLadderReport(&rep, exp)
+		return a, rep, nil
 	}
 
 	mul := func(x, y *big.Int) (*big.Int, error) {
@@ -211,4 +268,22 @@ func (e *Exponentiator) ModExp(m, exp *big.Int) (*big.Int, Report, error) {
 	rep.PostCycles = l + 2
 	rep.TotalCycles = rep.PreCycles + rep.MulCycles + rep.PostCycles
 	return a, rep, nil
+}
+
+// fillLadderReport fills the Report for a kit that ran the ladder
+// internally: the binary square-and-multiply decomposition is a pure
+// function of the exponent (one square per bit below the MSB, one
+// multiply per set bit below the MSB), and the cycle model is §4.5's.
+func (e *Exponentiator) fillLadderReport(rep *Report, exp *big.Int) {
+	rep.Squares = exp.BitLen() - 1
+	pop := 0
+	for _, w := range exp.Bits() {
+		pop += mathbits.OnesCount(uint(w))
+	}
+	rep.Multiplies = pop - 1
+	l := e.L
+	rep.PreCycles = 5*l + 10
+	rep.MulCycles = (rep.Squares + rep.Multiplies) * (3*l + 4)
+	rep.PostCycles = l + 2
+	rep.TotalCycles = rep.PreCycles + rep.MulCycles + rep.PostCycles
 }

@@ -14,10 +14,10 @@
 package highradix
 
 import (
-	"errors"
 	"fmt"
 	"math/big"
 
+	"repro/internal/errs"
 	"repro/internal/mont"
 )
 
@@ -38,7 +38,7 @@ type Ctx struct {
 // New builds a radix-2^alpha context for the odd modulus n.
 func New(n *big.Int, alpha uint) (*Ctx, error) {
 	if alpha == 0 || alpha > 64 {
-		return nil, fmt.Errorf("highradix: alpha %d outside [1,64]", alpha)
+		return nil, fmt.Errorf("highradix: alpha %d outside [1,64]: %w", alpha, errs.ErrOperandRange)
 	}
 	if n.Sign() <= 0 || n.Cmp(big.NewInt(3)) < 0 {
 		return nil, mont.ErrModulusTooSmall
@@ -138,10 +138,10 @@ func (c *Ctx) Cost(tp2 float64) CostModel {
 // use; applications use internal/expo for the paper's circuit).
 func (c *Ctx) ModExp(m, e *big.Int) (*big.Int, error) {
 	if e.Sign() <= 0 {
-		return nil, errors.New("highradix: exponent must be positive")
+		return nil, fmt.Errorf("highradix: exponent must be positive: %w", errs.ErrOperandRange)
 	}
 	if m.Sign() < 0 || m.Cmp(c.N) >= 0 {
-		return nil, errors.New("highradix: base must be in [0, N-1]")
+		return nil, fmt.Errorf("highradix: base must be in [0, N-1]: %w", errs.ErrOperandRange)
 	}
 	rr := new(big.Int).Mul(c.R, c.R)
 	rr.Mod(rr, c.N)

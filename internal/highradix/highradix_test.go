@@ -1,10 +1,12 @@
 package highradix
 
 import (
+	"errors"
 	"math/big"
 	"math/rand"
 	"testing"
 
+	"repro/internal/errs"
 	"repro/internal/mont"
 )
 
@@ -16,16 +18,16 @@ func randOdd(rng *rand.Rand, l int) *big.Int {
 }
 
 func TestNewValidation(t *testing.T) {
-	if _, err := New(big.NewInt(101), 0); err == nil {
-		t.Error("alpha 0 accepted")
+	if _, err := New(big.NewInt(101), 0); !errors.Is(err, errs.ErrOperandRange) {
+		t.Errorf("alpha 0: got %v, want ErrOperandRange", err)
 	}
-	if _, err := New(big.NewInt(101), 65); err == nil {
-		t.Error("alpha 65 accepted")
+	if _, err := New(big.NewInt(101), 65); !errors.Is(err, errs.ErrOperandRange) {
+		t.Errorf("alpha 65: got %v, want ErrOperandRange", err)
 	}
-	if _, err := New(big.NewInt(4), 4); err != mont.ErrEvenModulus {
+	if _, err := New(big.NewInt(4), 4); !errors.Is(err, mont.ErrEvenModulus) {
 		t.Error("even modulus accepted")
 	}
-	if _, err := New(big.NewInt(1), 4); err != mont.ErrModulusTooSmall {
+	if _, err := New(big.NewInt(1), 4); !errors.Is(err, mont.ErrModulusTooSmall) {
 		t.Error("tiny modulus accepted")
 	}
 	c, err := New(big.NewInt(101), 4)
@@ -129,11 +131,11 @@ func TestModExp(t *testing.T) {
 		}
 	}
 	c, _ := New(big.NewInt(101), 4)
-	if _, err := c.ModExp(big.NewInt(5), big.NewInt(0)); err == nil {
-		t.Error("zero exponent accepted")
+	if _, err := c.ModExp(big.NewInt(5), big.NewInt(0)); !errors.Is(err, errs.ErrOperandRange) {
+		t.Errorf("zero exponent: got %v, want ErrOperandRange", err)
 	}
-	if _, err := c.ModExp(big.NewInt(101), big.NewInt(3)); err == nil {
-		t.Error("base = N accepted")
+	if _, err := c.ModExp(big.NewInt(101), big.NewInt(3)); !errors.Is(err, errs.ErrOperandRange) {
+		t.Errorf("base = N: got %v, want ErrOperandRange", err)
 	}
 }
 

@@ -1,0 +1,231 @@
+package highradix
+
+import (
+	"fmt"
+	"math/big"
+	mathbits "math/bits"
+
+	"repro/internal/errs"
+	"repro/internal/mont"
+)
+
+// Word is the production radix-2^64 Montgomery multiplier and
+// exponentiator — the compute kit the engine selects when raw modexp
+// throughput matters more than cycle-accurate fidelity. It is the
+// word-level CIOS (Coarsely Integrated Operand Scanning) realization of
+// the paper's §2 radix-2^α discussion at α = 64: one 64-bit digit of x
+// is consumed per pass where the systolic array consumes one bit per
+// two clocks, and the quotient digit costs the full N' = -N⁻¹ mod 2^64
+// multiply the radix-2 design erased.
+//
+// Two properties carry over from the paper's bit-serial design:
+//
+//   - No final subtraction on the hot path. The Montgomery parameter is
+//     R = 2^(64·S) with S = ⌈(l+2)/64⌉ (mont.WordParams), so R ≥
+//     2^(l+2) > 4N — Walter's bound at word level. Operands in [0, 2N)
+//     multiply to results in [0, 2N), which chain with no conditional
+//     reduction; the single branch-free canonicalization happens once,
+//     at the end of an exponentiation.
+//
+//   - Carry-save accumulation inside the word loop. The systolic PE
+//     keeps its running sum as (carry, sum) pairs that never propagate
+//     across the array within a cycle; the software analogue is the
+//     (hi, lo) = Mul64 / Add64 chains below, where each inner step
+//     retires one limb and hands at most one carry limb to the next —
+//     the carries never ripple across the full accumulator inside the
+//     loop.
+//
+// A Word owns mutable scratch buffers, so — exactly like the simulated
+// circuit it stands beside — it is NOT safe for concurrent use: one Word
+// per goroutine, sharing the immutable *mont.WordParams underneath.
+// This is the same ownership split internal/engine applies to every kit.
+type Word struct {
+	p *mont.WordParams
+
+	// Scratch, sized at construction so the hot loops never allocate.
+	t    []uint64 // S+2-limb CIOS accumulator
+	u    []uint64 // intermediate product (Mont two-step, ladder)
+	am   []uint64 // base in the Montgomery domain
+	acc  []uint64 // running ladder value
+	tmp  []uint64 // ladder swap partner
+	one  []uint64 // the constant 1
+	xbuf []uint64 // operand conversion buffers
+	ybuf []uint64
+}
+
+// NewWord builds the radix-2^64 kit over an existing Montgomery
+// context, sharing its cached word-level precompute (first call per Ctx
+// pays one inversion and two reductions; every later Word is
+// allocation-only).
+func NewWord(ctx *mont.Ctx) *Word {
+	p := ctx.Word()
+	w := &Word{
+		p:    p,
+		t:    make([]uint64, p.S+2),
+		u:    make([]uint64, p.S),
+		am:   make([]uint64, p.S),
+		acc:  make([]uint64, p.S),
+		tmp:  make([]uint64, p.S),
+		one:  make([]uint64, p.S),
+		xbuf: make([]uint64, p.S),
+		ybuf: make([]uint64, p.S),
+	}
+	w.one[0] = 1
+	return w
+}
+
+// Params exposes the shared word-level precompute.
+func (w *Word) Params() *mont.WordParams { return w.p }
+
+// MulInto sets out = a·b·R⁻¹ mod 2N with R = 2^(64·S), the word-serial
+// CIOS loop with no final subtraction: operands and result live in
+// [0, 2N) and out may be fed straight back in. out, a and b must each
+// have S limbs; out may alias a or b (the product accumulates in
+// scratch and is copied out last). The loop allocates nothing — CI
+// gates this with testing.AllocsPerRun.
+func (w *Word) MulInto(out, a, b []uint64) {
+	w.mul(out, a, b, nil)
+}
+
+// MulWitnessInto is MulInto with a receipt: wit receives the S quotient
+// digits m_i (little-endian limbs), tying the result to its inputs over
+// the integers exactly as mont.Ctx.MulWitness does for the bit-serial
+// path:
+//
+//	out·R = a·b + M·N   with M = Σ m_i·2^(64·i)
+//
+// so the engine's residue-system integrity checker works unchanged on
+// the high-radix kit — the m_i words are what a radix-2^α array would
+// broadcast where the paper's Fig. 1 cells broadcast the m_i bits.
+func (w *Word) MulWitnessInto(out, wit, a, b []uint64) {
+	w.mul(out, a, b, wit)
+}
+
+// mul is the CIOS hot loop. For each of the S passes it accumulates
+// a_i·b into t limb-by-limb (carry-save style: one retire + one carry
+// per step), derives the quotient digit m = t_0·N' mod 2^64, adds m·N
+// and shifts one limb — fusing the shift into the second inner loop by
+// writing to j-1.
+func (w *Word) mul(out, a, b []uint64, wit []uint64) {
+	s := w.p.S
+	if len(out) != s || len(a) != s || len(b) != s {
+		panic("highradix: MulInto operand limb count mismatch")
+	}
+	n := w.p.N
+	n0inv := w.p.N0Inv
+	t := w.t
+	for i := range t {
+		t[i] = 0
+	}
+	for i := 0; i < s; i++ {
+		// t += a_i · b
+		ai := a[i]
+		var carry uint64
+		for j := 0; j < s; j++ {
+			hi, lo := mathbits.Mul64(ai, b[j])
+			sum, c1 := mathbits.Add64(t[j], lo, 0)
+			sum, c2 := mathbits.Add64(sum, carry, 0)
+			t[j] = sum
+			carry = hi + c1 + c2 // cannot overflow: hi ≤ 2^64-2
+		}
+		sum, c1 := mathbits.Add64(t[s], carry, 0)
+		t[s] = sum
+		t[s+1] += c1
+
+		// m = t_0·N' mod 2^64; t = (t + m·N) / 2^64
+		m := t[0] * n0inv
+		if wit != nil {
+			wit[i] = m
+		}
+		hi, lo := mathbits.Mul64(m, n[0])
+		_, c1 = mathbits.Add64(t[0], lo, 0) // clears t[0] by construction
+		carry = hi + c1
+		for j := 1; j < s; j++ {
+			hi, lo := mathbits.Mul64(m, n[j])
+			sum, c2 := mathbits.Add64(t[j], lo, 0)
+			sum, c3 := mathbits.Add64(sum, carry, 0)
+			t[j-1] = sum
+			carry = hi + c2 + c3
+		}
+		sum, c1 = mathbits.Add64(t[s], carry, 0)
+		t[s-1] = sum
+		t[s] = t[s+1] + c1
+		t[s+1] = 0
+	}
+	// R > 4N and a, b < 2N give t = (a·b + M·N)/R < 4N²/R + N < 2N,
+	// which fits S limbs — the top limbs are structurally zero and no
+	// subtraction happens. (The bit-serial design's central property,
+	// held at radix 2^64.)
+	copy(out, t[:s])
+}
+
+// Mont computes x·y·2^-(l+2) mod 2N — the same mathematical function as
+// the paper's Algorithm 2 (mod N; the in-[0, 2N) representative may
+// differ by N) — via two word-level products: the first divides by the
+// word-aligned R = 2^(64·S), the second multiplies by the precomputed
+// Adj = 2^(2·64·S-(l+2)) mod N, leaving exactly the 2^(l+2) divided
+// out. Operands must lie in [0, 2N-1].
+func (w *Word) Mont(x, y *big.Int) (*big.Int, error) {
+	if x.Sign() < 0 || x.Cmp(w.p.N2) >= 0 || y.Sign() < 0 || y.Cmp(w.p.N2) >= 0 {
+		return nil, fmt.Errorf("highradix: Mont operands must be in [0, 2N-1]: %w", errs.ErrOperandRange)
+	}
+	mont.WordsSetBig(w.xbuf, x)
+	mont.WordsSetBig(w.ybuf, y)
+	w.MulInto(w.u, w.xbuf, w.ybuf)
+	w.MulInto(w.tmp, w.u, w.p.Adj)
+	return mont.BigFromWords(w.tmp), nil
+}
+
+// ModExp computes m^e mod N by left-to-right square-and-multiply
+// (the paper's Algorithm 3) entirely in the word domain: one MulInto
+// per square/multiply, conversions only at the edges. m must lie in
+// [0, N-1]; e must be positive. The result is canonical in [0, N).
+func (w *Word) ModExp(m, e *big.Int) (*big.Int, error) {
+	if e.Sign() <= 0 {
+		return nil, fmt.Errorf("highradix: exponent must be positive: %w", errs.ErrOperandRange)
+	}
+	if m.Sign() < 0 || m.Cmp(w.p.NBig) >= 0 {
+		return nil, fmt.Errorf("highradix: base must be in [0, N-1]: %w", errs.ErrOperandRange)
+	}
+	s := w.p.S
+	mont.WordsSetBig(w.xbuf, m)
+	// Enter the domain: am = m·R mod 2N.
+	w.MulInto(w.am, w.xbuf, w.p.RR)
+	copy(w.acc, w.am)
+	for i := e.BitLen() - 2; i >= 0; i-- {
+		w.MulInto(w.tmp, w.acc, w.acc)
+		w.acc, w.tmp = w.tmp, w.acc
+		if e.Bit(i) == 1 {
+			w.MulInto(w.tmp, w.acc, w.am)
+			w.acc, w.tmp = w.tmp, w.acc
+		}
+	}
+	// Leave the domain: Mont(acc, 1) ≤ N, then one branch-free
+	// canonicalizing subtraction — off the hot loop, as in §3.
+	w.MulInto(w.u, w.acc, w.one)
+	var borrow uint64
+	for i := 0; i < s; i++ {
+		d, br := mathbits.Sub64(w.u[i], w.p.N[i], borrow)
+		w.tmp[i] = d
+		borrow = br
+	}
+	keep := -borrow // all-ones when u < N: keep u, else take u-N
+	for i := 0; i < s; i++ {
+		w.u[i] = (w.u[i] & keep) | (w.tmp[i] &^ keep)
+	}
+	return mont.BigFromWords(w.u), nil
+}
+
+// MulWitness is the big.Int face of MulWitnessInto, returning the
+// product T and witness M for operands in [0, 2N-1) so integrity
+// checkers can verify T·R = x·y + M·N over ℤ (R = 2^(64·S)).
+func (w *Word) MulWitness(x, y *big.Int) (t, m *big.Int, err error) {
+	if x.Sign() < 0 || x.Cmp(w.p.N2) >= 0 || y.Sign() < 0 || y.Cmp(w.p.N2) >= 0 {
+		return nil, nil, fmt.Errorf("highradix: MulWitness operands must be in [0, 2N-1]: %w", errs.ErrOperandRange)
+	}
+	mont.WordsSetBig(w.xbuf, x)
+	mont.WordsSetBig(w.ybuf, y)
+	wit := make([]uint64, w.p.S)
+	w.MulWitnessInto(w.u, wit, w.xbuf, w.ybuf)
+	return mont.BigFromWords(w.u), mont.BigFromWords(wit), nil
+}

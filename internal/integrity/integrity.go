@@ -93,10 +93,18 @@ const bigWordBits = 32 << (^big.Word(0) >> 63)
 // every prime, and an ErrIntegrity-wrapped error naming the first
 // prime that refuted it otherwise.
 func (s *System) VerifyWitness(ctx *mont.Ctx, x, y, t, m *big.Int) error {
+	return s.VerifyWitnessRN(ctx.N, ctx.R, x, y, t, m)
+}
+
+// VerifyWitnessRN is VerifyWitness for an arbitrary (N, R) pair: the
+// identity T·R = x·y + M·N is R-generic, so the same residue check
+// covers the radix-2 path (R = 2^(l+2)) and the word-level CIOS kit
+// (R = 2^(64·S), witness from highradix.Word.MulWitness) alike.
+func (s *System) VerifyWitnessRN(n, r, x, y, t, m *big.Int) error {
 	for _, p := range s.primes {
 		pp := uint64(p)
-		lhs := residue(t, p) * residue(ctx.R, p) % pp
-		rhs := (residue(x, p)*residue(y, p) + residue(m, p)*residue(ctx.N, p)) % pp
+		lhs := residue(t, p) * residue(r, p) % pp
+		rhs := (residue(x, p)*residue(y, p) + residue(m, p)*residue(n, p)) % pp
 		if lhs != rhs {
 			return fmt.Errorf("integrity: witness identity T·R = x·y + M·N fails mod %d: %w",
 				p, errs.ErrIntegrity)

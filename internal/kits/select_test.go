@@ -1,0 +1,107 @@
+package kits
+
+import "testing"
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, k := range []Kit{Model, Sim, CIOS, Big, Auto} {
+		got, err := Parse(k.String())
+		if err != nil || got != k {
+			t.Errorf("Parse(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	// Aliases and case folding.
+	for s, want := range map[string]Kit{
+		"simulate": Sim, "highradix": CIOS, "word": CIOS,
+		"CIOS": CIOS, " big ": Big, "Auto": Auto,
+	} {
+		got, err := Parse(s)
+		if err != nil || got != want {
+			t.Errorf("Parse(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := Parse("fpga"); err == nil {
+		t.Error("Parse accepted junk")
+	}
+	if Kit(99).Valid() || Kit(-1).Valid() {
+		t.Error("out-of-range kit reported Valid")
+	}
+}
+
+func TestBucketEdges(t *testing.T) {
+	for _, tc := range []struct{ bits, want int }{
+		{1, 0}, {255, 0}, {256, 0},
+		{257, 1}, {512, 1},
+		{513, 2}, {1024, 2},
+		{1025, 3}, {2048, 3},
+		{2049, 4}, {4096, 4},
+	} {
+		if got := Bucket(tc.bits); got != tc.want {
+			t.Errorf("Bucket(%d) = %d, want %d (%s)", tc.bits, got, tc.want, BucketLabel(got))
+		}
+	}
+	for b := 0; b < NumBuckets; b++ {
+		if BucketLabel(b) == "" {
+			t.Errorf("bucket %d has no label", b)
+		}
+		if rep := bucketRep[b]; Bucket(rep) != b {
+			t.Errorf("representative %d falls outside bucket %d", rep, b)
+		}
+	}
+}
+
+// TestSelectorDeterministic pins a hand-written table and checks Pick
+// returns exactly the pinned choice for every cell — no re-measuring,
+// no randomness — plus the defensive fallbacks: a table that somehow
+// names Sim or garbage yields Model, never a crash or a sim circuit.
+func TestSelectorDeterministic(t *testing.T) {
+	tbl := &Table{}
+	tbl.Picks[Bucket(1024)][int(OpModExp)] = CIOS
+	tbl.Picks[Bucket(1024)][int(OpMont)] = Big
+	tbl.Picks[Bucket(256)][int(OpModExp)] = Model
+	tbl.Picks[Bucket(4096)][int(OpModExp)] = Sim     // invalid by policy
+	tbl.Picks[Bucket(4096)][int(OpMont)] = Kit(42)   // garbage
+	sel := NewSelector(tbl)
+
+	for i := 0; i < 3; i++ { // repeated picks must not drift
+		if k := sel.Pick(OpModExp, 1024); k != CIOS {
+			t.Errorf("Pick(modexp,1024) = %s, want cios", k)
+		}
+		if k := sel.Pick(OpMont, 1024); k != Big {
+			t.Errorf("Pick(mont,1024) = %s, want big", k)
+		}
+		if k := sel.Pick(OpModExp, 200); k != Model {
+			t.Errorf("Pick(modexp,200) = %s, want model", k)
+		}
+		if k := sel.Pick(OpModExp, 4096); k != Model {
+			t.Errorf("Pick of pinned Sim = %s, want model fallback", k)
+		}
+		if k := sel.Pick(OpMont, 4096); k != Model {
+			t.Errorf("Pick of garbage kit = %s, want model fallback", k)
+		}
+	}
+	if sel.Table() != tbl {
+		t.Error("Table() does not expose the pinned table")
+	}
+}
+
+// TestProcessTable checks the process-level memoization: every call
+// returns the same measured table, and its picks are concrete kits
+// (never Sim, never Auto) in every cell.
+func TestProcessTable(t *testing.T) {
+	a := ProcessTable()
+	b := ProcessTable()
+	if a != b {
+		t.Fatal("ProcessTable re-measured")
+	}
+	for bkt := 0; bkt < NumBuckets; bkt++ {
+		for op := 0; op < NumOps; op++ {
+			k := a.Picks[bkt][op]
+			if !k.Valid() || k == Auto || k == Sim {
+				t.Errorf("bucket %s op %s picked %s", BucketLabel(bkt), Op(op), k)
+			}
+		}
+	}
+	if a.String() == "" {
+		t.Error("empty table rendering")
+	}
+}

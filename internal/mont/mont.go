@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"sync"
 
 	"repro/internal/bits"
 	"repro/internal/errs"
@@ -34,6 +35,11 @@ type Ctx struct {
 	RR   *big.Int // R² mod N, used to enter the Montgomery domain
 	RInv *big.Int // R⁻¹ mod N, used by the closed-form reference
 	N2   *big.Int // 2N, the operand/result bound
+
+	// Word-level (radix-2^64) precompute, built lazily by Word and
+	// cached; sync.Once keeps the Ctx safe for concurrent use.
+	wordOnce sync.Once
+	word     *WordParams
 }
 
 // ErrEvenModulus is returned for moduli with gcd(N, 2) ≠ 1, which

@@ -12,17 +12,27 @@
 // calibrated Virtex-E technology model — all equivalence-tested against
 // one another.
 //
+// Every construction point accepts a compute kit — the execution
+// backend a multiplier, exponentiator or engine core runs on:
+//
+//	KitModel  radix-2 reference arithmetic + paper cycle formulas (default)
+//	KitSim    cycle-accurate simulated systolic circuit
+//	KitCIOS   production radix-2^64 CIOS word-serial fast path
+//	KitBig    math/big oracle
+//	KitAuto   pick the fastest measured kit per modulus size and op
+//
 // Quick start:
 //
 //	m, err := montsys.NewMultiplier(n)                    // reference speed
-//	m, err := montsys.NewMultiplier(n, montsys.WithSimulation()) // cycle-accurate
+//	m, err := montsys.NewMultiplier(n, montsys.WithKit(montsys.KitSim)) // cycle-accurate
 //	p, err := m.Mont(x, y)                                // x·y·R⁻¹ mod 2N
 //
 //	ex, err := montsys.NewExponentiator(n)                // reference arithmetic
-//	ex, err := montsys.NewExponentiator(n, montsys.WithSimulation())
+//	ex, err := montsys.NewExponentiator(n, montsys.WithKit(montsys.KitCIOS)) // fast path
 //	c, report, err := ex.ModExp(msg, e)                   // RSA-style exponentiation
 //
-//	eng, err := montsys.NewEngine(montsys.WithEngineWorkers(8))
+//	eng, err := montsys.NewEngine(montsys.WithEngineWorkers(8),
+//	    montsys.WithEngineKitAuto())                      // auto-tuned kit per job
 //	results, err := eng.ModExpBatch(ctx, jobs)            // fan across 8 cores
 //
 //	srv, err := montsys.NewServer(eng)                    // TCP front door (montsysd)
@@ -30,6 +40,12 @@
 //	v, err := cl.ModExp(ctx, n, base, exp)                // same answers over the wire
 //
 //	hw, err := montsys.Hardware(1024)                     // slices, clock, T_MMM
+//
+// Migrating from the pre-kit options: WithSimulation() →
+// WithKit(KitSim); WithMode(Model/Simulate) → WithKit(KitModel/KitSim);
+// WithVariant(v) → WithArrayVariant(v); WithEngineMode/WithEngineVariant
+// → WithEngineKit/WithEngineArrayVariant. The old options remain as
+// deprecated shims with identical behaviour.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured record of every table and figure.
@@ -46,6 +62,7 @@ import (
 	"repro/internal/errs"
 	"repro/internal/expo"
 	"repro/internal/faults"
+	"repro/internal/kits"
 	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/systolic"
@@ -109,20 +126,62 @@ const (
 	Guarded  = systolic.Guarded
 )
 
+// Kit names a compute backend: the execution path a Multiplier,
+// Exponentiator, or engine worker core runs Montgomery operations on.
+type Kit = kits.Kit
+
+// The compute kits. KitAuto is a selection policy, not a backend: the
+// concrete kit is picked per modulus size (and, in the engine, per
+// operation shape) from a bounded startup microbenchmark cached for
+// the process lifetime.
+const (
+	KitModel = kits.Model // radix-2 reference arithmetic, paper cycle formulas (default)
+	KitSim   = kits.Sim   // cycle-accurate simulated systolic circuit
+	KitCIOS  = kits.CIOS  // radix-2^64 CIOS word-serial fast path
+	KitBig   = kits.Big   // math/big oracle
+	KitAuto  = kits.Auto  // auto-tuned per-job selection
+)
+
+// ParseKit maps a flag value (model|sim|cios|big|auto, case-insensitive)
+// to its Kit.
+func ParseKit(s string) (Kit, error) { return kits.Parse(s) }
+
 // NewMultiplier prepares a multiplier for the odd modulus n ≥ 3.
 func NewMultiplier(n *big.Int, opts ...Option) (*Multiplier, error) {
 	return core.NewMultiplier(n, opts...)
 }
 
+// WithKit selects the compute kit for a Multiplier or Exponentiator.
+// Kits never change answers — every kit computes the same residues,
+// equivalence-tested against one another — only the speed/fidelity
+// trade: KitModel and KitSim are the paper's reference and simulation,
+// KitCIOS is the production fast path, KitBig the math/big oracle, and
+// KitAuto picks per modulus size from the process benchmark table.
+func WithKit(k Kit) Option { return core.WithKit(k) }
+
+// WithKitAuto is WithKit(KitAuto).
+func WithKitAuto() Option { return core.WithKitAuto() }
+
+// WithArrayVariant selects the systolic array variant the KitSim
+// circuit simulates (Guarded by default). No effect on other kits.
+func WithArrayVariant(v Variant) Option { return core.WithArrayVariant(v) }
+
 // WithSimulation routes every product through the cycle-accurate MMMC.
+//
+// Deprecated: use WithKit(KitSim). Behaviour is identical; this shim
+// remains so existing callers keep compiling.
 func WithSimulation() Option { return core.WithSimulation() }
 
-// WithVariant selects the array variant used by WithSimulation.
+// WithVariant selects the array variant used by the simulated circuit.
+//
+// Deprecated: use WithArrayVariant (same semantics, renamed alongside
+// the kit API so "variant" stops doubling as an execution-path term).
 func WithVariant(v Variant) Option { return core.WithVariant(v) }
 
 // Mode selects how an Exponentiator (or the engine's cores) executes
 // multiplications: Model (reference arithmetic with the paper's cycle
 // formulas) or Simulate (every product through the cycle-accurate MMMC).
+// The kit API subsumes it: Model ≡ KitModel, Simulate ≡ KitSim.
 type Mode = expo.Mode
 
 // Execution modes.
@@ -131,8 +190,10 @@ const (
 	Simulate = expo.Simulate
 )
 
-// WithMode selects the exponentiator's execution mode; it subsumes
-// WithSimulation, which is shorthand for WithMode(Simulate).
+// WithMode selects the exponentiator's execution mode.
+//
+// Deprecated: use WithKit — WithKit(KitModel) for Model,
+// WithKit(KitSim) for Simulate. Behaviour is identical.
 func WithMode(m Mode) Option { return core.WithMode(m) }
 
 // NewExponentiator returns the paper's modular exponentiator for the
@@ -140,9 +201,10 @@ func WithMode(m Mode) Option { return core.WithMode(m) }
 // NewMultiplier:
 //
 //	montsys.NewExponentiator(n)                                  // reference arithmetic
-//	montsys.NewExponentiator(n, montsys.WithSimulation())        // cycle-accurate
-//	montsys.NewExponentiator(n, montsys.WithMode(montsys.Simulate),
-//	    montsys.WithVariant(montsys.Faithful))                   // explicit mode + variant
+//	montsys.NewExponentiator(n, montsys.WithKit(montsys.KitSim)) // cycle-accurate
+//	montsys.NewExponentiator(n, montsys.WithKit(montsys.KitCIOS)) // fast path
+//	montsys.NewExponentiator(n, montsys.WithKit(montsys.KitSim),
+//	    montsys.WithArrayVariant(montsys.Faithful))              // explicit variant
 func NewExponentiator(n *big.Int, opts ...Option) (*Exponentiator, error) {
 	return core.NewExponentiator(n, opts...)
 }
@@ -179,10 +241,30 @@ func WithEngineWorkers(k int) EngineOption { return engine.WithWorkers(k) }
 // WithEngineQueueDepth bounds the submission queue (default 4× workers).
 func WithEngineQueueDepth(d int) EngineOption { return engine.WithQueueDepth(d) }
 
-// WithEngineMode selects the cores' execution mode (default Model).
+// WithEngineKit selects the compute kit worker cores run on (default
+// KitModel). With KitAuto the engine resolves the kit per job — by
+// modulus bit-length bucket and operation shape — from a bounded
+// startup microbenchmark cached for the process; per-kit job counts
+// appear in EngineStats.KitJobs.
+func WithEngineKit(k Kit) EngineOption { return engine.WithKit(k) }
+
+// WithEngineKitAuto is WithEngineKit(KitAuto).
+func WithEngineKitAuto() EngineOption { return engine.WithKitAuto() }
+
+// WithEngineArrayVariant selects the array variant KitSim cores
+// simulate.
+func WithEngineArrayVariant(v Variant) EngineOption { return engine.WithArrayVariant(v) }
+
+// WithEngineMode selects the cores' execution mode.
+//
+// Deprecated: use WithEngineKit — WithEngineKit(KitModel) for Model,
+// WithEngineKit(KitSim) for Simulate. Behaviour is identical.
 func WithEngineMode(m Mode) EngineOption { return engine.WithMode(m) }
 
 // WithEngineVariant selects the array variant simulated cores use.
+//
+// Deprecated: use WithEngineArrayVariant (same semantics, renamed
+// alongside the kit API).
 func WithEngineVariant(v Variant) EngineOption { return engine.WithVariant(v) }
 
 // WithEngineCtxCacheSize bounds the per-modulus context LRU (default 128).
