@@ -9,7 +9,7 @@
 //	loadgen [-workers 1,2,4,8] [-jobs 200] [-bits 512,1024] [-keys 4]
 //	        [-kit model,cios,big,auto] [-variant guarded|faithful]
 //	        [-exp full|f4] [-queue 0] [-timeout 0]
-//	        [-listen :9090] [-linger 0] [-trace 4096]
+//	        [-listen :9090] [-linger 0] [-trace 4096] [-trace-sample 0]
 //	        [-connect host:7077] [-clients 8] [-retries 3]
 //	        [-tolerate integrity,overloaded] [-integrity]
 //	        [-fault-rate 0] [-fault-seed 1] [-fault-cores 0]
@@ -62,6 +62,13 @@
 // /trace Chrome trace-event export of the last -trace job spans that
 // opens in Perfetto. -linger keeps the process (and the endpoints)
 // alive after the sweep so the final state can still be scraped.
+//
+// -trace-sample S mints a root trace context for fraction S of jobs:
+// sampled requests travel the traced wire ops end to end, so the
+// /trace exports of loadgen, montsyslb and every montsysd each hold
+// their slice of the same trace tree (merge with cmd/tracecat). When a
+// sampled request fails, loadgen prints its trace id, which greps
+// straight into every process's wide-event log and trace export.
 package main
 
 import (
@@ -100,6 +107,7 @@ func main() {
 	listen := flag.String("listen", "", "serve /metrics, /debug/pprof and /trace on this address (e.g. :9090)")
 	linger := flag.Duration("linger", 0, "keep serving the observability endpoints this long after the sweep")
 	traceCap := flag.Int("trace", 4096, "span ring-buffer capacity for /trace (with -listen)")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of jobs to trace end to end (0 disables, 1 every job)")
 	connect := flag.String("connect", "", "drive remote montsysd/montsyslb instance(s) at this comma-separated address list instead of an in-process engine")
 	clients := flag.Int("clients", 8, "concurrent submitters in -connect mode")
 	retries := flag.Int("retries", 3, "client retry budget per call in -connect mode")
@@ -122,13 +130,15 @@ func main() {
 		jobs: *jobs, keys: *keys, expKind: *expKind,
 		queue: *queue, timeout: *timeout, seed: *seed,
 		connect: *connect, clients: *clients, retries: *retries,
-		tolerate:  parseTolerate(*tolerate),
-		integrity: *integrity, integritySample: *integritySample,
+		traceSample: *traceSample,
+		tolerate:    parseTolerate(*tolerate),
+		integrity:   *integrity, integritySample: *integritySample,
 		integrityRecompute: *integrityRecompute,
 		faultRate:          *faultRate, faultSeed: *faultSeed, faultCores: *faultCores,
 	}
 	if *listen != "" {
 		col := montsys.NewCollector(montsys.WithTracing(*traceCap))
+		col.Tracer().SetProcess("loadgen")
 		cfg.collector = col
 		ln, err := net.Listen("tcp", *listen)
 		if err != nil {
@@ -165,6 +175,11 @@ type sweepConfig struct {
 	connect    string             // nonempty = remote mode
 	clients    int
 	retries    int
+
+	// traceSample is the fraction of jobs given a root trace context
+	// (0 = none). Sampled jobs propagate their trace id through every
+	// layer they touch, local or remote.
+	traceSample float64
 
 	// tolerate maps error classes (see classify) to "count and keep
 	// going instead of aborting". Self-check mismatches are never
@@ -256,6 +271,17 @@ func (t *errorTally) String() string {
 		parts = append(parts, fmt.Sprintf("%s=%d", c, t.n[c]))
 	}
 	return strings.Join(parts, " ")
+}
+
+// traceJob mints a root trace context for one job when -trace-sample is
+// on; the returned context is what the call should run under. The zero
+// TraceContext (sampling off, or this job not picked) means untraced.
+func (cfg sweepConfig) traceJob(ctx context.Context) (context.Context, montsys.TraceContext) {
+	if cfg.traceSample <= 0 {
+		return ctx, montsys.TraceContext{}
+	}
+	tc := montsys.NewTraceContext(cfg.traceSample)
+	return montsys.ContextWithTrace(ctx, tc), tc
 }
 
 // faultOptions translates the local-mode chaos flags into engine
@@ -401,9 +427,17 @@ func runRemote(ctx context.Context, cfg sweepConfig, bits []int, batch []montsys
 		if a == "" {
 			continue
 		}
-		cl := montsys.Dial(a,
+		clOpts := []montsys.ClientOption{
 			montsys.WithClientPoolSize(cfg.clients),
-			montsys.WithClientMaxRetries(cfg.retries))
+			montsys.WithClientMaxRetries(cfg.retries),
+		}
+		if cfg.collector != nil && cfg.collector.Tracer() != nil {
+			// Client-layer spans of sampled jobs record into loadgen's
+			// own /trace ring (rate 0: roots are minted per job below,
+			// so the sampling decision stays in one place).
+			clOpts = append(clOpts, montsys.WithClientTracing(cfg.collector.Tracer(), 0))
+		}
+		cl := montsys.Dial(a, clOpts...)
 		defer cl.Close()
 		clients = append(clients, cl)
 	}
@@ -447,10 +481,16 @@ func runRemote(ctx context.Context, cfg sweepConfig, bits []int, batch []montsys
 					return
 				}
 				j := batch[i]
+				callCtx, tc := cfg.traceJob(ctx)
 				t0 := time.Now()
-				v, err := clients[i%len(clients)].ModExp(ctx, j.N, j.Base, j.Exp)
+				v, err := clients[i%len(clients)].ModExp(callCtx, j.N, j.Base, j.Exp)
 				lats[i] = time.Since(t0)
 				if err != nil {
+					if tc.Sampled {
+						// The id greps into every layer's wide-event log
+						// and /trace export.
+						fmt.Printf("job %d failed: trace_id=%s err=%v\n", i, tc.TraceID, err)
+					}
 					if class := classify(err); cfg.tolerate[class] {
 						tally.add(class)
 						lats[i] = -1
@@ -554,10 +594,14 @@ func sweep(ctx context.Context, w int, kit montsys.Kit, variant montsys.Variant,
 			defer wg.Done()
 			for i := range idx {
 				j := batch[i]
+				callCtx, tc := cfg.traceJob(ctx)
 				t0 := time.Now()
-				v, _, err := eng.ModExp(ctx, j.N, j.Base, j.Exp)
+				v, _, err := eng.ModExp(callCtx, j.N, j.Base, j.Exp)
 				lats[i] = time.Since(t0)
 				if err != nil {
+					if tc.Sampled {
+						fmt.Printf("job %d failed: trace_id=%s err=%v\n", i, tc.TraceID, err)
+					}
 					if class := classify(err); cfg.tolerate[class] {
 						tally.add(class)
 						lats[i] = -1

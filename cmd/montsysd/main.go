@@ -8,6 +8,8 @@
 //	         [-variant guarded|faithful] [-queue 0] [-cache 128]
 //	         [-inflight 0] [-idle 2m] [-drain 30s]
 //	         [-metrics :9090] [-trace 4096]
+//	         [-wide-events stderr|stdout|PATH]
+//	         [-slo-latency 500ms] [-slo-target 0.999]
 //	         [-integrity] [-integrity-sample 1] [-integrity-recompute]
 //	         [-fault-rate 0] [-fault-seed 1] [-fault-cores 0,2]
 //
@@ -37,7 +39,15 @@
 // (montsys_server_connections, montsys_server_inflight,
 // montsys_server_requests_total{op,code}, montsys_server_request_seconds)
 // on one page, because the server collects into the engine collector's
-// registry.
+// registry. -metrics also arms the SLO plane: per-op availability and
+// latency objectives (-slo-latency, -slo-target) with rolling 5m/1h
+// burn rates on /metrics and the human /statusz page.
+//
+// Sampled requests — those arriving on the traced wire ops with the
+// sampled bit set — additionally record server and engine spans into
+// the /trace ring (joined by trace id to the caller's spans; merge the
+// exports with cmd/tracecat) and, with -wide-events, emit one wide
+// JSON log line per request per layer.
 package main
 
 import (
@@ -67,8 +77,11 @@ func main() {
 	inflight := flag.Int("inflight", 0, "max in-flight requests before ErrOverloaded (0 = 4× workers)")
 	idle := flag.Duration("idle", 2*time.Minute, "close connections idle this long (0 disables)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful drain budget on SIGTERM")
-	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/pprof and /trace on this address")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /statusz, /debug/pprof and /trace on this address")
 	traceCap := flag.Int("trace", 4096, "span ring-buffer capacity for /trace (with -metrics)")
+	wideDest := flag.String("wide-events", "", "wide-event request log destination: stderr | stdout | file path (empty disables)")
+	sloLatency := flag.Duration("slo-latency", 500*time.Millisecond, "per-op latency SLO objective (with -metrics)")
+	sloTarget := flag.Float64("slo-target", 0.999, "SLO success-ratio target for availability and latency objectives")
 	integrity := flag.Bool("integrity", false, "verify every result before answering (quarantine + recompute on mismatch)")
 	integritySample := flag.Float64("integrity-sample", 1, "fraction of exponentiations fully re-verified (with -integrity)")
 	integrityRecompute := flag.Bool("integrity-recompute", true, "recompute corrupted jobs instead of answering with the integrity code")
@@ -79,10 +92,40 @@ func main() {
 
 	fc := faultConfig{rate: *faultRate, seed: *faultSeed, cores: *faultCores,
 		integrity: *integrity, sample: *integritySample, recompute: *integrityRecompute}
+	oc := obsConfig{metricsAddr: *metricsAddr, traceCap: *traceCap, wideDest: *wideDest,
+		sloLatency: *sloLatency, sloTarget: *sloTarget}
 	if err := run(*listen, *workers, *kitName, *modeName, *variantName, *queue, *cache,
-		*inflight, *idle, *drain, *metricsAddr, *traceCap, fc); err != nil {
+		*inflight, *idle, *drain, oc, fc); err != nil {
 		fmt.Fprintln(os.Stderr, "montsysd:", err)
 		os.Exit(1)
+	}
+}
+
+// obsConfig carries the observability flags into run.
+type obsConfig struct {
+	metricsAddr string
+	traceCap    int
+	wideDest    string
+	sloLatency  time.Duration
+	sloTarget   float64
+}
+
+// wideWriter opens the wide-event destination. The returned closer is
+// nil for the stream destinations (and when disabled).
+func (oc obsConfig) wideWriter() (*montsys.WideWriter, *os.File, error) {
+	switch oc.wideDest {
+	case "":
+		return nil, nil, nil
+	case "stderr":
+		return montsys.NewWideWriter(os.Stderr), nil, nil
+	case "stdout":
+		return montsys.NewWideWriter(os.Stdout), nil, nil
+	default:
+		f, err := os.OpenFile(oc.wideDest, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wide-events log: %w", err)
+		}
+		return montsys.NewWideWriter(f), f, nil
 	}
 }
 
@@ -129,8 +172,7 @@ func (fc faultConfig) engineOptions() ([]montsys.EngineOption, error) {
 }
 
 func run(listen string, workers int, kitName, modeName, variantName string, queue, cache,
-	inflight int, idle, drain time.Duration, metricsAddr string, traceCap int,
-	fc faultConfig) error {
+	inflight int, idle, drain time.Duration, oc obsConfig, fc faultConfig) error {
 	// -kit wins when given; otherwise the deprecated -mode flag picks
 	// the matching kit so old invocations behave identically.
 	if kitName == "" {
@@ -157,7 +199,17 @@ func run(listen string, workers int, kitName, modeName, variantName string, queu
 		return fmt.Errorf("unknown variant %q", variantName)
 	}
 
-	col := montsys.NewCollector(montsys.WithTracing(traceCap))
+	wide, wideFile, err := oc.wideWriter()
+	if err != nil {
+		return err
+	}
+	if wideFile != nil {
+		defer wideFile.Close()
+	}
+
+	col := montsys.NewCollector(montsys.WithTracing(oc.traceCap),
+		montsys.WithCollectorWideEvents(wide))
+	col.Tracer().SetProcess("montsysd")
 	engOpts := []montsys.EngineOption{
 		montsys.WithEngineKit(kit),
 		montsys.WithEngineArrayVariant(variant),
@@ -185,6 +237,8 @@ func run(listen string, workers int, kitName, modeName, variantName string, queu
 	srvOpts := []montsys.ServerOption{
 		montsys.WithServerIdleTimeout(idle),
 		montsys.WithServerRegistry(col.Registry()),
+		montsys.WithServerTracer(col.Tracer()),
+		montsys.WithServerWideEvents(wide),
 	}
 	if inflight > 0 {
 		srvOpts = append(srvOpts, montsys.WithServerMaxInflight(inflight))
@@ -194,14 +248,18 @@ func run(listen string, workers int, kitName, modeName, variantName string, queu
 		return err
 	}
 
-	if metricsAddr != "" {
-		mln, err := net.Listen("tcp", metricsAddr)
+	if oc.metricsAddr != "" {
+		mln, err := net.Listen("tcp", oc.metricsAddr)
 		if err != nil {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
-		fmt.Printf("montsysd: observability on http://%s/ (/metrics, /debug/pprof/, /trace)\n", mln.Addr())
+		slo := montsys.NewSLOTracker(col.Registry(), 0)
+		srv.RegisterSLOs(slo, oc.sloLatency, oc.sloTarget)
+		slo.Start()
+		defer slo.Close()
+		fmt.Printf("montsysd: observability on http://%s/ (/metrics, /statusz, /debug/pprof/, /trace)\n", mln.Addr())
 		go func() {
-			if err := http.Serve(mln, montsys.NewObsHandler(col)); err != nil {
+			if err := http.Serve(mln, montsys.NewObsMux(col.Registry(), col.Tracer(), slo)); err != nil {
 				fmt.Fprintln(os.Stderr, "montsysd: metrics server:", err)
 			}
 		}()

@@ -9,7 +9,9 @@
 //	montsyslb -backends host1:7077,host2:7077[,...]
 //	          [-listen :7070] [-inflight 256] [-idle 2m] [-drain 30s]
 //	          [-probe 1s] [-affinity] [-hedge] [-budget 0.1] [-burst 16]
-//	          [-integrity-eject 3] [-metrics :9091]
+//	          [-integrity-eject 3] [-metrics :9091] [-trace 4096]
+//	          [-wide-events stderr|stdout|PATH]
+//	          [-slo-latency 500ms] [-slo-target 0.999]
 //
 // Routing (see internal/cluster): requests are routed to the
 // rendezvous-hash home of their modulus so repeat-modulus traffic hits
@@ -31,7 +33,15 @@
 // picks_total{backend,reason}, hedges_total, breaker_state,
 // affinity_hits_total, ...) and the proxy's own server series on one
 // page; scraped next to the backends' pages the whole path client →
-// balancer → backend → engine → systolic core is visible.
+// balancer → backend → engine → systolic core is visible. The same
+// address serves /statusz (per-op SLO burn rates, -slo-latency /
+// -slo-target) and /trace — the balancer's slice of every sampled
+// request's trace tree: a proxy server span, one route-attempt span
+// per backend try (pick reason, hedge race outcome, budget spend) and
+// the backend call spans under them, all joined by trace id to the
+// spans the client and the backends record themselves (merge with
+// cmd/tracecat). -wide-events adds one JSON request-log line per
+// sampled request per layer.
 package main
 
 import (
@@ -61,18 +71,52 @@ func main() {
 	budget := flag.Float64("budget", 0.1, "retry-budget ratio (tokens minted per request)")
 	burst := flag.Int("burst", 16, "retry-budget burst (token cap)")
 	integrityEject := flag.Int("integrity-eject", 3, "consecutive integrity failures before ejecting a backend (0 disables)")
-	metricsAddr := flag.String("metrics", "", "serve /metrics on this address")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /statusz and /trace on this address")
+	traceCap := flag.Int("trace", 4096, "span ring-buffer capacity for /trace")
+	wideDest := flag.String("wide-events", "", "wide-event request log destination: stderr | stdout | file path (empty disables)")
+	sloLatency := flag.Duration("slo-latency", 500*time.Millisecond, "per-op latency SLO objective (with -metrics)")
+	sloTarget := flag.Float64("slo-target", 0.999, "SLO success-ratio target for availability and latency objectives")
 	flag.Parse()
 
+	oc := obsConfig{metricsAddr: *metricsAddr, traceCap: *traceCap, wideDest: *wideDest,
+		sloLatency: *sloLatency, sloTarget: *sloTarget}
 	if err := run(*listen, *backends, *inflight, *idle, *drain, *probe,
-		*affinity, *hedge, *budget, *burst, *integrityEject, *metricsAddr); err != nil {
+		*affinity, *hedge, *budget, *burst, *integrityEject, oc); err != nil {
 		fmt.Fprintln(os.Stderr, "montsyslb:", err)
 		os.Exit(1)
 	}
 }
 
+// obsConfig carries the observability flags into run.
+type obsConfig struct {
+	metricsAddr string
+	traceCap    int
+	wideDest    string
+	sloLatency  time.Duration
+	sloTarget   float64
+}
+
+// wideWriter opens the wide-event destination. The returned file is
+// non-nil only for path destinations (the caller closes it).
+func (oc obsConfig) wideWriter() (*montsys.WideWriter, *os.File, error) {
+	switch oc.wideDest {
+	case "":
+		return nil, nil, nil
+	case "stderr":
+		return montsys.NewWideWriter(os.Stderr), nil, nil
+	case "stdout":
+		return montsys.NewWideWriter(os.Stdout), nil, nil
+	default:
+		f, err := os.OpenFile(oc.wideDest, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wide-events log: %w", err)
+		}
+		return montsys.NewWideWriter(f), f, nil
+	}
+}
+
 func run(listen, backends string, inflight int, idle, drain, probe time.Duration,
-	affinity, hedge bool, budget float64, burst, integrityEject int, metricsAddr string) error {
+	affinity, hedge bool, budget float64, burst, integrityEject int, oc obsConfig) error {
 	var addrs []string
 	for _, a := range strings.Split(backends, ",") {
 		if a = strings.TrimSpace(a); a != "" {
@@ -83,6 +127,16 @@ func run(listen, backends string, inflight int, idle, drain, probe time.Duration
 		return fmt.Errorf("no backends given (-backends host1:7077,host2:7077)")
 	}
 
+	wide, wideFile, err := oc.wideWriter()
+	if err != nil {
+		return err
+	}
+	if wideFile != nil {
+		defer wideFile.Close()
+	}
+	tracer := montsys.NewTracer(oc.traceCap)
+	tracer.SetProcess("montsyslb")
+
 	registry := montsys.NewMetricsRegistry()
 	cl, err := montsys.NewCluster(addrs,
 		montsys.WithClusterRegistry(registry),
@@ -91,6 +145,8 @@ func run(listen, backends string, inflight int, idle, drain, probe time.Duration
 		montsys.WithClusterHedging(hedge),
 		montsys.WithClusterRetryBudget(budget, burst),
 		montsys.WithClusterIntegrityEjectThreshold(integrityEject),
+		montsys.WithClusterTracer(tracer),
+		montsys.WithClusterWideEvents(wide),
 	)
 	if err != nil {
 		return err
@@ -101,21 +157,25 @@ func run(listen, backends string, inflight int, idle, drain, probe time.Duration
 		montsys.WithServerMaxInflight(inflight),
 		montsys.WithServerIdleTimeout(idle),
 		montsys.WithServerRegistry(registry),
+		montsys.WithServerTracer(tracer),
+		montsys.WithServerWideEvents(wide),
 	)
 	if err != nil {
 		return err
 	}
 
-	if metricsAddr != "" {
-		mln, err := net.Listen("tcp", metricsAddr)
+	if oc.metricsAddr != "" {
+		mln, err := net.Listen("tcp", oc.metricsAddr)
 		if err != nil {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", montsys.NewMetricsHandler(registry))
-		fmt.Printf("montsyslb: metrics on http://%s/metrics\n", mln.Addr())
+		slo := montsys.NewSLOTracker(registry, 0)
+		srv.RegisterSLOs(slo, oc.sloLatency, oc.sloTarget)
+		slo.Start()
+		defer slo.Close()
+		fmt.Printf("montsyslb: observability on http://%s/ (/metrics, /statusz, /trace)\n", mln.Addr())
 		go func() {
-			if err := http.Serve(mln, mux); err != nil {
+			if err := http.Serve(mln, montsys.NewObsMux(registry, tracer, slo)); err != nil {
 				fmt.Fprintln(os.Stderr, "montsyslb: metrics server:", err)
 			}
 		}()

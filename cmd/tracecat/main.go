@@ -1,0 +1,258 @@
+// Command tracecat merges the Chrome trace-event exports of several
+// montsys processes into one Perfetto-loadable document, and can assert
+// that the merge contains a complete cross-process trace tree — the
+// end-to-end check the cluster CI job runs.
+//
+// Usage:
+//
+//	tracecat [-o merged.json] [-assert-tree] SOURCE [SOURCE...]
+//
+// Each SOURCE is a file path or an http(s) URL — typically the /trace
+// endpoints of loadgen, montsyslb and every montsysd, or files saved
+// from them. Every process exports with absolute wall-clock
+// microsecond timestamps, so merged slices line up on one timeline
+// without any clock rebasing; process_name metadata (Tracer.SetProcess)
+// keeps each daemon's tracks grouped and labelled. Sources whose pids
+// collide (containers often report pid 1) are remapped to synthetic
+// pids so their tracks never fuse.
+//
+// -assert-tree scans the merge for sampled spans (those carrying
+// trace_id args) and requires at least one trace id whose spans form a
+// complete tree:
+//
+//   - a client span ("call/..."), a route-attempt span ("route/..."),
+//     a server span ("server/...") and an engine execution span with
+//     its compute kit, all sharing the trace id;
+//   - every parent_id resolving to another span of the same trace
+//     (no orphans — the cross-process propagation never broke);
+//   - spans from at least two distinct processes.
+//
+// On success it prints the witness trace id and exits 0; otherwise it
+// reports what every candidate trace was missing and exits 1.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+)
+
+// event is one trace event, decoded loosely: unknown fields survive a
+// round-trip nowhere (the merge re-encodes only what it knows), so the
+// struct mirrors internal/obs.traceEvent exactly.
+type event struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    float64        `json:"ts,omitempty"`
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Cat   string         `json:"cat,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type document struct {
+	TraceEvents     []event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "write the merged trace here (default stdout)")
+	assertTree := flag.Bool("assert-tree", false, "fail unless the merge holds a complete cross-process trace tree")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "tracecat: no sources (file paths or /trace URLs)")
+		os.Exit(2)
+	}
+	if err := run(flag.Args(), *out, *assertTree); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(sources []string, out string, assertTree bool) error {
+	var merged []event
+	usedPids := map[int]bool{}
+	nextPid := 100000 // synthetic pids for collision remaps
+	for _, src := range sources {
+		doc, err := load(src)
+		if err != nil {
+			return fmt.Errorf("%s: %w", src, err)
+		}
+		// Remap this source's pids away from ones earlier sources used,
+		// consistently within the source, so two daemons that both
+		// report pid 1 don't fuse into one process group.
+		remap := map[int]int{}
+		for _, ev := range doc.TraceEvents {
+			if _, seen := remap[ev.Pid]; seen {
+				continue
+			}
+			p := ev.Pid
+			if usedPids[p] {
+				for usedPids[nextPid] {
+					nextPid++
+				}
+				p = nextPid
+				nextPid++
+			}
+			remap[ev.Pid] = p
+		}
+		for _, ev := range doc.TraceEvents {
+			ev.Pid = remap[ev.Pid]
+			merged = append(merged, ev)
+		}
+		for _, p := range remap {
+			usedPids[p] = true
+		}
+	}
+
+	sort.SliceStable(merged, func(i, j int) bool {
+		// Metadata first, then timeline order — what trace viewers expect.
+		mi, mj := merged[i].Phase == "M", merged[j].Phase == "M"
+		if mi != mj {
+			return mi
+		}
+		return merged[i].Ts < merged[j].Ts
+	})
+
+	w := io.Writer(os.Stdout)
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := json.NewEncoder(w).Encode(document{merged, "ms"}); err != nil {
+		return err
+	}
+
+	if assertTree {
+		return checkTree(merged)
+	}
+	return nil
+}
+
+// load reads one source — a local file or an http(s) URL.
+func load(src string) (*document, error) {
+	var r io.ReadCloser
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		resp, err := http.Get(src)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return nil, fmt.Errorf("status %s", resp.Status)
+		}
+		r = resp.Body
+	} else {
+		f, err := os.Open(src)
+		if err != nil {
+			return nil, err
+		}
+		r = f
+	}
+	defer r.Close()
+	var doc document
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("not a trace-event document: %w", err)
+	}
+	return &doc, nil
+}
+
+// traceInfo accumulates everything known about one trace id across the
+// merged events.
+type traceInfo struct {
+	spanIDs map[string]bool // every span_id seen
+	parents map[string]bool // every non-empty parent_id seen
+	pids    map[int]bool
+	layers  map[string]bool // "client" | "route" | "server" | "engine"
+}
+
+// checkTree verifies at least one sampled trace forms a complete
+// client→route→server→engine tree across ≥ 2 processes with no orphan
+// parents.
+func checkTree(events []event) error {
+	traces := map[string]*traceInfo{}
+	for _, ev := range events {
+		if ev.Phase != "X" || ev.Args == nil {
+			continue
+		}
+		tid, _ := ev.Args["trace_id"].(string)
+		if tid == "" {
+			continue
+		}
+		ti := traces[tid]
+		if ti == nil {
+			ti = &traceInfo{
+				spanIDs: map[string]bool{}, parents: map[string]bool{},
+				pids: map[int]bool{}, layers: map[string]bool{},
+			}
+			traces[tid] = ti
+		}
+		if sid, _ := ev.Args["span_id"].(string); sid != "" {
+			ti.spanIDs[sid] = true
+		}
+		if pid, _ := ev.Args["parent_id"].(string); pid != "" {
+			ti.parents[pid] = true
+		}
+		ti.pids[ev.Pid] = true
+		switch {
+		case strings.HasPrefix(ev.Name, "call/"):
+			ti.layers["client"] = true
+		case strings.HasPrefix(ev.Name, "route/"):
+			ti.layers["route"] = true
+		case strings.HasPrefix(ev.Name, "server/"):
+			ti.layers["server"] = true
+		case ev.Cat == "exec":
+			ti.layers["engine"] = true
+		}
+	}
+	if len(traces) == 0 {
+		return fmt.Errorf("assert-tree: no sampled spans (trace_id args) in any source")
+	}
+
+	wantLayers := []string{"client", "route", "server", "engine"}
+	var problems []string
+	for tid, ti := range traces {
+		var missing []string
+		for _, l := range wantLayers {
+			if !ti.layers[l] {
+				missing = append(missing, l)
+			}
+		}
+		orphans := 0
+		for p := range ti.parents {
+			if !ti.spanIDs[p] {
+				orphans++
+			}
+		}
+		if len(missing) == 0 && orphans == 0 && len(ti.pids) >= 2 {
+			fmt.Fprintf(os.Stderr, "assert-tree: ok — trace %s spans %d processes, layers client+route+server+engine, %d spans\n",
+				tid, len(ti.pids), len(ti.spanIDs))
+			return nil
+		}
+		detail := fmt.Sprintf("trace %s: %d spans over %d process(es)", tid, len(ti.spanIDs), len(ti.pids))
+		if len(missing) > 0 {
+			detail += ", missing layers " + strings.Join(missing, "+")
+		}
+		if orphans > 0 {
+			detail += fmt.Sprintf(", %d orphan parent(s)", orphans)
+		}
+		problems = append(problems, detail)
+	}
+	sort.Strings(problems)
+	if len(problems) > 8 {
+		problems = append(problems[:8], fmt.Sprintf("... and %d more", len(problems)-8))
+	}
+	return fmt.Errorf("assert-tree: no complete cross-process tree among %d trace(s):\n  %s",
+		len(traces), strings.Join(problems, "\n  "))
+}

@@ -96,6 +96,9 @@ type config struct {
 
 	integrityEject int
 
+	tracer *obs.Tracer
+	wide   *obs.WideWriter
+
 	clientOpts []server.ClientOption
 }
 
@@ -165,6 +168,20 @@ func WithRetryBudget(ratio float64, burst int) Option {
 func WithIntegrityEjectThreshold(n int) Option {
 	return func(c *config) { c.integrityEject = n }
 }
+
+// WithTracer records a route-attempt span for every backend call made
+// on behalf of a sampled request: one span per attempt (primary,
+// hedge, failover), tagged with the backend, the pick reason, whether
+// the attempt was the winning copy, and whether it spent retry budget.
+// The same tracer is handed to every backend client so its call spans
+// nest under the route spans, and the trace context is forwarded on
+// the wire so the backend's own spans join the same tree.
+func WithTracer(t *obs.Tracer) Option { return func(c *config) { c.tracer = t } }
+
+// WithWideEvents emits one structured "route" event per backend
+// attempt of a sampled request — the balancer's line in the per-request
+// wide-event log.
+func WithWideEvents(w *obs.WideWriter) Option { return func(c *config) { c.wide = w } }
 
 // WithClientOptions passes extra options to every backend's wire
 // client. The cluster defaults each client to zero internal retries —
@@ -244,7 +261,14 @@ func New(addrs []string, opts ...Option) (*Cluster, error) {
 		budget: newRetryBudget(cfg.budgetRatio, cfg.budgetBurst),
 		stop:   make(chan struct{}),
 	}
-	clOpts := append([]server.ClientOption{server.WithMaxRetries(0)}, cfg.clientOpts...)
+	clOpts := []server.ClientOption{server.WithMaxRetries(0)}
+	if cfg.tracer != nil {
+		// Backend call spans record into the balancer's own tracer and
+		// nest under the route-attempt spans (rate 0: the balancer
+		// propagates sampled contexts, it never mints roots).
+		clOpts = append(clOpts, server.WithClientTracing(cfg.tracer, 0))
+	}
+	clOpts = append(clOpts, cfg.clientOpts...)
 	for _, a := range uniq {
 		bm := c.met.perBackend[a]
 		b := &backend{
@@ -316,7 +340,7 @@ func (c *Cluster) Status() []BackendStatus {
 // ModExp computes Base^Exp mod N on the cluster, routing by N's
 // affinity home and hedging the tail.
 func (c *Cluster) ModExp(ctx context.Context, n, base, exp *big.Int) (*big.Int, error) {
-	return doCall(c, ctx, affinityKey(n), true,
+	return doCall(c, ctx, "modexp", affinityKey(n), true,
 		func(ctx context.Context, b *backend) (*big.Int, error) {
 			return b.cl.ModExp(ctx, n, base, exp)
 		})
@@ -325,7 +349,7 @@ func (c *Cluster) ModExp(ctx context.Context, n, base, exp *big.Int) (*big.Int, 
 // Mont computes the raw Montgomery product X·Y·R⁻¹ mod 2N on the
 // cluster.
 func (c *Cluster) Mont(ctx context.Context, n, x, y *big.Int) (*big.Int, error) {
-	return doCall(c, ctx, affinityKey(n), true,
+	return doCall(c, ctx, "mont", affinityKey(n), true,
 		func(ctx context.Context, b *backend) (*big.Int, error) {
 			return b.cl.Mont(ctx, n, x, y)
 		})
@@ -340,7 +364,7 @@ func (c *Cluster) ModExpBatch(ctx context.Context, jobs []engine.ModExpJob) ([]e
 	if len(jobs) > 0 {
 		key = affinityKey(jobs[0].N)
 	}
-	return doCall(c, ctx, key, false,
+	return doCall(c, ctx, "batch_modexp", key, false,
 		func(ctx context.Context, b *backend) ([]engine.ModExpResult, error) {
 			return b.cl.ModExpBatch(ctx, jobs)
 		})
@@ -371,7 +395,7 @@ func failoverable(err error) bool {
 // error move to the next backend — draining/down moves are free,
 // overload moves spend retry budget. Generic because ModExpBatch
 // returns a slice while the single ops return a value.
-func doCall[T any](c *Cluster, ctx context.Context, key []byte, hedgeable bool,
+func doCall[T any](c *Cluster, ctx context.Context, op string, key []byte, hedgeable bool,
 	call func(context.Context, *backend) (T, error)) (T, error) {
 	var zero T
 	if c.closed.Load() {
@@ -380,6 +404,7 @@ func doCall[T any](c *Cluster, ctx context.Context, key []byte, hedgeable bool,
 	c.budget.credit()
 	tried := make(map[*backend]bool, len(c.backends))
 	var lastErr error
+	budgeted := false // did retry budget fund the upcoming attempt?
 	for i := 0; i < len(c.backends); i++ {
 		b, reason := c.pick(key, tried)
 		if b == nil {
@@ -389,7 +414,7 @@ func doCall[T any](c *Cluster, ctx context.Context, key []byte, hedgeable bool,
 			reason = "failover"
 		}
 		tried[b] = true
-		v, err := attempt(c, ctx, b, key, tried, reason, hedgeable, call)
+		v, err := attempt(c, ctx, op, b, key, tried, reason, budgeted, hedgeable, call)
 		if err == nil {
 			return v, nil
 		}
@@ -397,7 +422,8 @@ func doCall[T any](c *Cluster, ctx context.Context, key []byte, hedgeable bool,
 		if ctx.Err() != nil || !failoverable(err) {
 			return zero, err
 		}
-		if errors.Is(err, errs.ErrOverloaded) && !c.budget.spend() {
+		budgeted = errors.Is(err, errs.ErrOverloaded)
+		if budgeted && !c.budget.spend() {
 			c.met.budgetDenied.Inc()
 			return zero, err
 		}
@@ -412,12 +438,21 @@ func doCall[T any](c *Cluster, ctx context.Context, key []byte, hedgeable bool,
 // attempt runs one routed request on primary, hedging onto a second
 // backend if the p99-derived delay expires first. The first success
 // wins and cancels the other; hedge launches spend retry budget.
-func attempt[T any](c *Cluster, ctx context.Context, primary *backend, key []byte,
-	tried map[*backend]bool, reason string, hedgeable bool,
+//
+// For sampled requests every launch — primary and hedge — gets its own
+// child span: the backend client inherits the launch's trace context,
+// so its call span (and the remote server's spans) nest under the
+// route attempt that carried them. A lock-free won marker decides
+// which copy of a hedged race answered first; the loser's span says so.
+func attempt[T any](c *Cluster, ctx context.Context, op string, primary *backend, key []byte,
+	tried map[*backend]bool, reason string, budgeted, hedgeable bool,
 	call func(context.Context, *backend) (T, error)) (T, error) {
 	var zero T
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+
+	tc, _ := obs.TraceFromContext(ctx)
+	var won atomic.Bool // first successful copy takes it; losers record hedge_lost
 
 	type result struct {
 		v      T
@@ -425,18 +460,27 @@ func attempt[T any](c *Cluster, ctx context.Context, primary *backend, key []byt
 		hedged bool
 	}
 	ch := make(chan result, 2) // both goroutines can always deliver and exit
-	launch := func(b *backend, hedged bool) {
+	launch := func(b *backend, reason string, hedged, spent bool) {
 		b.acquire()
 		go func() {
+			actx := cctx
+			var span obs.SpanID
+			if tc.Sampled {
+				span = obs.NewSpanID()
+				actx = obs.ContextWithTrace(actx, tc.Child(span))
+			}
 			t0 := time.Now()
-			v, err := call(cctx, b)
+			v, err := call(actx, b)
 			b.release()
-			c.observe(b, err, time.Since(t0))
+			elapsed := time.Since(t0)
+			c.observe(b, err, elapsed)
+			first := err == nil && won.CompareAndSwap(false, true)
+			c.recordAttempt(tc, span, op, b, reason, t0, elapsed, err, hedged, spent, first)
 			ch <- result{v, err, hedged}
 		}()
 	}
 	c.met.pick(primary, reason)
-	launch(primary, false)
+	launch(primary, reason, false, budgeted)
 
 	var hedgeC <-chan time.Time
 	if hedgeable && c.cfg.hedge && len(c.backends) > 1 {
@@ -472,11 +516,96 @@ func attempt[T any](c *Cluster, ctx context.Context, primary *backend, key []byt
 			tried[h] = true
 			c.met.hedges.Inc()
 			c.met.pick(h, "hedge")
-			launch(h, true)
+			launch(h, "hedge", true, true)
 			outstanding++
 		}
 	}
 	return zero, lastErr
+}
+
+// recordAttempt emits the route-attempt span and wide event for one
+// finished backend call of a sampled request. won is true for the copy
+// that answered first with a success — on a hedged race exactly one
+// attempt carries winner=true, and a losing-but-successful copy is the
+// hedge loss the span names explicitly.
+func (c *Cluster) recordAttempt(tc obs.TraceContext, span obs.SpanID, op string,
+	b *backend, reason string, start time.Time, elapsed time.Duration, err error,
+	hedged, budgeted, won bool) {
+	if !tc.Sampled || (c.cfg.tracer == nil && c.cfg.wide == nil) {
+		return
+	}
+	outcome := routeOutcome(err)
+	if c.cfg.tracer != nil {
+		s := obs.Span{
+			Name:    "route/" + op,
+			Track:   "route",
+			Outcome: outcome,
+			Start:   start,
+			Exec:    elapsed,
+			TraceID: tc.TraceID,
+			SpanID:  span,
+			Parent:  tc.SpanID,
+			Attrs: []obs.Attr{
+				{Key: "backend", Val: b.addr},
+				{Key: "pick", Val: reason},
+			},
+		}
+		if hedged || won {
+			hw := "lost"
+			if won {
+				hw = "won"
+			}
+			s.Attrs = append(s.Attrs, obs.Attr{Key: "race", Val: hw})
+		}
+		if budgeted {
+			s.Attrs = append(s.Attrs, obs.Attr{Key: "budget", Val: "spent"})
+		}
+		c.cfg.tracer.Record(s)
+	}
+	c.cfg.wide.Emit(&obs.WideEvent{
+		Layer:   "route",
+		Op:      op,
+		TraceID: tc.TraceID,
+		SpanID:  span,
+		Parent:  tc.SpanID,
+		Outcome: outcome,
+		Backend: b.addr,
+		Dur:     elapsed,
+		Hedged:  hedged,
+		Err:     errString(err),
+	})
+}
+
+// routeOutcome classifies one backend-call error the way the wire codes
+// would, so route spans and server spans speak the same outcome names.
+func routeOutcome(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, errs.ErrOverloaded):
+		return "overloaded"
+	case errors.Is(err, errs.ErrDraining):
+		return "draining"
+	case errors.Is(err, errs.ErrBackendDown):
+		return "backend_down"
+	case errors.Is(err, errs.ErrEngineClosed):
+		return "engine_closed"
+	case errors.Is(err, errs.ErrIntegrity):
+		return "integrity"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	default:
+		return "error"
+	}
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // observe feeds one finished backend call into the breaker, the

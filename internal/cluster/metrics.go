@@ -46,9 +46,9 @@ type metrics struct {
 }
 
 type backendMetrics struct {
-	up             *obs.Gauge
-	inflight       *obs.Gauge
-	breakerState   *obs.Gauge
+	up                *obs.Gauge
+	inflight          *obs.Gauge
+	breakerState      *obs.Gauge
 	picks             map[string]*obs.Counter
 	probeFailures     *obs.Counter
 	ejections         *obs.Counter

@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/big"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+// TestRouteSpansRecorded: a sampled request through the balancer layer
+// produces one route-attempt span carrying the chosen backend and pick
+// reason, parented on the ambient span, plus the backend call span the
+// cluster's own client pool records — all on the request's trace id.
+func TestRouteSpansRecorded(t *testing.T) {
+	_, _, a1 := startBackend(t, []engine.Option{engine.WithWorkers(1)}, nil)
+	_, _, a2 := startBackend(t, []engine.Option{engine.WithWorkers(1)}, nil)
+
+	tracer := obs.NewTracer(64)
+	var wideBuf bytes.Buffer
+	c, err := New([]string{a1, a2},
+		WithTracer(tracer),
+		WithWideEvents(obs.NewWideWriter(&wideBuf)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	tc := obs.TraceContext{TraceID: obs.NewTraceID(), SpanID: obs.NewSpanID(), Sampled: true}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	ctx = obs.ContextWithTrace(ctx, tc)
+
+	n := testModulus(t, 128)
+	got, err := c.ModExp(ctx, n, big.NewInt(7), big.NewInt(65537))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(wantModExp(n, big.NewInt(7), big.NewInt(65537))) != 0 {
+		t.Fatal("wrong answer")
+	}
+
+	var route, call obs.Span
+	var haveRoute, haveCall bool
+	for _, s := range tracer.Spans() {
+		switch {
+		case s.Name == "route/modexp":
+			route, haveRoute = s, true
+		case s.Name == "call/modexp":
+			call, haveCall = s, true
+		}
+	}
+	if !haveRoute {
+		t.Fatalf("no route span recorded: %+v", tracer.Spans())
+	}
+	if route.TraceID != tc.TraceID || route.Parent != tc.SpanID {
+		t.Fatalf("route span not joined to the ambient trace: %+v", route)
+	}
+	attrs := map[string]string{}
+	for _, a := range route.Attrs {
+		attrs[a.Key] = a.Val
+	}
+	if attrs["backend"] != a1 && attrs["backend"] != a2 {
+		t.Errorf("backend attr = %q, want one of the pool", attrs["backend"])
+	}
+	if attrs["pick"] == "" {
+		t.Errorf("route span missing the pick reason: %+v", route.Attrs)
+	}
+	// The balancer's backend client shares the tracer: its call span
+	// nests under the route attempt.
+	if !haveCall {
+		t.Fatalf("no backend call span recorded: %+v", tracer.Spans())
+	}
+	if call.TraceID != tc.TraceID || call.Parent != route.SpanID {
+		t.Fatalf("call span not nested under the route attempt: %+v", call)
+	}
+
+	// And the wide log got a route-layer line for the same trace.
+	var sawRouteLine bool
+	for _, line := range strings.Split(strings.TrimSpace(wideBuf.String()), "\n") {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("wide line not JSON: %v\n%s", err, line)
+		}
+		if ev["layer"] == "route" && ev["trace_id"] == tc.TraceID.String() {
+			sawRouteLine = true
+			if ev["backend"] == "" || ev["outcome"] != "ok" {
+				t.Errorf("route wide event payload: %v", ev)
+			}
+		}
+	}
+	if !sawRouteLine {
+		t.Fatalf("no route wide event:\n%s", wideBuf.String())
+	}
+}
+
+// TestUnsampledRequestsRecordNoRouteSpans: tracing is head-based — a
+// request with no (or an unsampled) trace context must leave the
+// tracer untouched on the routing layer.
+func TestUnsampledRequestsRecordNoRouteSpans(t *testing.T) {
+	_, _, a1 := startBackend(t, []engine.Option{engine.WithWorkers(1)}, nil)
+
+	tracer := obs.NewTracer(64)
+	c, err := New([]string{a1}, WithTracer(tracer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	n := testModulus(t, 128)
+	if _, err := c.ModExp(ctx, n, big.NewInt(7), big.NewInt(65537)); err != nil {
+		t.Fatal(err)
+	}
+	// Unsampled ambient context: ids propagate, nothing is recorded.
+	tc := obs.TraceContext{TraceID: obs.NewTraceID(), Sampled: false}
+	if _, err := c.ModExp(obs.ContextWithTrace(ctx, tc), n, big.NewInt(9), big.NewInt(65537)); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tracer.Spans() {
+		if strings.HasPrefix(s.Name, "route/") || strings.HasPrefix(s.Name, "call/") {
+			t.Fatalf("unsampled request recorded %+v", s)
+		}
+	}
+}
+
+// TestFailoverAttemptsShareTrace: when the first backend fails over,
+// every attempt leaves its own route span on the same trace — the
+// trace shows the retry story, not just the final success.
+func TestFailoverAttemptsShareTrace(t *testing.T) {
+	srv1, _, a1 := startBackend(t, []engine.Option{engine.WithWorkers(1)}, nil)
+	_, _, a2 := startBackend(t, []engine.Option{engine.WithWorkers(1)}, nil)
+
+	tracer := obs.NewTracer(64)
+	c, err := New([]string{a1, a2},
+		WithTracer(tracer),
+		// Probes would eject the drained backend before any request saw
+		// it; an hour-long interval keeps it in rotation so requests
+		// homed there actually hit the draining answer and fail over.
+		WithProbeInterval(time.Hour),
+		WithRetryBudget(1, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Drain backend 1 so requests homed there answer draining and fail
+	// over to backend 2.
+	dctx, dcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer dcancel()
+	if err := srv1.Shutdown(dctx); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	// Distinct moduli spread the affinity homes across both backends,
+	// so some requests are homed on the drained one and must fail over
+	// (16 misses in a row has probability 2⁻¹⁶).
+	var traced []obs.TraceID
+	for i := 0; i < 16; i++ {
+		tc := obs.TraceContext{TraceID: obs.NewTraceID(), SpanID: obs.NewSpanID(), Sampled: true}
+		traced = append(traced, tc.TraceID)
+		if _, err := c.ModExp(obs.ContextWithTrace(ctx, tc), testModulus(t, 128),
+			big.NewInt(int64(100+i)), big.NewInt(65537)); err != nil {
+			t.Fatalf("ModExp %d: %v", i, err)
+		}
+	}
+
+	perTrace := map[obs.TraceID][]obs.Span{}
+	for _, s := range tracer.Spans() {
+		if strings.HasPrefix(s.Name, "route/") {
+			perTrace[s.TraceID] = append(perTrace[s.TraceID], s)
+		}
+	}
+	for _, id := range traced {
+		if len(perTrace[id]) == 0 {
+			t.Fatalf("trace %s has no route spans", id)
+		}
+	}
+	var sawFailover bool
+	for _, spans := range perTrace {
+		if len(spans) < 2 {
+			continue
+		}
+		sawFailover = true
+		// The trace must tell the retry story: a failed first attempt
+		// (draining or the connection already refused) and a failover
+		// attempt that succeeded.
+		var failed, failedOver bool
+		for _, s := range spans {
+			attrs := map[string]string{}
+			for _, a := range s.Attrs {
+				attrs[a.Key] = a.Val
+			}
+			if s.Outcome != "ok" {
+				failed = true
+			}
+			if attrs["pick"] == "failover" && s.Outcome == "ok" {
+				failedOver = true
+			}
+		}
+		if !failed || !failedOver {
+			t.Errorf("multi-attempt trace missing the retry story: %+v", spans)
+		}
+	}
+	if !sawFailover {
+		t.Fatal("no request failed over: every trace has a single route span")
+	}
+}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"io"
 	"math/big"
 	"math/rand"
 	"strconv"
@@ -93,6 +94,38 @@ func BenchmarkEngineModExpObserved(b *testing.B) {
 			for i := range results {
 				if results[i].Err != nil {
 					b.Fatal(results[i].Err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}
+
+// BenchmarkEngineModExpSampled measures the cost of the full tracing
+// plane — span ring, trace-context propagation, wide-event log lines
+// (to io.Discard) — on the CIOS production hot path as a function of
+// the head-sampling rate. Each job goes through the per-request path
+// (its own context, a freshly minted root trace context) exactly like
+// a request arriving over the wire. rate=0 is the floor: everything
+// wired up but nothing sampled, so the only cost is the nil-check and
+// the sampling hash. BENCH_obs.json records a run and where the
+// overhead knee sits.
+func BenchmarkEngineModExpSampled(b *testing.B) {
+	for _, rate := range []float64{0, 0.01, 0.1, 1} {
+		b.Run("l=512/w=2/kit=cios/sample="+strconv.FormatFloat(rate, 'g', -1, 64), func(b *testing.B) {
+			col := obs.NewCollector(obs.WithTracing(0),
+				obs.WithWideEvents(obs.NewWideWriter(io.Discard)))
+			eng, err := New(WithWorkers(2), WithKit(kits.CIOS), WithObserver(col))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			_, jobs := benchJobs(512, b.N)
+			b.ResetTimer()
+			for i := range jobs {
+				ctx := obs.ContextWithTrace(context.Background(), obs.NewTraceContext(rate))
+				if _, _, err := eng.ModExp(ctx, jobs[i].N, jobs[i].Base, jobs[i].Exp); err != nil {
+					b.Fatal(err)
 				}
 			}
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")

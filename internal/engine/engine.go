@@ -195,6 +195,7 @@ type Engine struct {
 	healthy atomic.Int64 // workers not currently quarantined
 	integ   *integrity.System
 	iobs    IntegrityObserver
+	sobs    SpanObserver
 
 	// sel resolves kits.Auto to a concrete kit per job; nil unless the
 	// engine was built with WithKitAuto.
@@ -261,6 +262,9 @@ func New(opts ...Option) (*Engine, error) {
 	}
 	if io, ok := cfg.observer.(IntegrityObserver); ok {
 		e.iobs = io
+	}
+	if so, ok := cfg.observer.(SpanObserver); ok {
+		e.sobs = so
 	}
 	e.cache.obs = cfg.observer
 	e.wg.Add(cfg.workers)

@@ -63,12 +63,30 @@ type IntegrityObserver interface {
 	IntegrityEvent(event string, worker int)
 }
 
+// SpanObserver is the optional extension an Observer may also
+// implement to receive the span-shaped superset of JobFinished: the
+// same terminal-state notification carrying everything extra the
+// worker knows — the concrete kit that computed the job, the tail of
+// execution spent in the integrity check, and (for requests sampled by
+// the cluster tracing plane) the trace/span ids that join this job
+// into its request's cross-process trace tree.
+//
+// The engine type-asserts for it at construction, exactly like
+// IntegrityObserver. When present, JobSpan fires INSTEAD of
+// JobFinished for every finish — one or the other, never both, so an
+// implementation backing both methods with one sink (obs.Collector
+// routes JobFinished through JobSpan) counts each job once.
+type SpanObserver interface {
+	JobSpan(s obs.Span)
+}
+
 // internal/obs.Collector must keep satisfying Observer (and the
-// integrity extension) without obs importing engine (the interfaces
-// are matched structurally).
+// integrity and span extensions) without obs importing engine (the
+// interfaces are matched structurally).
 var (
 	_ Observer          = (*obs.Collector)(nil)
 	_ IntegrityObserver = (*obs.Collector)(nil)
+	_ SpanObserver      = (*obs.Collector)(nil)
 )
 
 // kindName reports the observer-facing name of a job kind.

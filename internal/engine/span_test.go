@@ -1,0 +1,266 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/big"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/errs"
+	"repro/internal/faults"
+	"repro/internal/mont"
+	"repro/internal/obs"
+)
+
+// spanRecorder is an Observer that also implements SpanObserver: the
+// engine must then deliver every terminal state through JobSpan and
+// never through JobFinished.
+type spanRecorder struct {
+	mu       sync.Mutex
+	spans    []obs.Span
+	finished int // legacy JobFinished calls — must stay zero
+}
+
+func (r *spanRecorder) JobSubmitted(string)                   {}
+func (r *spanRecorder) JobStarted(string, int, time.Duration) {}
+func (r *spanRecorder) JobFinished(string, int, string, time.Time,
+	time.Duration, time.Duration, int64, int64, int64) {
+	r.mu.Lock()
+	r.finished++
+	r.mu.Unlock()
+}
+func (r *spanRecorder) CacheHit()      {}
+func (r *spanRecorder) CacheMiss()     {}
+func (r *spanRecorder) CacheEviction() {}
+func (r *spanRecorder) JobSpan(s obs.Span) {
+	r.mu.Lock()
+	r.spans = append(r.spans, s)
+	r.mu.Unlock()
+}
+
+// byOutcome returns the recorded spans bucketed by outcome.
+func (r *spanRecorder) byOutcome() map[string][]obs.Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := map[string][]obs.Span{}
+	for _, s := range r.spans {
+		m[s.Outcome] = append(m[s.Outcome], s)
+	}
+	return m
+}
+
+// TestJobSpanReplacesJobFinished: with a SpanObserver attached, every
+// job lands in JobSpan exactly once — OK spans carrying the concrete
+// kit — and the legacy JobFinished hook stays silent (no double
+// counting).
+func TestJobSpanReplacesJobFinished(t *testing.T) {
+	rec := &spanRecorder{}
+	eng, err := New(WithWorkers(2), WithObserver(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	n := big.NewInt(0xF1F1)
+	const count = 6
+	jobs := make([]ModExpJob, count)
+	for i := range jobs {
+		jobs[i] = ModExpJob{N: n, Base: big.NewInt(int64(i + 2)), Exp: big.NewInt(17)}
+	}
+	if _, err := eng.ModExpBatch(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+
+	by := rec.byOutcome()
+	if len(by["ok"]) != count {
+		t.Fatalf("ok spans = %d, want %d", len(by["ok"]), count)
+	}
+	for _, s := range by["ok"] {
+		if s.Kit == "" {
+			t.Errorf("ok span missing its kit: %+v", s)
+		}
+		if s.Muls == 0 || s.ModelCycles == 0 {
+			t.Errorf("ok span missing work accounting: %+v", s)
+		}
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.finished != 0 {
+		t.Fatalf("JobFinished fired %d times alongside JobSpan", rec.finished)
+	}
+}
+
+// TestJobSpanCanceled: a job whose deadline expired before a worker
+// picked it up finishes as a "canceled" span that still carries the
+// sampled request's trace ids — failures must stay joined to their
+// trace, or the traces that matter most are the ones with holes.
+func TestJobSpanCanceled(t *testing.T) {
+	rec := &spanRecorder{}
+	eng, err := New(WithWorkers(1), WithObserver(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	tc := obs.TraceContext{TraceID: obs.NewTraceID(), SpanID: obs.NewSpanID(), Sampled: true}
+	ctx := obs.ContextWithTrace(context.Background(), tc)
+	n := big.NewInt(0xF1F1)
+	res, err := eng.ModExpBatch(ctx, []ModExpJob{
+		{N: n, Base: big.NewInt(5), Exp: big.NewInt(3), Deadline: time.Now().Add(-time.Second)},
+	})
+	if err != nil || res[0].Err == nil {
+		t.Fatalf("expired job: err=%v res=%v", err, res[0].Err)
+	}
+
+	by := rec.byOutcome()
+	if len(by["canceled"]) != 1 {
+		t.Fatalf("canceled spans = %d, want 1 (%v)", len(by["canceled"]), by)
+	}
+	s := by["canceled"][0]
+	if s.TraceID != tc.TraceID || s.Parent != tc.SpanID || s.SpanID.IsZero() {
+		t.Fatalf("canceled span lost its trace join: %+v", s)
+	}
+	if s.Kit != "" {
+		t.Errorf("canceled span claims a kit: %+v", s)
+	}
+}
+
+// TestJobSpanIntegrityFailed: a corrupted result that integrity
+// checking catches (recompute off, so the failure surfaces) finishes
+// as a "failed" span, trace ids intact.
+func TestJobSpanIntegrityFailed(t *testing.T) {
+	rec := &spanRecorder{}
+	eng, err := New(
+		WithWorkers(1),
+		WithObserver(rec),
+		WithFaultInjector(faults.New(faults.WithRate(1), faults.WithSeed(1), faults.WithBitFlip(-1))),
+		WithIntegrityCheck(1),
+		WithIntegrityRecompute(false),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	tc := obs.TraceContext{TraceID: obs.NewTraceID(), SpanID: obs.NewSpanID(), Sampled: true}
+	ctx := obs.ContextWithTrace(context.Background(), tc)
+	rng := rand.New(rand.NewSource(21))
+	n := randOdd(rng, 64)
+	_, _, err = eng.ModExp(ctx, n, big.NewInt(5), big.NewInt(65537))
+	if !errors.Is(err, errs.ErrIntegrity) {
+		t.Fatalf("err = %v, want wrapped ErrIntegrity", err)
+	}
+
+	by := rec.byOutcome()
+	if len(by["failed"]) != 1 {
+		t.Fatalf("failed spans = %d, want 1 (%v)", len(by["failed"]), by)
+	}
+	s := by["failed"][0]
+	if s.TraceID != tc.TraceID || s.Parent != tc.SpanID {
+		t.Fatalf("failed span lost its trace join: %+v", s)
+	}
+	if len(by["ok"]) != 0 {
+		t.Errorf("corrupted job also finished ok: %v", by["ok"])
+	}
+}
+
+// TestJobSpanWatchdogAbandoned: a job the watchdog abandons finishes
+// as a "failed" span — the stuck goroutine never reports, the worker
+// does, so the trace still closes.
+func TestJobSpanWatchdogAbandoned(t *testing.T) {
+	gate := make(chan struct{})
+	clk := &fakeClock{}
+	rec := &spanRecorder{}
+	eng, err := New(
+		WithWorkers(1),
+		WithObserver(rec),
+		WithWatchdog(4),
+		withClock(clk),
+		withFactories(func(worker int, ctx *mont.Ctx) (multiplier, error) {
+			return blockingMul{gate: gate, ctx: ctx}, nil
+		}, nil),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(61))
+	n := randOdd(rng, 64)
+	tc := obs.TraceContext{TraceID: obs.NewTraceID(), SpanID: obs.NewSpanID(), Sampled: true}
+	ctx := obs.ContextWithTrace(context.Background(), tc)
+
+	montErr := make(chan error, 1)
+	go func() {
+		_, err := eng.Mont(ctx, n, big.NewInt(5), big.NewInt(7))
+		montErr <- err
+	}()
+	clk.fire(t, 5*time.Second) // expire the watchdog budget
+	select {
+	case err := <-montErr:
+		if !errors.Is(err, errs.ErrIntegrity) {
+			t.Fatalf("err = %v, want wrapped ErrIntegrity", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog never fired")
+	}
+
+	by := rec.byOutcome()
+	if len(by["failed"]) != 1 {
+		t.Fatalf("failed spans = %d, want 1 (%v)", len(by["failed"]), by)
+	}
+	if s := by["failed"][0]; s.TraceID != tc.TraceID {
+		t.Fatalf("watchdog span lost its trace join: %+v", s)
+	}
+	if eng.Stats().WatchdogTimeouts != 1 {
+		t.Fatalf("WatchdogTimeouts = %d, want 1", eng.Stats().WatchdogTimeouts)
+	}
+
+	// Unwedge the stray goroutine so the engine can close cleanly.
+	close(gate)
+	waitFor(t, 5*time.Second, "reinstatement", func() bool {
+		return eng.HealthyWorkers() == 1
+	})
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJobSpanRequeuedRecompute: with recompute on, a corrupted job is
+// requeued (a non-terminal "requeued" span) and finishes ok on the
+// second run — two spans, one job, no lost accounting.
+func TestJobSpanRequeuedRecompute(t *testing.T) {
+	rec := &spanRecorder{}
+	eng, err := New(
+		WithWorkers(2),
+		WithObserver(rec),
+		WithFaultInjector(faults.New(faults.WithRate(1), faults.WithSeed(1),
+			faults.WithBitFlip(-1), faults.WithOneShot())),
+		WithIntegrityCheck(1),
+		WithIntegrityRecompute(true),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	rng := rand.New(rand.NewSource(31))
+	n := randOdd(rng, 64)
+	v, _, err := eng.ModExp(context.Background(), n, big.NewInt(5), big.NewInt(65537))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Cmp(new(big.Int).Exp(big.NewInt(5), big.NewInt(65537), n)) != 0 {
+		t.Fatal("recomputed answer is wrong")
+	}
+
+	by := rec.byOutcome()
+	if len(by["ok"]) != 1 {
+		t.Fatalf("ok spans = %d, want 1 (%v)", len(by["ok"]), by)
+	}
+	if len(by["requeued"])+len(by["failed"]) == 0 {
+		t.Fatalf("corruption left no requeued/failed span: %v", by)
+	}
+}

@@ -30,6 +30,13 @@ type counters struct {
 	// kits.Auto this is where the selector's choices become visible.
 	kitJobs [kits.NumKits]atomic.Int64
 
+	// kitLatency distributes completed-job latency per concrete kit.
+	// kitJobs says the selector picked CIOS; these say whether that
+	// pick was actually faster — an Auto-selection regression moves a
+	// kit's percentiles while the aggregate latency histogram smears
+	// the shift across every kit.
+	kitLatency [kits.NumKits]obs.Histogram
+
 	integrityFailures atomic.Int64 // results refuted by a check
 	panics            atomic.Int64 // core panics recovered
 	watchdogTimeouts  atomic.Int64 // jobs stuck past their cycle budget
@@ -78,6 +85,10 @@ type Stats struct {
 	// across entries shows the selector's per-job choices.
 	KitJobs map[kits.Kit]int64
 
+	// KitLatency holds per-kit submit→finish latency distributions for
+	// every kit that completed at least one job.
+	KitLatency map[kits.Kit]obs.HistogramSnapshot
+
 	// Integrity subsystem (all zero unless WithIntegrityCheck /
 	// WithWatchdog is in effect or a core panicked).
 	IntegrityFailures int64 // results refuted by a residue/re-verification check
@@ -106,9 +117,11 @@ func (e *Engine) Stats() Stats {
 	hits, misses, evictions := e.cache.counts()
 	lat := e.ctr.latency.Snapshot()
 	kitJobs := make(map[kits.Kit]int64, kits.NumKits)
+	kitLat := make(map[kits.Kit]obs.HistogramSnapshot, kits.NumKits)
 	for i := 0; i < kits.NumKits; i++ {
 		if v := e.ctr.kitJobs[i].Load(); v > 0 {
 			kitJobs[kits.Kit(i)] = v
+			kitLat[kits.Kit(i)] = e.ctr.kitLatency[i].Snapshot()
 		}
 	}
 	return Stats{
@@ -126,6 +139,7 @@ func (e *Engine) Stats() Stats {
 		CtxMisses:      int64(misses),
 		CtxEvictions:   int64(evictions),
 		KitJobs:        kitJobs,
+		KitLatency:     kitLat,
 
 		IntegrityFailures: e.ctr.integrityFailures.Load(),
 		Panics:            e.ctr.panics.Load(),
@@ -134,11 +148,11 @@ func (e *Engine) Stats() Stats {
 		Reinstatements:    e.ctr.reinstated.Load(),
 		Recomputes:        e.ctr.recomputes.Load(),
 		HealthyWorkers:    int(e.healthy.Load()),
-		Latency:        lat,
-		FailedLatency:  e.ctr.failedLat.Snapshot(),
-		QueueWait:      e.ctr.queueWait.Snapshot(),
-		ExecTime:       e.ctr.execTime.Snapshot(),
-		TotalWall:      time.Duration(lat.Sum),
+		Latency:           lat,
+		FailedLatency:     e.ctr.failedLat.Snapshot(),
+		QueueWait:         e.ctr.queueWait.Snapshot(),
+		ExecTime:          e.ctr.execTime.Snapshot(),
+		TotalWall:         time.Duration(lat.Sum),
 	}
 }
 

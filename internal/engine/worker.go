@@ -12,6 +12,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/integrity"
 	"repro/internal/kits"
+	"repro/internal/obs"
 )
 
 // exponentiator and multiplier are the result-bearing surfaces the
@@ -152,6 +153,13 @@ func (w *worker) run(j *job) bool {
 		ob.JobStarted(j.kind.kindName(), w.id, queueWait)
 	}
 
+	// doneKit and integDur accumulate what the span reports beyond the
+	// legacy JobFinished payload: the concrete kit (set on the OK path
+	// only — a failed job's kit field would be a zero-value lie) and
+	// the tail of execution spent re-verifying the result.
+	doneKit := kits.Kit(-1)
+	var integDur time.Duration
+
 	finish := func(outcome string, muls, modelCycles, simCycles int64) {
 		exec := time.Since(dequeued)
 		switch outcome {
@@ -159,6 +167,9 @@ func (w *worker) run(j *job) bool {
 			ctr.completed.Add(1)
 			ctr.latency.Observe((queueWait + exec).Nanoseconds())
 			ctr.execTime.Observe(exec.Nanoseconds())
+			if doneKit >= 0 && int(doneKit) < kits.NumKits {
+				ctr.kitLatency[doneKit].Observe((queueWait + exec).Nanoseconds())
+			}
 		case outcomeCanceled:
 			ctr.canceled.Add(1)
 			ctr.failedLat.Observe((queueWait + exec).Nanoseconds())
@@ -169,7 +180,22 @@ func (w *worker) run(j *job) bool {
 			ctr.failed.Add(1)
 			ctr.failedLat.Observe((queueWait + exec).Nanoseconds())
 		}
-		if ob != nil {
+		switch {
+		case w.eng.sobs != nil:
+			s := obs.Span{
+				Name: j.kind.kindName(), Worker: w.id, Outcome: outcome,
+				Start: j.enqueued, QueueWait: queueWait, Exec: exec,
+				Integrity: integDur,
+				Muls:      muls, ModelCycles: modelCycles, SimCycles: simCycles,
+			}
+			if doneKit >= 0 && int(doneKit) < kits.NumKits {
+				s.Kit = doneKit.String()
+			}
+			if tc, ok := obs.TraceFromContext(j.ctx); ok && tc.Sampled {
+				s.TraceID, s.Parent, s.SpanID = tc.TraceID, tc.SpanID, obs.NewSpanID()
+			}
+			w.eng.sobs.JobSpan(s)
+		case ob != nil:
 			ob.JobFinished(j.kind.kindName(), w.id, outcome, j.enqueued,
 				queueWait, exec, muls, modelCycles, simCycles)
 		}
@@ -188,7 +214,10 @@ func (w *worker) run(j *job) bool {
 
 	res := w.execute(j)
 	if !res.corrupt && res.err == nil && w.eng.cfg.integrity {
-		if ierr := w.verify(j, res.v); ierr != nil {
+		vStart := time.Now()
+		ierr := w.verify(j, res.v)
+		integDur = time.Since(vStart)
+		if ierr != nil {
 			ctr.integrityFailures.Add(1)
 			w.eng.integrityEvent("check_failed", w.id)
 			res = jobResult{err: ierr, corrupt: true}
@@ -224,6 +253,7 @@ func (w *worker) run(j *job) bool {
 	ctr.simCycles.Add(res.wk.simCycles)
 	if res.kt >= 0 && int(res.kt) < kits.NumKits {
 		ctr.kitJobs[res.kt].Add(1)
+		doneKit = res.kt
 	}
 	finish(outcomeOK, res.wk.muls, res.wk.modelCycles, res.wk.simCycles)
 	return true

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"sync"
 	"time"
 )
 
@@ -18,6 +19,7 @@ import (
 type Collector struct {
 	reg    *Registry
 	tracer *Tracer
+	wide   *WideWriter
 
 	submitted map[string]*Counter // by job kind
 	finished  map[string]*Counter // by kind — labeled also by outcome below
@@ -34,6 +36,14 @@ type Collector struct {
 	exec      *Histogram
 	failedLat *Histogram
 
+	// kitLat holds submit→finish latency histograms per concrete
+	// compute kit, registered lazily on the first job a kit completes
+	// (obs cannot enumerate the engine's kits without importing it).
+	// The read-locked fast path costs one RWMutex.RLock per completed
+	// job; registration happens once per kit name.
+	kitMu  sync.RWMutex
+	kitLat map[string]*Histogram
+
 	cacheHits      *Counter
 	cacheMisses    *Counter
 	cacheEvictions *Counter
@@ -49,6 +59,7 @@ type collectorConfig struct {
 	registry *Registry
 	traceCap int
 	tracing  bool
+	wide     *WideWriter
 }
 
 // WithRegistry collects into an existing registry (default: a fresh
@@ -61,6 +72,12 @@ func WithRegistry(r *Registry) CollectorOption {
 // capacity spans (≤ 0 selects DefaultTraceCapacity).
 func WithTracing(capacity int) CollectorOption {
 	return func(c *collectorConfig) { c.tracing, c.traceCap = true, capacity }
+}
+
+// WithWideEvents emits one wide JSON log line per sampled job the
+// engine finishes (layer "engine"). A nil writer leaves it off.
+func WithWideEvents(w *WideWriter) CollectorOption {
+	return func(c *collectorConfig) { c.wide = w }
 }
 
 // jobKinds are the engine's job kinds; anything else lands on "other".
@@ -92,11 +109,13 @@ func NewCollector(opts ...CollectorOption) *Collector {
 	}
 	c := &Collector{
 		reg:       reg,
+		wide:      cfg.wide,
 		submitted: map[string]*Counter{},
 		finished:  map[string]*Counter{},
 		outcomes:  map[string]map[string]*Counter{},
 		muls:      map[string]*Counter{},
 		latency:   map[string]*Histogram{},
+		kitLat:    map[string]*Histogram{},
 	}
 	if cfg.tracing {
 		c.tracer = NewTracer(cfg.traceCap)
@@ -193,34 +212,77 @@ func (c *Collector) JobStarted(kind string, worker int, queueWait time.Duration)
 // ("ok" | "failed" | "canceled") on the given worker core. start is the
 // enqueue instant; queueWait and exec split its total latency; muls,
 // modelCycles and simCycles are the job's own work accounting (zero
-// for failures).
+// for failures). It is the span-less compatibility path: the full
+// bookkeeping lives in JobSpan, which engines that know about spans
+// (kit identity, trace context, integrity timing) call directly.
 func (c *Collector) JobFinished(kind string, worker int, outcome string,
 	start time.Time, queueWait, exec time.Duration, muls, modelCycles, simCycles int64) {
-	kind = c.kind(kind)
+	c.JobSpan(Span{
+		Name: kind, Worker: worker, Outcome: outcome,
+		Start: start, QueueWait: queueWait, Exec: exec,
+		Muls: muls, ModelCycles: modelCycles, SimCycles: simCycles,
+	})
+}
+
+// JobSpan implements engine.SpanObserver: the span-shaped superset of
+// JobFinished. One call does all terminal-state bookkeeping — outcome
+// counters, latency/exec histograms (aggregate and per-kit), work
+// accounting, the tracer ring, and (for sampled spans with wide
+// events on) one wide engine log line.
+func (c *Collector) JobSpan(s Span) {
+	kind := c.kind(s.Name)
 	c.finished[kind].Inc()
-	if m, ok := c.outcomes[kind][outcome]; ok {
+	if m, ok := c.outcomes[kind][s.Outcome]; ok {
 		m.Inc()
 	}
-	total := queueWait + exec
-	switch outcome {
+	total := s.QueueWait + s.Exec
+	switch s.Outcome {
 	case "ok":
 		c.latency[kind].ObserveDuration(total)
-		c.exec.ObserveDuration(exec)
-		c.muls[kind].Add(muls)
-		c.modelCycles.Add(modelCycles)
-		c.simCycles.Add(simCycles)
+		c.exec.ObserveDuration(s.Exec)
+		c.muls[kind].Add(s.Muls)
+		c.modelCycles.Add(s.ModelCycles)
+		c.simCycles.Add(s.SimCycles)
+		if s.Kit != "" {
+			c.kitLatency(s.Kit).ObserveDuration(total)
+		}
 	case "requeued":
 		// Not terminal: the job's next run does the latency accounting.
 	default:
 		c.failedLat.ObserveDuration(total)
 	}
 	if c.tracer != nil {
-		c.tracer.Record(Span{
-			Name: kind, Worker: worker, Outcome: outcome,
-			Start: start, QueueWait: queueWait, Exec: exec,
-			SimCycles: simCycles,
+		c.tracer.Record(s)
+	}
+	if c.wide != nil && !s.TraceID.IsZero() {
+		c.wide.Emit(&WideEvent{
+			Layer: "engine", Op: kind,
+			TraceID: s.TraceID, SpanID: s.SpanID, Parent: s.Parent,
+			Outcome: s.Outcome, Kit: s.Kit,
+			Dur: total, Queue: s.QueueWait,
 		})
 	}
+}
+
+// kitLatency returns the per-kit latency histogram, registering it on
+// first use.
+func (c *Collector) kitLatency(kit string) *Histogram {
+	c.kitMu.RLock()
+	h := c.kitLat[kit]
+	c.kitMu.RUnlock()
+	if h != nil {
+		return h
+	}
+	c.kitMu.Lock()
+	defer c.kitMu.Unlock()
+	if h := c.kitLat[kit]; h != nil {
+		return h
+	}
+	h = c.reg.HistogramLabeled("montsys_job_kit_latency_seconds",
+		"Submit-to-finish latency of completed jobs by concrete compute kit.",
+		Label("kit", kit))
+	c.kitLat[kit] = h
+	return h
 }
 
 // CacheHit implements engine.Observer.
@@ -247,5 +309,11 @@ func (c *Collector) IntegrityEvent(event string, worker int) {
 		c.quarantinedWorkers.Add(1)
 	case "reinstate":
 		c.quarantinedWorkers.Add(-1)
+	}
+	// Quarantines and reinstatements are rare, load-bearing moments —
+	// mark them on the worker's trace track so a Perfetto view shows
+	// when the core was benched amid its job slices.
+	if c.tracer != nil && (event == "quarantine" || event == "reinstate") {
+		c.tracer.RecordInstant("integrity/"+event, worker, time.Now())
 	}
 }

@@ -145,6 +145,22 @@ func (s HistogramSnapshot) Quantile(q float64) int64 {
 	return s.Max
 }
 
+// CountAtOrBelow returns how many samples landed in buckets wholly at
+// or below v — the "good event" count for a latency SLO with objective
+// v. The objective effectively rounds up to the enclosing bucket
+// boundary (log₂ buckets: ≤ 2× coarse), which is the resolution this
+// histogram offers; SLO consumers document the rounded bound.
+func (s HistogramSnapshot) CountAtOrBelow(v int64) int64 {
+	var cum int64
+	for i := range s.Buckets {
+		if BucketUpper(i) > v {
+			break
+		}
+		cum += s.Buckets[i]
+	}
+	return cum
+}
+
 // Mean returns the average sample, 0 if empty.
 func (s HistogramSnapshot) Mean() float64 {
 	if s.Count == 0 {

@@ -22,15 +22,24 @@ import (
 // then scrape /metrics, run `go tool pprof host:9090/debug/pprof/profile`,
 // and open /trace in Perfetto (ui.perfetto.dev).
 func NewHandler(c *Collector) http.Handler {
+	return NewMux(c.Registry(), c.Tracer(), nil)
+}
+
+// NewMux builds the same observability mux from the parts directly —
+// for processes without an engine Collector (montsyslb collects into a
+// bare registry) or with an SLO tracker to serve. A nil tracer makes
+// /trace answer 404; a nil slo does the same for /statusz.
+func NewMux(r *Registry, t *Tracer, slo *SLOTracker) http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", MetricsHandler(c.Registry()))
+	mux.Handle("/metrics", MetricsHandler(r))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.Handle("/trace", TraceHandler(c.Tracer()))
+	mux.Handle("/trace", TraceHandler(t))
+	mux.Handle("/statusz", StatuszHandler(slo))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -39,6 +48,7 @@ func NewHandler(c *Collector) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, "montsys observability\n\n"+
 			"/metrics          Prometheus text format\n"+
+			"/statusz          human SLO page (burn rates per objective and window)\n"+
 			"/debug/vars       expvar JSON\n"+
 			"/debug/pprof/     pprof index (profile, heap, goroutine, ...)\n"+
 			"/trace            Chrome trace-event JSON (open in Perfetto)\n")
@@ -70,5 +80,18 @@ func TraceHandler(t *Tracer) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("Content-Disposition", `attachment; filename="montsys-trace.json"`)
 		_ = t.WriteChromeTrace(w)
+	})
+}
+
+// StatuszHandler serves an SLO tracker's human status page. A nil
+// tracker answers 404.
+func StatuszHandler(t *SLOTracker) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if t == nil {
+			http.Error(w, "SLO tracking disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		t.WriteStatusz(w)
 	})
 }

@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// sloWindows are the burn-rate lookback windows: the fast window pages
+// on sharp regressions, the slow window on sustained slow burn — the
+// standard multi-window pairing, sized to this system's 1h metric
+// horizon.
+var sloWindows = []struct {
+	name string
+	dur  time.Duration
+}{
+	{"5m", 5 * time.Minute},
+	{"1h", time.Hour},
+}
+
+// SLOSource reports an objective's cumulative totals since process
+// start: how many events happened and how many violated the objective.
+// Sources are closures over the existing registry counters and
+// histograms — the SLO plane derives everything from metrics that are
+// already collected, it never instruments the hot path itself.
+type SLOSource func() (total, bad int64)
+
+// objective is one registered SLO: a named source, a target (e.g.
+// 0.999 = 99.9% of events good), and the exported burn-rate gauges.
+type objective struct {
+	name   string
+	detail string // human description for /statusz
+	target float64
+	src    SLOSource
+	burn   []*Gauge // per window, milli-units
+}
+
+// cum is one objective's cumulative (total, bad) at a sample instant.
+type cum struct{ total, bad int64 }
+
+// SLOTracker turns cumulative good/bad sources into rolling
+// multi-window burn rates. Every interval it snapshots each source
+// into a time-stamped ring (sized to the longest window) and, per
+// objective and window, computes
+//
+//	burn = (Δbad/Δtotal) / (1 − target)
+//
+// — the rate the error budget is being spent: 1.0 burns exactly the
+// budget, 14.4 on the 5m window is the classic "page now" threshold.
+// Burn rates are exported as montsys_slo_burn_rate_milli{slo,window}
+// gauges (milli-units: the registry's gauges are integers) and as the
+// human /statusz page.
+type SLOTracker struct {
+	mu         sync.Mutex
+	reg        *Registry
+	interval   time.Duration
+	objectives []*objective
+	ring       []sloSample
+	next       int
+	full       bool
+	started    time.Time
+	stop       chan struct{}
+	stopOnce   sync.Once
+	now        func() time.Time // test seam
+}
+
+type sloSample struct {
+	at   time.Time
+	vals []cum // parallel to objectives at sample time
+}
+
+// NewSLOTracker builds a tracker snapshotting every interval (≤ 0
+// selects 10s) into reg. Call AddObjective, then Start.
+func NewSLOTracker(reg *Registry, interval time.Duration) *SLOTracker {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	depth := int(sloWindows[len(sloWindows)-1].dur/interval) + 2
+	t := &SLOTracker{
+		reg:      reg,
+		interval: interval,
+		ring:     make([]sloSample, depth),
+		stop:     make(chan struct{}),
+		now:      time.Now,
+	}
+	t.started = t.now()
+	return t
+}
+
+// AddObjective registers one SLO: name labels the exported series,
+// detail describes it on /statusz, target is the good fraction
+// objective (0 < target < 1, e.g. 0.999), src its cumulative counter
+// pair. Safe to call before Start; not safe concurrently with it.
+func (t *SLOTracker) AddObjective(name, detail string, target float64, src SLOSource) {
+	if target <= 0 || target >= 1 {
+		// A target of exactly 1 makes the budget zero and every burn
+		// rate infinite; clamp into the open interval instead.
+		if target >= 1 {
+			target = 0.9999999
+		} else {
+			target = 0.5
+		}
+	}
+	o := &objective{name: name, detail: detail, target: target, src: src}
+	for _, w := range sloWindows {
+		o.burn = append(o.burn, t.reg.GaugeLabeled("montsys_slo_burn_rate_milli",
+			"Error-budget burn rate per objective and window, in milli-units (1000 = burning exactly the budget).",
+			Label("slo", name), Label("window", w.name)))
+	}
+	t.mu.Lock()
+	t.objectives = append(t.objectives, o)
+	t.mu.Unlock()
+}
+
+// Start launches the periodic sampler. Close stops it.
+func (t *SLOTracker) Start() {
+	go func() {
+		tick := time.NewTicker(t.interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-t.stop:
+				return
+			case <-tick.C:
+				t.Tick()
+			}
+		}
+	}()
+}
+
+// Close stops the sampler goroutine. Idempotent.
+func (t *SLOTracker) Close() { t.stopOnce.Do(func() { close(t.stop) }) }
+
+// Tick takes one sample and refreshes the burn-rate gauges. Called by
+// the Start loop; exported so tests and /statusz can force a fresh
+// sample without waiting out the interval.
+func (t *SLOTracker) Tick() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	s := sloSample{at: now, vals: make([]cum, len(t.objectives))}
+	for i, o := range t.objectives {
+		total, bad := o.src()
+		s.vals[i] = cum{total, bad}
+	}
+	t.ring[t.next] = s
+	t.next++
+	if t.next == len(t.ring) {
+		t.next, t.full = 0, true
+	}
+	for i, o := range t.objectives {
+		for wi, w := range sloWindows {
+			burn, _, _, _ := t.windowBurn(now, i, o, w.dur, s.vals[i])
+			o.burn[wi].Set(int64(burn*1000 + 0.5))
+		}
+	}
+}
+
+// windowBurn computes one objective's burn over the trailing window
+// ending at now, given its current cumulative values. The baseline is
+// the newest ring sample at least window old (or the oldest held one
+// during warm-up, when the process is younger than the window). Must
+// be called with t.mu held.
+func (t *SLOTracker) windowBurn(now time.Time, idx int, o *objective,
+	window time.Duration, cur cum) (burn, badRatio float64, dTotal, dBad int64) {
+	cutoff := now.Add(-window)
+	var base cum
+	found := false
+	held := t.next
+	if t.full {
+		held = len(t.ring)
+	}
+	// Scan newest-to-oldest; the first sample at or before the cutoff
+	// is the tightest baseline. Fall back to the oldest held sample.
+	for k := 1; k <= held; k++ {
+		i := (t.next - k + len(t.ring)) % len(t.ring)
+		s := t.ring[i]
+		if idx >= len(s.vals) {
+			break // objective added after this sample was taken
+		}
+		base, found = s.vals[idx], true
+		if !s.at.After(cutoff) {
+			break
+		}
+	}
+	if !found {
+		return 0, 0, 0, 0
+	}
+	dTotal, dBad = cur.total-base.total, cur.bad-base.bad
+	if dTotal <= 0 {
+		return 0, 0, dTotal, dBad
+	}
+	badRatio = float64(dBad) / float64(dTotal)
+	burn = badRatio / (1 - o.target)
+	return burn, badRatio, dTotal, dBad
+}
+
+// WriteStatusz renders the human SLO page: one line per objective and
+// window, greppable and machine-parsable (key=value pairs). Takes a
+// fresh sample first so the page is never staler than one HTTP round
+// trip.
+func (t *SLOTracker) WriteStatusz(w io.Writer) {
+	t.Tick()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	fmt.Fprintf(w, "montsys SLO status — burn_rate 1.00 spends exactly the error budget; >1 overspends\n")
+	fmt.Fprintf(w, "uptime=%s interval=%s objectives=%d\n\n",
+		now.Sub(t.started).Round(time.Second), t.interval, len(t.objectives))
+	order := make([]int, len(t.objectives))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return t.objectives[order[i]].name < t.objectives[order[j]].name
+	})
+	for _, idx := range order {
+		o := t.objectives[idx]
+		total, bad := o.src()
+		cur := cum{total, bad}
+		fmt.Fprintf(w, "# %s: %s (target %.4g%%)\n", o.name, o.detail, o.target*100)
+		for _, win := range sloWindows {
+			burn, badRatio, dTotal, dBad := t.windowBurn(now, idx, o, win.dur, cur)
+			fmt.Fprintf(w,
+				"slo=%s window=%s target=%.6f total=%d bad=%d bad_ratio=%.6f burn_rate=%.4f\n",
+				o.name, win.name, o.target, dTotal, dBad, badRatio, burn)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sloClock drives an SLOTracker through fabricated time.
+type sloClock struct{ at time.Time }
+
+func (c *sloClock) now() time.Time          { return c.at }
+func (c *sloClock) advance(d time.Duration) { c.at = c.at.Add(d) }
+func newSLOClock() *sloClock                { return &sloClock{at: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)} }
+func tickAt(t *SLOTracker, c *sloClock, d time.Duration) {
+	c.advance(d)
+	t.Tick()
+}
+
+// TestSLOBurnRateMath pins the burn-rate formula on a fabricated
+// timeline: a service at 99.9% target that serves 1000 req/min and
+// starts failing 10/min burns 10× budget on the 5m window once the
+// window holds only bad minutes, while the 1h window — diluted by the
+// clean head — burns less.
+func TestSLOBurnRateMath(t *testing.T) {
+	reg := NewRegistry()
+	clk := newSLOClock()
+	tr := NewSLOTracker(reg, time.Minute)
+	tr.now = clk.now
+
+	var total, bad int64
+	tr.AddObjective("modexp_availability", "modexp requests answered ok", 0.999,
+		func() (int64, int64) { return total, bad })
+
+	tr.Tick() // baseline sample at t=0
+	// Five clean minutes, then five minutes failing 1% of traffic.
+	for m := 1; m <= 10; m++ {
+		total += 1000
+		if m > 5 {
+			bad += 10
+		}
+		tickAt(tr, clk, time.Minute)
+	}
+
+	// 5m window: baseline = minute-5 sample → Δtotal 5000, Δbad 50,
+	// bad_ratio 0.01, burn 0.01/0.001 = 10 → 10000 milli.
+	// 1h window: warm-up fallback to the oldest sample (t=0) → Δtotal
+	// 10000, Δbad 50, bad_ratio 0.005, burn 5 → 5000 milli.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`montsys_slo_burn_rate_milli{slo="modexp_availability",window="5m"} 10000`,
+		`montsys_slo_burn_rate_milli{slo="modexp_availability",window="1h"} 5000`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSLOBurnZeroTraffic: an idle objective (no new events in the
+// window) burns nothing rather than dividing by zero.
+func TestSLOBurnZeroTraffic(t *testing.T) {
+	reg := NewRegistry()
+	clk := newSLOClock()
+	tr := NewSLOTracker(reg, time.Minute)
+	tr.now = clk.now
+	tr.AddObjective("idle", "no traffic", 0.999, func() (int64, int64) { return 0, 0 })
+	tr.Tick()
+	for i := 0; i < 8; i++ {
+		tickAt(tr, clk, time.Minute)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `montsys_slo_burn_rate_milli{slo="idle",window="5m"} 0`) {
+		t.Errorf("idle burn not zero:\n%s", sb.String())
+	}
+}
+
+// TestSLOTargetClamp: a target of exactly 1 (zero error budget) is
+// clamped instead of producing infinite burn rates.
+func TestSLOTargetClamp(t *testing.T) {
+	reg := NewRegistry()
+	clk := newSLOClock()
+	tr := NewSLOTracker(reg, time.Minute)
+	tr.now = clk.now
+	var total, bad int64
+	tr.AddObjective("strict", "impossible target", 1.0,
+		func() (int64, int64) { return total, bad })
+	tr.Tick()
+	total, bad = 1000, 1000 // everything fails
+	tickAt(tr, clk, time.Minute)
+	// Must not panic or overflow; the gauge just reads very large.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `slo="strict"`) {
+		t.Errorf("strict objective not exported:\n%s", sb.String())
+	}
+}
+
+// TestWriteStatuszParses: the /statusz page carries one machine-
+// parsable key=value line per objective and window, with burn_rate
+// agreeing with the exported gauge.
+func TestWriteStatuszParses(t *testing.T) {
+	reg := NewRegistry()
+	clk := newSLOClock()
+	tr := NewSLOTracker(reg, time.Minute)
+	tr.now = clk.now
+	var total, bad int64
+	tr.AddObjective("modexp_availability", "modexp requests answered ok", 0.999,
+		func() (int64, int64) { return total, bad })
+	tr.Tick()
+	for m := 1; m <= 5; m++ {
+		total += 1000
+		bad += 10
+		tickAt(tr, clk, time.Minute)
+	}
+
+	var sb strings.Builder
+	tr.WriteStatusz(&sb)
+	out := sb.String()
+
+	found := false
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "slo=modexp_availability window=5m ") {
+			continue
+		}
+		found = true
+		fields := map[string]string{}
+		for _, kv := range strings.Fields(line) {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				t.Fatalf("malformed field %q in %q", kv, line)
+			}
+			fields[k] = v
+		}
+		burn, err := strconv.ParseFloat(fields["burn_rate"], 64)
+		if err != nil {
+			t.Fatalf("burn_rate %q: %v", fields["burn_rate"], err)
+		}
+		// All 5 minutes in the window failed 1% → burn 10.
+		if burn < 9.9 || burn > 10.1 {
+			t.Errorf("burn_rate = %v, want ≈ 10", burn)
+		}
+		if fields["target"] != "0.999000" {
+			t.Errorf("target = %q", fields["target"])
+		}
+		if fields["total"] != "5000" || fields["bad"] != "50" {
+			t.Errorf("deltas: total=%q bad=%q", fields["total"], fields["bad"])
+		}
+	}
+	if !found {
+		t.Fatalf("no 5m line for the objective:\n%s", out)
+	}
+	if !strings.Contains(out, "window=1h") {
+		t.Errorf("statusz missing the 1h window:\n%s", out)
+	}
+}

@@ -99,19 +99,43 @@ func TestChromeTraceExport(t *testing.T) {
 		t.Errorf("event census: %d metas, %d queued, %d execs (want 2 each)",
 			metas, queued, execs)
 	}
-	// Second span enqueued 1ms after the first → exec slice starts at
-	// 1000µs + 100µs wait.
+	// Timestamps are absolute wall-clock µs (so traces exported by
+	// separate processes line up when merged). The second span was
+	// enqueued 1ms after the first and waited 100µs, so its exec slice
+	// starts at base + 1100µs.
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	wantTs := float64(base.Add(1100*time.Microsecond).UnixNano()) / 1e3
 	found := false
 	for _, ev := range doc.TraceEvents {
 		if ev.Phase == "X" && ev.Name == "modexp" && ev.Tid == 1 {
 			found = true
-			if ev.Ts != 1100 {
-				t.Errorf("second exec ts = %v µs, want 1100", ev.Ts)
+			if ev.Ts != wantTs {
+				t.Errorf("second exec ts = %v µs, want %v", ev.Ts, wantTs)
 			}
 		}
 	}
 	if !found {
 		t.Error("missing exec slice for worker 1")
+	}
+}
+
+// TestChromeTraceProcessMetadata: SetProcess adds a process_name
+// metadata event and stamps every event with the real pid, so merged
+// multi-process traces attribute slices to the right daemon.
+func TestChromeTraceProcessMetadata(t *testing.T) {
+	tr := NewTracer(4)
+	tr.SetProcess("montsysd")
+	tr.Record(span(0, 0))
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"process_name"`) || !strings.Contains(out, "montsysd") {
+		t.Errorf("export missing process_name metadata: %s", out)
+	}
+	if strings.Contains(out, `"pid":1,`) {
+		t.Errorf("export still uses placeholder pid 1: %s", out)
 	}
 }
 

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"context"
+	"encoding/hex"
+	mrand "math/rand/v2"
+)
+
+// TraceID identifies one request end to end: 16 opaque bytes minted at
+// the edge (montsys.Client or loadgen) and carried unchanged through
+// the balancer, the backend server and the engine. The zero value
+// means "untraced".
+type TraceID [16]byte
+
+// SpanID identifies one span within a trace: 8 opaque bytes. The zero
+// value means "no parent" (a root span).
+type SpanID [8]byte
+
+// IsZero reports whether the id is the all-zero (untraced) value.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// IsZero reports whether the id is the all-zero (root) value.
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// String renders the id as 32 lowercase hex digits (W3C traceparent
+// style), the form loadgen prints for failed requests and the trace
+// export writes into span args.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// String renders the id as 16 lowercase hex digits.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// ParseTraceID decodes the 32-hex-digit form String produces.
+func ParseTraceID(s string) (TraceID, bool) {
+	var id TraceID
+	if len(s) != 2*len(id) {
+		return TraceID{}, false
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return TraceID{}, false
+	}
+	return id, true
+}
+
+// NewTraceID mints a random trace id. math/rand/v2's global generator
+// is seeded from the OS and safe for concurrent use; trace ids need
+// uniqueness, not unpredictability.
+func NewTraceID() TraceID {
+	var id TraceID
+	hi, lo := mrand.Uint64(), mrand.Uint64()
+	for i := 0; i < 8; i++ {
+		id[i] = byte(hi >> (8 * uint(i)))
+		id[8+i] = byte(lo >> (8 * uint(i)))
+	}
+	return id
+}
+
+// NewSpanID mints a random span id.
+func NewSpanID() SpanID {
+	var id SpanID
+	v := mrand.Uint64()
+	for i := 0; i < 8; i++ {
+		id[i] = byte(v >> (8 * uint(i)))
+	}
+	return id
+}
+
+// SampledAt decides head-based sampling for this trace id at the given
+// rate (0 = never, 1 = always). The decision is a deterministic
+// function of the id — an FNV-1a hash compared against rate·2⁶⁴ — so
+// every process that sees the same trace id reaches the same verdict
+// without coordination, and a fleet sampling at mixed rates still
+// nests correctly (a 1% backend keeps every span of a trace a 1%
+// client chose to sample).
+func (id TraceID) SampledAt(rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range id {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	// Compare in 53-bit space so rate·2⁵³ converts to uint64 exactly
+	// (float64 holds 53 mantissa bits; rate < 1 keeps it in range).
+	return h>>11 < uint64(rate*float64(1<<53))
+}
+
+// TraceContext is the per-request trace state that rides a
+// context.Context across layers and (via the traced wire ops) across
+// processes: the trace id, the span id of the current enclosing span —
+// the parent of whatever span the next layer opens — and the head
+// sampling verdict.
+type TraceContext struct {
+	TraceID TraceID
+	SpanID  SpanID // current span; parent for the next layer down
+	Sampled bool
+}
+
+// NewTraceContext mints a root trace context, sampled at rate. The
+// SpanID is zero: the first span opened under it is a root span.
+func NewTraceContext(rate float64) TraceContext {
+	id := NewTraceID()
+	return TraceContext{TraceID: id, Sampled: id.SampledAt(rate)}
+}
+
+// Child returns a copy of the context re-parented under span id —
+// what a layer stores into the request context after opening its own
+// span, so the next layer's spans become its children.
+func (tc TraceContext) Child(id SpanID) TraceContext {
+	tc.SpanID = id
+	return tc
+}
+
+type traceCtxKey struct{}
+
+// ContextWithTrace attaches a trace context to ctx. Attaching an
+// unsampled context is allowed (the ids still propagate; nothing is
+// recorded or sent traced on the wire).
+func ContextWithTrace(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceFromContext extracts the trace context, ok=false if none is
+// attached.
+func TraceFromContext(ctx context.Context) (TraceContext, bool) {
+	tc, ok := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc, ok
+}

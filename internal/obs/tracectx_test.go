@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// TestTraceIDStringParseRoundTrip: the 32-hex form survives a
+// String→Parse round trip, and malformed inputs are rejected.
+func TestTraceIDStringParseRoundTrip(t *testing.T) {
+	id := NewTraceID()
+	s := id.String()
+	if len(s) != 32 {
+		t.Fatalf("String() length = %d, want 32", len(s))
+	}
+	back, ok := ParseTraceID(s)
+	if !ok || back != id {
+		t.Fatalf("round trip: %v %v, want %v", back, ok, id)
+	}
+	for _, bad := range []string{"", "abc", s[:31], s + "0", "zz" + s[2:]} {
+		if _, ok := ParseTraceID(bad); ok {
+			t.Errorf("ParseTraceID(%q) accepted", bad)
+		}
+	}
+}
+
+// TestSampledAtDeterministic is the property the whole propagation
+// design leans on: the sampling verdict is a pure function of the
+// trace id, so every process reaches the same decision without
+// coordination, and verdicts are monotone in the rate — a trace a 1%
+// head sampled stays sampled at any backend running ≥ 1%.
+func TestSampledAtDeterministic(t *testing.T) {
+	rates := []float64{0.001, 0.01, 0.1, 0.5, 0.9}
+	for i := 0; i < 2000; i++ {
+		id := NewTraceID()
+		if id.SampledAt(0) {
+			t.Fatal("rate 0 sampled")
+		}
+		if !id.SampledAt(1) {
+			t.Fatal("rate 1 not sampled")
+		}
+		prev := false
+		for _, r := range rates {
+			got := id.SampledAt(r)
+			if got != id.SampledAt(r) {
+				t.Fatalf("verdict at %v not deterministic", r)
+			}
+			if prev && !got {
+				t.Fatalf("verdict not monotone: sampled at lower rate, dropped at %v", r)
+			}
+			prev = got
+		}
+	}
+}
+
+// TestSampledAtRate: the empirical sampling rate over many random ids
+// lands near the requested rate (FNV-1a spreads the ids well enough).
+func TestSampledAtRate(t *testing.T) {
+	const n, rate = 20000, 0.1
+	hits := 0
+	for i := 0; i < n; i++ {
+		if NewTraceID().SampledAt(rate) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if got < rate/2 || got > rate*2 {
+		t.Fatalf("empirical rate %.4f, want ≈ %.2f", got, rate)
+	}
+}
+
+// TestTraceContextPropagation: context attach/extract round trip, root
+// minting, and Child re-parenting.
+func TestTraceContextPropagation(t *testing.T) {
+	if _, ok := TraceFromContext(context.Background()); ok {
+		t.Fatal("empty context claims a trace")
+	}
+	tc := NewTraceContext(1)
+	if !tc.Sampled || tc.TraceID.IsZero() || !tc.SpanID.IsZero() {
+		t.Fatalf("root context: %+v", tc)
+	}
+	span := NewSpanID()
+	child := tc.Child(span)
+	if child.SpanID != span || child.TraceID != tc.TraceID || !child.Sampled {
+		t.Fatalf("Child: %+v", child)
+	}
+	ctx := ContextWithTrace(context.Background(), child)
+	got, ok := TraceFromContext(ctx)
+	if !ok || got != child {
+		t.Fatalf("extract: %+v %v, want %+v", got, ok, child)
+	}
+	if NewTraceContext(0).Sampled {
+		t.Fatal("rate-0 root context sampled")
+	}
+}

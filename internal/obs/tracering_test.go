@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTracerWraparoundConcurrent hammers a tiny ring from many
+// goroutines — far past its capacity — and checks the ring's
+// invariants afterwards: capacity spans held, every record counted in
+// Total, Spans() in oldest-first order, and the export still valid
+// JSON. Under -race this doubles as the data-race check on the ring's
+// wraparound bookkeeping (the CI race job runs this package).
+func TestTracerWraparoundConcurrent(t *testing.T) {
+	const capacity, goroutines, each = 8, 8, 100
+	tr := NewTracer(capacity)
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				tr.Record(Span{
+					Name: fmt.Sprintf("modexp-%d-%d", g, i), Worker: g,
+					Outcome: "ok",
+					Start:   base.Add(time.Duration(g*each+i) * time.Microsecond),
+					Exec:    time.Microsecond,
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := tr.Len(); got != capacity {
+		t.Fatalf("Len = %d, want %d (capacity)", got, capacity)
+	}
+	if got := tr.Total(); got != goroutines*each {
+		t.Fatalf("Total = %d, want %d", got, goroutines*each)
+	}
+	spans := tr.Spans()
+	if len(spans) != capacity {
+		t.Fatalf("Spans holds %d, want %d", len(spans), capacity)
+	}
+	for _, s := range spans {
+		if s.Name == "" || s.Outcome != "ok" {
+			t.Fatalf("torn span survived the wraparound: %+v", s)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export after wraparound not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("export after wraparound is empty")
+	}
+}

@@ -9,12 +9,14 @@ import (
 	"math/big"
 	"math/rand"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
 	"repro/internal/errs"
+	"repro/internal/obs"
 )
 
 // ClientOption configures a Client.
@@ -27,6 +29,9 @@ type clientConfig struct {
 	backoffBase time.Duration
 	backoffMax  time.Duration
 	maxFrame    int
+	tracer      *obs.Tracer
+	sampleRate  float64
+	rootTraces  bool
 }
 
 // WithPoolSize bounds the client's pooled connections (default 2).
@@ -55,6 +60,20 @@ func WithBackoff(base, max time.Duration) ClientOption {
 // WithClientMaxFrame bounds response frame payloads (default
 // DefaultMaxFrame).
 func WithClientMaxFrame(n int) ClientOption { return func(c *clientConfig) { c.maxFrame = n } }
+
+// WithClientTracing makes this client a trace head: calls whose
+// context carries no trace yet mint a root trace context, sampled
+// deterministically at rate (0 = never, 1 = always), and sampled calls
+// — minted or inherited — record one client span into t (nil t: ids
+// still propagate on the wire, nothing is recorded locally). Either
+// way the trace context is sent to the server in the traced op
+// variants, so the spans every downstream layer records join under
+// this call. Without this option the client still forwards a sampled
+// context it finds on ctx — propagation is always on, only root
+// creation is opt-in.
+func WithClientTracing(t *obs.Tracer, rate float64) ClientOption {
+	return func(c *clientConfig) { c.tracer, c.sampleRate, c.rootTraces = t, rate, true }
+}
 
 // Client talks the montsysd wire protocol. It pools connections, and
 // pipelines on each of them: concurrent calls share a connection, each
@@ -204,16 +223,71 @@ func transientCode(code Code) bool {
 	return code == CodeOverloaded || code == CodeDraining || code == CodeBackendDown
 }
 
-// call runs one request with the retry loop around tryOnce. When the
-// retry budget runs out on a network-level failure (the dial refused,
-// or the connection died and could not be re-established), the returned
-// error wraps errs.ErrBackendDown around the underlying transport error
-// so failover layers can classify it with errors.Is.
+// call wraps the retry loop with the tracing head: resolve the call's
+// trace context (inherited from ctx, or minted when WithClientTracing
+// is on), run the retries under it, and record one client span
+// covering the whole call — every retry included — when sampled.
 func (c *Client) call(ctx context.Context, op Op, jobs []triple) (*response, error) {
+	tc, traced := c.traceContext(ctx, op)
+	if !traced {
+		return c.callRetry(ctx, op, jobs, obs.TraceContext{}, nil)
+	}
+	span := obs.NewSpanID()
+	start := time.Now()
+	var attempts int
+	resp, err := c.callRetry(ctx, op, jobs, tc.Child(span), &attempts)
+	if c.cfg.tracer != nil {
+		outcome := "ok"
+		if err != nil {
+			outcome = codeFor(err).String()
+		}
+		c.cfg.tracer.Record(obs.Span{
+			Name: "call/" + op.String(), Track: "client", Outcome: outcome,
+			Start: start, Exec: time.Since(start),
+			TraceID: tc.TraceID, SpanID: span, Parent: tc.SpanID,
+			Attrs: []obs.Attr{
+				{Key: "addr", Val: c.addr},
+				{Key: "attempts", Val: strconv.Itoa(attempts)},
+			},
+		})
+	}
+	return resp, err
+}
+
+// traceContext resolves the trace context for one call: a sampled
+// context on ctx wins (propagation is unconditional); otherwise a
+// root context is minted when this client is a trace head. Pings are
+// never traced — they are health probes, not service traffic.
+func (c *Client) traceContext(ctx context.Context, op Op) (obs.TraceContext, bool) {
+	if op == OpPing {
+		return obs.TraceContext{}, false
+	}
+	if tc, ok := obs.TraceFromContext(ctx); ok {
+		return tc, tc.Sampled
+	}
+	if c.cfg.rootTraces {
+		tc := obs.NewTraceContext(c.cfg.sampleRate)
+		return tc, tc.Sampled
+	}
+	return obs.TraceContext{}, false
+}
+
+// callRetry runs one request with the retry loop around tryOnce. When
+// the retry budget runs out on a network-level failure (the dial
+// refused, or the connection died and could not be re-established), the
+// returned error wraps errs.ErrBackendDown around the underlying
+// transport error so failover layers can classify it with errors.Is.
+// attempts, when non-nil, counts tryOnce invocations for the caller's
+// span.
+func (c *Client) callRetry(ctx context.Context, op Op, jobs []triple,
+	tc obs.TraceContext, attempts *int) (*response, error) {
 	var lastErr error
 	var lastNetwork bool
 	for attempt := 0; ; attempt++ {
-		resp, wrote, err := c.tryOnce(ctx, op, jobs)
+		if attempts != nil {
+			*attempts = attempt + 1
+		}
+		resp, wrote, err := c.tryOnce(ctx, op, jobs, tc)
 		switch {
 		case err == nil && resp.code == CodeOK:
 			return resp, nil
@@ -274,7 +348,8 @@ func (c *Client) sleep(ctx context.Context, attempt int) error {
 // tryOnce performs a single attempt: pick or dial a connection, write
 // the request, wait for its response. wrote reports whether any bytes
 // may have reached the server (the ambiguity gate for retries).
-func (c *Client) tryOnce(ctx context.Context, op Op, jobs []triple) (resp *response, wrote bool, err error) {
+func (c *Client) tryOnce(ctx context.Context, op Op, jobs []triple,
+	tc obs.TraceContext) (resp *response, wrote bool, err error) {
 	cc, err := c.conn(ctx)
 	if err != nil {
 		return nil, false, err
@@ -285,7 +360,7 @@ func (c *Client) tryOnce(ctx context.Context, op Op, jobs []triple) (resp *respo
 		c.drop(cc)
 		return nil, false, err
 	}
-	req := &request{op: op, id: id, jobs: jobs}
+	req := &request{op: op, id: id, jobs: jobs, tc: tc}
 	if dl, ok := ctx.Deadline(); ok {
 		req.deadline = dl
 	}

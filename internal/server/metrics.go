@@ -53,6 +53,56 @@ func newMetrics(reg *obs.Registry) *metrics {
 	return m
 }
 
+// sloBad classifies the codes that spend a server availability error
+// budget: failures the serving side owns. Caller mistakes (bad
+// operands, protocol violations), caller cancellations and planned
+// drains answer with an error but are not the server's unreliability,
+// so they don't burn budget.
+func sloBad(c Code) bool {
+	switch c {
+	case CodeOverloaded, CodeEngineClosed, CodeDeadline,
+		CodeIntegrity, CodeBackendDown, CodeInternal:
+		return true
+	}
+	return false
+}
+
+// RegisterSLOs registers this server's objectives on t: per compute op
+// (mont, modexp, batch_modexp — pings are probes, not service) one
+// availability objective (fraction of requests answering without a
+// server-owned failure code, see sloBad) and one latency objective
+// (fraction of requests answering within latencyObjective; the bound
+// effectively rounds up to the histogram's enclosing power-of-two
+// bucket). Both use the same target (e.g. 0.999). The sources read the
+// request counters and latency histograms already collected — call
+// once after NewServer, then t.Start().
+func (s *Server) RegisterSLOs(t *obs.SLOTracker, latencyObjective time.Duration, target float64) {
+	m := s.met
+	for _, op := range []Op{OpMont, OpModExp, OpBatchModExp} {
+		byCode := m.requests[op]
+		t.AddObjective(op.String()+"_availability",
+			"requests answered without a server-owned failure code",
+			target, func() (total, bad int64) {
+				for code, ctr := range byCode {
+					v := ctr.Value()
+					total += v
+					if sloBad(code) {
+						bad += v
+					}
+				}
+				return total, bad
+			})
+		hist := m.latency[op]
+		bound := latencyObjective.Nanoseconds()
+		t.AddObjective(op.String()+"_latency",
+			"requests answered within "+latencyObjective.String(),
+			target, func() (total, bad int64) {
+				snap := hist.Snapshot()
+				return snap.Count, snap.Count - snap.CountAtOrBelow(bound)
+			})
+	}
+}
+
 // finish records one finished request. Unknown ops (which only a
 // malformed frame can produce) are folded onto OpModExp's protocol
 // counter rather than dropped.

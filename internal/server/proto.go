@@ -9,9 +9,10 @@
 // and a request payload is
 //
 //	byte   version (1)
-//	byte   op            1=Mont  2=ModExp  3=BatchModExp
+//	byte   op            1=Mont  2=ModExp  3=BatchModExp  (5/6/7 traced)
 //	uint64 request id    client-chosen, echoed in the response
 //	int64  deadline      UnixNano, 0 = none
+//	trace  block         traced ops only: 16B trace id ‖ 8B parent span ‖ flags
 //	body                 op-specific, big.Ints as uint32 len ‖ bytes
 //
 // while a response payload is
@@ -37,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/errs"
+	"repro/internal/obs"
 )
 
 // ProtoVersion is the wire protocol version; both sides reject frames
@@ -64,6 +66,19 @@ const (
 	OpModExp      Op = 2
 	OpBatchModExp Op = 3
 	OpPing        Op = 4
+
+	// Traced variants: identical to their base op except that a trace
+	// block — 16-byte trace id ‖ 8-byte parent span id ‖ 1 flags byte
+	// (bit 0: sampled) — sits between the deadline and the body. New op
+	// values rather than a flags bit in the shared header keep the
+	// extension append-only: an old peer rejects the unknown op with
+	// CodeProtocol instead of misparsing operands, and clients only
+	// send traced frames for requests that are actually sampled, so a
+	// mixed-version fleet degrades to untraced calls, never to errors
+	// on the untraced path.
+	OpMontTraced        Op = 5
+	OpModExpTraced      Op = 6
+	OpBatchModExpTraced Op = 7
 )
 
 // String names an op the way the server's metrics label it.
@@ -77,10 +92,52 @@ func (o Op) String() string {
 		return "batch_modexp"
 	case OpPing:
 		return "ping"
+	case OpMontTraced, OpModExpTraced, OpBatchModExpTraced:
+		// Decoding normalizes traced ops to their base immediately, so
+		// these names never reach metrics labels — tracing must not
+		// split the per-op series.
+		o, _ = o.untraced()
+		return o.String()
 	default:
 		return "unknown"
 	}
 }
+
+// untraced maps a traced op to its base op; isTraced is false (and o is
+// returned unchanged) for every other op.
+func (o Op) untraced() (base Op, isTraced bool) {
+	switch o {
+	case OpMontTraced:
+		return OpMont, true
+	case OpModExpTraced:
+		return OpModExp, true
+	case OpBatchModExpTraced:
+		return OpBatchModExp, true
+	default:
+		return o, false
+	}
+}
+
+// traced maps a base op to its traced variant, ok=false if none exists
+// (OpPing carries no operands worth tracing).
+func (o Op) traced() (Op, bool) {
+	switch o {
+	case OpMont:
+		return OpMontTraced, true
+	case OpModExp:
+		return OpModExpTraced, true
+	case OpBatchModExp:
+		return OpBatchModExpTraced, true
+	default:
+		return o, false
+	}
+}
+
+// traceFlagSampled marks the trace block's sampling bit. The block
+// still carries ids when unset (a client may propagate an unsampled
+// context it was handed), but in practice clients skip the traced
+// variant entirely for unsampled requests.
+const traceFlagSampled = 1
 
 // Code is a stable wire error code. Codes exist so the typed sentinels
 // of internal/errs survive the network hop: the server maps an error to
@@ -223,12 +280,18 @@ type triple struct {
 	n, a, b *big.Int
 }
 
-// request is one decoded request frame.
+// request is one decoded request frame. op is always a base op: the
+// codec folds traced variants into their base at decode and picks the
+// wire byte at encode, so everything between encode and decode handles
+// exactly four ops. tc is the caller's trace context — tc.SpanID is
+// the PARENT for whatever span the receiving server opens — zero-value
+// when the frame was untraced.
 type request struct {
 	op       Op
 	id       uint64
 	deadline time.Time // zero = none
-	jobs     []triple  // len 1 for Mont/ModExp
+	tc       obs.TraceContext
+	jobs     []triple // len 1 for Mont/ModExp
 }
 
 // response is one decoded response frame. For batch ops, codes/values
@@ -378,13 +441,23 @@ func readFrame(r io.Reader, maxFrame int) ([]byte, error) {
 // encodeRequest renders a request payload (no frame header).
 func encodeRequest(req *request) []byte {
 	b := make([]byte, 0, 64)
-	b = append(b, ProtoVersion, byte(req.op))
+	wireOp := req.op
+	traced := false
+	if req.tc.Sampled {
+		wireOp, traced = req.op.traced()
+	}
+	b = append(b, ProtoVersion, byte(wireOp))
 	b = appendUint64(b, req.id)
 	var dl int64
 	if !req.deadline.IsZero() {
 		dl = req.deadline.UnixNano()
 	}
 	b = appendUint64(b, uint64(dl))
+	if traced {
+		b = append(b, req.tc.TraceID[:]...)
+		b = append(b, req.tc.SpanID[:]...)
+		b = append(b, traceFlagSampled)
+	}
 	if req.op == OpBatchModExp {
 		b = appendUint32(b, uint32(len(req.jobs)))
 	}
@@ -426,6 +499,16 @@ func decodeRequest(payload []byte) (*request, error) {
 	}
 	if dl != 0 {
 		req.deadline = time.Unix(0, int64(dl))
+	}
+	if base, isTraced := op.untraced(); isTraced {
+		blk, err := d.take(16 + 8 + 1)
+		if err != nil {
+			return nil, err
+		}
+		copy(req.tc.TraceID[:], blk[:16])
+		copy(req.tc.SpanID[:], blk[16:24])
+		req.tc.Sampled = blk[24]&traceFlagSampled != 0
+		op, req.op = base, base
 	}
 	count := 1
 	switch op {

@@ -23,6 +23,8 @@ type config struct {
 	writeTimeout time.Duration
 	maxFrame     int
 	registry     *obs.Registry
+	tracer       *obs.Tracer
+	wide         *obs.WideWriter
 }
 
 // WithMaxInflight bounds the requests admitted and not yet answered,
@@ -46,6 +48,16 @@ func WithMaxFrame(n int) Option { return func(c *config) { c.maxFrame = n } }
 // — share it with the engine's obs.Collector and one /metrics page
 // carries the whole pipeline.
 func WithRegistry(r *obs.Registry) Option { return func(c *config) { c.registry = r } }
+
+// WithTracer records one server span per sampled request (traced wire
+// ops) into t — share the engine collector's tracer and /trace shows
+// the server span parenting the engine's job spans. Untraced requests
+// never touch the tracer.
+func WithTracer(t *obs.Tracer) Option { return func(c *config) { c.tracer = t } }
+
+// WithWideEvents emits one wide JSON log line (layer "server") per
+// sampled request. A nil writer leaves it off.
+func WithWideEvents(w *obs.WideWriter) Option { return func(c *config) { c.wide = w } }
 
 // Handler executes decoded requests on behalf of the server. The
 // multi-core engine is the canonical implementation (via NewServer's
@@ -479,6 +491,7 @@ func (c *sconn) dispatch(req *request) {
 			id: req.id, code: CodeDraining, msg: "server draining",
 		}))
 		s.met.finish(req.op, CodeDraining, time.Since(start))
+		s.observeRequest(req, obs.SpanID{}, CodeDraining, start, time.Since(start))
 		return
 	}
 	select {
@@ -489,6 +502,7 @@ func (c *sconn) dispatch(req *request) {
 			id: req.id, code: CodeOverloaded, msg: "in-flight limit reached",
 		}))
 		s.met.finish(req.op, CodeOverloaded, time.Since(start))
+		s.observeRequest(req, obs.SpanID{}, CodeOverloaded, start, time.Since(start))
 		return
 	}
 	s.reqWG.Add(1)
@@ -516,10 +530,56 @@ func (c *sconn) serveReq(req *request, start time.Time) {
 		ctx, cancel = context.WithDeadline(ctx, req.deadline)
 		defer cancel()
 	}
+	var spanID obs.SpanID
+	if req.tc.Sampled {
+		// Open the server span and re-parent the context's trace under
+		// it, so the handler's spans (engine jobs locally, route
+		// attempts in the balancer) become its children.
+		spanID = obs.NewSpanID()
+		ctx = obs.ContextWithTrace(ctx, req.tc.Child(spanID))
+	}
 	resp := s.execute(ctx, req)
 	resp.id = req.id
-	s.met.finish(req.op, resp.code, time.Since(start))
+	elapsed := time.Since(start)
+	s.met.finish(req.op, resp.code, elapsed)
+	s.observeRequest(req, spanID, resp.code, start, elapsed)
 	c.send(encodeResponse(req.op, resp))
+}
+
+// observeRequest records the server span and wide event for a sampled
+// request; untraced requests return on the first branch. A zero spanID
+// (inline drain/overload rejections, which never opened a handler
+// context) gets one minted here so the rejection still shows in the
+// trace tree.
+func (s *Server) observeRequest(req *request, spanID obs.SpanID, code Code,
+	start time.Time, elapsed time.Duration) {
+	if !req.tc.Sampled || (s.cfg.tracer == nil && s.cfg.wide == nil) {
+		return
+	}
+	if spanID.IsZero() {
+		spanID = obs.NewSpanID()
+	}
+	if s.cfg.tracer != nil {
+		s.cfg.tracer.Record(obs.Span{
+			Name: "server/" + req.op.String(), Track: "server",
+			Outcome: code.String(), Start: start, Exec: elapsed,
+			TraceID: req.tc.TraceID, SpanID: spanID, Parent: req.tc.SpanID,
+		})
+	}
+	if s.cfg.wide != nil {
+		ev := &obs.WideEvent{
+			Layer: "server", Op: req.op.String(),
+			TraceID: req.tc.TraceID, SpanID: spanID, Parent: req.tc.SpanID,
+			Outcome: code.String(), Dur: elapsed,
+		}
+		if len(req.jobs) > 0 && req.jobs[0].n != nil {
+			ev.Bits = req.jobs[0].n.BitLen()
+		}
+		if req.op == OpBatchModExp {
+			ev.Batch = len(req.jobs)
+		}
+		s.cfg.wide.Emit(ev)
+	}
 }
 
 // execute runs the request's handler call. The wire deadline is already

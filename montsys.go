@@ -52,6 +52,8 @@
 package montsys
 
 import (
+	"context"
+	"io"
 	"math/big"
 	"net/http"
 	"time"
@@ -599,6 +601,137 @@ func WithClusterIntegrityEjectThreshold(n int) ClusterOption {
 // Prometheus text format — for processes like montsyslb that have a
 // registry but no engine collector.
 func NewMetricsHandler(r *MetricsRegistry) http.Handler { return obs.MetricsHandler(r) }
+
+// Distributed tracing, wide events and SLOs. A sampled request carries
+// a 16-byte trace id across every hop — client, balancer, backend
+// server, engine worker, compute kit — via traced wire-op variants, so
+// each process's /trace export holds its slice of the same tree and
+// cmd/tracecat merges them into one Perfetto-loadable timeline.
+// Sampling is head-based and deterministic in the trace id, so a fleet
+// agrees on every verdict without coordination. Alongside the spans,
+// each layer can emit one wide JSON log line per sampled request, and
+// an SLOTracker turns the existing request counters and latency
+// histograms into multi-window burn rates served at /statusz:
+//
+//	tracer := montsys.NewTracer(0)
+//	tracer.SetProcess("montsysd")
+//	wide := montsys.NewWideWriter(os.Stderr)
+//	srv, _ := montsys.NewServer(eng, montsys.WithServerTracer(tracer),
+//	    montsys.WithServerWideEvents(wide))
+//	slo := montsys.NewSLOTracker(srv.Registry(), 0)
+//	srv.RegisterSLOs(slo, 500*time.Millisecond, 0.999)
+//	slo.Start()
+//	cl := montsys.Dial(addr, montsys.WithClientTracing(tracer, 0.01))
+//
+// See README "Tracing & SLOs" and DESIGN §2g for the span ↔ paper
+// pipeline-stage mapping.
+
+// TraceContext is the per-request trace state (trace id, current span
+// id, sampling verdict) that rides a context.Context across layers and
+// the wire across processes.
+type TraceContext = obs.TraceContext
+
+// TraceID identifies one request end to end (16 opaque bytes; zero
+// means untraced).
+type TraceID = obs.TraceID
+
+// Tracer is the bounded ring buffer spans record into; its contents
+// export as Chrome trace-event JSON at /trace.
+type Tracer = obs.Tracer
+
+// NewTracer builds a span ring keeping the most recent capacity spans
+// (≤ 0 selects the default, 4096). Call SetProcess so multi-process
+// trace merges attribute spans to the right daemon.
+func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// NewTraceContext mints a root trace context sampled at rate — what an
+// edge process (loadgen, a caller above Client) attaches with
+// ContextWithTrace when it wants to own root-span identity itself.
+// Client mints roots automatically when given WithClientTracing with a
+// positive rate.
+func NewTraceContext(rate float64) TraceContext { return obs.NewTraceContext(rate) }
+
+// ContextWithTrace attaches a trace context to ctx; every montsys layer
+// below honours it.
+func ContextWithTrace(ctx context.Context, tc TraceContext) context.Context {
+	return obs.ContextWithTrace(ctx, tc)
+}
+
+// TraceFromContext extracts the ambient trace context, ok=false if none.
+func TraceFromContext(ctx context.Context) (TraceContext, bool) {
+	return obs.TraceFromContext(ctx)
+}
+
+// ParseTraceID decodes the 32-hex-digit form TraceID.String produces —
+// the id loadgen prints for failed sampled requests.
+func ParseTraceID(s string) (TraceID, bool) { return obs.ParseTraceID(s) }
+
+// WideWriter emits one wide structured JSON log line per sampled
+// request per layer. A nil WideWriter is valid and free: every Emit is
+// a single nil check.
+type WideWriter = obs.WideWriter
+
+// NewWideWriter wraps an io.Writer (a file, stderr, a test buffer) in a
+// wide-event writer; a nil writer yields the disabled (nil) WideWriter.
+func NewWideWriter(w io.Writer) *WideWriter { return obs.NewWideWriter(w) }
+
+// WithCollectorWideEvents makes a Collector emit an engine-layer wide
+// event for each sampled job it observes.
+func WithCollectorWideEvents(w *WideWriter) CollectorOption { return obs.WithWideEvents(w) }
+
+// WithServerTracer records a server-layer span for every sampled
+// request the server answers (and joins it under the caller's span via
+// the wire trace block).
+func WithServerTracer(t *Tracer) ServerOption { return server.WithTracer(t) }
+
+// WithServerWideEvents emits a server-layer wide event per sampled
+// request.
+func WithServerWideEvents(w *WideWriter) ServerOption { return server.WithWideEvents(w) }
+
+// WithClientTracing configures a client's tracing: spans for sampled
+// calls record into t, and rate sets head sampling for requests that
+// arrive without an ambient trace context (0: the client only
+// propagates contexts it is handed, never mints roots). Propagation of
+// an ambient sampled context is always on, with or without this option.
+func WithClientTracing(t *Tracer, rate float64) ClientOption {
+	return server.WithClientTracing(t, rate)
+}
+
+// WithClusterTracer records a route-attempt span for every backend call
+// the cluster makes on behalf of a sampled request — primary, hedge and
+// failover attempts each get one, tagged with the backend, pick reason,
+// race outcome and retry-budget spend.
+func WithClusterTracer(t *Tracer) ClusterOption { return cluster.WithTracer(t) }
+
+// WithClusterWideEvents emits a route-layer wide event per backend
+// attempt of a sampled request.
+func WithClusterWideEvents(w *WideWriter) ClusterOption { return cluster.WithWideEvents(w) }
+
+// SLOTracker computes rolling multi-window (5m/1h) burn rates for
+// registered objectives from cumulative counters, exports them as
+// montsys_slo_burn_rate_milli gauges and renders the human /statusz
+// page.
+type SLOTracker = obs.SLOTracker
+
+// SLOSource reports an objective's cumulative (total, bad) event
+// counts; the tracker samples it on every tick.
+type SLOSource = obs.SLOSource
+
+// NewSLOTracker builds a tracker registering its burn-rate gauges into
+// r, sampling sources every interval (≤ 0 selects the default, 10s).
+// Server.RegisterSLOs wires the standard per-op availability and
+// latency objectives; call Start to begin sampling.
+func NewSLOTracker(r *MetricsRegistry, interval time.Duration) *SLOTracker {
+	return obs.NewSLOTracker(r, interval)
+}
+
+// NewObsMux serves an observability surface assembled from parts — for
+// processes like montsyslb with a registry, a tracer and an SLO tracker
+// but no engine collector: /metrics, /trace (nil tracer: 404), /statusz
+// (nil tracker: 404), expvar and pprof.
+func NewObsMux(r *MetricsRegistry, t *Tracer, slo *SLOTracker) http.Handler {
+	return obs.NewMux(r, t, slo)
+}
 
 // Hardware builds and maps the full gate-level MMM circuit for an l-bit
 // modulus, reporting area and timing under the Virtex-E model — the
