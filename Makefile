@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race staticcheck cover bench-engine bench-obs bench-faults bench-kits
+.PHONY: ci build vet test race staticcheck cover bench-engine bench-obs bench-faults bench-kits bench-sign sca-gate
 
 ci: vet staticcheck build test race
 
@@ -17,7 +17,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/engine/... ./internal/core/... ./internal/obs/... ./internal/server/... ./internal/cluster/... ./internal/faults/... ./internal/integrity/... ./internal/highradix/... ./internal/kits/...
+	$(GO) test -race ./internal/engine/... ./internal/core/... ./internal/obs/... ./internal/server/... ./internal/cluster/... ./internal/faults/... ./internal/integrity/... ./internal/highradix/... ./internal/kits/... ./internal/cryptosvc/... ./internal/sca/...
 
 # CI installs staticcheck; locally the gate is skipped when the binary
 # is absent rather than failing the whole ci target.
@@ -53,3 +53,12 @@ bench-faults:
 bench-kits:
 	$(GO) test -run xxx -bench KitModExp -benchtime 3x ./internal/engine/
 	$(GO) test -run xxx -bench 'WordMul|WordModExp' -benchtime 100x ./internal/highradix/
+
+# Regenerate BENCH_sign.json's raw numbers: CRT vs full-exponent RSA
+# signing (blinded and not) at 1024/2048 bits plus verify and ECDSA.
+bench-sign:
+	$(GO) test -run xxx -bench 'Sign|Verify' -benchtime 10x ./internal/cryptosvc/
+
+# The SCA regression gate on its own (also part of `test` and `race`).
+sca-gate:
+	$(GO) test -run 'SCALeakageGate' -v ./internal/cryptosvc/

@@ -13,6 +13,15 @@
 //	        [-connect host:7077] [-clients 8] [-retries 3]
 //	        [-tolerate integrity,overloaded] [-integrity]
 //	        [-fault-rate 0] [-fault-seed 1] [-fault-cores 0]
+//	        [-scenario modexp|sign]
+//
+// -scenario sign drives the signing service instead of raw modexp
+// (remote only — signing is a wire surface): RSA keys are generated
+// over the wire (deterministic seeds), every job is a blinded RSA-CRT
+// sign whose signature is verified client-side with math/big — a wrong
+// signature is always fatal, like a wrong modexp answer — and every
+// eighth job adds an ECDSA sign whose signature joins a final
+// batch-verify call that must answer all-OK. See sign.go.
 //
 // -kit takes a comma-separated compute-kit list (model | sim | cios |
 // big | auto) and sweeps every (kit, workers) combination, so one run
@@ -118,6 +127,7 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0, "local mode: inject bit-flip faults into this fraction of core results")
 	faultSeed := flag.Int64("fault-seed", 1, "local mode: deterministic seed for -fault-rate")
 	faultCores := flag.String("fault-cores", "", "local mode: comma-separated worker ids to fault (default all)")
+	scenario := flag.String("scenario", "modexp", "workload: modexp | sign (sign requires -connect)")
 	flag.Parse()
 
 	// The root context: Ctrl-C / SIGTERM cancels it, which aborts an
@@ -127,7 +137,8 @@ func main() {
 	defer stop()
 
 	cfg := sweepConfig{
-		jobs: *jobs, keys: *keys, expKind: *expKind,
+		scenario: *scenario,
+		jobs:     *jobs, keys: *keys, expKind: *expKind,
 		queue: *queue, timeout: *timeout, seed: *seed,
 		connect: *connect, clients: *clients, retries: *retries,
 		traceSample: *traceSample,
@@ -166,6 +177,7 @@ func main() {
 }
 
 type sweepConfig struct {
+	scenario   string // "modexp" (default) or "sign"
 	jobs, keys int
 	expKind    string
 	queue      int
@@ -343,6 +355,14 @@ func run(ctx context.Context, workersList, bitsList, kitList, modeName, variantN
 	bits, err := splitInts(bitsList)
 	if err != nil {
 		return err
+	}
+
+	switch cfg.scenario {
+	case "", "modexp":
+	case "sign":
+		return runSign(ctx, cfg, bits)
+	default:
+		return fmt.Errorf("unknown scenario %q", cfg.scenario)
 	}
 
 	// One fixed workload, reused across every sweep point so the rows

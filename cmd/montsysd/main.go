@@ -12,6 +12,13 @@
 //	         [-slo-latency 500ms] [-slo-target 0.999]
 //	         [-integrity] [-integrity-sample 1] [-integrity-recompute]
 //	         [-fault-rate 0] [-fault-seed 1] [-fault-cores 0,2]
+//	         [-sign-blinding=true]
+//
+// The daemon serves the signing ops (RSA keygen/sign/verify, ECDSA
+// sign/batch-verify) alongside the compute ops. -sign-blinding=false
+// turns off message/exponent blinding on the private-key paths — a lab
+// configuration for side-channel trace capture (the SCA regression gate
+// uses it as its positive control); production leaves it on.
 //
 // -integrity arms the engine's per-operation result verification (see
 // montsys.WithEngineIntegrityCheck). -fault-rate > 0 wires in the
@@ -88,6 +95,7 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0, "inject bit-flip faults into this fraction of core results (chaos testing)")
 	faultSeed := flag.Int64("fault-seed", 1, "deterministic seed for -fault-rate")
 	faultCores := flag.String("fault-cores", "", "comma-separated worker ids to fault (default all)")
+	signBlinding := flag.Bool("sign-blinding", true, "blind the signing service's private-key paths (disable only for SCA lab capture)")
 	flag.Parse()
 
 	fc := faultConfig{rate: *faultRate, seed: *faultSeed, cores: *faultCores,
@@ -95,7 +103,7 @@ func main() {
 	oc := obsConfig{metricsAddr: *metricsAddr, traceCap: *traceCap, wideDest: *wideDest,
 		sloLatency: *sloLatency, sloTarget: *sloTarget}
 	if err := run(*listen, *workers, *kitName, *modeName, *variantName, *queue, *cache,
-		*inflight, *idle, *drain, oc, fc); err != nil {
+		*inflight, *idle, *drain, *signBlinding, oc, fc); err != nil {
 		fmt.Fprintln(os.Stderr, "montsysd:", err)
 		os.Exit(1)
 	}
@@ -172,7 +180,7 @@ func (fc faultConfig) engineOptions() ([]montsys.EngineOption, error) {
 }
 
 func run(listen string, workers int, kitName, modeName, variantName string, queue, cache,
-	inflight int, idle, drain time.Duration, oc obsConfig, fc faultConfig) error {
+	inflight int, idle, drain time.Duration, signBlinding bool, oc obsConfig, fc faultConfig) error {
 	// -kit wins when given; otherwise the deprecated -mode flag picks
 	// the matching kit so old invocations behave identically.
 	if kitName == "" {
@@ -239,6 +247,8 @@ func run(listen string, workers int, kitName, modeName, variantName string, queu
 		montsys.WithServerRegistry(col.Registry()),
 		montsys.WithServerTracer(col.Tracer()),
 		montsys.WithServerWideEvents(wide),
+		montsys.WithServerSignService(montsys.NewSignService(eng,
+			montsys.WithSignBlinding(signBlinding))),
 	}
 	if inflight > 0 {
 		srvOpts = append(srvOpts, montsys.WithServerMaxInflight(inflight))

@@ -25,6 +25,14 @@
 // and, after -integrity-eject consecutive ones from the same backend,
 // take that backend out of rotation until a probe clears it.
 //
+// The signing ops route through the proxy unchanged: the cluster
+// implements the signing handler surface itself, forwarding RSA
+// keygen/sign/verify and ECDSA sign/batch-verify to backends with the
+// same failover/hedging machinery, routed on the affinity plane by
+// *key handle* (a fingerprint of the key, never raw private material)
+// so repeat traffic for one key lands on one warm backend
+// (montsys_cluster_keyhandle_requests_total counts these).
+//
 // On SIGTERM/SIGINT the proxy itself drains gracefully, exactly like
 // montsysd: stop accepting, answer new requests with the draining
 // code, finish what's admitted (bounded by -drain), exit 0.

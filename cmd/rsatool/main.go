@@ -1,11 +1,15 @@
 // Command rsatool demonstrates the RSA application of §4.5: it generates
 // a key with the repository's own Miller–Rabin (over the reproduced
-// Montgomery exponentiator), encrypts and decrypts a message, and prints
-// the cycle accounting of every exponentiation.
+// Montgomery exponentiator), encrypts and decrypts a message, signs and
+// verifies it, and prints the cycle accounting of every exponentiation.
 //
 // Usage:
 //
-//	rsatool [-bits 128] [-msg <hex>] [-seed 1] [-simulate] [-crt]
+//	rsatool [-bits 128] [-msg <hex>] [-seed 1] [-kit model|sim|cios|big|auto] [-crt] [-sign]
+//
+// The -kit flag selects the compute kit every exponentiation runs on
+// (see internal/kits); -simulate remains as a deprecated alias for
+// -kit sim.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"os"
 
 	"repro/internal/expo"
+	"repro/internal/kits"
 	"repro/internal/rsa"
 )
 
@@ -23,17 +28,27 @@ func main() {
 	bitsFlag := flag.Int("bits", 128, "modulus size in bits (even, ≥ 16)")
 	msgHex := flag.String("msg", "48656c6c6f", "message (hex, < N)")
 	seed := flag.Int64("seed", 1, "deterministic key-generation seed")
-	simulate := flag.Bool("simulate", false, "run exponentiations through the cycle-accurate circuit (slow; use small -bits)")
+	kitFlag := flag.String("kit", "model", "compute kit: model|sim|cios|big|auto")
+	simulate := flag.Bool("simulate", false, "deprecated alias for -kit sim (slow; use small -bits)")
 	crt := flag.Bool("crt", true, "decrypt with CRT")
+	sign := flag.Bool("sign", true, "also sign the message (SHA-256 digest, CRT when available) and verify")
 	flag.Parse()
 
-	if err := run(*bitsFlag, *msgHex, *seed, *simulate, *crt); err != nil {
+	k, err := kits.Parse(*kitFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rsatool:", err)
+		os.Exit(1)
+	}
+	if *simulate {
+		k = kits.Sim
+	}
+	if err := run(*bitsFlag, *msgHex, *seed, k, *crt, *sign); err != nil {
 		fmt.Fprintln(os.Stderr, "rsatool:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bits int, msgHex string, seed int64, simulate, crt bool) error {
+func run(bits int, msgHex string, seed int64, k kits.Kit, crt, sign bool) error {
 	rng := rand.New(rand.NewSource(seed))
 	fmt.Printf("generating %d-bit RSA key (Miller–Rabin over the Montgomery exponentiator)...\n", bits)
 	key, err := rsa.GenerateKey(bits, nil, rng)
@@ -43,7 +58,7 @@ func run(bits int, msgHex string, seed int64, simulate, crt bool) error {
 	if err := key.Validate(); err != nil {
 		return err
 	}
-	fmt.Printf("N = %s\nE = %s\nD = %s\n", key.N.Text(16), key.E.Text(16), key.D.Text(16))
+	fmt.Printf("N = %s\nE = %s\nD = %s\nkit = %v\n", key.N.Text(16), key.E.Text(16), key.D.Text(16), k)
 
 	m, ok := new(big.Int).SetString(msgHex, 16)
 	if !ok {
@@ -52,12 +67,8 @@ func run(bits int, msgHex string, seed int64, simulate, crt bool) error {
 	if m.Cmp(key.N) >= 0 {
 		return fmt.Errorf("message must be smaller than N")
 	}
-	mode := expo.Model
-	if simulate {
-		mode = expo.Simulate
-	}
 
-	c, repE, err := key.Encrypt(m, mode)
+	c, repE, err := key.Encrypt(m, k)
 	if err != nil {
 		return err
 	}
@@ -68,10 +79,10 @@ func run(bits int, msgHex string, seed int64, simulate, crt bool) error {
 	var back *big.Int
 	var repD expo.Report
 	if crt {
-		back, repD, err = key.DecryptCRT(c, mode)
+		back, repD, err = key.DecryptCRT(c, k)
 		fmt.Printf("decrypt (CRT): M = %s\n", back.Text(16))
 	} else {
-		back, repD, err = key.Decrypt(c, mode)
+		back, repD, err = key.Decrypt(c, k)
 		fmt.Printf("decrypt: M = %s\n", back.Text(16))
 	}
 	if err != nil {
@@ -79,7 +90,7 @@ func run(bits int, msgHex string, seed int64, simulate, crt bool) error {
 	}
 	fmt.Printf("         %d squares + %d multiplies, %d cycles (paper model)\n",
 		repD.Squares, repD.Multiplies, repD.TotalCycles)
-	if simulate {
+	if k == kits.Sim {
 		fmt.Printf("         simulated circuit cycles: enc %d, dec %d\n",
 			repE.SimulatedMulCycles, repD.SimulatedMulCycles)
 	}
@@ -88,5 +99,24 @@ func run(bits int, msgHex string, seed int64, simulate, crt bool) error {
 		return fmt.Errorf("round trip FAILED: %s != %s", back.Text(16), m.Text(16))
 	}
 	fmt.Println("\nround trip: OK")
+
+	if sign {
+		msgBytes := m.Bytes()
+		sig, repS, err := key.SignSHA256(msgBytes, k)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nsign (SHA-256): s = H(M)^D mod N = %s\n", sig.Text(16))
+		fmt.Printf("         %d squares + %d multiplies, %d cycles (paper model)\n",
+			repS.Squares, repS.Multiplies, repS.TotalCycles)
+		okSig, err := key.PublicKey.VerifySHA256(msgBytes, sig, k)
+		if err != nil {
+			return err
+		}
+		if !okSig {
+			return fmt.Errorf("signature verification FAILED")
+		}
+		fmt.Println("signature verify: OK")
+	}
 	return nil
 }

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 
 	"repro/internal/expo"
+	"repro/internal/kits"
 	"repro/internal/rsa"
 )
 
@@ -28,7 +29,7 @@ func main() {
 	fmt.Printf("message: %s\n\n", msg.Text(16))
 
 	// Encrypt through the cycle-accurate simulated MMM circuit.
-	c, rep, err := key.Encrypt(msg, expo.Simulate)
+	c, rep, err := key.Encrypt(msg, kits.Sim)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func main() {
 		expo.PaperLowerBound(l), expo.PaperUpperBound(l))
 
 	// Decrypt with CRT (two half-size exponentiations).
-	back, repD, err := key.DecryptCRT(c, expo.Simulate)
+	back, repD, err := key.DecryptCRT(c, kits.Sim)
 	if err != nil {
 		log.Fatal(err)
 	}

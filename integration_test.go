@@ -11,7 +11,7 @@ import (
 
 	"repro/internal/ecc"
 	"repro/internal/ecdsa"
-	"repro/internal/expo"
+	"repro/internal/kits"
 	"repro/internal/rsa"
 	"repro/internal/sca"
 )
@@ -40,7 +40,7 @@ func TestHybridProtocolScenario(t *testing.T) {
 
 	// Sender side.
 	session := new(big.Int).Rand(rng, rsaKey.N)
-	ct, _, err := rsaKey.Encrypt(session, expo.Model)
+	ct, _, err := rsaKey.Encrypt(session, kits.Model)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func TestHybridProtocolScenario(t *testing.T) {
 	if !ecdsa.Verify(&sigKey.PublicKey, ct.Bytes(), r, s) {
 		t.Fatal("signature rejected")
 	}
-	back, _, err := rsaKey.DecryptCRT(ct, expo.Model)
+	back, _, err := rsaKey.DecryptCRT(ct, kits.Model)
 	if err != nil {
 		t.Fatal(err)
 	}

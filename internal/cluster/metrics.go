@@ -25,6 +25,7 @@ var pickReasons = []string{"affinity", "spill", "least_inflight", "failover", "h
 //	montsys_cluster_picks_total{backend,reason}  routing decisions (counter)
 //	montsys_cluster_affinity_hits_total          requests routed to their HRW home
 //	montsys_cluster_affinity_spills_total        affinity home overloaded, spilled
+//	montsys_cluster_keyhandle_requests_total     signing requests routed by key handle
 //	montsys_cluster_hedges_total                 hedge requests launched
 //	montsys_cluster_hedge_wins_total             hedges that answered first
 //	montsys_cluster_failovers_total              attempts moved to another backend
@@ -40,6 +41,7 @@ type metrics struct {
 	hedgeWins      *obs.Counter
 	affinityHits   *obs.Counter
 	affinitySpills *obs.Counter
+	keyhandleReqs  *obs.Counter
 	failovers      *obs.Counter
 	budgetDenied   *obs.Counter
 	perBackend     map[string]*backendMetrics
@@ -70,6 +72,8 @@ func newMetrics(reg *obs.Registry, addrs []string) *metrics {
 		"Requests routed to their modulus's rendezvous-hash home backend.")
 	m.affinitySpills = reg.Counter("montsys_cluster_affinity_spills_total",
 		"Requests whose affinity home was overloaded and spilled to least-inflight.")
+	m.keyhandleReqs = reg.Counter("montsys_cluster_keyhandle_requests_total",
+		"Signing requests routed on the affinity plane by key handle rather than raw modulus.")
 	m.failovers = reg.Counter("montsys_cluster_failovers_total",
 		"Attempts moved to another backend after a failoverable error.")
 	m.budgetDenied = reg.Counter("montsys_cluster_retry_budget_denied_total",

@@ -16,7 +16,8 @@ import (
 	"math/rand"
 
 	"repro/internal/ecc"
-	"repro/internal/mont"
+	"repro/internal/expo"
+	"repro/internal/kits"
 )
 
 // PublicKey is an ECDSA public key: a curve and a point Q = d·G.
@@ -70,9 +71,13 @@ func hashToInt(hash []byte, order *big.Int) *big.Int {
 }
 
 // invMod computes a⁻¹ mod n (n prime) by Fermat through the Montgomery
-// exponentiator — every inversion is a chain of Algorithm-2 passes.
+// exponentiator — every inversion is a chain of Algorithm-2 passes. The
+// compute kit is resolved per order from the process benchmark table,
+// so scalar-field inversions ride the CIOS fast path when it wins the
+// order's bit-length bucket.
 func invMod(a, n *big.Int) (*big.Int, error) {
-	ctx, err := mont.NewCtx(n)
+	k := kits.NewSelector(kits.ProcessTable()).Pick(kits.OpModExp, n.BitLen())
+	ex, err := expo.NewKit(n, k)
 	if err != nil {
 		return nil, err
 	}
@@ -81,7 +86,7 @@ func invMod(a, n *big.Int) (*big.Int, error) {
 		return nil, errors.New("ecdsa: inversion of zero")
 	}
 	nm2 := new(big.Int).Sub(n, big.NewInt(2))
-	inv, _, err := ctx.Exp(red, nm2)
+	inv, _, err := ex.ModExp(red, nm2)
 	return inv, err
 }
 

@@ -56,6 +56,15 @@ var (
 	// may answer the retry.
 	ErrBackendDown = errors.New("backend down")
 
+	// ErrBadKey reports key material that fails its consistency checks
+	// before any private-key operation runs: an RSA key whose N ≠ P·Q or
+	// whose CRT residues disagree with D, an ECDSA scalar outside
+	// [1, order-1], a public point not on its curve, or an unknown curve
+	// id. Not retryable — the same key will fail the same way — and
+	// deliberately distinct from ErrOperandRange so a signing client can
+	// tell "fix your key" from "fix your message".
+	ErrBadKey = errors.New("invalid key material")
+
 	// ErrIntegrity reports a result that failed the engine's end-to-end
 	// integrity checks: a Montgomery product whose residue identity
 	// T·R ≡ x·y (mod N) does not hold, an exponentiation whose big.Int

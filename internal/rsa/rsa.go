@@ -17,6 +17,7 @@ import (
 	"math/rand"
 
 	"repro/internal/expo"
+	"repro/internal/kits"
 	"repro/internal/mont"
 )
 
@@ -173,11 +174,24 @@ func GenerateKey(bits int, e *big.Int, rng *rand.Rand) (*PrivateKey, error) {
 	return nil, errors.New("rsa: key generation exhausted attempts")
 }
 
-// Encrypt computes C = M^E mod N through the exponentiator in the given
-// mode (expo.Model for speed, expo.Simulate for the cycle-accurate
-// circuit). It returns the ciphertext and the exponentiation report.
-func (pub *PublicKey) Encrypt(m *big.Int, mode expo.Mode) (*big.Int, expo.Report, error) {
-	ex, err := expo.New(pub.N, mode)
+// newExp builds an exponentiator for n on the requested compute kit.
+// kits.Auto resolves through the process benchmark table per modulus —
+// in particular the two half-size CRT moduli resolve independently, so
+// they ride the CIOS fast path whenever it wins their bucket.
+func newExp(n *big.Int, k kits.Kit) (*expo.Exponentiator, error) {
+	if k == kits.Auto {
+		k = kits.NewSelector(kits.ProcessTable()).Pick(kits.OpModExp, n.BitLen())
+	}
+	return expo.NewKit(n, k)
+}
+
+// Encrypt computes C = M^E mod N through the exponentiator on the given
+// compute kit (kits.Model for the paper-faithful path, kits.CIOS for
+// host speed, kits.Sim for the cycle-accurate circuit, kits.Auto to let
+// the benchmark table choose). It returns the ciphertext and the
+// exponentiation report.
+func (pub *PublicKey) Encrypt(m *big.Int, k kits.Kit) (*big.Int, expo.Report, error) {
+	ex, err := newExp(pub.N, k)
 	if err != nil {
 		return nil, expo.Report{}, err
 	}
@@ -185,8 +199,8 @@ func (pub *PublicKey) Encrypt(m *big.Int, mode expo.Mode) (*big.Int, expo.Report
 }
 
 // Decrypt computes M = C^D mod N directly (no CRT).
-func (priv *PrivateKey) Decrypt(c *big.Int, mode expo.Mode) (*big.Int, expo.Report, error) {
-	ex, err := expo.New(priv.N, mode)
+func (priv *PrivateKey) Decrypt(c *big.Int, k kits.Kit) (*big.Int, expo.Report, error) {
+	ex, err := newExp(priv.N, k)
 	if err != nil {
 		return nil, expo.Report{}, err
 	}
@@ -197,12 +211,12 @@ func (priv *PrivateKey) Decrypt(c *big.Int, mode expo.Mode) (*big.Int, expo.Repo
 // two half-length exponentiations (mod P and mod Q) recombined — the
 // standard ~4× speedup, included as the paper's natural extension for
 // RSA deployments. The combined cycle report sums both halves.
-func (priv *PrivateKey) DecryptCRT(c *big.Int, mode expo.Mode) (*big.Int, expo.Report, error) {
-	exP, err := expo.New(priv.P, mode)
+func (priv *PrivateKey) DecryptCRT(c *big.Int, k kits.Kit) (*big.Int, expo.Report, error) {
+	exP, err := newExp(priv.P, k)
 	if err != nil {
 		return nil, expo.Report{}, err
 	}
-	exQ, err := expo.New(priv.Q, mode)
+	exQ, err := newExp(priv.Q, k)
 	if err != nil {
 		return nil, expo.Report{}, err
 	}

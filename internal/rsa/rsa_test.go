@@ -5,7 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/expo"
+	"repro/internal/kits"
 )
 
 func TestIsProbablePrimeKnownValues(t *testing.T) {
@@ -94,18 +94,18 @@ func TestGenerateKeyAndRoundTrip(t *testing.T) {
 	}
 	for trial := 0; trial < 5; trial++ {
 		m := new(big.Int).Rand(rng, key.N)
-		c, _, err := key.Encrypt(m, expo.Model)
+		c, _, err := key.Encrypt(m, kits.Model)
 		if err != nil {
 			t.Fatal(err)
 		}
-		back, _, err := key.Decrypt(c, expo.Model)
+		back, _, err := key.Decrypt(c, kits.Model)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if back.Cmp(m) != 0 {
 			t.Fatalf("round trip failed")
 		}
-		backCRT, rep, err := key.DecryptCRT(c, expo.Model)
+		backCRT, rep, err := key.DecryptCRT(c, kits.Model)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -127,11 +127,11 @@ func TestCRTCycleAdvantage(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := new(big.Int).Rand(rng, key.N)
-	_, repFull, err := key.Decrypt(c, expo.Model)
+	_, repFull, err := key.Decrypt(c, kits.Model)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, repCRT, err := key.DecryptCRT(c, expo.Model)
+	_, repCRT, err := key.DecryptCRT(c, kits.Model)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,14 +149,14 @@ func TestRoundTripSimulated(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := big.NewInt(0xBEEF)
-	c, repEnc, err := key.Encrypt(m, expo.Simulate)
+	c, repEnc, err := key.Encrypt(m, kits.Sim)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if repEnc.SimulatedMulCycles == 0 {
 		t.Error("simulated encryption reported no circuit cycles")
 	}
-	back, _, err := key.DecryptCRT(c, expo.Simulate)
+	back, _, err := key.DecryptCRT(c, kits.Sim)
 	if err != nil {
 		t.Fatal(err)
 	}

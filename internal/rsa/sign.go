@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"repro/internal/expo"
+	"repro/internal/kits"
 )
 
 // Textbook RSA signatures over SHA-256 digests: s = H(m)^D mod N,
@@ -17,7 +18,7 @@ import (
 
 // SignSHA256 signs a message: the SHA-256 digest, reduced mod N, is
 // raised to the private exponent (via CRT when available).
-func (priv *PrivateKey) SignSHA256(message []byte, mode expo.Mode) (*big.Int, expo.Report, error) {
+func (priv *PrivateKey) SignSHA256(message []byte, k kits.Kit) (*big.Int, expo.Report, error) {
 	digest := sha256.Sum256(message)
 	h := new(big.Int).SetBytes(digest[:])
 	h.Mod(h, priv.N)
@@ -25,9 +26,9 @@ func (priv *PrivateKey) SignSHA256(message []byte, mode expo.Mode) (*big.Int, ex
 		return nil, expo.Report{}, errors.New("rsa: degenerate digest")
 	}
 	if priv.P != nil && priv.Q != nil {
-		return priv.decryptCRTValue(h, mode)
+		return priv.decryptCRTValue(h, k)
 	}
-	ex, err := expo.New(priv.N, mode)
+	ex, err := newExp(priv.N, k)
 	if err != nil {
 		return nil, expo.Report{}, err
 	}
@@ -36,19 +37,19 @@ func (priv *PrivateKey) SignSHA256(message []byte, mode expo.Mode) (*big.Int, ex
 
 // decryptCRTValue applies the CRT private-key operation to an arbitrary
 // value (shared by Decrypt-style paths and signing).
-func (priv *PrivateKey) decryptCRTValue(v *big.Int, mode expo.Mode) (*big.Int, expo.Report, error) {
-	return priv.DecryptCRT(v, mode)
+func (priv *PrivateKey) decryptCRTValue(v *big.Int, k kits.Kit) (*big.Int, expo.Report, error) {
+	return priv.DecryptCRT(v, k)
 }
 
 // VerifySHA256 checks a signature against a message.
-func (pub *PublicKey) VerifySHA256(message []byte, sig *big.Int, mode expo.Mode) (bool, error) {
+func (pub *PublicKey) VerifySHA256(message []byte, sig *big.Int, k kits.Kit) (bool, error) {
 	if sig.Sign() <= 0 || sig.Cmp(pub.N) >= 0 {
 		return false, nil
 	}
 	digest := sha256.Sum256(message)
 	h := new(big.Int).SetBytes(digest[:])
 	h.Mod(h, pub.N)
-	ex, err := expo.New(pub.N, mode)
+	ex, err := newExp(pub.N, k)
 	if err != nil {
 		return false, err
 	}
@@ -65,7 +66,7 @@ func (pub *PublicKey) VerifySHA256(message []byte, sig *big.Int, mode expo.Mode)
 // c·r^E mod N before exponentiation, and the mask is removed with one
 // modular inversion afterwards, so the exponentiation's operand sequence
 // is decorrelated from the attacker-chosen ciphertext.
-func (priv *PrivateKey) DecryptBlinded(c *big.Int, mode expo.Mode, rng *rand.Rand) (*big.Int, expo.Report, error) {
+func (priv *PrivateKey) DecryptBlinded(c *big.Int, k kits.Kit, rng *rand.Rand) (*big.Int, expo.Report, error) {
 	if c.Sign() < 0 || c.Cmp(priv.N) >= 0 {
 		return nil, expo.Report{}, errors.New("rsa: ciphertext out of range")
 	}
@@ -83,7 +84,7 @@ func (priv *PrivateKey) DecryptBlinded(c *big.Int, mode expo.Mode, rng *rand.Ran
 			break
 		}
 	}
-	ex, err := expo.New(priv.N, mode)
+	ex, err := newExp(priv.N, k)
 	if err != nil {
 		return nil, expo.Report{}, err
 	}

@@ -5,7 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/expo"
+	"repro/internal/kits"
 )
 
 func TestSignVerifyRoundTrip(t *testing.T) {
@@ -15,14 +15,14 @@ func TestSignVerifyRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	msg := []byte("bind this message to its sender")
-	sig, rep, err := key.SignSHA256(msg, expo.Model)
+	sig, rep, err := key.SignSHA256(msg, kits.Model)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.TotalCycles <= 0 {
 		t.Error("empty signing report")
 	}
-	ok, err := key.PublicKey.VerifySHA256(msg, sig, expo.Model)
+	ok, err := key.PublicKey.VerifySHA256(msg, sig, kits.Model)
 	if err != nil || !ok {
 		t.Fatalf("valid signature rejected (%v)", err)
 	}
@@ -35,11 +35,11 @@ func TestVerifyRejectsTampering(t *testing.T) {
 		t.Fatal(err)
 	}
 	msg := []byte("original")
-	sig, _, err := key.SignSHA256(msg, expo.Model)
+	sig, _, err := key.SignSHA256(msg, kits.Model)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ok, _ := key.PublicKey.VerifySHA256([]byte("tampered"), sig, expo.Model); ok {
+	if ok, _ := key.PublicKey.VerifySHA256([]byte("tampered"), sig, kits.Model); ok {
 		t.Error("tampered message accepted")
 	}
 	bad := new(big.Int).Add(sig, big.NewInt(1))
@@ -47,17 +47,17 @@ func TestVerifyRejectsTampering(t *testing.T) {
 	if bad.Sign() == 0 {
 		bad.SetInt64(2)
 	}
-	if ok, _ := key.PublicKey.VerifySHA256(msg, bad, expo.Model); ok {
+	if ok, _ := key.PublicKey.VerifySHA256(msg, bad, kits.Model); ok {
 		t.Error("tampered signature accepted")
 	}
-	if ok, _ := key.PublicKey.VerifySHA256(msg, big.NewInt(0), expo.Model); ok {
+	if ok, _ := key.PublicKey.VerifySHA256(msg, big.NewInt(0), kits.Model); ok {
 		t.Error("zero signature accepted")
 	}
-	if ok, _ := key.PublicKey.VerifySHA256(msg, key.N, expo.Model); ok {
+	if ok, _ := key.PublicKey.VerifySHA256(msg, key.N, kits.Model); ok {
 		t.Error("out-of-range signature accepted")
 	}
 	other, _ := GenerateKey(64, nil, rng)
-	if ok, _ := other.PublicKey.VerifySHA256(msg, sig, expo.Model); ok {
+	if ok, _ := other.PublicKey.VerifySHA256(msg, sig, kits.Model); ok {
 		t.Error("signature accepted under the wrong key")
 	}
 }
@@ -70,14 +70,14 @@ func TestSignSimulated(t *testing.T) {
 		t.Fatal(err)
 	}
 	msg := []byte("gates")
-	sig, rep, err := key.SignSHA256(msg, expo.Simulate)
+	sig, rep, err := key.SignSHA256(msg, kits.Sim)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.SimulatedMulCycles == 0 {
 		t.Error("no simulated cycles recorded")
 	}
-	ok, err := key.PublicKey.VerifySHA256(msg, sig, expo.Simulate)
+	ok, err := key.PublicKey.VerifySHA256(msg, sig, kits.Sim)
 	if err != nil || !ok {
 		t.Fatalf("simulated signature rejected (%v)", err)
 	}
@@ -93,11 +93,11 @@ func TestDecryptBlinded(t *testing.T) {
 	}
 	for trial := 0; trial < 5; trial++ {
 		m := new(big.Int).Rand(rng, key.N)
-		c, _, err := key.Encrypt(m, expo.Model)
+		c, _, err := key.Encrypt(m, kits.Model)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, rep, err := key.DecryptBlinded(c, expo.Model, rng)
+		got, rep, err := key.DecryptBlinded(c, kits.Model, rng)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -108,7 +108,7 @@ func TestDecryptBlinded(t *testing.T) {
 			t.Error("empty blinded report")
 		}
 	}
-	if _, _, err := key.DecryptBlinded(key.N, expo.Model, rng); err == nil {
+	if _, _, err := key.DecryptBlinded(key.N, kits.Model, rng); err == nil {
 		t.Error("out-of-range ciphertext accepted")
 	}
 }

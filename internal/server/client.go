@@ -108,6 +108,17 @@ var idempotent = map[Op]bool{
 	OpModExp:      true, // pure: Base^Exp mod N
 	OpBatchModExp: true,
 	OpPing:        true, // read-only health check
+
+	// Signing ops: keygen is a deterministic function of (bits, seed),
+	// both signs are deterministic under their seeds (ECDSA) or
+	// stateless pure functions up to the blinds — which never change
+	// the produced signature — and the verifies are pure reads, so a
+	// double execution is always byte-identical.
+	OpKeygenRSA:        true,
+	OpSignRSA:          true,
+	OpVerifyRSA:        true,
+	OpSignECDSA:        true,
+	OpVerifyECDSABatch: true,
 }
 
 // Dial prepares a client for addr. Connections are established lazily
@@ -157,7 +168,7 @@ func (c *Client) Close() error {
 
 // ModExp computes Base^Exp mod N on the remote engine.
 func (c *Client) ModExp(ctx context.Context, n, base, exp *big.Int) (*big.Int, error) {
-	resp, err := c.call(ctx, OpModExp, []triple{{n: n, a: base, b: exp}})
+	resp, err := c.call(ctx, OpModExp, []triple{{n: n, a: base, b: exp}}, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -166,7 +177,7 @@ func (c *Client) ModExp(ctx context.Context, n, base, exp *big.Int) (*big.Int, e
 
 // Mont computes the raw Montgomery product X·Y·R⁻¹ mod 2N remotely.
 func (c *Client) Mont(ctx context.Context, n, x, y *big.Int) (*big.Int, error) {
-	resp, err := c.call(ctx, OpMont, []triple{{n: n, a: x, b: y}})
+	resp, err := c.call(ctx, OpMont, []triple{{n: n, a: x, b: y}}, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +190,7 @@ func (c *Client) Mont(ctx context.Context, n, x, y *big.Int) (*big.Int, error) {
 // ErrBackendDown (wrapping the dial error). Pings bypass the server's
 // admission control, so they keep answering under overload.
 func (c *Client) Ping(ctx context.Context) (inflight int64, err error) {
-	resp, err := c.call(ctx, OpPing, nil)
+	resp, err := c.call(ctx, OpPing, nil, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -196,7 +207,7 @@ func (c *Client) ModExpBatch(ctx context.Context, jobs []engine.ModExpJob) ([]en
 	for i, j := range jobs {
 		trips[i] = triple{n: j.N, a: j.Base, b: j.Exp}
 	}
-	resp, err := c.call(ctx, OpBatchModExp, trips)
+	resp, err := c.call(ctx, OpBatchModExp, trips, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -227,15 +238,15 @@ func transientCode(code Code) bool {
 // trace context (inherited from ctx, or minted when WithClientTracing
 // is on), run the retries under it, and record one client span
 // covering the whole call — every retry included — when sampled.
-func (c *Client) call(ctx context.Context, op Op, jobs []triple) (*response, error) {
+func (c *Client) call(ctx context.Context, op Op, jobs []triple, crypto *cryptoBody) (*response, error) {
 	tc, traced := c.traceContext(ctx, op)
 	if !traced {
-		return c.callRetry(ctx, op, jobs, obs.TraceContext{}, nil)
+		return c.callRetry(ctx, op, jobs, crypto, obs.TraceContext{}, nil)
 	}
 	span := obs.NewSpanID()
 	start := time.Now()
 	var attempts int
-	resp, err := c.callRetry(ctx, op, jobs, tc.Child(span), &attempts)
+	resp, err := c.callRetry(ctx, op, jobs, crypto, tc.Child(span), &attempts)
 	if c.cfg.tracer != nil {
 		outcome := "ok"
 		if err != nil {
@@ -280,14 +291,14 @@ func (c *Client) traceContext(ctx context.Context, op Op) (obs.TraceContext, boo
 // attempts, when non-nil, counts tryOnce invocations for the caller's
 // span.
 func (c *Client) callRetry(ctx context.Context, op Op, jobs []triple,
-	tc obs.TraceContext, attempts *int) (*response, error) {
+	crypto *cryptoBody, tc obs.TraceContext, attempts *int) (*response, error) {
 	var lastErr error
 	var lastNetwork bool
 	for attempt := 0; ; attempt++ {
 		if attempts != nil {
 			*attempts = attempt + 1
 		}
-		resp, wrote, err := c.tryOnce(ctx, op, jobs, tc)
+		resp, wrote, err := c.tryOnce(ctx, op, jobs, crypto, tc)
 		switch {
 		case err == nil && resp.code == CodeOK:
 			return resp, nil
@@ -349,7 +360,7 @@ func (c *Client) sleep(ctx context.Context, attempt int) error {
 // the request, wait for its response. wrote reports whether any bytes
 // may have reached the server (the ambiguity gate for retries).
 func (c *Client) tryOnce(ctx context.Context, op Op, jobs []triple,
-	tc obs.TraceContext) (resp *response, wrote bool, err error) {
+	crypto *cryptoBody, tc obs.TraceContext) (resp *response, wrote bool, err error) {
 	cc, err := c.conn(ctx)
 	if err != nil {
 		return nil, false, err
@@ -360,7 +371,7 @@ func (c *Client) tryOnce(ctx context.Context, op Op, jobs []triple,
 		c.drop(cc)
 		return nil, false, err
 	}
-	req := &request{op: op, id: id, jobs: jobs, tc: tc}
+	req := &request{op: op, id: id, jobs: jobs, crypto: crypto, tc: tc}
 	if dl, ok := ctx.Deadline(); ok {
 		req.deadline = dl
 	}

@@ -1,0 +1,98 @@
+package server
+
+// Client-side signing-service calls. The method set mirrors
+// SignHandler, so a *Client is itself a SignHandler — which is exactly
+// how the cluster balancer forwards signing ops to backends.
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+
+	"repro/internal/cryptosvc"
+	"repro/internal/errs"
+	"repro/internal/rsa"
+)
+
+// Client implements SignHandler (and the balancer routes through it).
+var _ SignHandler = (*Client)(nil)
+
+// KeygenRSA generates a deterministic RSA key of the given modulus size
+// on the remote server. The same (bits, seed) always yields the same
+// key, which is what makes the op safely retryable.
+func (c *Client) KeygenRSA(ctx context.Context, bits int, seed int64) (*rsa.PrivateKey, error) {
+	resp, err := c.call(ctx, OpKeygenRSA, nil, &cryptoBody{bits: bits, seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	v := resp.values
+	if len(v) != 8 {
+		return nil, fmt.Errorf("server: keygen answered %d values: %w", len(v), errs.ErrProtocol)
+	}
+	return &rsa.PrivateKey{
+		PublicKey: rsa.PublicKey{N: orNil(v[0]), E: orNil(v[1])},
+		D:         orNil(v[2]),
+		P:         orNil(v[3]), Q: orNil(v[4]),
+		DP: orNil(v[5]), DQ: orNil(v[6]), QInv: orNil(v[7]),
+	}, nil
+}
+
+// SignRSA signs a digest on the remote server with its blinded
+// private-key path (CRT when the key carries its factors). The key
+// crosses the wire with the request; nil CRT fields are preserved.
+func (c *Client) SignRSA(ctx context.Context, key *rsa.PrivateKey, digest *big.Int) (*big.Int, error) {
+	if key == nil {
+		return nil, fmt.Errorf("server: nil key: %w", errs.ErrBadKey)
+	}
+	resp, err := c.call(ctx, OpSignRSA, nil, &cryptoBody{key: key, digest: digest})
+	if err != nil {
+		return nil, err
+	}
+	return resp.values[0], nil
+}
+
+// VerifyRSA checks sig^E ≡ digest (mod n) on the remote server. A
+// well-formed but wrong signature answers (false, nil); malformed key
+// material answers an ErrBadKey-wrapped error.
+func (c *Client) VerifyRSA(ctx context.Context, n, e, digest, sig *big.Int) (bool, error) {
+	resp, err := c.call(ctx, OpVerifyRSA, nil, &cryptoBody{n: n, e: e, digest: digest, sig: sig})
+	if err != nil {
+		return false, err
+	}
+	return resp.values[0].Sign() != 0, nil
+}
+
+// SignECDSA signs a digest on the remote server; the nonce is derived
+// deterministically from seed, so retries reproduce the signature.
+func (c *Client) SignECDSA(ctx context.Context, curveID uint8, d, digest *big.Int, seed int64) (*big.Int, *big.Int, error) {
+	resp, err := c.call(ctx, OpSignECDSA, nil, &cryptoBody{curve: curveID, d: d, digest: digest, seed: seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp.values[0], resp.values[1], nil
+}
+
+// VerifyECDSABatch verifies a batch of ECDSA signatures remotely with
+// per-item verdicts: results[i].OK answers items[i], and per-item
+// errors (off-curve point → ErrBadKey, missing fields →
+// ErrOperandRange) come back as the same sentinels the in-process
+// service returns.
+func (c *Client) VerifyECDSABatch(ctx context.Context, curveID uint8, items []cryptosvc.ECDSAVerifyItem) ([]cryptosvc.VerifyResult, error) {
+	resp, err := c.call(ctx, OpVerifyECDSABatch, nil, &cryptoBody{curve: curveID, items: items})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.values) != len(items) {
+		return nil, fmt.Errorf("server: verify batch answered %d of %d items: %w",
+			len(resp.values), len(items), errs.ErrProtocol)
+	}
+	results := make([]cryptosvc.VerifyResult, len(items))
+	for i := range results {
+		if e := errFor(resp.codes[i], resp.msgs[i]); e != nil {
+			results[i].Err = e
+		} else {
+			results[i].OK = resp.values[i].Sign() != 0
+		}
+	}
+	return results, nil
+}

@@ -26,7 +26,10 @@ type metrics struct {
 }
 
 // serverOps enumerates the ops metrics are labeled with.
-var serverOps = []Op{OpMont, OpModExp, OpBatchModExp, OpPing}
+var serverOps = []Op{
+	OpMont, OpModExp, OpBatchModExp, OpPing,
+	OpKeygenRSA, OpSignRSA, OpVerifyRSA, OpSignECDSA, OpVerifyECDSABatch,
+}
 
 func newMetrics(reg *obs.Registry) *metrics {
 	m := &metrics{
@@ -78,7 +81,13 @@ func sloBad(c Code) bool {
 // once after NewServer, then t.Start().
 func (s *Server) RegisterSLOs(t *obs.SLOTracker, latencyObjective time.Duration, target float64) {
 	m := s.met
-	for _, op := range []Op{OpMont, OpModExp, OpBatchModExp} {
+	ops := []Op{OpMont, OpModExp, OpBatchModExp}
+	if s.sign != nil {
+		// Signing ops only serve (and only burn budget) where a
+		// SignHandler backs them.
+		ops = append(ops, OpKeygenRSA, OpSignRSA, OpVerifyRSA, OpSignECDSA, OpVerifyECDSABatch)
+	}
+	for _, op := range ops {
 		byCode := m.requests[op]
 		t.AddObjective(op.String()+"_availability",
 			"requests answered without a server-owned failure code",

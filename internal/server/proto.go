@@ -9,7 +9,8 @@
 // and a request payload is
 //
 //	byte   version (1)
-//	byte   op            1=Mont  2=ModExp  3=BatchModExp  (5/6/7 traced)
+//	byte   op            1=Mont  2=ModExp  3=BatchModExp  4=Ping  (5/6/7 traced)
+//	                     8–12 signing ops (13–17 traced), see proto_crypto.go
 //	uint64 request id    client-chosen, echoed in the response
 //	int64  deadline      UnixNano, 0 = none
 //	trace  block         traced ops only: 16B trace id ‖ 8B parent span ‖ flags
@@ -92,7 +93,19 @@ func (o Op) String() string {
 		return "batch_modexp"
 	case OpPing:
 		return "ping"
-	case OpMontTraced, OpModExpTraced, OpBatchModExpTraced:
+	case OpKeygenRSA:
+		return "keygen_rsa"
+	case OpSignRSA:
+		return "sign_rsa"
+	case OpVerifyRSA:
+		return "verify_rsa"
+	case OpSignECDSA:
+		return "sign_ecdsa"
+	case OpVerifyECDSABatch:
+		return "verify_ecdsa_batch"
+	case OpMontTraced, OpModExpTraced, OpBatchModExpTraced,
+		OpKeygenRSATraced, OpSignRSATraced, OpVerifyRSATraced,
+		OpSignECDSATraced, OpVerifyECDSABatchTraced:
 		// Decoding normalizes traced ops to their base immediately, so
 		// these names never reach metrics labels — tracing must not
 		// split the per-op series.
@@ -113,6 +126,10 @@ func (o Op) untraced() (base Op, isTraced bool) {
 		return OpModExp, true
 	case OpBatchModExpTraced:
 		return OpBatchModExp, true
+	case OpKeygenRSATraced, OpSignRSATraced, OpVerifyRSATraced,
+		OpSignECDSATraced, OpVerifyECDSABatchTraced:
+		// Traced signing ops sit at a fixed offset from their base.
+		return o - (OpKeygenRSATraced - OpKeygenRSA), true
 	default:
 		return o, false
 	}
@@ -128,6 +145,8 @@ func (o Op) traced() (Op, bool) {
 		return OpModExpTraced, true
 	case OpBatchModExp:
 		return OpBatchModExpTraced, true
+	case OpKeygenRSA, OpSignRSA, OpVerifyRSA, OpSignECDSA, OpVerifyECDSABatch:
+		return o + (OpKeygenRSATraced - OpKeygenRSA), true
 	default:
 		return o, false
 	}
@@ -189,6 +208,8 @@ func (c Code) String() string {
 		return "backend_down"
 	case CodeIntegrity:
 		return "integrity"
+	case CodeBadKey:
+		return "bad_key"
 	default:
 		return "internal"
 	}
@@ -200,7 +221,7 @@ var wireCodes = []Code{
 	CodeOK, CodeEvenModulus, CodeModulusTooSmall, CodeOperandRange,
 	CodeEngineClosed, CodeOverloaded, CodeDraining, CodeProtocol,
 	CodeDeadline, CodeCanceled, CodeBackendDown, CodeIntegrity,
-	CodeInternal,
+	CodeBadKey, CodeInternal,
 }
 
 // codeFor maps an error to its wire code. Unrecognized errors become
@@ -227,6 +248,8 @@ func codeFor(err error) Code {
 		return CodeBackendDown
 	case errors.Is(err, errs.ErrIntegrity):
 		return CodeIntegrity
+	case errors.Is(err, errs.ErrBadKey):
+		return CodeBadKey
 	case errors.Is(err, context.DeadlineExceeded):
 		return CodeDeadline
 	case errors.Is(err, context.Canceled):
@@ -265,6 +288,8 @@ func errFor(code Code, msg string) error {
 		return fmt.Errorf("montsys: remote: %s: %w", msg, errs.ErrBackendDown)
 	case CodeIntegrity:
 		return fmt.Errorf("montsys: remote: %s: %w", msg, errs.ErrIntegrity)
+	case CodeBadKey:
+		return fmt.Errorf("montsys: remote: %s: %w", msg, errs.ErrBadKey)
 	case CodeDeadline:
 		return fmt.Errorf("montsys: remote: %s: %w", msg, context.DeadlineExceeded)
 	case CodeCanceled:
@@ -291,7 +316,8 @@ type request struct {
 	id       uint64
 	deadline time.Time // zero = none
 	tc       obs.TraceContext
-	jobs     []triple // len 1 for Mont/ModExp
+	jobs     []triple    // len 1 for Mont/ModExp; empty for signing ops
+	crypto   *cryptoBody // signing ops only
 }
 
 // response is one decoded response frame. For batch ops, codes/values
@@ -458,6 +484,9 @@ func encodeRequest(req *request) []byte {
 		b = append(b, req.tc.SpanID[:]...)
 		b = append(b, traceFlagSampled)
 	}
+	if isCryptoOp(req.op) {
+		return encodeCryptoRequestBody(b, req)
+	}
 	if req.op == OpBatchModExp {
 		b = appendUint32(b, uint32(len(req.jobs)))
 	}
@@ -510,6 +539,15 @@ func decodeRequest(payload []byte) (*request, error) {
 		req.tc.Sampled = blk[24]&traceFlagSampled != 0
 		op, req.op = base, base
 	}
+	if isCryptoOp(op) {
+		if err := decodeCryptoRequestBody(&d, req); err != nil {
+			return nil, err
+		}
+		if err := d.done(); err != nil {
+			return nil, err
+		}
+		return req, nil
+	}
 	count := 1
 	switch op {
 	case OpMont, OpModExp:
@@ -559,6 +597,9 @@ func encodeResponse(op Op, resp *response) []byte {
 	if resp.code != CodeOK {
 		return appendString(b, resp.msg)
 	}
+	if isCryptoOp(op) {
+		return encodeCryptoResponseBody(b, op, resp)
+	}
 	if op == OpBatchModExp {
 		b = appendUint32(b, uint32(len(resp.codes)))
 		for i, c := range resp.codes {
@@ -597,6 +638,12 @@ func decodeResponse(op Op, payload []byte) (*response, error) {
 	resp.code = Code(cb)
 	if resp.code != CodeOK {
 		if resp.msg, err = d.string(); err != nil {
+			return nil, err
+		}
+		return resp, d.done()
+	}
+	if isCryptoOp(op) {
+		if err := decodeCryptoResponseBody(&d, op, resp); err != nil {
 			return nil, err
 		}
 		return resp, d.done()

@@ -1,0 +1,296 @@
+package server
+
+// Wire extension: the signing-service operations. Op values and the
+// CodeBadKey error code are appended to the existing ABI — every frame
+// an old peer can produce or parse is byte-identical, and an old server
+// answers the new ops with CodeProtocol instead of misparsing them, so
+// mixed-version fleets keep working (degraded to "no signing", never to
+// corruption).
+//
+// Request bodies (big.Ints as uint32 len ‖ magnitude; a zero-length /
+// zero-valued big means "absent" for the optional CRT key fields):
+//
+//	keygen_rsa          uint32 bits ‖ uint64 seed
+//	sign_rsa            n e d p q dp dq qinv digest   (9 bigs)
+//	verify_rsa          n e digest sig                (4 bigs)
+//	sign_ecdsa          byte curve ‖ d ‖ digest ‖ uint64 seed
+//	verify_ecdsa_batch  byte curve ‖ uint32 count ‖ count × (qx qy r s digest)
+//
+// Response bodies on CodeOK:
+//
+//	keygen_rsa          n e d p q dp dq qinv          (8 bigs)
+//	sign_rsa            sig                           (1 big)
+//	verify_rsa          0|1                           (1 big)
+//	sign_ecdsa          r s                           (2 bigs)
+//	verify_ecdsa_batch  uint32 count ‖ count × (code ‖ 0|1-big on OK, msg else)
+//
+// The batch verify response reuses the per-item code shape of
+// batch_modexp, so one malformed public key doesn't poison its batch.
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/cryptosvc"
+	"repro/internal/errs"
+	"repro/internal/rsa"
+)
+
+// Signing-service wire operations — a network ABI, append only.
+const (
+	OpKeygenRSA        Op = 8
+	OpSignRSA          Op = 9
+	OpVerifyRSA        Op = 10
+	OpSignECDSA        Op = 11
+	OpVerifyECDSABatch Op = 12
+
+	// Traced variants, same contract as OpMontTraced & co.
+	OpKeygenRSATraced        Op = 13
+	OpSignRSATraced          Op = 14
+	OpVerifyRSATraced        Op = 15
+	OpSignECDSATraced        Op = 16
+	OpVerifyECDSABatchTraced Op = 17
+)
+
+// CodeBadKey reports key material that failed consistency checks
+// (errs.ErrBadKey). Appended to the frozen code list.
+const CodeBadKey Code = 12
+
+// cryptoBody carries a decoded signing-op request body. Exactly the
+// fields the op uses are set; the rest stay zero.
+type cryptoBody struct {
+	bits int   // keygen_rsa
+	seed int64 // keygen_rsa, sign_ecdsa
+
+	key    *rsa.PrivateKey // sign_rsa
+	digest *big.Int        // sign_rsa, verify_rsa, sign_ecdsa
+	sig    *big.Int        // verify_rsa
+	n, e   *big.Int        // verify_rsa public key
+	d      *big.Int        // sign_ecdsa secret scalar
+
+	curve uint8                       // sign_ecdsa, verify_ecdsa_batch
+	items []cryptosvc.ECDSAVerifyItem // verify_ecdsa_batch
+}
+
+// isCryptoOp reports whether op is a signing-service op (base form).
+func isCryptoOp(op Op) bool {
+	return op >= OpKeygenRSA && op <= OpVerifyECDSABatch
+}
+
+// orNil maps the wire's "zero-length big" convention back to nil for
+// optional key fields (no legitimate key component is zero).
+func orNil(v *big.Int) *big.Int {
+	if v == nil || v.Sign() == 0 {
+		return nil
+	}
+	return v
+}
+
+// encodeCryptoRequestBody appends the op-specific body for a signing
+// request.
+func encodeCryptoRequestBody(b []byte, req *request) []byte {
+	cb := req.crypto
+	switch req.op {
+	case OpKeygenRSA:
+		b = appendUint32(b, uint32(cb.bits))
+		b = appendUint64(b, uint64(cb.seed))
+	case OpSignRSA:
+		k := cb.key
+		if k == nil {
+			k = &rsa.PrivateKey{}
+		}
+		for _, v := range []*big.Int{k.N, k.E, k.D, k.P, k.Q, k.DP, k.DQ, k.QInv, cb.digest} {
+			b = appendBig(b, v)
+		}
+	case OpVerifyRSA:
+		for _, v := range []*big.Int{cb.n, cb.e, cb.digest, cb.sig} {
+			b = appendBig(b, v)
+		}
+	case OpSignECDSA:
+		b = append(b, cb.curve)
+		b = appendBig(b, cb.d)
+		b = appendBig(b, cb.digest)
+		b = appendUint64(b, uint64(cb.seed))
+	case OpVerifyECDSABatch:
+		b = append(b, cb.curve)
+		b = appendUint32(b, uint32(len(cb.items)))
+		for _, it := range cb.items {
+			b = appendBig(b, it.Qx)
+			b = appendBig(b, it.Qy)
+			b = appendBig(b, it.R)
+			b = appendBig(b, it.S)
+			b = appendBig(b, it.Digest)
+		}
+	}
+	return b
+}
+
+// decodeCryptoRequestBody parses the op-specific body of a signing
+// request into req.crypto.
+func decodeCryptoRequestBody(d *decoder, req *request) error {
+	cb := &cryptoBody{}
+	req.crypto = cb
+	switch req.op {
+	case OpKeygenRSA:
+		bits, err := d.uint32()
+		if err != nil {
+			return err
+		}
+		seed, err := d.uint64()
+		if err != nil {
+			return err
+		}
+		cb.bits, cb.seed = int(bits), int64(seed)
+	case OpSignRSA:
+		vs := make([]*big.Int, 9)
+		for i := range vs {
+			v, err := d.big()
+			if err != nil {
+				return err
+			}
+			vs[i] = v
+		}
+		cb.key = &rsa.PrivateKey{
+			PublicKey: rsa.PublicKey{N: orNil(vs[0]), E: orNil(vs[1])},
+			D:         orNil(vs[2]),
+			P:         orNil(vs[3]), Q: orNil(vs[4]),
+			DP: orNil(vs[5]), DQ: orNil(vs[6]), QInv: orNil(vs[7]),
+		}
+		cb.digest = vs[8]
+	case OpVerifyRSA:
+		vs := make([]*big.Int, 4)
+		for i := range vs {
+			v, err := d.big()
+			if err != nil {
+				return err
+			}
+			vs[i] = v
+		}
+		cb.n, cb.e, cb.digest, cb.sig = vs[0], vs[1], vs[2], vs[3]
+	case OpSignECDSA:
+		curve, err := d.byte()
+		if err != nil {
+			return err
+		}
+		cb.curve = curve
+		if cb.d, err = d.big(); err != nil {
+			return err
+		}
+		if cb.digest, err = d.big(); err != nil {
+			return err
+		}
+		seed, err := d.uint64()
+		if err != nil {
+			return err
+		}
+		cb.seed = int64(seed)
+	case OpVerifyECDSABatch:
+		curve, err := d.byte()
+		if err != nil {
+			return err
+		}
+		cb.curve = curve
+		c, err := d.uint32()
+		if err != nil {
+			return err
+		}
+		if c > maxBatch {
+			return fmt.Errorf("server: verify batch of %d items exceeds limit %d: %w",
+				c, maxBatch, errs.ErrProtocol)
+		}
+		cb.items = make([]cryptosvc.ECDSAVerifyItem, c)
+		for i := range cb.items {
+			it := &cb.items[i]
+			for _, dst := range []**big.Int{&it.Qx, &it.Qy, &it.R, &it.S, &it.Digest} {
+				v, err := d.big()
+				if err != nil {
+					return err
+				}
+				*dst = v
+			}
+		}
+	default:
+		return fmt.Errorf("server: op %d is not a signing op: %w", req.op, errs.ErrProtocol)
+	}
+	return nil
+}
+
+// cryptoRespArity is the fixed number of big.Int values in an OK
+// response body, or -1 for the batch-shaped verify_ecdsa_batch.
+func cryptoRespArity(op Op) int {
+	switch op {
+	case OpKeygenRSA:
+		return 8 // n e d p q dp dq qinv
+	case OpSignRSA, OpVerifyRSA:
+		return 1
+	case OpSignECDSA:
+		return 2 // r s
+	default:
+		return -1
+	}
+}
+
+// encodeCryptoResponseBody appends an OK signing response's body.
+// resp.values carries the bigs for fixed-arity ops; the batch op uses
+// codes/msgs/values per item like batch_modexp.
+func encodeCryptoResponseBody(b []byte, op Op, resp *response) []byte {
+	if n := cryptoRespArity(op); n >= 0 {
+		for i := 0; i < n; i++ {
+			b = appendBig(b, resp.values[i])
+		}
+		return b
+	}
+	b = appendUint32(b, uint32(len(resp.codes)))
+	for i, c := range resp.codes {
+		b = append(b, byte(c))
+		if c == CodeOK {
+			b = appendBig(b, resp.values[i])
+		} else {
+			b = appendString(b, resp.msgs[i])
+		}
+	}
+	return b
+}
+
+// decodeCryptoResponseBody parses an OK signing response's body.
+func decodeCryptoResponseBody(d *decoder, op Op, resp *response) error {
+	if n := cryptoRespArity(op); n >= 0 {
+		resp.values = make([]*big.Int, n)
+		resp.codes = make([]Code, n)
+		resp.msgs = make([]string, n)
+		for i := 0; i < n; i++ {
+			v, err := d.big()
+			if err != nil {
+				return err
+			}
+			resp.values[i] = v
+		}
+		return nil
+	}
+	c, err := d.uint32()
+	if err != nil {
+		return err
+	}
+	if c > maxBatch {
+		return fmt.Errorf("server: verify batch response of %d items exceeds limit %d: %w",
+			c, maxBatch, errs.ErrProtocol)
+	}
+	resp.codes = make([]Code, c)
+	resp.msgs = make([]string, c)
+	resp.values = make([]*big.Int, c)
+	for i := 0; i < int(c); i++ {
+		cb, err := d.byte()
+		if err != nil {
+			return err
+		}
+		resp.codes[i] = Code(cb)
+		if resp.codes[i] == CodeOK {
+			if resp.values[i], err = d.big(); err != nil {
+				return err
+			}
+		} else if resp.msgs[i], err = d.string(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cryptosvc"
 	"repro/internal/engine"
 	"repro/internal/errs"
 	"repro/internal/obs"
@@ -25,6 +26,7 @@ type config struct {
 	registry     *obs.Registry
 	tracer       *obs.Tracer
 	wide         *obs.WideWriter
+	signSvc      *cryptosvc.Service
 }
 
 // WithMaxInflight bounds the requests admitted and not yet answered,
@@ -91,9 +93,10 @@ const DefaultHandlerInflight = 256
 // Shutdown drains gracefully: stop accepting, answer new requests with
 // ErrDraining, finish everything already admitted, flush, then close.
 type Server struct {
-	h   Handler
-	cfg config
-	met *metrics
+	h    Handler
+	sign SignHandler // nil when the handler cannot execute signing ops
+	cfg  config
+	met  *metrics
 
 	inflight chan struct{}
 
@@ -108,10 +111,14 @@ type Server struct {
 	connWG   sync.WaitGroup // connection handlers
 }
 
-// engineHandler adapts an engine.Engine to the Handler interface,
+// engineHandler adapts an engine.Engine to the SignHandler interface,
 // propagating the context's deadline into the engine's per-job deadline
 // fields (the engine enforces it even while a job waits in queue).
-type engineHandler struct{ eng *engine.Engine }
+// Signing ops delegate to svc (see server_crypto.go).
+type engineHandler struct {
+	eng *engine.Engine
+	svc *cryptosvc.Service
+}
 
 func (h engineHandler) Mont(ctx context.Context, n, x, y *big.Int) (*big.Int, error) {
 	dl, _ := ctx.Deadline()
@@ -164,7 +171,17 @@ func NewServer(eng *engine.Engine, opts ...Option) (*Server, error) {
 	if eng == nil {
 		return nil, fmt.Errorf("server: nil engine")
 	}
-	return newServer(engineHandler{eng}, 4*eng.Workers(), opts)
+	// The handler needs the parsed options (WithSignService) before it
+	// exists, so peek at the config first; newServer re-parses.
+	var peek config
+	for _, o := range opts {
+		o(&peek)
+	}
+	svc := peek.signSvc
+	if svc == nil {
+		svc = cryptosvc.New(eng)
+	}
+	return newServer(engineHandler{eng, svc}, 4*eng.Workers(), opts)
 }
 
 // NewHandlerServer wraps an arbitrary Handler — the balancer's way of
@@ -197,8 +214,10 @@ func newServer(h Handler, defaultInflight int, opts []Option) (*Server, error) {
 		cfg.registry = obs.NewRegistry()
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	sign, _ := h.(SignHandler)
 	return &Server{
 		h:          h,
+		sign:       sign,
 		cfg:        cfg,
 		met:        newMetrics(cfg.registry),
 		inflight:   make(chan struct{}, cfg.maxInflight),
@@ -578,6 +597,9 @@ func (s *Server) observeRequest(req *request, spanID obs.SpanID, code Code,
 		if req.op == OpBatchModExp {
 			ev.Batch = len(req.jobs)
 		}
+		if req.op == OpVerifyECDSABatch && req.crypto != nil {
+			ev.Batch = len(req.crypto.items)
+		}
 		s.cfg.wide.Emit(ev)
 	}
 }
@@ -630,6 +652,13 @@ func (s *Server) execute(ctx context.Context, req *request) *response {
 		}
 		return resp
 	default:
+		if isCryptoOp(req.op) {
+			if s.sign == nil {
+				return &response{code: CodeProtocol,
+					msg: fmt.Sprintf("signing op %s unsupported by this server", req.op)}
+			}
+			return s.executeCrypto(ctx, req)
+		}
 		return &response{code: CodeProtocol, msg: fmt.Sprintf("unknown op %d", req.op)}
 	}
 }

@@ -1,0 +1,136 @@
+package server
+
+// Server-side execution of the signing-service ops. The engine-backed
+// handler delegates to a cryptosvc.Service (blinded private-key paths,
+// CRT over paired engine jobs, verify-before-release); the cluster
+// balancer implements SignHandler itself and routes by key handle. A
+// Handler that implements neither answers the signing ops with
+// CodeProtocol, so a mixed fleet degrades to "no signing here", never
+// to misparsed frames.
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+
+	"repro/internal/cryptosvc"
+	"repro/internal/rsa"
+)
+
+// SignHandler extends Handler with the signing-service operations. The
+// method set mirrors cryptosvc.Service — the engine-backed server, the
+// wire client and the cluster balancer all satisfy it, which is what
+// lets montsyslb front signing backends without protocol changes.
+type SignHandler interface {
+	Handler
+	// KeygenRSA generates a deterministic RSA key from seed.
+	KeygenRSA(ctx context.Context, bits int, seed int64) (*rsa.PrivateKey, error)
+	// SignRSA signs a digest with the blinded (service-configured)
+	// private-key path, CRT when the key carries its factors.
+	SignRSA(ctx context.Context, key *rsa.PrivateKey, digest *big.Int) (*big.Int, error)
+	// VerifyRSA checks sig^E ≡ digest (mod n).
+	VerifyRSA(ctx context.Context, n, e, digest, sig *big.Int) (bool, error)
+	// SignECDSA signs a digest with the deterministic nonce derived
+	// from seed.
+	SignECDSA(ctx context.Context, curveID uint8, d, digest *big.Int, seed int64) (r, s *big.Int, err error)
+	// VerifyECDSABatch verifies items with per-item verdicts.
+	VerifyECDSABatch(ctx context.Context, curveID uint8, items []cryptosvc.ECDSAVerifyItem) ([]cryptosvc.VerifyResult, error)
+}
+
+// WithSignService overrides the cryptosvc.Service the engine-backed
+// server executes signing ops with (NewServer default: cryptosvc.New on
+// the server's engine, blinding on). It has no effect on
+// NewHandlerServer — there the handler itself either implements
+// SignHandler or the ops are unsupported.
+func WithSignService(svc *cryptosvc.Service) Option {
+	return func(c *config) { c.signSvc = svc }
+}
+
+// Engine-backed SignHandler methods: delegate to the cryptosvc.Service.
+
+func (h engineHandler) KeygenRSA(ctx context.Context, bits int, seed int64) (*rsa.PrivateKey, error) {
+	return h.svc.KeygenRSA(ctx, bits, seed)
+}
+
+func (h engineHandler) SignRSA(ctx context.Context, key *rsa.PrivateKey, digest *big.Int) (*big.Int, error) {
+	return h.svc.SignRSA(ctx, key, digest)
+}
+
+func (h engineHandler) VerifyRSA(ctx context.Context, n, e, digest, sig *big.Int) (bool, error) {
+	return h.svc.VerifyRSA(ctx, n, e, digest, sig)
+}
+
+func (h engineHandler) SignECDSA(ctx context.Context, curveID uint8, d, digest *big.Int, seed int64) (*big.Int, *big.Int, error) {
+	return h.svc.SignECDSA(ctx, curveID, d, digest, seed)
+}
+
+func (h engineHandler) VerifyECDSABatch(ctx context.Context, curveID uint8, items []cryptosvc.ECDSAVerifyItem) ([]cryptosvc.VerifyResult, error) {
+	return h.svc.VerifyECDSABatch(ctx, curveID, items)
+}
+
+// bigBool encodes a verification verdict as the wire's 0/1 big.
+func bigBool(ok bool) *big.Int {
+	if ok {
+		return big.NewInt(1)
+	}
+	return big.NewInt(0)
+}
+
+// executeCrypto runs one signing-op request against the server's
+// SignHandler. execute has already checked s.sign is non-nil.
+func (s *Server) executeCrypto(ctx context.Context, req *request) *response {
+	cb := req.crypto
+	switch req.op {
+	case OpKeygenRSA:
+		key, err := s.sign.KeygenRSA(ctx, cb.bits, cb.seed)
+		if err != nil {
+			return &response{code: codeFor(err), msg: err.Error()}
+		}
+		return &response{code: CodeOK, values: []*big.Int{
+			key.N, key.E, key.D, key.P, key.Q, key.DP, key.DQ, key.QInv,
+		}}
+	case OpSignRSA:
+		sig, err := s.sign.SignRSA(ctx, cb.key, cb.digest)
+		if err != nil {
+			return &response{code: codeFor(err), msg: err.Error()}
+		}
+		return &response{code: CodeOK, values: []*big.Int{sig}}
+	case OpVerifyRSA:
+		ok, err := s.sign.VerifyRSA(ctx, cb.n, cb.e, cb.digest, cb.sig)
+		if err != nil {
+			return &response{code: codeFor(err), msg: err.Error()}
+		}
+		return &response{code: CodeOK, values: []*big.Int{bigBool(ok)}}
+	case OpSignECDSA:
+		r, sv, err := s.sign.SignECDSA(ctx, cb.curve, cb.d, cb.digest, cb.seed)
+		if err != nil {
+			return &response{code: codeFor(err), msg: err.Error()}
+		}
+		return &response{code: CodeOK, values: []*big.Int{r, sv}}
+	case OpVerifyECDSABatch:
+		res, err := s.sign.VerifyECDSABatch(ctx, cb.curve, cb.items)
+		if err != nil || len(res) != len(cb.items) {
+			if err == nil {
+				err = fmt.Errorf("server: handler answered %d of %d verify items", len(res), len(cb.items))
+			}
+			return &response{code: codeFor(err), msg: err.Error()}
+		}
+		resp := &response{
+			code:   CodeOK,
+			codes:  make([]Code, len(res)),
+			msgs:   make([]string, len(res)),
+			values: make([]*big.Int, len(res)),
+		}
+		for i, r := range res {
+			resp.codes[i] = codeFor(r.Err)
+			if r.Err != nil {
+				resp.msgs[i] = r.Err.Error()
+			} else {
+				resp.values[i] = bigBool(r.OK)
+			}
+		}
+		return resp
+	default:
+		return &response{code: CodeProtocol, msg: fmt.Sprintf("unknown signing op %d", req.op)}
+	}
+}

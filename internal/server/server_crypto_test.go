@@ -1,0 +1,363 @@
+package server
+
+import (
+	"context"
+	"encoding/hex"
+	"errors"
+	"math/big"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/cryptosvc"
+	"repro/internal/ecc"
+	"repro/internal/engine"
+	"repro/internal/errs"
+	"repro/internal/kits"
+	"repro/internal/obs"
+)
+
+// cryptoTestSetup boots a signing-capable server on loopback and a
+// client against it.
+func cryptoTestSetup(t *testing.T, srvOpts ...Option) (*Client, *engine.Engine) {
+	t.Helper()
+	_, eng, addr := startServer(t,
+		[]engine.Option{engine.WithWorkers(2), engine.WithKit(kits.CIOS)}, srvOpts)
+	cl := Dial(addr)
+	t.Cleanup(func() { cl.Close() })
+	return cl, eng
+}
+
+// TestCryptoOpsRoundTrip drives every signing op through the wire:
+// keygen, RSA sign + verify (true and false), ECDSA sign + batch
+// verify — and checks the answers against independent math/big
+// computation.
+func TestCryptoOpsRoundTrip(t *testing.T) {
+	cl, _ := cryptoTestSetup(t)
+	ctx := context.Background()
+
+	key, err := cl.KeygenRSA(ctx, 256, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := key.Validate(); err != nil {
+		t.Fatalf("wire keygen produced inconsistent key: %v", err)
+	}
+	if key.P == nil || key.QInv == nil {
+		t.Fatal("CRT components lost on the wire")
+	}
+
+	digest := big.NewInt(0xD16E57)
+	sig, err := cl.SignRSA(ctx, key, digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Independent check, no server involved.
+	if got := new(big.Int).Exp(sig, key.E, key.N); got.Cmp(new(big.Int).Mod(digest, key.N)) != 0 {
+		t.Fatal("wire signature does not verify against math/big")
+	}
+	ok, err := cl.VerifyRSA(ctx, key.N, key.E, digest, sig)
+	if err != nil || !ok {
+		t.Fatalf("VerifyRSA(valid) = (%v, %v)", ok, err)
+	}
+	bad := new(big.Int).Add(sig, big.NewInt(1))
+	ok, err = cl.VerifyRSA(ctx, key.N, key.E, digest, bad)
+	if err != nil || ok {
+		t.Fatalf("VerifyRSA(tampered) = (%v, %v), want (false, nil)", ok, err)
+	}
+
+	// ECDSA over the wire: deterministic under the seed.
+	d := big.NewInt(0xC0FFEE)
+	r1, s1, err := cl.SignECDSA(ctx, cryptosvc.CurveP256, d, digest, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, s2, err := cl.SignECDSA(ctx, cryptosvc.CurveP256, d, digest, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cmp(r2) != 0 || s1.Cmp(s2) != 0 {
+		t.Fatal("ECDSA sign not deterministic over the wire")
+	}
+
+	curve, err := ecc.P256()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := curve.ScalarBaseMult(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qx, qy, _ := curve.Affine(pt)
+	res, err := cl.VerifyECDSABatch(ctx, cryptosvc.CurveP256, []cryptosvc.ECDSAVerifyItem{
+		{Qx: qx, Qy: qy, R: r1, S: s1, Digest: digest},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || !res[0].OK || res[0].Err != nil {
+		t.Fatalf("batch verify of a wire signature: %+v", res)
+	}
+}
+
+// TestCryptoKeygenDeterministicOverWire pins the retry-safety property:
+// the same (bits, seed) answers the same key.
+func TestCryptoKeygenDeterministicOverWire(t *testing.T) {
+	cl, _ := cryptoTestSetup(t)
+	ctx := context.Background()
+	k1, err := cl.KeygenRSA(ctx, 128, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := cl.KeygenRSA(ctx, 128, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1.N.Cmp(k2.N) != 0 || k1.D.Cmp(k2.D) != 0 {
+		t.Fatal("keygen not deterministic over the wire")
+	}
+}
+
+// TestCryptoErrorCodesSurviveWire checks that every new failure class
+// maps onto its sentinel through client → wire → server → wire →
+// client, so errors.Is classification matches the in-process service.
+func TestCryptoErrorCodesSurviveWire(t *testing.T) {
+	cl, eng := cryptoTestSetup(t)
+	ctx := context.Background()
+
+	svc := cryptosvc.New(eng)
+	key, err := svc.KeygenRSA(ctx, 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bad key material → ErrBadKey.
+	mangled := *key
+	mangled.QInv = new(big.Int).Add(key.QInv, big.NewInt(1))
+	if _, err := cl.SignRSA(ctx, &mangled, big.NewInt(5)); !errors.Is(err, errs.ErrBadKey) {
+		t.Fatalf("mangled QInv: got %v, want ErrBadKey", err)
+	}
+	// Even modulus in the public key → ErrBadKey.
+	if _, err := cl.VerifyRSA(ctx, big.NewInt(16), key.E, big.NewInt(5), big.NewInt(3)); !errors.Is(err, errs.ErrBadKey) {
+		t.Fatalf("even modulus: got %v, want ErrBadKey", err)
+	}
+	// Degenerate digest → ErrOperandRange.
+	if _, err := cl.SignRSA(ctx, key, big.NewInt(0)); !errors.Is(err, errs.ErrOperandRange) {
+		t.Fatalf("zero digest: got %v, want ErrOperandRange", err)
+	}
+	// Unknown curve → ErrBadKey.
+	if _, _, err := cl.SignECDSA(ctx, 99, big.NewInt(5), big.NewInt(7), 1); !errors.Is(err, errs.ErrBadKey) {
+		t.Fatalf("unknown curve: got %v, want ErrBadKey", err)
+	}
+	// Bad keygen parameters → ErrOperandRange.
+	if _, err := cl.KeygenRSA(ctx, 15, 1); !errors.Is(err, errs.ErrOperandRange) {
+		t.Fatalf("odd bits: got %v, want ErrOperandRange", err)
+	}
+}
+
+// TestCryptoBatchVerifyPerItemCodes: one malformed item must not
+// poison its batch, and per-item sentinels survive the wire.
+func TestCryptoBatchVerifyPerItemCodes(t *testing.T) {
+	cl, _ := cryptoTestSetup(t)
+	ctx := context.Background()
+
+	curve, err := ecc.P256()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := big.NewInt(0x5eed)
+	pt, err := curve.ScalarBaseMult(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qx, qy, _ := curve.Affine(pt)
+	digest := big.NewInt(1234)
+	r, s, err := cl.SignECDSA(ctx, cryptosvc.CurveP256, d, digest, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	items := []cryptosvc.ECDSAVerifyItem{
+		{Qx: qx, Qy: qy, R: r, S: s, Digest: digest},                       // valid
+		{Qx: qx, Qy: qy, R: r, S: s, Digest: big.NewInt(999)},              // wrong digest
+		{Qx: big.NewInt(1), Qy: big.NewInt(1), R: r, S: s, Digest: digest}, // off-curve point
+		{Qx: qx, Qy: qy, R: big.NewInt(0), S: s, Digest: digest},           // r out of range
+	}
+	res, err := cl.VerifyECDSABatch(ctx, cryptosvc.CurveP256, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[0].OK || res[0].Err != nil {
+		t.Fatalf("item 0 (valid): %+v", res[0])
+	}
+	if res[1].OK || res[1].Err != nil {
+		t.Fatalf("item 1 (wrong digest): %+v, want OK=false Err=nil", res[1])
+	}
+	if !errors.Is(res[2].Err, errs.ErrBadKey) {
+		t.Fatalf("item 2 (off-curve): err = %v, want ErrBadKey", res[2].Err)
+	}
+	if res[3].OK || res[3].Err != nil {
+		t.Fatalf("item 3 (r=0): %+v, want OK=false Err=nil", res[3])
+	}
+}
+
+// plainHandler is a pre-signing Handler: the compute ops only, the way
+// an old montsyslb would front an old fleet.
+type plainHandler struct{ eng *engine.Engine }
+
+func (h plainHandler) Mont(ctx context.Context, n, x, y *big.Int) (*big.Int, error) {
+	return h.eng.Mont(ctx, n, x, y)
+}
+func (h plainHandler) ModExp(ctx context.Context, n, base, exp *big.Int) (*big.Int, error) {
+	v, _, err := h.eng.ModExp(ctx, n, base, exp)
+	return v, err
+}
+func (h plainHandler) ModExpBatch(ctx context.Context, jobs []engine.ModExpJob) ([]engine.ModExpResult, error) {
+	return h.eng.ModExpBatch(ctx, jobs)
+}
+
+// TestMixedVersionFleet pins the append-only degradation story in both
+// directions. A new client against a server whose handler predates the
+// signing ops gets a clean CodeProtocol error (not a misparse, not a
+// hang); the compute ops keep working on the same connection. And an
+// old client's frames — ops ≤ 7 — are answered by the new server
+// byte-compatibly (covered by the golden-frame test below plus every
+// pre-existing round-trip test in this package).
+func TestMixedVersionFleet(t *testing.T) {
+	eng, err := engine.New(engine.WithWorkers(1), engine.WithKit(kits.CIOS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	srv, err := NewHandlerServer(plainHandler{eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	cl := Dial(ln.Addr().String())
+	t.Cleanup(func() { cl.Close() })
+
+	ctx := context.Background()
+	if _, err := cl.KeygenRSA(ctx, 128, 1); !errors.Is(err, errs.ErrProtocol) {
+		t.Fatalf("signing op on old server: got %v, want ErrProtocol", err)
+	}
+	// The connection is still healthy for old ops.
+	n, base, exp := big.NewInt(0xF1), big.NewInt(7), big.NewInt(5)
+	got, err := cl.ModExp(ctx, n, base, exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := new(big.Int).Exp(base, exp, n); got.Cmp(want) != 0 {
+		t.Fatalf("modexp after rejected signing op: got %v want %v", got, want)
+	}
+}
+
+// TestLegacyFramesByteIdentical pins the exact wire bytes of the
+// pre-signing ops: if this test ever needs regenerating, the ABI broke.
+func TestLegacyFramesByteIdentical(t *testing.T) {
+	reqs := []struct {
+		name string
+		req  *request
+		want string
+	}{
+		{
+			"modexp",
+			&request{op: OpModExp, id: 7, jobs: []triple{{n: big.NewInt(0xF1), a: big.NewInt(2), b: big.NewInt(10)}}},
+			"010200000000000000070000000000000000000000 01f1 0000000102 000000010a",
+		},
+		{
+			"mont",
+			&request{op: OpMont, id: 1, jobs: []triple{{n: big.NewInt(0xF1), a: big.NewInt(3), b: big.NewInt(4)}}},
+			"010100000000000000010000000000000000000000 01f1 0000000103 0000000104",
+		},
+		{
+			"batch",
+			&request{op: OpBatchModExp, id: 2, jobs: []triple{{n: big.NewInt(0xF1), a: big.NewInt(2), b: big.NewInt(3)}}},
+			"010300000000000000020000000000000000 00000001 00000001f1 0000000102 0000000103",
+		},
+		{
+			"ping",
+			&request{op: OpPing, id: 3},
+			"01040000000000000003 0000000000000000",
+		},
+	}
+	for _, tc := range reqs {
+		want := tc.want
+		wantHex := ""
+		for _, c := range want {
+			if c != ' ' {
+				wantHex += string(c)
+			}
+		}
+		got := hex.EncodeToString(encodeRequest(tc.req))
+		if got != wantHex {
+			t.Errorf("%s request bytes changed:\n got  %s\n want %s", tc.name, got, wantHex)
+		}
+	}
+	// A traced modexp: trace block between deadline and body.
+	tcx := obs.TraceContext{Sampled: true}
+	tcx.TraceID[0], tcx.SpanID[0] = 0xAA, 0xBB
+	tracedGot := hex.EncodeToString(encodeRequest(&request{
+		op: OpModExp, id: 9, tc: tcx,
+		jobs: []triple{{n: big.NewInt(0xF1), a: big.NewInt(2), b: big.NewInt(3)}},
+	}))
+	tracedWant := "010600000000000000090000000000000000" + // ver, op 6, id, no deadline
+		"aa000000000000000000000000000000" + "bb00000000000000" + "01" + // trace block
+		"00000001f1" + "0000000102" + "0000000103"
+	if tracedGot != tracedWant {
+		t.Errorf("traced request bytes changed:\n got  %s\n want %s", tracedGot, tracedWant)
+	}
+	// Responses: OK single value, error, batch.
+	respOK := hex.EncodeToString(encodeResponse(OpModExp, &response{id: 7, code: CodeOK, values: []*big.Int{big.NewInt(0x2A)}}))
+	if want := "0100000000000000070000000001" + "2a"; respOK != want {
+		t.Errorf("OK response bytes changed:\n got  %s\n want %s", respOK, want)
+	}
+	respErr := hex.EncodeToString(encodeResponse(OpModExp, &response{id: 7, code: CodeOverloaded, msg: "x"}))
+	if want := "010000000000000007050000000178"; respErr != want {
+		t.Errorf("error response bytes changed:\n got  %s\n want %s", respErr, want)
+	}
+}
+
+// TestCryptoOpNames pins the metric label names of the new ops (a
+// dashboard ABI of its own) and the traced-op normalization.
+func TestCryptoOpNames(t *testing.T) {
+	want := map[Op]string{
+		OpKeygenRSA:              "keygen_rsa",
+		OpSignRSA:                "sign_rsa",
+		OpVerifyRSA:              "verify_rsa",
+		OpSignECDSA:              "sign_ecdsa",
+		OpVerifyECDSABatch:       "verify_ecdsa_batch",
+		OpKeygenRSATraced:        "keygen_rsa",
+		OpSignRSATraced:          "sign_rsa",
+		OpVerifyRSATraced:        "verify_rsa",
+		OpSignECDSATraced:        "sign_ecdsa",
+		OpVerifyECDSABatchTraced: "verify_ecdsa_batch",
+	}
+	for op, name := range want {
+		if op.String() != name {
+			t.Errorf("Op(%d).String() = %q, want %q", op, op.String(), name)
+		}
+	}
+	for base := OpKeygenRSA; base <= OpVerifyECDSABatch; base++ {
+		tr, ok := base.traced()
+		if !ok {
+			t.Fatalf("op %v has no traced variant", base)
+		}
+		back, isTraced := tr.untraced()
+		if !isTraced || back != base {
+			t.Fatalf("traced/untraced not inverse for %v (traced %v, back %v)", base, tr, back)
+		}
+	}
+	if CodeBadKey.String() != "bad_key" {
+		t.Errorf("CodeBadKey.String() = %q", CodeBadKey.String())
+	}
+}

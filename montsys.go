@@ -60,12 +60,14 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/cryptosvc"
 	"repro/internal/engine"
 	"repro/internal/errs"
 	"repro/internal/expo"
 	"repro/internal/faults"
 	"repro/internal/kits"
 	"repro/internal/obs"
+	"repro/internal/rsa"
 	"repro/internal/server"
 	"repro/internal/systolic"
 )
@@ -97,6 +99,12 @@ var (
 	// failed) the value must not be trusted; the cluster tier fails such
 	// answers over to another backend for free.
 	ErrIntegrity = errs.ErrIntegrity
+
+	// ErrBadKey marks malformed key material handed to the signing
+	// service (inconsistent CRT fields, off-curve public point, unknown
+	// curve, scalar out of range). It crosses the wire as its own
+	// response code, so errors.Is keeps working remotely.
+	ErrBadKey = errs.ErrBadKey
 )
 
 // Multiplier is a Montgomery modular multiplier for one odd modulus,
@@ -731,6 +739,100 @@ func NewSLOTracker(r *MetricsRegistry, interval time.Duration) *SLOTracker {
 // (nil tracker: 404), expvar and pprof.
 func NewObsMux(r *MetricsRegistry, t *Tracer, slo *SLOTracker) http.Handler {
 	return obs.NewMux(r, t, slo)
+}
+
+// Signing service. The crypto layer turns the engine into a
+// side-channel-hardened signing backend: deterministic RSA keygen,
+// RSA sign/verify (CRT as two concurrent half-size engine jobs
+// recombined with Garner, verified before release against the Bellcore
+// fault attack) and ECDSA sign / batch verify — all first-class wire
+// ops, so montsysd serves them, Client calls them, and a Cluster routes
+// them by key handle on the same rendezvous-hash plane as moduli. Every
+// wire-facing private-key operation runs blinded (message + exponent
+// blinding; masked nonce inversion for ECDSA), and internal/sca holds
+// the Welch t-test regression gate that keeps it that way:
+//
+//	svc := montsys.NewSignService(eng)                 // blinding on
+//	srv, _ := montsys.NewServer(eng, montsys.WithServerSignService(svc))
+//	cl := montsys.Dial(addr)
+//	key, _ := cl.KeygenRSA(ctx, 2048, seed)            // deterministic
+//	sig, _ := cl.SignRSA(ctx, key, digest)             // blinded CRT
+//	ok, _ := cl.VerifyRSA(ctx, key.N, key.E, digest, sig)
+//
+// See README "Signing service" and DESIGN §2h for how CRT maps onto the
+// paper's replicated arrays and blinding onto its countermeasure story.
+
+// SignService executes the signing operations over an engine. It is
+// what NewServer installs by default; build one explicitly to change
+// blinding policy.
+type SignService = cryptosvc.Service
+
+// SignServiceOption configures NewSignService.
+type SignServiceOption = cryptosvc.Option
+
+// NewSignService builds a signing service over the engine, blinding on.
+func NewSignService(eng *Engine, opts ...SignServiceOption) *SignService {
+	return cryptosvc.New(eng, opts...)
+}
+
+// WithSignBlinding toggles message + exponent blinding on the signing
+// service's private-key paths (default on; off is for the SCA gate's
+// positive control only).
+func WithSignBlinding(on bool) SignServiceOption { return cryptosvc.WithBlinding(on) }
+
+// WithSignBlindSeed makes the blinding masks deterministic — tests and
+// trace-capture campaigns only; production keeps the default
+// crypto-quality source.
+func WithSignBlindSeed(seed int64) SignServiceOption { return cryptosvc.WithBlindSeed(seed) }
+
+// WithServerSignService overrides the signing service an engine-backed
+// server executes signing ops with — e.g. blinding off for a lab
+// target, or a shared service across servers.
+func WithServerSignService(svc *SignService) ServerOption { return server.WithSignService(svc) }
+
+// SignHandler is the signing-capable server handler: Handler plus the
+// five signing ops. An engine-backed Server, a Client and a Cluster all
+// satisfy it — which is why a balancer fronts signing backends with no
+// protocol changes.
+type SignHandler = server.SignHandler
+
+// Both remote tiers serve signing: montsyslb is NewHandlerServer over
+// either.
+var (
+	_ SignHandler = (*Client)(nil)
+	_ SignHandler = (*Cluster)(nil)
+)
+
+// RSAPrivateKey is a CRT-capable RSA private key (N, E, D and the
+// CRT fields P, Q, DP, DQ, QInv; nil CRT fields select the plain
+// d-exponent path).
+type RSAPrivateKey = rsa.PrivateKey
+
+// RSAPublicKey is the public half (N, E).
+type RSAPublicKey = rsa.PublicKey
+
+// ECDSAVerifyItem is one (public point, signature, digest) tuple for
+// batch verification.
+type ECDSAVerifyItem = cryptosvc.ECDSAVerifyItem
+
+// ECDSAVerifyResult is one item's verdict: OK, or a per-item error
+// (off-curve point → ErrBadKey, missing fields → ErrOperandRange).
+type ECDSAVerifyResult = cryptosvc.VerifyResult
+
+// Curve identifiers for the ECDSA wire ops.
+const (
+	CurveP256 = cryptosvc.CurveP256
+	CurveP384 = cryptosvc.CurveP384
+)
+
+// RSAKeyHandle fingerprints an RSA key by modulus for key-affinity
+// routing (nil modulus → nil handle → least-inflight routing).
+func RSAKeyHandle(n *big.Int) []byte { return cryptosvc.RSAKeyHandle(n) }
+
+// ECDSAKeyHandle fingerprints an ECDSA key (curve + identifying parts)
+// for key-affinity routing.
+func ECDSAKeyHandle(curveID uint8, parts ...*big.Int) []byte {
+	return cryptosvc.ECDSAKeyHandle(curveID, parts...)
 }
 
 // Hardware builds and maps the full gate-level MMM circuit for an l-bit
