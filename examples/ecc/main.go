@@ -30,12 +30,12 @@ func main() {
 	da := new(big.Int).Rand(rng, curve.Order)
 	db := new(big.Int).Rand(rng, curve.Order)
 
-	curve.FieldMuls = 0
+	curve.ResetFieldMuls()
 	qa, err := curve.ScalarBaseMult(da)
 	if err != nil {
 		log.Fatal(err)
 	}
-	mulsPerScalar := curve.FieldMuls
+	mulsPerScalar := int(curve.FieldMulCount())
 	qb, err := curve.ScalarBaseMult(db)
 	if err != nil {
 		log.Fatal(err)

@@ -55,5 +55,5 @@ func main() {
 	}
 	fmt.Println("tampered message rejected:                OK")
 	fmt.Printf("\nfield multiplications consumed: %d (each one Algorithm-2 pass of 3l+4 cycles)\n",
-		curve.FieldMuls)
+		curve.FieldMulCount())
 }

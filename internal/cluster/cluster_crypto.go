@@ -37,9 +37,10 @@ func (c *Cluster) keyhandle(h []byte) []byte {
 	return h
 }
 
-// KeygenRSA generates a deterministic RSA key on one backend. There is
-// no key yet to route by, so it goes to the least-loaded backend;
-// determinism (same bits+seed → same key) makes hedging safe.
+// KeygenRSA generates a deterministic RSA key on one backend
+// (reproduction/test-only — see server.OpKeygenRSA). There is no key
+// yet to route by, so it goes to the least-loaded backend; determinism
+// (same bits+seed → same key) makes hedging safe.
 func (c *Cluster) KeygenRSA(ctx context.Context, bits int, seed int64) (*rsa.PrivateKey, error) {
 	return doCall(c, ctx, "keygen_rsa", nil, true,
 		func(ctx context.Context, b *backend) (*rsa.PrivateKey, error) {

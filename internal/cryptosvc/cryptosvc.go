@@ -38,13 +38,15 @@ package cryptosvc
 
 import (
 	"context"
+	"crypto/hmac"
+	crand "crypto/rand"
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"io"
 	"math/big"
 	"math/rand"
 	"sync"
-	"time"
 
 	"repro/internal/ecc"
 	"repro/internal/engine"
@@ -115,9 +117,18 @@ type Service struct {
 	blinding  bool
 	blindBits int
 
-	mu  sync.Mutex
-	rng *rand.Rand
+	// seeded is the deterministic blinding source installed by
+	// WithBlindSeed — tests and trace campaigns only. When nil (the
+	// default, and the only production configuration) all blinding
+	// randomness comes from crypto/rand.
+	mu     sync.Mutex
+	seeded *rand.Rand
 }
+
+// drawFunc produces a uniform value in [0, bound). The service's own
+// source is Service.randInt; the SCA campaign substitutes a seeded one
+// so trace derivation never touches the live service's state.
+type drawFunc func(bound *big.Int) (*big.Int, error)
 
 // Option configures New.
 type Option func(*Service)
@@ -138,9 +149,11 @@ func WithBlindBits(n int) Option {
 }
 
 // WithBlindSeed makes the blinding randomness deterministic — for
-// tests and the SCA gate only.
+// tests and the SCA gate only. Without it the service draws every
+// blind from crypto/rand; a predictable blinding source would defeat
+// the countermeasures outright.
 func WithBlindSeed(seed int64) Option {
-	return func(s *Service) { s.rng = rand.New(rand.NewSource(seed)) }
+	return func(s *Service) { s.seeded = rand.New(rand.NewSource(seed)) }
 }
 
 // New builds a signing service over eng. The engine stays
@@ -155,9 +168,6 @@ func New(eng *engine.Engine, opts ...Option) *Service {
 	for _, o := range opts {
 		o(s)
 	}
-	if s.rng == nil {
-		s.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
-	}
 	return s
 }
 
@@ -165,17 +175,31 @@ func New(eng *engine.Engine, opts ...Option) *Service {
 func (s *Service) Blinding() bool { return s.blinding }
 
 // randInt draws a uniform value in [0, bound) from the service's
-// (locked) blinding source.
-func (s *Service) randInt(bound *big.Int) *big.Int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return new(big.Int).Rand(s.rng, bound)
+// blinding source: crypto/rand by default, the (locked) seeded rand
+// only when WithBlindSeed installed one.
+func (s *Service) randInt(bound *big.Int) (*big.Int, error) {
+	if s.seeded != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return new(big.Int).Rand(s.seeded, bound), nil
+	}
+	v, err := crand.Int(crand.Reader, bound)
+	if err != nil {
+		return nil, fmt.Errorf("cryptosvc: blinding entropy unavailable: %w", err)
+	}
+	return v, nil
 }
 
 // KeygenRSA generates an RSA key pair with an n-bit modulus, all
 // randomness drawn from the given seed — the same (bits, seed) pair
 // always yields the same key, which is what makes the wire op
 // idempotent and therefore safely retryable.
+//
+// Reproduction/test use only: the entire key derives from a 64-bit
+// seed, capping its effective entropy at 64 bits — brute-forceable,
+// and the seed crosses the wire in the clear besides. Keys worth
+// protecting are generated locally with KeygenRSACrypto and never
+// minted by a remote service.
 func (s *Service) KeygenRSA(ctx context.Context, bits int, seed int64) (*rsa.PrivateKey, error) {
 	if bits < 16 || bits > 8192 || bits%2 != 0 {
 		return nil, fmt.Errorf("cryptosvc: key size %d must be even and in [16, 8192]: %w",
@@ -190,6 +214,39 @@ func (s *Service) KeygenRSA(ctx context.Context, bits int, seed int64) (*rsa.Pri
 	// exponent count is data-dependent and unbounded.
 	return rsa.GenerateKey(bits, nil, rand.New(rand.NewSource(seed)))
 }
+
+// KeygenRSACrypto generates an RSA key pair with all randomness drawn
+// from crypto/rand — the variant for keys that are meant to stay
+// secret. It is deliberately NOT a wire op: a key worth protecting is
+// generated where it will live, not produced by a remote service and
+// shipped back over the network.
+func (s *Service) KeygenRSACrypto(ctx context.Context, bits int) (*rsa.PrivateKey, error) {
+	if bits < 16 || bits > 8192 || bits%2 != 0 {
+		return nil, fmt.Errorf("cryptosvc: key size %d must be even and in [16, 8192]: %w",
+			bits, errs.ErrOperandRange)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return rsa.GenerateKey(bits, nil, rand.New(cryptoSource{}))
+}
+
+// cryptoSource adapts crypto/rand to math/rand's Source64, so the
+// crypto-quality keygen reuses the same dogfooded prime-generation
+// path as the deterministic one. An entropy-read failure is
+// unrecoverable mid-draw and panics, like crypto/rand.Read itself.
+type cryptoSource struct{}
+
+func (cryptoSource) Uint64() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		panic("cryptosvc: crypto/rand read failed: " + err.Error())
+	}
+	return binary.BigEndian.Uint64(b[:])
+}
+
+func (c cryptoSource) Int63() int64 { return int64(c.Uint64() >> 1) }
+func (cryptoSource) Seed(int64)     {}
 
 // checkRSAPrivate validates key material before any private-key
 // operation touches it. Every failure wraps errs.ErrBadKey.
@@ -308,7 +365,9 @@ func (s *Service) SignRSA(ctx context.Context, key *rsa.PrivateKey, digest *big.
 // drawBlindPair draws r invertible mod n and its inverse.
 func (s *Service) drawBlindPair(n *big.Int) (r, rInv *big.Int, err error) {
 	for attempt := 0; attempt < 100; attempt++ {
-		r = s.randInt(n)
+		if r, err = s.randInt(n); err != nil {
+			return nil, nil, err
+		}
 		if r.Sign() == 0 {
 			continue
 		}
@@ -325,8 +384,13 @@ func (s *Service) drawBlindPair(n *big.Int) (r, rInv *big.Int, err error) {
 func (s *Service) signCRT(ctx context.Context, key *rsa.PrivateKey, base *big.Int) (*big.Int, error) {
 	dp, dq := key.DP, key.DQ
 	if s.blinding {
-		dp = s.blindExponent(key.DP, key.P)
-		dq = s.blindExponent(key.DQ, key.Q)
+		var err error
+		if dp, err = s.blindExponent(key.DP, key.P, s.randInt); err != nil {
+			return nil, err
+		}
+		if dq, err = s.blindExponent(key.DQ, key.Q, s.randInt); err != nil {
+			return nil, err
+		}
 	}
 	jobs := []engine.ModExpJob{
 		{N: key.P, Base: new(big.Int).Mod(base, key.P), Exp: dp},
@@ -357,18 +421,23 @@ func (s *Service) signCRT(ctx context.Context, key *rsa.PrivateKey, base *big.In
 // square-and-multiply schedule has constant shape and its multiply
 // pattern depends only on the fresh randomizer. (Additive blinding
 // leaves d mod 2^v invariant for v = v₂(p−1) — a few trailing
-// schedule steps; see the SCA gate's window note.)
-func (s *Service) blindExponent(d, p *big.Int) *big.Int {
+// schedule steps; see the SCA gate's window note.) The randomizer
+// comes from draw so the SCA campaign can substitute its own seeded
+// source without touching the service's.
+func (s *Service) blindExponent(d, p *big.Int, draw drawFunc) (*big.Int, error) {
 	pm1 := new(big.Int).Sub(p, big.NewInt(1))
 	target := pm1.BitLen() + s.blindBits
 	span := new(big.Int).Lsh(big.NewInt(1), uint(s.blindBits-1))
 	for {
-		r := s.randInt(span)
+		r, err := draw(span)
+		if err != nil {
+			return nil, err
+		}
 		r.Or(r, span) // force the top randomizer bit: r ∈ [2^(B−1), 2^B)
 		b := new(big.Int).Mul(r, pm1)
 		b.Add(b, d)
 		if b.BitLen() == target {
-			return b
+			return b, nil
 		}
 	}
 }
@@ -395,24 +464,61 @@ func (s *Service) VerifyRSA(ctx context.Context, n, e, digest, sig *big.Int) (bo
 }
 
 // deriveNonce derives the ECDSA nonce for (seed, attempt, d, digest)
-// deterministically (an RFC-6979 shaped construction over SHA-256), so
+// deterministically — an RFC-6979-shaped HMAC-DRBG over SHA-256 — so
 // the wire op is a pure function of its request and safe to retry.
+//
+// Uniformity matters as much as determinism here: the construction
+// expands an HMAC keystream to the order's full byte length, truncates
+// bits2int-style to exactly BitLen(order) bits, and rejection-samples
+// until k ∈ [1, n−1]. A single mod-reduced SHA-256 digest would leave
+// every P-384 nonce under 2^256 (128 known-zero top bits) and even
+// P-256 nonces modulo-biased — either bias lets a lattice/HNP attack
+// recover the private scalar from a handful of signatures. Each
+// variable-length input is length-prefixed so distinct (d, digest)
+// pairs can never collide into the same transcript and hence the same
+// nonce across different keys.
 func deriveNonce(order *big.Int, seed int64, attempt int, d, digest *big.Int) *big.Int {
-	h := sha256.New()
+	// Extract: bind every request field into one PRK.
+	mac := hmac.New(sha256.New, []byte("montsys-ecdsa-nonce/v2"))
 	var buf [8]byte
-	h.Write([]byte("montsys-ecdsa-nonce"))
 	binary.BigEndian.PutUint64(buf[:], uint64(seed))
-	h.Write(buf[:])
+	mac.Write(buf[:])
 	binary.BigEndian.PutUint64(buf[:], uint64(attempt))
-	h.Write(buf[:])
-	h.Write(d.Bytes())
-	h.Write(digest.Bytes())
-	sum := h.Sum(nil)
-	nm1 := new(big.Int).Sub(order, big.NewInt(1))
-	k := new(big.Int).SetBytes(sum)
-	k.Mod(k, nm1)
-	k.Add(k, big.NewInt(1)) // k ∈ [1, n−1]
-	return k
+	mac.Write(buf[:])
+	writeLenPrefixed(mac, d)
+	writeLenPrefixed(mac, digest)
+	prk := mac.Sum(nil)
+
+	qBits := order.BitLen()
+	qBytes := (qBits + 7) / 8
+	for ctr := uint64(0); ; ctr++ {
+		// Expand: counter-mode HMAC keystream of ≥ qBytes per candidate.
+		stream := make([]byte, 0, qBytes+sha256.Size)
+		for block := uint64(0); len(stream) < qBytes; block++ {
+			m := hmac.New(sha256.New, prk)
+			binary.BigEndian.PutUint64(buf[:], ctr)
+			m.Write(buf[:])
+			binary.BigEndian.PutUint64(buf[:], block)
+			m.Write(buf[:])
+			stream = m.Sum(stream)
+		}
+		k := new(big.Int).SetBytes(stream[:qBytes])
+		k.Rsh(k, uint(8*qBytes-qBits)) // bits2int: keep the top qBits
+		if k.Sign() > 0 && k.Cmp(order) < 0 {
+			return k // uniform over [1, n−1]
+		}
+	}
+}
+
+// writeLenPrefixed feeds v's minimal big-endian bytes into w preceded
+// by their 8-byte big-endian length, keeping field boundaries
+// unambiguous in the hashed transcript.
+func writeLenPrefixed(w io.Writer, v *big.Int) {
+	b := v.Bytes()
+	var lenBuf [8]byte
+	binary.BigEndian.PutUint64(lenBuf[:], uint64(len(b)))
+	w.Write(lenBuf[:])
+	w.Write(b)
 }
 
 // SignECDSA signs a digest with the private scalar d on the identified
@@ -457,7 +563,9 @@ func (s *Service) SignECDSA(ctx context.Context, curveID uint8, d, digest *big.I
 		u := big.NewInt(1)
 		if s.blinding {
 			nm1 := new(big.Int).Sub(n, big.NewInt(1))
-			u = s.randInt(nm1)
+			if u, err = s.randInt(nm1); err != nil {
+				return nil, nil, err
+			}
 			u.Add(u, big.NewInt(1))
 		}
 		uk := new(big.Int).Mul(u, k)

@@ -287,6 +287,55 @@ func TestVerifyECDSABatchPerItem(t *testing.T) {
 	}
 }
 
+// TestDeriveNonceFillsOrderWidth pins the uniformity fix: nonces must
+// cover the full bit width of the group order — in particular P-384
+// nonces must exceed 2^256, which a single mod-reduced SHA-256 digest
+// can never produce — and always land in [1, order−1].
+func TestDeriveNonceFillsOrderWidth(t *testing.T) {
+	for _, id := range []uint8{CurveP256, CurveP384} {
+		curve, err := CurveByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := curve.Order
+		d := big.NewInt(0x5eed)
+		maxBits := 0
+		for i := 0; i < 200; i++ {
+			k := deriveNonce(n, int64(i), 0, d, big.NewInt(int64(i+1)))
+			if k.Sign() <= 0 || k.Cmp(n) >= 0 {
+				t.Fatalf("curve %d: nonce %d out of [1, n-1]", id, i)
+			}
+			if k.BitLen() > maxBits {
+				maxBits = k.BitLen()
+			}
+		}
+		// 200 draws with the top bit uniform: P(all top bits zero) = 2^-200.
+		if maxBits < n.BitLen() {
+			t.Fatalf("curve %d: max nonce width %d < order width %d — biased derivation",
+				id, maxBits, n.BitLen())
+		}
+	}
+}
+
+// TestDeriveNonceFieldBoundaries pins the length-prefix fix: shifting
+// bytes between d and digest must change the nonce.
+func TestDeriveNonceFieldBoundaries(t *testing.T) {
+	curve, err := CurveByID(CurveP256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := curve.Order
+	a := deriveNonce(n, 0, 0, big.NewInt(0x0102), big.NewInt(0x03))
+	b := deriveNonce(n, 0, 0, big.NewInt(0x01), big.NewInt(0x0203))
+	if a.Cmp(b) == 0 {
+		t.Fatal("distinct (d, digest) pairs with identical concatenation share a nonce")
+	}
+	// And it stays deterministic.
+	if a.Cmp(deriveNonce(n, 0, 0, big.NewInt(0x0102), big.NewInt(0x03))) != 0 {
+		t.Fatal("nonce derivation is not deterministic")
+	}
+}
+
 func TestKeyHandles(t *testing.T) {
 	key := testKey(t, 256, 6)
 	h1 := RSAKeyHandle(key.N)

@@ -59,17 +59,29 @@ func ScheduleTrace(exp *big.Int, points int) []int {
 // signTrace derives the schedule trace of one sign invocation with
 // the given CRT exponent pair: the concatenated schedules of the two
 // exponents the engine would execute (blinded first when the service
-// blinds), each scored over its window.
-func (s *Service) signTrace(key *rsa.PrivateKey, dp, dq *big.Int, rng *rand.Rand) []int {
+// blinds), each scored over its window. The campaign's draw source is
+// passed explicitly — the live service's blinding source is never
+// touched, so a campaign can run concurrently with real signing.
+func (s *Service) signTrace(key *rsa.PrivateKey, dp, dq *big.Int, draw drawFunc) ([]int, error) {
 	if s.blinding {
-		save := s.rng
-		s.rng = rng
-		dp = s.blindExponent(dp, key.P)
-		dq = s.blindExponent(dq, key.Q)
-		s.rng = save
+		var err error
+		if dp, err = s.blindExponent(dp, key.P, draw); err != nil {
+			return nil, err
+		}
+		if dq, err = s.blindExponent(dq, key.Q, draw); err != nil {
+			return nil, err
+		}
 	}
 	pPts, qPts := s.windows(key)
-	return append(ScheduleTrace(dp, pPts), ScheduleTrace(dq, qPts)...)
+	return append(ScheduleTrace(dp, pPts), ScheduleTrace(dq, qPts)...), nil
+}
+
+// rngDraw wraps a seeded math/rand source as a drawFunc (campaign use
+// only; it never fails).
+func rngDraw(rng *rand.Rand) drawFunc {
+	return func(bound *big.Int) (*big.Int, error) {
+		return new(big.Int).Rand(rng, bound), nil
+	}
 }
 
 // windows returns the per-prime schedule window lengths for this
@@ -113,6 +125,7 @@ func (s *Service) LeakageCampaign(key *rsa.PrivateKey, tracesPerGroup int, seed 
 		return LeakageResult{}, fmt.Errorf("cryptosvc: need ≥ 2 traces per group")
 	}
 	rng := rand.New(rand.NewSource(seed))
+	draw := rngDraw(rng)
 	pPts, qPts := s.windows(key)
 	pm1 := new(big.Int).Sub(key.P, big.NewInt(1))
 	qm1 := new(big.Int).Sub(key.Q, big.NewInt(1))
@@ -120,10 +133,15 @@ func (s *Service) LeakageCampaign(key *rsa.PrivateKey, tracesPerGroup int, seed 
 	fixed := make([][]int, tracesPerGroup)
 	random := make([][]int, tracesPerGroup)
 	for i := 0; i < tracesPerGroup; i++ {
-		fixed[i] = s.signTrace(key, key.DP, key.DQ, rng)
+		var err error
+		if fixed[i], err = s.signTrace(key, key.DP, key.DQ, draw); err != nil {
+			return LeakageResult{}, err
+		}
 		dpR := randomSecret(rng, pm1)
 		dqR := randomSecret(rng, qm1)
-		random[i] = s.signTrace(key, dpR, dqR, rng)
+		if random[i], err = s.signTrace(key, dpR, dqR, draw); err != nil {
+			return LeakageResult{}, err
+		}
 	}
 	t, err := sca.Welch(fixed, random)
 	if err != nil {

@@ -1,6 +1,7 @@
 package cryptosvc
 
 import (
+	"context"
 	"math/big"
 	"testing"
 
@@ -51,6 +52,35 @@ func TestSCALeakageGate(t *testing.T) {
 	}
 }
 
+// TestLeakageCampaignConcurrentWithSigning pins the isolation fix: a
+// campaign derives its traces from its own seeded draw source and
+// never touches the live service's blinding source, so it can run
+// alongside real signing (the race detector enforces this in the race
+// matrix).
+func TestLeakageCampaignConcurrentWithSigning(t *testing.T) {
+	eng := testEngine(t)
+	key := testKey(t, 256, 77)
+	svc := New(eng, WithBlindSeed(5))
+
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 5; i++ {
+			digest := big.NewInt(int64(1000 + i))
+			if _, err := svc.SignRSA(context.Background(), key, digest); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	if _, err := svc.LeakageCampaign(key, 50, 2025); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("concurrent signing failed: %v", err)
+	}
+}
+
 // TestScheduleTrace pins the trace derivation the gate scores.
 func TestScheduleTrace(t *testing.T) {
 	// 0b110101 → MSB-first multiply schedule 1,1,0,1,0,1.
@@ -74,7 +104,10 @@ func TestBlindedExponentShape(t *testing.T) {
 	want := new(big.Int).Sub(key.P, big.NewInt(1)).BitLen() + svc.blindBits
 	seen := map[string]bool{}
 	for i := 0; i < 50; i++ {
-		b := svc.blindExponent(key.DP, key.P)
+		b, err := svc.blindExponent(key.DP, key.P, svc.randInt)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if b.BitLen() != want {
 			t.Fatalf("draw %d: blinded exponent has %d bits, want %d", i, b.BitLen(), want)
 		}

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"sync/atomic"
 
 	"repro/internal/mont"
 )
@@ -37,10 +38,22 @@ type Curve struct {
 	aM  *big.Int // A in Montgomery domain, canonical
 	bM  *big.Int // B in Montgomery domain, canonical
 
-	// FieldMuls counts Montgomery multiplications performed — the
-	// quantity a hardware cost model multiplies by T_MMM.
-	FieldMuls int
+	// fieldMuls counts Montgomery multiplications performed — the
+	// quantity a hardware cost model multiplies by T_MMM. Atomic:
+	// process-wide curve instances (cryptosvc.CurveByID) serve
+	// concurrent signing requests.
+	fieldMuls atomic.Int64
 }
+
+// FieldMulCount returns the number of Montgomery field multiplications
+// performed on this curve since construction or the last
+// ResetFieldMuls — the quantity a hardware cost model multiplies by
+// T_MMM.
+func (c *Curve) FieldMulCount() int64 { return c.fieldMuls.Load() }
+
+// ResetFieldMuls zeroes the field-multiplication counter (cost-model
+// measurement runs bracket an operation with Reset + Count).
+func (c *Curve) ResetFieldMuls() { c.fieldMuls.Store(0) }
 
 // Point is a Jacobian-coordinate point with Montgomery-domain
 // coordinates; Z = 0 encodes the point at infinity.
@@ -101,7 +114,7 @@ func (c *Curve) fromM(x *big.Int) *big.Int {
 // mul is one Montgomery field multiplication (one Algorithm-2 pass),
 // canonicalized to [0, p).
 func (c *Curve) mul(x, y *big.Int) *big.Int {
-	c.FieldMuls++
+	c.fieldMuls.Add(1)
 	return c.ctx.Reduce(c.ctx.Mul(x, y))
 }
 

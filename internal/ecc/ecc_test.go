@@ -240,11 +240,11 @@ func TestP256OrderAnnihilates(t *testing.T) {
 func TestFieldMulAccounting(t *testing.T) {
 	c := tinyCurve(t)
 	g, _ := c.Base()
-	c.FieldMuls = 0
+	c.ResetFieldMuls()
 	if _, err := c.ScalarMultLadder(g, big.NewInt(0xFFFF)); err != nil {
 		t.Fatal(err)
 	}
-	if c.FieldMuls == 0 {
+	if c.FieldMulCount() == 0 {
 		t.Error("no field multiplications counted")
 	}
 }

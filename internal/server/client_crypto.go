@@ -19,7 +19,10 @@ var _ SignHandler = (*Client)(nil)
 
 // KeygenRSA generates a deterministic RSA key of the given modulus size
 // on the remote server. The same (bits, seed) always yields the same
-// key, which is what makes the op safely retryable.
+// key, which is what makes the op safely retryable. Reproduction and
+// test workloads only: the key's entropy is capped by the 64-bit seed,
+// and both seed and private key cross the wire — generate real keys
+// locally (cryptosvc.Service.KeygenRSACrypto).
 func (c *Client) KeygenRSA(ctx context.Context, bits int, seed int64) (*rsa.PrivateKey, error) {
 	resp, err := c.call(ctx, OpKeygenRSA, nil, &cryptoBody{bits: bits, seed: seed})
 	if err != nil {

@@ -37,6 +37,12 @@ import (
 )
 
 // Signing-service wire operations — a network ABI, append only.
+//
+// OpKeygenRSA is reproduction/test-only: the key derives entirely from
+// the request's 64-bit seed (deterministic, hence idempotent and
+// retryable — and at most 64 bits of entropy, with seed and private
+// key both on the wire). Production keys are generated locally with
+// cryptosvc.Service.KeygenRSACrypto and never minted remotely.
 const (
 	OpKeygenRSA        Op = 8
 	OpSignRSA          Op = 9

@@ -23,7 +23,8 @@ import (
 // lets montsyslb front signing backends without protocol changes.
 type SignHandler interface {
 	Handler
-	// KeygenRSA generates a deterministic RSA key from seed.
+	// KeygenRSA generates a deterministic RSA key from seed
+	// (reproduction/test-only — see OpKeygenRSA).
 	KeygenRSA(ctx context.Context, bits int, seed int64) (*rsa.PrivateKey, error)
 	// SignRSA signs a digest with the blinded (service-configured)
 	// private-key path, CRT when the key carries its factors.

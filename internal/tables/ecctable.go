@@ -55,11 +55,11 @@ func ECCTable(seed int64) ([]ECCRow, error) {
 		if k.Sign() == 0 {
 			k.SetInt64(3)
 		}
-		c.FieldMuls = 0
+		c.ResetFieldMuls()
 		if _, err := c.ScalarBaseMult(k); err != nil {
 			return nil, err
 		}
-		fm := c.FieldMuls
+		fm := int(c.FieldMulCount())
 
 		nl := logic.New()
 		if _, err := mmmc.BuildNetlist(nl, l, systolic.Faithful); err != nil {

@@ -755,9 +755,17 @@ func NewObsMux(r *MetricsRegistry, t *Tracer, slo *SLOTracker) http.Handler {
 //	svc := montsys.NewSignService(eng)                 // blinding on
 //	srv, _ := montsys.NewServer(eng, montsys.WithServerSignService(svc))
 //	cl := montsys.Dial(addr)
-//	key, _ := cl.KeygenRSA(ctx, 2048, seed)            // deterministic
+//	key, _ := cl.KeygenRSA(ctx, 2048, seed)            // deterministic — repro/test only
 //	sig, _ := cl.SignRSA(ctx, key, digest)             // blinded CRT
 //	ok, _ := cl.VerifyRSA(ctx, key.N, key.E, digest, sig)
+//
+// The wire keygen derives its key from the request's 64-bit seed —
+// idempotent and retryable, which is the point for reproduction
+// workloads, and exactly why it must not mint production keys (64 bits
+// of effective entropy, seed and key both on the wire). Keys worth
+// protecting are generated locally with SignService.KeygenRSACrypto,
+// whose randomness comes from crypto/rand — as does all blinding
+// randomness unless WithSignBlindSeed overrides it for a test.
 //
 // See README "Signing service" and DESIGN §2h for how CRT maps onto the
 // paper's replicated arrays and blinding onto its countermeasure story.
