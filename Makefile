@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race staticcheck cover bench-engine bench-obs bench-faults bench-kits bench-sign sca-gate
+.PHONY: ci build vet test race staticcheck cover bench-engine bench-obs bench-faults bench-kits bench-sign bench-qos sca-gate qos
 
 ci: vet staticcheck build test race
 
@@ -17,7 +17,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/engine/... ./internal/core/... ./internal/obs/... ./internal/server/... ./internal/cluster/... ./internal/faults/... ./internal/integrity/... ./internal/highradix/... ./internal/kits/... ./internal/cryptosvc/... ./internal/sca/...
+	$(GO) test -race ./internal/engine/... ./internal/core/... ./internal/obs/... ./internal/server/... ./internal/cluster/... ./internal/faults/... ./internal/integrity/... ./internal/highradix/... ./internal/kits/... ./internal/cryptosvc/... ./internal/sca/... ./internal/qos/...
 
 # CI installs staticcheck; locally the gate is skipped when the binary
 # is absent rather than failing the whole ci target.
@@ -62,3 +62,18 @@ bench-sign:
 # The SCA regression gate on its own (also part of `test` and `race`).
 sca-gate:
 	$(GO) test -run 'SCALeakageGate' -v ./internal/cryptosvc/
+
+# The QoS plane's own gate: lane scheduler properties, tagged-frame
+# golden bytes, the client retry decision table, and live admission —
+# the same suites CI's qos-integration job runs under -race. (The fleet
+# experiment itself is `loadgen -scenario tenants`; see ci.yml.)
+qos:
+	$(GO) test -race -count=1 ./internal/qos/...
+	$(GO) test -race -count=1 -run 'Lane|QoS|RateLimited|RetryDecision|Deadline' ./internal/engine/... ./internal/server/...
+
+# Regenerate BENCH_qos.json's raw numbers: the admission fast path
+# (what every request pays when -qos is armed) and the lane scheduler
+# hot path (what every job pays since the lanes replaced the channel).
+bench-qos:
+	$(GO) test -run xxx -bench 'Admit' -benchtime 2000x -count 6 ./internal/qos/
+	$(GO) test -run xxx -bench 'LaneSched' -benchtime 2000x -count 6 ./internal/engine/

@@ -13,7 +13,15 @@
 //	        [-connect host:7077] [-clients 8] [-retries 3]
 //	        [-tolerate integrity,overloaded] [-integrity]
 //	        [-fault-rate 0] [-fault-seed 1] [-fault-cores 0]
-//	        [-scenario modexp|sign]
+//	        [-scenario modexp|sign|tenants]
+//
+// -scenario tenants runs the multi-tenant isolation experiment (remote
+// only): three tenants — a well-behaved interactive one, a hostile one
+// flooding at 10× its quota, and best-effort bulk — share the fleet
+// through the servers' QoS plane, moduli drawn Zipf-skewed so hot keys
+// contend. The run prints per-tenant goodput, p99, and rejection
+// counts, and fails if the well-behaved tenant's error rate exceeds
+// its budget — the isolation assertion CI runs live. See tenants.go.
 //
 // -scenario sign drives the signing service instead of raw modexp
 // (remote only — signing is a wire surface): RSA keys are generated
@@ -127,7 +135,7 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0, "local mode: inject bit-flip faults into this fraction of core results")
 	faultSeed := flag.Int64("fault-seed", 1, "local mode: deterministic seed for -fault-rate")
 	faultCores := flag.String("fault-cores", "", "local mode: comma-separated worker ids to fault (default all)")
-	scenario := flag.String("scenario", "modexp", "workload: modexp | sign (sign requires -connect)")
+	scenario := flag.String("scenario", "modexp", "workload: modexp | sign | tenants (sign and tenants require -connect)")
 	flag.Parse()
 
 	// The root context: Ctrl-C / SIGTERM cancels it, which aborts an
@@ -177,7 +185,7 @@ func main() {
 }
 
 type sweepConfig struct {
-	scenario   string // "modexp" (default) or "sign"
+	scenario   string // "modexp" (default), "sign", or "tenants"
 	jobs, keys int
 	expKind    string
 	queue      int
@@ -225,6 +233,8 @@ func classify(err error) string {
 	switch {
 	case errors.Is(err, montsys.ErrIntegrity):
 		return "integrity"
+	case errors.Is(err, montsys.ErrRateLimited):
+		return "rate_limited"
 	case errors.Is(err, montsys.ErrOverloaded):
 		return "overloaded"
 	case errors.Is(err, montsys.ErrDraining):
@@ -361,6 +371,8 @@ func run(ctx context.Context, workersList, bitsList, kitList, modeName, variantN
 	case "", "modexp":
 	case "sign":
 		return runSign(ctx, cfg, bits)
+	case "tenants":
+		return runTenants(ctx, cfg, bits)
 	default:
 		return fmt.Errorf("unknown scenario %q", cfg.scenario)
 	}

@@ -12,7 +12,16 @@
 //	         [-slo-latency 500ms] [-slo-target 0.999]
 //	         [-integrity] [-integrity-sample 1] [-integrity-recompute]
 //	         [-fault-rate 0] [-fault-seed 1] [-fault-cores 0,2]
-//	         [-sign-blinding=true]
+//	         [-sign-blinding=true] [-qos SPEC|@FILE]
+//
+// -qos arms the multi-tenant QoS plane: per-tenant token-bucket rate
+// limits, weighted concurrency shares over the in-flight budget, and
+// priority-lane scheduling in the engine (tenants' classes ride the
+// wire). The spec grammar is
+// "tenant:rate=R,burst=B,weight=W,class=C;..." with "*" as the default
+// row, or "@path" to load the same grammar from a file. Per-tenant
+// state is served on /quotaz (with -metrics) and the montsys_qos_*
+// series land on /metrics.
 //
 // The daemon serves the signing ops (RSA keygen/sign/verify, ECDSA
 // sign/batch-verify) alongside the compute ops. -sign-blinding=false
@@ -65,6 +74,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
@@ -96,6 +106,7 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "deterministic seed for -fault-rate")
 	faultCores := flag.String("fault-cores", "", "comma-separated worker ids to fault (default all)")
 	signBlinding := flag.Bool("sign-blinding", true, "blind the signing service's private-key paths (disable only for SCA lab capture)")
+	qosSpec := flag.String("qos", "", "per-tenant QoS spec \"tenant:rate=R,burst=B,weight=W,class=C;...\" or @file (empty disables)")
 	flag.Parse()
 
 	fc := faultConfig{rate: *faultRate, seed: *faultSeed, cores: *faultCores,
@@ -103,7 +114,7 @@ func main() {
 	oc := obsConfig{metricsAddr: *metricsAddr, traceCap: *traceCap, wideDest: *wideDest,
 		sloLatency: *sloLatency, sloTarget: *sloTarget}
 	if err := run(*listen, *workers, *kitName, *modeName, *variantName, *queue, *cache,
-		*inflight, *idle, *drain, *signBlinding, oc, fc); err != nil {
+		*inflight, *idle, *drain, *signBlinding, *qosSpec, oc, fc); err != nil {
 		fmt.Fprintln(os.Stderr, "montsysd:", err)
 		os.Exit(1)
 	}
@@ -180,7 +191,8 @@ func (fc faultConfig) engineOptions() ([]montsys.EngineOption, error) {
 }
 
 func run(listen string, workers int, kitName, modeName, variantName string, queue, cache,
-	inflight int, idle, drain time.Duration, signBlinding bool, oc obsConfig, fc faultConfig) error {
+	inflight int, idle, drain time.Duration, signBlinding bool, qosSpec string,
+	oc obsConfig, fc faultConfig) error {
 	// -kit wins when given; otherwise the deprecated -mode flag picks
 	// the matching kit so old invocations behave identically.
 	if kitName == "" {
@@ -235,6 +247,27 @@ func run(listen string, workers int, kitName, modeName, variantName string, queu
 		return err
 	}
 	engOpts = append(engOpts, fcOpts...)
+	var plane *montsys.QoSPlane
+	if qosSpec != "" {
+		qcfg, err := montsys.ParseQoSSpec(qosSpec)
+		if err != nil {
+			return fmt.Errorf("-qos: %w", err)
+		}
+		// The concurrency shares divide the same in-flight budget the
+		// server's admission gate enforces (mirrors its 4×workers
+		// default; the plane must exist before the engine so the lane
+		// scheduler reports sheds and depths into its metrics).
+		w := workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		budget := inflight
+		if budget <= 0 {
+			budget = 4 * w
+		}
+		plane = montsys.NewQoSPlane(qcfg, budget, col.Registry())
+		engOpts = append(engOpts, montsys.WithEngineQoSObserver(plane))
+	}
 	eng, err := montsys.NewEngine(engOpts...)
 	if err != nil {
 		return err
@@ -253,6 +286,9 @@ func run(listen string, workers int, kitName, modeName, variantName string, queu
 	if inflight > 0 {
 		srvOpts = append(srvOpts, montsys.WithServerMaxInflight(inflight))
 	}
+	if plane != nil {
+		srvOpts = append(srvOpts, montsys.WithServerQoS(plane))
+	}
 	srv, err := montsys.NewServer(eng, srvOpts...)
 	if err != nil {
 		return err
@@ -267,9 +303,9 @@ func run(listen string, workers int, kitName, modeName, variantName string, queu
 		srv.RegisterSLOs(slo, oc.sloLatency, oc.sloTarget)
 		slo.Start()
 		defer slo.Close()
-		fmt.Printf("montsysd: observability on http://%s/ (/metrics, /statusz, /debug/pprof/, /trace)\n", mln.Addr())
+		fmt.Printf("montsysd: observability on http://%s/ (/metrics, /statusz, /quotaz, /debug/pprof/, /trace)\n", mln.Addr())
 		go func() {
-			if err := http.Serve(mln, montsys.NewObsMux(col.Registry(), col.Tracer(), slo)); err != nil {
+			if err := http.Serve(mln, montsys.NewQoSObsMux(col.Registry(), col.Tracer(), slo, plane)); err != nil {
 				fmt.Fprintln(os.Stderr, "montsysd: metrics server:", err)
 			}
 		}()

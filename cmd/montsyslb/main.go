@@ -12,6 +12,16 @@
 //	          [-integrity-eject 3] [-metrics :9091] [-trace 4096]
 //	          [-wide-events stderr|stdout|PATH]
 //	          [-slo-latency 500ms] [-slo-target 0.999]
+//	          [-qos SPEC|@FILE]
+//
+// -qos arms the proxy's own QoS plane: the same
+// "tenant:rate=R,burst=B,weight=W,class=C;..." (or @file) grammar as
+// montsysd, enforced at the proxy's admission so one tenant's flood is
+// rejected before it can occupy routing capacity. Tenant identity is
+// forwarded to the backends on every routed, hedged and failover
+// attempt; best-effort traffic is never hedged; per-tenant pick/shed
+// counters and the /quotaz page (with -metrics) show who is using —
+// and who is abusing — the fleet.
 //
 // Routing (see internal/cluster): requests are routed to the
 // rendezvous-hash home of their modulus so repeat-modulus traffic hits
@@ -84,12 +94,13 @@ func main() {
 	wideDest := flag.String("wide-events", "", "wide-event request log destination: stderr | stdout | file path (empty disables)")
 	sloLatency := flag.Duration("slo-latency", 500*time.Millisecond, "per-op latency SLO objective (with -metrics)")
 	sloTarget := flag.Float64("slo-target", 0.999, "SLO success-ratio target for availability and latency objectives")
+	qosSpec := flag.String("qos", "", "per-tenant QoS spec \"tenant:rate=R,burst=B,weight=W,class=C;...\" or @file (empty disables)")
 	flag.Parse()
 
 	oc := obsConfig{metricsAddr: *metricsAddr, traceCap: *traceCap, wideDest: *wideDest,
 		sloLatency: *sloLatency, sloTarget: *sloTarget}
 	if err := run(*listen, *backends, *inflight, *idle, *drain, *probe,
-		*affinity, *hedge, *budget, *burst, *integrityEject, oc); err != nil {
+		*affinity, *hedge, *budget, *burst, *integrityEject, *qosSpec, oc); err != nil {
 		fmt.Fprintln(os.Stderr, "montsyslb:", err)
 		os.Exit(1)
 	}
@@ -124,7 +135,8 @@ func (oc obsConfig) wideWriter() (*montsys.WideWriter, *os.File, error) {
 }
 
 func run(listen, backends string, inflight int, idle, drain, probe time.Duration,
-	affinity, hedge bool, budget float64, burst, integrityEject int, oc obsConfig) error {
+	affinity, hedge bool, budget float64, burst, integrityEject int, qosSpec string,
+	oc obsConfig) error {
 	var addrs []string
 	for _, a := range strings.Split(backends, ",") {
 		if a = strings.TrimSpace(a); a != "" {
@@ -146,7 +158,8 @@ func run(listen, backends string, inflight int, idle, drain, probe time.Duration
 	tracer.SetProcess("montsyslb")
 
 	registry := montsys.NewMetricsRegistry()
-	cl, err := montsys.NewCluster(addrs,
+	var plane *montsys.QoSPlane
+	clOpts := []montsys.ClusterOption{
 		montsys.WithClusterRegistry(registry),
 		montsys.WithClusterProbeInterval(probe),
 		montsys.WithClusterAffinity(affinity),
@@ -155,19 +168,32 @@ func run(listen, backends string, inflight int, idle, drain, probe time.Duration
 		montsys.WithClusterIntegrityEjectThreshold(integrityEject),
 		montsys.WithClusterTracer(tracer),
 		montsys.WithClusterWideEvents(wide),
-	)
+	}
+	if qosSpec != "" {
+		qcfg, err := montsys.ParseQoSSpec(qosSpec)
+		if err != nil {
+			return fmt.Errorf("-qos: %w", err)
+		}
+		plane = montsys.NewQoSPlane(qcfg, inflight, registry)
+		clOpts = append(clOpts, montsys.WithClusterTenants(qcfg.TenantNames()))
+	}
+	cl, err := montsys.NewCluster(addrs, clOpts...)
 	if err != nil {
 		return err
 	}
 	defer cl.Close()
 
-	srv, err := montsys.NewHandlerServer(cl,
+	srvOpts := []montsys.ServerOption{
 		montsys.WithServerMaxInflight(inflight),
 		montsys.WithServerIdleTimeout(idle),
 		montsys.WithServerRegistry(registry),
 		montsys.WithServerTracer(tracer),
 		montsys.WithServerWideEvents(wide),
-	)
+	}
+	if plane != nil {
+		srvOpts = append(srvOpts, montsys.WithServerQoS(plane))
+	}
+	srv, err := montsys.NewHandlerServer(cl, srvOpts...)
 	if err != nil {
 		return err
 	}
@@ -181,9 +207,9 @@ func run(listen, backends string, inflight int, idle, drain, probe time.Duration
 		srv.RegisterSLOs(slo, oc.sloLatency, oc.sloTarget)
 		slo.Start()
 		defer slo.Close()
-		fmt.Printf("montsyslb: observability on http://%s/ (/metrics, /statusz, /trace)\n", mln.Addr())
+		fmt.Printf("montsyslb: observability on http://%s/ (/metrics, /statusz, /quotaz, /trace)\n", mln.Addr())
 		go func() {
-			if err := http.Serve(mln, montsys.NewObsMux(registry, tracer, slo)); err != nil {
+			if err := http.Serve(mln, montsys.NewQoSObsMux(registry, tracer, slo, plane)); err != nil {
 				fmt.Fprintln(os.Stderr, "montsyslb: metrics server:", err)
 			}
 		}()

@@ -66,6 +66,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/errs"
 	"repro/internal/obs"
+	"repro/internal/qos"
 	"repro/internal/server"
 )
 
@@ -98,6 +99,8 @@ type config struct {
 
 	tracer *obs.Tracer
 	wide   *obs.WideWriter
+
+	tenants []string
 
 	clientOpts []server.ClientOption
 }
@@ -183,6 +186,15 @@ func WithTracer(t *obs.Tracer) Option { return func(c *config) { c.tracer = t } 
 // wide-event log.
 func WithWideEvents(w *obs.WideWriter) Option { return func(c *config) { c.wide = w } }
 
+// WithTenants names the tenants the cluster keeps per-tenant pick and
+// shed counters for. Requests from any other tenant (or untagged ones)
+// fold into the qos.OtherTenant series, so metric cardinality stays
+// bounded by configuration — the same containment rule the QoS plane
+// applies to quotas.
+func WithTenants(names []string) Option {
+	return func(c *config) { c.tenants = append(c.tenants, names...) }
+}
+
 // WithClientOptions passes extra options to every backend's wire
 // client. The cluster defaults each client to zero internal retries —
 // the router owns retry policy, and a client silently retrying against
@@ -257,7 +269,7 @@ func New(addrs []string, opts ...Option) (*Cluster, error) {
 
 	c := &Cluster{
 		cfg:    cfg,
-		met:    newMetrics(cfg.registry, uniq),
+		met:    newMetrics(cfg.registry, uniq, cfg.tenants),
 		budget: newRetryBudget(cfg.budgetRatio, cfg.budgetBurst),
 		stop:   make(chan struct{}),
 	}
@@ -452,6 +464,7 @@ func attempt[T any](c *Cluster, ctx context.Context, op string, primary *backend
 	defer cancel()
 
 	tc, _ := obs.TraceFromContext(ctx)
+	tenant := qos.FromContext(ctx).Tenant
 	var won atomic.Bool // first successful copy takes it; losers record hedge_lost
 
 	type result struct {
@@ -474,16 +487,24 @@ func attempt[T any](c *Cluster, ctx context.Context, op string, primary *backend
 			b.release()
 			elapsed := time.Since(t0)
 			c.observe(b, err, elapsed)
+			if errors.Is(err, errs.ErrRateLimited) || errors.Is(err, errs.ErrOverloaded) {
+				c.met.tenantShed(tenant)
+			}
 			first := err == nil && won.CompareAndSwap(false, true)
 			c.recordAttempt(tc, span, op, b, reason, t0, elapsed, err, hedged, spent, first)
 			ch <- result{v, err, hedged}
 		}()
 	}
 	c.met.pick(primary, reason)
+	c.met.tenantPick(tenant)
 	launch(primary, reason, false, budgeted)
 
 	var hedgeC <-chan time.Time
-	if hedgeable && c.cfg.hedge && len(c.backends) > 1 {
+	// Best-effort traffic is exempt from hedging: a hedge spends fleet
+	// capacity (and retry budget) to shave tail latency, and best-effort
+	// is by definition the class whose tail nobody is paying for.
+	if hedgeable && c.cfg.hedge && len(c.backends) > 1 &&
+		qos.FromContext(ctx).Class != qos.BestEffort {
 		t := time.NewTimer(c.hedgeDelay())
 		defer t.Stop()
 		hedgeC = t.C
@@ -516,6 +537,7 @@ func attempt[T any](c *Cluster, ctx context.Context, op string, primary *backend
 			tried[h] = true
 			c.met.hedges.Inc()
 			c.met.pick(h, "hedge")
+			c.met.tenantPick(tenant)
 			launch(h, "hedge", true, true)
 			outstanding++
 		}
@@ -582,6 +604,8 @@ func routeOutcome(err error) string {
 	switch {
 	case err == nil:
 		return "ok"
+	case errors.Is(err, errs.ErrRateLimited):
+		return "rate_limited"
 	case errors.Is(err, errs.ErrOverloaded):
 		return "overloaded"
 	case errors.Is(err, errs.ErrDraining):

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"repro/internal/obs"
+	"repro/internal/qos"
 )
 
 // pickReasons label why the router chose a backend:
@@ -35,6 +36,13 @@ var pickReasons = []string{"affinity", "spill", "least_inflight", "failover", "h
 //	montsys_cluster_reinstatements_total{backend}
 //	montsys_cluster_integrity_failures_total{backend}  ErrIntegrity answers
 //	montsys_cluster_request_seconds              end-to-end latency histogram
+//	montsys_cluster_tenant_picks_total{tenant}   routed attempts by tenant
+//	montsys_cluster_tenant_sheds_total{tenant}   attempts answered rate-limited
+//	                                             or overloaded, by tenant
+//
+// The per-tenant series exist only for tenants named via WithTenants;
+// everything else folds into the qos.OtherTenant label, bounding
+// cardinality exactly the way the QoS plane bounds its quotas.
 type metrics struct {
 	latency        *obs.Histogram
 	hedges         *obs.Counter
@@ -45,6 +53,8 @@ type metrics struct {
 	failovers      *obs.Counter
 	budgetDenied   *obs.Counter
 	perBackend     map[string]*backendMetrics
+	tenantPicks    map[string]*obs.Counter
+	tenantSheds    map[string]*obs.Counter
 }
 
 type backendMetrics struct {
@@ -58,9 +68,21 @@ type backendMetrics struct {
 	integrityFailures *obs.Counter
 }
 
-func newMetrics(reg *obs.Registry, addrs []string) *metrics {
+func newMetrics(reg *obs.Registry, addrs, tenants []string) *metrics {
 	m := &metrics{
-		perBackend: make(map[string]*backendMetrics, len(addrs)),
+		perBackend:  make(map[string]*backendMetrics, len(addrs)),
+		tenantPicks: make(map[string]*obs.Counter, len(tenants)+1),
+		tenantSheds: make(map[string]*obs.Counter, len(tenants)+1),
+	}
+	for _, t := range append([]string{qos.OtherTenant}, tenants...) {
+		if _, dup := m.tenantPicks[t]; dup {
+			continue
+		}
+		tl := obs.Label("tenant", t)
+		m.tenantPicks[t] = reg.CounterLabeled("montsys_cluster_tenant_picks_total",
+			"Routed backend attempts (primary, hedge, failover) by tenant.", tl)
+		m.tenantSheds[t] = reg.CounterLabeled("montsys_cluster_tenant_sheds_total",
+			"Backend attempts answered rate-limited or overloaded, by tenant.", tl)
 	}
 	m.latency = reg.Histogram("montsys_cluster_request_seconds",
 		"End-to-end latency of successful cluster requests (feeds the hedge delay).")
@@ -106,6 +128,21 @@ func newMetrics(reg *obs.Registry, addrs []string) *metrics {
 	}
 	return m
 }
+
+// tenantCounter folds unknown tenants onto the qos.OtherTenant series.
+func tenantCounter(byTenant map[string]*obs.Counter, tenant string) *obs.Counter {
+	if c, ok := byTenant[tenant]; ok {
+		return c
+	}
+	return byTenant[qos.OtherTenant]
+}
+
+// tenantPick records one routed attempt against its tenant.
+func (m *metrics) tenantPick(tenant string) { tenantCounter(m.tenantPicks, tenant).Inc() }
+
+// tenantShed records one quota rejection (rate-limited or overloaded
+// answer) against its tenant.
+func (m *metrics) tenantShed(tenant string) { tenantCounter(m.tenantSheds, tenant).Inc() }
 
 // pick records one routing decision.
 func (m *metrics) pick(b *backend, reason string) {

@@ -1,7 +1,8 @@
 // Package engine is the concurrent multi-core face of the system: a
 // pool of K worker "cores", each owning an exclusive Montgomery
 // multiplier/exponentiator (reference arithmetic or the cycle-accurate
-// MMMC), fed from one bounded submission queue. It is the software
+// MMMC), fed from a bounded priority-lane scheduler (one EDF lane per
+// qos.Class, strict priority with aging across lanes — see lanes.go). It is the software
 // analogue of the replicated-core scaling move in the quad-core RSA
 // processor literature: the paper's systolic array pipelines bit
 // operations *inside* one multiplication; the engine replicates whole
@@ -34,6 +35,7 @@ import (
 	"repro/internal/integrity"
 	"repro/internal/kits"
 	"repro/internal/mont"
+	"repro/internal/qos"
 	"repro/internal/systolic"
 )
 
@@ -56,6 +58,9 @@ type config struct {
 	quarBase, quarMax  time.Duration
 	watchdogK          float64
 	clk                clock
+
+	laneAging time.Duration
+	qosObs    QoSObserver
 
 	// Test seams: override how workers build their cores (e.g. a
 	// deliberately panicking fake). nil = the real constructors.
@@ -166,6 +171,28 @@ func WithWatchdog(k float64) Option {
 	return func(c *config) { c.watchdogK = k }
 }
 
+// QoSObserver receives the lane scheduler's tenant-facing events. The
+// server daemon wires the qos.Plane here so engine sheds land on the
+// montsys_qos_* series with the tenant that owned the job.
+type QoSObserver interface {
+	// Shed reports a queued job evicted by the shed-lowest-class-first
+	// overload policy.
+	Shed(tenant string, class qos.Class)
+	// LaneDepth reports a lane's depth after a queue mutation.
+	LaneDepth(class qos.Class, depth int)
+}
+
+// WithQoSObserver attaches a QoS observer (see QoSObserver). Like
+// WithObserver, the default is none and costs a nil check per event.
+func WithQoSObserver(o QoSObserver) Option { return func(c *config) { c.qosObs = o } }
+
+// WithLaneAging sets the scheduler's aging quantum: every full quantum
+// a lane's head job has waited promotes that lane one priority class,
+// bounding how long sustained higher-priority load can delay it
+// (default 100ms). Smaller quanta trade strictness of priority for a
+// tighter starvation bound.
+func WithLaneAging(d time.Duration) Option { return func(c *config) { c.laneAging = d } }
+
 // withClock overrides the engine's time source (tests only).
 func withClock(c clock) Option { return func(cfg *config) { cfg.clk = c } }
 
@@ -182,7 +209,7 @@ func withFactories(
 // work; submissions after Close fail with ErrEngineClosed.
 type Engine struct {
 	cfg   config
-	jobs  chan *job
+	sched *laneScheduler
 	cache *ctxCache
 
 	mu     sync.RWMutex // guards closed vs. submissions
@@ -245,9 +272,12 @@ func New(opts ...Option) (*Engine, error) {
 	}
 	e := &Engine{
 		cfg:     cfg,
-		jobs:    make(chan *job, cfg.queue),
+		sched:   newLaneScheduler(cfg.queue, cfg.laneAging),
 		cache:   newCtxCache(cfg.cacheSize),
 		closing: make(chan struct{}),
+	}
+	if cfg.qosObs != nil {
+		e.sched.onDepth = cfg.qosObs.LaneDepth
 	}
 	e.healthy.Store(int64(cfg.workers))
 	if cfg.kit == kits.Auto {
@@ -301,7 +331,7 @@ func (e *Engine) Close() error {
 		return fmt.Errorf("engine: Close: %w", errs.ErrEngineClosed)
 	}
 	e.closed = true
-	close(e.jobs)
+	e.sched.close()
 	close(e.closing)
 	e.mu.Unlock()
 	e.wg.Wait()
@@ -366,6 +396,15 @@ type job struct {
 	deadline time.Time
 	enqueued time.Time
 
+	// QoS identity, read off the submission context: class picks the
+	// scheduling lane, tenant attributes a shed to its owner. seq and
+	// heapIdx are the lane scheduler's bookkeeping (FIFO tie-break and
+	// heap position for mid-lane eviction).
+	tenant  string
+	class   qos.Class
+	seq     uint64
+	heapIdx int
+
 	n, a, b *big.Int // modexp: base/exp; mont: x/y
 
 	// redo counts integrity-driven requeues: a job whose result failed
@@ -391,47 +430,71 @@ func (j *job) expired(now time.Time) error {
 	return nil
 }
 
-// submit enqueues a job, blocking under backpressure until queue space
-// frees up, the context is cancelled, or the engine closes.
+// submit enqueues a job on its class lane. Under backpressure it first
+// sheds a queued job of a strictly lower class (overload punishes the
+// least urgent work, not whoever submits next), and only blocks — until
+// queue space frees up, the context is cancelled, or the engine closes —
+// when nothing below the job's class is queued.
 func (e *Engine) submit(ctx context.Context, j *job) error {
+	id := qos.FromContext(ctx)
+	j.tenant, j.class = id.Tenant, id.Class
+	if j.class >= qos.NumClasses {
+		j.class = qos.BestEffort
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
 		return fmt.Errorf("engine: submit: %w", errs.ErrEngineClosed)
 	}
-	select {
-	case e.jobs <- j:
-		e.ctr.submitted.Add(1)
-		depth := e.ctr.queueDepth.Add(1)
-		setMax(&e.ctr.queueHighWater, depth)
-		if e.cfg.observer != nil {
-			e.cfg.observer.JobSubmitted(j.kind.kindName())
-		}
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
+	victim, err := e.sched.push(ctx, j)
+	if err != nil {
+		return err
 	}
+	e.ctr.submitted.Add(1)
+	depth := e.ctr.queueDepth.Add(1)
+	setMax(&e.ctr.queueHighWater, depth)
+	if e.cfg.observer != nil {
+		e.cfg.observer.JobSubmitted(j.kind.kindName())
+	}
+	if victim != nil {
+		e.finalizeShed(victim)
+	}
+	return nil
+}
+
+// finalizeShed completes a job the scheduler evicted to make room for
+// higher-class work: it fails with ErrOverloaded (the same transient
+// contract as an admission fast-fail — retry with backoff elsewhere)
+// and is attributed to its tenant and class on the QoS plane.
+func (e *Engine) finalizeShed(v *job) {
+	e.ctr.queueDepth.Add(-1)
+	e.ctr.sheds.Add(1)
+	e.ctr.failed.Add(1)
+	e.ctr.failedLat.Observe(time.Since(v.enqueued).Nanoseconds())
+	v.fail(fmt.Errorf("engine: %s job shed under overload: %w", v.class, errs.ErrOverloaded))
+	if e.cfg.qosObs != nil {
+		e.cfg.qosObs.Shed(v.tenant, v.class)
+	}
+	v.wg.Done()
 }
 
 // requeue puts a job whose result failed its integrity check back on
-// the queue so a different core picks it up. It never blocks: a full
-// queue or a closing engine returns false and the caller recomputes
-// inline instead — a corrupted job must not deadlock the worker that
-// detected the corruption.
+// the queue so a different core picks it up. It never blocks or sheds:
+// a full queue or a closing engine returns false and the caller
+// recomputes inline instead — a corrupted job must not deadlock the
+// worker that detected the corruption.
 func (e *Engine) requeue(j *job) bool {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
 		return false
 	}
-	select {
-	case e.jobs <- j:
-		depth := e.ctr.queueDepth.Add(1)
-		setMax(&e.ctr.queueHighWater, depth)
-		return true
-	default:
+	if !e.sched.tryPush(j) {
 		return false
 	}
+	depth := e.ctr.queueDepth.Add(1)
+	setMax(&e.ctr.queueHighWater, depth)
+	return true
 }
 
 // ModExp runs one exponentiation through the pool and waits for it.

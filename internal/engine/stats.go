@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/kits"
 	"repro/internal/obs"
+	"repro/internal/qos"
 )
 
 // counters is the engine's lock-free stats block, updated from every
@@ -21,6 +22,7 @@ type counters struct {
 	canceled       atomic.Int64
 	queueDepth     atomic.Int64
 	queueHighWater atomic.Int64 // deepest the queue has been
+	sheds          atomic.Int64 // queued jobs evicted lowest-class-first
 
 	muls        atomic.Int64 // Montgomery products executed
 	modelCycles atomic.Int64 // paper-formula cycles (Model-mode reports)
@@ -72,6 +74,11 @@ type Stats struct {
 	Canceled       int64
 	QueueDepth     int64
 	QueueHighWater int64 // deepest the submission queue has been
+	Sheds          int64 // queued jobs evicted by shed-lowest-class-first
+
+	// LaneDepths is the per-class queue split at snapshot time, indexed
+	// by qos.Class (interactive, batch, best-effort).
+	LaneDepths [qos.NumClasses]int
 
 	Muls         int64 // Montgomery products across all cores
 	ModelCycles  int64 // cycles by the paper's §4.5 accounting
@@ -132,6 +139,8 @@ func (e *Engine) Stats() Stats {
 		Canceled:       e.ctr.canceled.Load(),
 		QueueDepth:     e.ctr.queueDepth.Load(),
 		QueueHighWater: e.ctr.queueHighWater.Load(),
+		Sheds:          e.ctr.sheds.Load(),
+		LaneDepths:     e.laneDepths(),
 		Muls:           e.ctr.muls.Load(),
 		ModelCycles:    e.ctr.modelCycles.Load(),
 		SimCycles:      e.ctr.simCycles.Load(),
@@ -156,6 +165,14 @@ func (e *Engine) Stats() Stats {
 	}
 }
 
+// laneDepths snapshots the per-class queue split.
+func (e *Engine) laneDepths() (d [qos.NumClasses]int) {
+	for c := qos.Class(0); c < qos.NumClasses; c++ {
+		d[c] = e.sched.laneDepth(c)
+	}
+	return d
+}
+
 // MeanLatency returns the average submit→finish latency of completed
 // jobs, 0 if none completed.
 func (s Stats) MeanLatency() time.Duration {
@@ -176,6 +193,10 @@ func (s Stats) String() string {
 		s.QueueHighWater, s.Muls, s.CtxHits, s.CtxHits+s.CtxMisses, s.CtxEvictions,
 		s.MeanLatency(), time.Duration(s.Latency.P50), time.Duration(s.Latency.P99),
 		time.Duration(s.Latency.Max), time.Duration(s.QueueWait.P99))
+	if s.Sheds > 0 {
+		line += fmt.Sprintf(" sheds=%d lanes=%d/%d/%d",
+			s.Sheds, s.LaneDepths[0], s.LaneDepths[1], s.LaneDepths[2])
+	}
 	if s.IntegrityFailures+s.Panics+s.WatchdogTimeouts+s.Quarantines > 0 {
 		line += fmt.Sprintf(" integ=%d panics=%d watchdog=%d recomputed=%d quar=%d/%d healthy=%d/%d",
 			s.IntegrityFailures, s.Panics, s.WatchdogTimeouts, s.Recomputes,

@@ -101,7 +101,11 @@ func (w *worker) newKit() *kit {
 
 func (w *worker) loop() {
 	defer w.eng.wg.Done()
-	for j := range w.eng.jobs {
+	for {
+		j, ok := w.eng.sched.pop(time.Now())
+		if !ok {
+			return
+		}
 		w.eng.ctr.queueDepth.Add(-1)
 		if w.run(j) {
 			j.wg.Done()

@@ -10,7 +10,12 @@
 // survives a network hop.
 package errs
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
 
 var (
 	// ErrEvenModulus reports a modulus with gcd(N, 2) ≠ 1, which
@@ -56,6 +61,16 @@ var (
 	// may answer the retry.
 	ErrBackendDown = errors.New("backend down")
 
+	// ErrRateLimited reports a request rejected by per-tenant admission
+	// control: the tenant's token bucket is empty. Deliberately distinct
+	// from ErrOverloaded — overload says the *server* is out of
+	// capacity and a jittered-backoff retry may land in free capacity;
+	// rate limiting says the *tenant* is over its own quota, and
+	// retrying early can only fail again while burning server admission
+	// work. The wire carries a retry-after hint (see RateLimited);
+	// clients must not retry before it elapses.
+	ErrRateLimited = errors.New("tenant rate limited")
+
 	// ErrBadKey reports key material that fails its consistency checks
 	// before any private-key operation runs: an RSA key whose N ≠ P·Q or
 	// whose CRT residues disagree with D, an ECDSA scalar outside
@@ -77,3 +92,49 @@ var (
 	// another backend, since the answer must never be trusted.
 	ErrIntegrity = errors.New("result failed integrity check")
 )
+
+// RateLimited is the structured form of ErrRateLimited: which tenant
+// was limited and how long until the next token accrues. It survives a
+// network hop — the wire code's message renders via Error and the
+// client side reparses it — so errors.As recovers the retry-after hint
+// on either side of the connection.
+type RateLimited struct {
+	Tenant     string
+	RetryAfter time.Duration
+}
+
+// Error renders the fixed grammar the wire round-trips:
+//
+//	tenant "acme" rate limited: retry after 25ms
+//
+// RetryAfter uses time.Duration.String, which time.ParseDuration
+// accepts back verbatim.
+func (e *RateLimited) Error() string {
+	return fmt.Sprintf("tenant %q rate limited: retry after %s", e.Tenant, e.RetryAfter)
+}
+
+// Unwrap makes errors.Is(err, ErrRateLimited) hold.
+func (e *RateLimited) Unwrap() error { return ErrRateLimited }
+
+// ParseRateLimited recovers a RateLimited from the rendered form in
+// msg (ok=false if msg is not in Error's grammar). The wire's error
+// responses carry only a code and a message, so the hint rides the
+// message; this is the inverse the client uses.
+func ParseRateLimited(msg string) (*RateLimited, bool) {
+	// Search rather than prefix-match: intermediate layers may have
+	// wrapped the rendered form in their own "layer: " prefixes.
+	i := strings.Index(msg, "tenant \"")
+	if i < 0 {
+		return nil, false
+	}
+	rest := msg[i+len("tenant \""):]
+	tenant, rest, ok := strings.Cut(rest, "\" rate limited: retry after ")
+	if !ok {
+		return nil, false
+	}
+	d, err := time.ParseDuration(strings.TrimSpace(rest))
+	if err != nil {
+		return nil, false
+	}
+	return &RateLimited{Tenant: tenant, RetryAfter: d}, true
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"expvar"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 )
@@ -28,8 +29,15 @@ func NewHandler(c *Collector) http.Handler {
 // NewMux builds the same observability mux from the parts directly —
 // for processes without an engine Collector (montsyslb collects into a
 // bare registry) or with an SLO tracker to serve. A nil tracer makes
-// /trace answer 404; a nil slo does the same for /statusz.
+// /trace answer 404; a nil slo does the same for /statusz. Processes
+// with a QoS plane use NewQoSMux to serve /quotaz too.
 func NewMux(r *Registry, t *Tracer, slo *SLOTracker) http.Handler {
+	return NewQoSMux(r, t, slo, nil)
+}
+
+// NewQoSMux is NewMux plus a /quotaz page rendering per-tenant quota
+// state from q (the QoS plane). A nil q makes /quotaz answer 404.
+func NewQoSMux(r *Registry, t *Tracer, slo *SLOTracker, q Quotaz) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", MetricsHandler(r))
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -40,6 +48,7 @@ func NewMux(r *Registry, t *Tracer, slo *SLOTracker) http.Handler {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/trace", TraceHandler(t))
 	mux.Handle("/statusz", StatuszHandler(slo))
+	mux.Handle("/quotaz", QuotazHandler(q))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -49,6 +58,7 @@ func NewMux(r *Registry, t *Tracer, slo *SLOTracker) http.Handler {
 		fmt.Fprint(w, "montsys observability\n\n"+
 			"/metrics          Prometheus text format\n"+
 			"/statusz          human SLO page (burn rates per objective and window)\n"+
+			"/quotaz           per-tenant QoS quota and usage page\n"+
 			"/debug/vars       expvar JSON\n"+
 			"/debug/pprof/     pprof index (profile, heap, goroutine, ...)\n"+
 			"/trace            Chrome trace-event JSON (open in Perfetto)\n")
@@ -80,6 +90,27 @@ func TraceHandler(t *Tracer) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("Content-Disposition", `attachment; filename="montsys-trace.json"`)
 		_ = t.WriteChromeTrace(w)
+	})
+}
+
+// Quotaz renders a per-tenant quota/usage page — the QoS plane
+// implements it. A tiny interface here keeps obs free of a qos import
+// (obs is a leaf package everything else builds on).
+type Quotaz interface {
+	WriteQuotaz(w io.Writer)
+}
+
+// QuotazHandler serves the per-tenant QoS quota page. A nil source
+// answers 404 (no QoS plane configured).
+func QuotazHandler(q Quotaz) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if q == nil {
+			http.Error(w, "QoS disabled (start with -qos to configure tenant quotas)",
+				http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		q.WriteQuotaz(w)
 	})
 }
 

@@ -20,6 +20,8 @@ type WideEvent struct {
 	SpanID   SpanID
 	Parent   SpanID
 	Outcome  string        // wire code string or engine outcome
+	Tenant   string        // tenant the request was accounted to (QoS)
+	Class    string        // QoS class name when the request was tagged
 	Kit      string        // concrete compute kit (engine layer)
 	Backend  string        // chosen backend address (route layer)
 	Bits     int           // modulus width in bits
@@ -85,6 +87,14 @@ func (ww *WideWriter) Emit(ev *WideEvent) {
 	}
 	b = append(b, `,"outcome":`...)
 	b = strconv.AppendQuote(b, ev.Outcome)
+	if ev.Tenant != "" {
+		b = append(b, `,"tenant":`...)
+		b = strconv.AppendQuote(b, ev.Tenant)
+	}
+	if ev.Class != "" {
+		b = append(b, `,"class":`...)
+		b = strconv.AppendQuote(b, ev.Class)
+	}
 	if ev.Kit != "" {
 		b = append(b, `,"kit":`...)
 		b = strconv.AppendQuote(b, ev.Kit)

@@ -1,0 +1,81 @@
+package qos
+
+import (
+	"sync"
+	"time"
+)
+
+// Bucket is a token bucket: capacity `burst` tokens refilled at `rate`
+// tokens per second. Take is mutex-guarded rather than lock-free — one
+// short critical section per admission is far below the cost of the
+// frame decode that precedes it, and a mutex keeps the refill
+// arithmetic exact (no CAS retry drift).
+type Bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+}
+
+// NewBucket returns a full bucket. rate ≤ 0 means "unlimited": Take
+// always succeeds. burst is clamped to at least 1 so a positive rate
+// can ever admit.
+func NewBucket(rate, burst float64) *Bucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &Bucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// refillLocked advances the bucket to now. Callers hold mu.
+func (b *Bucket) refillLocked(now time.Time) {
+	if b.last.IsZero() {
+		b.last = now
+		return
+	}
+	if dt := now.Sub(b.last); dt > 0 {
+		b.tokens += dt.Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+}
+
+// Take consumes one token if available and reports whether it did,
+// plus the tokens remaining (for the montsys_qos_tokens_milli gauge).
+// When it does not admit, retryAfter is the time until one full token
+// will have accrued — the hint the server sends back on the wire so a
+// limited client waits exactly as long as it must instead of hammering
+// with jittered backoff.
+func (b *Bucket) Take(now time.Time) (ok bool, retryAfter time.Duration, remaining float64) {
+	if b.rate <= 0 {
+		return true, 0, b.burst
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(now)
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0, b.tokens
+	}
+	need := 1 - b.tokens
+	retryAfter = time.Duration(need / b.rate * float64(time.Second))
+	if retryAfter <= 0 {
+		retryAfter = time.Millisecond
+	}
+	return false, retryAfter, b.tokens
+}
+
+// Tokens reports the token count after refilling to now (for the
+// quota page and the montsys_qos_tokens gauge).
+func (b *Bucket) Tokens(now time.Time) float64 {
+	if b.rate <= 0 {
+		return b.burst
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(now)
+	return b.tokens
+}

@@ -1,0 +1,167 @@
+package qos
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TenantConfig is one tenant's quota: a token-bucket rate/burst, a
+// concurrency weight, and a default scheduling class for requests that
+// do not name one.
+type TenantConfig struct {
+	Name   string
+	Rate   float64 // requests per second; ≤ 0 = unlimited
+	Burst  float64 // bucket capacity; clamped to ≥ 1
+	Weight int     // concurrency share weight; clamped to ≥ 1
+	Class  Class
+}
+
+// Config is the tenant table for one process. Default applies to every
+// tenant not named in Tenants (including the empty tenant of an
+// untagged legacy frame), so an unconfigured tenant is policed rather
+// than unlimited.
+type Config struct {
+	Tenants []TenantConfig
+	Default TenantConfig
+}
+
+// DefaultConfig is the policy when no -qos flag is given anywhere: a
+// single unlimited default tenant. It keeps the plane inert so the
+// uncontended single-tenant path pays only the bucket fast path.
+func DefaultConfig() Config {
+	return Config{Default: TenantConfig{Name: "*", Rate: 0, Burst: 1, Weight: 1, Class: Interactive}}
+}
+
+// ParseSpec parses the -qos flag grammar shared by montsysd and
+// montsyslb:
+//
+//	tenant:rate=R,burst=B,weight=W,class=C[;tenant2:...]
+//
+// Fields are optional and default to rate=0 (unlimited), burst=R (one
+// second of rate, or 1), weight=1, class=interactive. The tenant name
+// "*" configures the default policy for tenants not named in the spec.
+// A spec beginning with "@" names a file whose contents (newlines or
+// semicolons between entries, #-comments allowed) are parsed the same
+// way.
+func ParseSpec(spec string) (Config, error) {
+	cfg := DefaultConfig()
+	if spec == "" {
+		return cfg, nil
+	}
+	if strings.HasPrefix(spec, "@") {
+		raw, err := os.ReadFile(spec[1:])
+		if err != nil {
+			return cfg, fmt.Errorf("qos: reading config file: %w", err)
+		}
+		lines := make([]string, 0, 8)
+		for _, ln := range strings.Split(string(raw), "\n") {
+			if i := strings.IndexByte(ln, '#'); i >= 0 {
+				ln = ln[:i]
+			}
+			if ln = strings.TrimSpace(ln); ln != "" {
+				lines = append(lines, ln)
+			}
+		}
+		spec = strings.Join(lines, ";")
+	}
+	seen := map[string]bool{}
+	for _, ent := range strings.Split(spec, ";") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		tc, err := parseTenant(ent)
+		if err != nil {
+			return cfg, err
+		}
+		if seen[tc.Name] {
+			return cfg, fmt.Errorf("qos: tenant %q configured twice", tc.Name)
+		}
+		seen[tc.Name] = true
+		if tc.Name == "*" {
+			cfg.Default = tc
+		} else {
+			cfg.Tenants = append(cfg.Tenants, tc)
+		}
+	}
+	sort.Slice(cfg.Tenants, func(i, j int) bool { return cfg.Tenants[i].Name < cfg.Tenants[j].Name })
+	return cfg, nil
+}
+
+func parseTenant(ent string) (TenantConfig, error) {
+	name, rest, ok := strings.Cut(ent, ":")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return TenantConfig{}, fmt.Errorf("qos: entry %q has no tenant name", ent)
+	}
+	tc := TenantConfig{Name: name, Weight: 1, Class: Interactive}
+	if !ok || strings.TrimSpace(rest) == "" {
+		tc.Burst = 1
+		return tc, nil
+	}
+	burstSet := false
+	for _, f := range strings.Split(rest, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(f), "=")
+		if !ok {
+			return tc, fmt.Errorf("qos: tenant %q: field %q is not key=value", name, f)
+		}
+		switch k {
+		case "rate":
+			r, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return tc, fmt.Errorf("qos: tenant %q: bad rate %q", name, v)
+			}
+			tc.Rate = r
+		case "burst":
+			b, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return tc, fmt.Errorf("qos: tenant %q: bad burst %q", name, v)
+			}
+			tc.Burst = b
+			burstSet = true
+		case "weight":
+			w, err := strconv.Atoi(v)
+			if err != nil || w < 1 {
+				return tc, fmt.Errorf("qos: tenant %q: bad weight %q (want integer ≥ 1)", name, v)
+			}
+			tc.Weight = w
+		case "class":
+			c, err := ParseClass(v)
+			if err != nil {
+				return tc, fmt.Errorf("qos: tenant %q: %v", name, err)
+			}
+			tc.Class = c
+		default:
+			return tc, fmt.Errorf("qos: tenant %q: unknown field %q", name, k)
+		}
+	}
+	if !burstSet {
+		// Default burst: one second of rate, so a quota of rate=R admits
+		// R back-to-back requests before throttling to the steady rate.
+		tc.Burst = tc.Rate
+		if tc.Burst < 1 {
+			tc.Burst = 1
+		}
+	}
+	return tc, nil
+}
+
+// TenantNames returns the configured tenant names (for metric
+// pre-registration) — the named tenants plus OtherTenant for the
+// fold-in bucket of unconfigured ones.
+func (c Config) TenantNames() []string {
+	out := make([]string, 0, len(c.Tenants)+1)
+	for _, t := range c.Tenants {
+		out = append(out, t.Name)
+	}
+	return append(out, OtherTenant)
+}
+
+// OtherTenant is the metric label and quota bucket that every tenant
+// not named in the config folds into. Folding bounds metric
+// cardinality: an adversary inventing tenant names per request cannot
+// grow the registry.
+const OtherTenant = "other"

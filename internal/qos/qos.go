@@ -1,0 +1,103 @@
+// Package qos is the multi-tenant quality-of-service plane: tenant
+// identity, priority classes, per-tenant token-bucket rate limiting,
+// and weight-proportional concurrency shares. The serving tiers thread
+// it through end to end — the wire protocol carries (tenant, class) on
+// tagged op variants, server admission consults a Plane before the
+// global in-flight gate, the engine schedules per-class lanes
+// (earliest deadline first within a class, strict priority with aging
+// across classes), and the cluster exempts best-effort traffic from
+// hedging.
+//
+// The model is the source paper's Fig. 4 host handshake read as an
+// admission decision: the host holds a job in IDLE until the array is
+// ready to take it through MUL1⇄MUL2 to OUT. With one systolic array
+// and many competing streams (the quad-core framing of arXiv
+// 2009.03468), *which* job the host releases next is policy — this
+// package makes that policy tenant- and deadline-aware instead of
+// first-come-first-served.
+package qos
+
+import (
+	"context"
+	"fmt"
+)
+
+// Class is a scheduling priority class. Lower values are more urgent.
+// The zero value is Interactive so an untagged request (an old client,
+// or a tenant with no configured class) is never accidentally starved.
+type Class uint8
+
+const (
+	// Interactive is latency-sensitive traffic: served first, hedged,
+	// and shed last.
+	Interactive Class = 0
+
+	// Batch is throughput traffic that tolerates queueing but must not
+	// starve: it ages into the interactive lane's priority.
+	Batch Class = 1
+
+	// BestEffort is scavenger traffic: first to shed under overload and
+	// exempt from cluster hedging (a hedge spends fleet capacity that
+	// best-effort work has no claim on).
+	BestEffort Class = 2
+
+	// NumClasses is the number of scheduling classes (and engine lanes).
+	NumClasses = 3
+)
+
+// String returns the canonical spelling used in config specs, metric
+// labels, and quota pages.
+func (c Class) String() string {
+	switch c {
+	case Interactive:
+		return "interactive"
+	case Batch:
+		return "batch"
+	case BestEffort:
+		return "best-effort"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// ParseClass parses the spellings String produces (plus "besteffort"
+// and "best_effort" for flag ergonomics).
+func ParseClass(s string) (Class, error) {
+	switch s {
+	case "interactive":
+		return Interactive, nil
+	case "batch":
+		return Batch, nil
+	case "best-effort", "besteffort", "best_effort":
+		return BestEffort, nil
+	}
+	return Interactive, fmt.Errorf("qos: unknown class %q (want interactive, batch, or best-effort)", s)
+}
+
+// tenantKey is the unexported context key type for the tenant identity.
+type tenantKey struct{}
+
+// Identity is the (tenant, class) pair carried on a request. The zero
+// value — empty tenant, Interactive class — is "untagged": the wire
+// layer sends a plain frame and the QoS plane applies the default
+// tenant policy.
+type Identity struct {
+	Tenant string
+	Class  Class
+}
+
+// WithIdentity returns a context carrying the tenant identity. Every
+// tier propagates it: the client tags outgoing frames with it, the
+// server stamps it from the decoded frame before invoking the handler,
+// and the cluster's backend calls inherit it so a routed, hedged, or
+// failed-over attempt carries the same tenant as the original.
+func WithIdentity(ctx context.Context, id Identity) context.Context {
+	return context.WithValue(ctx, tenantKey{}, id)
+}
+
+// FromContext returns the tenant identity on ctx, or the zero
+// (untagged) identity.
+func FromContext(ctx context.Context) Identity {
+	id, _ := ctx.Value(tenantKey{}).(Identity)
+	return id
+}

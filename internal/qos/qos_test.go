@@ -1,0 +1,196 @@
+package qos
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/errs"
+)
+
+func TestClassRoundTrip(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		got, err := ParseClass(c.String())
+		if err != nil || got != c {
+			t.Fatalf("ParseClass(%q) = %v, %v; want %v", c.String(), got, err, c)
+		}
+	}
+	if _, err := ParseClass("bulk"); err == nil {
+		t.Fatal("ParseClass accepted unknown class")
+	}
+}
+
+func TestBucketRefillAndRetryAfter(t *testing.T) {
+	b := NewBucket(10, 2) // 10 tokens/s, burst 2
+	now := time.Unix(100, 0)
+	for i := 0; i < 2; i++ {
+		ok, _, _ := b.Take(now)
+		if !ok {
+			t.Fatalf("take %d within burst denied", i)
+		}
+	}
+	ok, retry, _ := b.Take(now)
+	if ok {
+		t.Fatal("take beyond burst admitted")
+	}
+	// Empty bucket at 10/s: one token in 100ms.
+	if retry < 90*time.Millisecond || retry > 110*time.Millisecond {
+		t.Fatalf("retry-after = %v, want ~100ms", retry)
+	}
+	// After the hint elapses, exactly one token has accrued.
+	now = now.Add(retry)
+	if ok, _, _ := b.Take(now); !ok {
+		t.Fatal("take denied after retry-after elapsed")
+	}
+	if ok, _, _ := b.Take(now); ok {
+		t.Fatal("second take admitted without refill")
+	}
+}
+
+func TestBucketUnlimited(t *testing.T) {
+	b := NewBucket(0, 1)
+	for i := 0; i < 1000; i++ {
+		if ok, _, _ := b.Take(time.Unix(0, 0)); !ok {
+			t.Fatal("unlimited bucket denied")
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("acme:rate=200,burst=50,weight=4,class=interactive;hog:rate=20,weight=1,class=best-effort;*:rate=100,class=batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Tenants) != 2 {
+		t.Fatalf("tenants = %d, want 2", len(cfg.Tenants))
+	}
+	acme := cfg.Tenants[0]
+	if acme.Name != "acme" || acme.Rate != 200 || acme.Burst != 50 || acme.Weight != 4 || acme.Class != Interactive {
+		t.Fatalf("acme = %+v", acme)
+	}
+	hog := cfg.Tenants[1]
+	if hog.Class != BestEffort || hog.Burst != 20 { // burst defaults to rate
+		t.Fatalf("hog = %+v", hog)
+	}
+	if cfg.Default.Rate != 100 || cfg.Default.Class != Batch {
+		t.Fatalf("default = %+v", cfg.Default)
+	}
+	for _, bad := range []string{"a:rate=x", "a:nope=1", ":rate=1", "a:rate=1;a:rate=2", "a:class=zippy"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPlaneRateLimit(t *testing.T) {
+	cfg, err := ParseSpec("acme:rate=10,burst=1,weight=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlane(cfg, 0, nil)
+	now := time.Unix(50, 0)
+	rel, err := p.Admit("acme", now)
+	if err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	rel(time.Millisecond)
+	_, err = p.Admit("acme", now)
+	if !errors.Is(err, errs.ErrRateLimited) {
+		t.Fatalf("err = %v, want ErrRateLimited", err)
+	}
+	var rl *errs.RateLimited
+	if !errors.As(err, &rl) || rl.RetryAfter <= 0 || rl.Tenant != "acme" {
+		t.Fatalf("structured error = %+v", rl)
+	}
+	// The rendered form round-trips through the wire-message parser.
+	back, ok := errs.ParseRateLimited(rl.Error())
+	if !ok || back.Tenant != "acme" || back.RetryAfter != rl.RetryAfter {
+		t.Fatalf("ParseRateLimited(%q) = %+v, %v", rl.Error(), back, ok)
+	}
+}
+
+func TestPlaneConcurrencyShares(t *testing.T) {
+	// Budget 8, weights 3:1 (+ default 1) → acme share 4, hog 1.
+	cfg, err := ParseSpec("acme:weight=3;hog:weight=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlane(cfg, 8, nil)
+	now := time.Unix(0, 0)
+	var rels []func(time.Duration)
+	for i := 0; i < 4; i++ {
+		rel, err := p.Admit("acme", now)
+		if err != nil {
+			t.Fatalf("acme admit %d: %v", i, err)
+		}
+		rels = append(rels, rel)
+	}
+	if _, err := p.Admit("acme", now); !errors.Is(err, errs.ErrOverloaded) {
+		t.Fatalf("acme over share: err = %v, want ErrOverloaded", err)
+	}
+	// Another tenant still has its slice.
+	if _, err := p.Admit("hog", now); err != nil {
+		t.Fatalf("hog admit while acme saturated: %v", err)
+	}
+	// Releasing a slot readmits.
+	rels[0](time.Millisecond)
+	if _, err := p.Admit("acme", now); err != nil {
+		t.Fatalf("acme admit after release: %v", err)
+	}
+}
+
+func TestPlaneUnknownTenantFoldsIn(t *testing.T) {
+	cfg, err := ParseSpec("*:rate=10,burst=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlane(cfg, 0, nil)
+	now := time.Unix(0, 0)
+	if _, err := p.Admit("mystery", now); err != nil {
+		t.Fatalf("first unknown tenant: %v", err)
+	}
+	// A different invented name shares the same fold-in bucket.
+	_, err = p.Admit("mystery2", now)
+	if !errors.Is(err, errs.ErrRateLimited) {
+		t.Fatalf("second unknown tenant: err = %v, want ErrRateLimited", err)
+	}
+	var rl *errs.RateLimited
+	if !errors.As(err, &rl) || rl.Tenant != OtherTenant {
+		t.Fatalf("fold-in label = %+v", rl)
+	}
+}
+
+func TestQuotazRendering(t *testing.T) {
+	cfg, err := ParseSpec("acme:rate=100,weight=2,class=interactive;hog:rate=10,class=best-effort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlane(cfg, 16, nil)
+	if rel, err := p.Admit("acme", time.Unix(0, 0)); err == nil {
+		rel(time.Millisecond)
+	}
+	p.Shed("hog", BestEffort)
+	var sb strings.Builder
+	p.WriteQuotaz(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"tenant=acme", "tenant=hog", "tenant=other",
+		"class=best-effort", "admits=1", "sheds=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("quotaz missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestIdentityContext(t *testing.T) {
+	ctx := WithIdentity(context.Background(), Identity{Tenant: "acme", Class: Batch})
+	if id := FromContext(ctx); id.Tenant != "acme" || id.Class != Batch {
+		t.Fatalf("FromContext = %+v", id)
+	}
+	if id := FromContext(context.Background()); id != (Identity{}) {
+		t.Fatalf("untagged context = %+v", id)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/errs"
 	"repro/internal/obs"
+	"repro/internal/qos"
 )
 
 // ClientOption configures a Client.
@@ -32,6 +33,8 @@ type clientConfig struct {
 	tracer      *obs.Tracer
 	sampleRate  float64
 	rootTraces  bool
+	tenant      string
+	class       qos.Class
 }
 
 // WithPoolSize bounds the client's pooled connections (default 2).
@@ -73,6 +76,21 @@ func WithClientMaxFrame(n int) ClientOption { return func(c *clientConfig) { c.m
 // creation is opt-in.
 func WithClientTracing(t *obs.Tracer, rate float64) ClientOption {
 	return func(c *clientConfig) { c.tracer, c.sampleRate, c.rootTraces = t, rate, true }
+}
+
+// WithClientTenant stamps every request from this client with a tenant
+// id, so a QoS-enabled server accounts it against that tenant's quota.
+// A qos.Identity on the call context overrides the client default
+// per call. Pings are never tagged (they bypass admission anyway).
+func WithClientTenant(tenant string) ClientOption {
+	return func(c *clientConfig) { c.tenant = tenant }
+}
+
+// WithClientClass sets the default QoS class requests are tagged with
+// (interactive when unset). Like the tenant, a qos.Identity on the
+// call context overrides it per call.
+func WithClientClass(class qos.Class) ClientOption {
+	return func(c *clientConfig) { c.class = class }
 }
 
 // Client talks the montsysd wire protocol. It pools connections, and
@@ -234,6 +252,37 @@ func transientCode(code Code) bool {
 	return code == CodeOverloaded || code == CodeDraining || code == CodeBackendDown
 }
 
+// retryAction is what the retry loop does with a decoded error response.
+type retryAction int
+
+const (
+	// retryNo: terminal — return the mapped error to the caller.
+	retryNo retryAction = iota
+	// retryBackoff: transient — retry after a jittered exponential
+	// backoff step.
+	retryBackoff
+	// retryAfterHint: rate limited — the server named the exact moment
+	// its bucket refills. Wait out the hint (no jitter, no exponential
+	// growth: retrying sooner is guaranteed to be rejected again, and
+	// later wastes the tenant's token) and retry, or give up immediately
+	// when the call's deadline cannot cover the wait.
+	retryAfterHint
+)
+
+// retryDecision classifies a response code for the retry loop. Kept as
+// a pure function of the code so the whole decision table is unit-
+// testable without a server.
+func retryDecision(code Code) retryAction {
+	switch {
+	case code == CodeRateLimited:
+		return retryAfterHint
+	case transientCode(code):
+		return retryBackoff
+	default:
+		return retryNo
+	}
+}
+
 // call wraps the retry loop with the tracing head: resolve the call's
 // trace context (inherited from ctx, or minted when WithClientTracing
 // is on), run the retries under it, and record one client span
@@ -305,8 +354,23 @@ func (c *Client) callRetry(ctx context.Context, op Op, jobs []triple,
 		case err == nil:
 			lastErr = errFor(resp.code, resp.msg)
 			lastNetwork = false
-			if !transientCode(resp.code) {
+			switch retryDecision(resp.code) {
+			case retryNo:
 				return nil, lastErr
+			case retryAfterHint:
+				var rl *errs.RateLimited
+				if attempt >= c.cfg.maxRetries || !errors.As(lastErr, &rl) {
+					return nil, lastErr
+				}
+				if dl, ok := ctx.Deadline(); ok && time.Until(dl) < rl.RetryAfter {
+					// The bucket refills after the call would already be
+					// dead — don't burn the remaining budget waiting.
+					return nil, lastErr
+				}
+				if err := sleepCtx(ctx, rl.RetryAfter); err != nil {
+					return nil, err
+				}
+				continue
 			}
 		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 			return nil, err
@@ -331,6 +395,22 @@ func (c *Client) callRetry(ctx context.Context, op Op, jobs []triple,
 		if err := c.sleep(ctx, attempt); err != nil {
 			return nil, err
 		}
+	}
+}
+
+// sleepCtx waits exactly d — the rate limiter's retry-after path, which
+// must not jitter — or returns early with the context's error.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -372,6 +452,15 @@ func (c *Client) tryOnce(ctx context.Context, op Op, jobs []triple,
 		return nil, false, err
 	}
 	req := &request{op: op, id: id, jobs: jobs, crypto: crypto, tc: tc}
+	if op != OpPing {
+		// Tag the request with its QoS identity: a non-zero identity on
+		// the call context wins, else the client's configured defaults.
+		qid := qos.FromContext(ctx)
+		if qid == (qos.Identity{}) {
+			qid = qos.Identity{Tenant: c.cfg.tenant, Class: c.cfg.class}
+		}
+		req.tenant, req.class = qid.Tenant, qid.Class
+	}
 	if dl, ok := ctx.Deadline(); ok {
 		req.deadline = dl
 	}

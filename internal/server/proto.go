@@ -11,8 +11,10 @@
 //	byte   version (1)
 //	byte   op            1=Mont  2=ModExp  3=BatchModExp  4=Ping  (5/6/7 traced)
 //	                     8–12 signing ops (13–17 traced), see proto_crypto.go
+//	                     op+64 = tenant-tagged variant, see proto_qos.go
 //	uint64 request id    client-chosen, echoed in the response
 //	int64  deadline      UnixNano, 0 = none
+//	qos    block         tagged ops only: class byte ‖ tenant string
 //	trace  block         traced ops only: 16B trace id ‖ 8B parent span ‖ flags
 //	body                 op-specific, big.Ints as uint32 len ‖ bytes
 //
@@ -40,6 +42,7 @@ import (
 
 	"repro/internal/errs"
 	"repro/internal/obs"
+	"repro/internal/qos"
 )
 
 // ProtoVersion is the wire protocol version; both sides reject frames
@@ -84,6 +87,11 @@ const (
 
 // String names an op the way the server's metrics label it.
 func (o Op) String() string {
+	if base, isTagged := o.unqos(); isTagged {
+		// Like traced variants, tenant-tagged ops are normalized at
+		// decode — fold onto the base so tagging never splits a series.
+		return base.String()
+	}
 	switch o {
 	case OpMont:
 		return "mont"
@@ -210,6 +218,8 @@ func (c Code) String() string {
 		return "integrity"
 	case CodeBadKey:
 		return "bad_key"
+	case CodeRateLimited:
+		return "rate_limited"
 	default:
 		return "internal"
 	}
@@ -221,7 +231,7 @@ var wireCodes = []Code{
 	CodeOK, CodeEvenModulus, CodeModulusTooSmall, CodeOperandRange,
 	CodeEngineClosed, CodeOverloaded, CodeDraining, CodeProtocol,
 	CodeDeadline, CodeCanceled, CodeBackendDown, CodeIntegrity,
-	CodeBadKey, CodeInternal,
+	CodeBadKey, CodeRateLimited, CodeInternal,
 }
 
 // codeFor maps an error to its wire code. Unrecognized errors become
@@ -250,6 +260,8 @@ func codeFor(err error) Code {
 		return CodeIntegrity
 	case errors.Is(err, errs.ErrBadKey):
 		return CodeBadKey
+	case errors.Is(err, errs.ErrRateLimited):
+		return CodeRateLimited
 	case errors.Is(err, context.DeadlineExceeded):
 		return CodeDeadline
 	case errors.Is(err, context.Canceled):
@@ -290,6 +302,13 @@ func errFor(code Code, msg string) error {
 		return fmt.Errorf("montsys: remote: %s: %w", msg, errs.ErrIntegrity)
 	case CodeBadKey:
 		return fmt.Errorf("montsys: remote: %s: %w", msg, errs.ErrBadKey)
+	case CodeRateLimited:
+		// Reconstruct the structured error so errors.As recovers the
+		// retry-after hint on the client side of the hop.
+		if rl, ok := errs.ParseRateLimited(msg); ok {
+			return fmt.Errorf("montsys: remote: %w", rl)
+		}
+		return fmt.Errorf("montsys: remote: %s: %w", msg, errs.ErrRateLimited)
 	case CodeDeadline:
 		return fmt.Errorf("montsys: remote: %s: %w", msg, context.DeadlineExceeded)
 	case CodeCanceled:
@@ -316,6 +335,8 @@ type request struct {
 	id       uint64
 	deadline time.Time // zero = none
 	tc       obs.TraceContext
+	tenant   string      // QoS block; "" = untagged legacy frame
+	class    qos.Class   // QoS block; Interactive when untagged
 	jobs     []triple    // len 1 for Mont/ModExp; empty for signing ops
 	crypto   *cryptoBody // signing ops only
 }
@@ -472,6 +493,10 @@ func encodeRequest(req *request) []byte {
 	if req.tc.Sampled {
 		wireOp, traced = req.op.traced()
 	}
+	tagged := false
+	if req.tenant != "" || req.class != 0 {
+		wireOp, tagged = wireOp.qosTagged()
+	}
 	b = append(b, ProtoVersion, byte(wireOp))
 	b = appendUint64(b, req.id)
 	var dl int64
@@ -479,6 +504,9 @@ func encodeRequest(req *request) []byte {
 		dl = req.deadline.UnixNano()
 	}
 	b = appendUint64(b, uint64(dl))
+	if tagged {
+		b = encodeQoSBlock(b, req)
+	}
 	if traced {
 		b = append(b, req.tc.TraceID[:]...)
 		b = append(b, req.tc.SpanID[:]...)
@@ -528,6 +556,12 @@ func decodeRequest(payload []byte) (*request, error) {
 	}
 	if dl != 0 {
 		req.deadline = time.Unix(0, int64(dl))
+	}
+	if base, isTagged := op.unqos(); isTagged {
+		if err := decodeQoSBlock(&d, req); err != nil {
+			return nil, err
+		}
+		op, req.op = base, base
 	}
 	if base, isTraced := op.untraced(); isTraced {
 		blk, err := d.take(16 + 8 + 1)

@@ -13,6 +13,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/errs"
 	"repro/internal/obs"
+	"repro/internal/qos"
 )
 
 // Option configures a Server.
@@ -27,6 +28,7 @@ type config struct {
 	tracer       *obs.Tracer
 	wide         *obs.WideWriter
 	signSvc      *cryptosvc.Service
+	qos          *qos.Plane
 }
 
 // WithMaxInflight bounds the requests admitted and not yet answered,
@@ -60,6 +62,15 @@ func WithTracer(t *obs.Tracer) Option { return func(c *config) { c.tracer = t } 
 // WithWideEvents emits one wide JSON log line (layer "server") per
 // sampled request. A nil writer leaves it off.
 func WithWideEvents(w *obs.WideWriter) Option { return func(c *config) { c.wide = w } }
+
+// WithQoS puts a per-tenant QoS plane in front of admission: each
+// non-ping request is charged against its tenant's token bucket and
+// concurrency share before competing for the global in-flight bound.
+// Bucket exhaustion answers CodeRateLimited with a retry-after hint;
+// share exhaustion answers CodeOverloaded. Untagged (legacy) requests
+// are accounted to the plane's fold-in tenant, so old clients keep
+// working under the default quota. A nil plane leaves QoS off.
+func WithQoS(p *qos.Plane) Option { return func(c *config) { c.qos = p } }
 
 // Handler executes decoded requests on behalf of the server. The
 // multi-core engine is the canonical implementation (via NewServer's
@@ -486,6 +497,9 @@ func (c *sconn) send(payload []byte) {
 // admitted requests get a goroutine and a slot in the in-flight bound.
 // Pings are answered inline too, without an admission slot: a health
 // check must keep answering exactly when the server is saturated.
+// With a QoS plane configured, the tenant's token bucket and
+// concurrency share are checked first — a tenant over its own quota is
+// rejected before it can contend for the shared in-flight bound.
 func (c *sconn) dispatch(req *request) {
 	s := c.srv
 	start := time.Now()
@@ -513,10 +527,28 @@ func (c *sconn) dispatch(req *request) {
 		s.observeRequest(req, obs.SpanID{}, CodeDraining, start, time.Since(start))
 		return
 	}
+	var release func(time.Duration)
+	if s.cfg.qos != nil {
+		var qerr error
+		release, qerr = s.cfg.qos.Admit(req.tenant, start)
+		if qerr != nil {
+			s.mu.Unlock()
+			code := codeFor(qerr)
+			c.send(encodeResponse(req.op, &response{
+				id: req.id, code: code, msg: qerr.Error(),
+			}))
+			s.met.finish(req.op, code, time.Since(start))
+			s.observeRequest(req, obs.SpanID{}, code, start, time.Since(start))
+			return
+		}
+	}
 	select {
 	case s.inflight <- struct{}{}:
 	default:
 		s.mu.Unlock()
+		if release != nil {
+			release(0)
+		}
 		c.send(encodeResponse(req.op, &response{
 			id: req.id, code: CodeOverloaded, msg: "in-flight limit reached",
 		}))
@@ -529,12 +561,13 @@ func (c *sconn) dispatch(req *request) {
 	s.mu.Unlock()
 	s.met.inflight.Add(1)
 
-	go c.serveReq(req, start)
+	go c.serveReq(req, start, release)
 }
 
 // serveReq executes one admitted request against the engine and queues
-// its response.
-func (c *sconn) serveReq(req *request, start time.Time) {
+// its response. release, when non-nil, returns the request's QoS
+// concurrency-share slot and records its per-tenant latency.
+func (c *sconn) serveReq(req *request, start time.Time, release func(time.Duration)) {
 	s := c.srv
 	defer func() {
 		<-s.inflight
@@ -549,6 +582,11 @@ func (c *sconn) serveReq(req *request, start time.Time) {
 		ctx, cancel = context.WithDeadline(ctx, req.deadline)
 		defer cancel()
 	}
+	if req.tenant != "" || req.class != 0 {
+		// Carry the wire identity down: the engine's lane scheduler and
+		// the balancer's outbound attempts read it off the context.
+		ctx = qos.WithIdentity(ctx, qos.Identity{Tenant: req.tenant, Class: req.class})
+	}
 	var spanID obs.SpanID
 	if req.tc.Sampled {
 		// Open the server span and re-parent the context's trace under
@@ -560,6 +598,9 @@ func (c *sconn) serveReq(req *request, start time.Time) {
 	resp := s.execute(ctx, req)
 	resp.id = req.id
 	elapsed := time.Since(start)
+	if release != nil {
+		release(elapsed)
+	}
 	s.met.finish(req.op, resp.code, elapsed)
 	s.observeRequest(req, spanID, resp.code, start, elapsed)
 	c.send(encodeResponse(req.op, resp))
@@ -590,6 +631,10 @@ func (s *Server) observeRequest(req *request, spanID obs.SpanID, code Code,
 			Layer: "server", Op: req.op.String(),
 			TraceID: req.tc.TraceID, SpanID: spanID, Parent: req.tc.SpanID,
 			Outcome: code.String(), Dur: elapsed,
+		}
+		if req.tenant != "" {
+			ev.Tenant = req.tenant
+			ev.Class = req.class.String()
 		}
 		if len(req.jobs) > 0 && req.jobs[0].n != nil {
 			ev.Bits = req.jobs[0].n.BitLen()

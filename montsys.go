@@ -67,6 +67,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/kits"
 	"repro/internal/obs"
+	"repro/internal/qos"
 	"repro/internal/rsa"
 	"repro/internal/server"
 	"repro/internal/systolic"
@@ -90,6 +91,13 @@ var (
 	ErrDraining    = errs.ErrDraining
 	ErrProtocol    = errs.ErrProtocol
 	ErrBackendDown = errs.ErrBackendDown
+
+	// ErrRateLimited marks a per-tenant quota rejection from a server's
+	// QoS plane — the tenant's own token bucket is empty, distinct from
+	// ErrOverloaded (the server as a whole is saturated). The concrete
+	// error is a *RateLimited carrying the retry-after hint; recover it
+	// with errors.As, including across the wire.
+	ErrRateLimited = errs.ErrRateLimited
 
 	// ErrIntegrity marks a result that failed the engine's end-to-end
 	// integrity checks (residue identity, big.Int re-verification, core
@@ -736,9 +744,127 @@ func NewSLOTracker(r *MetricsRegistry, interval time.Duration) *SLOTracker {
 // NewObsMux serves an observability surface assembled from parts — for
 // processes like montsyslb with a registry, a tracer and an SLO tracker
 // but no engine collector: /metrics, /trace (nil tracer: 404), /statusz
-// (nil tracker: 404), expvar and pprof.
+// (nil tracker: 404), expvar and pprof. Processes with a QoS plane use
+// NewQoSObsMux to serve /quotaz too.
 func NewObsMux(r *MetricsRegistry, t *Tracer, slo *SLOTracker) http.Handler {
 	return obs.NewMux(r, t, slo)
+}
+
+// Multi-tenant QoS. A QoSPlane in front of a server's admission gives
+// every tenant its own token-bucket rate limit and weighted concurrency
+// share, and the engine's submission queue becomes three priority lanes
+// (interactive, batch, best-effort) scheduled earliest-deadline-first
+// within a lane and strict-priority-with-aging across lanes; under
+// overload the queue sheds lowest class first. Tenant identity and
+// class ride the wire in an append-only frame extension, so old clients
+// and servers interoperate untouched:
+//
+//	cfg, _ := montsys.ParseQoSSpec("acme:rate=500,burst=100,weight=3,class=interactive;" +
+//	    "bulk:rate=100,weight=1,class=besteffort")
+//	plane := montsys.NewQoSPlane(cfg, 4*eng.Workers(), col.Registry())
+//	srv, _ := montsys.NewServer(eng, montsys.WithServerQoS(plane))
+//	cl := montsys.Dial(addr, montsys.WithClientTenant("acme"))
+//
+// Rejections surface as ErrRateLimited (tenant bucket empty; carries a
+// retry-after hint the client honours exactly) or ErrOverloaded (share
+// or server capacity). /quotaz (NewQoSObsMux) renders per-tenant quota
+// state, and montsys_qos_* metrics track admits, rejections, sheds,
+// tokens and per-tenant latency. See README "Multi-tenant QoS" and
+// DESIGN §2i.
+
+// QoSClass is a request's scheduling class: lower is more urgent.
+type QoSClass = qos.Class
+
+// The scheduling classes.
+const (
+	QoSInteractive = qos.Interactive // latency-sensitive traffic
+	QoSBatch       = qos.Batch       // throughput work with deadlines
+	QoSBestEffort  = qos.BestEffort  // shed-first, never hedged
+)
+
+// ParseQoSClass maps a flag/spec value (interactive|batch|best-effort)
+// to its class.
+func ParseQoSClass(s string) (QoSClass, error) { return qos.ParseClass(s) }
+
+// QoSIdentity is the (tenant, class) pair a request is accounted and
+// scheduled under. It rides a context.Context through every tier.
+type QoSIdentity = qos.Identity
+
+// ContextWithQoS attaches a QoS identity to ctx: clients tag outbound
+// requests with it (overriding their configured defaults), servers
+// stamp it so engines and balancers see the wire identity.
+func ContextWithQoS(ctx context.Context, id QoSIdentity) context.Context {
+	return qos.WithIdentity(ctx, id)
+}
+
+// QoSFromContext extracts the ambient QoS identity (zero if untagged).
+func QoSFromContext(ctx context.Context) QoSIdentity { return qos.FromContext(ctx) }
+
+// RateLimited is the concrete error behind ErrRateLimited: which tenant
+// was limited and when its bucket next refills. It survives the wire —
+// errors.As recovers it from a remote rejection.
+type RateLimited = errs.RateLimited
+
+// QoSConfig is the parsed per-tenant quota table.
+type QoSConfig = qos.Config
+
+// QoSTenantConfig is one tenant's quota row.
+type QoSTenantConfig = qos.TenantConfig
+
+// ParseQoSSpec parses a tenant-quota spec —
+// "tenant:rate=R,burst=B,weight=W,class=C;..." with "*" naming the
+// default row — or "@path" to read the same grammar from a file.
+func ParseQoSSpec(spec string) (QoSConfig, error) { return qos.ParseSpec(spec) }
+
+// QoSPlane enforces a QoSConfig: per-tenant token buckets, weighted
+// concurrency shares over an in-flight budget, and the per-tenant
+// montsys_qos_* metric series.
+type QoSPlane = qos.Plane
+
+// NewQoSPlane builds a plane over cfg. budget is the concurrency total
+// the tenant weights divide (≤ 0 disables share enforcement); reg takes
+// the montsys_qos_* series (nil: metrics off).
+func NewQoSPlane(cfg QoSConfig, budget int, reg *MetricsRegistry) *QoSPlane {
+	return qos.NewPlane(cfg, budget, reg)
+}
+
+// WithServerQoS puts a QoS plane in front of the server's admission:
+// tenants are charged before competing for the global in-flight bound.
+func WithServerQoS(p *QoSPlane) ServerOption { return server.WithQoS(p) }
+
+// WithEngineQoSObserver feeds the engine's shed and lane-depth events
+// to an observer — pass the QoS plane so its per-tenant shed counters
+// and lane-depth gauges track the scheduler.
+func WithEngineQoSObserver(o engine.QoSObserver) EngineOption {
+	return engine.WithQoSObserver(o)
+}
+
+// WithEngineLaneAging sets the lane-aging quantum: every full quantum a
+// lane's head job has waited promotes the lane one class, bounding
+// cross-class starvation (default 100ms).
+func WithEngineLaneAging(d time.Duration) EngineOption { return engine.WithLaneAging(d) }
+
+// WithClientTenant stamps every request from a client with a tenant id;
+// WithClientClass sets the default scheduling class. A QoSIdentity on
+// the call context overrides both per call.
+func WithClientTenant(tenant string) ClientOption { return server.WithClientTenant(tenant) }
+
+// WithClientClass sets a client's default QoS class (interactive when
+// unset).
+func WithClientClass(class QoSClass) ClientOption { return server.WithClientClass(class) }
+
+// WithClusterTenants names the tenants the cluster keeps per-tenant
+// pick/shed counters for; others fold into the "other" series.
+func WithClusterTenants(names []string) ClusterOption { return cluster.WithTenants(names) }
+
+// NewQoSObsMux is NewObsMux plus the /quotaz per-tenant quota page
+// rendered from the QoS plane (nil plane: 404).
+func NewQoSObsMux(r *MetricsRegistry, t *Tracer, slo *SLOTracker, p *QoSPlane) http.Handler {
+	var q obs.Quotaz
+	if p != nil {
+		q = p
+	}
+	return obs.NewQoSMux(r, t, slo, q)
 }
 
 // Signing service. The crypto layer turns the engine into a
