@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race staticcheck cover bench-engine bench-obs bench-faults bench-kits bench-sign bench-qos sca-gate qos
+.PHONY: ci build vet test race staticcheck cover bench-engine bench-obs bench-faults bench-kits bench-sign bench-qos sca-gate qos fuzz soak
 
 ci: vet staticcheck build test race
 
@@ -70,6 +70,27 @@ sca-gate:
 qos:
 	$(GO) test -race -count=1 ./internal/qos/...
 	$(GO) test -race -count=1 -run 'Lane|QoS|RateLimited|RetryDecision|Deadline' ./internal/engine/... ./internal/server/...
+
+# Native fuzzing of everything that parses hostile bytes: the wire
+# frame decoders (both directions), the response-id fast path, and the
+# QoS spec parser. The committed corpus under testdata/fuzz/ replays as
+# plain tests on every `go test`; this target mines for NEW inputs.
+# Go's fuzzer takes one -fuzz target per invocation, hence the list.
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test -run xxx -fuzz '^FuzzDecodeRequest$$' -fuzztime $(FUZZTIME) ./internal/server/
+	$(GO) test -run xxx -fuzz '^FuzzDecodeResponse$$' -fuzztime $(FUZZTIME) ./internal/server/
+	$(GO) test -run xxx -fuzz '^FuzzResponseID$$' -fuzztime $(FUZZTIME) ./internal/server/
+	$(GO) test -run xxx -fuzz '^FuzzParseSpec$$' -fuzztime $(FUZZTIME) ./internal/qos/
+
+# The composed soak: a live fleet (montsyslb + three montsysd) that
+# changes shape mid-run — file-watch join, kill -9, registrar goodbye —
+# under mixed-tenant Zipf load with slow-loris and malformed-frame
+# adversaries attacking the same front door. Verdict comes from
+# loadgen -scenario soak: zero wrong answers, zero interactive-tenant
+# errors, no windowed-p99 cliff. SOAK_DURATION overrides the default.
+soak:
+	bash scripts/soak.sh
 
 # Regenerate BENCH_qos.json's raw numbers: the admission fast path
 # (what every request pays when -qos is armed) and the lane scheduler

@@ -13,7 +13,18 @@
 //	        [-connect host:7077] [-clients 8] [-retries 3]
 //	        [-tolerate integrity,overloaded] [-integrity]
 //	        [-fault-rate 0] [-fault-seed 1] [-fault-cores 0]
-//	        [-scenario modexp|sign|tenants]
+//	        [-scenario modexp|sign|tenants|soak]
+//	        [-duration 60s] [-adversaries 4]
+//
+// -scenario soak is the composed robustness run (remote only): mixed
+// tenants hammer the fleet closed-loop for -duration with Zipf-skewed
+// moduli while -adversaries hostile connections attack the same front
+// door — slow-loris byte dribblers and malformed-frame senders. The
+// scenario is built to run while the fleet churns underneath it
+// (backends joining, leaving, being killed -9; see scripts/soak.sh):
+// the verdict line demands zero wrong answers from anyone, zero
+// client-visible errors for the well-behaved interactive tenant, and
+// no windowed-p99 cliff across membership changes. See soak.go.
 //
 // -scenario tenants runs the multi-tenant isolation experiment (remote
 // only): three tenants — a well-behaved interactive one, a hostile one
@@ -135,7 +146,9 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0, "local mode: inject bit-flip faults into this fraction of core results")
 	faultSeed := flag.Int64("fault-seed", 1, "local mode: deterministic seed for -fault-rate")
 	faultCores := flag.String("fault-cores", "", "local mode: comma-separated worker ids to fault (default all)")
-	scenario := flag.String("scenario", "modexp", "workload: modexp | sign | tenants (sign and tenants require -connect)")
+	scenario := flag.String("scenario", "modexp", "workload: modexp | sign | tenants | soak (all but modexp require -connect)")
+	duration := flag.Duration("duration", 60*time.Second, "soak scenario run length")
+	adversaries := flag.Int("adversaries", 4, "soak scenario: concurrent adversarial connections (slow-loris + malformed frames)")
 	flag.Parse()
 
 	// The root context: Ctrl-C / SIGTERM cancels it, which aborts an
@@ -145,8 +158,8 @@ func main() {
 	defer stop()
 
 	cfg := sweepConfig{
-		scenario: *scenario,
-		jobs:     *jobs, keys: *keys, expKind: *expKind,
+		scenario: *scenario, duration: *duration, adversaries: *adversaries,
+		jobs: *jobs, keys: *keys, expKind: *expKind,
 		queue: *queue, timeout: *timeout, seed: *seed,
 		connect: *connect, clients: *clients, retries: *retries,
 		traceSample: *traceSample,
@@ -185,8 +198,10 @@ func main() {
 }
 
 type sweepConfig struct {
-	scenario   string // "modexp" (default), "sign", or "tenants"
-	jobs, keys int
+	scenario    string        // "modexp" (default), "sign", "tenants", or "soak"
+	duration    time.Duration // soak run length
+	adversaries int           // soak adversarial connections
+	jobs, keys  int
 	expKind    string
 	queue      int
 	timeout    time.Duration
@@ -373,6 +388,8 @@ func run(ctx context.Context, workersList, bitsList, kitList, modeName, variantN
 		return runSign(ctx, cfg, bits)
 	case "tenants":
 		return runTenants(ctx, cfg, bits)
+	case "soak":
+		return runSoak(ctx, cfg, bits)
 	default:
 		return fmt.Errorf("unknown scenario %q", cfg.scenario)
 	}

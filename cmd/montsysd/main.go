@@ -6,13 +6,29 @@
 //
 //	montsysd [-listen :7077] [-workers N] [-kit model|sim|cios|big|auto]
 //	         [-variant guarded|faithful] [-queue 0] [-cache 128]
-//	         [-inflight 0] [-idle 2m] [-drain 30s]
+//	         [-inflight 0] [-idle 2m] [-drain 30s] [-frame-timeout 10s]
 //	         [-metrics :9090] [-trace 4096]
 //	         [-wide-events stderr|stdout|PATH]
 //	         [-slo-latency 500ms] [-slo-target 0.999]
 //	         [-integrity] [-integrity-sample 1] [-integrity-recompute]
 //	         [-fault-rate 0] [-fault-seed 1] [-fault-cores 0,2]
 //	         [-sign-blinding=true] [-qos SPEC|@FILE]
+//	         [-register lb1:7070,lb2:7070] [-advertise host:port] [-zone Z]
+//
+// -register turns on self-registration: the daemon announces itself to
+// each named montsyslb with the wire protocol's join op (re-announced
+// every 15s — registration is idempotent, so this doubles as liveness
+// against a balancer restart) and sends a goodbye to each balancer when
+// it starts draining, so its warm per-modulus contexts hand over
+// gracefully instead of vanishing. -advertise is the address backends
+// are told to dial (defaults to the listen address when it names a
+// concrete host); -zone labels the daemon's failure domain for the
+// balancer's zone-aware routing.
+//
+// -frame-timeout is the slow-loris guard: once a request frame's first
+// byte arrives, the whole frame must arrive within the budget or the
+// connection is cut (10s default; 0 disables). Idle connections between
+// frames are governed by -idle alone.
 //
 // -qos arms the multi-tenant QoS plane: per-tenant token-bucket rate
 // limits, weighted concurrency shares over the in-flight budget, and
@@ -77,6 +93,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -107,14 +124,19 @@ func main() {
 	faultCores := flag.String("fault-cores", "", "comma-separated worker ids to fault (default all)")
 	signBlinding := flag.Bool("sign-blinding", true, "blind the signing service's private-key paths (disable only for SCA lab capture)")
 	qosSpec := flag.String("qos", "", "per-tenant QoS spec \"tenant:rate=R,burst=B,weight=W,class=C;...\" or @file (empty disables)")
+	frameTimeout := flag.Duration("frame-timeout", 10*time.Second, "per-frame arrival budget once the first byte lands — slow-loris guard (0 disables)")
+	register := flag.String("register", "", "comma-separated montsyslb addresses to self-register with (empty disables)")
+	advertise := flag.String("advertise", "", "address to register as (default: the listen address, when concrete)")
+	zone := flag.String("zone", "", "failure-domain label announced on registration")
 	flag.Parse()
 
 	fc := faultConfig{rate: *faultRate, seed: *faultSeed, cores: *faultCores,
 		integrity: *integrity, sample: *integritySample, recompute: *integrityRecompute}
 	oc := obsConfig{metricsAddr: *metricsAddr, traceCap: *traceCap, wideDest: *wideDest,
 		sloLatency: *sloLatency, sloTarget: *sloTarget}
+	rc := regConfig{balancers: *register, advertise: *advertise, zone: *zone}
 	if err := run(*listen, *workers, *kitName, *modeName, *variantName, *queue, *cache,
-		*inflight, *idle, *drain, *signBlinding, *qosSpec, oc, fc); err != nil {
+		*inflight, *idle, *drain, *frameTimeout, *signBlinding, *qosSpec, oc, fc, rc); err != nil {
 		fmt.Fprintln(os.Stderr, "montsysd:", err)
 		os.Exit(1)
 	}
@@ -190,9 +212,102 @@ func (fc faultConfig) engineOptions() ([]montsys.EngineOption, error) {
 	return opts, nil
 }
 
+// regConfig carries the self-registration flags into run.
+type regConfig struct {
+	balancers string // comma-separated montsyslb addresses
+	advertise string // address to register as
+	zone      string // failure-domain label
+}
+
+// registrar keeps the daemon registered with one balancer: an immediate
+// join, re-announced every 15s (joins are idempotent, so the cadence
+// doubles as liveness against balancer restarts), and a goodbye when
+// the daemon starts draining.
+type registrar struct {
+	clients []*montsys.Client
+	addrs   []string
+	adv     string
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+// startRegistrar resolves the advertised address and begins announcing
+// to every balancer in rc. Returns nil (no-op) when -register is empty.
+func startRegistrar(rc regConfig, lnAddr net.Addr) (*registrar, error) {
+	var lbs []string
+	for _, a := range strings.Split(rc.balancers, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			lbs = append(lbs, a)
+		}
+	}
+	if len(lbs) == 0 {
+		return nil, nil
+	}
+	adv := rc.advertise
+	if adv == "" {
+		adv = lnAddr.String()
+		host, _, err := net.SplitHostPort(adv)
+		if err != nil || host == "" {
+			return nil, fmt.Errorf("-register needs -advertise: listen address %q has no host", adv)
+		}
+		if ip := net.ParseIP(host); ip != nil && ip.IsUnspecified() {
+			return nil, fmt.Errorf("-register needs -advertise: listening on the unspecified address %q", adv)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &registrar{addrs: lbs, adv: adv, cancel: cancel}
+	for _, lb := range lbs {
+		cl := montsys.Dial(lb)
+		r.clients = append(r.clients, cl)
+		r.wg.Add(1)
+		go func(lb string, cl *montsys.Client) {
+			defer r.wg.Done()
+			announced := false
+			t := time.NewTicker(15 * time.Second)
+			defer t.Stop()
+			for {
+				jctx, jcancel := context.WithTimeout(ctx, 5*time.Second)
+				n, err := cl.Join(jctx, adv, rc.zone)
+				jcancel()
+				if err == nil && !announced {
+					announced = true
+					fmt.Printf("montsysd: registered with %s as %s (%d members)\n", lb, adv, n)
+				}
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+				}
+			}
+		}(lb, cl)
+	}
+	return r, nil
+}
+
+// goodbye deregisters from every balancer (best effort, bounded) and
+// stops the announce loops. Called at the start of a drain, BEFORE the
+// server stops answering: the balancers pull this daemon out of new
+// routing while its in-flight work completes, and its warm contexts
+// hand over through the balancers' handover window.
+func (r *registrar) goodbye() {
+	if r == nil {
+		return
+	}
+	r.cancel()
+	r.wg.Wait()
+	for i, cl := range r.clients {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		if _, err := cl.Goodbye(ctx, r.adv); err != nil {
+			fmt.Fprintf(os.Stderr, "montsysd: goodbye to %s: %v\n", r.addrs[i], err)
+		}
+		cancel()
+		cl.Close()
+	}
+}
+
 func run(listen string, workers int, kitName, modeName, variantName string, queue, cache,
-	inflight int, idle, drain time.Duration, signBlinding bool, qosSpec string,
-	oc obsConfig, fc faultConfig) error {
+	inflight int, idle, drain, frameTimeout time.Duration, signBlinding bool, qosSpec string,
+	oc obsConfig, fc faultConfig, rc regConfig) error {
 	// -kit wins when given; otherwise the deprecated -mode flag picks
 	// the matching kit so old invocations behave identically.
 	if kitName == "" {
@@ -277,6 +392,7 @@ func run(listen string, workers int, kitName, modeName, variantName string, queu
 
 	srvOpts := []montsys.ServerOption{
 		montsys.WithServerIdleTimeout(idle),
+		montsys.WithServerFrameTimeout(frameTimeout),
 		montsys.WithServerRegistry(col.Registry()),
 		montsys.WithServerTracer(col.Tracer()),
 		montsys.WithServerWideEvents(wide),
@@ -317,6 +433,12 @@ func run(listen string, workers int, kitName, modeName, variantName string, queu
 	}
 	fmt.Printf("montsysd: serving on %s (workers=%d kit=%s)\n", ln.Addr(), eng.Workers(), kit)
 
+	reg, err := startRegistrar(rc, ln.Addr())
+	if err != nil {
+		ln.Close()
+		return err
+	}
+
 	// First SIGTERM/SIGINT starts the graceful drain; a second aborts it.
 	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
@@ -330,6 +452,9 @@ func run(listen string, workers int, kitName, modeName, variantName string, queu
 	case <-sigCtx.Done():
 	}
 	stop() // restore default handling: a second signal kills the drain
+	// Deregister first: the balancers stop routing new work here while
+	// the drain below finishes what is already admitted.
+	reg.goodbye()
 	fmt.Printf("montsysd: draining (budget %s)...\n", drain)
 	ctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()

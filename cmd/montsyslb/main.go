@@ -6,13 +6,44 @@
 //
 // Usage:
 //
-//	montsyslb -backends host1:7077,host2:7077[,...]
+//	montsyslb -backends host1:7077[=zone],host2:7077[,...] | @FILE
 //	          [-listen :7070] [-inflight 256] [-idle 2m] [-drain 30s]
 //	          [-probe 1s] [-affinity] [-hedge] [-budget 0.1] [-burst 16]
 //	          [-integrity-eject 3] [-metrics :9091] [-trace 4096]
 //	          [-wide-events stderr|stdout|PATH]
 //	          [-slo-latency 500ms] [-slo-target 0.999]
-//	          [-qos SPEC|@FILE]
+//	          [-qos SPEC|@FILE] [-frame-timeout 10s]
+//	          [-zone Z] [-handover 30s] [-handover-warm 256]
+//	          [-max-members 64] [-backends-watch 2s]
+//
+// Membership is dynamic. -backends seeds the pool — inline
+// "addr[=zone]" entries, or "@path" to load the same grammar from a
+// file (one entry per line, #-comments) — and the pool then changes at
+// runtime three ways: backends started with montsysd -register
+// announce themselves over the wire's join op (and say goodbye when
+// they drain); operators edit the @file, which is polled every
+// -backends-watch and diffed against the live pool (0 disables the
+// watch); and -max-members bounds how large runtime joins can grow the
+// table. A joined backend enters rotation only after its first
+// successful health probe, so a bogus registration costs nothing.
+//
+// Membership changes rebalance gradually, not instantly: a modulus
+// whose rendezvous home moves keeps being served by its OLD home — the
+// one holding its warm Montgomery context — for the -handover window,
+// while the balancer warms the NEW home with at most -handover-warm
+// background duplicates of live traffic. When the window closes,
+// routing flips to the settled assignment: no cold-cache latency cliff
+// on join/leave. montsys_cluster_handover_* series measure every piece
+// (dual-routed requests, warm-ups = context churn, suppressed
+// warm-ups).
+//
+// -zone names this balancer's failure domain: ties in least-loaded
+// routing prefer same-zone backends (labeled via "addr=zone" or the
+// join op), and hedges never launch into a zone that is visibly
+// absorbing failures.
+//
+// -frame-timeout arms the slow-loris guard on the proxy's own front
+// door, exactly as in montsysd.
 //
 // -qos arms the proxy's own QoS plane: the same
 // "tenant:rate=R,burst=B,weight=W,class=C;..." (or @file) grammar as
@@ -95,15 +126,32 @@ func main() {
 	sloLatency := flag.Duration("slo-latency", 500*time.Millisecond, "per-op latency SLO objective (with -metrics)")
 	sloTarget := flag.Float64("slo-target", 0.999, "SLO success-ratio target for availability and latency objectives")
 	qosSpec := flag.String("qos", "", "per-tenant QoS spec \"tenant:rate=R,burst=B,weight=W,class=C;...\" or @file (empty disables)")
+	frameTimeout := flag.Duration("frame-timeout", 10*time.Second, "per-frame arrival budget once the first byte lands — slow-loris guard (0 disables)")
+	zone := flag.String("zone", "", "this balancer's failure-domain label (zone-aware routing)")
+	handover := flag.Duration("handover", 30*time.Second, "dual-routing window after a membership change (0 = instantaneous)")
+	handoverWarm := flag.Int("handover-warm", 256, "max background warm-up calls per membership change")
+	maxMembers := flag.Int("max-members", 64, "member-table bound for runtime joins")
+	backendsWatch := flag.Duration("backends-watch", 2*time.Second, "poll interval for -backends @file changes (0 disables)")
 	flag.Parse()
 
 	oc := obsConfig{metricsAddr: *metricsAddr, traceCap: *traceCap, wideDest: *wideDest,
 		sloLatency: *sloLatency, sloTarget: *sloTarget}
-	if err := run(*listen, *backends, *inflight, *idle, *drain, *probe,
-		*affinity, *hedge, *budget, *burst, *integrityEject, *qosSpec, oc); err != nil {
+	mc := memConfig{zone: *zone, handover: *handover, handoverWarm: *handoverWarm,
+		maxMembers: *maxMembers, watch: *backendsWatch}
+	if err := run(*listen, *backends, *inflight, *idle, *drain, *probe, *frameTimeout,
+		*affinity, *hedge, *budget, *burst, *integrityEject, *qosSpec, oc, mc); err != nil {
 		fmt.Fprintln(os.Stderr, "montsyslb:", err)
 		os.Exit(1)
 	}
+}
+
+// memConfig carries the membership flags into run.
+type memConfig struct {
+	zone         string
+	handover     time.Duration
+	handoverWarm int
+	maxMembers   int
+	watch        time.Duration
 }
 
 // obsConfig carries the observability flags into run.
@@ -134,18 +182,103 @@ func (oc obsConfig) wideWriter() (*montsys.WideWriter, *os.File, error) {
 	}
 }
 
-func run(listen, backends string, inflight int, idle, drain, probe time.Duration,
-	affinity, hedge bool, budget float64, burst, integrityEject int, qosSpec string,
-	oc obsConfig) error {
-	var addrs []string
-	for _, a := range strings.Split(backends, ",") {
-		if a = strings.TrimSpace(a); a != "" {
-			addrs = append(addrs, a)
+// seedMembers resolves the -backends flag: "@path" loads a member
+// file, anything else parses as an inline "addr[=zone]" list. Returns
+// the members and the watched file path ("" when inline).
+func seedMembers(backends string) ([]montsys.ClusterMember, string, error) {
+	if path, ok := strings.CutPrefix(backends, "@"); ok {
+		ms, err := montsys.LoadClusterMemberFile(path)
+		return ms, path, err
+	}
+	ms, err := montsys.ParseClusterMembers(backends)
+	return ms, "", err
+}
+
+// memberStrings renders members back to the "addr[=zone]" form
+// NewCluster seeds from.
+func memberStrings(ms []montsys.ClusterMember) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.Addr
+		if m.Zone != "" {
+			out[i] += "=" + m.Zone
 		}
 	}
-	if len(addrs) == 0 {
-		return fmt.Errorf("no backends given (-backends host1:7077,host2:7077)")
+	return out
+}
+
+// watchMemberFile polls a -backends @file and reconciles the live pool
+// against it: entries added to the file join (entering rotation after
+// their first probe), entries removed say goodbye (draining through the
+// handover window). The reconciler only manages members it sourced from
+// the file — a backend that arrived through OpJoin self-registration is
+// never goodbyed just because the file doesn't mention it, so the two
+// control planes compose instead of fighting. Join/goodbye are
+// idempotent, so a pass that races a self-registration is harmless.
+func watchMemberFile(ctx context.Context, cl *montsys.Cluster, path string,
+	every time.Duration, seeds []montsys.ClusterMember) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	var lastErr string
+	prev := make(map[string]bool, len(seeds)) // addrs the file was last known to claim
+	for _, m := range seeds {
+		prev[m.Addr] = true
 	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		desired, err := montsys.LoadClusterMemberFile(path)
+		if err != nil {
+			if msg := err.Error(); msg != lastErr {
+				lastErr = msg
+				fmt.Fprintln(os.Stderr, "montsyslb: backends file:", err)
+			}
+			continue
+		}
+		lastErr = ""
+		want := make(map[string]string, len(desired))
+		for _, m := range desired {
+			want[m.Addr] = m.Zone
+		}
+		cur := make(map[string]string)
+		for _, m := range cl.Members() {
+			cur[m.Addr] = m.Zone
+		}
+		for addr, zone := range want {
+			if z, ok := cur[addr]; !ok || z != zone {
+				if _, err := cl.Join(ctx, addr, zone); err != nil {
+					fmt.Fprintf(os.Stderr, "montsyslb: join %s: %v\n", addr, err)
+				}
+			}
+		}
+		for addr := range prev {
+			if _, ok := want[addr]; !ok {
+				if _, err := cl.Goodbye(ctx, addr); err != nil {
+					fmt.Fprintf(os.Stderr, "montsyslb: goodbye %s: %v\n", addr, err)
+				}
+			}
+		}
+		prev = make(map[string]bool, len(want))
+		for addr := range want {
+			prev[addr] = true
+		}
+	}
+}
+
+func run(listen, backends string, inflight int, idle, drain, probe, frameTimeout time.Duration,
+	affinity, hedge bool, budget float64, burst, integrityEject int, qosSpec string,
+	oc obsConfig, mc memConfig) error {
+	members, watchPath, err := seedMembers(backends)
+	if err != nil {
+		return fmt.Errorf("-backends: %w", err)
+	}
+	if len(members) == 0 {
+		return fmt.Errorf("no backends given (-backends host1:7077,host2:7077 or @file)")
+	}
+	addrs := memberStrings(members)
 
 	wide, wideFile, err := oc.wideWriter()
 	if err != nil {
@@ -168,6 +301,9 @@ func run(listen, backends string, inflight int, idle, drain, probe time.Duration
 		montsys.WithClusterIntegrityEjectThreshold(integrityEject),
 		montsys.WithClusterTracer(tracer),
 		montsys.WithClusterWideEvents(wide),
+		montsys.WithClusterZone(mc.zone),
+		montsys.WithClusterHandover(mc.handover, mc.handoverWarm),
+		montsys.WithClusterMaxMembers(mc.maxMembers),
 	}
 	if qosSpec != "" {
 		qcfg, err := montsys.ParseQoSSpec(qosSpec)
@@ -186,6 +322,7 @@ func run(listen, backends string, inflight int, idle, drain, probe time.Duration
 	srvOpts := []montsys.ServerOption{
 		montsys.WithServerMaxInflight(inflight),
 		montsys.WithServerIdleTimeout(idle),
+		montsys.WithServerFrameTimeout(frameTimeout),
 		montsys.WithServerRegistry(registry),
 		montsys.WithServerTracer(tracer),
 		montsys.WithServerWideEvents(wide),
@@ -225,6 +362,10 @@ func run(listen, backends string, inflight int, idle, drain, probe time.Duration
 	// First SIGTERM/SIGINT starts the graceful drain; a second aborts it.
 	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
+
+	if watchPath != "" && mc.watch > 0 {
+		go watchMemberFile(sigCtx, cl, watchPath, mc.watch, members)
+	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()

@@ -17,7 +17,12 @@ import (
 // owns, and the request-driven circuit breaker.
 type backend struct {
 	addr string
+	zone string
 	cl   *server.Client
+
+	// gone is closed when the backend is retired from the pool (a
+	// settled departure or cluster Close), stopping its probe loop.
+	gone chan struct{}
 
 	inflight atomic.Int64
 	upFlag   atomic.Bool
@@ -52,22 +57,27 @@ func (b *backend) release() {
 	b.met.inflight.Add(-1)
 }
 
-// probeLoop health-checks one backend until the cluster closes. While
-// the backend is up, probes run every probeInterval; failThreshold
-// consecutive failures (or a single draining answer — the backend
-// itself said it is going away) eject it. While down, probes back off
-// exponentially up to reinstateMax, and the first success reinstates
-// the backend and resets its breaker. Every wait is jittered to 50–150%
-// so a fleet of balancers neither probes nor reinstates in lockstep.
-func (c *Cluster) probeLoop(b *backend) {
+// probeLoop health-checks one backend until the cluster closes or the
+// backend is retired from the pool. While the backend is up, probes run
+// every probeInterval; failThreshold consecutive failures (or a single
+// draining answer — the backend itself said it is going away) eject it.
+// While down, probes back off exponentially up to reinstateMax, and the
+// first success reinstates the backend and resets its breaker. Every
+// wait is jittered to 50–150% so a fleet of balancers neither probes
+// nor reinstates in lockstep. initial delays the first probe: seeds
+// stagger across a jittered probe interval, while a runtime Join probes
+// immediately so the new member enters rotation after one RTT.
+func (c *Cluster) probeLoop(b *backend, initial time.Duration) {
 	defer c.wg.Done()
 	fails := 0
 	backoff := c.cfg.reinstateBase
-	timer := time.NewTimer(jitter(c.cfg.probeInterval))
+	timer := time.NewTimer(initial)
 	defer timer.Stop()
 	for {
 		select {
 		case <-c.stop:
+			return
+		case <-b.gone:
 			return
 		case <-timer.C:
 		}

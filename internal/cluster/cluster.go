@@ -97,6 +97,12 @@ type config struct {
 
 	integrityEject int
 
+	zone            string
+	handoverWindow  time.Duration
+	handoverMaxWarm int
+	maxMembers      int
+	clock           func() time.Time
+
 	tracer *obs.Tracer
 	wide   *obs.WideWriter
 
@@ -204,16 +210,58 @@ func WithClientOptions(opts ...server.ClientOption) Option {
 	return func(c *config) { c.clientOpts = append(c.clientOpts, opts...) }
 }
 
+// WithZone names the failure domain this balancer runs in. Zone-aware
+// routing then prefers a local backend for least-inflight picks when
+// one is no more loaded than the global least — cross-zone hops cost
+// real latency, so ties and better go local — and hedges never launch
+// into a zone that is visibly failing (see zoneBad). An empty zone (the
+// default) disables both preferences.
+func WithZone(zone string) Option { return func(c *config) { c.zone = zone } }
+
+// WithHandover tunes gradual membership handover: window is how long
+// moved moduli stay dual-routed after a join/leave (default 30s; 0
+// makes membership changes instantaneous), and maxWarm caps the
+// background warm-up calls — equivalently the mont.Ctx entries built at
+// new homes — per membership change (default 256; suppressed warm-ups
+// past the cap are counted, not silently dropped).
+func WithHandover(window time.Duration, maxWarm int) Option {
+	return func(c *config) { c.handoverWindow, c.handoverMaxWarm = window, maxWarm }
+}
+
+// WithMaxMembers bounds the member table (default 64). Runtime Joins
+// beyond the bound answer ErrOverloaded — the lever that keeps a
+// hostile registration loop from growing the table without limit.
+func WithMaxMembers(n int) Option { return func(c *config) { c.maxMembers = n } }
+
+// withClock substitutes the cluster's time source — virtual-clock
+// membership tests only.
+func withClock(now func() time.Time) Option { return func(c *config) { c.clock = now } }
+
 // Cluster routes montsys requests over a pool of montsysd backends.
 // It implements the same call surface as server.Client (ModExp, Mont,
 // ModExpBatch) and satisfies server.Handler, so it can sit behind a
-// wire server of its own — that composition is the montsyslb proxy.
-// A Cluster is safe for concurrent use by multiple goroutines.
+// wire server of its own — that composition is the montsyslb proxy —
+// and server.MembershipHandler, so that wire server accepts runtime
+// join/goodbye (see membership.go). A Cluster is safe for concurrent
+// use by multiple goroutines.
 type Cluster struct {
-	cfg      config
-	backends []*backend
-	met      *metrics
-	budget   *retryBudget
+	cfg    config
+	met    *metrics
+	budget *retryBudget
+
+	// pool is the membership snapshot; readers load it lock-free,
+	// changes serialize on memMu (see membership.go).
+	pool  atomic.Pointer[membership]
+	memMu sync.Mutex
+
+	now  func() time.Time
+	warm warmState
+
+	// baseCtx parents handover warm-up calls, so Close cancels them.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	clOpts []server.ClientOption // resolved backend-client options
 
 	rr     atomic.Uint64 // least-inflight tie-break rotation
 	stop   chan struct{}
@@ -221,20 +269,33 @@ type Cluster struct {
 	closed atomic.Bool
 }
 
-// New builds a cluster over the backend addresses and starts their
-// health probes. Backends begin in rotation (optimistically up);
-// connections are dialed lazily by the underlying clients.
+// Cluster is the balancer's membership surface behind OpJoin/OpGoodbye.
+var _ server.MembershipHandler = (*Cluster)(nil)
+
+// New builds a cluster over the seed members and starts their health
+// probes. Each entry is "host:port" or "host:port=zone". Seed members
+// begin in rotation (optimistically up — they came from configuration,
+// not from an unauthenticated frame); connections are dialed lazily by
+// the underlying clients. The pool can change at runtime afterwards
+// via Join/Goodbye.
 func New(addrs []string, opts ...Option) (*Cluster, error) {
-	uniq := make([]string, 0, len(addrs))
+	seeds := make([]Member, 0, len(addrs))
 	seen := make(map[string]bool, len(addrs))
 	for _, a := range addrs {
 		if a == "" || seen[a] {
 			continue
 		}
-		seen[a] = true
-		uniq = append(uniq, a)
+		m, err := parseMember(a)
+		if err != nil {
+			return nil, err
+		}
+		if seen[m.Addr] {
+			continue
+		}
+		seen[a], seen[m.Addr] = true, true
+		seeds = append(seeds, m)
 	}
-	if len(uniq) == 0 {
+	if len(seeds) == 0 {
 		return nil, fmt.Errorf("cluster: no backend addresses")
 	}
 	cfg := config{
@@ -253,6 +314,10 @@ func New(addrs []string, opts ...Option) (*Cluster, error) {
 		budgetRatio:      0.1,
 		budgetBurst:      16,
 		integrityEject:   3,
+		handoverWindow:   30 * time.Second,
+		handoverMaxWarm:  256,
+		maxMembers:       64,
+		clock:            time.Now,
 	}
 	for _, o := range opts {
 		o(&cfg)
@@ -266,12 +331,22 @@ func New(addrs []string, opts ...Option) (*Cluster, error) {
 	if cfg.hedgeMax < cfg.hedgeMin {
 		cfg.hedgeMax = cfg.hedgeMin
 	}
+	if cfg.handoverMaxWarm < 0 {
+		cfg.handoverMaxWarm = 0
+	}
+	if cfg.maxMembers < len(seeds) {
+		cfg.maxMembers = len(seeds)
+	}
 
+	ctx, cancel := context.WithCancel(context.Background())
 	c := &Cluster{
-		cfg:    cfg,
-		met:    newMetrics(cfg.registry, uniq, cfg.tenants),
-		budget: newRetryBudget(cfg.budgetRatio, cfg.budgetBurst),
-		stop:   make(chan struct{}),
+		cfg:        cfg,
+		met:        newMetrics(cfg.registry, seeds, cfg.tenants),
+		budget:     newRetryBudget(cfg.budgetRatio, cfg.budgetBurst),
+		now:        cfg.clock,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		stop:       make(chan struct{}),
 	}
 	clOpts := []server.ClientOption{server.WithMaxRetries(0)}
 	if cfg.tracer != nil {
@@ -280,36 +355,61 @@ func New(addrs []string, opts ...Option) (*Cluster, error) {
 		// propagates sampled contexts, it never mints roots).
 		clOpts = append(clOpts, server.WithClientTracing(cfg.tracer, 0))
 	}
-	clOpts = append(clOpts, cfg.clientOpts...)
-	for _, a := range uniq {
-		bm := c.met.perBackend[a]
-		b := &backend{
-			addr: a,
-			cl:   server.Dial(a, clOpts...),
-			met:  bm,
-		}
-		b.br = newBreaker(cfg.breakerThreshold, cfg.breakerCooldown,
-			func(s int) { bm.breakerState.Set(int64(s)) })
-		b.setUp(true)
-		c.backends = append(c.backends, b)
+	c.clOpts = append(clOpts, cfg.clientOpts...)
+
+	backends := make([]*backend, 0, len(seeds))
+	for _, m := range seeds {
+		backends = append(backends, c.newBackend(m.Addr, m.Zone, true))
 	}
-	for _, b := range c.backends {
+	c.pool.Store(&membership{backends: backends})
+	c.met.members.Set(int64(len(backends)))
+	for _, b := range backends {
 		c.wg.Add(1)
-		go c.probeLoop(b)
+		go c.probeLoop(b, jitter(c.cfg.probeInterval))
 	}
 	return c, nil
 }
 
-// Close stops the health probes and closes every backend client.
-// In-flight calls fail; further calls return ErrEngineClosed-wrapped
-// errors.
+// newBackend builds one pool entry with its client, breaker and metric
+// block. Dynamically joined backends start down (up=false) until their
+// first probe succeeds; seeds start up.
+func (c *Cluster) newBackend(addr, zone string, up bool) *backend {
+	bm := c.met.backend(addr)
+	b := &backend{
+		addr: addr,
+		zone: zone,
+		cl:   server.Dial(addr, c.clOpts...),
+		met:  bm,
+		gone: make(chan struct{}),
+	}
+	b.br = newBreaker(c.cfg.breakerThreshold, c.cfg.breakerCooldown,
+		func(s int) { bm.breakerState.Set(int64(s)) })
+	b.setUp(up)
+	return b
+}
+
+// Close stops the health probes, cancels in-flight warm-ups, and
+// closes every backend client. In-flight calls fail; further calls
+// return ErrEngineClosed-wrapped errors.
 func (c *Cluster) Close() error {
-	if c.closed.Swap(true) {
+	c.memMu.Lock()
+	already := c.closed.Swap(true)
+	c.memMu.Unlock()
+	if already {
 		return nil
 	}
+	// Barrier: any maybeWarm holding warm.mu before this either sees
+	// closed or has already registered in wg; none can start after.
+	c.warm.mu.Lock()
+	c.warm.mu.Unlock() //nolint:staticcheck // empty critical section is the point
+	c.baseCancel()
 	close(c.stop)
 	c.wg.Wait()
-	for _, b := range c.backends {
+	p := c.pool.Load()
+	for _, b := range p.backends {
+		b.cl.Close()
+	}
+	for _, b := range p.departed {
 		b.cl.Close()
 	}
 	return nil
@@ -318,10 +418,11 @@ func (c *Cluster) Close() error {
 // Registry returns the registry the cluster's metrics live in.
 func (c *Cluster) Registry() *obs.Registry { return c.cfg.registry }
 
-// Addrs lists the backend addresses in pool order.
+// Addrs lists the routable backend addresses in pool order.
 func (c *Cluster) Addrs() []string {
-	out := make([]string, len(c.backends))
-	for i, b := range c.backends {
+	p := c.snapshot()
+	out := make([]string, len(p.backends))
+	for i, b := range p.backends {
 		out[i] = b.addr
 	}
 	return out
@@ -330,17 +431,20 @@ func (c *Cluster) Addrs() []string {
 // BackendStatus is one backend's routing state at a point in time.
 type BackendStatus struct {
 	Addr     string
+	Zone     string // failure-domain label ("" when unlabeled)
 	Up       bool   // in rotation (health probes)
 	Inflight int64  // cluster-side requests currently on it
 	Breaker  string // "closed" | "half-open" | "open"
 }
 
-// Status snapshots every backend, in pool order.
+// Status snapshots every routable backend, in pool order.
 func (c *Cluster) Status() []BackendStatus {
-	out := make([]BackendStatus, len(c.backends))
-	for i, b := range c.backends {
+	p := c.snapshot()
+	out := make([]BackendStatus, len(p.backends))
+	for i, b := range p.backends {
 		out[i] = BackendStatus{
 			Addr:     b.addr,
+			Zone:     b.zone,
 			Up:       b.up(),
 			Inflight: b.inflight.Load(),
 			Breaker:  breakerStateName(b.br.State()),
@@ -407,6 +511,12 @@ func failoverable(err error) bool {
 // error move to the next backend — draining/down moves are free,
 // overload moves spend retry budget. Generic because ModExpBatch
 // returns a slice while the single ops return a value.
+//
+// The membership snapshot is taken once per call: a concurrent
+// join/leave never changes routing mid-request. During a handover
+// window the first pick may dual-route — serve from the modulus's old
+// (warm) home while maybeWarm duplicates the call onto the new home in
+// the background.
 func doCall[T any](c *Cluster, ctx context.Context, op string, key []byte, hedgeable bool,
 	call func(context.Context, *backend) (T, error)) (T, error) {
 	var zero T
@@ -414,19 +524,28 @@ func doCall[T any](c *Cluster, ctx context.Context, op string, key []byte, hedge
 		return zero, fmt.Errorf("cluster: closed: %w", errs.ErrEngineClosed)
 	}
 	c.budget.credit()
-	tried := make(map[*backend]bool, len(c.backends))
+	p := c.snapshot()
+	tried := make(map[*backend]bool, len(p.backends)+1)
 	var lastErr error
 	budgeted := false // did retry budget fund the upcoming attempt?
-	for i := 0; i < len(c.backends); i++ {
-		b, reason := c.pick(key, tried)
+	// One extra iteration: a handover primary can live outside
+	// p.backends (a departed-but-warm old home).
+	for i := 0; i <= len(p.backends); i++ {
+		b, reason, warmTarget := c.pick(p, key, tried, false)
 		if b == nil {
 			break
 		}
 		if i > 0 {
-			reason = "failover"
+			reason, warmTarget = "failover", nil
 		}
 		tried[b] = true
-		v, err := attempt(c, ctx, op, b, key, tried, reason, budgeted, hedgeable, call)
+		if reason == "handover" {
+			c.met.handoverDualRouted.Inc()
+		}
+		if warmTarget != nil {
+			maybeWarm(c, p, warmTarget, key, call)
+		}
+		v, err := attempt(c, ctx, op, p, b, key, tried, reason, budgeted, hedgeable, call)
 		if err == nil {
 			return v, nil
 		}
@@ -456,7 +575,8 @@ func doCall[T any](c *Cluster, ctx context.Context, op string, key []byte, hedge
 // so its call span (and the remote server's spans) nest under the
 // route attempt that carried them. A lock-free won marker decides
 // which copy of a hedged race answered first; the loser's span says so.
-func attempt[T any](c *Cluster, ctx context.Context, op string, primary *backend, key []byte,
+func attempt[T any](c *Cluster, ctx context.Context, op string, p *membership,
+	primary *backend, key []byte,
 	tried map[*backend]bool, reason string, budgeted, hedgeable bool,
 	call func(context.Context, *backend) (T, error)) (T, error) {
 	var zero T
@@ -503,7 +623,7 @@ func attempt[T any](c *Cluster, ctx context.Context, op string, primary *backend
 	// Best-effort traffic is exempt from hedging: a hedge spends fleet
 	// capacity (and retry budget) to shave tail latency, and best-effort
 	// is by definition the class whose tail nobody is paying for.
-	if hedgeable && c.cfg.hedge && len(c.backends) > 1 &&
+	if hedgeable && c.cfg.hedge && len(p.backends) > 1 &&
 		qos.FromContext(ctx).Class != qos.BestEffort {
 		t := time.NewTimer(c.hedgeDelay())
 		defer t.Stop()
@@ -526,7 +646,7 @@ func attempt[T any](c *Cluster, ctx context.Context, op string, primary *backend
 			lastErr = r.err
 		case <-hedgeC:
 			hedgeC = nil
-			h, _ := c.pick(key, tried)
+			h, _, _ := c.pick(p, key, tried, true)
 			if h == nil {
 				continue
 			}
@@ -686,29 +806,43 @@ func (c *Cluster) hedgeDelay() time.Duration {
 // unless it is overloaded (then the least-inflight backend), or plain
 // least-inflight when there is no affinity key. Returns nil when no
 // backend qualifies. Backends whose breaker denies the request are
-// marked tried, so callers naturally move past them.
-func (c *Cluster) pick(key []byte, tried map[*backend]bool) (*backend, string) {
+// marked tried, so callers naturally move past them. During a handover
+// window the pick may be the modulus's old home, in which case
+// warmTarget names the new home for maybeWarm; forHedge picks skip the
+// handover path and known-bad zones.
+func (c *Cluster) pick(p *membership, key []byte, tried map[*backend]bool,
+	forHedge bool) (b *backend, reason string, warmTarget *backend) {
 	for {
-		b, reason := c.choose(key, tried)
+		b, reason, warmTarget := c.choose(p, key, tried, forHedge)
 		if b == nil {
-			return nil, ""
+			return nil, "", nil
 		}
 		if b.br.Allow() {
-			return b, reason
+			return b, reason, warmTarget
 		}
 		tried[b] = true
 	}
 }
 
-func (c *Cluster) choose(key []byte, excluded map[*backend]bool) (*backend, string) {
-	cands := make([]*backend, 0, len(c.backends))
-	for _, b := range c.backends {
-		if b.up() && !excluded[b] {
-			cands = append(cands, b)
+func (c *Cluster) choose(p *membership, key []byte, excluded map[*backend]bool,
+	forHedge bool) (pick *backend, reason string, warmTarget *backend) {
+	cands := make([]*backend, 0, len(p.backends))
+	for _, b := range p.backends {
+		if !b.up() || excluded[b] {
+			continue
 		}
+		if forHedge && zoneBad(p, b.zone) {
+			// Never hedge into a known-bad zone: the hedge exists to
+			// dodge slowness, and a zone absorbing failures is where
+			// slowness lives. Primary routing still may use it — when it
+			// holds the only up backends, slow beats unavailable.
+			c.met.hedgeZoneSkips.Inc()
+			continue
+		}
+		cands = append(cands, b)
 	}
 	if len(cands) == 0 {
-		return nil, ""
+		return nil, "", nil
 	}
 
 	// Least-inflight with a rotating tie-break, so equal backends share
@@ -722,13 +856,59 @@ func (c *Cluster) choose(key []byte, excluded map[*backend]bool) (*backend, stri
 			least, min = b, v
 		}
 	}
+	// Zone preference: a local-zone candidate no more loaded than the
+	// global least wins the least-inflight pick — cross-zone hops cost
+	// latency, so ties (and better) go local.
+	if c.cfg.zone != "" && least.zone != c.cfg.zone {
+		var local *backend
+		var lmin int64
+		for _, b := range cands {
+			if b.zone != c.cfg.zone {
+				continue
+			}
+			if v := b.inflight.Load(); local == nil || v < lmin {
+				local, lmin = b, v
+			}
+		}
+		if local != nil && lmin <= min {
+			least, min = local, lmin
+		}
+	}
 
 	if c.cfg.affinity && len(key) > 0 {
 		home := hrwBest(key, cands)
-		if home.inflight.Load() <= 2*min+c.cfg.spillSlack {
-			return home, "affinity"
+		if !forHedge && c.handoverActive(p) {
+			// Dual-route a moved modulus: its old home still holds the
+			// warm mont.Ctx, so it serves the request (no cold-cache
+			// cliff) while the new home is warmed in the background. Old
+			// homes are resolved over the previous routable set — which
+			// may include a departed backend that is still up and
+			// answering; one that stopped answering probes has dropped
+			// out of up() and the modulus routes to its new home at once.
+			old := c.oldHome(p, key, excluded)
+			if old != nil && old != home &&
+				old.inflight.Load() <= 2*min+c.cfg.spillSlack {
+				return old, "handover", home
+			}
 		}
-		return least, "spill"
+		if home.inflight.Load() <= 2*min+c.cfg.spillSlack {
+			return home, "affinity", nil
+		}
+		return least, "spill", nil
 	}
-	return least, "least_inflight"
+	return least, "least_inflight", nil
+}
+
+// oldHome resolves a key's HRW home over the pre-change routable set.
+func (c *Cluster) oldHome(p *membership, key []byte, excluded map[*backend]bool) *backend {
+	old := make([]*backend, 0, len(p.prev))
+	for _, b := range p.prev {
+		if b.up() && !excluded[b] {
+			old = append(old, b)
+		}
+	}
+	if len(old) == 0 {
+		return nil
+	}
+	return hrwBest(key, old)
 }

@@ -1,0 +1,567 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/big"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/errs"
+)
+
+// vclock is a manually-advanced time source for handover-window tests:
+// the window "expires" exactly when the test says so, never because the
+// test ran slowly.
+type vclock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newVClock() *vclock { return &vclock{t: time.Unix(1_700_000_000, 0)} }
+
+func (v *vclock) now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.t
+}
+
+func (v *vclock) advance(d time.Duration) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.t = v.t.Add(d)
+}
+
+// modulusHomedOn scans odd moduli until it finds one whose HRW home
+// over addrs is want — and, when requires is non-nil, that also
+// satisfies the extra predicate (e.g. "its home over the pre-join set
+// was a specific other backend").
+func modulusHomedOn(t *testing.T, addrs []string, want string,
+	requires func(n *big.Int) bool) *big.Int {
+	t.Helper()
+	for i := int64(0); i < 1_000_000; i++ {
+		n := big.NewInt(1<<16 + 2*i + 1)
+		key := n.Bytes()
+		best, bestScore := "", uint64(0)
+		for _, a := range addrs {
+			if s := hrwScore(key, a); best == "" || s > bestScore {
+				best, bestScore = a, s
+			}
+		}
+		if best != want {
+			continue
+		}
+		if requires != nil && !requires(n) {
+			continue
+		}
+		return n
+	}
+	t.Fatal("no modulus found with the required HRW homes")
+	return nil
+}
+
+func waitBackendUp(t *testing.T, c *Cluster, addr string, want bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, st := range c.Status() {
+			if st.Addr == addr && st.Up == want {
+				return
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s up=%v", addr, want)
+}
+
+// TestJoinMidFlight: a backend joined at runtime starts OUT of rotation,
+// enters after its first successful probe, and then receives the
+// affinity traffic HRW assigns it — while a joined-but-dead address
+// stays down forever and costs the pool nothing.
+func TestJoinMidFlight(t *testing.T) {
+	_, _, a1 := startBackend(t, []engine.Option{engine.WithWorkers(1)}, nil)
+	_, _, a2 := startBackend(t, []engine.Option{engine.WithWorkers(1)}, nil)
+	c, err := New([]string{a1},
+		WithHedging(false),
+		WithHandover(0, 0), // instantaneous membership for this test
+		WithProbeInterval(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// A dead address joins, is probed, and never comes up.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+	if n, err := c.Join(ctx, deadAddr, ""); err != nil || n != 2 {
+		t.Fatalf("Join(dead) = (%d, %v), want (2, nil)", n, err)
+	}
+	for _, st := range c.Status() {
+		if st.Addr == deadAddr && st.Up {
+			t.Fatal("a runtime join entered rotation before proving itself")
+		}
+	}
+
+	// A live backend joins and is routable after one probe RTT.
+	if n, err := c.Join(ctx, a2, ""); err != nil || n != 3 {
+		t.Fatalf("Join(a2) = (%d, %v), want (3, nil)", n, err)
+	}
+	waitBackendUp(t, c, a2, true)
+
+	// Traffic for a modulus homed on the joined backend lands there.
+	n := modulusHomedOn(t, []string{a1, a2}, a2, nil)
+	got, err := c.ModExp(ctx, n, big.NewInt(2), big.NewInt(10))
+	if err != nil {
+		t.Fatalf("ModExp after join: %v", err)
+	}
+	if got.Cmp(wantModExp(n, big.NewInt(2), big.NewInt(10))) != 0 {
+		t.Fatal("wrong result after join")
+	}
+	if c.met.backend(a2).picks["affinity"].Value() < 1 {
+		t.Error("joined backend never received its affinity traffic")
+	}
+	if c.met.joins.Value() != 2 {
+		t.Errorf("joins counter = %d, want 2", c.met.joins.Value())
+	}
+}
+
+// TestJoinIdempotentAndBounded: re-joins are no-ops, zone changes
+// relabel, the member table cap answers ErrOverloaded, and syntactically
+// hostile addresses are rejected with ErrProtocol before touching the
+// pool.
+func TestJoinIdempotentAndBounded(t *testing.T) {
+	_, _, a1 := startBackend(t, []engine.Option{engine.WithWorkers(1)}, nil)
+	c, err := New([]string{a1},
+		WithHandover(0, 0),
+		WithMaxMembers(2),
+		WithProbeInterval(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	if n, err := c.Join(ctx, "127.0.0.1:19701", "eu-1"); err != nil || n != 2 {
+		t.Fatalf("Join = (%d, %v)", n, err)
+	}
+	// Same addr+zone: idempotent no-op.
+	if n, err := c.Join(ctx, "127.0.0.1:19701", "eu-1"); err != nil || n != 2 {
+		t.Fatalf("re-Join = (%d, %v), want (2, nil)", n, err)
+	}
+	if c.met.joins.Value() != 1 {
+		t.Errorf("idempotent re-join counted as a change: joins = %d", c.met.joins.Value())
+	}
+	// Same addr, new zone: relabel, not growth.
+	if n, err := c.Join(ctx, "127.0.0.1:19701", "eu-2"); err != nil || n != 2 {
+		t.Fatalf("relabel Join = (%d, %v), want (2, nil)", n, err)
+	}
+	ms := c.Members()
+	if len(ms) != 2 || ms[1].Zone != "eu-2" {
+		t.Fatalf("Members after relabel = %v", ms)
+	}
+	// Table full.
+	if _, err := c.Join(ctx, "127.0.0.1:19702", ""); !errors.Is(err, errs.ErrOverloaded) {
+		t.Fatalf("Join past cap = %v, want ErrOverloaded", err)
+	}
+	// Hostile fields.
+	for _, bad := range []string{"", "noport", string(make([]byte, maxMemberField+1)) + ":1"} {
+		if _, err := c.Join(ctx, bad, ""); !errors.Is(err, errs.ErrProtocol) {
+			t.Errorf("Join(%.20q) = %v, want ErrProtocol", bad, err)
+		}
+	}
+	// Goodbye of a non-member: idempotent.
+	if n, err := c.Goodbye(ctx, "127.0.0.1:19799"); err != nil || n != 2 {
+		t.Fatalf("Goodbye(non-member) = (%d, %v), want (2, nil)", n, err)
+	}
+	if c.met.leaves.Value() != 0 {
+		t.Error("idempotent goodbye counted as a change")
+	}
+}
+
+// TestHandoverDualRouting is the churn-tolerance core on a virtual
+// clock: a join moves a modulus's HRW home, and during the handover
+// window the OLD home keeps serving it (its mont.Ctx is warm) while
+// exactly one background duplicate warms the NEW home. When the window
+// expires, routing flips to the new home and the pool settles.
+func TestHandoverDualRouting(t *testing.T) {
+	_, _, a1 := startBackend(t, []engine.Option{engine.WithWorkers(1)}, nil)
+	_, _, a2 := startBackend(t, []engine.Option{engine.WithWorkers(1)}, nil)
+	_, _, a3 := startBackend(t, []engine.Option{engine.WithWorkers(1)}, nil)
+	vc := newVClock()
+	c, err := New([]string{a1, a2},
+		WithHedging(false),
+		WithHandover(30*time.Second, 256),
+		WithProbeInterval(time.Hour),
+		withClock(vc.now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// A modulus homed on a1 pre-join whose home moves to a3 post-join.
+	n := modulusHomedOn(t, []string{a1, a2, a3}, a3, func(n *big.Int) bool {
+		return hrwScore(n.Bytes(), a1) > hrwScore(n.Bytes(), a2)
+	})
+
+	// Warm the old home.
+	if _, err := c.ModExp(ctx, n, big.NewInt(2), big.NewInt(10)); err != nil {
+		t.Fatal(err)
+	}
+	oldHomeAff := c.met.backend(a1).picks["affinity"].Value()
+	if oldHomeAff < 1 {
+		t.Fatal("pre-join request did not route to its affinity home")
+	}
+
+	if _, err := c.Join(ctx, a3, ""); err != nil {
+		t.Fatal(err)
+	}
+	waitBackendUp(t, c, a3, true)
+
+	// Inside the window: the old home answers, the new home warms once.
+	for i := 0; i < 5; i++ {
+		got, err := c.ModExp(ctx, n, big.NewInt(2), big.NewInt(int64(10+i)))
+		if err != nil {
+			t.Fatalf("ModExp during handover: %v", err)
+		}
+		if got.Cmp(wantModExp(n, big.NewInt(2), big.NewInt(int64(10+i)))) != 0 {
+			t.Fatal("wrong result during handover")
+		}
+	}
+	if got := c.met.handoverDualRouted.Value(); got != 5 {
+		t.Errorf("dual-routed = %d, want 5 (every in-window request)", got)
+	}
+	if got := c.met.backend(a1).picks["handover"].Value(); got != 5 {
+		t.Errorf("old home handover picks = %d, want 5", got)
+	}
+	if got := c.met.handoverWarmups.Value(); got != 1 {
+		t.Errorf("warmups = %d, want exactly 1 (deduped per modulus)", got)
+	}
+	if c.handoverActive(c.pool.Load()) != true {
+		t.Fatal("window not active under the virtual clock")
+	}
+
+	// Window expires: routing flips to the new home, the pool settles.
+	vc.advance(31 * time.Second)
+	got, err := c.ModExp(ctx, n, big.NewInt(2), big.NewInt(99))
+	if err != nil {
+		t.Fatalf("ModExp after handover: %v", err)
+	}
+	if got.Cmp(wantModExp(n, big.NewInt(2), big.NewInt(99))) != 0 {
+		t.Fatal("wrong result after handover")
+	}
+	if c.met.backend(a3).picks["affinity"].Value() < 1 {
+		t.Error("routing never flipped to the new home after the window")
+	}
+	if p := c.pool.Load(); p.prev != nil {
+		t.Error("pool did not settle after the window expired")
+	}
+}
+
+// TestHandoverWarmCap: the per-epoch warm-up cap bounds context-cache
+// churn — moved moduli past the cap are dual-routed but not warmed, and
+// the suppression is counted rather than silent.
+func TestHandoverWarmCap(t *testing.T) {
+	_, _, a1 := startBackend(t, []engine.Option{engine.WithWorkers(1)}, nil)
+	_, _, a2 := startBackend(t, []engine.Option{engine.WithWorkers(1)}, nil)
+	_, _, a3 := startBackend(t, []engine.Option{engine.WithWorkers(1)}, nil)
+	vc := newVClock()
+	c, err := New([]string{a1, a2},
+		WithHedging(false),
+		WithHandover(30*time.Second, 1), // at most ONE warm-up per change
+		WithProbeInterval(time.Hour),
+		withClock(vc.now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Two distinct moduli that both move home to a3 on join.
+	movesToA3 := func(prevHome string) func(*big.Int) bool {
+		return func(n *big.Int) bool {
+			return hrwScore(n.Bytes(), prevHome) > hrwScore(n.Bytes(), otherOf(prevHome, a1, a2))
+		}
+	}
+	n1 := modulusHomedOn(t, []string{a1, a2, a3}, a3, movesToA3(a1))
+	n2 := modulusHomedOn(t, []string{a1, a2, a3}, a3, func(n *big.Int) bool {
+		return n.Cmp(n1) != 0 && movesToA3(a1)(n)
+	})
+
+	if _, err := c.Join(ctx, a3, ""); err != nil {
+		t.Fatal(err)
+	}
+	waitBackendUp(t, c, a3, true)
+
+	for _, n := range []*big.Int{n1, n2} {
+		if _, err := c.ModExp(ctx, n, big.NewInt(2), big.NewInt(10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.met.handoverWarmups.Value(); got != 1 {
+		t.Errorf("warmups = %d, want 1 (capped)", got)
+	}
+	if got := c.met.warmSuppressed.Value(); got != 1 {
+		t.Errorf("suppressed = %d, want 1 (the over-cap modulus, counted)", got)
+	}
+}
+
+func otherOf(x, a, b string) string {
+	if x == a {
+		return b
+	}
+	return a
+}
+
+// TestGoodbyeHandoverAndRetirement: a graceful leave keeps the departed
+// backend serving its warm moduli through the window, then retires it —
+// probe loop stopped, client closed — when the window settles.
+func TestGoodbyeHandoverAndRetirement(t *testing.T) {
+	_, _, a1 := startBackend(t, []engine.Option{engine.WithWorkers(1)}, nil)
+	_, _, a2 := startBackend(t, []engine.Option{engine.WithWorkers(1)}, nil)
+	vc := newVClock()
+	c, err := New([]string{a1, a2},
+		WithHedging(false),
+		WithHandover(30*time.Second, 256),
+		WithProbeInterval(time.Hour),
+		withClock(vc.now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	n := modulusHomedOn(t, []string{a1, a2}, a1, nil)
+	var departing *backend
+	for _, b := range c.snapshot().backends {
+		if b.addr == a1 {
+			departing = b
+		}
+	}
+
+	if _, err := c.ModExp(ctx, n, big.NewInt(2), big.NewInt(10)); err != nil {
+		t.Fatal(err)
+	}
+	if cnt, err := c.Goodbye(ctx, a1); err != nil || cnt != 1 {
+		t.Fatalf("Goodbye = (%d, %v), want (1, nil)", cnt, err)
+	}
+	if ms := c.Members(); len(ms) != 1 || ms[0].Addr != a2 {
+		t.Fatalf("Members after goodbye = %v, want just %s", ms, a2)
+	}
+
+	// In-window: the departed-but-alive old home still serves its warm
+	// modulus.
+	if _, err := c.ModExp(ctx, n, big.NewInt(2), big.NewInt(11)); err != nil {
+		t.Fatalf("ModExp during leave handover: %v", err)
+	}
+	if got := c.met.backend(a1).picks["handover"].Value(); got < 1 {
+		t.Errorf("departed backend handover picks = %d, want ≥ 1", got)
+	}
+
+	// Window settles: the departed backend is retired for real.
+	vc.advance(31 * time.Second)
+	got, err := c.ModExp(ctx, n, big.NewInt(2), big.NewInt(12))
+	if err != nil {
+		t.Fatalf("ModExp after leave settled: %v", err)
+	}
+	if got.Cmp(wantModExp(n, big.NewInt(2), big.NewInt(12))) != 0 {
+		t.Fatal("wrong result after leave settled")
+	}
+	select {
+	case <-departing.gone:
+	default:
+		t.Error("departed backend not retired after the window settled")
+	}
+	if c.met.leaves.Value() != 1 {
+		t.Errorf("leaves = %d, want 1", c.met.leaves.Value())
+	}
+}
+
+// TestGoodbyeUnderLoad: a graceful leave in the middle of concurrent
+// traffic produces zero client-visible errors and zero wrong answers —
+// the departing backend's warm contexts hand over instead of cliffing.
+func TestGoodbyeUnderLoad(t *testing.T) {
+	_, _, a1 := startBackend(t, []engine.Option{engine.WithWorkers(2)}, nil)
+	_, _, a2 := startBackend(t, []engine.Option{engine.WithWorkers(2)}, nil)
+	c, err := New([]string{a1, a2},
+		WithHedging(false),
+		WithRetryBudget(1.0, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	const workers, perWorker = 4, 20
+	var wg sync.WaitGroup
+	errc := make(chan error, workers*perWorker)
+	n := testModulus(t, 192)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				base := big.NewInt(int64(w*1000 + i + 2))
+				exp := big.NewInt(int64(65537 + i))
+				got, err := c.ModExp(ctx, n, base, exp)
+				if err != nil {
+					errc <- fmt.Errorf("worker %d req %d: %w", w, i, err)
+					return
+				}
+				if got.Cmp(wantModExp(n, base, exp)) != 0 {
+					errc <- fmt.Errorf("worker %d req %d: WRONG ANSWER", w, i)
+					return
+				}
+				if i == perWorker/2 && w == 0 {
+					if _, err := c.Goodbye(ctx, a1); err != nil {
+						errc <- fmt.Errorf("goodbye: %w", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if ms := c.Members(); len(ms) != 1 || ms[0].Addr != a2 {
+		t.Fatalf("Members after goodbye = %v", ms)
+	}
+}
+
+// TestZonePreferenceAndBadZoneHedge exercises the zone rules directly
+// against choose(): least-inflight ties go to the local zone, hedges
+// never enter a zone absorbing failures, and primary routing still may
+// when that zone holds the only capacity.
+func TestZonePreferenceAndBadZoneHedge(t *testing.T) {
+	// A dead seed keeps New() happy; routing below uses a synthetic
+	// membership, never the pool.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := ln.Addr().String()
+	ln.Close()
+	c, err := New([]string{seed},
+		WithZone("z1"),
+		WithAffinity(false),
+		WithProbeInterval(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	mk := func(addr, zone string, up bool) *backend {
+		b := c.newBackend(addr, zone, up)
+		t.Cleanup(func() { b.cl.Close() })
+		return b
+	}
+	local := mk("127.0.0.1:21001", "z1", true)
+	remote := mk("127.0.0.1:21002", "z2", true)
+	remote2 := mk("127.0.0.1:21003", "z2", false) // down: z2 is 1-of-2 down = bad
+
+	// Tie on inflight: the local backend wins every rotation.
+	p := &membership{backends: []*backend{remote, local}}
+	for i := 0; i < 8; i++ {
+		b, reason, _ := c.choose(p, nil, map[*backend]bool{}, false)
+		if b != local || reason != "least_inflight" {
+			t.Fatalf("tie pick %d = (%s, %s), want local z1 least_inflight", i, b.addr, reason)
+		}
+	}
+	// A strictly-less-loaded remote beats zone preference.
+	local.inflight.Store(5)
+	if b, _, _ := c.choose(p, nil, map[*backend]bool{}, false); b != remote {
+		t.Fatalf("loaded-local pick = %s, want remote", b.addr)
+	}
+	local.inflight.Store(0)
+
+	// z2 is absorbing failures: hedges skip its up member...
+	pBad := &membership{backends: []*backend{remote, remote2, local}}
+	if !zoneBad(pBad, "z2") {
+		t.Fatal("z2 with 1 of 2 down not considered bad")
+	}
+	before := c.met.hedgeZoneSkips.Value()
+	if b, _, _ := c.choose(pBad, nil, map[*backend]bool{}, true); b != local {
+		t.Fatalf("hedge pick = %v, want the z1 backend", b)
+	}
+	if c.met.hedgeZoneSkips.Value() <= before {
+		t.Error("hedge zone skip not counted")
+	}
+	// ...even when that leaves nothing to hedge onto...
+	if b, _, _ := c.choose(pBad, nil, map[*backend]bool{local: true}, true); b != nil {
+		t.Fatalf("hedge into a bad zone: picked %s", b.addr)
+	}
+	// ...while primary routing still uses it (slow beats unavailable).
+	if b, _, _ := c.choose(pBad, nil, map[*backend]bool{local: true}, false); b != remote {
+		t.Fatalf("primary pick with only bad-zone capacity = %v, want remote", b)
+	}
+}
+
+// TestMemberParsing covers the -backends grammar: inline lists, zone
+// labels, dedupe, comments in member files, and rejection of garbage.
+func TestMemberParsing(t *testing.T) {
+	ms, err := ParseMemberList(" b1:9001=eu-1, b2:9002 ,b1:9001,, ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Member{{Addr: "b1:9001", Zone: "eu-1"}, {Addr: "b2:9002"}}
+	if len(ms) != 2 || ms[0] != want[0] || ms[1] != want[1] {
+		t.Fatalf("ParseMemberList = %v, want %v", ms, want)
+	}
+	for _, bad := range []string{"noport", ":", "=eu-1"} {
+		if _, err := ParseMemberList(bad); err == nil {
+			t.Errorf("ParseMemberList(%q) accepted", bad)
+		}
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "members")
+	content := "# fleet\nb1:9001=eu-1   # primary\n\n  b2:9002\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ms, err = LoadMemberFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 || ms[0] != want[0] || ms[1] != want[1] {
+		t.Fatalf("LoadMemberFile = %v, want %v", ms, want)
+	}
+	if _, err := LoadMemberFile(filepath.Join(dir, "absent")); err == nil {
+		t.Error("LoadMemberFile(absent) accepted")
+	}
+}
+
+// TestJoinAfterClose: membership ops on a closed cluster fail typed.
+func TestJoinAfterClose(t *testing.T) {
+	_, _, a1 := startBackend(t, []engine.Option{engine.WithWorkers(1)}, nil)
+	c, err := New([]string{a1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, err := c.Join(context.Background(), "127.0.0.1:19701", ""); !errors.Is(err, errs.ErrEngineClosed) {
+		t.Fatalf("Join after Close = %v, want ErrEngineClosed", err)
+	}
+	if _, err := c.Goodbye(context.Background(), a1); !errors.Is(err, errs.ErrEngineClosed) {
+		t.Fatalf("Goodbye after Close = %v, want ErrEngineClosed", err)
+	}
+}

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"sync"
+
 	"repro/internal/obs"
 	"repro/internal/qos"
 )
@@ -12,7 +14,12 @@ import (
 //	least_inflight  no affinity key (or affinity disabled)
 //	failover        previous backend failed; next choice
 //	hedge           tail-latency hedge fired on a second backend
-var pickReasons = []string{"affinity", "spill", "least_inflight", "failover", "hedge"}
+//	handover        old HRW home serving a moved modulus during the window
+//	warmup          background duplicate warming a modulus's new home
+var pickReasons = []string{
+	"affinity", "spill", "least_inflight", "failover", "hedge",
+	"handover", "warmup",
+}
 
 // metrics is the cluster's instrument block, pre-registered so the
 // request hot path never touches the registry lock. Registered into
@@ -39,22 +46,46 @@ var pickReasons = []string{"affinity", "spill", "least_inflight", "failover", "h
 //	montsys_cluster_tenant_picks_total{tenant}   routed attempts by tenant
 //	montsys_cluster_tenant_sheds_total{tenant}   attempts answered rate-limited
 //	                                             or overloaded, by tenant
+//	montsys_cluster_members                      routable member count (gauge)
+//	montsys_cluster_membership_changes_total{kind}  joins and leaves
+//	montsys_cluster_handover_dual_routed_total   requests served by a moved
+//	                                             modulus's old home
+//	montsys_cluster_handover_warmups_total       background duplicates sent to
+//	                                             warm a new home (= measured
+//	                                             context-cache churn)
+//	montsys_cluster_handover_warm_suppressed_total  warm-ups dropped by the
+//	                                             per-epoch cap
+//	montsys_cluster_hedge_zone_skips_total       hedge candidates skipped for
+//	                                             living in a known-bad zone
 //
 // The per-tenant series exist only for tenants named via WithTenants;
 // everything else folds into the qos.OtherTenant label, bounding
 // cardinality exactly the way the QoS plane bounds its quotas.
+// Per-backend series are pre-registered for seeds and registered on
+// first sight for runtime joins (obs.Registry registration is
+// idempotent, so a re-join reuses the existing series).
 type metrics struct {
-	latency        *obs.Histogram
-	hedges         *obs.Counter
-	hedgeWins      *obs.Counter
-	affinityHits   *obs.Counter
-	affinitySpills *obs.Counter
-	keyhandleReqs  *obs.Counter
-	failovers      *obs.Counter
-	budgetDenied   *obs.Counter
-	perBackend     map[string]*backendMetrics
-	tenantPicks    map[string]*obs.Counter
-	tenantSheds    map[string]*obs.Counter
+	latency            *obs.Histogram
+	hedges             *obs.Counter
+	hedgeWins          *obs.Counter
+	affinityHits       *obs.Counter
+	affinitySpills     *obs.Counter
+	keyhandleReqs      *obs.Counter
+	failovers          *obs.Counter
+	budgetDenied       *obs.Counter
+	members            *obs.Gauge
+	joins              *obs.Counter
+	leaves             *obs.Counter
+	handoverDualRouted *obs.Counter
+	handoverWarmups    *obs.Counter
+	warmSuppressed     *obs.Counter
+	hedgeZoneSkips     *obs.Counter
+	tenantPicks        map[string]*obs.Counter
+	tenantSheds        map[string]*obs.Counter
+
+	reg        *obs.Registry
+	mu         sync.Mutex // guards perBackend after construction
+	perBackend map[string]*backendMetrics
 }
 
 type backendMetrics struct {
@@ -68,9 +99,10 @@ type backendMetrics struct {
 	integrityFailures *obs.Counter
 }
 
-func newMetrics(reg *obs.Registry, addrs, tenants []string) *metrics {
+func newMetrics(reg *obs.Registry, seeds []Member, tenants []string) *metrics {
 	m := &metrics{
-		perBackend:  make(map[string]*backendMetrics, len(addrs)),
+		reg:         reg,
+		perBackend:  make(map[string]*backendMetrics, len(seeds)),
 		tenantPicks: make(map[string]*obs.Counter, len(tenants)+1),
 		tenantSheds: make(map[string]*obs.Counter, len(tenants)+1),
 	}
@@ -100,33 +132,62 @@ func newMetrics(reg *obs.Registry, addrs, tenants []string) *metrics {
 		"Attempts moved to another backend after a failoverable error.")
 	m.budgetDenied = reg.Counter("montsys_cluster_retry_budget_denied_total",
 		"Hedges and overload retries refused by the retry budget.")
-	for _, a := range addrs {
-		bl := obs.Label("backend", a)
-		bm := &backendMetrics{
-			up: reg.GaugeLabeled("montsys_cluster_backend_up",
-				"1 while the backend is in rotation, 0 while ejected.", bl),
-			inflight: reg.GaugeLabeled("montsys_cluster_backend_inflight",
-				"Requests the cluster currently has in flight on the backend.", bl),
-			breakerState: reg.GaugeLabeled("montsys_cluster_breaker_state",
-				"Circuit breaker state: 0 closed, 1 half-open, 2 open.", bl),
-			picks: make(map[string]*obs.Counter, len(pickReasons)),
-			probeFailures: reg.CounterLabeled("montsys_cluster_probe_failures_total",
-				"Health probes that failed or answered draining.", bl),
-			ejections: reg.CounterLabeled("montsys_cluster_ejections_total",
-				"Times the backend was taken out of rotation.", bl),
-			reinstatements: reg.CounterLabeled("montsys_cluster_reinstatements_total",
-				"Times a probe brought the backend back into rotation.", bl),
-			integrityFailures: reg.CounterLabeled("montsys_cluster_integrity_failures_total",
-				"ErrIntegrity answers from the backend (corrupted compute detected).", bl),
-		}
-		for _, r := range pickReasons {
-			bm.picks[r] = reg.CounterLabeled("montsys_cluster_picks_total",
-				"Routing decisions by backend and reason.",
-				bl, obs.Label("reason", r))
-		}
-		m.perBackend[a] = bm
+	m.members = reg.Gauge("montsys_cluster_members",
+		"Backends in the routable member table (up or not).")
+	m.joins = reg.CounterLabeled("montsys_cluster_membership_changes_total",
+		"Membership changes applied, by kind.", obs.Label("kind", "join"))
+	m.leaves = reg.CounterLabeled("montsys_cluster_membership_changes_total",
+		"Membership changes applied, by kind.", obs.Label("kind", "leave"))
+	m.handoverDualRouted = reg.Counter("montsys_cluster_handover_dual_routed_total",
+		"Requests served by a moved modulus's old home during a handover window.")
+	m.handoverWarmups = reg.Counter("montsys_cluster_handover_warmups_total",
+		"Background duplicates sent to warm a moved modulus's new home.")
+	m.warmSuppressed = reg.Counter("montsys_cluster_handover_warm_suppressed_total",
+		"Handover warm-ups suppressed by the per-epoch cap.")
+	m.hedgeZoneSkips = reg.Counter("montsys_cluster_hedge_zone_skips_total",
+		"Hedge candidates skipped because their zone is absorbing failures.")
+	for _, s := range seeds {
+		m.backend(s.Addr)
 	}
 	return m
+}
+
+// backend returns the metric block for one backend address, creating
+// and registering it on first sight — runtime joins mint their series
+// here. obs.Registry registration is idempotent on (name, labels), so
+// an address that leaves and rejoins resumes its existing series.
+func (m *metrics) backend(addr string) *backendMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if bm, ok := m.perBackend[addr]; ok {
+		return bm
+	}
+	reg := m.reg
+	bl := obs.Label("backend", addr)
+	bm := &backendMetrics{
+		up: reg.GaugeLabeled("montsys_cluster_backend_up",
+			"1 while the backend is in rotation, 0 while ejected.", bl),
+		inflight: reg.GaugeLabeled("montsys_cluster_backend_inflight",
+			"Requests the cluster currently has in flight on the backend.", bl),
+		breakerState: reg.GaugeLabeled("montsys_cluster_breaker_state",
+			"Circuit breaker state: 0 closed, 1 half-open, 2 open.", bl),
+		picks: make(map[string]*obs.Counter, len(pickReasons)),
+		probeFailures: reg.CounterLabeled("montsys_cluster_probe_failures_total",
+			"Health probes that failed or answered draining.", bl),
+		ejections: reg.CounterLabeled("montsys_cluster_ejections_total",
+			"Times the backend was taken out of rotation.", bl),
+		reinstatements: reg.CounterLabeled("montsys_cluster_reinstatements_total",
+			"Times a probe brought the backend back into rotation.", bl),
+		integrityFailures: reg.CounterLabeled("montsys_cluster_integrity_failures_total",
+			"ErrIntegrity answers from the backend (corrupted compute detected).", bl),
+	}
+	for _, r := range pickReasons {
+		bm.picks[r] = reg.CounterLabeled("montsys_cluster_picks_total",
+			"Routing decisions by backend and reason.",
+			bl, obs.Label("reason", r))
+	}
+	m.perBackend[addr] = bm
+	return bm
 }
 
 // tenantCounter folds unknown tenants onto the qos.OtherTenant series.

@@ -137,6 +137,12 @@ var idempotent = map[Op]bool{
 	OpVerifyRSA:        true,
 	OpSignECDSA:        true,
 	OpVerifyECDSABatch: true,
+
+	// Membership ops are idempotent by contract (see MembershipHandler):
+	// re-joining a present member and saying goodbye to an absent one
+	// are no-ops, so a registrar can retry blindly across ambiguity.
+	OpJoin:    true,
+	OpGoodbye: true,
 }
 
 // Dial prepares a client for addr. Connections are established lazily
@@ -186,7 +192,7 @@ func (c *Client) Close() error {
 
 // ModExp computes Base^Exp mod N on the remote engine.
 func (c *Client) ModExp(ctx context.Context, n, base, exp *big.Int) (*big.Int, error) {
-	resp, err := c.call(ctx, OpModExp, []triple{{n: n, a: base, b: exp}}, nil)
+	resp, err := c.call(ctx, OpModExp, []triple{{n: n, a: base, b: exp}}, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -195,7 +201,7 @@ func (c *Client) ModExp(ctx context.Context, n, base, exp *big.Int) (*big.Int, e
 
 // Mont computes the raw Montgomery product X·Y·R⁻¹ mod 2N remotely.
 func (c *Client) Mont(ctx context.Context, n, x, y *big.Int) (*big.Int, error) {
-	resp, err := c.call(ctx, OpMont, []triple{{n: n, a: x, b: y}}, nil)
+	resp, err := c.call(ctx, OpMont, []triple{{n: n, a: x, b: y}}, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -208,11 +214,36 @@ func (c *Client) Mont(ctx context.Context, n, x, y *big.Int) (*big.Int, error) {
 // ErrBackendDown (wrapping the dial error). Pings bypass the server's
 // admission control, so they keep answering under overload.
 func (c *Client) Ping(ctx context.Context) (inflight int64, err error) {
-	resp, err := c.call(ctx, OpPing, nil, nil)
+	resp, err := c.call(ctx, OpPing, nil, nil, nil)
 	if err != nil {
 		return 0, err
 	}
 	return resp.values[0].Int64(), nil
+}
+
+// Join registers a backend address (with its zone label) with a
+// membership-aware server — the montsyslb balancer — and returns the
+// member count after the change. Idempotent: re-joining a present
+// member with the same zone is a no-op, so registration loops retry
+// blindly. Servers without a membership surface answer ErrProtocol.
+func (c *Client) Join(ctx context.Context, addr, zone string) (members int, err error) {
+	resp, err := c.call(ctx, OpJoin, nil, nil, &memberBody{addr: addr, zone: zone})
+	if err != nil {
+		return 0, err
+	}
+	return int(resp.values[0].Int64()), nil
+}
+
+// Goodbye deregisters a backend address and returns the member count
+// after the change. Idempotent: saying goodbye to an absent member is
+// a no-op. A draining backend calls this on every balancer *before*
+// its own Shutdown, so new work reroutes while in-flight work finishes.
+func (c *Client) Goodbye(ctx context.Context, addr string) (members int, err error) {
+	resp, err := c.call(ctx, OpGoodbye, nil, nil, &memberBody{addr: addr})
+	if err != nil {
+		return 0, err
+	}
+	return int(resp.values[0].Int64()), nil
 }
 
 // ModExpBatch runs an order-preserving exponentiation batch remotely:
@@ -225,7 +256,7 @@ func (c *Client) ModExpBatch(ctx context.Context, jobs []engine.ModExpJob) ([]en
 	for i, j := range jobs {
 		trips[i] = triple{n: j.N, a: j.Base, b: j.Exp}
 	}
-	resp, err := c.call(ctx, OpBatchModExp, trips, nil)
+	resp, err := c.call(ctx, OpBatchModExp, trips, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -287,15 +318,16 @@ func retryDecision(code Code) retryAction {
 // trace context (inherited from ctx, or minted when WithClientTracing
 // is on), run the retries under it, and record one client span
 // covering the whole call — every retry included — when sampled.
-func (c *Client) call(ctx context.Context, op Op, jobs []triple, crypto *cryptoBody) (*response, error) {
+func (c *Client) call(ctx context.Context, op Op, jobs []triple, crypto *cryptoBody,
+	member *memberBody) (*response, error) {
 	tc, traced := c.traceContext(ctx, op)
 	if !traced {
-		return c.callRetry(ctx, op, jobs, crypto, obs.TraceContext{}, nil)
+		return c.callRetry(ctx, op, jobs, crypto, member, obs.TraceContext{}, nil)
 	}
 	span := obs.NewSpanID()
 	start := time.Now()
 	var attempts int
-	resp, err := c.callRetry(ctx, op, jobs, crypto, tc.Child(span), &attempts)
+	resp, err := c.callRetry(ctx, op, jobs, crypto, member, tc.Child(span), &attempts)
 	if c.cfg.tracer != nil {
 		outcome := "ok"
 		if err != nil {
@@ -316,10 +348,11 @@ func (c *Client) call(ctx context.Context, op Op, jobs []triple, crypto *cryptoB
 
 // traceContext resolves the trace context for one call: a sampled
 // context on ctx wins (propagation is unconditional); otherwise a
-// root context is minted when this client is a trace head. Pings are
-// never traced — they are health probes, not service traffic.
+// root context is minted when this client is a trace head. Pings and
+// membership ops are never traced — they are health probes and control
+// plane, not service traffic.
 func (c *Client) traceContext(ctx context.Context, op Op) (obs.TraceContext, bool) {
-	if op == OpPing {
+	if op == OpPing || isMemberOp(op) {
 		return obs.TraceContext{}, false
 	}
 	if tc, ok := obs.TraceFromContext(ctx); ok {
@@ -340,14 +373,14 @@ func (c *Client) traceContext(ctx context.Context, op Op) (obs.TraceContext, boo
 // attempts, when non-nil, counts tryOnce invocations for the caller's
 // span.
 func (c *Client) callRetry(ctx context.Context, op Op, jobs []triple,
-	crypto *cryptoBody, tc obs.TraceContext, attempts *int) (*response, error) {
+	crypto *cryptoBody, member *memberBody, tc obs.TraceContext, attempts *int) (*response, error) {
 	var lastErr error
 	var lastNetwork bool
 	for attempt := 0; ; attempt++ {
 		if attempts != nil {
 			*attempts = attempt + 1
 		}
-		resp, wrote, err := c.tryOnce(ctx, op, jobs, crypto, tc)
+		resp, wrote, err := c.tryOnce(ctx, op, jobs, crypto, member, tc)
 		switch {
 		case err == nil && resp.code == CodeOK:
 			return resp, nil
@@ -440,7 +473,7 @@ func (c *Client) sleep(ctx context.Context, attempt int) error {
 // the request, wait for its response. wrote reports whether any bytes
 // may have reached the server (the ambiguity gate for retries).
 func (c *Client) tryOnce(ctx context.Context, op Op, jobs []triple,
-	crypto *cryptoBody, tc obs.TraceContext) (resp *response, wrote bool, err error) {
+	crypto *cryptoBody, member *memberBody, tc obs.TraceContext) (resp *response, wrote bool, err error) {
 	cc, err := c.conn(ctx)
 	if err != nil {
 		return nil, false, err
@@ -451,8 +484,8 @@ func (c *Client) tryOnce(ctx context.Context, op Op, jobs []triple,
 		c.drop(cc)
 		return nil, false, err
 	}
-	req := &request{op: op, id: id, jobs: jobs, crypto: crypto, tc: tc}
-	if op != OpPing {
+	req := &request{op: op, id: id, jobs: jobs, crypto: crypto, member: member, tc: tc}
+	if op != OpPing && !isMemberOp(op) {
 		// Tag the request with its QoS identity: a non-zero identity on
 		// the call context wins, else the client's configured defaults.
 		qid := qos.FromContext(ctx)

@@ -1,0 +1,127 @@
+package server
+
+// Native fuzz targets over the frame codecs. The contract under test:
+// no byte sequence panics a decoder, and every rejection wraps
+// errs.ErrProtocol — the read loop relies on that to answer a typed
+// CodeProtocol instead of crashing the connection goroutine, and the
+// balancer relies on it to classify the failure as non-retryable.
+// CI runs each target for a short -fuzztime as a smoke (see the fuzz
+// Makefile target); the committed corpus under testdata/fuzz keeps
+// past discoveries as regression inputs.
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+	"time"
+
+	"repro/internal/errs"
+	"repro/internal/obs"
+	"repro/internal/qos"
+	"repro/internal/rsa"
+)
+
+// fuzzSeedRequests covers one valid frame per op family — plain,
+// batch, traced, QoS-tagged, signing, membership — so the mutator
+// starts from deep in the grammar instead of rediscovering headers.
+func fuzzSeedRequests() []*request {
+	n := big.NewInt(0xfff1)
+	j := []triple{{n: n, a: big.NewInt(2), b: big.NewInt(3)}}
+	tc := obs.TraceContext{Sampled: true}
+	tc.TraceID[0], tc.SpanID[0] = 0xab, 0xcd
+	return []*request{
+		{op: OpPing, id: 1},
+		{op: OpModExp, id: 2, jobs: j},
+		{op: OpMont, id: 3, jobs: j},
+		{op: OpBatchModExp, id: 4, jobs: []triple{j[0], j[0]}},
+		{op: OpModExp, id: 5, jobs: j, deadline: time.Unix(2, 0)},
+		{op: OpModExp, id: 6, jobs: j, tenant: "acme", class: qos.Batch},
+		{op: OpModExp, id: 7, jobs: j, tc: tc},
+		{op: OpModExp, id: 8, jobs: j, tenant: "acme", class: qos.BestEffort, tc: tc},
+		{op: OpKeygenRSA, id: 9, crypto: &cryptoBody{bits: 512, seed: 42}},
+		{op: OpVerifyRSA, id: 10, crypto: &cryptoBody{
+			n: n, e: big.NewInt(65537), digest: big.NewInt(99), sig: big.NewInt(7)}},
+		{op: OpSignRSA, id: 11, crypto: &cryptoBody{
+			key:    &rsa.PrivateKey{PublicKey: rsa.PublicKey{N: n, E: big.NewInt(3)}, D: big.NewInt(5)},
+			digest: big.NewInt(99)}},
+		{op: OpJoin, id: 12, member: &memberBody{addr: "b1:9001", zone: "eu-1"}},
+		{op: OpGoodbye, id: 13, member: &memberBody{addr: "b1:9001"}},
+	}
+}
+
+func FuzzDecodeRequest(f *testing.F) {
+	for _, r := range fuzzSeedRequests() {
+		f.Add(encodeRequest(r))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{ProtoVersion})
+	f.Add([]byte{ProtoVersion, 0xff})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		req, err := decodeRequest(payload)
+		if err != nil {
+			if !errors.Is(err, errs.ErrProtocol) {
+				t.Fatalf("decode error does not wrap ErrProtocol: %v", err)
+			}
+			return
+		}
+		// Normalization invariant: the read loop's dispatch switch and the
+		// metrics label set only ever see base ops.
+		if _, tagged := req.op.unqos(); tagged {
+			t.Fatalf("decoded op %d not normalized past the QoS tag", req.op)
+		}
+		if _, traced := req.op.untraced(); traced {
+			t.Fatalf("decoded op %d not normalized past the trace variant", req.op)
+		}
+	})
+}
+
+func FuzzDecodeResponse(f *testing.F) {
+	// A response's shape depends on the op of the request it answers, so
+	// the op byte is a fuzzed input too (folded onto the known ops — the
+	// client only ever decodes under an op it sent).
+	okBody := &response{id: 1, code: CodeOK, values: []*big.Int{big.NewInt(42)}}
+	f.Add(byte(OpModExp), encodeResponse(OpModExp, okBody))
+	f.Add(byte(OpPing), encodeResponse(OpPing, okBody))
+	f.Add(byte(OpJoin), encodeResponse(OpJoin, okBody))
+	f.Add(byte(OpModExp), encodeResponse(OpModExp,
+		&response{id: 2, code: CodeOverloaded, msg: "in-flight limit reached"}))
+	f.Add(byte(OpBatchModExp), encodeResponse(OpBatchModExp, &response{
+		id: 3, code: CodeOK,
+		codes:  []Code{CodeOK, CodeDeadline},
+		msgs:   []string{"", "deadline exceeded"},
+		values: []*big.Int{big.NewInt(7), nil},
+	}))
+	f.Add(byte(OpSignECDSA), encodeResponse(OpSignECDSA, &response{
+		id: 4, code: CodeOK, values: []*big.Int{big.NewInt(1), big.NewInt(2)}}))
+	f.Add(byte(OpVerifyECDSABatch), encodeResponse(OpVerifyECDSABatch, &response{
+		id: 5, code: CodeOK,
+		codes: []Code{CodeOK}, msgs: []string{""}, values: []*big.Int{big.NewInt(1)}}))
+	f.Add(byte(0), []byte{})
+	knownOps := []Op{
+		OpMont, OpModExp, OpBatchModExp, OpPing,
+		OpKeygenRSA, OpSignRSA, OpVerifyRSA, OpSignECDSA, OpVerifyECDSABatch,
+		OpJoin, OpGoodbye,
+	}
+	f.Fuzz(func(t *testing.T, opb byte, payload []byte) {
+		op := knownOps[int(opb)%len(knownOps)]
+		resp, err := decodeResponse(op, payload)
+		if err != nil && !errors.Is(err, errs.ErrProtocol) {
+			t.Fatalf("decode error does not wrap ErrProtocol: %v", err)
+		}
+		if err == nil && resp == nil {
+			t.Fatal("nil response without error")
+		}
+	})
+}
+
+// FuzzResponseID covers the client read loop's header peek, which runs
+// on every inbound frame before full decoding.
+func FuzzResponseID(f *testing.F) {
+	f.Add(encodeResponse(OpModExp, &response{id: 99, code: CodeOK, values: []*big.Int{big.NewInt(1)}}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if _, err := responseID(payload); err != nil && !errors.Is(err, errs.ErrProtocol) {
+			t.Fatalf("responseID error does not wrap ErrProtocol: %v", err)
+		}
+	})
+}

@@ -17,18 +17,23 @@ import (
 //	montsys_server_requests_total{op,code}  finished requests (counter)
 //	montsys_server_request_seconds{op}      admit-to-respond latency histogram
 //	montsys_server_drains_total             graceful drains begun (counter)
+//	montsys_server_slowloris_closed_total   conns closed by the frame-progress deadline (counter)
+//	montsys_server_oversize_frames_total    frames rejected by the size cap (counter)
 type metrics struct {
-	connections *obs.Gauge
-	inflight    *obs.Gauge
-	requests    map[Op]map[Code]*obs.Counter
-	latency     map[Op]*obs.Histogram
-	drains      *obs.Counter
+	connections     *obs.Gauge
+	inflight        *obs.Gauge
+	requests        map[Op]map[Code]*obs.Counter
+	latency         map[Op]*obs.Histogram
+	drains          *obs.Counter
+	slowLorisCloses *obs.Counter
+	oversizeFrames  *obs.Counter
 }
 
 // serverOps enumerates the ops metrics are labeled with.
 var serverOps = []Op{
 	OpMont, OpModExp, OpBatchModExp, OpPing,
 	OpKeygenRSA, OpSignRSA, OpVerifyRSA, OpSignECDSA, OpVerifyECDSABatch,
+	OpJoin, OpGoodbye,
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -42,6 +47,10 @@ func newMetrics(reg *obs.Registry) *metrics {
 		"Requests admitted and not yet responded to.")
 	m.drains = reg.Counter("montsys_server_drains_total",
 		"Graceful drains begun (Shutdown calls).")
+	m.slowLorisCloses = reg.Counter("montsys_server_slowloris_closed_total",
+		"Connections closed because a started frame missed its progress deadline.")
+	m.oversizeFrames = reg.Counter("montsys_server_oversize_frames_total",
+		"Request frames rejected by the size cap with CodeProtocol.")
 	for _, op := range serverOps {
 		m.latency[op] = reg.HistogramLabeled("montsys_server_request_seconds",
 			"Admission-to-response latency of finished requests.",

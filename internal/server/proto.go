@@ -111,6 +111,10 @@ func (o Op) String() string {
 		return "sign_ecdsa"
 	case OpVerifyECDSABatch:
 		return "verify_ecdsa_batch"
+	case OpJoin:
+		return "join"
+	case OpGoodbye:
+		return "goodbye"
 	case OpMontTraced, OpModExpTraced, OpBatchModExpTraced,
 		OpKeygenRSATraced, OpSignRSATraced, OpVerifyRSATraced,
 		OpSignECDSATraced, OpVerifyECDSABatchTraced:
@@ -339,6 +343,7 @@ type request struct {
 	class    qos.Class   // QoS block; Interactive when untagged
 	jobs     []triple    // len 1 for Mont/ModExp; empty for signing ops
 	crypto   *cryptoBody // signing ops only
+	member   *memberBody // membership ops only
 }
 
 // response is one decoded response frame. For batch ops, codes/values
@@ -515,6 +520,9 @@ func encodeRequest(req *request) []byte {
 	if isCryptoOp(req.op) {
 		return encodeCryptoRequestBody(b, req)
 	}
+	if isMemberOp(req.op) {
+		return encodeMemberRequestBody(b, req)
+	}
 	if req.op == OpBatchModExp {
 		b = appendUint32(b, uint32(len(req.jobs)))
 	}
@@ -582,6 +590,15 @@ func decodeRequest(payload []byte) (*request, error) {
 		}
 		return req, nil
 	}
+	if isMemberOp(op) {
+		if err := decodeMemberRequestBody(&d, req); err != nil {
+			return nil, err
+		}
+		if err := d.done(); err != nil {
+			return nil, err
+		}
+		return req, nil
+	}
 	count := 1
 	switch op {
 	case OpMont, OpModExp:
@@ -595,6 +612,13 @@ func decodeRequest(payload []byte) (*request, error) {
 		if c > maxBatch {
 			return nil, fmt.Errorf("server: batch of %d items exceeds limit %d: %w",
 				c, maxBatch, errs.ErrProtocol)
+		}
+		// Each item carries at least three uint32 length prefixes, so a
+		// count the remaining bytes cannot possibly hold is a hostile
+		// header — reject before allocating the job slice for it.
+		if int64(c)*12 > int64(len(d.b)) {
+			return nil, fmt.Errorf("server: batch of %d items in %d remaining bytes: %w",
+				c, len(d.b), errs.ErrProtocol)
 		}
 		count = int(c)
 	default:
@@ -690,6 +714,12 @@ func decodeResponse(op Op, payload []byte) (*response, error) {
 		if c > maxBatch {
 			return nil, fmt.Errorf("server: batch response of %d items exceeds limit %d: %w",
 				c, maxBatch, errs.ErrProtocol)
+		}
+		// Each item is at least a code byte plus a length prefix; reject
+		// counts the remaining bytes cannot hold before allocating.
+		if int64(c)*5 > int64(len(d.b)) {
+			return nil, fmt.Errorf("server: batch response of %d items in %d remaining bytes: %w",
+				c, len(d.b), errs.ErrProtocol)
 		}
 		resp.codes = make([]Code, c)
 		resp.msgs = make([]string, c)

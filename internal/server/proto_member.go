@@ -1,0 +1,111 @@
+package server
+
+// Wire extension: cluster-membership ops. Like the traced variants, the
+// signing ops and the QoS tags, the extension is append-only — every
+// frame an old peer can produce or parse stays byte-identical, and an
+// old server answers the new ops with CodeProtocol instead of
+// misparsing them, so a mixed-version fleet degrades to static
+// membership, never to corruption.
+//
+// OpJoin registers a backend with a membership-aware server (the
+// montsyslb balancer): the body names the address the backend serves
+// on and its failure-domain (zone) label. OpGoodbye deregisters an
+// address — a draining backend says goodbye *before* it stops
+// accepting, so the balancer reroutes new work while in-flight work
+// finishes, instead of discovering the drain one failed probe later.
+// Both answer with the post-change member count in the standard
+// single-value response body, and both are idempotent: re-joining an
+// address already in the pool (same zone) and saying goodbye to an
+// address already gone are no-ops, so registration loops can retry
+// blindly.
+//
+// The ops are control plane, not service traffic: they carry no QoS
+// tag (they must keep working while tenants are throttled) and no
+// trace block. A server whose handler does not implement
+// MembershipHandler — montsysd itself, or an old balancer — answers
+// CodeProtocol.
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/errs"
+)
+
+// Membership wire ops, appended after the traced variants (5–7) and
+// the signing ops (8–17). Op values are a network ABI — append only.
+const (
+	OpJoin    Op = 18
+	OpGoodbye Op = 19
+)
+
+// maxMemberField bounds the addr and zone strings in a membership
+// body, so a hostile frame cannot balloon decode allocations or the
+// balancer's member table.
+const maxMemberField = 256
+
+// memberBody is the decoded body of a membership op: the backend
+// address being registered or deregistered, and (OpJoin only) its
+// zone label.
+type memberBody struct {
+	addr string
+	zone string
+}
+
+// MembershipHandler is the optional handler surface behind the
+// membership ops. The cluster balancer implements it (runtime
+// join/leave with gradual handover); servers whose handler does not —
+// montsysd's engine handler — answer membership frames with
+// CodeProtocol. Implementations must be safe for concurrent use and
+// idempotent: Join of a present member and Goodbye of an absent one
+// succeed without effect.
+type MembershipHandler interface {
+	// Join adds (or re-labels) a backend and returns the member count
+	// after the change.
+	Join(ctx context.Context, addr, zone string) (members int, err error)
+	// Goodbye removes a backend and returns the member count after the
+	// change.
+	Goodbye(ctx context.Context, addr string) (members int, err error)
+}
+
+// isMemberOp reports whether o is a membership op.
+func isMemberOp(o Op) bool { return o == OpJoin || o == OpGoodbye }
+
+// encodeMemberRequestBody appends a membership body: addr string, plus
+// the zone string for OpJoin.
+func encodeMemberRequestBody(b []byte, req *request) []byte {
+	m := req.member
+	if m == nil {
+		m = &memberBody{}
+	}
+	b = appendString(b, m.addr)
+	if req.op == OpJoin {
+		b = appendString(b, m.zone)
+	}
+	return b
+}
+
+// decodeMemberRequestBody parses a membership body into req, enforcing
+// the field-length caps.
+func decodeMemberRequestBody(d *decoder, req *request) error {
+	m := &memberBody{}
+	var err error
+	if m.addr, err = d.string(); err != nil {
+		return err
+	}
+	if len(m.addr) == 0 || len(m.addr) > maxMemberField {
+		return fmt.Errorf("server: member address of %d bytes outside [1, %d]: %w",
+			len(m.addr), maxMemberField, errs.ErrProtocol)
+	}
+	if req.op == OpJoin {
+		if m.zone, err = d.string(); err != nil {
+			return err
+		}
+		if len(m.zone) > maxMemberField {
+			return fmt.Errorf("server: member zone of %d bytes exceeds limit %d: %w",
+				len(m.zone), maxMemberField, errs.ErrProtocol)
+		}
+	}
+	req.member = m
+	return nil
+}

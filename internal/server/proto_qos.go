@@ -47,9 +47,11 @@ const maxTenantLen = 255
 
 // qosTagged maps a wire op (base or traced) to its tenant-tagged
 // variant, ok=false for ops that take no tag (OpPing is answered
-// inline before admission, so a tag would be dead weight).
+// inline before admission, so a tag would be dead weight, and the
+// membership ops are control plane — they must keep working while
+// every tenant is throttled).
 func (o Op) qosTagged() (Op, bool) {
-	if o == OpPing || o == 0 || o >= OpQoSOffset {
+	if o == OpPing || isMemberOp(o) || o == 0 || o >= OpQoSOffset {
 		return o, false
 	}
 	return o + OpQoSOffset, true

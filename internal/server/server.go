@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"math/big"
 	"net"
@@ -23,6 +24,7 @@ type config struct {
 	maxInflight  int
 	idleTimeout  time.Duration
 	writeTimeout time.Duration
+	frameTimeout time.Duration
 	maxFrame     int
 	registry     *obs.Registry
 	tracer       *obs.Tracer
@@ -44,6 +46,15 @@ func WithIdleTimeout(d time.Duration) Option { return func(c *config) { c.idleTi
 // WithWriteTimeout bounds each response write (default 1 minute), so a
 // stalled client cannot pin a writer goroutine forever.
 func WithWriteTimeout(d time.Duration) Option { return func(c *config) { c.writeTimeout = d } }
+
+// WithFrameTimeout bounds the time from a request frame's first byte to
+// its last (default 10 s; ≤ 0 disables). This is the slow-loris guard,
+// distinct from the idle timeout: idleness between frames is legitimate
+// (a pool connection between bursts), but a frame that has *started*
+// and then dribbles one byte per idle-period would hold its reader
+// goroutine and partial-frame buffer indefinitely. The deadline is
+// absolute per frame, so trickling bytes cannot keep extending it.
+func WithFrameTimeout(d time.Duration) Option { return func(c *config) { c.frameTimeout = d } }
 
 // WithMaxFrame bounds request frame payloads (default DefaultMaxFrame).
 func WithMaxFrame(n int) Option { return func(c *config) { c.maxFrame = n } }
@@ -104,10 +115,11 @@ const DefaultHandlerInflight = 256
 // Shutdown drains gracefully: stop accepting, answer new requests with
 // ErrDraining, finish everything already admitted, flush, then close.
 type Server struct {
-	h    Handler
-	sign SignHandler // nil when the handler cannot execute signing ops
-	cfg  config
-	met  *metrics
+	h      Handler
+	sign   SignHandler       // nil when the handler cannot execute signing ops
+	member MembershipHandler // nil when the handler cannot execute membership ops
+	cfg    config
+	met    *metrics
 
 	inflight chan struct{}
 
@@ -210,6 +222,7 @@ func newServer(h Handler, defaultInflight int, opts []Option) (*Server, error) {
 		maxInflight:  defaultInflight,
 		idleTimeout:  2 * time.Minute,
 		writeTimeout: time.Minute,
+		frameTimeout: 10 * time.Second,
 		maxFrame:     DefaultMaxFrame,
 	}
 	for _, o := range opts {
@@ -226,9 +239,11 @@ func newServer(h Handler, defaultInflight int, opts []Option) (*Server, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	sign, _ := h.(SignHandler)
+	member, _ := h.(MembershipHandler)
 	return &Server{
 		h:          h,
 		sign:       sign,
+		member:     member,
 		cfg:        cfg,
 		met:        newMetrics(cfg.registry),
 		inflight:   make(chan struct{}, cfg.maxInflight),
@@ -427,7 +442,7 @@ func (c *sconn) run() {
 
 	br := bufio.NewReader(c.nc)
 	for {
-		// Once draining, never re-arm the idle deadline: Shutdown's
+		// Once draining, never re-arm a read deadline: Shutdown's
 		// softClose sets an already-expired one to unblock this loop,
 		// and steady inbound traffic (health probes answer inline even
 		// while draining) must not keep resurrecting the deadline and
@@ -435,9 +450,42 @@ func (c *sconn) run() {
 		if s.cfg.idleTimeout > 0 && !s.isDraining() {
 			c.nc.SetReadDeadline(time.Now().Add(s.cfg.idleTimeout))
 		}
+		framed := false
+		if s.cfg.frameTimeout > 0 {
+			// Wait under the idle deadline for the frame's first byte
+			// (Peek returns instantly when pipelined bytes are already
+			// buffered), then hold the whole frame to an absolute
+			// progress deadline. Idleness *between* frames is legitimate;
+			// a frame that has started and then dribbles one byte per
+			// idle-period is a slow-loris holding this reader goroutine
+			// and its partial-frame buffer — the absolute deadline cannot
+			// be extended by trickling bytes.
+			if _, err := br.Peek(1); err != nil {
+				break // EOF, idle timeout, soft close, or peer reset
+			}
+			if !s.isDraining() {
+				c.nc.SetReadDeadline(time.Now().Add(s.cfg.frameTimeout))
+				framed = true
+			}
+		}
 		payload, err := readFrame(br, s.cfg.maxFrame)
 		if err != nil {
-			break // EOF, idle timeout, soft close, or peer reset
+			if errors.Is(err, errs.ErrProtocol) {
+				// Oversize frame: the header parsed, so answer with a
+				// typed rejection before hanging up instead of leaving
+				// the client to diagnose a bare reset.
+				s.met.oversizeFrames.Inc()
+				c.send(encodeResponse(OpModExp, &response{
+					id: 0, code: CodeProtocol, msg: err.Error(),
+				}))
+				s.met.finish(OpModExp, CodeProtocol, 0)
+			} else if ne, ok := err.(net.Error); ok && ne.Timeout() && framed {
+				// The frame started but missed its progress deadline —
+				// idle expiry surfaces in Peek above, so this timeout is
+				// the slow-loris guard firing mid-frame.
+				s.met.slowLorisCloses.Inc()
+			}
+			break
 		}
 		req, derr := decodeRequest(payload)
 		if derr != nil {
@@ -517,6 +565,11 @@ func (c *sconn) dispatch(req *request) {
 		return
 	}
 
+	if isMemberOp(req.op) {
+		c.serveMember(req, start)
+		return
+	}
+
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -562,6 +615,49 @@ func (c *sconn) dispatch(req *request) {
 	s.met.inflight.Add(1)
 
 	go c.serveReq(req, start, release)
+}
+
+// serveMember answers a membership op inline on the read loop. Like
+// Ping it takes no admission slot and is never QoS-charged: join and
+// goodbye are control plane, and must keep working exactly when the
+// data plane is saturated or every tenant is throttled. The member
+// table mutation behind the handler is in-memory and bounded, so
+// serving it on the read loop cannot stall the connection. A draining
+// server answers CodeDraining (the registrar retries against the next
+// balancer); a server whose handler has no membership surface —
+// montsysd itself — answers CodeProtocol.
+func (c *sconn) serveMember(req *request, start time.Time) {
+	s := c.srv
+	resp := &response{id: req.id}
+	switch {
+	case s.isDraining():
+		resp.code, resp.msg = CodeDraining, "server draining"
+	case s.member == nil:
+		resp.code = CodeProtocol
+		resp.msg = fmt.Sprintf("membership op %s unsupported by this server", req.op)
+	default:
+		ctx := s.baseCtx
+		if !req.deadline.IsZero() {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithDeadline(ctx, req.deadline)
+			defer cancel()
+		}
+		var n int
+		var err error
+		if req.op == OpJoin {
+			n, err = s.member.Join(ctx, req.member.addr, req.member.zone)
+		} else {
+			n, err = s.member.Goodbye(ctx, req.member.addr)
+		}
+		if err != nil {
+			resp.code, resp.msg = codeFor(err), err.Error()
+		} else {
+			resp.code = CodeOK
+			resp.values = []*big.Int{big.NewInt(int64(n))}
+		}
+	}
+	c.send(encodeResponse(req.op, resp))
+	s.met.finish(req.op, resp.code, time.Since(start))
 }
 
 // serveReq executes one admitted request against the engine and queues

@@ -1,0 +1,165 @@
+package server
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// TestSlowLorisDribblerClosed: a client that starts a frame and then
+// dribbles one byte at a time must be cut by the frame-progress
+// deadline — the whole point of WithFrameTimeout — even though each
+// byte individually resets nothing.
+func TestSlowLorisDribblerClosed(t *testing.T) {
+	srv, _, addr := startServer(t,
+		[]engine.Option{engine.WithWorkers(1)},
+		[]Option{WithFrameTimeout(200 * time.Millisecond), WithIdleTimeout(30 * time.Second)})
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	// Header promising 100 bytes, then a dribble: one byte per 50 ms
+	// keeps the socket "active" forever, but the per-frame deadline is
+	// absolute, so the server must hang up around t=200 ms.
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	if _, err := nc.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	closed := false
+	for i := 0; i < 100; i++ {
+		if _, err := nc.Write([]byte{0}); err != nil {
+			closed = true
+			break
+		}
+		// A write can succeed into the kernel buffer after the server
+		// closed; reads surface the close reliably.
+		nc.SetReadDeadline(time.Now().Add(10 * time.Millisecond))
+		if _, err := nc.Read(make([]byte, 1)); err != nil {
+			if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+				closed = true
+				break
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !closed {
+		t.Fatal("server never closed the dribbling connection")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("dribbler survived %v; frame deadline was 200ms", elapsed)
+	}
+	waitCounter(t, func() int64 { return srv.met.slowLorisCloses.Value() }, 1)
+}
+
+// TestIdleBetweenFramesSurvivesFrameTimeout: the frame deadline must
+// not fire while a connection is legitimately idle *between* frames —
+// that is the idle timeout's jurisdiction. A pool connection pausing
+// longer than the frame timeout between two requests keeps working.
+func TestIdleBetweenFramesSurvivesFrameTimeout(t *testing.T) {
+	_, _, addr := startServer(t,
+		[]engine.Option{engine.WithWorkers(1)},
+		[]Option{WithFrameTimeout(100 * time.Millisecond), WithIdleTimeout(30 * time.Second)})
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	ping := func(id uint64) {
+		t.Helper()
+		if err := writeFrame(nc, encodeRequest(&request{op: OpPing, id: id})); err != nil {
+			t.Fatalf("write ping %d: %v", id, err)
+		}
+		payload := readTestFrame(t, nc)
+		resp, err := decodeResponse(OpPing, payload)
+		if err != nil {
+			t.Fatalf("decode ping %d: %v", id, err)
+		}
+		if resp.id != id || resp.code != CodeOK {
+			t.Fatalf("ping %d answered id=%d code=%v", id, resp.id, resp.code)
+		}
+	}
+	ping(1)
+	time.Sleep(400 * time.Millisecond) // 4× the frame timeout, well under idle
+	ping(2)
+}
+
+// TestOversizeFrameAnsweredWithProtocol: a frame above the size cap is
+// rejected with a typed CodeProtocol response before the hangup — the
+// client learns why instead of diagnosing a bare reset — and without
+// the server allocating the claimed size.
+func TestOversizeFrameAnsweredWithProtocol(t *testing.T) {
+	srv, _, addr := startServer(t,
+		[]engine.Option{engine.WithWorkers(1)},
+		[]Option{WithMaxFrame(1024)})
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 1<<30) // a GiB claim, zero bytes sent
+	if _, err := nc.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	payload := readTestFrame(t, nc)
+	resp, err := decodeResponse(OpModExp, payload)
+	if err != nil {
+		t.Fatalf("decode rejection: %v", err)
+	}
+	if resp.id != 0 || resp.code != CodeProtocol {
+		t.Fatalf("rejection answered id=%d code=%v, want id=0 CodeProtocol", resp.id, resp.code)
+	}
+	// The stream is unframed from the server's perspective; it hangs up.
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := nc.Read(make([]byte, 1)); err == nil {
+		t.Fatal("connection still open after oversize frame")
+	}
+	waitCounter(t, func() int64 { return srv.met.oversizeFrames.Value() }, 1)
+}
+
+// readTestFrame reads one response frame off a raw conn with a bounded
+// deadline.
+func readTestFrame(t *testing.T, nc net.Conn) []byte {
+	t.Helper()
+	nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	var hdr [4]byte
+	if _, err := io.ReadFull(nc, hdr[:]); err != nil {
+		t.Fatalf("read frame header: %v", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(nc, payload); err != nil {
+		t.Fatalf("read frame payload: %v", err)
+	}
+	return payload
+}
+
+// waitCounter polls a counter until it reaches want (metrics increment
+// on the server's read loop, concurrent with the client's observation
+// of the close).
+func waitCounter(t *testing.T, get func() int64, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if got := get(); got >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("counter stuck at %d, want ≥ %d", get(), want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

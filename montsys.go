@@ -476,6 +476,14 @@ func WithServerWriteTimeout(d time.Duration) ServerOption { return server.WithWr
 // WithServerMaxFrame bounds request frames in bytes.
 func WithServerMaxFrame(n int) ServerOption { return server.WithMaxFrame(n) }
 
+// WithServerFrameTimeout bounds how long one request frame may take to
+// arrive once its first byte shows up (default 10s; 0 disables). Idle
+// connections between frames are governed by the idle timeout alone —
+// this deadline is the slow-loris guard: a client dribbling a frame
+// byte-by-byte is cut off, counted in
+// montsys_server_slowloris_closed_total.
+func WithServerFrameTimeout(d time.Duration) ServerOption { return server.WithFrameTimeout(d) }
+
 // WithServerRegistry puts the server's metrics (server_connections,
 // server_inflight, server_requests_total{op,code}, request-latency
 // histogram) on an existing registry, typically a Collector's, so one
@@ -611,6 +619,39 @@ func WithClusterClientOptions(opts ...ClientOption) ClusterOption {
 // this is the lever that takes it out of rotation.
 func WithClusterIntegrityEjectThreshold(n int) ClusterOption {
 	return cluster.WithIntegrityEjectThreshold(n)
+}
+
+// WithClusterZone names the balancer's failure domain: least-inflight
+// picks prefer a local-zone backend when it is no more loaded than the
+// global least, and hedges never launch into a zone that is visibly
+// absorbing failures.
+func WithClusterZone(zone string) ClusterOption { return cluster.WithZone(zone) }
+
+// WithClusterHandover tunes churn-tolerant rebalancing: after a
+// join/leave, moduli whose rendezvous home moved stay dual-routed for
+// window (old home answers, new home is warmed in the background by at
+// most maxWarm duplicated calls). Defaults 30s and 256; a zero window
+// makes membership changes instantaneous.
+func WithClusterHandover(window time.Duration, maxWarm int) ClusterOption {
+	return cluster.WithHandover(window, maxWarm)
+}
+
+// WithClusterMaxMembers bounds the member table runtime Joins can grow
+// (default 64); Joins past the bound answer ErrOverloaded.
+func WithClusterMaxMembers(n int) ClusterOption { return cluster.WithMaxMembers(n) }
+
+// ClusterMember is one pool entry: "host:port" plus an optional zone
+// label.
+type ClusterMember = cluster.Member
+
+// ParseClusterMembers parses the comma-separated "addr[=zone]" list the
+// -backends flag takes.
+func ParseClusterMembers(s string) ([]ClusterMember, error) { return cluster.ParseMemberList(s) }
+
+// LoadClusterMemberFile reads a member file (one "addr[=zone]" per
+// line, #-comments) — the -backends @file syntax montsyslb watches.
+func LoadClusterMemberFile(path string) ([]ClusterMember, error) {
+	return cluster.LoadMemberFile(path)
 }
 
 // NewMetricsHandler serves a bare metrics registry over HTTP in
